@@ -1,0 +1,62 @@
+"""Section 3.2's O(n) decay argument versus associativity.
+
+"The line X would be present in cache for O(n) time units after the
+last reference, where n is the number of lines in a cache associative
+set."  The more associative the cache, the longer a dead line lingers
+— so the benefit of dead-marking (write-backs and bus words saved)
+grows with associativity.
+"""
+
+import pytest
+
+from conftest import traced_benchmark
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+
+WORKLOAD = "towers"
+SIZE_WORDS = 32
+ASSOCIATIVITIES = (1, 2, 4, 8)
+
+
+def _pair(trace, associativity):
+    on = replay_trace(
+        trace,
+        CacheConfig(size_words=SIZE_WORDS, associativity=associativity),
+    )
+    off = replay_trace(
+        trace,
+        CacheConfig(size_words=SIZE_WORDS, associativity=associativity,
+                    honor_kill=False),
+    )
+    return on, off
+
+
+@pytest.mark.parametrize("associativity", ASSOCIATIVITIES)
+def test_kill_benefit_per_associativity(benchmark, associativity):
+    _bench, _program, trace = traced_benchmark(WORKLOAD)
+
+    on, off = benchmark(_pair, trace, associativity)
+    benchmark.extra_info["associativity"] = associativity
+    benchmark.extra_info["writebacks_saved"] = off.writebacks - on.writebacks
+    benchmark.extra_info["bus_words_saved"] = off.bus_words - on.bus_words
+    assert on.bus_words <= off.bus_words
+    assert on.misses <= off.misses
+
+
+def test_benefit_grows_with_associativity(benchmark):
+    _bench, _program, trace = traced_benchmark(WORKLOAD)
+
+    def sweep():
+        savings = {}
+        for associativity in ASSOCIATIVITIES:
+            on, off = _pair(trace, associativity)
+            savings[associativity] = off.writebacks - on.writebacks
+        return savings
+
+    savings = benchmark(sweep)
+    benchmark.extra_info["writebacks_saved_by_assoc"] = savings
+    # O(n) decay: a dead line lingers longer in a more associative
+    # cache, so dead-marking saves at least as much.
+    assert savings[8] >= savings[1]
+    assert savings[4] >= savings[1]

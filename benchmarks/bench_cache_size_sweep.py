@@ -1,0 +1,67 @@
+"""Section 2.2 context: bypass benefit across cache sizes.
+
+The paper argues very large caches do not obviate compiler control;
+this sweep shows the reference-traffic reduction is essentially
+size-independent (it is a property of the reference stream), while
+miss rates converge as the cache grows.
+"""
+
+import pytest
+
+from conftest import traced_benchmark
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+
+SIZES = (64, 128, 256, 1024, 4096)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_size_sweep(benchmark, size):
+    _bench, _program, trace = traced_benchmark("bubble")
+
+    def simulate():
+        unified = replay_trace(
+            trace, CacheConfig(size_words=size, associativity=4)
+        )
+        conventional = replay_trace(
+            trace,
+            CacheConfig(size_words=size, associativity=4,
+                        honor_bypass=False, honor_kill=False),
+        )
+        return unified, conventional
+
+    unified, conventional = benchmark(simulate)
+    reduction = unified.cache_traffic_reduction_vs(conventional)
+    benchmark.extra_info["size_words"] = size
+    benchmark.extra_info["reduction_percent"] = round(reduction, 1)
+    benchmark.extra_info["unified_miss_rate"] = round(unified.miss_rate, 4)
+    benchmark.extra_info["conventional_miss_rate"] = round(
+        conventional.miss_rate, 4
+    )
+    # Reference-traffic reduction does not depend on capacity.
+    assert reduction > 20.0
+
+
+def test_reduction_is_size_invariant(benchmark):
+    _bench, _program, trace = traced_benchmark("bubble")
+
+    def sweep():
+        reductions = []
+        for size in SIZES:
+            unified = replay_trace(
+                trace, CacheConfig(size_words=size, associativity=4)
+            )
+            conventional = replay_trace(
+                trace,
+                CacheConfig(size_words=size, associativity=4,
+                            honor_bypass=False, honor_kill=False),
+            )
+            reductions.append(
+                unified.cache_traffic_reduction_vs(conventional)
+            )
+        return reductions
+
+    reductions = benchmark(sweep)
+    assert max(reductions) - min(reductions) < 1.0
+    benchmark.extra_info["reductions"] = [round(r, 2) for r in reductions]

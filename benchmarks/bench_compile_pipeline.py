@@ -1,0 +1,55 @@
+"""Infrastructure benches: compiler pipeline cost and VM throughput.
+
+Not a paper experiment; tracks that the reproduction stays usable as
+the codebase evolves.
+"""
+
+import pytest
+
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_compile_benchmark(benchmark, name):
+    source = get_benchmark(name).source
+    options = CompilationOptions()
+    program = benchmark(compile_source, source, options)
+    total_instructions = sum(
+        len(block.instructions)
+        for function in program.module.functions.values()
+        for block in function.blocks.values()
+    )
+    benchmark.extra_info["machine_instructions"] = total_instructions
+
+
+def test_frontend_only(benchmark):
+    source = get_benchmark("puzzle").source
+    benchmark(lambda: analyze(parse_program(source)))
+
+
+def test_vm_throughput(benchmark):
+    """Steps per second on a tight arithmetic loop."""
+    source = (
+        "int main() { int i; int s; s = 0; "
+        "for (i = 0; i < 20000; i++) s = s + i * 3 - 1; return s; }"
+    )
+    program = compile_source(
+        source, CompilationOptions(promotion="aggressive")
+    )
+
+    result = benchmark(program.run)
+    benchmark.extra_info["vm_steps"] = result.steps
+
+
+def test_vm_throughput_memory_heavy(benchmark):
+    """Steps per second when every reference hits the memory system."""
+    source = (
+        "int a[64]; int main() { int i; int s; s = 0; "
+        "for (i = 0; i < 10000; i++) s = s + a[i % 64]; return s; }"
+    )
+    program = compile_source(source, CompilationOptions(promotion="none"))
+    result = benchmark(program.run)
+    benchmark.extra_info["vm_steps"] = result.steps

@@ -1,0 +1,79 @@
+"""Figure 5: percent of data-cache reference traffic reduction.
+
+One bench per benchmark program.  The timed region is the trace-driven
+cache simulation pair (unified + conventional); the reproduced figures
+land in ``extra_info`` so ``--benchmark-json`` captures the whole
+table.  Assertions pin the paper's qualitative claims: every benchmark
+sees a substantial reduction, and the fleet average is about 60%.
+"""
+
+import pytest
+
+from conftest import traced_benchmark
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+from repro.evalharness.experiment import DEFAULT_CACHE
+from repro.programs import BENCHMARK_NAMES
+
+_BASELINE = CacheConfig(
+    size_words=DEFAULT_CACHE.size_words,
+    associativity=DEFAULT_CACHE.associativity,
+    policy=DEFAULT_CACHE.policy,
+    honor_bypass=False,
+    honor_kill=False,
+)
+
+_reductions = {}
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_figure5_row(benchmark, name):
+    _bench, program, trace = traced_benchmark(name)
+
+    def simulate():
+        unified = replay_trace(trace, DEFAULT_CACHE)
+        conventional = replay_trace(trace, _BASELINE)
+        return unified, conventional
+
+    unified, conventional = benchmark(simulate)
+    reduction = unified.cache_traffic_reduction_vs(conventional)
+    _reductions[name] = reduction
+
+    summary = trace.summary()
+    dynamic_unambiguous = 100.0 * summary["unambiguous"] / summary["total"]
+    benchmark.extra_info["static_percent_unambiguous"] = round(
+        program.static.percent_unambiguous, 1
+    )
+    benchmark.extra_info["dynamic_percent_unambiguous"] = round(
+        dynamic_unambiguous, 1
+    )
+    benchmark.extra_info["cache_traffic_reduction_percent"] = round(
+        reduction, 1
+    )
+    benchmark.extra_info["data_refs"] = summary["total"]
+
+    # Qualitative shape of Figure 5: every benchmark gains materially.
+    assert reduction > 20.0
+    # The bypassed references are the unambiguous ones.
+    assert unified.refs_bypassed == summary["bypassed"]
+    assert conventional.refs_cached == summary["total"]
+
+
+def test_figure5_average(benchmark):
+    """Fleet average: the paper's 'about 60 percent' claim."""
+
+    def simulate_all():
+        reductions = []
+        for name in BENCHMARK_NAMES:
+            _bench, _program, trace = traced_benchmark(name)
+            unified = replay_trace(trace, DEFAULT_CACHE)
+            conventional = replay_trace(trace, _BASELINE)
+            reductions.append(
+                unified.cache_traffic_reduction_vs(conventional)
+            )
+        return sum(reductions) / len(reductions)
+
+    average = benchmark(simulate_all)
+    benchmark.extra_info["average_reduction_percent"] = round(average, 1)
+    assert 45.0 <= average <= 75.0

@@ -1,0 +1,59 @@
+"""Section 1's assumption: "small line size (e.g. one) is always
+preferred for data cache [ChD89] [Lee87]".
+
+Sweeps the data-cache line size at fixed capacity and measures bus
+traffic and miss rate for the conventional baseline.  Word-granular
+data references buy little spatial locality from wide lines, while
+every miss moves line_words over the bus — line size one minimises
+total bus words, which is the claim the paper leans on.
+"""
+
+import pytest
+
+from conftest import traced_benchmark
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+
+LINE_SIZES = (1, 2, 4, 8)
+WORKLOAD = "bubble"
+CACHE_WORDS = 64  # capacity-pressured so line effects are visible
+
+
+@pytest.mark.parametrize("line_words", LINE_SIZES)
+def test_line_size(benchmark, line_words):
+    _bench, _program, trace = traced_benchmark(WORKLOAD)
+    config = CacheConfig(
+        size_words=CACHE_WORDS,
+        line_words=line_words,
+        associativity=4,
+        honor_bypass=False,
+        honor_kill=False,
+    )
+
+    stats = benchmark(replay_trace, trace, config)
+    benchmark.extra_info["line_words"] = line_words
+    benchmark.extra_info["miss_rate"] = round(stats.miss_rate, 4)
+    benchmark.extra_info["bus_words"] = stats.bus_words
+
+
+def test_line_one_minimises_bus_traffic(benchmark):
+    _bench, _program, trace = traced_benchmark(WORKLOAD)
+
+    def sweep():
+        results = {}
+        for line_words in LINE_SIZES:
+            config = CacheConfig(
+                size_words=CACHE_WORDS,
+                line_words=line_words,
+                associativity=4,
+                honor_bypass=False,
+                honor_kill=False,
+            )
+            results[line_words] = replay_trace(trace, config)
+        return results
+
+    results = benchmark(sweep)
+    bus = {line: stats.bus_words for line, stats in results.items()}
+    benchmark.extra_info["bus_words_by_line"] = bus
+    assert bus[1] <= min(bus[4], bus[8])

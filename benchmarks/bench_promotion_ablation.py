@@ -1,0 +1,60 @@
+"""Promotion ablation: how allocator aggressiveness moves the measured
+fractions (the knob DESIGN.md calls out for calibrating against the
+paper's 1989-era codegen).
+
+none        -> every value reference is a memory reference (the pure
+               "data value reference" measurement);
+modest(1)   -> the Figure 5 configuration;
+aggressive  -> modern graph coloring; unambiguous traffic collapses to
+               spills and callee saves.
+"""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+from repro.programs import get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+
+LEVELS = [
+    ("none", 0),
+    ("modest", 1),
+    ("modest", 6),
+    ("aggressive", 0),
+]
+
+
+@pytest.mark.parametrize("level,budget", LEVELS,
+                         ids=["none", "modest-1", "modest-6", "aggressive"])
+def test_promotion_level(benchmark, level, budget):
+    bench = get_benchmark("bubble")
+    options = CompilationOptions(
+        scheme="unified", promotion=level, promotion_budget=budget or 6
+    )
+    program = compile_source(bench.source, options)
+
+    def run_and_measure():
+        memory = RecordingMemory()
+        result = program.run(memory=memory)
+        unified = replay_trace(memory.buffer, CacheConfig())
+        conventional = replay_trace(
+            memory.buffer,
+            CacheConfig(honor_bypass=False, honor_kill=False),
+        )
+        return result, memory.buffer, unified, conventional
+
+    result, trace, unified, conventional = benchmark(run_and_measure)
+    assert tuple(result.output) == bench.expected_output
+    summary = trace.summary()
+    benchmark.extra_info["dynamic_refs"] = summary["total"]
+    benchmark.extra_info["dynamic_percent_unambiguous"] = round(
+        100.0 * summary["unambiguous"] / summary["total"], 1
+    )
+    benchmark.extra_info["reduction_percent"] = round(
+        unified.cache_traffic_reduction_vs(conventional), 1
+    )
+    benchmark.extra_info["static_percent_unambiguous"] = round(
+        program.static.percent_unambiguous, 1
+    )
+    benchmark.extra_info["vm_steps"] = result.steps

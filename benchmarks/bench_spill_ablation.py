@@ -1,0 +1,79 @@
+"""Section 4.2: register spills should go *to the cache*.
+
+Compiles a twenty-live-values pressure kernel for an 8-register
+machine so graph coloring genuinely spills, then compares routing the
+spill and callee-save traffic through the cache (``AmSp_STORE``, the
+unified model's choice) against bypassing it straight to memory.
+"""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+from repro.evalharness.sweeps import SPILL_KERNEL
+from repro.ir.instructions import MachineConfig, RefOrigin
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+from repro.vm.trace import origin_from_flags
+
+_MACHINE = MachineConfig(num_regs=8, num_caller_saved=4)
+
+
+def _trace(spill_to_cache):
+    program = compile_source(
+        SPILL_KERNEL,
+        CompilationOptions(
+            scheme="unified",
+            promotion="aggressive",
+            machine=_MACHINE,
+            spill_to_cache=spill_to_cache,
+        ),
+    )
+    memory = RecordingMemory()
+    program.run(memory=memory)
+    return memory.buffer
+
+
+@pytest.mark.parametrize("spill_to_cache", [True, False],
+                         ids=["spill-to-cache", "spill-bypass"])
+def test_spill_routing(benchmark, spill_to_cache):
+    trace = _trace(spill_to_cache)
+
+    def simulate():
+        return replay_trace(
+            trace, CacheConfig(size_words=256, associativity=4)
+        )
+
+    stats = benchmark(simulate)
+    summary = trace.summary()
+    benchmark.extra_info["spill_refs"] = summary["by_origin"]["spill"]
+    benchmark.extra_info["refs_cached"] = stats.refs_cached
+    benchmark.extra_info["bus_words"] = stats.bus_words
+    benchmark.extra_info["hits"] = stats.hits
+    assert summary["by_origin"]["spill"] > 0
+
+
+def test_spill_to_cache_reduces_bus_traffic(benchmark):
+    """The paper's rationale: spills are short-lived and reused, so the
+    cache absorbs them; sending them to memory pays bus words for
+    every spill store and reload."""
+    cached_trace = _trace(True)
+    bypass_trace = _trace(False)
+    spill_refs = sum(
+        1 for _addr, flags in cached_trace
+        if origin_from_flags(flags) is RefOrigin.SPILL
+    )
+    assert spill_refs > 0, "workload must actually spill"
+
+    def simulate_pair():
+        config = CacheConfig(size_words=256, associativity=4)
+        return (
+            replay_trace(cached_trace, config),
+            replay_trace(bypass_trace, config),
+        )
+
+    to_cache, to_memory = benchmark(simulate_pair)
+    benchmark.extra_info["spill_refs"] = spill_refs
+    benchmark.extra_info["bus_words_spill_to_cache"] = to_cache.bus_words
+    benchmark.extra_info["bus_words_spill_bypass"] = to_memory.bus_words
+    assert to_cache.bus_words < to_memory.bus_words

@@ -1,0 +1,65 @@
+"""Write-back vs write-through under the unified model.
+
+1980s caches were frequently write-through.  The dead-dirty-drop half
+of the kill-bit benefit exists only with write-back (write-through has
+no dirty data to drop), while write-back + kill bits eliminates the
+write-back traffic entirely on spill/save-heavy code — the combination
+the paper's spill-to-cache story relies on.
+"""
+
+import pytest
+
+from conftest import traced_benchmark
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+
+WORKLOAD = "towers"
+
+
+@pytest.mark.parametrize("honor_kill", [True, False],
+                         ids=["kill-on", "kill-off"])
+@pytest.mark.parametrize("write_policy", ["writeback", "writethrough"])
+def test_write_policy_grid(benchmark, write_policy, honor_kill):
+    _bench, _program, trace = traced_benchmark(WORKLOAD)
+    config = CacheConfig(
+        size_words=256,
+        associativity=4,
+        write_policy=write_policy,
+        honor_kill=honor_kill,
+    )
+
+    stats = benchmark(replay_trace, trace, config)
+    benchmark.extra_info["write_policy"] = write_policy
+    benchmark.extra_info["kill_bits"] = honor_kill
+    benchmark.extra_info["writebacks"] = stats.writebacks
+    benchmark.extra_info["dead_drops"] = stats.dead_drops
+    benchmark.extra_info["words_to_memory"] = stats.words_to_memory
+    benchmark.extra_info["bus_words"] = stats.bus_words
+    if write_policy == "writethrough":
+        assert stats.writebacks == 0
+        assert stats.dead_drops == 0
+
+
+def test_writeback_with_kill_beats_writethrough(benchmark):
+    """Write-back + kill bits coalesces every dead store for free;
+    write-through pays the bus for each one."""
+    _bench, _program, trace = traced_benchmark(WORKLOAD)
+
+    def simulate_pair():
+        wb = replay_trace(
+            trace,
+            CacheConfig(size_words=256, associativity=4,
+                        write_policy="writeback"),
+        )
+        wt = replay_trace(
+            trace,
+            CacheConfig(size_words=256, associativity=4,
+                        write_policy="writethrough"),
+        )
+        return wb, wt
+
+    writeback, writethrough = benchmark(simulate_pair)
+    benchmark.extra_info["writeback_bus_words"] = writeback.bus_words
+    benchmark.extra_info["writethrough_bus_words"] = writethrough.bus_words
+    assert writeback.bus_words <= writethrough.bus_words

@@ -1,0 +1,62 @@
+"""Shared infrastructure for the pytest-benchmark harness.
+
+Compiled programs and reference traces are cached per configuration so
+a full ``pytest benchmarks/ --benchmark-only`` run compiles and traces
+each workload once and spends its time on what the benches measure.
+"""
+
+import pytest
+
+from repro.evalharness.figure5 import figure5_options
+from repro.programs import get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+
+_trace_cache = {}
+_program_cache = {}
+
+
+def options_key(options):
+    return (
+        str(options.scheme),
+        str(options.promotion),
+        options.promotion_budget,
+        options.kill_bits,
+        options.spill_to_cache,
+    )
+
+
+def compiled_benchmark(name, options=None):
+    """Compile one named benchmark (cached)."""
+    options = options or figure5_options()
+    key = (name, options_key(options))
+    if key not in _program_cache:
+        bench = get_benchmark(name)
+        _program_cache[key] = (
+            bench,
+            compile_source(bench.source, options),
+        )
+    return _program_cache[key]
+
+
+def traced_benchmark(name, options=None):
+    """Compile + execute once; returns (bench, program, trace)."""
+    options = options or figure5_options()
+    key = (name, options_key(options))
+    if key not in _trace_cache:
+        bench, program = compiled_benchmark(name, options)
+        memory = RecordingMemory()
+        result = program.run(memory=memory)
+        assert tuple(result.output) == bench.expected_output
+        _trace_cache[key] = (bench, program, memory.buffer)
+    return _trace_cache[key]
+
+
+@pytest.fixture
+def figure5_opts():
+    return figure5_options()
+
+
+@pytest.fixture
+def default_options():
+    return CompilationOptions()

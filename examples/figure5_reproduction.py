@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Reproduce Figure 5 of the paper: percent of data-cache reference
+traffic reduction across the six DARPA/Stanford benchmarks.
+
+Run:  python examples/figure5_reproduction.py            (seconds)
+      python examples/figure5_reproduction.py --paper    (minutes)
+
+The paper reports: statically 70-80% of data references unambiguous,
+dynamically 45-75%, and about a 60% reduction in data-cache reference
+traffic.  Exact numbers differ (our substrate is a MiniC compiler and
+simulator, not the authors' MIPS toolchain), but the bands and the
+per-benchmark shape reproduce.
+"""
+
+import argparse
+
+from repro.evalharness.figure5 import figure5_table, format_figure5
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--paper", action="store_true",
+        help="use the paper's workload sizes (Bubble 500, Towers 18, ...)",
+    )
+    args = parser.parse_args()
+
+    rows = figure5_table(paper_scale=args.paper)
+    print(format_figure5(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: compile a MiniC program under the unified model, look at
+the annotated code, and measure what the cache bypass saves.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CompilationOptions, RecordingMemory, compile_source
+from repro.cache import replay_trace
+from repro.cache.cache import CacheConfig
+from repro.ir.printer import format_function
+
+SOURCE = """
+// Dot product with an accumulator the compiler can prove unaliased.
+int a[64];
+int b[64];
+
+int dot(int *x, int *y, int n) {
+    int acc;
+    int i;
+    acc = 0;
+    for (i = 0; i < n; i++) {
+        acc = acc + x[i] * y[i];
+    }
+    return acc;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 64; i++) {
+        a[i] = i;
+        b[i] = 2 * i;
+    }
+    print(dot(a, b, 64));
+    return 0;
+}
+"""
+
+
+def main():
+    # Compile under the unified registers/cache management model.
+    # promotion="none" keeps every variable access visible as a memory
+    # reference so the annotations are easy to see in the dump.
+    program = compile_source(
+        SOURCE, CompilationOptions(scheme="unified", promotion="none")
+    )
+
+    print("=== annotated machine code for dot() ===")
+    print(format_function(program.module.functions["dot"]))
+
+    print()
+    print("=== alias sets (paper Section 4.1) ===")
+    for alias_set in program.alias_sets():
+        print("  ", alias_set)
+
+    print()
+    print("=== static classification ===")
+    for label, value in program.static.rows():
+        print("  {:28s} {}".format(label, value))
+
+    # Execute once, recording every data reference with its bypass and
+    # kill annotations.
+    memory = RecordingMemory()
+    result = program.run(memory=memory)
+    print()
+    print("program output:", result.output,
+          "({} instructions executed)".format(result.steps))
+
+    # Replay the same reference stream against the paper's cache (256
+    # words, line size one) twice: honoring the annotations (unified)
+    # and ignoring them (the conventional baseline).
+    unified = replay_trace(memory.buffer, CacheConfig())
+    baseline = replay_trace(
+        memory.buffer,
+        CacheConfig(honor_bypass=False, honor_kill=False),
+    )
+
+    print()
+    print("=== unified vs conventional (256-word LRU data cache) ===")
+    print("  data references:         ", unified.refs_total)
+    print("  through cache (unified): ", unified.refs_cached)
+    print("  through cache (baseline):", baseline.refs_cached)
+    print("  cache reference traffic reduction: {:.1f}%".format(
+        unified.cache_traffic_reduction_vs(baseline)))
+    print("  dead-line frees from kill bits:    {}".format(
+        unified.dead_line_frees + unified.dead_drops))
+
+
+if __name__ == "__main__":
+    main()

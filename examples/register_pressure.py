@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Register pressure and spill-to-cache (paper Section 4.2).
+
+Compiles a kernel with twenty simultaneously-live values for machines
+with 16 and 8 registers, then shows where the spill traffic goes:
+``AmSp_STORE`` through the cache, reload kills on last use, and the
+resulting cache statistics for spill-to-cache versus spill-bypass.
+
+Run:  python examples/register_pressure.py
+"""
+
+from repro import CompilationOptions, RecordingMemory, compile_source
+from repro.cache import replay_trace
+from repro.cache.cache import CacheConfig
+from repro.ir.instructions import Load, MachineConfig, RefOrigin, Store
+from repro.vm.trace import origin_from_flags
+
+KERNEL = """
+int main() {
+    int a; int b; int c; int d; int e; int f; int g; int h;
+    int i; int j; int k; int l; int m; int n; int o; int p;
+    int q; int r; int s; int t;
+    int round;
+    for (round = 0; round < 50; round++) {
+        a = round + 1;  b = a + 1;  c = b + 1;  d = c + 1;
+        e = d + 1;      f = e + 1;  g = f + 1;  h = g + 1;
+        i = h + 1;      j = i + 1;  k = j + 1;  l = k + 1;
+        m = l + 1;      n = m + 1;  o = n + 1;  p = o + 1;
+        q = p + 1;      r = q + 1;  s = r + 1;  t = s + 1;
+        print(a + b + c + d + e + f + g + h + i + j
+              + k + l + m + n + o + p + q + r + s + t
+              + a * t + b * s + c * r + d * q + e * p
+              + f * o + g * n + h * m + i * l + j * k);
+    }
+    return 0;
+}
+"""
+
+
+def spill_report(num_regs, spill_to_cache):
+    machine = MachineConfig(num_regs=num_regs,
+                            num_caller_saved=num_regs // 2)
+    program = compile_source(
+        KERNEL,
+        CompilationOptions(
+            scheme="unified",
+            promotion="aggressive",
+            machine=machine,
+            spill_to_cache=spill_to_cache,
+        ),
+    )
+    stats = program.allocation_stats["main"]
+
+    static_spills = sum(
+        1
+        for inst in program.module.functions["main"].instructions()
+        if isinstance(inst, (Load, Store))
+        and inst.ref.origin is RefOrigin.SPILL
+    )
+
+    memory = RecordingMemory()
+    program.run(memory=memory)
+    dynamic_spills = sum(
+        1 for _addr, flags in memory.buffer
+        if origin_from_flags(flags) is RefOrigin.SPILL
+    )
+    cache = replay_trace(memory.buffer, CacheConfig(size_words=64))
+    return stats, static_spills, dynamic_spills, cache
+
+
+def main():
+    print("twenty simultaneously live values, graph-coloring allocation\n")
+    for num_regs in (16, 8):
+        for spill_to_cache in (True, False):
+            stats, static_spills, dynamic_spills, cache = spill_report(
+                num_regs, spill_to_cache
+            )
+            label = "through cache" if spill_to_cache else "bypassing cache"
+            print("{} registers, spills {}:".format(num_regs, label))
+            print("  spilled webs:          ", stats.spilled_webs)
+            print("  coloring rounds:       ", stats.rounds)
+            print("  static spill refs:     ", static_spills)
+            print("  dynamic spill refs:    ", dynamic_spills)
+            print("  cache hits / misses:    {} / {}".format(
+                cache.hits, cache.misses))
+            print("  dead-line frees:       ",
+                  cache.dead_line_frees + cache.dead_drops)
+            print("  bus words moved:       ", cache.bus_words)
+            print()
+    print("The paper's point: spilled values are short-lived and heavily")
+    print("reused, so routing them through the cache (AmSp_STORE) turns")
+    print("spill traffic into cache hits, while liveness-marked reloads")
+    print("free the lines the moment the value dies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Two results beyond Figure 5.
+
+1. Combined I+D cache (the abstract's "cache effectiveness is
+   improved"): bypassing unambiguous data stops it from evicting
+   instruction words, so the *instruction* hit rate rises.
+
+2. The hybrid policy (this repository's extension): bypass only
+   register-boundary traffic, keep memory-resident unambiguous values
+   in the cache with kill bits.  It dominates the pure policy on total
+   memory access time and rescues call-dense code (towers).
+
+Run:  python examples/unified_cache_and_hybrid.py
+"""
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+from repro.cache.timing import (
+    LatencyModel,
+    access_time_speedup,
+    value_reference_time,
+)
+from repro.evalharness.tables import format_table
+from repro.evalharness.unifiedcache import unified_cache_comparison
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+
+
+def combined_cache_demo():
+    print("=== combined I+D cache: instruction hit rate ===")
+    rows = []
+    for name, size in (("queen", 128), ("towers", 128), ("towers", 256)):
+        row = unified_cache_comparison(name, size_words=size)
+        rows.append([
+            "{} @ {} words".format(name, size),
+            "{:.4f}".format(row["conventional_i_hit_rate"]),
+            "{:.4f}".format(row["unified_i_hit_rate"]),
+        ])
+    print(format_table(
+        ["workload", "conventional", "unified (bypass on)"], rows
+    ))
+    print()
+
+
+def hybrid_demo():
+    print("=== access-time speedup: pure bypass vs hybrid ===")
+    model = LatencyModel()
+    rows = []
+    for name in BENCHMARK_NAMES:
+        bench = get_benchmark(name)
+        cycles = {}
+        refs = {}
+        for label, options, honor in (
+            ("conv",
+             CompilationOptions(scheme="conventional", promotion="none"),
+             False),
+            ("pure",
+             CompilationOptions(scheme="unified", promotion="aggressive"),
+             True),
+            ("hybrid",
+             CompilationOptions(scheme="unified", promotion="aggressive",
+                                bypass_user_refs=False),
+             True),
+        ):
+            program = compile_source(bench.source, options)
+            memory = RecordingMemory()
+            result = program.run(memory=memory)
+            assert tuple(result.output) == bench.expected_output
+            stats = replay_trace(
+                memory.buffer,
+                CacheConfig(honor_bypass=honor, honor_kill=honor),
+            )
+            refs[label] = len(memory.buffer)
+            cycles[label] = stats
+        total = refs["conv"]
+        conv = value_reference_time(cycles["conv"], 0, model)
+        pure = value_reference_time(cycles["pure"], total - refs["pure"],
+                                    model)
+        hybrid = value_reference_time(
+            cycles["hybrid"], total - refs["hybrid"], model
+        )
+        rows.append([
+            name,
+            "{:.2f}x".format(access_time_speedup(conv, pure)),
+            "{:.2f}x".format(access_time_speedup(conv, hybrid)),
+        ])
+    print(format_table(["benchmark", "pure unified", "hybrid"], rows))
+    print()
+    print("The pure model bypasses every unambiguous reference; when the")
+    print("allocator could not keep the value in a register (towers: hot")
+    print("globals, calls everywhere), each reload pays a memory access.")
+    print("The hybrid bypasses only spill/callee-save traffic and keeps")
+    print("kill bits on everything else - it never loses.")
+
+
+def main():
+    combined_cache_demo()
+    hybrid_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Program analyses: dataflow, liveness, chains/webs, aliasing.
+
+These are the compiler technologies the paper's Section 4.1 calls for:
+live ranges of *values* (D-U chain webs, not variables), and alias sets
+built by closing the ambiguous-alias relation.
+"""
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.reaching import ReachingDefs, compute_reaching_defs
+from repro.analysis.du import DefUseChains, Web, build_du_chains, build_webs
+from repro.analysis.alias import AliasAnalysis, AliasSet, analyze_aliases
+from repro.analysis.memliveness import MemoryLiveness, compute_memory_liveness
+from repro.analysis.usecounts import symbol_use_counts, web_spill_costs
+
+__all__ = [
+    "DataflowProblem",
+    "solve_dataflow",
+    "LivenessInfo",
+    "compute_liveness",
+    "ReachingDefs",
+    "compute_reaching_defs",
+    "DefUseChains",
+    "Web",
+    "build_du_chains",
+    "build_webs",
+    "AliasAnalysis",
+    "AliasSet",
+    "analyze_aliases",
+    "MemoryLiveness",
+    "compute_memory_liveness",
+    "symbol_use_counts",
+    "web_spill_costs",
+]

@@ -1,0 +1,359 @@
+"""Alias sets and reference classification (paper Section 4.1).
+
+The analysis has two layers:
+
+1. A flow-insensitive, interprocedural **points-to** analysis over
+   MiniC pointer variables.  MiniC's type system keeps this sound and
+   simple: there is no pointer-to-pointer type and arrays hold only
+   ``int``, so pointer values can only flow through scalar pointer
+   variables, argument registers, and return values — never through
+   memory reached indirectly.
+
+2. **Alias sets**: names (scalars, arrays-as-wholes, ``*p`` deref
+   names) grouped by closure of the ambiguous-alias relation using
+   union-find, exactly the construction of Section 4.1.1.2.  The sets
+   satisfy the paper's *uniqueness* and *completeness* properties by
+   construction.
+
+Classification then follows Section 4.2: a directly named scalar whose
+address is never taken is **unambiguous** (register-worthy, cache
+bypass); array elements, pointer dereferences and address-taken scalars
+are **ambiguous** (cache-managed).  Compiler-created spill slots are
+unambiguous by construction but are deliberately routed *through* the
+cache by the unified model (``AmSp_STORE``).
+"""
+
+from repro.analysis.du import UnionFind
+from repro.ir.function import SpillSlot
+from repro.ir.instructions import (
+    AddrOfSym,
+    BinOp,
+    Call,
+    Load,
+    Move,
+    PReg,
+    RefClass,
+    RegionKind,
+    Ret,
+    Store,
+    SymMem,
+    VReg,
+)
+
+#: Sentinel region for pointer values the analysis cannot pin down.
+UNKNOWN_REGION = ("unknown", None)
+
+
+def _region_of_symbol(symbol):
+    if symbol.is_array():
+        return ("array", symbol)
+    return ("scalar", symbol)
+
+
+def _is_pointer_symbol(symbol):
+    return (
+        not isinstance(symbol, SpillSlot)
+        and symbol.type is not None
+        and symbol.type.is_pointer()
+    )
+
+
+class AliasSet:
+    """One closure class of the ambiguous-alias relation."""
+
+    def __init__(self, names, ambiguous):
+        self.names = tuple(sorted(names))
+        self.ambiguous = ambiguous
+
+    def __repr__(self):
+        flavor = "ambiguous" if self.ambiguous else "unambiguous"
+        return "AliasSet({}: {})".format(flavor, ", ".join(self.names))
+
+    def __len__(self):
+        return len(self.names)
+
+
+class AliasAnalysis:
+    """Module-level points-to facts plus the classification oracle."""
+
+    def __init__(self, module, refine_points_to=False):
+        self.module = module
+        self.refine_points_to = refine_points_to
+        self.points_to = {}  # pointer Symbol -> set[region]
+        self.return_regions = {}  # function name -> set[region]
+        self._vreg_regions = {}  # VReg -> set[region]
+        self._dereferenced = set()  # pointer Symbols that are deref'd
+        self._has_unknown_deref = False
+        self._solve()
+        self._scan_derefs()
+        self._pointer_reachable = self._compute_pointer_reachable()
+
+    # ------------------------------------------------------------------
+    # Points-to solving.
+    # ------------------------------------------------------------------
+
+    def _solve(self):
+        for name in self.module.functions:
+            self.return_regions.setdefault(name, set())
+        changed = True
+        while changed:
+            changed = False
+            for function in self.module.functions.values():
+                if self._transfer_function(function):
+                    changed = True
+
+    def _regions(self, operand):
+        if isinstance(operand, VReg):
+            return self._vreg_regions.get(operand, frozenset())
+        return frozenset()
+
+    def _add_regions(self, register, regions):
+        if not regions or not isinstance(register, VReg):
+            return False
+        current = self._vreg_regions.setdefault(register, set())
+        before = len(current)
+        current |= regions
+        return len(current) != before
+
+    def _transfer_function(self, function):
+        changed = False
+        for block in function.block_list():
+            preg_values = {}
+            last_call = None
+            for instruction in block.instructions:
+                if isinstance(instruction, AddrOfSym):
+                    region = _region_of_symbol(instruction.symbol)
+                    changed |= self._add_regions(instruction.dest, {region})
+                    last_call = None
+                elif isinstance(instruction, Move):
+                    changed |= self._transfer_move(
+                        instruction, preg_values, last_call
+                    )
+                    if isinstance(instruction.dest, PReg):
+                        preg_values[instruction.dest.index] = instruction.src
+                    if not (
+                        isinstance(instruction.src, PReg)
+                        and instruction.src.index == 0
+                    ):
+                        if isinstance(instruction.dest, PReg):
+                            last_call = None
+                elif isinstance(instruction, BinOp):
+                    if instruction.op in ("add", "sub"):
+                        regions = self._regions(instruction.left) | self._regions(
+                            instruction.right
+                        )
+                        changed |= self._add_regions(instruction.dest, regions)
+                    last_call = None
+                elif isinstance(instruction, Load):
+                    changed |= self._transfer_load(instruction)
+                    last_call = None
+                elif isinstance(instruction, Store):
+                    changed |= self._transfer_store(instruction)
+                elif isinstance(instruction, Call):
+                    changed |= self._bind_call_args(instruction, preg_values)
+                    preg_values.clear()
+                    last_call = instruction.callee
+                elif isinstance(instruction, Ret):
+                    if instruction.has_value:
+                        operand = preg_values.get(0)
+                        if operand is not None:
+                            regions = self._regions(operand)
+                            target = self.return_regions[function.name]
+                            before = len(target)
+                            target |= regions
+                            changed |= len(target) != before
+        return changed
+
+    def _transfer_move(self, instruction, preg_values, last_call):
+        if isinstance(instruction.src, PReg) and instruction.src.index == 0:
+            if last_call is not None and last_call in self.return_regions:
+                return self._add_regions(
+                    instruction.dest, self.return_regions[last_call]
+                )
+            return False
+        return self._add_regions(instruction.dest, self._regions(instruction.src))
+
+    def _transfer_load(self, instruction):
+        if isinstance(instruction.mem, SymMem):
+            symbol = instruction.mem.symbol
+            if _is_pointer_symbol(symbol):
+                regions = self.points_to.get(symbol, frozenset())
+                return self._add_regions(instruction.dest, regions)
+        # Indirect loads produce ints only (no pointer-to-pointer in
+        # MiniC), so no regions flow out of them.
+        return False
+
+    def _transfer_store(self, instruction):
+        if isinstance(instruction.mem, SymMem):
+            symbol = instruction.mem.symbol
+            if _is_pointer_symbol(symbol):
+                regions = self._regions(instruction.src)
+                if regions:
+                    target = self.points_to.setdefault(symbol, set())
+                    before = len(target)
+                    target |= regions
+                    return len(target) != before
+        return False
+
+    def _bind_call_args(self, instruction, preg_values):
+        callee = self.module.functions.get(instruction.callee)
+        if callee is None:
+            return False
+        changed = False
+        for index, param in enumerate(callee.params):
+            if index >= instruction.num_args:
+                break
+            operand = preg_values.get(index)
+            if operand is None or not _is_pointer_symbol(param):
+                continue
+            regions = self._regions(operand)
+            if regions:
+                target = self.points_to.setdefault(param, set())
+                before = len(target)
+                target |= regions
+                changed = len(target) != before or changed
+        return changed
+
+    # ------------------------------------------------------------------
+    # Deref inventory and reachability.
+    # ------------------------------------------------------------------
+
+    def _scan_derefs(self):
+        for function in self.module.functions.values():
+            for instruction in function.instructions():
+                if not isinstance(instruction, (Load, Store)):
+                    continue
+                ref = instruction.ref
+                if ref.region_kind is RegionKind.POINTER:
+                    self._dereferenced.add(ref.region_symbol)
+                elif ref.region_kind is RegionKind.UNKNOWN:
+                    self._has_unknown_deref = True
+
+    def _compute_pointer_reachable(self):
+        """Scalar symbols that some executed dereference may touch."""
+        reachable = set()
+        unknown_somewhere = self._has_unknown_deref
+        for pointer in self._dereferenced:
+            for region in self.points_to.get(pointer, ()):  # noqa: B007
+                if region == UNKNOWN_REGION:
+                    unknown_somewhere = True
+                elif region[0] == "scalar":
+                    reachable.add(region[1])
+        if unknown_somewhere:
+            # An untracked pointer may target any address-taken scalar.
+            for function in self.module.functions.values():
+                for symbol in function.frame._offsets:
+                    if symbol.address_taken:
+                        reachable.add(symbol)
+            for symbol in self.module.globals:
+                if symbol.address_taken:
+                    reachable.add(symbol)
+        return reachable
+
+    # ------------------------------------------------------------------
+    # Classification (the oracle used by the unified model).
+    # ------------------------------------------------------------------
+
+    def classify(self, ref):
+        """Classify one :class:`RefInfo` as ambiguous or unambiguous."""
+        kind = ref.region_kind
+        if kind is RegionKind.DIRECT:
+            symbol = ref.region_symbol
+            if isinstance(symbol, SpillSlot):
+                return RefClass.UNAMBIGUOUS
+            if not symbol.address_taken:
+                return RefClass.UNAMBIGUOUS
+            if self.refine_points_to and symbol not in self._pointer_reachable:
+                return RefClass.UNAMBIGUOUS
+            return RefClass.AMBIGUOUS
+        return RefClass.AMBIGUOUS
+
+    def symbol_is_register_worthy(self, symbol):
+        """May this scalar live in a register across its whole range?"""
+        if isinstance(symbol, SpillSlot):
+            return False
+        if symbol.is_array() or symbol.is_global():
+            return False
+        if not symbol.address_taken:
+            return True
+        if self.refine_points_to:
+            return symbol not in self._pointer_reachable
+        return False
+
+    # ------------------------------------------------------------------
+    # Alias sets (reporting / Section 4.1.1.2).
+    # ------------------------------------------------------------------
+
+    def alias_sets(self):
+        """Alias sets over names, per the paper's closure construction."""
+        uf = UnionFind()
+        names = {}
+
+        def name_of(key, text):
+            names[key] = text
+            uf.find(key)
+            return key
+
+        for symbol in self._all_data_symbols():
+            if symbol.is_array():
+                name_of(("array", symbol), "{}[]".format(symbol.storage_name()))
+            else:
+                name_of(("scalar", symbol), symbol.storage_name())
+        unknown_key = None
+        if self._has_unknown_deref:
+            unknown_key = name_of(("deref", None), "*<unknown>")
+
+        for pointer in sorted(
+            self.points_to, key=lambda symbol: symbol.id
+        ):
+            deref_key = name_of(("deref", pointer), "*" + pointer.storage_name())
+            for region in self.points_to[pointer]:
+                if region == UNKNOWN_REGION:
+                    if unknown_key is None:
+                        unknown_key = name_of(("deref", None), "*<unknown>")
+                    uf.union(deref_key, unknown_key)
+                else:
+                    if region not in names:
+                        kind, symbol = region
+                        text = symbol.storage_name()
+                        if kind == "array":
+                            text += "[]"
+                        name_of(region, text)
+                    uf.union(deref_key, region)
+        if unknown_key is not None:
+            for key in list(names):
+                kind, symbol = key
+                if kind == "scalar" and symbol.address_taken:
+                    uf.union(unknown_key, key)
+                elif kind == "array" and symbol.escapes:
+                    uf.union(unknown_key, key)
+
+        groups = {}
+        for key in names:
+            groups.setdefault(uf.find(key), []).append(key)
+        result = []
+        for members in groups.values():
+            member_names = [names[key] for key in members]
+            ambiguous = len(members) > 1 or any(
+                key[0] in ("array", "deref") for key in members
+            )
+            if not ambiguous:
+                symbol = members[0][1]
+                ambiguous = bool(symbol.address_taken)
+            result.append(AliasSet(member_names, ambiguous))
+        result.sort(key=lambda alias_set: alias_set.names)
+        return result
+
+    def _all_data_symbols(self):
+        seen = []
+        for symbol in self.module.globals:
+            seen.append(symbol)
+        for function in self.module.functions.values():
+            for symbol in function.frame._offsets:
+                if not isinstance(symbol, SpillSlot):
+                    seen.append(symbol)
+        return seen
+
+
+def analyze_aliases(module, refine_points_to=False):
+    return AliasAnalysis(module, refine_points_to)

@@ -1,0 +1,100 @@
+"""A generic iterative dataflow solver over basic blocks.
+
+Problems describe their direction and per-block transfer as gen/kill
+sets; the solver iterates a worklist to the (unique, because all our
+transfer functions are monotone over finite powersets) fixpoint.
+"""
+
+from collections import deque
+
+from repro.ir.cfg import postorder, reverse_postorder
+
+
+class DataflowProblem:
+    """Subclass and fill in the four hooks.
+
+    * ``direction`` — ``"forward"`` or ``"backward"``.
+    * ``boundary()`` — set at the entry (forward) / exits (backward).
+    * ``initial()`` — starting value for interior blocks (∅ for may
+      problems, the universe for must problems).
+    * ``gen_kill(block)`` — returns ``(gen, kill)`` frozensets.
+    """
+
+    direction = "forward"
+
+    def boundary(self):
+        return frozenset()
+
+    def initial(self):
+        return frozenset()
+
+    def gen_kill(self, block):
+        raise NotImplementedError
+
+    def meet(self, values):
+        """Union by default (may analysis).  Override for must problems."""
+        result = set()
+        for value in values:
+            result |= value
+        return frozenset(result)
+
+
+def solve_dataflow(function, problem):
+    """Run ``problem`` on ``function``; returns ``{name: (in, out)}``."""
+    if problem.direction == "forward":
+        return _solve(function, problem, forward=True)
+    return _solve(function, problem, forward=False)
+
+
+def _solve(function, problem, forward):
+    blocks = function.block_list()
+    order = reverse_postorder(function) if forward else postorder(function)
+    gen = {}
+    kill = {}
+    for block in blocks:
+        gen[block.name], kill[block.name] = problem.gen_kill(block)
+
+    entry_name = function.entry_name
+    in_sets = {}
+    out_sets = {}
+    for block in blocks:
+        in_sets[block.name] = problem.initial()
+        out_sets[block.name] = problem.initial()
+
+    worklist = deque(order)
+    queued = {block.name for block in order}
+    while worklist:
+        block = worklist.popleft()
+        queued.discard(block.name)
+        if forward:
+            if block.name == entry_name:
+                preds_values = [problem.boundary()]
+            else:
+                preds_values = [out_sets[pred.name] for pred in block.preds]
+                if not preds_values:
+                    preds_values = [problem.boundary()]
+            new_in = problem.meet(preds_values)
+            new_out = frozenset((new_in - kill[block.name]) | gen[block.name])
+            in_sets[block.name] = new_in
+            if new_out != out_sets[block.name]:
+                out_sets[block.name] = new_out
+                for successor in block.succs:
+                    if successor.name not in queued:
+                        worklist.append(successor)
+                        queued.add(successor.name)
+        else:
+            succs_values = [in_sets[succ.name] for succ in block.succs]
+            if not succs_values:
+                succs_values = [problem.boundary()]
+            new_out = problem.meet(succs_values)
+            new_in = frozenset((new_out - kill[block.name]) | gen[block.name])
+            out_sets[block.name] = new_out
+            if new_in != in_sets[block.name]:
+                in_sets[block.name] = new_in
+                for pred in block.preds:
+                    if pred.name not in queued:
+                        worklist.append(pred)
+                        queued.add(pred.name)
+
+    return {block.name: (in_sets[block.name], out_sets[block.name])
+            for block in blocks}

@@ -1,0 +1,105 @@
+"""True-alias merging (paper Section 4.1.1.1, Definition 1).
+
+"The user-created names α and β can be merged into a single
+aliased-object name within some region of code iff the values
+associated with the names α and β are known to be the same throughout
+that region" — e.g. after ``p = &i``, references to ``i`` and ``*p``
+share one aliased-object name.
+
+The flow-insensitive realisation: when the points-to set of a pointer
+``p`` is exactly one region, every dereference of ``p`` *is* a
+reference to that region, so the compiler can rewrite the reference's
+metadata — and, for a scalar target, the access itself — to the direct
+form.  After the rewrite the pointer may no longer be the reason the
+scalar counts as pointer-reachable, letting the refined classification
+(``refine_points_to=True``) recover it as unambiguous and
+register-worthy.
+
+Soundness: flow-insensitively, ``p`` can never hold any other valid
+address (the only other values it could hold are null/uninitialised,
+whose dereference is undefined behaviour the VM traps anyway).
+"""
+
+from repro.analysis.alias import UNKNOWN_REGION
+from repro.ir.instructions import (
+    Load,
+    RefInfo,
+    RegionKind,
+    Store,
+    SymMem,
+)
+
+
+def _single_target(alias_analysis, pointer_symbol):
+    regions = alias_analysis.points_to.get(pointer_symbol)
+    if regions is None or len(regions) != 1:
+        return None
+    region = next(iter(regions))
+    if region == UNKNOWN_REGION:
+        return None
+    return region
+
+
+def merge_true_aliases(module, alias_analysis):
+    """Rewrite single-target dereferences module-wide.
+
+    * scalar target: the access becomes a direct ``SymMem`` reference
+      (the address register stays computed but unused; dead-code level
+      cost only);
+    * array target: the reference metadata is sharpened from
+      ``POINTER`` to ``ARRAY``, which improves memory-liveness
+      precision (the dereference no longer conservatively reads every
+      pointer-reachable scalar).
+
+    Returns counts of each rewrite kind.
+    """
+    scalars_redirected = 0
+    arrays_sharpened = 0
+    for function in module.functions.values():
+        for instruction in function.instructions():
+            if not isinstance(instruction, (Load, Store)):
+                continue
+            ref = instruction.ref
+            if ref.region_kind is not RegionKind.POINTER:
+                continue
+            target = _single_target(alias_analysis, ref.region_symbol)
+            if target is None:
+                continue
+            kind, symbol = target
+            if kind == "scalar":
+                # A direct rewrite is only addressable when the target
+                # lives in the global segment or in *this* function's
+                # frame — another function's local is reached through
+                # the pointer, not through our frame pointer.
+                if not (symbol.is_global()
+                        or function.frame.contains(symbol)):
+                    continue
+                new_ref = RefInfo(
+                    access_path=symbol.storage_name(),
+                    region_kind=RegionKind.DIRECT,
+                    region_symbol=symbol,
+                    origin=ref.origin,
+                )
+                instruction.mem = SymMem(symbol)
+                instruction.ref = new_ref
+                scalars_redirected += 1
+            elif kind == "array":
+                instruction.ref = RefInfo(
+                    access_path="{}[*]".format(symbol.storage_name()),
+                    region_kind=RegionKind.ARRAY,
+                    region_symbol=symbol,
+                    origin=ref.origin,
+                )
+                arrays_sharpened += 1
+    if scalars_redirected or arrays_sharpened:
+        # Deref inventories changed; refresh the analysis caches.
+        alias_analysis._dereferenced.clear()
+        alias_analysis._has_unknown_deref = False
+        alias_analysis._scan_derefs()
+        alias_analysis._pointer_reachable = (
+            alias_analysis._compute_pointer_reachable()
+        )
+    return {
+        "scalars_redirected": scalars_redirected,
+        "arrays_sharpened": arrays_sharpened,
+    }

@@ -1,0 +1,189 @@
+"""D-U chains and webs ("values, not variables").
+
+The paper (Section 4.1.1.1, Definition 2) splits a user name into one
+*aliased-object name per value* by merging U-D chains that share
+definitions.  For registers this is the classic *web* construction:
+definitions of the same register are unioned whenever they reach a
+common use, and each resulting web is an independently allocatable
+value.  After :func:`rename_webs` every web owns a fresh virtual
+register, so the register allocator automatically works on values.
+"""
+
+from repro.analysis.reaching import ReachingDefs
+from repro.ir.instructions import VReg
+
+
+class UnionFind:
+    """Tiny union-find with path compression."""
+
+    def __init__(self):
+        self.parent = {}
+
+    def find(self, item):
+        parent = self.parent.setdefault(item, item)
+        if parent is item or parent == item:
+            return parent
+        root = self.find(parent)
+        self.parent[item] = root
+        return root
+
+    def union(self, a, b):
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a != root_b:
+            self.parent[root_b] = root_a
+        return self.find(a)
+
+    def groups(self):
+        result = {}
+        for item in list(self.parent):
+            result.setdefault(self.find(item), []).append(item)
+        return result
+
+
+class DefUseChains:
+    """For every use site, the def sites that reach it (register level)."""
+
+    def __init__(self, function):
+        self.function = function
+        self.use_to_defs = {}  # (block, index, reg) -> frozenset[def site]
+        self.def_to_uses = {}  # def site -> set[(block, index, reg)]
+        reaching = ReachingDefs(function)
+        for block in function.block_list():
+            per_inst = reaching.defs_reaching_uses(block)
+            for index, uses in enumerate(per_inst):
+                for register, def_sites in uses.items():
+                    use_site = (block.name, index, register)
+                    self.use_to_defs[use_site] = def_sites
+                    for def_site in def_sites:
+                        self.def_to_uses.setdefault(def_site, set()).add(use_site)
+
+
+class Web:
+    """One value: a maximal def/use closure of a single register."""
+
+    def __init__(self, register, defs, uses):
+        self.register = register
+        self.defs = frozenset(defs)
+        self.uses = frozenset(uses)
+
+    def __repr__(self):
+        return "Web({}, {} defs, {} uses)".format(
+            self.register, len(self.defs), len(self.uses)
+        )
+
+
+def build_du_chains(function):
+    return DefUseChains(function)
+
+
+def build_webs(function, chains=None):
+    """Group defs/uses of each virtual register into webs.
+
+    Physical registers are ABI-fixed and never form webs.
+    """
+    if chains is None:
+        chains = DefUseChains(function)
+    uf = UnionFind()
+    # Union all defs that reach a common use.
+    for use_site, def_sites in chains.use_to_defs.items():
+        register = use_site[2]
+        if not isinstance(register, VReg):
+            continue
+        def_list = [site for site in def_sites]
+        for def_site in def_list:
+            uf.union(def_list[0], def_site)
+
+    # Collect all def sites (including dead defs with no uses).
+    all_defs = {}
+    for block in function.block_list():
+        for index, instruction in enumerate(block.instructions):
+            for register in instruction.defs():
+                if isinstance(register, VReg):
+                    site = (block.name, index, register)
+                    uf.find(site)
+                    all_defs[site] = True
+
+    webs = []
+    web_of_def = {}
+    groups = uf.groups()
+    for root, def_sites in groups.items():
+        register = root[2]
+        uses = set()
+        for def_site in def_sites:
+            uses |= chains.def_to_uses.get(def_site, set())
+        web = Web(register, def_sites, uses)
+        webs.append(web)
+        for def_site in def_sites:
+            web_of_def[def_site] = web
+    return webs, web_of_def
+
+
+def rename_webs(function):
+    """Give every web its own fresh virtual register.
+
+    Returns the list of (web, new_register) pairs.  Uses with no
+    reaching definition keep their original register (they can only be
+    reached along no path, or read an uninitialised value).
+    """
+    chains = DefUseChains(function)
+    webs, _web_of_def = build_webs(function, chains)
+
+    # Decide the new register of each web; single-web registers keep
+    # their register to limit churn in dumps.
+    webs_by_register = {}
+    for web in webs:
+        webs_by_register.setdefault(web.register, []).append(web)
+    renamed = []
+    def_map = {}  # def site -> new register
+    use_map = {}  # use site -> new register
+    for register, register_webs in webs_by_register.items():
+        for ordinal, web in enumerate(register_webs):
+            if len(register_webs) == 1:
+                new_register = register
+            else:
+                new_register = function.new_vreg(
+                    "{}w{}".format(register.hint or "v", ordinal)
+                )
+            renamed.append((web, new_register))
+            for def_site in web.defs:
+                def_map[def_site] = new_register
+            for use_site in web.uses:
+                use_map[use_site] = new_register
+
+    for block in function.block_list():
+        for index, instruction in enumerate(block.instructions):
+            _rewrite_instruction(instruction, block.name, index, def_map, use_map)
+    return renamed
+
+
+def _rewrite_instruction(instruction, block_name, index, def_map, use_map):
+    relevant = {}
+    for register in instruction.defs():
+        if not isinstance(register, VReg):
+            continue
+        new_register = def_map.get((block_name, index, register))
+        if new_register is not None and new_register is not register:
+            relevant[register] = ("def", new_register)
+    for register in instruction.uses():
+        if not isinstance(register, VReg):
+            continue
+        new_register = use_map.get((block_name, index, register))
+        if new_register is not None and new_register is not register:
+            previous = relevant.get(register)
+            if previous is not None and previous[1] is not new_register:
+                raise AssertionError(
+                    "instruction both defines and uses {} in different webs"
+                    .format(register)
+                )
+            relevant[register] = ("use", new_register)
+    if not relevant:
+        return
+
+    def mapping(register):
+        entry = relevant.get(register)
+        if entry is None:
+            return register
+        return entry[1]
+
+    instruction.rewrite_registers(mapping)

@@ -1,0 +1,74 @@
+"""Live-register analysis (virtual and physical registers together).
+
+Classic backward may-analysis: a register is live at a point if some
+path from that point reads it before writing it.  Register allocation
+builds interference from this; last-use marking and the spill rewriter
+consume the per-instruction walk helpers.
+"""
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+
+
+class _LivenessProblem(DataflowProblem):
+    direction = "backward"
+
+    def gen_kill(self, block):
+        gen = set()   # upward-exposed uses
+        kill = set()  # defs
+        for instruction in block.instructions:
+            for register in instruction.uses():
+                if register not in kill:
+                    gen.add(register)
+            for register in instruction.defs():
+                kill.add(register)
+        return frozenset(gen), frozenset(kill)
+
+
+class LivenessInfo:
+    """Block-level live-in/live-out plus instruction-level walking."""
+
+    def __init__(self, function):
+        self.function = function
+        solution = solve_dataflow(function, _LivenessProblem())
+        self.live_in = {name: in_set for name, (in_set, _out) in solution.items()}
+        self.live_out = {name: out_set for name, (_in, out_set) in solution.items()}
+
+    def walk_block_backward(self, block):
+        """Yield ``(index, instruction, live_after)`` from last to first.
+
+        ``live_after`` is the live set immediately *after* the
+        instruction executes.
+        """
+        live = set(self.live_out[block.name])
+        for index in range(len(block.instructions) - 1, -1, -1):
+            instruction = block.instructions[index]
+            yield index, instruction, frozenset(live)
+            for register in instruction.defs():
+                live.discard(register)
+            for register in instruction.uses():
+                live.add(register)
+
+    def live_after_each(self, block):
+        """List of live-after sets, aligned with ``block.instructions``."""
+        after = [None] * len(block.instructions)
+        for index, _instruction, live_after in self.walk_block_backward(block):
+            after[index] = live_after
+        return after
+
+    def live_before_each(self, block):
+        """List of live-before sets, aligned with ``block.instructions``."""
+        result = []
+        for instruction, live_after in zip(
+            block.instructions, self.live_after_each(block)
+        ):
+            before = set(live_after)
+            for register in instruction.defs():
+                before.discard(register)
+            for register in instruction.uses():
+                before.add(register)
+            result.append(frozenset(before))
+        return result
+
+
+def compute_liveness(function):
+    return LivenessInfo(function)

@@ -1,0 +1,137 @@
+"""Liveness of memory-resident scalar values (paper Section 3.1).
+
+The paper's Definition 1 gives the live range of a *value*; when the
+value lives in memory rather than a register, knowing that a load is
+the **last use** lets the compiler set the kill bit so the cache can
+mark the line empty (and skip the write-back of a dead dirty line).
+
+This is a backward may-analysis over directly addressed scalar
+locations.  Conservatism:
+
+* a dereference (pointer/array/unknown region) *uses* every scalar it
+  may reach, per the alias analysis;
+* a call uses and defines every global scalar and everything reachable
+  from pointers (our functions may read/write globals freely);
+* address-taken locals are treated as used by any call as well (a
+  callee may hold a pointer to them).
+"""
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.ir.function import SpillSlot
+from repro.ir.instructions import Call, Load, RegionKind, Store, SymMem
+
+
+class _MemLivenessProblem(DataflowProblem):
+    direction = "backward"
+
+    def __init__(self, summaries, exit_live):
+        self._summaries = summaries
+        self._exit_live = frozenset(exit_live)
+
+    def boundary(self):
+        # Globals and address-taken locals must be treated as live at
+        # return: the caller (or a saved pointer) may still read them.
+        return self._exit_live
+
+    def gen_kill(self, block):
+        gen = set()
+        kill = set()
+        for instruction in block.instructions:
+            uses, defs = self._summaries(instruction)
+            for symbol in uses:
+                if symbol not in kill:
+                    gen.add(symbol)
+            kill |= defs
+        return frozenset(gen), frozenset(kill)
+
+
+class MemoryLiveness:
+    """Per-function liveness of scalar memory locations."""
+
+    def __init__(self, function, module, alias_analysis):
+        self.function = function
+        self.module = module
+        self.alias = alias_analysis
+        self._globals = frozenset(
+            symbol for symbol in module.globals if symbol.is_scalar()
+        )
+        self._escaped_locals = frozenset(
+            symbol
+            for symbol in function.frame._offsets
+            if not isinstance(symbol, SpillSlot)
+            and symbol.is_scalar()
+            and symbol.address_taken
+        )
+        exit_live = self._globals | self._escaped_locals
+        solution = solve_dataflow(
+            function, _MemLivenessProblem(self._summaries, exit_live)
+        )
+        self.live_in = {name: in_set for name, (in_set, _o) in solution.items()}
+        self.live_out = {name: out for name, (_i, out) in solution.items()}
+
+    # ------------------------------------------------------------------
+
+    def _deref_may_use(self, ref):
+        """Scalars possibly read/written by an indirect reference."""
+        if ref.region_kind is RegionKind.POINTER:
+            result = set()
+            unknown = False
+            for region in self.alias.points_to.get(ref.region_symbol, ()):
+                if region[0] == "scalar":
+                    result.add(region[1])
+                elif region[0] == "unknown":
+                    unknown = True
+            if unknown:
+                result |= self.alias._pointer_reachable
+            return result
+        if ref.region_kind is RegionKind.UNKNOWN:
+            return set(self.alias._pointer_reachable)
+        return set()
+
+    def _summaries(self, instruction):
+        """(uses, defs) over scalar memory locations for one instruction."""
+        if isinstance(instruction, Load):
+            if isinstance(instruction.mem, SymMem):
+                return {instruction.mem.symbol}, set()
+            return self._deref_may_use(instruction.ref), set()
+        if isinstance(instruction, Store):
+            if isinstance(instruction.mem, SymMem):
+                return set(), {instruction.mem.symbol}
+            # A may-def through a pointer is not a must-def: it kills
+            # nothing, and it does not read the scalar either.
+            return set(), set()
+        if isinstance(instruction, Call):
+            uses = set(self._globals) | set(self._escaped_locals)
+            # Calls may also write them, but a may-def kills nothing.
+            return uses, set()
+        return set(), set()
+
+    # ------------------------------------------------------------------
+
+    def last_use_loads(self):
+        """Yield every Load instruction that is the last use of its value.
+
+        A direct scalar load is a last use when the location is dead
+        immediately after the load (no later read before a redefinition
+        on every path).
+        """
+        result = []
+        for block in self.function.block_list():
+            live = set(self.live_out[block.name])
+            for index in range(len(block.instructions) - 1, -1, -1):
+                instruction = block.instructions[index]
+                uses, defs = self._summaries(instruction)
+                live_after = frozenset(live)
+                live -= defs
+                live |= uses
+                if (
+                    isinstance(instruction, Load)
+                    and isinstance(instruction.mem, SymMem)
+                    and instruction.mem.symbol not in live_after
+                ):
+                    result.append(instruction)
+        return result
+
+
+def compute_memory_liveness(function, module, alias_analysis):
+    return MemoryLiveness(function, module, alias_analysis)

@@ -1,0 +1,71 @@
+"""Reaching definitions over registers.
+
+A definition site is identified as ``(block_name, index)``; the def-use
+chain builder joins these with uses to recover the paper's D-U chains
+(Definition 1/2 in Section 4.1.1.1 are phrased in exactly these terms).
+"""
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+
+
+class _ReachingProblem(DataflowProblem):
+    direction = "forward"
+
+    def __init__(self, function):
+        # All def sites per register, for kill sets.
+        self.defs_of = {}
+        for block in function.block_list():
+            for index, instruction in enumerate(block.instructions):
+                for register in instruction.defs():
+                    self.defs_of.setdefault(register, set()).add(
+                        (block.name, index, register)
+                    )
+
+    def gen_kill(self, block):
+        gen = {}
+        kill = set()
+        for index, instruction in enumerate(block.instructions):
+            for register in instruction.defs():
+                site = (block.name, index, register)
+                kill |= self.defs_of[register]
+                gen = {
+                    reg: s for reg, s in gen.items() if reg is not register
+                }
+                gen[register] = site
+        gen_set = frozenset(gen.values())
+        return gen_set, frozenset(kill - gen_set)
+
+
+class ReachingDefs:
+    """Per-block reaching-definition sets plus per-use resolution."""
+
+    def __init__(self, function):
+        self.function = function
+        problem = _ReachingProblem(function)
+        solution = solve_dataflow(function, problem)
+        self.reach_in = {name: in_set for name, (in_set, _o) in solution.items()}
+        self.reach_out = {name: out for name, (_i, out) in solution.items()}
+
+    def defs_reaching_uses(self, block):
+        """For each instruction, the defs of each used register.
+
+        Returns a list aligned with ``block.instructions``; each element
+        maps a used register to the frozenset of def sites that reach
+        that use.
+        """
+        current = {}
+        for site in self.reach_in[block.name]:
+            current.setdefault(site[2], set()).add(site)
+        result = []
+        for index, instruction in enumerate(block.instructions):
+            uses = {}
+            for register in instruction.uses():
+                uses[register] = frozenset(current.get(register, ()))
+            result.append(uses)
+            for register in instruction.defs():
+                current[register] = {(block.name, index, register)}
+        return result
+
+
+def compute_reaching_defs(function):
+    return ReachingDefs(function)

@@ -1,0 +1,45 @@
+"""Loop-weighted usage counts (Freiburghouse 1974).
+
+``symbol_use_counts`` drives the usage-count promotion policy: how many
+times each memory-resident scalar is referenced, weighting a reference
+at loop depth ``d`` by ``10**d``.  ``web_spill_costs`` provides the same
+estimate for webs, used as the Chaitin spill heuristic numerator.
+"""
+
+from repro.ir.instructions import Load, Store, SymMem
+from repro.ir.loops import LoopInfo
+
+
+def symbol_use_counts(function, loop_info=None):
+    """Weighted reference counts of directly accessed scalar symbols."""
+    if loop_info is None:
+        loop_info = LoopInfo(function)
+    counts = {}
+    for block in function.block_list():
+        weight = loop_info.weight_of(block.name)
+        for instruction in block.instructions:
+            if isinstance(instruction, (Load, Store)) and isinstance(
+                instruction.mem, SymMem
+            ):
+                symbol = instruction.mem.symbol
+                counts[symbol] = counts.get(symbol, 0) + weight
+    return counts
+
+
+def web_spill_costs(function, webs, loop_info=None):
+    """Weighted def+use counts per web (spill cost estimate).
+
+    Returns ``{web: cost}`` where cost approximates the number of
+    memory operations spilling that web would add at run time.
+    """
+    if loop_info is None:
+        loop_info = LoopInfo(function)
+    costs = {}
+    for web in webs:
+        cost = 0
+        for block_name, _index, _register in web.defs:
+            cost += loop_info.weight_of(block_name)
+        for block_name, _index, _register in web.uses:
+            cost += loop_info.weight_of(block_name)
+        costs[web] = cost
+    return costs

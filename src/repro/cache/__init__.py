@@ -1,0 +1,27 @@
+"""Trace-driven data-cache simulation with bypass and kill support.
+
+The paper assumes a data cache with **line size one** (Section 1); the
+simulator defaults to that but supports longer lines so the ablation
+benches can show *why* line size one is preferred for data.
+
+Replacement policies: LRU, FIFO, Random, and Belady's MIN (offline),
+each combined with the paper's dead-line modification (Section 3.2):
+a kill-marked reference empties the line immediately — or, in
+``demote`` mode, merely makes it least recently used — and a dead dirty
+line is dropped without a write-back.
+"""
+
+from repro.cache.stats import CacheStats
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.belady import simulate_min
+from repro.cache.replay import replay_trace
+from repro.cache.functional import DataCachedMemory
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "simulate_min",
+    "replay_trace",
+    "DataCachedMemory",
+]

@@ -1,0 +1,148 @@
+"""Belady's MIN replacement, offline, with the dead-line modification.
+
+MIN evicts the block whose next use lies farthest in the future
+[Bel66].  It needs the whole trace up front, so it is implemented as a
+two-pass trace simulator rather than an online policy.  The paper
+(Section 3.2) notes the dead-marking idea applies to MIN as well: a
+kill-marked reference tells MIN the block's next use is at infinity
+*and* that its dirty data need not be written back.
+"""
+
+from repro.cache.cache import CacheConfig
+from repro.cache.stats import CacheStats
+from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE
+
+_INFINITY = float("inf")
+
+
+def _next_use_positions(trace, config):
+    """For each reference index, the index of the next through-cache
+    reference to the same block (or infinity)."""
+    line_words = config.line_words
+    honor_bypass = config.honor_bypass
+    next_use = [0] * len(trace)
+    last_seen = {}
+    addresses = trace.addresses
+    flags_array = trace.flags
+    for index in range(len(trace) - 1, -1, -1):
+        flags = flags_array[index]
+        if honor_bypass and flags & FLAG_BYPASS:
+            next_use[index] = -1  # Marker: not a through-cache reference.
+            continue
+        block = addresses[index] // line_words
+        next_use[index] = last_seen.get(block, _INFINITY)
+        last_seen[block] = index
+    return next_use
+
+
+def simulate_min(trace, config=None, **kwargs):
+    """Simulate ``trace`` under MIN replacement; returns CacheStats.
+
+    The bypass path behaves exactly as in the online simulator; only
+    the victim choice differs.
+    """
+    if config is None:
+        config = CacheConfig(policy="lru", **kwargs)  # policy field unused
+    stats = CacheStats()
+    next_use = _next_use_positions(trace, config)
+    num_sets = config.num_sets
+    line_words = config.line_words
+    assoc = config.associativity
+
+    # Per set: {block: [next_use, dirty, dead]}.
+    sets = [dict() for _ in range(num_sets)]
+
+    for index, (address, flags) in enumerate(trace):
+        stats.refs_total += 1
+        is_write = bool(flags & FLAG_WRITE)
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        bypass = bool(flags & FLAG_BYPASS) and config.honor_bypass
+        kill = bool(flags & FLAG_KILL) and config.honor_kill
+        block = address // line_words
+        lines = sets[block % num_sets]
+
+        if bypass:
+            stats.refs_bypassed += 1
+            entry = lines.get(block)
+            if is_write:
+                stats.words_to_memory += 1
+                stats.bypass_writes += 1
+                if entry is not None:
+                    stats.probe_hits += 1
+                    del lines[block]
+            else:
+                if entry is not None:
+                    stats.probe_hits += 1
+                    stats.bypass_read_hits += 1
+                    if entry[1]:
+                        if kill:
+                            stats.dead_drops += 1
+                        else:
+                            stats.writebacks += 1
+                            stats.words_to_memory += line_words
+                    del lines[block]
+                else:
+                    stats.words_from_memory += 1
+                    stats.bypass_reads_from_memory += 1
+                if kill:
+                    stats.kills += 1
+            continue
+
+        stats.refs_cached += 1
+        entry = lines.get(block)
+        if entry is not None:
+            stats.hits += 1
+            entry[0] = next_use[index]
+            if is_write:
+                entry[1] = True
+            entry[2] = False
+            if kill:
+                _kill_entry(stats, lines, block, entry, config)
+            continue
+
+        stats.misses += 1
+        if kill and not is_write:
+            stats.kills += 1
+            stats.words_from_memory += 1
+            continue
+        if len(lines) >= assoc:
+            victim_block = _choose_min_victim(lines)
+            victim = lines.pop(victim_block)
+            stats.evictions += 1
+            if victim[1]:
+                stats.writebacks += 1
+                stats.words_to_memory += line_words
+        lines[block] = [next_use[index], is_write, False]
+        if not (is_write and line_words == 1):
+            stats.words_from_memory += line_words
+        if kill:
+            _kill_entry(stats, lines, block, lines[block], config)
+    return stats
+
+
+def _kill_entry(stats, lines, block, entry, config):
+    stats.kills += 1
+    if config.kill_mode == "invalidate" and config.line_words == 1:
+        if entry[1]:
+            stats.dead_drops += 1
+        del lines[block]
+        stats.dead_line_frees += 1
+    else:
+        entry[2] = True
+
+
+def _choose_min_victim(lines):
+    """Dead lines first, then the block used farthest in the future."""
+    best_block = None
+    best_key = None
+    for block, (next_use_pos, _dirty, dead) in lines.items():
+        key = (0 if dead else 1, -next_use_pos if next_use_pos != _INFINITY else -_INFINITY)
+        # We want: dead first; then farthest next use.  Compare via
+        # tuple where smaller wins: dead -> 0, farther -> smaller.
+        if best_key is None or key < best_key:
+            best_key = key
+            best_block = block
+    return best_block

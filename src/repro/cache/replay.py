@@ -1,0 +1,29 @@
+"""Replay recorded traces through cache models."""
+
+from repro.cache.belady import simulate_min
+from repro.cache.cache import Cache, CacheConfig
+from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE
+
+
+def replay_trace(trace, config=None, **kwargs):
+    """Run ``trace`` through a cache built from ``config``.
+
+    ``config.policy`` may also be ``"min"``, which dispatches to the
+    offline Belady simulator.  Returns the resulting CacheStats.
+    """
+    if config is None:
+        policy = kwargs.pop("policy", "lru")
+        if policy == "min":
+            return simulate_min(trace, **kwargs)
+        config = CacheConfig(policy=policy, **kwargs)
+
+    cache = Cache(config)
+    access = cache.access
+    for address, flags in trace:
+        access(
+            address,
+            bool(flags & FLAG_WRITE),
+            bool(flags & FLAG_BYPASS),
+            bool(flags & FLAG_KILL),
+        )
+    return cache.stats

@@ -1,0 +1,114 @@
+"""Cache statistics and the traffic metrics the paper reports."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Everything the experiment harness reads off a simulation.
+
+    Traffic metric definitions:
+
+    * ``refs_cached`` — processor references that go *through* the
+      cache (the paper's "memory traffic in data cache"; Figure 5
+      reports the reduction of this quantity).
+    * ``refs_bypassed`` — references served by the bypass path.
+    * ``words_from_memory`` / ``words_to_memory`` — bus traffic between
+      cache/processor and main memory, in words.
+    """
+
+    refs_total: int = 0
+    reads: int = 0
+    writes: int = 0
+    refs_cached: int = 0
+    refs_bypassed: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    words_from_memory: int = 0
+    words_to_memory: int = 0
+    probe_hits: int = 0
+    kills: int = 0
+    dead_drops: int = 0
+    dead_line_frees: int = 0
+    # Bypass-path breakdown (refs_bypassed = the sum of these three).
+    bypass_read_hits: int = 0
+    bypass_reads_from_memory: int = 0
+    bypass_writes: int = 0
+
+    @property
+    def miss_rate(self):
+        """Miss rate of the references that used the cache."""
+        if self.refs_cached == 0:
+            return 0.0
+        return self.misses / self.refs_cached
+
+    @property
+    def hit_rate(self):
+        if self.refs_cached == 0:
+            return 0.0
+        return self.hits / self.refs_cached
+
+    @property
+    def bus_words(self):
+        return self.words_from_memory + self.words_to_memory
+
+    @property
+    def percent_bypassed(self):
+        if self.refs_total == 0:
+            return 0.0
+        return 100.0 * self.refs_bypassed / self.refs_total
+
+    def cache_traffic_reduction_vs(self, baseline):
+        """Percent reduction of through-cache reference traffic."""
+        if baseline.refs_cached == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.refs_cached / baseline.refs_cached)
+
+    def bus_traffic_reduction_vs(self, baseline):
+        """Percent reduction of cache<->memory bus words."""
+        if baseline.bus_words == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.bus_words / baseline.bus_words)
+
+    def as_dict(self):
+        return {
+            "refs_total": self.refs_total,
+            "reads": self.reads,
+            "writes": self.writes,
+            "refs_cached": self.refs_cached,
+            "refs_bypassed": self.refs_bypassed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": round(self.miss_rate, 4),
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "words_from_memory": self.words_from_memory,
+            "words_to_memory": self.words_to_memory,
+            "bus_words": self.bus_words,
+            "probe_hits": self.probe_hits,
+            "kills": self.kills,
+            "dead_drops": self.dead_drops,
+            "dead_line_frees": self.dead_line_frees,
+            "bypass_read_hits": self.bypass_read_hits,
+            "bypass_reads_from_memory": self.bypass_reads_from_memory,
+            "bypass_writes": self.bypass_writes,
+        }
+
+
+@dataclass
+class ComparisonRow:
+    """Unified-vs-conventional comparison for one workload."""
+
+    name: str
+    unified: CacheStats = field(default=None)
+    conventional: CacheStats = field(default=None)
+
+    @property
+    def cache_traffic_reduction(self):
+        return self.unified.cache_traffic_reduction_vs(self.conventional)
+
+    @property
+    def bus_traffic_reduction(self):
+        return self.unified.bus_traffic_reduction_vs(self.conventional)

@@ -1,0 +1,78 @@
+"""Analytic memory-access-time model (paper Section 4.4).
+
+The paper argues that "reserving a control bit to obtain speedups of
+total memory access time by factors of 2 or more is virtually always
+worthwhile."  This model turns simulated :class:`CacheStats` into
+cycle counts so that claim can be checked against measured reference
+mixes.
+
+Latency defaults are era-plausible: a cache hit costs one cycle, main
+memory ten (the paper's "high off-chip to on-chip memory access
+ratio").  Register references cost zero and never reach the memory
+system — which is the unified model's point: the dominant term of the
+speedup comes from value references that left the memory system when
+their values moved to registers, and the bypass bit is what makes
+that safe without polluting the cache.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Cycle costs of the memory-system events."""
+
+    cache_hit_cycles: int = 1
+    memory_cycles: int = 10
+    #: Tag-check cycles a through-cache miss pays before its fill.
+    miss_detect_cycles: int = 1
+
+    def cycles(self, stats):
+        """Total memory-access cycles implied by ``stats``.
+
+        * through-cache hit — one cache access;
+        * through-cache miss — tag check, plus the fill from memory
+          when one happened (write-allocate misses with line size one
+          fetch nothing and pay only the tag check);
+        * bypass read — cache speed on a probe hit, memory speed
+          otherwise;
+        * bypass write — memory speed (no write buffer modelled);
+        * write-backs and dead drops are buffered off the critical
+          path: bus occupancy (already in ``words_to_memory``), not
+          latency.
+        """
+        fill_words = stats.words_from_memory - stats.bypass_reads_from_memory
+        cycles = 0
+        cycles += stats.hits * self.cache_hit_cycles
+        cycles += stats.misses * self.miss_detect_cycles
+        cycles += fill_words * self.memory_cycles
+        cycles += stats.bypass_read_hits * self.cache_hit_cycles
+        cycles += stats.bypass_reads_from_memory * self.memory_cycles
+        cycles += stats.bypass_writes * self.memory_cycles
+        return cycles
+
+    def average_access_time(self, stats):
+        if stats.refs_total == 0:
+            return 0.0
+        return self.cycles(stats) / stats.refs_total
+
+
+def value_reference_time(stats, refs_in_registers=0, model=None,
+                         register_cycles=0):
+    """Total cycles to service *all* value references of a program.
+
+    ``refs_in_registers`` counts references the allocator satisfied
+    from registers (the difference between the promotion-none
+    reference count and this compilation's memory-reference count);
+    they cost ``register_cycles`` each — zero by default, since a
+    register read is part of the instruction (the paper's benefit [1]).
+    """
+    model = model or LatencyModel()
+    return model.cycles(stats) + refs_in_registers * register_cycles
+
+
+def access_time_speedup(baseline_cycles, improved_cycles):
+    """Plain ratio with a zero guard."""
+    if improved_cycles == 0:
+        return float("inf")
+    return baseline_cycles / improved_cycles

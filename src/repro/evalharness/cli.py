@@ -1,0 +1,135 @@
+"""Command-line entry points.
+
+* ``repro-figure5`` — regenerate the paper's Figure 5 table/chart.
+* ``repro-compile`` — compile a MiniC file and dump the annotated IR.
+* ``repro-run`` — compile and execute a MiniC file, with cache stats.
+"""
+
+import argparse
+import sys
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+from repro.evalharness.experiment import DEFAULT_CACHE
+from repro.evalharness.figure5 import figure5_table, format_figure5
+from repro.ir.printer import format_module
+from repro.programs import BENCHMARK_NAMES
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+
+
+def _compile_options(args):
+    return CompilationOptions(
+        scheme=args.scheme,
+        promotion=args.promotion,
+        promotion_budget=args.budget,
+        kill_bits=not args.no_kill_bits,
+        spill_to_cache=not args.spill_bypass,
+        bypass_user_refs=not args.hybrid,
+        merge_true_aliases=args.merge_true_aliases,
+        refine_points_to=args.refine_points_to,
+        cache_globals_in_blocks=args.cache_globals,
+    )
+
+
+def _add_compile_args(parser):
+    parser.add_argument(
+        "--scheme", choices=["unified", "conventional"], default="unified"
+    )
+    parser.add_argument(
+        "--promotion", choices=["none", "modest", "aggressive"],
+        default="modest",
+    )
+    parser.add_argument("--budget", type=int, default=6,
+                        help="modest-promotion budget per function")
+    parser.add_argument("--no-kill-bits", action="store_true")
+    parser.add_argument("--spill-bypass", action="store_true",
+                        help="route spills around the cache (ablation)")
+    parser.add_argument("--hybrid", action="store_true",
+                        help="bypass only register-boundary traffic "
+                             "(EXPERIMENTS.md E14)")
+    parser.add_argument("--merge-true-aliases", action="store_true",
+                        help="rewrite single-target derefs to direct "
+                             "references (paper Definition 1)")
+    parser.add_argument("--refine-points-to", action="store_true",
+                        help="points-to-refined classification")
+    parser.add_argument("--cache-globals", action="store_true",
+                        help="block-local register caching of "
+                             "unambiguous globals")
+
+
+def main_figure5(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Reproduce Figure 5 of Chi & Dietz (PLDI 1989)."
+    )
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="paper-sized workloads (minutes, not seconds)")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        choices=list(BENCHMARK_NAMES))
+    parser.add_argument("--cache-words", type=int,
+                        default=DEFAULT_CACHE.size_words)
+    parser.add_argument("--associativity", type=int,
+                        default=DEFAULT_CACHE.associativity)
+    parser.add_argument("--policy", default=DEFAULT_CACHE.policy,
+                        choices=["lru", "fifo", "random"])
+    args = parser.parse_args(argv)
+    cache = CacheConfig(
+        size_words=args.cache_words,
+        line_words=1,
+        associativity=args.associativity,
+        policy=args.policy,
+    )
+    rows = figure5_table(
+        paper_scale=args.paper_scale,
+        cache_config=cache,
+        names=tuple(args.benchmarks) if args.benchmarks else BENCHMARK_NAMES,
+    )
+    print(format_figure5(rows))
+    return 0
+
+
+def main_compile(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compile MiniC and dump the annotated machine IR."
+    )
+    parser.add_argument("file", help="MiniC source file ('-' for stdin)")
+    _add_compile_args(parser)
+    args = parser.parse_args(argv)
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    program = compile_source(source, _compile_options(args))
+    print(format_module(program.module))
+    print()
+    print("alias sets:")
+    for alias_set in program.alias_sets():
+        print("  ", alias_set)
+    print()
+    for label, value in program.static.rows():
+        print("{:28s} {}".format(label, value))
+    return 0
+
+
+def main_run(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compile and execute MiniC; print output and cache stats."
+    )
+    parser.add_argument("file", help="MiniC source file ('-' for stdin)")
+    _add_compile_args(parser)
+    parser.add_argument("--cache-words", type=int,
+                        default=DEFAULT_CACHE.size_words)
+    args = parser.parse_args(argv)
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    program = compile_source(source, _compile_options(args))
+    memory = RecordingMemory()
+    result = program.run(memory=memory)
+    for value in result.output:
+        print(value)
+    stats = replay_trace(
+        memory.buffer,
+        size_words=args.cache_words,
+        associativity=DEFAULT_CACHE.associativity,
+    )
+    print("-- executed {} instructions, {} data references".format(
+        result.steps, len(memory.buffer)))
+    for key, value in stats.as_dict().items():
+        print("{:20s} {}".format(key, value))
+    return 0

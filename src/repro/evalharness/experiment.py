@@ -1,0 +1,134 @@
+"""Run one benchmark through the whole measurement pipeline.
+
+One VM execution produces one annotated reference trace; the unified
+and conventional cache numbers both come from replaying that same
+trace (the conventional cache simply ignores the bypass/kill bits,
+which yields exactly the reference stream conventional code would
+produce, since annotations never change the instruction sequence —
+``tests/test_pipeline.py`` locks that invariant).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+from repro.lang.errors import VMError
+from repro.programs import get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+
+#: The default simulated data cache: 256 words on chip (the paper's
+#: "typical cache implemented on the processor chip contains 128 to 256
+#: words"), line size one (Section 1's stated assumption), 4-way LRU.
+DEFAULT_CACHE = CacheConfig(size_words=256, line_words=1, associativity=4,
+                            policy="lru")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured for one benchmark under one configuration."""
+
+    name: str
+    options: CompilationOptions
+    cache_config: CacheConfig
+    static: object
+    dynamic: dict
+    unified_stats: object
+    conventional_stats: object
+    output: tuple
+    steps: int
+    trace: object = field(default=None, repr=False)
+
+    @property
+    def static_percent_unambiguous(self):
+        return self.static.percent_unambiguous
+
+    @property
+    def dynamic_percent_unambiguous(self):
+        if self.dynamic["total"] == 0:
+            return 0.0
+        return 100.0 * self.dynamic["unambiguous"] / self.dynamic["total"]
+
+    @property
+    def dynamic_percent_bypassed(self):
+        if self.dynamic["total"] == 0:
+            return 0.0
+        return 100.0 * self.dynamic["bypassed"] / self.dynamic["total"]
+
+    @property
+    def cache_traffic_reduction(self):
+        return self.unified_stats.cache_traffic_reduction_vs(
+            self.conventional_stats
+        )
+
+    @property
+    def bus_traffic_reduction(self):
+        return self.unified_stats.bus_traffic_reduction_vs(
+            self.conventional_stats
+        )
+
+
+def run_compiled(
+    name,
+    program,
+    expected_output=None,
+    cache_config=DEFAULT_CACHE,
+    keep_trace=False,
+):
+    """Trace an already-compiled program and simulate both schemes."""
+    memory = RecordingMemory()
+    result = program.run(memory=memory)
+    if expected_output is not None and tuple(result.output) != tuple(
+        expected_output
+    ):
+        raise VMError(
+            "benchmark {} produced {} instead of {}".format(
+                name, result.output, list(expected_output)
+            )
+        )
+    trace = memory.buffer
+
+    unified_stats = replay_trace(trace, cache_config)
+    baseline_config = CacheConfig(
+        size_words=cache_config.size_words,
+        line_words=cache_config.line_words,
+        associativity=cache_config.associativity,
+        policy=cache_config.policy,
+        honor_bypass=False,
+        honor_kill=False,
+        kill_mode=cache_config.kill_mode,
+        seed=cache_config.seed,
+    )
+    conventional_stats = replay_trace(trace, baseline_config)
+
+    return ExperimentResult(
+        name=name,
+        options=program.options,
+        cache_config=cache_config,
+        static=program.static,
+        dynamic=trace.summary(),
+        unified_stats=unified_stats,
+        conventional_stats=conventional_stats,
+        output=tuple(result.output),
+        steps=result.steps,
+        trace=trace if keep_trace else None,
+    )
+
+
+def run_benchmark(
+    name,
+    paper_scale=False,
+    options=None,
+    cache_config=DEFAULT_CACHE,
+    keep_trace=False,
+):
+    """Compile and measure one named benchmark."""
+    bench = get_benchmark(name, paper_scale)
+    program = compile_source(bench.source, options or CompilationOptions())
+    return run_compiled(
+        bench.name,
+        program,
+        expected_output=bench.expected_output,
+        cache_config=cache_config,
+        keep_trace=keep_trace,
+    )

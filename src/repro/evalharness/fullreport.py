@@ -1,0 +1,189 @@
+"""One-command reproduction report: every experiment, one screenful.
+
+``repro-experiments`` runs E1 (Figure 5), the classification claims,
+the kill-bit/policy/spill/size ablations, the combined I+D cache
+experiment, and the access-time model, then prints a compact report
+with the paper's expectations alongside the measured values.
+"""
+
+import argparse
+import time
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+from repro.cache.timing import (
+    LatencyModel,
+    access_time_speedup,
+    value_reference_time,
+)
+from repro.evalharness.figure5 import (
+    average_row,
+    figure5_table,
+    format_figure5,
+)
+from repro.evalharness.sweeps import (
+    kill_bit_ablation,
+    spill_ablation,
+)
+from repro.evalharness.tables import format_table
+from repro.evalharness.unifiedcache import unified_cache_comparison
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+
+
+def _heading(text):
+    return "\n{}\n{}".format(text, "=" * len(text))
+
+
+def figure5_section(paper_scale):
+    rows = figure5_table(paper_scale=paper_scale)
+    avg = average_row(rows)
+    lines = [_heading("E1-E3  Figure 5 and the Section 5 bands")]
+    lines.append(format_figure5(rows))
+    lines.append(
+        "paper: static 70-80%%, dynamic 45-75%%, reduction ~60%% | "
+        "measured averages: static %.1f%%, dynamic %.1f%%, reduction %.1f%%"
+        % (
+            avg.static_percent_unambiguous,
+            avg.dynamic_percent_unambiguous,
+            avg.cache_traffic_reduction,
+        )
+    )
+    return "\n".join(lines)
+
+
+def kill_section():
+    rows = kill_bit_ablation("towers", sizes=(32, 64, 256))
+    lines = [_heading("E5  Dead-line (kill-bit) modification, towers")]
+    lines.append(format_table(
+        ["cache words", "kill", "write-backs", "bus words"],
+        [
+            [row["size_words"], row["kill_mode"], row["writebacks"],
+             row["bus_words"]]
+            for row in rows if row["kill_mode"] in ("invalidate", "off")
+        ],
+    ))
+    return "\n".join(lines)
+
+
+def spill_section():
+    rows = spill_ablation()
+    lines = [_heading("E6  Spill-to-cache vs spill-bypass "
+                      "(pressure kernel, 8 registers)")]
+    lines.append(format_table(
+        ["spill routing", "refs through cache", "bus words", "spill refs"],
+        [
+            [
+                "to cache" if row["spill_to_cache"] else "bypass",
+                row["refs_cached"],
+                row["bus_words"],
+                row["spill_refs"],
+            ]
+            for row in rows
+        ],
+    ))
+    return "\n".join(lines)
+
+
+def combined_cache_section():
+    lines = [_heading("E10  Combined I+D cache: instruction hit rate")]
+    table_rows = []
+    for name, size in (("queen", 128), ("towers", 128), ("towers", 256)):
+        row = unified_cache_comparison(name, size_words=size)
+        table_rows.append([
+            "{} @ {}w".format(name, size),
+            "{:.4f}".format(row["conventional_i_hit_rate"]),
+            "{:.4f}".format(row["unified_i_hit_rate"]),
+        ])
+    lines.append(format_table(
+        ["workload", "conventional I-hit", "unified I-hit"], table_rows
+    ))
+    return "\n".join(lines)
+
+
+def access_time_section():
+    model = LatencyModel()
+    lines = [_heading("E13/E14  Total memory access time "
+                      "(speedup vs conventional)")]
+    table_rows = []
+    for name in BENCHMARK_NAMES:
+        bench = get_benchmark(name)
+        cycles = {}
+        refs = {}
+        for label, options, honor in (
+            ("conv",
+             CompilationOptions(scheme="conventional", promotion="none"),
+             False),
+            ("pure",
+             CompilationOptions(scheme="unified", promotion="aggressive"),
+             True),
+            ("hybrid",
+             CompilationOptions(scheme="unified", promotion="aggressive",
+                                bypass_user_refs=False),
+             True),
+        ):
+            program = compile_source(bench.source, options)
+            memory = RecordingMemory()
+            result = program.run(memory=memory)
+            assert tuple(result.output) == bench.expected_output
+            stats = replay_trace(
+                memory.buffer,
+                CacheConfig(honor_bypass=honor, honor_kill=honor),
+            )
+            refs[label] = len(memory.buffer)
+            cycles[label] = (stats, memory.buffer)
+        total = refs["conv"]
+        conv = value_reference_time(cycles["conv"][0], 0, model)
+        pure = value_reference_time(
+            cycles["pure"][0], total - refs["pure"], model
+        )
+        hybrid = value_reference_time(
+            cycles["hybrid"][0], total - refs["hybrid"], model
+        )
+        table_rows.append([
+            name,
+            "{:.2f}x".format(access_time_speedup(conv, pure)),
+            "{:.2f}x".format(access_time_speedup(conv, hybrid)),
+        ])
+    lines.append(format_table(
+        ["benchmark", "pure unified", "hybrid"], table_rows
+    ))
+    lines.append('paper Section 4.4: "speedups of total memory access '
+                 'time by factors of 2 or more"')
+    return "\n".join(lines)
+
+
+def build_report(paper_scale=False, fast=False):
+    started = time.time()
+    sections = [
+        "Reproduction report: Chi & Dietz, PLDI 1989",
+        figure5_section(paper_scale),
+        kill_section(),
+        spill_section(),
+    ]
+    if not fast:
+        sections.append(combined_cache_section())
+        sections.append(access_time_section())
+    sections.append(
+        "\n(generated in {:.1f}s; see EXPERIMENTS.md for the full record)"
+        .format(time.time() - started)
+    )
+    return "\n".join(sections)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Run the full reproduction and print a summary report."
+    )
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument("--fast", action="store_true",
+                        help="skip the slower combined-cache and "
+                             "access-time sections")
+    args = parser.parse_args(argv)
+    print(build_report(paper_scale=args.paper_scale, fast=args.fast))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

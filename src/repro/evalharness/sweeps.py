@@ -1,0 +1,257 @@
+"""Ablation sweeps for the design decisions called out in DESIGN.md.
+
+Every function returns a list of plain dict rows so the pytest
+benchmarks and the examples can both render or assert on them.
+"""
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+from repro.evalharness.experiment import DEFAULT_CACHE, run_benchmark
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+
+
+def _trace_for(name, paper_scale=False, options=None):
+    """Compile + run once, returning the annotated trace.
+
+    Defaults to the Figure 5 configuration so every sweep measures the
+    same reference stream the headline experiment uses.
+    """
+    from repro.evalharness.figure5 import figure5_options
+
+    bench = get_benchmark(name, paper_scale)
+    program = compile_source(bench.source, options or figure5_options())
+    memory = RecordingMemory()
+    result = program.run(memory=memory)
+    assert tuple(result.output) == bench.expected_output, (
+        name, result.output, bench.expected_output)
+    return memory.buffer, program
+
+
+def _variant(config, **overrides):
+    values = {
+        "size_words": config.size_words,
+        "line_words": config.line_words,
+        "associativity": config.associativity,
+        "policy": config.policy,
+        "honor_bypass": config.honor_bypass,
+        "honor_kill": config.honor_kill,
+        "kill_mode": config.kill_mode,
+        "write_policy": config.write_policy,
+        "allocate_on_write": config.allocate_on_write,
+        "seed": config.seed,
+    }
+    values.update(overrides)
+    return CacheConfig(**values)
+
+
+def cache_size_sweep(
+    name,
+    sizes=(64, 128, 256, 512, 1024, 4096),
+    base=DEFAULT_CACHE,
+    paper_scale=False,
+    options=None,
+):
+    """Unified-vs-conventional across cache sizes (Section 2.2)."""
+    trace, _program = _trace_for(name, paper_scale, options)
+    rows = []
+    for size in sizes:
+        unified = replay_trace(trace, _variant(base, size_words=size))
+        baseline = replay_trace(
+            trace,
+            _variant(base, size_words=size, honor_bypass=False,
+                     honor_kill=False),
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "size_words": size,
+                "unified_miss_rate": unified.miss_rate,
+                "conventional_miss_rate": baseline.miss_rate,
+                "cache_traffic_reduction":
+                    unified.cache_traffic_reduction_vs(baseline),
+                "bus_traffic_reduction":
+                    unified.bus_traffic_reduction_vs(baseline),
+            }
+        )
+    return rows
+
+
+def policy_ablation(
+    name,
+    policies=("lru", "fifo", "random", "min"),
+    base=DEFAULT_CACHE,
+    paper_scale=False,
+    options=None,
+):
+    """The dead-line modification applied to each policy (Section 3.2)."""
+    trace, _program = _trace_for(name, paper_scale, options)
+    rows = []
+    for policy in policies:
+        for honor_kill in (True, False):
+            if policy == "min":
+                stats = replay_trace(
+                    trace,
+                    policy="min",
+                    size_words=base.size_words,
+                    line_words=base.line_words,
+                    associativity=base.associativity,
+                    honor_kill=honor_kill,
+                )
+            else:
+                stats = replay_trace(
+                    trace, _variant(base, policy=policy, honor_kill=honor_kill)
+                )
+            rows.append(
+                {
+                    "benchmark": name,
+                    "policy": policy,
+                    "kill_bits": honor_kill,
+                    "miss_rate": stats.miss_rate,
+                    "misses": stats.misses,
+                    "writebacks": stats.writebacks,
+                    "dead_drops": stats.dead_drops,
+                    "bus_words": stats.bus_words,
+                }
+            )
+    return rows
+
+
+def kill_bit_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
+                      sizes=(32, 64, 128, 256), options=None):
+    """Kill bits on/off and invalidate-vs-demote (Section 3.2).
+
+    Small caches make the LRU-decay waste visible: without kill bits a
+    dead line occupies a slot for O(associativity) further misses.
+    """
+    trace, _program = _trace_for(name, paper_scale, options)
+    rows = []
+    for size in sizes:
+        for mode in ("invalidate", "demote", "off"):
+            config = _variant(
+                base,
+                size_words=size,
+                honor_kill=mode != "off",
+                kill_mode=mode if mode != "off" else "invalidate",
+            )
+            stats = replay_trace(trace, config)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "size_words": size,
+                    "kill_mode": mode,
+                    "miss_rate": stats.miss_rate,
+                    "misses": stats.misses,
+                    "writebacks": stats.writebacks,
+                    "dead_drops": stats.dead_drops,
+                    "dead_line_frees": stats.dead_line_frees,
+                    "bus_words": stats.bus_words,
+                }
+            )
+    return rows
+
+
+#: A kernel with twenty simultaneously-live values: graph coloring must
+#: spill on any realistic register file.  The benchmark programs'
+#: functions are all small enough to color without spilling, so the
+#: spill experiment needs its own workload.
+SPILL_KERNEL = """
+int main() {
+    int a; int b; int c; int d; int e; int f; int g; int h;
+    int i; int j; int k; int l; int m; int n; int o; int p;
+    int q; int r; int s; int t;
+    int round;
+    for (round = 0; round < 200; round++) {
+        a = round + 1;  b = a + 1;  c = b + 1;  d = c + 1;
+        e = d + 1;      f = e + 1;  g = f + 1;  h = g + 1;
+        i = h + 1;      j = i + 1;  k = j + 1;  l = k + 1;
+        m = l + 1;      n = m + 1;  o = n + 1;  p = o + 1;
+        q = p + 1;      r = q + 1;  s = r + 1;  t = s + 1;
+        print(a + b + c + d + e + f + g + h + i + j
+              + k + l + m + n + o + p + q + r + s + t
+              + a * t + b * s + c * r + d * q + e * p
+              + f * o + g * n + h * m + i * l + j * k);
+    }
+    return 0;
+}
+"""
+
+
+def spill_ablation(name="pressure-kernel", base=DEFAULT_CACHE,
+                   paper_scale=False, num_regs=8):
+    """Spill-to-cache vs spill-bypass (Section 4.2).
+
+    Compiles for a small register file (default 8 registers) with
+    aggressive promotion so graph coloring genuinely spills, then
+    routes the spill/save traffic through the cache (the paper's
+    choice) or around it.  ``name`` may be a benchmark name or the
+    default built-in pressure kernel.
+    """
+    from repro.ir.instructions import MachineConfig
+
+    machine = MachineConfig(num_regs=num_regs,
+                            num_caller_saved=num_regs // 2)
+    if name == "pressure-kernel":
+        source = SPILL_KERNEL
+    else:
+        source = get_benchmark(name, paper_scale).source
+    rows = []
+    for spill_to_cache in (True, False):
+        options = CompilationOptions(
+            scheme="unified",
+            promotion="aggressive",
+            machine=machine,
+            spill_to_cache=spill_to_cache,
+        )
+        program = compile_source(source, options)
+        memory = RecordingMemory()
+        program.run(memory=memory)
+        stats = replay_trace(memory.buffer, base)
+        summary = memory.buffer.summary()
+        rows.append(
+            {
+                "benchmark": name,
+                "spill_to_cache": spill_to_cache,
+                "refs_cached": stats.refs_cached,
+                "refs_bypassed": stats.refs_bypassed,
+                "miss_rate": stats.miss_rate,
+                "bus_words": stats.bus_words,
+                "spill_refs": summary["by_origin"]["spill"],
+                "save_refs": summary["by_origin"]["callee_save"],
+            }
+        )
+    return rows
+
+
+def promotion_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
+                       levels=("none", "modest", "aggressive")):
+    """Classification fractions vs allocator aggressiveness."""
+    rows = []
+    for level in levels:
+        options = CompilationOptions(scheme="unified", promotion=level)
+        result = run_benchmark(
+            name, paper_scale=paper_scale, options=options, cache_config=base
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "promotion": level,
+                "static_percent_unambiguous":
+                    result.static_percent_unambiguous,
+                "dynamic_percent_unambiguous":
+                    result.dynamic_percent_unambiguous,
+                "cache_traffic_reduction": result.cache_traffic_reduction,
+                "dynamic_refs": result.dynamic["total"],
+                "steps": result.steps,
+            }
+        )
+    return rows
+
+
+def all_benchmarks_sweep(sweep, names=BENCHMARK_NAMES, **kwargs):
+    """Apply one of the sweeps above to every benchmark."""
+    rows = []
+    for name in names:
+        rows.extend(sweep(name, **kwargs))
+    return rows

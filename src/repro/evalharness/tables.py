@@ -1,0 +1,43 @@
+"""Plain-text table rendering for harness output."""
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-lists as an aligned ASCII table."""
+    texts = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in texts:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(
+            cell.rjust(width) if index else cell.ljust(width)
+            for index, (cell, width) in enumerate(zip(cells, widths))
+        )
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in texts)
+    return "\n".join(parts)
+
+
+def format_bar_chart(rows, width=40, title=None, suffix="%"):
+    """Horizontal ASCII bar chart: rows of (label, value)."""
+    if not rows:
+        return title or ""
+    peak = max(value for _label, value in rows)
+    peak = max(peak, 1e-9)
+    label_width = max(len(label) for label, _value in rows)
+    parts = []
+    if title:
+        parts.append(title)
+    for label, value in rows:
+        bar = "#" * max(0, int(round(width * value / peak)))
+        parts.append(
+            "{}  {} {:5.1f}{}".format(label.ljust(label_width), bar.ljust(width),
+                                      value, suffix)
+        )
+    return "\n".join(parts)

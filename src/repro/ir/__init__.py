@@ -1,0 +1,77 @@
+"""Three-address intermediate representation.
+
+The IR is a conventional load/store TAC over an unbounded set of virtual
+registers, organised into basic blocks with explicit terminators.
+Physical registers (:class:`PReg`) appear in the instruction stream only
+at ABI points (argument passing, return values, call clobbers) until the
+register allocator rewrites everything to physical registers.
+
+Every memory-touching instruction (:class:`Load` / :class:`Store`)
+carries a :class:`RefInfo` describing *what* is referenced; the unified
+management model of the paper is implemented as annotations on those
+records (ambiguity class, load/store flavor, bypass and kill bits).
+"""
+
+from repro.ir.instructions import (
+    MACHINE,
+    AddrOfSym,
+    BinOp,
+    Call,
+    CJump,
+    Imm,
+    Jump,
+    Load,
+    MachineConfig,
+    Move,
+    PReg,
+    Print,
+    RefClass,
+    RefFlavor,
+    RefInfo,
+    RefOrigin,
+    RegMem,
+    Ret,
+    Store,
+    SymMem,
+    UnOp,
+    VReg,
+)
+from repro.ir.function import BasicBlock, FrameLayout, IRFunction, IRModule
+from repro.ir.builder import build_module
+from repro.ir.printer import format_function, format_instruction, format_module
+from repro.ir.validate import verify_function, verify_module
+
+__all__ = [
+    "MACHINE",
+    "MachineConfig",
+    "VReg",
+    "PReg",
+    "Imm",
+    "SymMem",
+    "RegMem",
+    "RefInfo",
+    "RefClass",
+    "RefFlavor",
+    "RefOrigin",
+    "Move",
+    "BinOp",
+    "UnOp",
+    "Load",
+    "Store",
+    "AddrOfSym",
+    "Call",
+    "Print",
+    "Jump",
+    "CJump",
+    "Ret",
+    "BasicBlock",
+    "IRFunction",
+    "IRModule",
+    "FrameLayout",
+    "build_module",
+    "format_module",
+    "format_function",
+    "format_instruction",
+    "verify_module",
+    "verify_function",
+]

@@ -1,0 +1,516 @@
+"""AST-to-IR lowering.
+
+The builder produces *memory-resident* code: every source-level variable
+access becomes an explicit :class:`Load`/:class:`Store` against the
+variable's home location (frame slot or global word), and expression
+temporaries live in virtual registers.  This mirrors unoptimised
+load/store-machine code; the promotion pass (:mod:`repro.regalloc`)
+later rewrites register-worthy accesses, which is exactly the division
+of labour the paper assumes (registers for unambiguous values, cache
+for the rest).
+
+ABI points are lowered here as well: incoming arguments are copied from
+``r0..r3`` to home slots, call arguments are moved into ``r0..r3`` just
+before the call, and return values travel through ``r0``.
+"""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import IRError
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.instructions import (
+    MACHINE,
+    AddrOfSym,
+    BinOp,
+    Call,
+    CJump,
+    Imm,
+    Jump,
+    Load,
+    Move,
+    PReg,
+    Print,
+    RefInfo,
+    RefOrigin,
+    RegionKind,
+    RegMem,
+    Ret,
+    Store,
+    SymMem,
+    UnOp,
+)
+
+#: AST comparison/arithmetic operator -> IR opcode.
+_BINOP_CODES = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "==": "eq",
+    "!=": "ne",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+}
+
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def build_module(analyzed, machine=MACHINE):
+    """Lower an :class:`AnalyzedProgram` into an :class:`IRModule`."""
+    module = IRModule(analyzed)
+    for decl in analyzed.program.globals():
+        module.global_inits[decl.symbol] = getattr(decl, "const_init", 0)
+    for func in analyzed.program.functions():
+        builder = FunctionBuilder(module, func, machine)
+        module.add_function(builder.build())
+    return module
+
+
+class _LoopContext:
+    """Targets for ``break`` and ``continue`` inside one loop."""
+
+    def __init__(self, break_name, continue_name):
+        self.break_name = break_name
+        self.continue_name = continue_name
+
+
+class FunctionBuilder:
+    """Lowers one function definition."""
+
+    def __init__(self, module, func_def, machine=MACHINE):
+        self.module = module
+        self.func_def = func_def
+        self.machine = machine
+        params = [param.symbol for param in func_def.params]
+        self.function = IRFunction(
+            func_def.name, func_def.symbol, params, func_def.return_type
+        )
+        self.current = None
+        self.loop_stack = []
+
+    # ------------------------------------------------------------------
+    # Emission helpers.
+    # ------------------------------------------------------------------
+
+    def emit(self, instruction):
+        self.current.append(instruction)
+        return instruction
+
+    def terminate(self, instruction):
+        if self.current.terminator is None:
+            self.current.append(instruction)
+
+    def start_block(self, block):
+        self.current = block
+
+    def new_block(self):
+        return self.function.new_block()
+
+    # ------------------------------------------------------------------
+    # Reference metadata.
+    # ------------------------------------------------------------------
+
+    def _direct_ref(self, symbol, origin=RefOrigin.USER):
+        return RefInfo(
+            access_path=symbol.storage_name(),
+            region_kind=RegionKind.DIRECT,
+            region_symbol=symbol,
+            origin=origin,
+        )
+
+    def _array_ref(self, symbol):
+        return RefInfo(
+            access_path="{}[*]".format(symbol.storage_name()),
+            region_kind=RegionKind.ARRAY,
+            region_symbol=symbol,
+        )
+
+    def _pointer_ref(self, pointer_symbol):
+        if pointer_symbol is None:
+            return RefInfo(
+                access_path="*<computed>",
+                region_kind=RegionKind.UNKNOWN,
+            )
+        return RefInfo(
+            access_path="*{}".format(pointer_symbol.storage_name()),
+            region_kind=RegionKind.POINTER,
+            region_symbol=pointer_symbol,
+        )
+
+    @staticmethod
+    def _pointer_root(expr):
+        """The array or pointer symbol an address expression stems from.
+
+        Returns ``None`` when the root cannot be pinned to one symbol;
+        the reference is then classified fully ambiguous.
+        """
+        if isinstance(expr, ast.VarRef):
+            if expr.type is not None and (
+                expr.type.is_pointer() or expr.type.is_array()
+            ):
+                return expr.symbol
+            return None
+        if isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+            left = FunctionBuilder._pointer_root(expr.left)
+            if left is not None:
+                return left
+            return FunctionBuilder._pointer_root(expr.right)
+        if isinstance(expr, ast.AddrOf) and isinstance(expr.operand, ast.VarRef):
+            return expr.operand.symbol
+        return None
+
+    def _ref_for_address_expr(self, expr):
+        """RefInfo for a load/store through the address of ``expr``."""
+        root = self._pointer_root(expr)
+        if root is not None and root.is_array():
+            return self._array_ref(root)
+        return self._pointer_ref(root)
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+
+    def build(self):
+        entry = self.function.new_block("entry")
+        self.start_block(entry)
+        self._store_incoming_args()
+        self._build_statement(self.func_def.body)
+        self._finish_function()
+        return self.function
+
+    def _store_incoming_args(self):
+        for index, symbol in enumerate(self.function.params):
+            self.function.frame.add(symbol)
+            temp = self.function.new_vreg("arg_" + symbol.name)
+            self.emit(Move(temp, PReg(index)))
+            ref = self._direct_ref(symbol, RefOrigin.ARG_HOME)
+            self.emit(Store(SymMem(symbol), temp, ref))
+
+    def _finish_function(self):
+        for block in self.function.block_list():
+            if block.terminator is None:
+                saved = self.current
+                self.current = block
+                if self.function.return_type.is_void():
+                    self.terminate(Ret(False, self.machine))
+                else:
+                    self.emit(Move(PReg(self.machine.ret_reg), Imm(0)))
+                    self.terminate(Ret(True, self.machine))
+                self.current = saved
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+
+    def _build_statement(self, stmt):
+        if self.current.terminator is not None:
+            # Dead code after break/continue/return: keep it in an
+            # unreachable block so later passes can prune it.
+            self.start_block(self.new_block())
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._build_statement(inner)
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self._build_local_decl(decl)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._build_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._build_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._build_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._build_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._build_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._build_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.terminate(Jump(self.loop_stack[-1].break_name))
+        elif isinstance(stmt, ast.Continue):
+            self.terminate(Jump(self.loop_stack[-1].continue_name))
+        else:
+            raise IRError(
+                "cannot lower statement {}".format(type(stmt).__name__),
+                stmt.location,
+            )
+
+    def _build_local_decl(self, decl):
+        symbol = decl.symbol
+        self.function.frame.add(symbol)
+        if decl.init is not None:
+            value = self._build_expr(decl.init)
+            self.emit(Store(SymMem(symbol), value, self._direct_ref(symbol)))
+
+    def _build_if(self, stmt):
+        then_block = self.new_block()
+        join_block = self.new_block()
+        if stmt.else_branch is not None:
+            else_block = self.new_block()
+        else:
+            else_block = join_block
+        self._build_cond(stmt.cond, then_block.name, else_block.name)
+        self.start_block(then_block)
+        self._build_statement(stmt.then_branch)
+        self.terminate(Jump(join_block.name))
+        if stmt.else_branch is not None:
+            self.start_block(else_block)
+            self._build_statement(stmt.else_branch)
+            self.terminate(Jump(join_block.name))
+        self.start_block(join_block)
+
+    def _build_while(self, stmt):
+        head = self.new_block()
+        body = self.new_block()
+        exit_block = self.new_block()
+        self.terminate(Jump(head.name))
+        self.start_block(head)
+        self._build_cond(stmt.cond, body.name, exit_block.name)
+        self.loop_stack.append(_LoopContext(exit_block.name, head.name))
+        self.start_block(body)
+        self._build_statement(stmt.body)
+        self.terminate(Jump(head.name))
+        self.loop_stack.pop()
+        self.start_block(exit_block)
+
+    def _build_do_while(self, stmt):
+        body = self.new_block()
+        head = self.new_block()
+        exit_block = self.new_block()
+        self.terminate(Jump(body.name))
+        self.loop_stack.append(_LoopContext(exit_block.name, head.name))
+        self.start_block(body)
+        self._build_statement(stmt.body)
+        self.terminate(Jump(head.name))
+        self.loop_stack.pop()
+        self.start_block(head)
+        self._build_cond(stmt.cond, body.name, exit_block.name)
+        self.start_block(exit_block)
+
+    def _build_for(self, stmt):
+        if isinstance(stmt.init, ast.DeclStmt):
+            for decl in stmt.init.decls:
+                self._build_local_decl(decl)
+        elif isinstance(stmt.init, ast.ExprStmt):
+            self._build_expr(stmt.init.expr)
+        head = self.new_block()
+        body = self.new_block()
+        update = self.new_block()
+        exit_block = self.new_block()
+        self.terminate(Jump(head.name))
+        self.start_block(head)
+        if stmt.cond is not None:
+            self._build_cond(stmt.cond, body.name, exit_block.name)
+        else:
+            self.terminate(Jump(body.name))
+        self.loop_stack.append(_LoopContext(exit_block.name, update.name))
+        self.start_block(body)
+        self._build_statement(stmt.body)
+        self.terminate(Jump(update.name))
+        self.loop_stack.pop()
+        self.start_block(update)
+        if stmt.update is not None:
+            self._build_expr(stmt.update)
+        self.terminate(Jump(head.name))
+        self.start_block(exit_block)
+
+    def _build_return(self, stmt):
+        if stmt.value is not None:
+            value = self._build_expr(stmt.value)
+            self.emit(Move(PReg(self.machine.ret_reg), value))
+            self.terminate(Ret(True, self.machine))
+        else:
+            self.terminate(Ret(False, self.machine))
+
+    # ------------------------------------------------------------------
+    # Conditions (control-flow translation of boolean expressions).
+    # ------------------------------------------------------------------
+
+    def _build_cond(self, expr, true_name, false_name):
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = self.new_block()
+            self._build_cond(expr.left, mid.name, false_name)
+            self.start_block(mid)
+            self._build_cond(expr.right, true_name, false_name)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = self.new_block()
+            self._build_cond(expr.left, true_name, mid.name)
+            self.start_block(mid)
+            self._build_cond(expr.right, true_name, false_name)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._build_cond(expr.operand, false_name, true_name)
+            return
+        if isinstance(expr, ast.IntLit):
+            target = true_name if expr.value != 0 else false_name
+            self.terminate(Jump(target))
+            return
+        value = self._build_expr(expr)
+        self.terminate(CJump(value, true_name, false_name))
+
+    def _build_bool_value(self, expr):
+        """Materialise a short-circuit expression as a 0/1 register."""
+        result = self.function.new_vreg("bool")
+        true_block = self.new_block()
+        false_block = self.new_block()
+        join = self.new_block()
+        self._build_cond(expr, true_block.name, false_block.name)
+        self.start_block(true_block)
+        self.emit(Move(result, Imm(1)))
+        self.terminate(Jump(join.name))
+        self.start_block(false_block)
+        self.emit(Move(result, Imm(0)))
+        self.terminate(Jump(join.name))
+        self.start_block(join)
+        return result
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+
+    def _build_expr(self, expr):
+        """Lower ``expr`` and return its value as a VReg or Imm."""
+        if isinstance(expr, ast.IntLit):
+            return Imm(expr.value)
+        if isinstance(expr, ast.VarRef):
+            return self._build_var_read(expr)
+        if isinstance(expr, ast.Binary):
+            return self._build_binary(expr)
+        if isinstance(expr, ast.Unary):
+            return self._build_unary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._build_assign(expr)
+        if isinstance(expr, ast.Index):
+            return self._build_index_read(expr)
+        if isinstance(expr, ast.Deref):
+            return self._build_deref_read(expr)
+        if isinstance(expr, ast.AddrOf):
+            return self._build_addr_of(expr)
+        if isinstance(expr, ast.Call):
+            return self._build_call(expr)
+        raise IRError(
+            "cannot lower expression {}".format(type(expr).__name__),
+            expr.location,
+        )
+
+    def _build_var_read(self, expr):
+        symbol = expr.symbol
+        if symbol.is_array():
+            # Array-to-pointer decay: the value is the base address.
+            dest = self.function.new_vreg(symbol.name)
+            self._ensure_storage(symbol)
+            self.emit(AddrOfSym(dest, symbol))
+            return dest
+        dest = self.function.new_vreg(symbol.name)
+        self._ensure_storage(symbol)
+        self.emit(Load(dest, SymMem(symbol), self._direct_ref(symbol)))
+        return dest
+
+    def _ensure_storage(self, symbol):
+        if symbol.is_global():
+            return
+        self.function.frame.add(symbol)
+
+    def _build_binary(self, expr):
+        if expr.op in ("&&", "||"):
+            return self._build_bool_value(expr)
+        left = self._build_expr(expr.left)
+        right = self._build_expr(expr.right)
+        dest = self.function.new_vreg()
+        self.emit(BinOp(dest, _BINOP_CODES[expr.op], left, right))
+        return dest
+
+    def _build_unary(self, expr):
+        if expr.op == "!":
+            operand = self._build_expr(expr.operand)
+            dest = self.function.new_vreg()
+            self.emit(UnOp(dest, "not", operand))
+            return dest
+        operand = self._build_expr(expr.operand)
+        dest = self.function.new_vreg()
+        self.emit(UnOp(dest, "neg", operand))
+        return dest
+
+    def _build_assign(self, expr):
+        value = self._build_expr(expr.value)
+        target = expr.target
+        if isinstance(target, ast.VarRef):
+            symbol = target.symbol
+            self._ensure_storage(symbol)
+            self.emit(Store(SymMem(symbol), value, self._direct_ref(symbol)))
+            return value
+        if isinstance(target, ast.Index):
+            address, ref = self._build_element_address(target)
+            self.emit(Store(RegMem(address), value, ref))
+            return value
+        if isinstance(target, ast.Deref):
+            address = self._build_expr(target.pointer)
+            ref = self._ref_for_address_expr(target.pointer)
+            self.emit(Store(RegMem(address), value, ref))
+            return value
+        raise IRError("invalid assignment target", target.location)
+
+    def _build_element_address(self, expr):
+        """Address and RefInfo for ``base[index]``."""
+        base_value = self._build_expr(expr.base)
+        index_value = self._build_expr(expr.index)
+        if isinstance(index_value, Imm) and index_value.value == 0:
+            address = base_value
+        else:
+            address = self.function.new_vreg("addr")
+            self.emit(BinOp(address, "add", base_value, index_value))
+        if isinstance(address, Imm):
+            # Constant-folded absolute address; wrap it in a register.
+            wrapped = self.function.new_vreg("addr")
+            self.emit(Move(wrapped, address))
+            address = wrapped
+        ref = self._ref_for_address_expr(expr.base)
+        return address, ref
+
+    def _build_index_read(self, expr):
+        address, ref = self._build_element_address(expr)
+        dest = self.function.new_vreg()
+        self.emit(Load(dest, RegMem(address), ref))
+        return dest
+
+    def _build_deref_read(self, expr):
+        address = self._build_expr(expr.pointer)
+        if isinstance(address, Imm):
+            wrapped = self.function.new_vreg("addr")
+            self.emit(Move(wrapped, address))
+            address = wrapped
+        ref = self._ref_for_address_expr(expr.pointer)
+        dest = self.function.new_vreg()
+        self.emit(Load(dest, RegMem(address), ref))
+        return dest
+
+    def _build_addr_of(self, expr):
+        operand = expr.operand
+        if isinstance(operand, ast.VarRef):
+            dest = self.function.new_vreg("addr")
+            self._ensure_storage(operand.symbol)
+            self.emit(AddrOfSym(dest, operand.symbol))
+            return dest
+        if isinstance(operand, ast.Index):
+            address, _ref = self._build_element_address(operand)
+            return address
+        raise IRError("invalid operand of '&'", expr.location)
+
+    def _build_call(self, expr):
+        if expr.name == "print":
+            value = self._build_expr(expr.args[0])
+            self.emit(Print(value))
+            return Imm(0)
+        arg_values = [self._build_expr(arg) for arg in expr.args]
+        for index, value in enumerate(arg_values):
+            self.emit(Move(PReg(index), value))
+        returns_value = not expr.symbol.return_type.is_void()
+        self.emit(Call(expr.name, len(arg_values), returns_value, self.machine))
+        if returns_value:
+            dest = self.function.new_vreg(expr.name + "_ret")
+            self.emit(Move(dest, PReg(self.machine.ret_reg)))
+            return dest
+        return Imm(0)

@@ -1,0 +1,90 @@
+"""Control-flow graph construction over the block-structured IR.
+
+The builder already creates basic blocks; this module wires predecessor
+and successor lists, prunes unreachable blocks, and provides traversal
+orders used by the dataflow framework.
+"""
+
+from repro.lang.errors import IRError
+
+
+def build_cfg(function):
+    """(Re)compute ``preds``/``succs`` and drop unreachable blocks.
+
+    Must be called after any pass that adds, removes, or re-targets
+    blocks.  Returns the function for chaining.
+    """
+    blocks = function.blocks
+    for block in blocks.values():
+        block.preds = []
+        block.succs = []
+    for block in blocks.values():
+        terminator = block.terminator
+        if terminator is None:
+            raise IRError(
+                "block {} of {} lacks a terminator".format(
+                    block.name, function.name
+                )
+            )
+        for name in terminator.successors_names():
+            successor = blocks.get(name)
+            if successor is None:
+                raise IRError(
+                    "block {} branches to unknown block {}".format(
+                        block.name, name
+                    )
+                )
+            block.succs.append(successor)
+            successor.preds.append(block)
+    _prune_unreachable(function)
+    return function
+
+
+def _prune_unreachable(function):
+    reachable = set()
+    worklist = [function.entry]
+    while worklist:
+        block = worklist.pop()
+        if block.name in reachable:
+            continue
+        reachable.add(block.name)
+        worklist.extend(block.succs)
+    dead = [name for name in function.blocks if name not in reachable]
+    if not dead:
+        return
+    for name in dead:
+        del function.blocks[name]
+    for block in function.blocks.values():
+        block.preds = [pred for pred in block.preds if pred.name in reachable]
+        block.succs = [succ for succ in block.succs if succ.name in reachable]
+
+
+def reverse_postorder(function):
+    """Blocks in reverse postorder from the entry (good for forward DFA)."""
+    visited = set()
+    order = []
+
+    entry = function.entry
+    stack = [(entry, iter(entry.succs))]
+    visited.add(entry.name)
+    while stack:
+        block, successors = stack[-1]
+        advanced = False
+        for successor in successors:
+            if successor.name not in visited:
+                visited.add(successor.name)
+                stack.append((successor, iter(successor.succs)))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def postorder(function):
+    """Blocks in postorder (good for backward dataflow)."""
+    order = reverse_postorder(function)
+    order.reverse()
+    return order

@@ -1,0 +1,60 @@
+"""Dominator computation (iterative Cooper-Harvey-Kennedy algorithm)."""
+
+from repro.ir.cfg import reverse_postorder
+
+
+class DominatorTree:
+    """Immediate dominators for every reachable block of a function."""
+
+    def __init__(self, function):
+        self.function = function
+        self.idom = {}  # block name -> immediate dominator block name
+        self._rpo_index = {}
+        self._compute()
+
+    def _compute(self):
+        order = reverse_postorder(self.function)
+        for index, block in enumerate(order):
+            self._rpo_index[block.name] = index
+        entry = self.function.entry
+        self.idom = {entry.name: entry.name}
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                if block is entry:
+                    continue
+                new_idom = None
+                for pred in block.preds:
+                    if pred.name not in self.idom:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred.name
+                    else:
+                        new_idom = self._intersect(pred.name, new_idom)
+                if new_idom is not None and self.idom.get(block.name) != new_idom:
+                    self.idom[block.name] = new_idom
+                    changed = True
+
+    def _intersect(self, name_a, name_b):
+        index = self._rpo_index
+        while name_a != name_b:
+            while index[name_a] > index[name_b]:
+                name_a = self.idom[name_a]
+            while index[name_b] > index[name_a]:
+                name_b = self.idom[name_b]
+        return name_a
+
+    def dominates(self, name_a, name_b):
+        """True when block ``name_a`` dominates block ``name_b``."""
+        entry = self.function.entry_name
+        current = name_b
+        while True:
+            if current == name_a:
+                return True
+            if current == entry:
+                return name_a == entry
+            current = self.idom[current]
+
+    def immediate_dominator(self, name):
+        return self.idom[name]

@@ -1,0 +1,189 @@
+"""IR containers: basic blocks, frames, functions, modules."""
+
+import itertools
+from collections import OrderedDict
+
+from repro.ir.instructions import VReg
+
+#: Word address where the global data segment starts.  Addresses below
+#: this are unmapped, which catches null-pointer dereferences.
+GLOBAL_BASE = 1024
+
+_spill_ids = itertools.count(1)
+
+
+class SpillSlot:
+    """A compiler-created frame slot (spill temporary or callee save).
+
+    Duck-types the parts of :class:`repro.lang.symbols.Symbol` that the
+    classification pass and the VM care about.
+    """
+
+    def __init__(self, name, origin):
+        self.id = next(_spill_ids)
+        self.name = name
+        self.origin = origin
+        self.address_taken = False
+        self.escapes = False
+        self.frame_slot = None
+        self.global_address = None
+        self.kind = None  # Not a source symbol.
+
+    def is_array(self):
+        return False
+
+    def is_scalar(self):
+        return True
+
+    def is_global(self):
+        return False
+
+    def storage_name(self):
+        return "{}#s{}".format(self.name, self.id)
+
+    def __repr__(self):
+        return "SpillSlot({})".format(self.storage_name())
+
+
+class FrameLayout:
+    """Word offsets of every frame-resident object of one function."""
+
+    def __init__(self):
+        self._offsets = {}
+        self._sizes = {}
+        self.size = 0
+
+    def add(self, symbol, words=None):
+        """Reserve ``words`` (default: the symbol's own size) for ``symbol``."""
+        if symbol in self._offsets:
+            return self._offsets[symbol]
+        if words is None:
+            if symbol.is_array():
+                words = symbol.type.size_words()
+            else:
+                words = 1
+        offset = self.size
+        self._offsets[symbol] = offset
+        self._sizes[symbol] = words
+        self.size += words
+        return offset
+
+    def offset_of(self, symbol):
+        return self._offsets[symbol]
+
+    def contains(self, symbol):
+        return symbol in self._offsets
+
+    def items(self):
+        return sorted(self._offsets.items(), key=lambda pair: pair[1])
+
+
+class BasicBlock:
+    """A straight-line instruction sequence ending in one terminator."""
+
+    def __init__(self, name):
+        self.name = name
+        self.instructions = []
+        # Filled by repro.ir.cfg.
+        self.preds = []
+        self.succs = []
+        # Text-segment address of the first instruction; assigned by
+        # the VM's code layout when instruction fetches are traced.
+        self.code_address = 0
+
+    @property
+    def terminator(self):
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def body(self):
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def append(self, instruction):
+        self.instructions.append(instruction)
+
+    def __repr__(self):
+        return "BasicBlock({}, {} insts)".format(self.name, len(self.instructions))
+
+
+class IRFunction:
+    """One function's IR: blocks, frame, and virtual-register factory."""
+
+    def __init__(self, name, symbol, params, return_type):
+        self.name = name
+        self.symbol = symbol
+        self.params = params  # list[Symbol] in declaration order
+        self.return_type = return_type
+        self.blocks = OrderedDict()
+        self.entry_name = None
+        self.frame = FrameLayout()
+        self._block_ids = itertools.count(0)
+
+    def new_vreg(self, hint=""):
+        return VReg(hint)
+
+    def new_block(self, prefix="L"):
+        name = "{}{}".format(prefix, next(self._block_ids))
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        if self.entry_name is None:
+            self.entry_name = name
+        return block
+
+    @property
+    def entry(self):
+        return self.blocks[self.entry_name]
+
+    def block_list(self):
+        return list(self.blocks.values())
+
+    def instructions(self):
+        """Iterate every instruction of the function, block by block."""
+        for block in self.blocks.values():
+            for instruction in block.instructions:
+                yield instruction
+
+    def new_spill_slot(self, name, origin):
+        slot = SpillSlot(name, origin)
+        self.frame.add(slot, words=1)
+        return slot
+
+    def __repr__(self):
+        return "IRFunction({}, {} blocks)".format(self.name, len(self.blocks))
+
+
+class IRModule:
+    """A compiled translation unit: functions plus the global segment."""
+
+    def __init__(self, analyzed):
+        self.analyzed = analyzed
+        self.functions = OrderedDict()
+        self.globals = list(analyzed.globals)
+        self.global_inits = {}
+        self.global_size = 0
+        self._layout_globals()
+
+    def _layout_globals(self):
+        address = GLOBAL_BASE
+        for symbol in self.globals:
+            symbol.global_address = address
+            if symbol.is_array():
+                address += symbol.type.size_words()
+            else:
+                address += 1
+        self.global_size = address - GLOBAL_BASE
+
+    def add_function(self, function):
+        self.functions[function.name] = function
+
+    def function(self, name):
+        return self.functions[name]
+
+    def __repr__(self):
+        return "IRModule({} functions, {} global words)".format(
+            len(self.functions), self.global_size
+        )

@@ -1,0 +1,512 @@
+"""IR operands, reference metadata, and instruction classes."""
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum, unique
+
+
+# ----------------------------------------------------------------------
+# Machine model.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A MIPS-flavoured load/store register machine.
+
+    Sixteen one-word registers; ``r0``-``r3`` pass arguments and ``r0``
+    returns the result.  ``r0``-``r7`` are caller-saved (clobbered by
+    calls), ``r8``-``r15`` are callee-saved.
+    """
+
+    num_regs: int = 16
+    num_arg_regs: int = 4
+    ret_reg: int = 0
+    num_caller_saved: int = 8
+
+    def arg_regs(self):
+        return tuple(range(self.num_arg_regs))
+
+    def caller_saved(self):
+        return tuple(range(self.num_caller_saved))
+
+    def callee_saved(self):
+        return tuple(range(self.num_caller_saved, self.num_regs))
+
+    def all_regs(self):
+        return tuple(range(self.num_regs))
+
+
+#: The default machine used everywhere unless a pipeline overrides it.
+MACHINE = MachineConfig()
+
+
+# ----------------------------------------------------------------------
+# Operands.
+# ----------------------------------------------------------------------
+
+_vreg_ids = itertools.count(1)
+
+
+class VReg:
+    """A virtual register; unbounded supply before allocation."""
+
+    __slots__ = ("id", "hint")
+
+    def __init__(self, hint=""):
+        self.id = next(_vreg_ids)
+        self.hint = hint
+
+    def __repr__(self):
+        if self.hint:
+            return "v{}:{}".format(self.id, self.hint)
+        return "v{}".format(self.id)
+
+    def __hash__(self):
+        return self.id
+
+    def __eq__(self, other):
+        return self is other
+
+
+class PReg:
+    """A physical machine register.  Interned: ``PReg(3) is PReg(3)``."""
+
+    __slots__ = ("index",)
+    _interned = {}
+
+    def __new__(cls, index):
+        reg = cls._interned.get(index)
+        if reg is None:
+            reg = super().__new__(cls)
+            reg.index = index
+            cls._interned[index] = reg
+        return reg
+
+    def __repr__(self):
+        return "r{}".format(self.index)
+
+    def __hash__(self):
+        return hash(("preg", self.index))
+
+    def __eq__(self, other):
+        return self is other
+
+    def __getnewargs__(self):
+        return (self.index,)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate integer operand."""
+
+    value: int
+
+    def __repr__(self):
+        return "#{}".format(self.value)
+
+
+def is_reg(operand):
+    """True when ``operand`` is a register (virtual or physical)."""
+    return isinstance(operand, (VReg, PReg))
+
+
+# ----------------------------------------------------------------------
+# Memory operands.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymMem:
+    """Direct access to a named scalar (frame slot or global word).
+
+    The concrete address is resolved at run time from the frame pointer
+    (locals/params/spills) or the global segment base.
+    """
+
+    symbol: object  # repro.lang.symbols.Symbol or repro.ir.function.SpillSlot
+
+    def __repr__(self):
+        return "[{}]".format(self.symbol.storage_name())
+
+
+@dataclass(frozen=True)
+class RegMem:
+    """Access through a computed address held in a register."""
+
+    addr: object  # VReg or PReg
+
+    def __repr__(self):
+        return "[{}]".format(self.addr)
+
+
+# ----------------------------------------------------------------------
+# Reference metadata (the paper's annotations live here).
+# ----------------------------------------------------------------------
+
+
+@unique
+class RefClass(Enum):
+    """Ambiguity classification of a memory reference (paper Section 4)."""
+
+    UNKNOWN = "unknown"
+    AMBIGUOUS = "ambiguous"
+    UNAMBIGUOUS = "unambiguous"
+
+
+@unique
+class RefFlavor(Enum):
+    """The four load/store flavors of the unified model (paper §4.3)."""
+
+    AM_LOAD = "Am_LOAD"
+    AMSP_STORE = "AmSp_STORE"
+    UMAM_LOAD = "UmAm_LOAD"
+    UMAM_STORE = "UmAm_STORE"
+
+
+@unique
+class RefOrigin(Enum):
+    """Why this load/store exists; used for reporting, not semantics."""
+
+    USER = "user"  # A source-level variable/array/pointer access.
+    SPILL = "spill"  # Register-allocator spill store/reload.
+    CALLEE_SAVE = "callee_save"  # Prologue/epilogue register save/restore.
+    ARG_HOME = "arg_home"  # Incoming argument stored to its home slot.
+
+
+@unique
+class RegionKind(Enum):
+    """What storage a reference may touch; input to the alias analysis."""
+
+    DIRECT = "direct"  # A specific scalar symbol, accessed by name.
+    ARRAY = "array"  # Some element of a specific array symbol.
+    POINTER = "pointer"  # Whatever a named pointer symbol may target.
+    UNKNOWN = "unknown"  # A computed pointer with no symbol attached.
+
+
+@dataclass
+class RefInfo:
+    """Everything the unified model knows about one memory reference.
+
+    ``region_kind``/``region_symbol`` say *what* may be touched (filled
+    by the IR builder), ``ref_class`` says whether that is ambiguous
+    (filled by the alias/classification pass), and ``flavor``/``bypass``
+    /``kill`` are the hardware-visible annotations (filled by the bypass
+    annotation pass).  In the conventional baseline the annotation pass
+    is skipped and every reference goes through the cache.
+    """
+
+    access_path: str
+    region_kind: RegionKind
+    region_symbol: object = None
+    origin: RefOrigin = RefOrigin.USER
+    ref_class: RefClass = RefClass.UNKNOWN
+    flavor: object = None  # RefFlavor once annotated.
+    bypass: bool = False
+    kill: bool = False
+
+    def annotate(self, flavor, bypass, kill=False):
+        self.flavor = flavor
+        self.bypass = bypass
+        self.kill = kill
+
+    def describe(self):
+        parts = [self.access_path, self.ref_class.value]
+        if self.flavor is not None:
+            parts.append(self.flavor.value)
+        if self.bypass:
+            parts.append("bypass")
+        if self.kill:
+            parts.append("kill")
+        return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Instructions.
+# ----------------------------------------------------------------------
+
+
+class Instruction:
+    """Base class.  Subclasses define ``uses``/``defs`` over registers."""
+
+    __slots__ = ()
+    is_terminator = False
+
+    def uses(self):
+        """Registers read by this instruction."""
+        return []
+
+    def defs(self):
+        """Registers written by this instruction."""
+        return []
+
+    def rewrite_registers(self, mapping):
+        """Replace register operands via ``mapping(reg) -> reg``."""
+
+    def successors_names(self):
+        """Block names this terminator may branch to."""
+        return []
+
+
+def _mapped(mapping, operand):
+    if is_reg(operand):
+        return mapping(operand)
+    return operand
+
+
+class Move(Instruction):
+    """``dest = src`` where src is a register or immediate."""
+
+    __slots__ = ("dest", "src")
+
+    def __init__(self, dest, src):
+        self.dest = dest
+        self.src = src
+
+    def uses(self):
+        return [self.src] if is_reg(self.src) else []
+
+    def defs(self):
+        return [self.dest]
+
+    def rewrite_registers(self, mapping):
+        self.dest = mapping(self.dest)
+        self.src = _mapped(mapping, self.src)
+
+    def __repr__(self):
+        return "{} = {}".format(self.dest, self.src)
+
+
+#: Binary opcodes; all operate on one-word integers.
+BINARY_OPS = ("add", "sub", "mul", "div", "mod",
+              "eq", "ne", "lt", "le", "gt", "ge")
+
+
+class BinOp(Instruction):
+    __slots__ = ("dest", "op", "left", "right")
+
+    def __init__(self, dest, op, left, right):
+        assert op in BINARY_OPS, op
+        self.dest = dest
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def uses(self):
+        return [operand for operand in (self.left, self.right) if is_reg(operand)]
+
+    def defs(self):
+        return [self.dest]
+
+    def rewrite_registers(self, mapping):
+        self.dest = mapping(self.dest)
+        self.left = _mapped(mapping, self.left)
+        self.right = _mapped(mapping, self.right)
+
+    def __repr__(self):
+        return "{} = {} {} {}".format(self.dest, self.left, self.op, self.right)
+
+
+UNARY_OPS = ("neg", "not")
+
+
+class UnOp(Instruction):
+    __slots__ = ("dest", "op", "operand")
+
+    def __init__(self, dest, op, operand):
+        assert op in UNARY_OPS, op
+        self.dest = dest
+        self.op = op
+        self.operand = operand
+
+    def uses(self):
+        return [self.operand] if is_reg(self.operand) else []
+
+    def defs(self):
+        return [self.dest]
+
+    def rewrite_registers(self, mapping):
+        self.dest = mapping(self.dest)
+        self.operand = _mapped(mapping, self.operand)
+
+    def __repr__(self):
+        return "{} = {} {}".format(self.dest, self.op, self.operand)
+
+
+class Load(Instruction):
+    """``dest = MEM[mem]`` carrying the unified-model annotations."""
+
+    __slots__ = ("dest", "mem", "ref")
+
+    def __init__(self, dest, mem, ref):
+        self.dest = dest
+        self.mem = mem
+        self.ref = ref
+
+    def uses(self):
+        if isinstance(self.mem, RegMem):
+            return [self.mem.addr]
+        return []
+
+    def defs(self):
+        return [self.dest]
+
+    def rewrite_registers(self, mapping):
+        self.dest = mapping(self.dest)
+        if isinstance(self.mem, RegMem):
+            self.mem = RegMem(mapping(self.mem.addr))
+
+    def __repr__(self):
+        return "{} = load {} ; {}".format(self.dest, self.mem, self.ref.describe())
+
+
+class Store(Instruction):
+    """``MEM[mem] = src`` carrying the unified-model annotations."""
+
+    __slots__ = ("mem", "src", "ref")
+
+    def __init__(self, mem, src, ref):
+        self.mem = mem
+        self.src = src
+        self.ref = ref
+
+    def uses(self):
+        result = [self.src] if is_reg(self.src) else []
+        if isinstance(self.mem, RegMem):
+            result.append(self.mem.addr)
+        return result
+
+    def defs(self):
+        return []
+
+    def rewrite_registers(self, mapping):
+        self.src = _mapped(mapping, self.src)
+        if isinstance(self.mem, RegMem):
+            self.mem = RegMem(mapping(self.mem.addr))
+
+    def __repr__(self):
+        return "store {} = {} ; {}".format(self.mem, self.src, self.ref.describe())
+
+
+class AddrOfSym(Instruction):
+    """``dest = &symbol`` — materialise a frame or global address."""
+
+    __slots__ = ("dest", "symbol")
+
+    def __init__(self, dest, symbol):
+        self.dest = dest
+        self.symbol = symbol
+
+    def defs(self):
+        return [self.dest]
+
+    def rewrite_registers(self, mapping):
+        self.dest = mapping(self.dest)
+
+    def __repr__(self):
+        return "{} = &{}".format(self.dest, self.symbol.storage_name())
+
+
+class Call(Instruction):
+    """A call after ABI lowering: arguments already sit in ``r0..rN-1``.
+
+    The call reads the argument registers, clobbers every caller-saved
+    register, and leaves any result in the return register.
+    """
+
+    __slots__ = ("callee", "num_args", "returns_value", "machine")
+
+    def __init__(self, callee, num_args, returns_value, machine=MACHINE):
+        self.callee = callee
+        self.num_args = num_args
+        self.returns_value = returns_value
+        self.machine = machine
+
+    def uses(self):
+        return [PReg(i) for i in range(self.num_args)]
+
+    def defs(self):
+        return [PReg(i) for i in self.machine.caller_saved()]
+
+    def __repr__(self):
+        return "call {}/{}".format(self.callee, self.num_args)
+
+
+class Print(Instruction):
+    """The ``print`` intrinsic; writes one integer to the program output."""
+
+    __slots__ = ("src",)
+
+    def __init__(self, src):
+        self.src = src
+
+    def uses(self):
+        return [self.src] if is_reg(self.src) else []
+
+    def rewrite_registers(self, mapping):
+        self.src = _mapped(mapping, self.src)
+
+    def __repr__(self):
+        return "print {}".format(self.src)
+
+
+# ----------------------------------------------------------------------
+# Terminators.
+# ----------------------------------------------------------------------
+
+
+class Jump(Instruction):
+    __slots__ = ("target",)
+    is_terminator = True
+
+    def __init__(self, target):
+        self.target = target  # block name
+
+    def successors_names(self):
+        return [self.target]
+
+    def __repr__(self):
+        return "jump {}".format(self.target)
+
+
+class CJump(Instruction):
+    """Branch to ``if_true`` when ``cond`` is non-zero, else ``if_false``."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+    is_terminator = True
+
+    def __init__(self, cond, if_true, if_false):
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def uses(self):
+        return [self.cond] if is_reg(self.cond) else []
+
+    def rewrite_registers(self, mapping):
+        self.cond = _mapped(mapping, self.cond)
+
+    def successors_names(self):
+        return [self.if_true, self.if_false]
+
+    def __repr__(self):
+        return "cjump {} ? {} : {}".format(self.cond, self.if_true, self.if_false)
+
+
+class Ret(Instruction):
+    """Return; a value-returning function has already moved into r0."""
+
+    __slots__ = ("has_value", "machine")
+    is_terminator = True
+
+    def __init__(self, has_value, machine=MACHINE):
+        self.has_value = has_value
+        self.machine = machine
+
+    def uses(self):
+        if self.has_value:
+            return [PReg(self.machine.ret_reg)]
+        return []
+
+    def __repr__(self):
+        return "ret" + (" r0" if self.has_value else "")

@@ -1,0 +1,66 @@
+"""Natural-loop detection and per-block loop depth.
+
+Loop depth drives the usage-count weights of the Freiburghouse allocator
+and the spill-cost heuristic of the Chaitin allocator: a reference at
+loop depth ``d`` is weighted ``10**d``, the classic approximation.
+"""
+
+from repro.ir.dominators import DominatorTree
+
+
+class NaturalLoop:
+    """One natural loop: a back edge's header plus its body blocks."""
+
+    def __init__(self, header_name):
+        self.header = header_name
+        self.body = {header_name}
+
+    def __repr__(self):
+        return "NaturalLoop(header={}, blocks={})".format(
+            self.header, len(self.body)
+        )
+
+
+class LoopInfo:
+    """All natural loops of a function and the nesting depth per block."""
+
+    def __init__(self, function):
+        self.function = function
+        self.loops = []
+        self.depth = {name: 0 for name in function.blocks}
+        self._compute()
+
+    def _compute(self):
+        dom = DominatorTree(self.function)
+        loops_by_header = {}
+        for block in self.function.blocks.values():
+            for successor in block.succs:
+                if dom.dominates(successor.name, block.name):
+                    loop = loops_by_header.get(successor.name)
+                    if loop is None:
+                        loop = NaturalLoop(successor.name)
+                        loops_by_header[successor.name] = loop
+                        self.loops.append(loop)
+                    self._collect(loop, block.name)
+        for name in self.depth:
+            self.depth[name] = sum(
+                1 for loop in self.loops if name in loop.body
+            )
+
+    def _collect(self, loop, tail_name):
+        """Add every block reaching ``tail_name`` without passing the header."""
+        worklist = [tail_name]
+        while worklist:
+            name = worklist.pop()
+            if name in loop.body:
+                continue
+            loop.body.add(name)
+            block = self.function.blocks[name]
+            worklist.extend(pred.name for pred in block.preds)
+
+    def depth_of(self, block_name):
+        return self.depth.get(block_name, 0)
+
+    def weight_of(self, block_name, base=10):
+        """Execution-frequency estimate for spill costs and usage counts."""
+        return base ** min(self.depth_of(block_name), 6)

@@ -1,0 +1,37 @@
+"""Human-readable IR dumps for debugging, examples, and golden tests."""
+
+
+def format_instruction(instruction):
+    return repr(instruction)
+
+
+def format_block(block):
+    lines = ["{}:".format(block.name)]
+    for instruction in block.instructions:
+        lines.append("    {}".format(format_instruction(instruction)))
+    return "\n".join(lines)
+
+
+def format_function(function):
+    params = ", ".join(symbol.name for symbol in function.params)
+    lines = [
+        "func {}({}) frame={} words".format(
+            function.name, params, function.frame.size
+        )
+    ]
+    for block in function.blocks.values():
+        lines.append(format_block(block))
+    return "\n".join(lines)
+
+
+def format_module(module):
+    parts = []
+    if module.globals:
+        names = ", ".join(
+            "{}@{}".format(symbol.storage_name(), symbol.global_address)
+            for symbol in module.globals
+        )
+        parts.append("globals: {}".format(names))
+    for function in module.functions.values():
+        parts.append(format_function(function))
+    return "\n\n".join(parts)

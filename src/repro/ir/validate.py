@@ -1,0 +1,138 @@
+"""Structural IR verification.
+
+Run after construction and after every rewriting pass; catching a broken
+invariant here is vastly cheaper than debugging a miscompiled benchmark
+inside the VM.
+"""
+
+from repro.lang.errors import IRError
+from repro.ir.instructions import (
+    Load,
+    PReg,
+    RefClass,
+    RegMem,
+    Store,
+    SymMem,
+    VReg,
+)
+
+
+def verify_function(function, allocated=False, machine=None):
+    """Check block structure and operand sanity for one function.
+
+    With ``allocated=True`` additionally require that no virtual
+    registers remain and that every physical register index is valid.
+    """
+    if function.entry_name not in function.blocks:
+        raise IRError("function {} lost its entry block".format(function.name))
+    seen_names = set()
+    for name, block in function.blocks.items():
+        if name != block.name:
+            raise IRError("block map key {} != block name {}".format(name, block.name))
+        if name in seen_names:
+            raise IRError("duplicate block name {}".format(name))
+        seen_names.add(name)
+        _verify_block(function, block, allocated, machine)
+
+
+def _verify_block(function, block, allocated, machine):
+    if not block.instructions:
+        raise IRError(
+            "empty block {} in {}".format(block.name, function.name)
+        )
+    for index, instruction in enumerate(block.instructions):
+        is_last = index == len(block.instructions) - 1
+        if instruction.is_terminator and not is_last:
+            raise IRError(
+                "terminator in the middle of block {} of {}".format(
+                    block.name, function.name
+                )
+            )
+        if is_last and not instruction.is_terminator:
+            raise IRError(
+                "block {} of {} does not end in a terminator".format(
+                    block.name, function.name
+                )
+            )
+        for name in instruction.successors_names():
+            if name not in function.blocks:
+                raise IRError(
+                    "branch to unknown block {} from {}".format(name, block.name)
+                )
+        _verify_operands(function, instruction, allocated, machine)
+        _verify_memory(function, instruction)
+
+
+def _verify_operands(function, instruction, allocated, machine):
+    registers = list(instruction.uses()) + list(instruction.defs())
+    for register in registers:
+        if isinstance(register, VReg):
+            if allocated:
+                raise IRError(
+                    "virtual register {} survived allocation in {}".format(
+                        register, function.name
+                    )
+                )
+        elif isinstance(register, PReg):
+            if machine is not None and register.index >= machine.num_regs:
+                raise IRError(
+                    "physical register {} out of range in {}".format(
+                        register, function.name
+                    )
+                )
+        else:
+            raise IRError(
+                "non-register in register position: {!r}".format(register)
+            )
+
+
+def _verify_memory(function, instruction):
+    if not isinstance(instruction, (Load, Store)):
+        return
+    mem = instruction.mem
+    if isinstance(mem, SymMem):
+        symbol = mem.symbol
+        if symbol.is_array():
+            raise IRError(
+                "direct SymMem access to array {}".format(symbol.storage_name())
+            )
+        if not symbol.is_global() and not function.frame.contains(symbol):
+            raise IRError(
+                "SymMem {} has no frame slot in {}".format(
+                    symbol.storage_name(), function.name
+                )
+            )
+    elif not isinstance(mem, RegMem):
+        raise IRError("unknown memory operand {!r}".format(mem))
+    if instruction.ref is None:
+        raise IRError("memory instruction without RefInfo")
+
+
+def verify_module(module, allocated=False, machine=None):
+    for function in module.functions.values():
+        verify_function(function, allocated, machine)
+
+
+def verify_annotations(module):
+    """Check the unified-model discipline after the bypass pass ran.
+
+    Every reference must be classified and carry a flavor consistent
+    with its class (unambiguous => bypass unless it is a kill-probe).
+    """
+    for function in module.functions.values():
+        for instruction in function.instructions():
+            if not isinstance(instruction, (Load, Store)):
+                continue
+            ref = instruction.ref
+            if ref.ref_class is RefClass.UNKNOWN:
+                raise IRError(
+                    "unclassified reference {} in {}".format(
+                        ref.access_path, function.name
+                    )
+                )
+            if ref.flavor is None:
+                raise IRError(
+                    "reference {} in {} lacks a flavor".format(
+                        ref.access_path, function.name
+                    )
+                )

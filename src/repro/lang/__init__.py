@@ -1,0 +1,54 @@
+"""MiniC language frontend.
+
+MiniC is a small C subset rich enough to express the six DARPA/Stanford
+benchmarks used in the paper's evaluation: ``int`` scalars, one-dimensional
+``int`` arrays, pointers to ``int``, functions with recursion, and the
+usual C control flow.
+
+The public entry points are :func:`tokenize`, :func:`parse_program` and
+:func:`analyze`, plus :func:`compile_source` in :mod:`repro.unified`
+which drives the whole pipeline.
+"""
+
+from repro.lang.errors import (
+    CompileError,
+    LexError,
+    ParseError,
+    SemanticError,
+    SourceLocation,
+)
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_program
+from repro.lang.sema import SemanticAnalyzer, analyze
+from repro.lang.types import (
+    ArrayType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    INT,
+    VOID,
+    INT_PTR,
+)
+
+__all__ = [
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "SourceLocation",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_program",
+    "SemanticAnalyzer",
+    "analyze",
+    "Type",
+    "IntType",
+    "PointerType",
+    "ArrayType",
+    "VoidType",
+    "INT",
+    "VOID",
+    "INT_PTR",
+]

@@ -1,0 +1,334 @@
+"""Abstract syntax tree for MiniC.
+
+Nodes are plain classes with positional constructors.  The semantic
+analyzer decorates expression nodes with a ``type`` attribute and name
+references with a ``symbol`` attribute; the IR builder consumes the
+decorated tree.
+"""
+
+from repro.lang.errors import UNKNOWN_LOCATION
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    def __init__(self, location=None):
+        self.location = location or UNKNOWN_LOCATION
+
+    def children(self):
+        """Child nodes, used by generic walkers; override in subclasses."""
+        return []
+
+    def __repr__(self):
+        return "{}".format(type(self).__name__)
+
+
+def walk(node):
+    """Yield ``node`` and every descendant in pre-order."""
+    yield node
+    for child in node.children():
+        if child is not None:
+            for descendant in walk(child):
+                yield descendant
+
+
+# ----------------------------------------------------------------------
+# Top level.
+# ----------------------------------------------------------------------
+
+
+class Program(Node):
+    """A whole translation unit: globals and function definitions."""
+
+    def __init__(self, items, location=None):
+        super().__init__(location)
+        self.items = items
+
+    def children(self):
+        return list(self.items)
+
+    def functions(self):
+        return [item for item in self.items if isinstance(item, FuncDef)]
+
+    def globals(self):
+        return [item for item in self.items if isinstance(item, VarDecl)]
+
+
+class VarDecl(Node):
+    """A variable declaration (global, or local inside a DeclStmt).
+
+    ``init`` is an optional initializing expression for scalars; arrays
+    may not be initialized in MiniC.
+    """
+
+    def __init__(self, name, var_type, init=None, location=None):
+        super().__init__(location)
+        self.name = name
+        self.var_type = var_type
+        self.init = init
+        self.symbol = None  # Filled by the semantic analyzer.
+
+    def children(self):
+        return [self.init] if self.init is not None else []
+
+    def __repr__(self):
+        return "VarDecl({}: {})".format(self.name, self.var_type)
+
+
+class Param(Node):
+    """A function parameter.  Array parameters decay to pointers."""
+
+    def __init__(self, name, param_type, location=None):
+        super().__init__(location)
+        self.name = name
+        self.param_type = param_type
+        self.symbol = None
+
+    def __repr__(self):
+        return "Param({}: {})".format(self.name, self.param_type)
+
+
+class FuncDef(Node):
+    """A function definition with its body."""
+
+    def __init__(self, name, return_type, params, body, location=None):
+        super().__init__(location)
+        self.name = name
+        self.return_type = return_type
+        self.params = params
+        self.body = body
+        self.symbol = None
+
+    def children(self):
+        return list(self.params) + [self.body]
+
+    def __repr__(self):
+        return "FuncDef({})".format(self.name)
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+
+class Block(Stmt):
+    def __init__(self, statements, location=None):
+        super().__init__(location)
+        self.statements = statements
+
+    def children(self):
+        return list(self.statements)
+
+
+class DeclStmt(Stmt):
+    """One or more local declarations introduced by a single ``int`` line."""
+
+    def __init__(self, decls, location=None):
+        super().__init__(location)
+        self.decls = decls
+
+    def children(self):
+        return list(self.decls)
+
+
+class ExprStmt(Stmt):
+    def __init__(self, expr, location=None):
+        super().__init__(location)
+        self.expr = expr
+
+    def children(self):
+        return [self.expr]
+
+
+class If(Stmt):
+    def __init__(self, cond, then_branch, else_branch=None, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def children(self):
+        return [self.cond, self.then_branch, self.else_branch]
+
+
+class While(Stmt):
+    def __init__(self, cond, body, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.body = body
+
+    def children(self):
+        return [self.cond, self.body]
+
+
+class DoWhile(Stmt):
+    def __init__(self, body, cond, location=None):
+        super().__init__(location)
+        self.body = body
+        self.cond = cond
+
+    def children(self):
+        return [self.body, self.cond]
+
+
+class For(Stmt):
+    """C-style for; any of init/cond/update may be ``None``.
+
+    ``init`` is either an expression or a :class:`DeclStmt`.
+    """
+
+    def __init__(self, init, cond, update, body, location=None):
+        super().__init__(location)
+        self.init = init
+        self.cond = cond
+        self.update = update
+        self.body = body
+
+    def children(self):
+        return [self.init, self.cond, self.update, self.body]
+
+
+class Return(Stmt):
+    def __init__(self, value=None, location=None):
+        super().__init__(location)
+        self.value = value
+
+    def children(self):
+        return [self.value] if self.value is not None else []
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions; ``type`` is filled in by sema."""
+
+    def __init__(self, location=None):
+        super().__init__(location)
+        self.type = None
+
+
+class IntLit(Expr):
+    def __init__(self, value, location=None):
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self):
+        return "IntLit({})".format(self.value)
+
+
+class VarRef(Expr):
+    def __init__(self, name, location=None):
+        super().__init__(location)
+        self.name = name
+        self.symbol = None
+
+    def __repr__(self):
+        return "VarRef({})".format(self.name)
+
+
+class Binary(Expr):
+    """Binary operators, including short-circuit ``&&`` and ``||``."""
+
+    def __init__(self, op, left, right, location=None):
+        super().__init__(location)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return [self.left, self.right]
+
+    def __repr__(self):
+        return "Binary({})".format(self.op)
+
+
+class Unary(Expr):
+    """Unary ``-`` and ``!``."""
+
+    def __init__(self, op, operand, location=None):
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+    def children(self):
+        return [self.operand]
+
+    def __repr__(self):
+        return "Unary({})".format(self.op)
+
+
+class Assign(Expr):
+    """Assignment; ``target`` is a VarRef, Index or Deref lvalue."""
+
+    def __init__(self, target, value, location=None):
+        super().__init__(location)
+        self.target = target
+        self.value = value
+
+    def children(self):
+        return [self.target, self.value]
+
+
+class Index(Expr):
+    """``base[index]`` where base is an array or pointer."""
+
+    def __init__(self, base, index, location=None):
+        super().__init__(location)
+        self.base = base
+        self.index = index
+
+    def children(self):
+        return [self.base, self.index]
+
+
+class Deref(Expr):
+    """``*pointer``."""
+
+    def __init__(self, pointer, location=None):
+        super().__init__(location)
+        self.pointer = pointer
+
+    def children(self):
+        return [self.pointer]
+
+
+class AddrOf(Expr):
+    """``&lvalue`` where lvalue is a VarRef or Index."""
+
+    def __init__(self, operand, location=None):
+        super().__init__(location)
+        self.operand = operand
+
+    def children(self):
+        return [self.operand]
+
+
+class Call(Expr):
+    """A function call or intrinsic (``print``)."""
+
+    def __init__(self, name, args, location=None):
+        super().__init__(location)
+        self.name = name
+        self.args = args
+        self.symbol = None
+
+    def children(self):
+        return list(self.args)
+
+    def __repr__(self):
+        return "Call({})".format(self.name)

@@ -1,0 +1,51 @@
+"""Error types and source locations shared by the whole frontend."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A (line, column) position within a named source buffer.
+
+    Lines and columns are 1-based, matching what editors display.
+    """
+
+    line: int = 0
+    column: int = 0
+    filename: str = "<minic>"
+
+    def __str__(self):
+        return "{}:{}:{}".format(self.filename, self.line, self.column)
+
+
+#: Location used for synthesized nodes with no source counterpart.
+UNKNOWN_LOCATION = SourceLocation(0, 0, "<synthesized>")
+
+
+class CompileError(Exception):
+    """Base class for every error raised by the MiniC pipeline."""
+
+    def __init__(self, message, location=None):
+        self.message = message
+        self.location = location or UNKNOWN_LOCATION
+        super().__init__("{}: {}".format(self.location, message))
+
+
+class LexError(CompileError):
+    """Raised for malformed input at the character level."""
+
+
+class ParseError(CompileError):
+    """Raised for token sequences that do not form a valid program."""
+
+
+class SemanticError(CompileError):
+    """Raised for well-formed programs that violate typing/scoping rules."""
+
+
+class IRError(CompileError):
+    """Raised when IR construction or verification fails."""
+
+
+class VMError(CompileError):
+    """Raised by the register-machine interpreter at run time."""

@@ -1,0 +1,150 @@
+"""Hand-written lexer for MiniC.
+
+The lexer is a straightforward single-pass scanner.  It supports ``//``
+line comments and ``/* ... */`` block comments, decimal and ``0x`` hex
+integer literals, and the operator set listed in
+:mod:`repro.lang.tokens`.
+"""
+
+from repro.lang.errors import LexError, SourceLocation
+from repro.lang.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+class Lexer:
+    """Converts MiniC source text into a list of :class:`Token`."""
+
+    def __init__(self, source, filename="<minic>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def location(self):
+        """Current position as a :class:`SourceLocation`."""
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def tokens(self):
+        """Scan the whole buffer and return the token list (EOF last)."""
+        result = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind is TokenKind.EOF:
+                return result
+
+    # ------------------------------------------------------------------
+    # Scanning helpers.
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_whitespace_and_comments(self):
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start = self.location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    # Token production.
+    # ------------------------------------------------------------------
+
+    def next_token(self):
+        """Produce the next token, or EOF when input is exhausted."""
+        self._skip_whitespace_and_comments()
+        loc = self.location()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", loc)
+
+        char = self._peek()
+        if char.isdigit():
+            return self._lex_number(loc)
+        if char.isalpha() or char == "_":
+            return self._lex_ident_or_keyword(loc)
+        return self._lex_operator(loc)
+
+    def _lex_number(self, loc):
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if not self._is_hex_digit(self._peek()):
+                raise LexError("malformed hex literal", loc)
+            while self._is_hex_digit(self._peek()):
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text, 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text, 10)
+        if self._peek().isalpha() or self._peek() == "_":
+            raise LexError(
+                "identifier characters may not follow a number", self.location()
+            )
+        return Token(TokenKind.INT_LITERAL, text, loc, value)
+
+    @staticmethod
+    def _is_hex_digit(char):
+        return bool(char) and char in "0123456789abcdefABCDEF"
+
+    def _lex_ident_or_keyword(self, loc):
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        keyword = KEYWORDS.get(text)
+        if keyword is not None:
+            return Token(keyword, text, loc)
+        return Token(TokenKind.IDENT, text, loc, text)
+
+    def _lex_operator(self, loc):
+        for text, kind in MULTI_CHAR_OPERATORS:
+            if self.source.startswith(text, self.pos):
+                self._advance(len(text))
+                return Token(kind, text, loc)
+        char = self._peek()
+        kind = SINGLE_CHAR_OPERATORS.get(char)
+        if kind is None:
+            raise LexError("unexpected character {!r}".format(char), loc)
+        self._advance()
+        return Token(kind, char, loc)
+
+
+def tokenize(source, filename="<minic>"):
+    """Tokenize ``source`` and return a list of tokens ending with EOF."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,370 @@
+"""Recursive-descent parser for MiniC.
+
+The grammar is a conventional C subset.  ``++``, ``--``, ``+=`` and
+``-=`` are accepted as syntactic sugar and desugared to plain
+assignments during parsing; both prefix and postfix ``++``/``--``
+evaluate to the *new* value, so they should only appear where the value
+is discarded (statements and ``for`` updates), which is how every
+shipped benchmark uses them.
+"""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+from repro.lang.types import INT, VOID, ArrayType, PointerType
+
+#: Binary operator precedence tiers, weakest first.
+_BINARY_TIERS = [
+    [(TokenKind.OR_OR, "||")],
+    [(TokenKind.AND_AND, "&&")],
+    [(TokenKind.EQ, "=="), (TokenKind.NE, "!=")],
+    [
+        (TokenKind.LT, "<"),
+        (TokenKind.LE, "<="),
+        (TokenKind.GT, ">"),
+        (TokenKind.GE, ">="),
+    ],
+    [(TokenKind.PLUS, "+"), (TokenKind.MINUS, "-")],
+    [(TokenKind.STAR, "*"), (TokenKind.SLASH, "/"), (TokenKind.PERCENT, "%")],
+]
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Token stream helpers.
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, kind):
+        return self._peek().kind is kind
+
+    def _accept(self, kind):
+        if self._at(kind):
+            token = self._peek()
+            self.index += 1
+            return token
+        return None
+
+    def _expect(self, kind, what=None):
+        token = self._accept(kind)
+        if token is None:
+            found = self._peek()
+            wanted = what or kind.value
+            raise ParseError(
+                "expected {} but found {}".format(wanted, found),
+                found.location,
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # Top level.
+    # ------------------------------------------------------------------
+
+    def parse_program(self):
+        items = []
+        while not self._at(TokenKind.EOF):
+            items.extend(self._parse_top_level_item())
+        return ast.Program(items)
+
+    def _parse_top_level_item(self):
+        loc = self._peek().location
+        if self._accept(TokenKind.KW_VOID):
+            return [self._parse_function(VOID, loc)]
+        self._expect(TokenKind.KW_INT, "'int' or 'void'")
+        # Distinguish `int f(...)` / `int *f(...)` from `int x...;` by
+        # looking past the optional '*' and the identifier.
+        offset = 1 if self._at(TokenKind.STAR) else 0
+        if (
+            self._peek(offset).kind is TokenKind.IDENT
+            and self._peek(offset + 1).kind is TokenKind.LPAREN
+        ):
+            if offset:
+                self._expect(TokenKind.STAR)
+                return [self._parse_function(PointerType(INT), loc)]
+            return [self._parse_function(INT, loc)]
+        decls = self._parse_declarator_list(loc)
+        self._expect(TokenKind.SEMICOLON)
+        return decls
+
+    def _parse_function(self, return_type, loc):
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.LPAREN)
+        params = []
+        if not self._at(TokenKind.RPAREN):
+            params.append(self._parse_param())
+            while self._accept(TokenKind.COMMA):
+                params.append(self._parse_param())
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_block()
+        return ast.FuncDef(name, return_type, params, body, loc)
+
+    def _parse_param(self):
+        loc = self._peek().location
+        self._expect(TokenKind.KW_INT)
+        if self._accept(TokenKind.STAR):
+            name = self._expect(TokenKind.IDENT).text
+            return ast.Param(name, PointerType(INT), loc)
+        name = self._expect(TokenKind.IDENT).text
+        if self._accept(TokenKind.LBRACKET):
+            self._expect(TokenKind.RBRACKET)
+            return ast.Param(name, ArrayType(INT, None), loc)
+        return ast.Param(name, INT, loc)
+
+    def _parse_declarator_list(self, loc):
+        """Parse ``declarator (, declarator)*`` after an ``int`` keyword."""
+        decls = [self._parse_declarator(loc)]
+        while self._accept(TokenKind.COMMA):
+            decls.append(self._parse_declarator(self._peek().location))
+        return decls
+
+    def _parse_declarator(self, loc):
+        if self._accept(TokenKind.STAR):
+            name = self._expect(TokenKind.IDENT).text
+            init = None
+            if self._accept(TokenKind.ASSIGN):
+                init = self._parse_expr()
+            return ast.VarDecl(name, PointerType(INT), init, loc)
+        name = self._expect(TokenKind.IDENT).text
+        if self._accept(TokenKind.LBRACKET):
+            size_token = self._expect(TokenKind.INT_LITERAL, "array size")
+            self._expect(TokenKind.RBRACKET)
+            init = None
+            if self._accept(TokenKind.ASSIGN):
+                # Parsed so the semantic analyzer can give a better error.
+                init = self._parse_expr()
+            return ast.VarDecl(name, ArrayType(INT, size_token.value), init, loc)
+        init = None
+        if self._accept(TokenKind.ASSIGN):
+            init = self._parse_expr()
+        return ast.VarDecl(name, INT, init, loc)
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+
+    def _parse_block(self):
+        loc = self._expect(TokenKind.LBRACE).location
+        statements = []
+        while not self._at(TokenKind.RBRACE):
+            statements.append(self._parse_statement())
+        self._expect(TokenKind.RBRACE)
+        return ast.Block(statements, loc)
+
+    def _parse_statement(self):
+        token = self._peek()
+        kind = token.kind
+        if kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if kind is TokenKind.KW_INT:
+            return self._parse_decl_stmt()
+        if kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if kind is TokenKind.KW_DO:
+            return self._parse_do_while()
+        if kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if kind is TokenKind.KW_RETURN:
+            return self._parse_return()
+        if kind is TokenKind.KW_BREAK:
+            self.index += 1
+            self._expect(TokenKind.SEMICOLON)
+            return ast.Break(token.location)
+        if kind is TokenKind.KW_CONTINUE:
+            self.index += 1
+            self._expect(TokenKind.SEMICOLON)
+            return ast.Continue(token.location)
+        if self._accept(TokenKind.SEMICOLON):
+            return ast.Block([], token.location)
+        expr = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON)
+        return ast.ExprStmt(expr, token.location)
+
+    def _parse_decl_stmt(self):
+        loc = self._expect(TokenKind.KW_INT).location
+        decls = self._parse_declarator_list(loc)
+        self._expect(TokenKind.SEMICOLON)
+        return ast.DeclStmt(decls, loc)
+
+    def _parse_if(self):
+        loc = self._expect(TokenKind.KW_IF).location
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        then_branch = self._parse_statement()
+        else_branch = None
+        if self._accept(TokenKind.KW_ELSE):
+            else_branch = self._parse_statement()
+        return ast.If(cond, then_branch, else_branch, loc)
+
+    def _parse_while(self):
+        loc = self._expect(TokenKind.KW_WHILE).location
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_statement()
+        return ast.While(cond, body, loc)
+
+    def _parse_do_while(self):
+        loc = self._expect(TokenKind.KW_DO).location
+        body = self._parse_statement()
+        self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMICOLON)
+        return ast.DoWhile(body, cond, loc)
+
+    def _parse_for(self):
+        loc = self._expect(TokenKind.KW_FOR).location
+        self._expect(TokenKind.LPAREN)
+        init = None
+        if self._at(TokenKind.KW_INT):
+            init = self._parse_decl_stmt()
+        elif not self._accept(TokenKind.SEMICOLON):
+            init = ast.ExprStmt(self._parse_expr(), loc)
+            self._expect(TokenKind.SEMICOLON)
+        cond = None
+        if not self._at(TokenKind.SEMICOLON):
+            cond = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON)
+        update = None
+        if not self._at(TokenKind.RPAREN):
+            update = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_statement()
+        return ast.For(init, cond, update, body, loc)
+
+    def _parse_return(self):
+        loc = self._expect(TokenKind.KW_RETURN).location
+        value = None
+        if not self._at(TokenKind.SEMICOLON):
+            value = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON)
+        return ast.Return(value, loc)
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+
+    def _parse_expr(self):
+        return self._parse_assignment()
+
+    def _parse_assignment(self):
+        left = self._parse_binary(0)
+        loc = self._peek().location
+        if self._accept(TokenKind.ASSIGN):
+            value = self._parse_assignment()
+            return ast.Assign(left, value, loc)
+        if self._accept(TokenKind.PLUS_ASSIGN):
+            value = self._parse_assignment()
+            return ast.Assign(left, ast.Binary("+", left, value, loc), loc)
+        if self._accept(TokenKind.MINUS_ASSIGN):
+            value = self._parse_assignment()
+            return ast.Assign(left, ast.Binary("-", left, value, loc), loc)
+        return left
+
+    def _parse_binary(self, tier):
+        if tier >= len(_BINARY_TIERS):
+            return self._parse_unary()
+        left = self._parse_binary(tier + 1)
+        while True:
+            matched = False
+            for kind, op in _BINARY_TIERS[tier]:
+                token = self._accept(kind)
+                if token is not None:
+                    right = self._parse_binary(tier + 1)
+                    left = ast.Binary(op, left, right, token.location)
+                    matched = True
+                    break
+            if not matched:
+                return left
+
+    def _parse_unary(self):
+        token = self._peek()
+        if self._accept(TokenKind.MINUS):
+            return ast.Unary("-", self._parse_unary(), token.location)
+        if self._accept(TokenKind.BANG):
+            return ast.Unary("!", self._parse_unary(), token.location)
+        if self._accept(TokenKind.STAR):
+            return ast.Deref(self._parse_unary(), token.location)
+        if self._accept(TokenKind.AMP):
+            return ast.AddrOf(self._parse_unary(), token.location)
+        if self._accept(TokenKind.PLUS_PLUS):
+            target = self._parse_unary()
+            one = ast.IntLit(1, token.location)
+            return ast.Assign(
+                target, ast.Binary("+", target, one, token.location), token.location
+            )
+        if self._accept(TokenKind.MINUS_MINUS):
+            target = self._parse_unary()
+            one = ast.IntLit(1, token.location)
+            return ast.Assign(
+                target, ast.Binary("-", target, one, token.location), token.location
+            )
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if self._accept(TokenKind.LBRACKET):
+                index = self._parse_expr()
+                self._expect(TokenKind.RBRACKET)
+                expr = ast.Index(expr, index, token.location)
+            elif self._accept(TokenKind.PLUS_PLUS):
+                one = ast.IntLit(1, token.location)
+                expr = ast.Assign(
+                    expr, ast.Binary("+", expr, one, token.location), token.location
+                )
+            elif self._accept(TokenKind.MINUS_MINUS):
+                one = ast.IntLit(1, token.location)
+                expr = ast.Assign(
+                    expr, ast.Binary("-", expr, one, token.location), token.location
+                )
+            else:
+                return expr
+
+    def _parse_primary(self):
+        token = self._peek()
+        if self._accept(TokenKind.INT_LITERAL):
+            return ast.IntLit(token.value, token.location)
+        if self._at(TokenKind.IDENT):
+            if self._peek(1).kind is TokenKind.LPAREN:
+                return self._parse_call()
+            self.index += 1
+            return ast.VarRef(token.text, token.location)
+        if self._accept(TokenKind.LPAREN):
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        raise ParseError(
+            "expected an expression but found {}".format(token), token.location
+        )
+
+    def _parse_call(self):
+        name_token = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.LPAREN)
+        args = []
+        if not self._at(TokenKind.RPAREN):
+            args.append(self._parse_expr())
+            while self._accept(TokenKind.COMMA):
+                args.append(self._parse_expr())
+        self._expect(TokenKind.RPAREN)
+        return ast.Call(name_token.text, args, name_token.location)
+
+
+def parse_program(source, filename="<minic>"):
+    """Parse MiniC ``source`` into an undecorated AST."""
+    return Parser(tokenize(source, filename)).parse_program()

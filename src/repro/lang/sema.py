@@ -1,0 +1,449 @@
+"""Semantic analysis for MiniC.
+
+Responsibilities:
+
+* build scopes and resolve every name to a :class:`Symbol`;
+* type-check every expression and statement, decorating nodes;
+* enforce the 4-register argument convention (at most 4 parameters);
+* record the facts the alias analysis needs (``address_taken`` on
+  scalars, ``escapes`` on arrays).
+"""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import SemanticError
+from repro.lang.symbols import Scope, Symbol, SymbolKind
+from repro.lang.types import INT, VOID, PointerType
+
+#: Maximum arguments supported by the register calling convention (r0-r3).
+MAX_CALL_ARGS = 4
+
+#: Intrinsics available without declaration: name -> (param types, result).
+INTRINSICS = {
+    "print": ((INT,), VOID),
+}
+
+
+class AnalyzedProgram:
+    """The result of semantic analysis: decorated AST plus symbol tables."""
+
+    def __init__(self, program, globals_, functions):
+        self.program = program
+        self.globals = globals_  # list[Symbol] in declaration order
+        self.functions = functions  # dict[name, FuncDef]
+
+    def function(self, name):
+        return self.functions[name]
+
+
+class SemanticAnalyzer:
+    """Single-pass type checker and name resolver."""
+
+    def __init__(self, program):
+        self.program = program
+        self.global_scope = Scope()
+        self.globals = []
+        self.functions = {}
+        self.current_function = None
+        self.loop_depth = 0
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+
+    def analyze(self):
+        # Declare all functions first so forward references work.
+        for item in self.program.items:
+            if isinstance(item, ast.FuncDef):
+                self._declare_function(item)
+        for item in self.program.items:
+            if isinstance(item, ast.VarDecl):
+                self._declare_global(item)
+            else:
+                self._check_function(item)
+        return AnalyzedProgram(self.program, self.globals, self.functions)
+
+    # ------------------------------------------------------------------
+    # Declarations.
+    # ------------------------------------------------------------------
+
+    def _declare_function(self, func):
+        if func.name in INTRINSICS:
+            raise SemanticError(
+                "'{}' is a builtin and cannot be redefined".format(func.name),
+                func.location,
+            )
+        if len(func.params) > MAX_CALL_ARGS:
+            raise SemanticError(
+                "functions may take at most {} arguments "
+                "(register calling convention)".format(MAX_CALL_ARGS),
+                func.location,
+            )
+        symbol = Symbol(func.name, None, SymbolKind.FUNCTION, func.location)
+        symbol.return_type = func.return_type
+        symbol.param_types = tuple(p.param_type.decayed() for p in func.params)
+        self.global_scope.declare(symbol)
+        func.symbol = symbol
+        self.functions[func.name] = func
+
+    def _declare_global(self, decl):
+        if decl.init is not None and decl.var_type.is_array():
+            raise SemanticError(
+                "arrays may not be initialized", decl.location
+            )
+        if decl.init is not None:
+            value = self._constant_value(decl.init)
+            if decl.var_type.is_pointer() and value != 0:
+                raise SemanticError(
+                    "pointer globals may only be initialized to 0", decl.location
+                )
+            decl.init.type = INT
+            decl.const_init = value
+        else:
+            decl.const_init = 0
+        symbol = Symbol(decl.name, decl.var_type, SymbolKind.GLOBAL, decl.location)
+        self.global_scope.declare(symbol)
+        decl.symbol = symbol
+        self.globals.append(symbol)
+
+    def _constant_value(self, expr):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._constant_value(expr.operand)
+        raise SemanticError(
+            "global initializers must be integer constants", expr.location
+        )
+
+    # ------------------------------------------------------------------
+    # Functions and statements.
+    # ------------------------------------------------------------------
+
+    def _check_function(self, func):
+        self.current_function = func
+        scope = Scope(self.global_scope)
+        for param in func.params:
+            symbol = Symbol(
+                param.name, param.param_type.decayed(), SymbolKind.PARAM,
+                param.location,
+            )
+            scope.declare(symbol)
+            param.symbol = symbol
+        self._check_block(func.body, scope)
+        self.current_function = None
+
+    def _check_block(self, block, parent_scope):
+        scope = Scope(parent_scope)
+        for stmt in block.statements:
+            self._check_statement(stmt, scope)
+
+    def _check_statement(self, stmt, scope):
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self._check_local_decl(decl, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._require_scalar(self._check_expr(stmt.cond, scope), stmt.cond)
+            self._check_statement(stmt.then_branch, scope)
+            if stmt.else_branch is not None:
+                self._check_statement(stmt.else_branch, scope)
+        elif isinstance(stmt, ast.While):
+            self._require_scalar(self._check_expr(stmt.cond, scope), stmt.cond)
+            self._in_loop(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._in_loop(stmt.body, scope)
+            self._require_scalar(self._check_expr(stmt.cond, scope), stmt.cond)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if isinstance(stmt.init, ast.DeclStmt):
+                for decl in stmt.init.decls:
+                    self._check_local_decl(decl, inner)
+            elif isinstance(stmt.init, ast.ExprStmt):
+                self._check_expr(stmt.init.expr, inner)
+            if stmt.cond is not None:
+                self._require_scalar(self._check_expr(stmt.cond, inner), stmt.cond)
+            if stmt.update is not None:
+                self._check_expr(stmt.update, inner)
+            self._in_loop(stmt.body, inner)
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                raise SemanticError(
+                    "break/continue outside of a loop", stmt.location
+                )
+        else:
+            raise SemanticError(
+                "unhandled statement {}".format(type(stmt).__name__), stmt.location
+            )
+
+    def _in_loop(self, body, scope):
+        self.loop_depth += 1
+        self._check_statement(body, scope)
+        self.loop_depth -= 1
+
+    def _check_local_decl(self, decl, scope):
+        symbol = Symbol(decl.name, decl.var_type, SymbolKind.LOCAL, decl.location)
+        if decl.init is not None:
+            if decl.var_type.is_array():
+                raise SemanticError(
+                    "array locals may not be initialized", decl.location
+                )
+            init_type = self._check_expr(decl.init, scope)
+            self._note_decay_escape(decl.init, init_type)
+            self._check_assignable(decl.var_type, init_type, decl.init)
+        scope.declare(symbol)
+        decl.symbol = symbol
+
+    def _check_return(self, stmt, scope):
+        expected = self.current_function.return_type
+        if stmt.value is None:
+            if not expected.is_void():
+                raise SemanticError(
+                    "non-void function must return a value", stmt.location
+                )
+            return
+        if expected.is_void():
+            raise SemanticError(
+                "void function may not return a value", stmt.location
+            )
+        actual = self._check_expr(stmt.value, scope)
+        self._note_decay_escape(stmt.value, actual)
+        self._check_assignable(expected, actual, stmt.value)
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+
+    def _check_expr(self, expr, scope):
+        checker = _EXPR_CHECKERS.get(type(expr))
+        if checker is None:
+            raise SemanticError(
+                "unhandled expression {}".format(type(expr).__name__),
+                expr.location,
+            )
+        expr.type = checker(self, expr, scope)
+        return expr.type
+
+    def _check_int_lit(self, expr, scope):
+        return INT
+
+    def _check_var_ref(self, expr, scope):
+        symbol = scope.lookup(expr.name)
+        if symbol is None:
+            raise SemanticError(
+                "use of undeclared name '{}'".format(expr.name), expr.location
+            )
+        if symbol.kind is SymbolKind.FUNCTION:
+            raise SemanticError(
+                "function '{}' used as a value".format(expr.name), expr.location
+            )
+        expr.symbol = symbol
+        return symbol.type
+
+    def _check_binary(self, expr, scope):
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            self._require_scalar(left, expr.left)
+            self._require_scalar(right, expr.right)
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            self._require_comparable(left, right, expr)
+            return INT
+        left_d = left.decayed()
+        right_d = right.decayed()
+        self._note_decay_escape(expr.left, left)
+        self._note_decay_escape(expr.right, right)
+        if op == "+":
+            if left_d.is_pointer() and right_d.is_int():
+                return left_d
+            if left_d.is_int() and right_d.is_pointer():
+                return right_d
+        if op == "-":
+            if left_d.is_pointer() and right_d.is_int():
+                return left_d
+            if left_d.is_pointer() and right_d.is_pointer():
+                return INT
+        if left_d.is_int() and right_d.is_int():
+            return INT
+        raise SemanticError(
+            "invalid operands to '{}': {} and {}".format(op, left, right),
+            expr.location,
+        )
+
+    def _check_unary(self, expr, scope):
+        operand = self._check_expr(expr.operand, scope)
+        if expr.op in ("-", "!"):
+            if not operand.decayed().is_int():
+                raise SemanticError(
+                    "operand of '{}' must be int, got {}".format(expr.op, operand),
+                    expr.location,
+                )
+            return INT
+        raise SemanticError("unknown unary '{}'".format(expr.op), expr.location)
+
+    def _check_assign(self, expr, scope):
+        target_type = self._check_lvalue(expr.target, scope)
+        value_type = self._check_expr(expr.value, scope)
+        self._note_decay_escape(expr.value, value_type)
+        self._check_assignable(target_type, value_type, expr.value)
+        return target_type
+
+    def _check_lvalue(self, target, scope):
+        if isinstance(target, ast.VarRef):
+            target_type = self._check_expr(target, scope)
+            if target_type.is_array():
+                raise SemanticError(
+                    "cannot assign to array '{}'".format(target.name),
+                    target.location,
+                )
+            return target_type
+        if isinstance(target, ast.Index):
+            return self._check_expr(target, scope)
+        if isinstance(target, ast.Deref):
+            return self._check_expr(target, scope)
+        raise SemanticError("expression is not assignable", target.location)
+
+    def _check_index(self, expr, scope):
+        base = self._check_expr(expr.base, scope)
+        index = self._check_expr(expr.index, scope)
+        if not index.decayed().is_int():
+            raise SemanticError("array index must be int", expr.index.location)
+        if base.is_array():
+            return base.element
+        if base.is_pointer():
+            return base.element
+        raise SemanticError(
+            "subscripted value is neither array nor pointer", expr.location
+        )
+
+    def _check_deref(self, expr, scope):
+        pointer = self._check_expr(expr.pointer, scope)
+        decayed = pointer.decayed()
+        self._note_decay_escape(expr.pointer, pointer)
+        if not decayed.is_pointer():
+            raise SemanticError(
+                "cannot dereference non-pointer {}".format(pointer), expr.location
+            )
+        return decayed.element
+
+    def _check_addr_of(self, expr, scope):
+        operand = expr.operand
+        if isinstance(operand, ast.VarRef):
+            operand_type = self._check_expr(operand, scope)
+            if operand_type.is_array():
+                # &a is the same word address as a itself in MiniC.
+                operand.symbol.escapes = True
+                return PointerType(operand_type.element)
+            operand.symbol.address_taken = True
+            if operand_type.is_pointer():
+                raise SemanticError(
+                    "MiniC has no pointer-to-pointer type", expr.location
+                )
+            return PointerType(operand_type)
+        if isinstance(operand, ast.Index):
+            element = self._check_expr(operand, scope)
+            self._note_decay_escape(operand.base, operand.base.type)
+            return PointerType(element)
+        raise SemanticError(
+            "'&' requires a variable or array element", expr.location
+        )
+
+    def _check_call(self, expr, scope):
+        intrinsic = INTRINSICS.get(expr.name)
+        if intrinsic is not None:
+            param_types, result = intrinsic
+        else:
+            symbol = self.global_scope.lookup(expr.name)
+            if symbol is None or symbol.kind is not SymbolKind.FUNCTION:
+                raise SemanticError(
+                    "call to undeclared function '{}'".format(expr.name),
+                    expr.location,
+                )
+            expr.symbol = symbol
+            param_types, result = symbol.param_types, symbol.return_type
+        if len(expr.args) != len(param_types):
+            raise SemanticError(
+                "'{}' expects {} arguments, got {}".format(
+                    expr.name, len(param_types), len(expr.args)
+                ),
+                expr.location,
+            )
+        for arg, expected in zip(expr.args, param_types):
+            actual = self._check_expr(arg, scope)
+            self._note_decay_escape(arg, actual)
+            self._check_assignable(expected, actual, arg)
+        return result
+
+    # ------------------------------------------------------------------
+    # Type rules.
+    # ------------------------------------------------------------------
+
+    def _check_assignable(self, target, value, node):
+        value_d = value.decayed()
+        if target.is_int() and value_d.is_int():
+            return
+        if target.is_pointer() and value_d.is_pointer():
+            if target == value_d:
+                return
+        if target.is_pointer() and isinstance(node, ast.IntLit) and node.value == 0:
+            return  # Null pointer constant.
+        raise SemanticError(
+            "cannot assign {} to {}".format(value, target),
+            getattr(node, "location", None),
+        )
+
+    def _require_scalar(self, found, node):
+        if not found.decayed().is_scalar():
+            raise SemanticError(
+                "expected a scalar value, got {}".format(found), node.location
+            )
+
+    def _require_comparable(self, left, right, expr):
+        left_d = left.decayed()
+        right_d = right.decayed()
+        self._note_decay_escape(expr.left, left)
+        self._note_decay_escape(expr.right, right)
+        if left_d.is_int() and right_d.is_int():
+            return
+        if left_d.is_pointer() and right_d.is_pointer():
+            return
+        if left_d.is_pointer() and isinstance(expr.right, ast.IntLit):
+            return
+        if right_d.is_pointer() and isinstance(expr.left, ast.IntLit):
+            return
+        raise SemanticError(
+            "cannot compare {} with {}".format(left, right), expr.location
+        )
+
+    def _note_decay_escape(self, node, node_type):
+        """Record that an array's base address leaked into pointer context."""
+        if (
+            node_type is not None
+            and node_type.is_array()
+            and isinstance(node, ast.VarRef)
+            and node.symbol is not None
+        ):
+            node.symbol.escapes = True
+
+
+_EXPR_CHECKERS = {
+    ast.IntLit: SemanticAnalyzer._check_int_lit,
+    ast.VarRef: SemanticAnalyzer._check_var_ref,
+    ast.Binary: SemanticAnalyzer._check_binary,
+    ast.Unary: SemanticAnalyzer._check_unary,
+    ast.Assign: SemanticAnalyzer._check_assign,
+    ast.Index: SemanticAnalyzer._check_index,
+    ast.Deref: SemanticAnalyzer._check_deref,
+    ast.AddrOf: SemanticAnalyzer._check_addr_of,
+    ast.Call: SemanticAnalyzer._check_call,
+}
+
+
+def analyze(program):
+    """Type-check and resolve ``program``; returns :class:`AnalyzedProgram`."""
+    return SemanticAnalyzer(program).analyze()

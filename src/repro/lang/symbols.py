@@ -1,0 +1,87 @@
+"""Symbols and lexical scopes for MiniC."""
+
+import itertools
+from enum import Enum, unique
+
+from repro.lang.errors import SemanticError
+
+_symbol_ids = itertools.count(1)
+
+
+@unique
+class SymbolKind(Enum):
+    GLOBAL = "global"
+    LOCAL = "local"
+    PARAM = "param"
+    FUNCTION = "function"
+
+
+class Symbol:
+    """A named program entity.
+
+    The flags ``address_taken`` and ``escapes`` are filled in by the
+    semantic analyzer and consumed by the alias analysis:
+
+    * ``address_taken`` — a scalar whose address is observed via ``&``;
+      such a scalar can be reached through pointers and is therefore
+      *ambiguously aliased* in the paper's taxonomy.
+    * ``escapes`` — an array whose base address flows into a pointer
+      value (argument passing, pointer assignment, pointer arithmetic),
+      so its elements may be reached under a different name.
+    """
+
+    def __init__(self, name, symbol_type, kind, location=None):
+        self.id = next(_symbol_ids)
+        self.name = name
+        self.type = symbol_type
+        self.kind = kind
+        self.location = location
+        self.address_taken = False
+        self.escapes = False
+        # Filled by the IR builder: storage assignment.
+        self.frame_slot = None
+        self.global_address = None
+        # Filled for FUNCTION symbols.
+        self.return_type = None
+        self.param_types = ()
+
+    def is_array(self):
+        return self.type is not None and self.type.is_array()
+
+    def is_scalar(self):
+        return self.type is not None and self.type.is_scalar()
+
+    def is_global(self):
+        return self.kind is SymbolKind.GLOBAL
+
+    def storage_name(self):
+        """A unique, human-readable name for diagnostics and traces."""
+        return "{}#{}".format(self.name, self.id)
+
+    def __repr__(self):
+        return "Symbol({}, {}, {})".format(self.name, self.type, self.kind.value)
+
+
+class Scope:
+    """One lexical scope level; chains to an enclosing scope."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names = {}
+
+    def declare(self, symbol):
+        if symbol.name in self.names:
+            raise SemanticError(
+                "redeclaration of '{}'".format(symbol.name), symbol.location
+            )
+        self.names[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            symbol = scope.names.get(name)
+            if symbol is not None:
+                return symbol
+            scope = scope.parent
+        return None

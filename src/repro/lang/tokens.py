@@ -1,0 +1,132 @@
+"""Token definitions for the MiniC lexer."""
+
+from dataclasses import dataclass
+from enum import Enum, unique
+
+from repro.lang.errors import SourceLocation
+
+
+@unique
+class TokenKind(Enum):
+    """Every distinct lexeme class MiniC recognises."""
+
+    # Literals and identifiers.
+    INT_LITERAL = "int_literal"
+    IDENT = "ident"
+
+    # Keywords.
+    KW_INT = "int"
+    KW_VOID = "void"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_DO = "do"
+
+    # Punctuation and operators.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    BANG = "!"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND_AND = "&&"
+    OR_OR = "||"
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+
+    # End of input.
+    EOF = "eof"
+
+
+#: Reserved words mapped to their keyword token kinds.
+KEYWORDS = {
+    "int": TokenKind.KW_INT,
+    "void": TokenKind.KW_VOID,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "do": TokenKind.KW_DO,
+}
+
+#: Multi-character operators, longest first so the lexer can try them greedily.
+MULTI_CHAR_OPERATORS = [
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.AND_AND),
+    ("||", TokenKind.OR_OR),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+]
+
+#: Single-character operators and punctuation.
+SINGLE_CHAR_OPERATORS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "!": TokenKind.BANG,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source location.
+
+    ``value`` carries the integer value for INT_LITERAL tokens and the
+    identifier text for IDENT tokens; it is ``None`` otherwise.
+    """
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+    value: object = None
+
+    def __str__(self):
+        if self.kind is TokenKind.INT_LITERAL:
+            return "INT({})".format(self.value)
+        if self.kind is TokenKind.IDENT:
+            return "IDENT({})".format(self.text)
+        return self.kind.name

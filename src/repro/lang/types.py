@@ -1,0 +1,114 @@
+"""MiniC's tiny type system.
+
+The machine is word addressed: an ``int`` occupies one word, and pointer
+arithmetic moves by whole words, so ``a[i]`` lives at address ``a + i``.
+This matches the paper's line-size-one data-cache model where every datum
+is one word.
+"""
+
+
+class Type:
+    """Base class for MiniC types.  Instances are immutable and hashable."""
+
+    def is_int(self):
+        return isinstance(self, IntType)
+
+    def is_pointer(self):
+        return isinstance(self, PointerType)
+
+    def is_array(self):
+        return isinstance(self, ArrayType)
+
+    def is_void(self):
+        return isinstance(self, VoidType)
+
+    def is_scalar(self):
+        """True for values that fit in one machine register."""
+        return self.is_int() or self.is_pointer()
+
+    def decayed(self):
+        """Array-to-pointer decay; identity for everything else."""
+        if isinstance(self, ArrayType):
+            return PointerType(self.element)
+        return self
+
+
+class IntType(Type):
+    """The one-word signed integer type."""
+
+    def __repr__(self):
+        return "int"
+
+    def __eq__(self, other):
+        return isinstance(other, IntType)
+
+    def __hash__(self):
+        return hash("int")
+
+
+class VoidType(Type):
+    """Return type of procedures that produce no value."""
+
+    def __repr__(self):
+        return "void"
+
+    def __eq__(self, other):
+        return isinstance(other, VoidType)
+
+    def __hash__(self):
+        return hash("void")
+
+
+class PointerType(Type):
+    """Pointer to ``element`` (always ``int`` in MiniC today)."""
+
+    def __init__(self, element):
+        self.element = element
+
+    def __repr__(self):
+        return "{}*".format(self.element)
+
+    def __eq__(self, other):
+        return isinstance(other, PointerType) and self.element == other.element
+
+    def __hash__(self):
+        return hash(("ptr", self.element))
+
+
+class ArrayType(Type):
+    """Fixed-size array of ``length`` elements of type ``element``.
+
+    ``length`` may be ``None`` for array-typed parameters (``int a[]``),
+    which decay to pointers.
+    """
+
+    def __init__(self, element, length):
+        self.element = element
+        self.length = length
+
+    def __repr__(self):
+        if self.length is None:
+            return "{}[]".format(self.element)
+        return "{}[{}]".format(self.element, self.length)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ArrayType)
+            and self.element == other.element
+            and self.length == other.length
+        )
+
+    def __hash__(self):
+        return hash(("array", self.element, self.length))
+
+    def size_words(self):
+        """Storage footprint in machine words."""
+        if self.length is None:
+            raise ValueError("unsized array has no storage footprint")
+        return self.length
+
+
+#: Shared singletons for the common cases.
+INT = IntType()
+VOID = VoidType()
+INT_PTR = PointerType(INT)

@@ -1,0 +1,31 @@
+"""The paper's six benchmark programs, written in MiniC.
+
+Section 5 of the paper evaluates on benchmarks "taken from the DARPA
+MIPS package" — the classic Stanford small-integer suite.  Each module
+here provides the MiniC source (faithful to the Stanford algorithm,
+including the original linear-congruential generators and seeds) plus a
+line-by-line Python mirror whose output serves as the differential-
+testing oracle.
+
+Each benchmark accepts a scale parameter.  ``paper`` scale matches the
+sizes in the paper (Bubble 500, Intmm 40x40, Puzzle 511, Queen 8,
+Sieve 8190, Towers 18); ``default`` scale is smaller so the whole
+harness runs quickly under a pure-Python VM.  The size-sweep ablation
+bench verifies the reported fractions are stable across scales.
+"""
+
+from repro.programs.registry import (
+    BENCHMARK_NAMES,
+    EXTRA_BENCHMARK_NAMES,
+    Benchmark,
+    get_benchmark,
+    iter_benchmarks,
+)
+
+__all__ = [
+    "Benchmark",
+    "BENCHMARK_NAMES",
+    "EXTRA_BENCHMARK_NAMES",
+    "get_benchmark",
+    "iter_benchmarks",
+]

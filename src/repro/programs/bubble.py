@@ -1,0 +1,91 @@
+"""Bubble — "a typical bubble sort program, executed on a set of
+500 random data" (paper Section 5).
+
+Faithful to the Stanford suite: the array is filled by the Stanford
+linear-congruential generator (seed 74755), sorted, and checked.  The
+program prints the smallest element, the largest element, and a
+checksum; a sortedness flag of 1 means success.
+"""
+
+#: Paper scale: 500 elements.
+PAPER_N = 500
+DEFAULT_N = 200
+
+_TEMPLATE = """
+// Bubble sort of {n} pseudo-random integers (Stanford 'Bubble').
+int seed;
+int a[{n}];
+
+int nextrand() {{
+    seed = (seed * 1309 + 13849) % 65536;
+    return seed;
+}}
+
+void initarr() {{
+    int i;
+    seed = 74755;
+    for (i = 0; i < {n}; i++) {{
+        a[i] = nextrand();
+    }}
+}}
+
+void bsort() {{
+    int top;
+    int i;
+    top = {n} - 1;
+    while (top > 0) {{
+        i = 0;
+        while (i < top) {{
+            if (a[i] > a[i + 1]) {{
+                int t;
+                t = a[i];
+                a[i] = a[i + 1];
+                a[i + 1] = t;
+            }}
+            i = i + 1;
+        }}
+        top = top - 1;
+    }}
+}}
+
+int main() {{
+    int i;
+    int sorted;
+    int check;
+    initarr();
+    bsort();
+    sorted = 1;
+    for (i = 0; i < {n} - 1; i++) {{
+        if (a[i] > a[i + 1]) {{
+            sorted = 0;
+        }}
+    }}
+    check = 0;
+    for (i = 0; i < {n}; i++) {{
+        check = (check + a[i] * (i + 1)) % 1000000;
+    }}
+    print(a[0]);
+    print(a[{n} - 1]);
+    print(sorted);
+    print(check);
+    return 0;
+}}
+"""
+
+
+def source(n=DEFAULT_N):
+    return _TEMPLATE.format(n=n)
+
+
+def reference_output(n=DEFAULT_N):
+    """Python mirror of the MiniC program above."""
+    seed = 74755
+    values = []
+    for _ in range(n):
+        seed = (seed * 1309 + 13849) % 65536
+        values.append(seed)
+    values.sort()
+    check = 0
+    for index, value in enumerate(values):
+        check = (check + value * (index + 1)) % 1000000
+    return [values[0], values[-1], 1, check]

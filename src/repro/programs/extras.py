@@ -1,0 +1,171 @@
+"""Extra Stanford-suite workloads beyond the paper's six.
+
+The paper evaluates on six programs from the DARPA MIPS package; the
+full Stanford small-integer suite also contains Quicksort and Perm,
+which stress recursion-plus-array traffic in ways the six do not
+(Quicksort: recursive partitioning over one shared array; Perm:
+deep recursion with an array permuted in place).  They are provided as
+additional workloads for the sweeps and as harder end-to-end compiler
+tests; they are *not* part of the Figure 5 reproduction.
+"""
+
+QUICKSORT_DEFAULT_N = 200
+QUICKSORT_PAPER_N = 5000  # Stanford's sortelements
+
+_QUICKSORT_TEMPLATE = """
+// Recursive quicksort of {n} pseudo-random integers (Stanford 'Quick').
+int seed;
+int a[{n}];
+
+int nextrand() {{
+    seed = (seed * 1309 + 13849) % 65536;
+    return seed;
+}}
+
+void initarr() {{
+    int i;
+    seed = 74755;
+    for (i = 0; i < {n}; i++) {{
+        a[i] = nextrand();
+    }}
+}}
+
+void quicksort(int lo, int hi) {{
+    int i;
+    int j;
+    int pivot;
+    int t;
+    i = lo;
+    j = hi;
+    pivot = a[(lo + hi) / 2];
+    while (i <= j) {{
+        while (a[i] < pivot) {{
+            i = i + 1;
+        }}
+        while (pivot < a[j]) {{
+            j = j - 1;
+        }}
+        if (i <= j) {{
+            t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }}
+    }}
+    if (lo < j) {{
+        quicksort(lo, j);
+    }}
+    if (i < hi) {{
+        quicksort(i, hi);
+    }}
+}}
+
+int main() {{
+    int i;
+    int sorted;
+    int check;
+    initarr();
+    quicksort(0, {n} - 1);
+    sorted = 1;
+    for (i = 0; i < {n} - 1; i++) {{
+        if (a[i] > a[i + 1]) {{
+            sorted = 0;
+        }}
+    }}
+    check = 0;
+    for (i = 0; i < {n}; i++) {{
+        check = (check + a[i] * (i + 1)) % 1000000;
+    }}
+    print(a[0]);
+    print(a[{n} - 1]);
+    print(sorted);
+    print(check);
+    return 0;
+}}
+"""
+
+
+def quicksort_source(n=QUICKSORT_DEFAULT_N):
+    return _QUICKSORT_TEMPLATE.format(n=n)
+
+
+def quicksort_reference(n=QUICKSORT_DEFAULT_N):
+    seed = 74755
+    values = []
+    for _ in range(n):
+        seed = (seed * 1309 + 13849) % 65536
+        values.append(seed)
+    values.sort()
+    check = 0
+    for index, value in enumerate(values):
+        check = (check + value * (index + 1)) % 1000000
+    return [values[0], values[-1], 1, check]
+
+
+PERM_DEFAULT_N = 6
+PERM_PAPER_N = 7  # Stanford runs permute(7) five times.
+
+_PERM_TEMPLATE = """
+// Permutation counter (Stanford 'Perm'), n = {n}.
+int permarray[{slots}];
+int pctr;
+
+void swapelm(int i, int j) {{
+    int t;
+    t = permarray[i];
+    permarray[i] = permarray[j];
+    permarray[j] = t;
+}}
+
+void permute(int n) {{
+    int k;
+    pctr = pctr + 1;
+    if (n != 1) {{
+        permute(n - 1);
+        for (k = n - 1; k >= 1; k--) {{
+            swapelm(n - 1, k - 1);
+            permute(n - 1);
+            swapelm(n - 1, k - 1);
+        }}
+    }}
+}}
+
+int main() {{
+    int i;
+    pctr = 0;
+    for (i = 0; i < {n}; i++) {{
+        permarray[i] = i;
+    }}
+    permute({n});
+    print(pctr);
+    return 0;
+}}
+"""
+
+
+def perm_source(n=PERM_DEFAULT_N):
+    return _PERM_TEMPLATE.format(n=n, slots=n + 1)
+
+
+def perm_reference(n=PERM_DEFAULT_N):
+    """Mirror of the MiniC program; pctr follows a(n) = n*a(n-1) + 1
+    (Stanford Perm.c checks a(7) == 8660)."""
+    permarray = list(range(n + 1))
+    pctr = 0
+
+    def swapelm(i, j):
+        permarray[i], permarray[j] = permarray[j], permarray[i]
+
+    def permute(m):
+        nonlocal pctr
+        pctr += 1
+        if m != 1:
+            permute(m - 1)
+            for k in range(m - 1, 0, -1):
+                swapelm(m - 1, k - 1)
+                permute(m - 1)
+                swapelm(m - 1, k - 1)
+
+    permute(n)
+    return [pctr]

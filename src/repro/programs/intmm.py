@@ -1,0 +1,110 @@
+"""Intmm — integer matrix multiplication of two n-by-n matrices
+(paper Section 5: 40 by 40).
+
+Matrices are stored flattened (MiniC arrays are one-dimensional, like
+the word-addressed machine itself); indexing is explicit ``i*n + j``
+arithmetic, which is exactly the "intersection alias" array traffic the
+paper classifies as ambiguous.
+"""
+
+PAPER_N = 40
+DEFAULT_N = 24
+
+_TEMPLATE = """
+// Integer matrix multiply, {n} x {n} (Stanford 'Intmm').
+int seed;
+int ima[{nn}];
+int imb[{nn}];
+int imr[{nn}];
+
+int nextrand() {{
+    seed = (seed * 1309 + 13849) % 65536;
+    return seed;
+}}
+
+void initmat(int *m) {{
+    int i;
+    int j;
+    for (i = 0; i < {n}; i++) {{
+        for (j = 0; j < {n}; j++) {{
+            m[i * {n} + j] = nextrand() % 121 - 60;
+        }}
+    }}
+}}
+
+int innerproduct(int *row, int *col) {{
+    int sum;
+    int k;
+    sum = 0;
+    for (k = 0; k < {n}; k++) {{
+        sum = sum + row[k] * col[k * {n}];
+    }}
+    return sum;
+}}
+
+int main() {{
+    int i;
+    int j;
+    int check;
+    seed = 74755;
+    initmat(ima);
+    initmat(imb);
+    for (i = 0; i < {n}; i++) {{
+        for (j = 0; j < {n}; j++) {{
+            imr[i * {n} + j] = innerproduct(&ima[i * {n}], &imb[j]);
+        }}
+    }}
+    check = 0;
+    for (i = 0; i < {nn}; i++) {{
+        check = (check + imr[i]) % 1000000;
+        if (check < 0) {{
+            check = check + 1000000;
+        }}
+    }}
+    print(imr[0]);
+    print(imr[{nn} - 1]);
+    print(check);
+    return 0;
+}}
+"""
+
+
+def source(n=DEFAULT_N):
+    return _TEMPLATE.format(n=n, nn=n * n)
+
+
+def reference_output(n=DEFAULT_N):
+    seed = 74755
+
+    def nextrand():
+        nonlocal seed
+        seed = (seed * 1309 + 13849) % 65536
+        return seed
+
+    def c_mod(a, b):
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return a - q * b
+
+    def initmat():
+        return [
+            [c_mod(nextrand(), 121) - 60 for _j in range(n)] for _i in range(n)
+        ]
+
+    ima = initmat()
+    imb = initmat()
+    imr = [
+        [
+            sum(ima[i][k] * imb[k][j] for k in range(n))
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+    check = 0
+    for i in range(n):
+        for j in range(n):
+            check = c_mod(check + imr[i][j], 1000000)
+            if check < 0:
+                check += 1000000
+    return [imr[0][0], imr[n - 1][n - 1], check]

@@ -1,0 +1,285 @@
+"""Puzzle — "a compute-bound program from Forest Baskett, which runs
+with a size of 511" (paper Section 5).
+
+The classic 3-D packing puzzle: a 5x5x5 cavity inside an 8x8x8 tray is
+filled with 13+3+1+1 pieces by exhaustive recursive trial.  Pieces are
+bitmaps over the flattened tray (``i*64 + j*8 + k``), matching the
+original's ``p[type][size]`` tables.
+
+The tray array carries a 200-word sentinel margin of occupied cells so
+that ``fit`` probes beyond position 511 read a deterministic "occupied"
+value instead of whatever happens to live after the array — the
+original C program really does read past ``puzzle[size]`` and survives
+only by the accident of memory layout.
+
+Scales:
+
+* ``paper`` — the full Baskett configuration (solution after 2005
+  trial calls in the original).
+* ``small`` — same tray and code paths, but a 3x3x3 cavity packed by
+  nine 1x1x3 rods; the search is two orders of magnitude cheaper.
+"""
+
+PAPER_SCALE = "paper"
+DEFAULT_SCALE = "small"
+
+_D = 8
+_SIZE = 511
+_MARGIN = 200  # >= max piecemax
+_TRAY = _SIZE + 1 + _MARGIN
+
+#: (imax, jmax, kmax, class) per piece type, in trial order.
+_PAPER_PIECES = [
+    (3, 1, 0, 0),
+    (1, 0, 3, 0),
+    (0, 3, 1, 0),
+    (1, 3, 0, 0),
+    (3, 0, 1, 0),
+    (0, 1, 3, 0),
+    (2, 0, 0, 1),
+    (0, 2, 0, 1),
+    (0, 0, 2, 1),
+    (1, 1, 0, 2),
+    (1, 0, 1, 2),
+    (0, 1, 1, 2),
+    (1, 1, 1, 3),
+]
+_PAPER_COUNTS = [13, 3, 1, 1]
+_PAPER_HOLE = 5
+
+_SMALL_PIECES = [
+    (2, 0, 0, 1),
+    (0, 2, 0, 1),
+    (0, 0, 2, 1),
+]
+_SMALL_COUNTS = [0, 9, 0, 0]
+_SMALL_HOLE = 3
+
+
+def _config(scale):
+    if scale == PAPER_SCALE:
+        return _PAPER_PIECES, _PAPER_COUNTS, _PAPER_HOLE
+    if scale == "small":
+        return _SMALL_PIECES, _SMALL_COUNTS, _SMALL_HOLE
+    raise ValueError("unknown puzzle scale {!r}".format(scale))
+
+
+_TEMPLATE = """
+// Baskett's Puzzle, tray 8x8x8 (size 511), scale '{scale}'.
+int puzzle[{tray}];
+int p[{ptotal}];
+int klass[{ntypes}];
+int piecemax[{ntypes}];
+int piececount[4];
+int kount;
+int defkmax;
+
+int fit(int i, int j) {{
+    int k;
+    for (k = 0; k <= piecemax[i]; k++) {{
+        if (p[i * {tray} + k]) {{
+            if (puzzle[j + k]) {{
+                return 0;
+            }}
+        }}
+    }}
+    return 1;
+}}
+
+int place(int i, int j) {{
+    int k;
+    for (k = 0; k <= piecemax[i]; k++) {{
+        if (p[i * {tray} + k]) {{
+            puzzle[j + k] = 1;
+        }}
+    }}
+    piececount[klass[i]] = piececount[klass[i]] - 1;
+    for (k = j; k <= {size}; k++) {{
+        if (puzzle[k] == 0) {{
+            return k;
+        }}
+    }}
+    return 0;
+}}
+
+void removep(int i, int j) {{
+    int k;
+    for (k = 0; k <= piecemax[i]; k++) {{
+        if (p[i * {tray} + k]) {{
+            puzzle[j + k] = 0;
+        }}
+    }}
+    piececount[klass[i]] = piececount[klass[i]] + 1;
+}}
+
+int trial(int j) {{
+    int i;
+    int k;
+    kount = kount + 1;
+    for (i = 0; i < {ntypes}; i++) {{
+        if (piececount[klass[i]] != 0) {{
+            if (fit(i, j)) {{
+                k = place(i, j);
+                if (trial(k) || k == 0) {{
+                    return 1;
+                }}
+                removep(i, j);
+            }}
+        }}
+    }}
+    return 0;
+}}
+
+void definepiece(int index, int imax, int jmax) {{
+    // kmax rides in the global 'defkmax' to stay within 4 arguments.
+    int i;
+    int j;
+    int k;
+    for (i = 0; i <= imax; i++) {{
+        for (j = 0; j <= jmax; j++) {{
+            for (k = 0; k <= defkmax; k++) {{
+                p[index * {tray} + i * {dd} + j * {d} + k] = 1;
+            }}
+        }}
+    }}
+    piecemax[index] = imax * {dd} + jmax * {d} + defkmax;
+}}
+
+int main() {{
+    int i;
+    int j;
+    int k;
+    int m;
+    int n;
+    for (m = 0; m < {tray}; m++) {{
+        puzzle[m] = 1;
+    }}
+    for (i = 1; i <= {hole}; i++) {{
+        for (j = 1; j <= {hole}; j++) {{
+            for (k = 1; k <= {hole}; k++) {{
+                puzzle[i * {dd} + j * {d} + k] = 0;
+            }}
+        }}
+    }}
+    for (m = 0; m < {ptotal}; m++) {{
+        p[m] = 0;
+    }}
+{piece_defs}
+{count_inits}
+    m = {dd} + {d} + 1;
+    kount = 0;
+    if (fit(0, m)) {{
+        n = place(0, m);
+    }} else {{
+        print(-1);
+        n = 0;
+    }}
+    if (trial(n)) {{
+        print(kount);
+    }} else {{
+        print(-2);
+        print(kount);
+    }}
+    return 0;
+}}
+"""
+
+
+def source(scale=DEFAULT_SCALE):
+    pieces, counts, hole = _config(scale)
+    piece_defs = []
+    for index, (imax, jmax, kmax, cls) in enumerate(pieces):
+        piece_defs.append("    defkmax = {};".format(kmax))
+        piece_defs.append(
+            "    definepiece({}, {}, {});".format(index, imax, jmax)
+        )
+        piece_defs.append("    klass[{}] = {};".format(index, cls))
+    count_inits = [
+        "    piececount[{}] = {};".format(index, count)
+        for index, count in enumerate(counts)
+    ]
+    return _TEMPLATE.format(
+        scale=scale,
+        tray=_TRAY,
+        ptotal=len(pieces) * _TRAY,
+        ntypes=len(pieces),
+        size=_SIZE,
+        d=_D,
+        dd=_D * _D,
+        hole=hole,
+        piece_defs="\n".join(piece_defs),
+        count_inits="\n".join(count_inits),
+    )
+
+
+def reference_output(scale=DEFAULT_SCALE):
+    """Python mirror of the program above."""
+    pieces, counts, hole = _config(scale)
+    ntypes = len(pieces)
+    puzzle = [1] * _TRAY
+    for i in range(1, hole + 1):
+        for j in range(1, hole + 1):
+            for k in range(1, hole + 1):
+                puzzle[i * 64 + j * 8 + k] = 0
+    p = [[0] * _TRAY for _ in range(ntypes)]
+    piecemax = [0] * ntypes
+    klass = [0] * ntypes
+    for index, (imax, jmax, kmax, cls) in enumerate(pieces):
+        for i in range(imax + 1):
+            for j in range(jmax + 1):
+                for k in range(kmax + 1):
+                    p[index][i * 64 + j * 8 + k] = 1
+        piecemax[index] = imax * 64 + jmax * 8 + kmax
+        klass[index] = cls
+    piececount = list(counts)
+    output = []
+    kount = 0
+
+    def fit(i, j):
+        row = p[i]
+        for k in range(piecemax[i] + 1):
+            if row[k] and puzzle[j + k]:
+                return False
+        return True
+
+    def place(i, j):
+        row = p[i]
+        for k in range(piecemax[i] + 1):
+            if row[k]:
+                puzzle[j + k] = 1
+        piececount[klass[i]] -= 1
+        for k in range(j, _SIZE + 1):
+            if puzzle[k] == 0:
+                return k
+        return 0
+
+    def removep(i, j):
+        row = p[i]
+        for k in range(piecemax[i] + 1):
+            if row[k]:
+                puzzle[j + k] = 0
+        piececount[klass[i]] += 1
+
+    def trial(j):
+        nonlocal kount
+        kount += 1
+        for i in range(ntypes):
+            if piececount[klass[i]] and fit(i, j):
+                k = place(i, j)
+                if trial(k) or k == 0:
+                    return True
+                removep(i, j)
+        return False
+
+    m = 64 + 8 + 1
+    if fit(0, m):
+        n = place(0, m)
+    else:
+        output.append(-1)
+        n = 0
+    if trial(n):
+        output.append(kount)
+    else:
+        output.append(-2)
+        output.append(kount)
+    return output

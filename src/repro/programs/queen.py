@@ -1,0 +1,68 @@
+"""Queen — "a program to solve the 8 queens problem" (paper Section 5).
+
+Counts every solution by recursive backtracking over column and
+diagonal occupancy arrays (8 queens: 92 solutions).
+"""
+
+PAPER_N = 8
+DEFAULT_N = 8
+
+_TEMPLATE = """
+// N-queens solution counter, n = {n} (Stanford 'Queen').
+int count;
+int usedcol[{n}];
+int diag1[{d}];
+int diag2[{d}];
+
+void solve(int row) {{
+    int c;
+    if (row == {n}) {{
+        count = count + 1;
+        return;
+    }}
+    for (c = 0; c < {n}; c++) {{
+        if (usedcol[c] == 0 && diag1[row + c] == 0
+                && diag2[row - c + {n} - 1] == 0) {{
+            usedcol[c] = 1;
+            diag1[row + c] = 1;
+            diag2[row - c + {n} - 1] = 1;
+            solve(row + 1);
+            usedcol[c] = 0;
+            diag1[row + c] = 0;
+            diag2[row - c + {n} - 1] = 0;
+        }}
+    }}
+}}
+
+int main() {{
+    count = 0;
+    solve(0);
+    print(count);
+    return 0;
+}}
+"""
+
+
+def source(n=DEFAULT_N):
+    return _TEMPLATE.format(n=n, d=2 * n - 1)
+
+
+def reference_output(n=DEFAULT_N):
+    count = 0
+    usedcol = [0] * n
+    diag1 = [0] * (2 * n - 1)
+    diag2 = [0] * (2 * n - 1)
+
+    def solve(row):
+        nonlocal count
+        if row == n:
+            count += 1
+            return
+        for c in range(n):
+            if not usedcol[c] and not diag1[row + c] and not diag2[row - c + n - 1]:
+                usedcol[c] = diag1[row + c] = diag2[row - c + n - 1] = 1
+                solve(row + 1)
+                usedcol[c] = diag1[row + c] = diag2[row - c + n - 1] = 0
+
+    solve(0)
+    return [count]

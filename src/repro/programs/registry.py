@@ -1,0 +1,146 @@
+"""Benchmark registry: name -> (MiniC source, reference oracle)."""
+
+from dataclasses import dataclass, field
+
+from repro.programs import bubble, extras, intmm, puzzle, queen, sieve, towers
+
+#: Benchmark names in the order the paper's Figure 5 lists them.
+BENCHMARK_NAMES = ("bubble", "intmm", "puzzle", "queen", "sieve", "towers")
+
+#: Additional Stanford-suite workloads (not part of Figure 5).
+EXTRA_BENCHMARK_NAMES = ("quicksort", "perm")
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One ready-to-compile workload."""
+
+    name: str
+    description: str
+    source: str
+    expected_output: tuple
+    params: dict = field(default_factory=dict)
+
+
+def _bubble(paper_scale):
+    n = bubble.PAPER_N if paper_scale else bubble.DEFAULT_N
+    return Benchmark(
+        "bubble",
+        "bubble sort of {} random integers".format(n),
+        bubble.source(n),
+        tuple(bubble.reference_output(n)),
+        {"n": n},
+    )
+
+
+def _intmm(paper_scale):
+    n = intmm.PAPER_N if paper_scale else intmm.DEFAULT_N
+    return Benchmark(
+        "intmm",
+        "{0}x{0} integer matrix multiply".format(n),
+        intmm.source(n),
+        tuple(intmm.reference_output(n)),
+        {"n": n},
+    )
+
+
+def _puzzle(paper_scale):
+    scale = puzzle.PAPER_SCALE if paper_scale else puzzle.DEFAULT_SCALE
+    return Benchmark(
+        "puzzle",
+        "Baskett's 3-D packing puzzle (scale '{}')".format(scale),
+        puzzle.source(scale),
+        tuple(puzzle.reference_output(scale)),
+        {"scale": scale},
+    )
+
+
+def _queen(paper_scale):
+    n = queen.PAPER_N if paper_scale else queen.DEFAULT_N
+    return Benchmark(
+        "queen",
+        "{}-queens solution counting".format(n),
+        queen.source(n),
+        tuple(queen.reference_output(n)),
+        {"n": n},
+    )
+
+
+def _sieve(paper_scale):
+    size = sieve.PAPER_SIZE if paper_scale else sieve.DEFAULT_SIZE
+    iterations = (
+        sieve.PAPER_ITERATIONS if paper_scale else sieve.DEFAULT_ITERATIONS
+    )
+    return Benchmark(
+        "sieve",
+        "sieve of Eratosthenes, size {}, {} iteration(s)".format(
+            size, iterations
+        ),
+        sieve.source(size, iterations),
+        tuple(sieve.reference_output(size, iterations)),
+        {"size": size, "iterations": iterations},
+    )
+
+
+def _towers(paper_scale):
+    n = towers.PAPER_DISKS if paper_scale else towers.DEFAULT_DISKS
+    return Benchmark(
+        "towers",
+        "towers of Hanoi, {} discs".format(n),
+        towers.source(n),
+        tuple(towers.reference_output(n)),
+        {"n": n},
+    )
+
+
+def _quicksort(paper_scale):
+    n = extras.QUICKSORT_PAPER_N if paper_scale else extras.QUICKSORT_DEFAULT_N
+    return Benchmark(
+        "quicksort",
+        "recursive quicksort of {} random integers".format(n),
+        extras.quicksort_source(n),
+        tuple(extras.quicksort_reference(n)),
+        {"n": n},
+    )
+
+
+def _perm(paper_scale):
+    n = extras.PERM_PAPER_N if paper_scale else extras.PERM_DEFAULT_N
+    return Benchmark(
+        "perm",
+        "permutation counting, n = {}".format(n),
+        extras.perm_source(n),
+        tuple(extras.perm_reference(n)),
+        {"n": n},
+    )
+
+
+_FACTORIES = {
+    "bubble": _bubble,
+    "intmm": _intmm,
+    "puzzle": _puzzle,
+    "queen": _queen,
+    "sieve": _sieve,
+    "towers": _towers,
+    "quicksort": _quicksort,
+    "perm": _perm,
+}
+
+
+def get_benchmark(name, paper_scale=False):
+    """Build the named benchmark at default or paper scale."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown benchmark {!r}; choose from {}".format(
+                name, ", ".join(BENCHMARK_NAMES + EXTRA_BENCHMARK_NAMES)
+            )
+        ) from None
+    return factory(paper_scale)
+
+
+def iter_benchmarks(paper_scale=False, names=None):
+    """Yield benchmarks in Figure 5 order."""
+    for name in names or BENCHMARK_NAMES:
+        yield get_benchmark(name, paper_scale)

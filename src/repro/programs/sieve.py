@@ -1,0 +1,63 @@
+"""Sieve — "calculate the number of primes between 0 and 8190"
+(paper Section 5).
+
+The classic BYTE/Stanford sieve over odd candidates: ``flags[i]``
+stands for the number ``2*i + 3``, so size 8190 yields the well-known
+count of 1899 primes.  The paper-scale run repeats the sieve 10 times,
+as the Stanford driver does.
+"""
+
+PAPER_SIZE = 8190
+PAPER_ITERATIONS = 10
+DEFAULT_SIZE = 8190
+DEFAULT_ITERATIONS = 1
+
+_TEMPLATE = """
+// Sieve of Eratosthenes, size {size}, {iterations} iteration(s)
+// (Stanford/BYTE 'Sieve').
+int flags[{flags}];
+
+int main() {{
+    int i;
+    int k;
+    int prime;
+    int count;
+    int iter;
+    count = 0;
+    for (iter = 0; iter < {iterations}; iter++) {{
+        count = 0;
+        for (i = 0; i <= {size}; i++) {{
+            flags[i] = 1;
+        }}
+        for (i = 0; i <= {size}; i++) {{
+            if (flags[i]) {{
+                prime = i + i + 3;
+                for (k = i + prime; k <= {size}; k += prime) {{
+                    flags[k] = 0;
+                }}
+                count = count + 1;
+            }}
+        }}
+    }}
+    print(count);
+    return 0;
+}}
+"""
+
+
+def source(size=DEFAULT_SIZE, iterations=DEFAULT_ITERATIONS):
+    return _TEMPLATE.format(size=size, iterations=iterations, flags=size + 1)
+
+
+def reference_output(size=DEFAULT_SIZE, iterations=DEFAULT_ITERATIONS):
+    count = 0
+    for _ in range(iterations):
+        count = 0
+        flags = [1] * (size + 1)
+        for i in range(size + 1):
+            if flags[i]:
+                prime = i + i + 3
+                for k in range(i + prime, size + 1, prime):
+                    flags[k] = 0
+                count += 1
+    return [count]

@@ -1,0 +1,125 @@
+"""Towers — "the standard recursive tower-of-Hanoi solution, given the
+problem of moving 18 disks" (paper Section 5).
+
+Faithful to the Stanford ``Towers`` program: discs live in a cell pool
+(``cellspace``) threaded through ``next`` indices, with a free list and
+the original runtime error checks, so the workload mixes recursion,
+global-array "pointer" chasing and argument traffic exactly as the
+original does.  Prints the number of moves (2**n - 1) followed by the
+error count (0 on success).
+"""
+
+PAPER_DISKS = 18
+DEFAULT_DISKS = 12
+
+_TEMPLATE = """
+// Towers of Hanoi with Stanford-style cellspace stacks, {n} discs.
+int stackp[4];
+int cellsize[{cells}];
+int cellnext[{cells}];
+int freelist;
+int movesdone;
+int errors;
+
+void error(int code) {{
+    errors = errors + 1;
+    print(-code);
+}}
+
+int getelement() {{
+    int temp;
+    temp = 0;
+    if (freelist > 0) {{
+        temp = freelist;
+        freelist = cellnext[freelist];
+    }} else {{
+        error(1);
+    }}
+    return temp;
+}}
+
+void push(int i, int s) {{
+    int localel;
+    int errorfound;
+    errorfound = 0;
+    if (stackp[s] > 0) {{
+        if (cellsize[stackp[s]] <= i) {{
+            errorfound = 1;
+            error(2);
+        }}
+    }}
+    if (errorfound == 0) {{
+        localel = getelement();
+        cellnext[localel] = stackp[s];
+        stackp[s] = localel;
+        cellsize[localel] = i;
+    }}
+}}
+
+void initstack(int s, int n) {{
+    int discctr;
+    stackp[s] = 0;
+    for (discctr = n; discctr >= 1; discctr--) {{
+        push(discctr, s);
+    }}
+}}
+
+int pop(int s) {{
+    int temp;
+    int temp1;
+    if (stackp[s] > 0) {{
+        temp1 = cellsize[stackp[s]];
+        temp = cellnext[stackp[s]];
+        cellnext[stackp[s]] = freelist;
+        freelist = stackp[s];
+        stackp[s] = temp;
+        return temp1;
+    }}
+    error(3);
+    return 0;
+}}
+
+void mv(int s1, int s2) {{
+    push(pop(s1), s2);
+    movesdone = movesdone + 1;
+}}
+
+void tower(int i, int j, int k) {{
+    int other;
+    if (k == 1) {{
+        mv(i, j);
+    }} else {{
+        other = 6 - i - j;
+        tower(i, other, k - 1);
+        mv(i, j);
+        tower(other, j, k - 1);
+    }}
+}}
+
+int main() {{
+    int i;
+    errors = 0;
+    movesdone = 0;
+    for (i = 1; i < {cells} - 1; i++) {{
+        cellnext[i] = i + 1;
+    }}
+    cellnext[{cells} - 1] = 0;
+    freelist = 1;
+    initstack(1, {n});
+    stackp[2] = 0;
+    stackp[3] = 0;
+    tower(1, 2, {n});
+    print(movesdone);
+    print(errors);
+    return 0;
+}}
+"""
+
+
+def source(n=DEFAULT_DISKS):
+    # One pool cell per disc plus slot 0 (the "null" index).
+    return _TEMPLATE.format(n=n, cells=n + 2)
+
+
+def reference_output(n=DEFAULT_DISKS):
+    return [2 ** n - 1, 0]

@@ -1,0 +1,35 @@
+"""Register allocation: promotion, interference, coloring, spilling.
+
+Two classic allocation policies are provided, matching the two schools
+the paper reviews in Section 2.1.2:
+
+* **Chaitin-style graph coloring** over webs (values, not variables),
+  with Briggs optimistic spilling — used at promotion level
+  ``aggressive``.
+* **Freiburghouse usage counts** — promotion level ``modest`` promotes
+  only the most-referenced scalars per function (loop-depth weighted),
+  approximating 1980s-era allocators.
+
+Spill code follows the unified model's Section 4.2 strategy: spilled
+values are stored *through the cache* (``AmSp_STORE``) and the last
+reload of a spilled value kills the cached copy.
+"""
+
+from repro.regalloc.promotion import PromotionLevel, promote_scalars
+from repro.regalloc.interference import InterferenceGraph, build_interference
+from repro.regalloc.chaitin import ColoringResult, color_graph
+from repro.regalloc.spill import insert_spill_code
+from repro.regalloc.allocator import AllocationStats, allocate_function, allocate_module
+
+__all__ = [
+    "PromotionLevel",
+    "promote_scalars",
+    "InterferenceGraph",
+    "build_interference",
+    "ColoringResult",
+    "color_graph",
+    "insert_spill_code",
+    "AllocationStats",
+    "allocate_function",
+    "allocate_module",
+]

@@ -1,0 +1,169 @@
+"""Allocation driver: promote, split into webs, color, spill, finish.
+
+The driver also inserts callee-save/restore code for the callee-saved
+registers a function actually uses; those saves are direct, unaliased
+frame references — exactly the unambiguous spill-like traffic the paper
+routes through the cache-managed path.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.du import rename_webs
+from repro.ir.cfg import build_cfg
+from repro.ir.instructions import (
+    Load,
+    PReg,
+    RefInfo,
+    RefOrigin,
+    RegionKind,
+    Ret,
+    Store,
+    SymMem,
+)
+from repro.ir.validate import verify_function
+from repro.regalloc.chaitin import apply_assignment, color_graph
+from repro.regalloc.interference import build_interference
+from repro.regalloc.promotion import (
+    DEFAULT_MODEST_BUDGET,
+    PromotionLevel,
+    choose_promotable,
+    promote_scalars,
+)
+from repro.regalloc.spill import insert_spill_code
+
+#: Hard cap on color/spill rounds; hitting it indicates a allocator bug.
+MAX_ROUNDS = 32
+
+
+@dataclass
+class AllocationStats:
+    """What allocation did to one function; consumed by reports/tests."""
+
+    function_name: str
+    promotion: PromotionLevel
+    promoted_symbols: list = field(default_factory=list)
+    rounds: int = 0
+    spilled_webs: int = 0
+    callee_saved_used: list = field(default_factory=list)
+    colored_registers: int = 0
+
+
+def allocate_function(
+    function,
+    alias_analysis,
+    machine,
+    promotion=PromotionLevel.MODEST,
+    budget=DEFAULT_MODEST_BUDGET,
+):
+    """Run the full allocation pipeline on one function."""
+    promotion = PromotionLevel.parse(promotion)
+    stats = AllocationStats(function.name, promotion)
+
+    promotable = choose_promotable(function, alias_analysis, promotion, budget)
+    promote_scalars(function, promotable)
+    stats.promoted_symbols = sorted(
+        symbol.storage_name() for symbol in promotable
+    )
+    build_cfg(function)
+    rename_webs(function)
+
+    no_spill = set()
+    result = None
+    while True:
+        stats.rounds += 1
+        if stats.rounds > MAX_ROUNDS:
+            raise AssertionError(
+                "register allocation did not converge for {}".format(
+                    function.name
+                )
+            )
+        graph = build_interference(function, no_spill)
+        result = color_graph(graph, machine)
+        if result.success:
+            break
+        stats.spilled_webs += len(result.spilled)
+        no_spill |= insert_spill_code(function, result.spilled)
+
+    apply_assignment(function, result.assignment)
+    _remove_identity_moves(function)
+    stats.colored_registers = len(result.assignment)
+
+    callee_saved = sorted(
+        {
+            color
+            for color in result.assignment.values()
+            if color in machine.callee_saved()
+        }
+    )
+    stats.callee_saved_used = callee_saved
+    _insert_callee_saves(function, callee_saved)
+    verify_function(function, allocated=True, machine=machine)
+    return stats
+
+
+def _remove_identity_moves(function):
+    """Drop ``rN = rN`` moves left behind by the coalescing bias."""
+    from repro.ir.instructions import Move
+
+    for block in function.block_list():
+        block.instructions = [
+            instruction
+            for instruction in block.instructions
+            if not (
+                isinstance(instruction, Move)
+                and instruction.dest is instruction.src
+            )
+        ]
+
+
+def _insert_callee_saves(function, callee_saved):
+    if not callee_saved:
+        return
+    slots = {
+        index: function.new_spill_slot(
+            "save_r{}".format(index), RefOrigin.CALLEE_SAVE
+        )
+        for index in callee_saved
+    }
+
+    def save_ref(slot):
+        return RefInfo(
+            access_path="save:{}".format(slot.storage_name()),
+            region_kind=RegionKind.DIRECT,
+            region_symbol=slot,
+            origin=RefOrigin.CALLEE_SAVE,
+        )
+
+    entry = function.entry
+    prologue = [
+        Store(SymMem(slots[index]), PReg(index), save_ref(slots[index]))
+        for index in callee_saved
+    ]
+    entry.instructions = prologue + entry.instructions
+
+    for block in function.block_list():
+        terminator = block.terminator
+        if isinstance(terminator, Ret):
+            restores = [
+                Load(PReg(index), SymMem(slots[index]), save_ref(slots[index]))
+                for index in callee_saved
+            ]
+            block.instructions = (
+                block.instructions[:-1] + restores + [terminator]
+            )
+
+
+def allocate_module(
+    module,
+    alias_analysis,
+    machine,
+    promotion=PromotionLevel.MODEST,
+    budget=DEFAULT_MODEST_BUDGET,
+):
+    """Allocate every function; returns ``{name: AllocationStats}``."""
+    stats = {}
+    for function in module.functions.values():
+        stats[function.name] = allocate_function(
+            function, alias_analysis, machine, promotion, budget
+        )
+    return stats

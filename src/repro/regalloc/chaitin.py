@@ -1,0 +1,125 @@
+"""Chaitin-style graph coloring with Briggs optimistic spilling.
+
+Simplification removes any node with fewer than K still-present
+neighbors; when none exists, the cheapest node by ``cost / degree`` is
+pushed optimistically.  Color assignment walks the stack backwards,
+preferring a move partner's color when legal; nodes that find no color
+become actual spills and are reported to the driver for spill-code
+insertion and another round.
+"""
+
+from repro.ir.instructions import PReg, VReg
+
+
+class ColoringResult:
+    def __init__(self, assignment, spilled):
+        #: dict mapping VReg -> physical register index
+        self.assignment = assignment
+        #: list of VRegs that could not be colored this round
+        self.spilled = spilled
+
+    @property
+    def success(self):
+        return not self.spilled
+
+
+def color_graph(graph, machine):
+    """Color ``graph`` with the machine's registers.
+
+    Returns a :class:`ColoringResult`; ``spilled`` is empty on success.
+    """
+    num_colors = machine.num_regs
+    nodes = graph.vreg_nodes()
+    remaining = set(nodes)
+
+    # Degrees count both uncolored vregs still in the graph and
+    # precolored physical registers (which never leave).
+    def current_degree(node):
+        degree = 0
+        for neighbor in graph.neighbors(node):
+            if isinstance(neighbor, PReg) or neighbor in remaining:
+                degree += 1
+        return degree
+
+    stack = []
+    ordered = sorted(nodes, key=lambda node: node.id)
+    while remaining:
+        candidate = None
+        for node in ordered:
+            if node in remaining and current_degree(node) < num_colors:
+                candidate = node
+                break
+        if candidate is None:
+            candidate = _pick_spill_candidate(graph, remaining, current_degree)
+        stack.append(candidate)
+        remaining.discard(candidate)
+
+    assignment = {}
+    spilled = []
+    while stack:
+        node = stack.pop()
+        forbidden = set()
+        for neighbor in graph.neighbors(node):
+            if isinstance(neighbor, PReg):
+                forbidden.add(neighbor.index)
+            elif neighbor in assignment:
+                forbidden.add(assignment[neighbor])
+        color = _preferred_color(graph, node, assignment, forbidden, num_colors)
+        if color is None:
+            spilled.append(node)
+        else:
+            assignment[node] = color
+    return ColoringResult(assignment, spilled)
+
+
+def _pick_spill_candidate(graph, remaining, current_degree):
+    best = None
+    best_metric = None
+    for node in sorted(remaining, key=lambda node: node.id):
+        if node in graph.no_spill:
+            continue
+        degree = max(current_degree(node), 1)
+        metric = graph.costs.get(node, 1) / degree
+        if best_metric is None or metric < best_metric:
+            best = node
+            best_metric = metric
+    if best is None:
+        # Only no-spill nodes remain; pick the least harmful anyway and
+        # hope optimistic coloring succeeds (it essentially always does
+        # for the short-range temps we refuse to spill).
+        best = min(
+            remaining, key=lambda node: (graph.costs.get(node, 1), node.id)
+        )
+    return best
+
+
+def _preferred_color(graph, node, assignment, forbidden, num_colors):
+    partners = sorted(
+        graph.move_pairs.get(node, ()),
+        key=lambda reg: (isinstance(reg, VReg), getattr(reg, "index", 0),
+                         getattr(reg, "id", 0)),
+    )
+    for partner in partners:  # Coalescing bias, precolored partners first.
+        if isinstance(partner, PReg):
+            color = partner.index
+        else:
+            color = assignment.get(partner)
+        if color is not None and color < num_colors and color not in forbidden:
+            return color
+    for color in range(num_colors):
+        if color not in forbidden:
+            return color
+    return None
+
+
+def apply_assignment(function, assignment):
+    """Rewrite every virtual register to its assigned physical register."""
+
+    def mapping(register):
+        if isinstance(register, VReg):
+            return PReg(assignment[register])
+        return register
+
+    for block in function.block_list():
+        for instruction in block.instructions:
+            instruction.rewrite_registers(mapping)

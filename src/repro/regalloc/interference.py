@@ -1,0 +1,87 @@
+"""Live-range interference graph construction.
+
+Nodes are virtual registers plus the precolored physical registers that
+appear at ABI points.  The classic rules apply:
+
+* at every definition, the defined register interferes with everything
+  live after the instruction;
+* for a register-to-register ``Move``, the source is exempted (the two
+  may share a register), and the pair is recorded as move-related so
+  the colorer can bias assignments toward coalescing.
+"""
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.instructions import Move, PReg, VReg
+from repro.ir.loops import LoopInfo
+
+
+class InterferenceGraph:
+    """Adjacency sets over VReg/PReg nodes, plus spill-cost estimates."""
+
+    def __init__(self):
+        self.adjacency = {}
+        self.move_pairs = {}
+        self.costs = {}
+        #: Registers that must never be spilled (spill-code temps).
+        self.no_spill = set()
+
+    def ensure_node(self, register):
+        self.adjacency.setdefault(register, set())
+
+    def add_edge(self, a, b):
+        if a is b:
+            return
+        self.ensure_node(a)
+        self.ensure_node(b)
+        self.adjacency[a].add(b)
+        self.adjacency[b].add(a)
+
+    def add_move(self, a, b):
+        if a is b:
+            return
+        self.move_pairs.setdefault(a, set()).add(b)
+        self.move_pairs.setdefault(b, set()).add(a)
+
+    def neighbors(self, register):
+        return self.adjacency.get(register, set())
+
+    def vreg_nodes(self):
+        return [node for node in self.adjacency if isinstance(node, VReg)]
+
+    def degree(self, register):
+        return len(self.adjacency.get(register, ()))
+
+
+def build_interference(function, no_spill=()):
+    """Build the interference graph of ``function``'s current code."""
+    graph = InterferenceGraph()
+    graph.no_spill = set(no_spill)
+    liveness = compute_liveness(function)
+    loop_info = LoopInfo(function)
+
+    for block in function.block_list():
+        weight = loop_info.weight_of(block.name)
+        for _index, instruction, live_after in liveness.walk_block_backward(block):
+            defs = instruction.defs()
+            uses = instruction.uses()
+            for register in defs:
+                graph.ensure_node(register)
+                graph.costs[register] = graph.costs.get(register, 0) + weight
+            for register in uses:
+                graph.ensure_node(register)
+                graph.costs[register] = graph.costs.get(register, 0) + weight
+
+            move_source = None
+            if isinstance(instruction, Move) and isinstance(
+                instruction.src, (VReg, PReg)
+            ):
+                move_source = instruction.src
+                graph.add_move(instruction.dest, instruction.src)
+            for defined in defs:
+                for live in live_after:
+                    if live is defined:
+                        continue
+                    if move_source is not None and live is move_source:
+                        continue
+                    graph.add_edge(defined, live)
+    return graph

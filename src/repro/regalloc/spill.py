@@ -1,0 +1,92 @@
+"""Spill-code insertion.
+
+Spilling a web creates a compiler-private frame slot and the classic
+store-after-def / reload-before-use code.  Under the unified model these
+references become ``AmSp_STORE`` (through the cache — the paper argues
+register spills are precisely what the data cache is *for*) and reloads
+whose value is dead afterwards are kill-marked so the cache can free the
+line; both annotations are applied later by the bypass pass, which sees
+these references' ``RefOrigin.SPILL`` tag.
+"""
+
+from repro.ir.instructions import (
+    Load,
+    RefInfo,
+    RefOrigin,
+    RegionKind,
+    Store,
+    SymMem,
+)
+
+
+def _spill_ref(slot):
+    return RefInfo(
+        access_path="spill:{}".format(slot.storage_name()),
+        region_kind=RegionKind.DIRECT,
+        region_symbol=slot,
+        origin=RefOrigin.SPILL,
+    )
+
+
+def insert_spill_code(function, spilled):
+    """Spill each register in ``spilled`` to a fresh frame slot.
+
+    Returns the set of short-range reload/store temporaries created;
+    the caller marks them no-spill for subsequent coloring rounds.
+    """
+    slots = {
+        register: function.new_spill_slot(
+            "spl_{}".format(register.hint or register.id), RefOrigin.SPILL
+        )
+        for register in spilled
+    }
+    spilled_set = set(spilled)
+    temps = set()
+
+    for block in function.block_list():
+        new_instructions = []
+        for instruction in block.instructions:
+            used = [
+                register
+                for register in set(instruction.uses())
+                if register in spilled_set
+            ]
+            defined = [
+                register
+                for register in set(instruction.defs())
+                if register in spilled_set
+            ]
+            if set(used) & set(defined):
+                # rewrite_registers cannot tell use and def positions
+                # apart, so this shape would corrupt the rewrite; the
+                # IR builder never produces it.
+                raise AssertionError(
+                    "instruction uses and defines the same spilled register"
+                )
+            replacement = {}
+            for register in used:
+                temp = function.new_vreg("ld_" + (register.hint or "t"))
+                temps.add(temp)
+                replacement[register] = temp
+                new_instructions.append(
+                    Load(temp, SymMem(slots[register]), _spill_ref(slots[register]))
+                )
+            if replacement:
+                instruction.rewrite_registers(
+                    lambda register: replacement.get(register, register)
+                )
+            stores = []
+            for register in defined:
+                temp = function.new_vreg("st_" + (register.hint or "t"))
+                temps.add(temp)
+                replacement = {register: temp}
+                instruction.rewrite_registers(
+                    lambda register: replacement.get(register, register)
+                )
+                stores.append(
+                    Store(SymMem(slots[register]), temp, _spill_ref(slots[register]))
+                )
+            new_instructions.append(instruction)
+            new_instructions.extend(stores)
+        block.instructions = new_instructions
+    return temps

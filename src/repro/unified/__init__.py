@@ -1,0 +1,30 @@
+"""The unified registers/cache management model (the paper's Section 4).
+
+:func:`compile_source` is the main entry point of the whole library: it
+runs the complete pipeline (frontend, IR, alias analysis, promotion,
+register allocation, classification, bypass/kill annotation) and
+returns a :class:`CompiledProgram` ready to execute on the VM against
+any cache model.
+"""
+
+from repro.unified.classify import classify_references
+from repro.unified.bypass import annotate_conventional, annotate_unified
+from repro.unified.pipeline import (
+    CompilationOptions,
+    CompiledProgram,
+    Scheme,
+    compile_source,
+)
+from repro.unified.report import StaticReport, static_report
+
+__all__ = [
+    "classify_references",
+    "annotate_unified",
+    "annotate_conventional",
+    "CompilationOptions",
+    "CompiledProgram",
+    "Scheme",
+    "compile_source",
+    "StaticReport",
+    "static_report",
+]

@@ -1,0 +1,129 @@
+"""Bypass and kill-bit annotation (paper Sections 4.2/4.3).
+
+The unified model assigns one of four load/store flavors to every data
+reference:
+
+================  =======================================================
+``UmAm_LOAD``     unambiguous load: probe the cache; on a hit take the
+                  datum and invalidate the line (write it back first if
+                  dirty, unless the kill bit says the value is dead); on
+                  a miss read main memory directly without allocating.
+``UmAm_STORE``    unambiguous store: write main memory directly; a stale
+                  cached copy, if any, is invalidated (coherence probe).
+``Am_LOAD``       ambiguous load: normal through-cache read.
+``AmSp_STORE``    ambiguous or spill store: normal through-cache write.
+================  =======================================================
+
+Protocol decisions beyond the paper's text (documented in DESIGN.md):
+
+* A dirty line hit by a plain ``UmAm_LOAD`` is written back before
+  invalidation; only a kill-marked reference may drop dirty data,
+  because the compiler proved the value dead.  This keeps the model
+  functionally transparent, which :mod:`repro.cache.functional`
+  verifies by actually storing data in the simulated cache.
+* Spill reloads that are *not* the last use stay ``Am_LOAD`` so the
+  cached copy survives for the next reload; the final reload is a
+  kill-marked ``UmAm_LOAD``.  This is the liveness-driven behaviour of
+  Section 4.2 item [3].
+"""
+
+from repro.analysis.memliveness import MemoryLiveness
+from repro.ir.instructions import (
+    Load,
+    RefClass,
+    RefFlavor,
+    RefOrigin,
+    Store,
+)
+
+#: Origins whose stores were routed through the cache, so their loads
+#: must treat the cache as a possible (and authoritative) source.
+_CACHED_SOURCES = (RefOrigin.SPILL, RefOrigin.CALLEE_SAVE)
+
+
+def annotate_unified(
+    module,
+    alias_analysis,
+    kill_bits=True,
+    spill_to_cache=True,
+    bypass_user_refs=True,
+):
+    """Apply the unified model's flavors to every classified reference.
+
+    ``kill_bits=False`` disables last-use marking (the Section 3.2
+    ablation); ``spill_to_cache=False`` routes spill stores straight to
+    memory instead of through the cache (the Section 4.2 ablation).
+
+    ``bypass_user_refs=False`` selects the *hybrid* refinement: only
+    compiler-created register-boundary traffic (spills, callee saves)
+    uses the bypass/kill machinery, while source-level unambiguous
+    references stay through-cache but still carry kill bits.  The
+    paper's model implicitly assumes every unambiguous value is
+    register-resident between its memory endpoints; when codegen
+    cannot achieve that (call-dense code such as Towers, whose hot
+    state is globals), bypassing a value that will be reloaded shortly
+    trades a 1-cycle hit for a full memory access.  The hybrid keeps
+    the liveness benefits without that trade.
+    """
+    for function in module.functions.values():
+        liveness = MemoryLiveness(function, module, alias_analysis)
+        last_use = set(map(id, liveness.last_use_loads()))
+        for instruction in function.instructions():
+            if isinstance(instruction, Load):
+                _annotate_load(
+                    instruction, last_use, kill_bits, spill_to_cache,
+                    bypass_user_refs,
+                )
+            elif isinstance(instruction, Store):
+                _annotate_store(instruction, spill_to_cache,
+                                bypass_user_refs)
+
+
+def _annotate_load(instruction, last_use, kill_bits, spill_to_cache,
+                   bypass_user_refs):
+    ref = instruction.ref
+    is_last = kill_bits and id(instruction) in last_use
+    if ref.ref_class is RefClass.AMBIGUOUS:
+        ref.annotate(RefFlavor.AM_LOAD, bypass=False, kill=is_last)
+        return
+    if ref.origin in _CACHED_SOURCES and spill_to_cache:
+        if is_last:
+            ref.annotate(RefFlavor.UMAM_LOAD, bypass=True, kill=True)
+        else:
+            # Keep the cached copy alive for the next reload.
+            ref.annotate(RefFlavor.AM_LOAD, bypass=False, kill=False)
+        return
+    if not bypass_user_refs and ref.origin not in _CACHED_SOURCES:
+        # Hybrid: a value the allocator left memory-resident benefits
+        # from the cache; liveness still frees the line at last use.
+        ref.annotate(RefFlavor.AM_LOAD, bypass=False, kill=is_last)
+        return
+    ref.annotate(RefFlavor.UMAM_LOAD, bypass=True, kill=is_last)
+
+
+def _annotate_store(instruction, spill_to_cache, bypass_user_refs):
+    ref = instruction.ref
+    if ref.ref_class is RefClass.AMBIGUOUS:
+        ref.annotate(RefFlavor.AMSP_STORE, bypass=False)
+        return
+    if ref.origin in _CACHED_SOURCES and spill_to_cache:
+        ref.annotate(RefFlavor.AMSP_STORE, bypass=False)
+        return
+    if not bypass_user_refs:
+        ref.annotate(RefFlavor.AMSP_STORE, bypass=False)
+        return
+    ref.annotate(RefFlavor.UMAM_STORE, bypass=True)
+
+
+def annotate_conventional(module):
+    """Baseline: every reference goes through the cache, no kill bits."""
+    for function in module.functions.values():
+        for instruction in function.instructions():
+            if isinstance(instruction, Load):
+                instruction.ref.annotate(
+                    RefFlavor.AM_LOAD, bypass=False, kill=False
+                )
+            elif isinstance(instruction, Store):
+                instruction.ref.annotate(
+                    RefFlavor.AMSP_STORE, bypass=False, kill=False
+                )

@@ -1,0 +1,27 @@
+"""Reference classification: tag every Load/Store ambiguous/unambiguous.
+
+Runs after register allocation so compiler-created references (spills,
+callee saves) are classified too; the alias analysis computed on the
+pre-promotion IR remains valid because promotion only *removes* memory
+references and allocation only *adds* unaliased frame slots.
+"""
+
+from repro.ir.instructions import Load, Store
+
+
+def classify_references(module, alias_analysis):
+    """Set ``ref_class`` on every memory reference; returns counts."""
+    counts = {"ambiguous": 0, "unambiguous": 0}
+    from repro.ir.instructions import RefClass
+
+    for function in module.functions.values():
+        for instruction in function.instructions():
+            if not isinstance(instruction, (Load, Store)):
+                continue
+            ref = instruction.ref
+            ref.ref_class = alias_analysis.classify(ref)
+            if ref.ref_class is RefClass.AMBIGUOUS:
+                counts["ambiguous"] += 1
+            else:
+                counts["unambiguous"] += 1
+    return counts

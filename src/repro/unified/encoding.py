@@ -1,0 +1,130 @@
+"""Transmitting the bypass bit to hardware (paper Section 4.4).
+
+The paper surveys four mechanisms for getting the compiler's one bit
+per reference into the cache controller:
+
+1. a dedicated bit in every memory instruction (what our simulator
+   models natively — ``RefInfo.bypass`` *is* that bit);
+2. explicit cache-control instructions that set a bypass pattern for
+   the next ``n`` references;
+3. **address-bit stealing**: sacrifice the most significant usable
+   address bit, as Intel suggested for the 80386 — bypass references
+   use the aliased upper half of the address space;
+4. a separate cache controller (dismissed as too much overhead).
+
+This module implements mechanisms 2 and 3 concretely so their costs
+can be measured:
+
+* :func:`encode_address` / :func:`decode_address` — the address-bit
+  scheme, with the halved address space made explicit;
+* :class:`PatternControlEncoder` — the control-instruction scheme: a
+  ``CACHECTL`` instruction carries a bitmask covering the next ``n``
+  references, and the encoder reports how many extra instructions a
+  trace would need.
+"""
+
+from dataclasses import dataclass
+
+from repro.vm.trace import FLAG_BYPASS, FLAG_INSTRUCTION
+
+#: Default position of the stolen bit: bit 31 of a 32-bit address.
+DEFAULT_BYPASS_BIT = 31
+
+
+def address_space_limit(bypass_bit=DEFAULT_BYPASS_BIT):
+    """Largest usable address once the bypass bit is stolen."""
+    return 1 << bypass_bit
+
+
+def encode_address(address, bypass, bypass_bit=DEFAULT_BYPASS_BIT):
+    """Fold the bypass bit into the address (Section 4.4, scheme 3).
+
+    Raises ``ValueError`` when the address no longer fits — the "worst
+    case, this effectively reduces the addressable space by 50%"
+    caveat made concrete.
+    """
+    limit = address_space_limit(bypass_bit)
+    if not 0 <= address < limit:
+        raise ValueError(
+            "address {} does not fit below the stolen bit {} "
+            "(address space is halved)".format(address, bypass_bit)
+        )
+    if bypass:
+        return address | (1 << bypass_bit)
+    return address
+
+
+def decode_address(encoded, bypass_bit=DEFAULT_BYPASS_BIT):
+    """Recover ``(address, bypass)`` from an encoded address."""
+    mask = 1 << bypass_bit
+    return encoded & ~mask, bool(encoded & mask)
+
+
+def encode_trace(trace, bypass_bit=DEFAULT_BYPASS_BIT):
+    """Yield ``(encoded_address, flags)`` for a data trace.
+
+    Demonstrates that the scheme is lossless for traces that fit the
+    halved address space; the cache controller recovers the bit with
+    :func:`decode_address` and needs no instruction-set change.
+    """
+    for address, flags in trace:
+        bypass = bool(flags & FLAG_BYPASS)
+        yield encode_address(address, bypass, bypass_bit), flags
+
+
+@dataclass
+class PatternCost:
+    """Overhead of the control-instruction scheme for one trace."""
+
+    references: int
+    control_instructions: int
+    pattern_width: int
+
+    @property
+    def overhead_ratio(self):
+        """Extra instructions per memory reference."""
+        if self.references == 0:
+            return 0.0
+        return self.control_instructions / self.references
+
+
+class PatternControlEncoder:
+    """Scheme 2: one ``CACHECTL`` instruction per ``width`` references.
+
+    Each control instruction carries the bypass/cache pattern for the
+    next ``width`` memory references ("somewhat less than the machine
+    word length" — the paper's sizing).  The encoder is trivial: the
+    cost is exactly ceil(refs / width) control instructions, which the
+    paper predicts "would limit performance" — quantified here.
+    """
+
+    def __init__(self, pattern_width=24):
+        if pattern_width < 1:
+            raise ValueError("pattern width must be positive")
+        self.pattern_width = pattern_width
+
+    def cost(self, trace):
+        references = sum(
+            1 for _address, flags in trace
+            if not flags & FLAG_INSTRUCTION
+        )
+        width = self.pattern_width
+        control = (references + width - 1) // width
+        return PatternCost(references, control, width)
+
+    def patterns(self, trace):
+        """Yield the actual bit patterns a compiler would emit."""
+        pattern = 0
+        filled = 0
+        for _address, flags in trace:
+            if flags & FLAG_INSTRUCTION:
+                continue
+            if flags & FLAG_BYPASS:
+                pattern |= 1 << filled
+            filled += 1
+            if filled == self.pattern_width:
+                yield pattern
+                pattern = 0
+                filled = 0
+        if filled:
+            yield pattern

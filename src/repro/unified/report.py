@@ -1,0 +1,86 @@
+"""Static classification reports (the Section 5 static measurement)."""
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Load, RefClass, Store
+
+
+@dataclass
+class StaticReport:
+    """Static (per compiled instruction) reference classification."""
+
+    total: int = 0
+    loads: int = 0
+    stores: int = 0
+    unambiguous: int = 0
+    ambiguous: int = 0
+    bypassed: int = 0
+    killed: int = 0
+    by_origin: dict = field(default_factory=dict)
+    by_function: dict = field(default_factory=dict)
+
+    @property
+    def percent_unambiguous(self):
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.unambiguous / self.total
+
+    @property
+    def percent_bypassed(self):
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.bypassed / self.total
+
+    @property
+    def miller_ratio(self):
+        """Static unambiguous:ambiguous ratio (Miller's measurement)."""
+        if self.ambiguous == 0:
+            return float("inf")
+        return self.unambiguous / self.ambiguous
+
+    def rows(self):
+        return [
+            ("static data references", self.total),
+            ("  loads", self.loads),
+            ("  stores", self.stores),
+            ("unambiguous", self.unambiguous),
+            ("ambiguous", self.ambiguous),
+            ("% unambiguous", round(self.percent_unambiguous, 1)),
+            ("% bypass-annotated", round(self.percent_bypassed, 1)),
+        ]
+
+
+def static_report(module):
+    """Build a :class:`StaticReport` from an annotated module."""
+    report = StaticReport()
+    for function in module.functions.values():
+        fn_total = 0
+        fn_unambiguous = 0
+        for instruction in function.instructions():
+            if isinstance(instruction, Load):
+                report.loads += 1
+            elif isinstance(instruction, Store):
+                report.stores += 1
+            else:
+                continue
+            ref = instruction.ref
+            report.total += 1
+            fn_total += 1
+            if ref.ref_class is RefClass.UNAMBIGUOUS:
+                report.unambiguous += 1
+                fn_unambiguous += 1
+            else:
+                report.ambiguous += 1
+            if ref.bypass:
+                report.bypassed += 1
+            if ref.kill:
+                report.killed += 1
+            origin = ref.origin.value
+            report.by_origin[origin] = report.by_origin.get(origin, 0) + 1
+        if fn_total:
+            report.by_function[function.name] = {
+                "total": fn_total,
+                "unambiguous": fn_unambiguous,
+                "percent_unambiguous": 100.0 * fn_unambiguous / fn_total,
+            }
+    return report

@@ -1,0 +1,311 @@
+"""The register-machine interpreter.
+
+Executes fully allocated IR: sixteen physical registers, a word-
+addressed memory, a downward-growing stack of frames.  Every data
+memory access goes through the pluggable memory system together with
+its :class:`RefInfo`, which is how traces and cache models observe the
+reference stream with the paper's bypass/kill annotations attached.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.lang.errors import VMError
+from repro.ir.function import GLOBAL_BASE
+from repro.ir.instructions import (
+    MACHINE,
+    AddrOfSym,
+    BinOp,
+    Call,
+    CJump,
+    Jump,
+    Load,
+    Move,
+    PReg,
+    Print,
+    Ret,
+    Store,
+    SymMem,
+    UnOp,
+)
+from repro.vm.memory import FlatMemory
+
+#: Default top-of-stack word address (stack grows downward from here).
+DEFAULT_STACK_BASE = 1 << 22
+
+#: Base address of the text segment (instruction fetches in combined
+#: I+D traces).  Above the stack, so code and data never collide.
+TEXT_BASE = 1 << 23
+
+#: Default execution budget; generous enough for paper-scale workloads.
+DEFAULT_MAX_STEPS = 2_000_000_000
+
+
+def _c_div(a, b):
+    """C-style integer division: truncation toward zero."""
+    if b == 0:
+        raise VMError("division by zero")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _c_mod(a, b):
+    return a - _c_div(a, b) * b
+
+
+_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _c_div,
+    "mod": _c_mod,
+    "eq": lambda a, b: 1 if a == b else 0,
+    "ne": lambda a, b: 1 if a != b else 0,
+    "lt": lambda a, b: 1 if a < b else 0,
+    "le": lambda a, b: 1 if a <= b else 0,
+    "gt": lambda a, b: 1 if a > b else 0,
+    "ge": lambda a, b: 1 if a >= b else 0,
+}
+
+
+@dataclass
+class ExecutionResult:
+    """What one program run produced."""
+
+    return_value: int
+    output: list = field(default_factory=list)
+    steps: int = 0
+
+
+class Machine:
+    """Interprets an allocated :class:`IRModule`."""
+
+    def __init__(
+        self,
+        module,
+        memory=None,
+        machine=MACHINE,
+        stack_base=DEFAULT_STACK_BASE,
+        max_steps=DEFAULT_MAX_STEPS,
+        instruction_sink=None,
+    ):
+        self.module = module
+        self.memory = memory if memory is not None else FlatMemory()
+        self.machine = machine
+        self.stack_base = stack_base
+        self.max_steps = max_steps
+        #: Optional callable(address) invoked for every instruction
+        #: fetch; used to build combined I+D traces.
+        self.instruction_sink = instruction_sink
+        self.regs = [0] * machine.num_regs
+        self.output = []
+        self.steps = 0
+        self._global_top = GLOBAL_BASE + module.global_size
+        self._offsets = {}
+        for function in module.functions.values():
+            self._offsets[function.name] = dict(function.frame._offsets)
+        self._initialize_globals()
+        self._layout_code()
+
+    def _layout_code(self):
+        """Assign every basic block a text-segment address so fetches
+        can be traced.  One word per instruction, blocks laid out in
+        function order — a plausible linker layout."""
+        address = TEXT_BASE
+        for function in self.module.functions.values():
+            for block in function.blocks.values():
+                block.code_address = address
+                address += len(block.instructions)
+        self.code_size = address - TEXT_BASE
+
+    def _initialize_globals(self):
+        for symbol in self.module.globals:
+            base = symbol.global_address
+            if symbol.is_array():
+                for offset in range(symbol.type.size_words()):
+                    self.memory.poke(base + offset, 0)
+            else:
+                self.memory.poke(base, self.module.global_inits.get(symbol, 0))
+
+    # ------------------------------------------------------------------
+
+    def set_global(self, name, value, index=None):
+        """Initialise a global scalar or array element before running."""
+        symbol = self._find_global(name)
+        address = symbol.global_address
+        if index is not None:
+            if not symbol.is_array():
+                raise VMError("global {} is not an array".format(name))
+            if not 0 <= index < symbol.type.size_words():
+                raise VMError("index {} out of range for {}".format(index, name))
+            address += index
+        self.memory.poke(address, value)
+
+    def get_global(self, name, index=None):
+        symbol = self._find_global(name)
+        address = symbol.global_address
+        if index is not None:
+            address += index
+        return self.memory.peek(address)
+
+    def _find_global(self, name):
+        for symbol in self.module.globals:
+            if symbol.name == name:
+                return symbol
+        raise VMError("no global named {}".format(name))
+
+    # ------------------------------------------------------------------
+
+    def run(self, entry="main", max_steps=None):
+        """Execute ``entry()`` to completion; returns ExecutionResult."""
+        if entry not in self.module.functions:
+            raise VMError("no function named {}".format(entry))
+        budget = max_steps if max_steps is not None else self.max_steps
+        function = self.module.functions[entry]
+        fp = self.stack_base - function.frame.size
+        if fp < self._global_top:
+            raise VMError("stack overflow on entry")
+        call_stack = []
+        offsets = self._offsets[function.name]
+        block = function.entry
+        instructions = block.instructions
+        index = 0
+        regs = self.regs
+        memory = self.memory
+        steps = self.steps
+        instruction_sink = self.instruction_sink
+
+        while True:
+            instruction = instructions[index]
+            if instruction_sink is not None:
+                instruction_sink(block.code_address + index)
+            index += 1
+            steps += 1
+            if steps > budget:
+                self.steps = steps
+                raise VMError(
+                    "execution exceeded {} steps (infinite loop?)".format(budget)
+                )
+            cls = instruction.__class__
+
+            if cls is BinOp:
+                left = instruction.left
+                right = instruction.right
+                a = regs[left.index] if left.__class__ is PReg else left.value
+                b = regs[right.index] if right.__class__ is PReg else right.value
+                regs[instruction.dest.index] = _BINOPS[instruction.op](a, b)
+            elif cls is Move:
+                src = instruction.src
+                regs[instruction.dest.index] = (
+                    regs[src.index] if src.__class__ is PReg else src.value
+                )
+            elif cls is Load:
+                mem = instruction.mem
+                if mem.__class__ is SymMem:
+                    symbol = mem.symbol
+                    if symbol.global_address is not None:
+                        address = symbol.global_address
+                    else:
+                        address = fp + offsets[symbol]
+                else:
+                    address = regs[mem.addr.index]
+                    self._check_address(address, instruction)
+                regs[instruction.dest.index] = memory.read(
+                    address, instruction.ref
+                )
+            elif cls is Store:
+                mem = instruction.mem
+                if mem.__class__ is SymMem:
+                    symbol = mem.symbol
+                    if symbol.global_address is not None:
+                        address = symbol.global_address
+                    else:
+                        address = fp + offsets[symbol]
+                else:
+                    address = regs[mem.addr.index]
+                    self._check_address(address, instruction)
+                src = instruction.src
+                value = regs[src.index] if src.__class__ is PReg else src.value
+                memory.write(address, value, instruction.ref)
+            elif cls is CJump:
+                cond = instruction.cond
+                value = (
+                    regs[cond.index] if cond.__class__ is PReg else cond.value
+                )
+                target = instruction.if_true if value != 0 else instruction.if_false
+                block = function.blocks[target]
+                instructions = block.instructions
+                index = 0
+            elif cls is Jump:
+                block = function.blocks[instruction.target]
+                instructions = block.instructions
+                index = 0
+            elif cls is UnOp:
+                operand = instruction.operand
+                value = (
+                    regs[operand.index]
+                    if operand.__class__ is PReg
+                    else operand.value
+                )
+                if instruction.op == "neg":
+                    regs[instruction.dest.index] = -value
+                else:
+                    regs[instruction.dest.index] = 1 if value == 0 else 0
+            elif cls is AddrOfSym:
+                symbol = instruction.symbol
+                if symbol.global_address is not None:
+                    regs[instruction.dest.index] = symbol.global_address
+                else:
+                    regs[instruction.dest.index] = fp + offsets[symbol]
+            elif cls is Call:
+                callee = self.module.functions.get(instruction.callee)
+                if callee is None:
+                    raise VMError(
+                        "call to unknown function {}".format(instruction.callee)
+                    )
+                call_stack.append((function, offsets, block, index, fp))
+                if len(call_stack) > 100_000:
+                    raise VMError("call stack overflow (recursion too deep)")
+                fp = fp - callee.frame.size
+                if fp < self._global_top:
+                    raise VMError(
+                        "stack overflow calling {}".format(callee.name)
+                    )
+                function = callee
+                offsets = self._offsets[function.name]
+                block = function.entry
+                instructions = block.instructions
+                index = 0
+            elif cls is Ret:
+                if not call_stack:
+                    self.steps = steps
+                    return ExecutionResult(
+                        return_value=regs[self.machine.ret_reg],
+                        output=self.output,
+                        steps=steps,
+                    )
+                function, offsets, block, index, fp = call_stack.pop()
+                instructions = block.instructions
+            elif cls is Print:
+                src = instruction.src
+                value = regs[src.index] if src.__class__ is PReg else src.value
+                self.output.append(value)
+            else:
+                raise VMError(
+                    "cannot execute instruction {!r}".format(instruction)
+                )
+
+    def _check_address(self, address, instruction):
+        if address < GLOBAL_BASE or address >= self.stack_base:
+            raise VMError(
+                "wild memory access at address {} by {!r}".format(
+                    address, instruction
+                )
+            )
+
+
+def run_module(module, entry="main", memory=None, machine=MACHINE, **kwargs):
+    """Convenience: build a Machine, run ``entry``, return the result."""
+    vm = Machine(module, memory=memory, machine=machine, **kwargs)
+    return vm.run(entry)

@@ -1,0 +1,81 @@
+"""Memory systems the VM can run against."""
+
+from repro.vm.trace import TraceBuffer, encode_flags
+
+
+class MemorySystem:
+    """Interface: word reads/writes annotated with the RefInfo."""
+
+    def read(self, address, ref):
+        raise NotImplementedError
+
+    def write(self, address, value, ref):
+        raise NotImplementedError
+
+
+class FlatMemory(MemorySystem):
+    """Plain word-addressed memory; the functional oracle."""
+
+    def __init__(self):
+        self.words = {}
+
+    def read(self, address, ref):
+        return self.words.get(address, 0)
+
+    def write(self, address, value, ref):
+        self.words[address] = value
+
+    def poke(self, address, value):
+        """Direct initialisation (no RefInfo, not traced)."""
+        self.words[address] = value
+
+    def peek(self, address):
+        return self.words.get(address, 0)
+
+
+class RecordingMemory(MemorySystem):
+    """Flat memory that records every reference into a TraceBuffer."""
+
+    def __init__(self, flat=None, buffer=None):
+        self.flat = flat if flat is not None else FlatMemory()
+        self.buffer = buffer if buffer is not None else TraceBuffer()
+
+    def read(self, address, ref):
+        self.buffer.append(address, encode_flags(ref, False))
+        return self.flat.words.get(address, 0)
+
+    def write(self, address, value, ref):
+        self.buffer.append(address, encode_flags(ref, True))
+        self.flat.words[address] = value
+
+    def poke(self, address, value):
+        self.flat.poke(address, value)
+
+    def peek(self, address):
+        return self.flat.peek(address)
+
+
+class StreamingMemory(MemorySystem):
+    """Flat memory that feeds an online cache simulator as it runs.
+
+    ``sink`` must expose ``access(address, is_write, bypass, kill)``;
+    :class:`repro.cache.Cache` does.
+    """
+
+    def __init__(self, sink, flat=None):
+        self.flat = flat if flat is not None else FlatMemory()
+        self.sink = sink
+
+    def read(self, address, ref):
+        self.sink.access(address, False, ref.bypass, ref.kill)
+        return self.flat.words.get(address, 0)
+
+    def write(self, address, value, ref):
+        self.sink.access(address, True, ref.bypass, ref.kill)
+        self.flat.words[address] = value
+
+    def poke(self, address, value):
+        self.flat.poke(address, value)
+
+    def peek(self, address):
+        return self.flat.peek(address)

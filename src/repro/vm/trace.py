@@ -1,0 +1,138 @@
+"""Compact memory-reference traces.
+
+A trace event is one data reference: word address plus one flag byte.
+Events are stored in parallel ``array`` buffers so multi-million-entry
+traces stay cheap; the cache simulators consume either the packed form
+directly or :class:`TraceEvent` views.
+"""
+
+from array import array
+from dataclasses import dataclass
+
+from repro.ir.instructions import RefClass, RefOrigin
+
+FLAG_WRITE = 0x01
+FLAG_BYPASS = 0x02
+FLAG_KILL = 0x04
+FLAG_AMBIGUOUS = 0x08
+ORIGIN_SHIFT = 4
+ORIGIN_MASK = 0x70
+#: Set on instruction-fetch events in combined I+D traces.  Instruction
+#: references always go through the cache in the unified model (there
+#: is no "execute register" instruction, Section 2.3), so the bit only
+#: classifies; it never changes cache behaviour.
+FLAG_INSTRUCTION = 0x80
+
+_ORIGIN_CODES = {
+    RefOrigin.USER: 0,
+    RefOrigin.SPILL: 1,
+    RefOrigin.CALLEE_SAVE: 2,
+    RefOrigin.ARG_HOME: 3,
+}
+_CODE_ORIGINS = {code: origin for origin, code in _ORIGIN_CODES.items()}
+
+
+def encode_flags(ref, is_write):
+    """Pack a :class:`RefInfo` plus direction into one flag byte."""
+    flags = FLAG_WRITE if is_write else 0
+    if ref.bypass:
+        flags |= FLAG_BYPASS
+    if ref.kill:
+        flags |= FLAG_KILL
+    if ref.ref_class is RefClass.AMBIGUOUS:
+        flags |= FLAG_AMBIGUOUS
+    flags |= _ORIGIN_CODES[ref.origin] << ORIGIN_SHIFT
+    return flags
+
+
+def origin_from_flags(flags):
+    return _CODE_ORIGINS[(flags & ORIGIN_MASK) >> ORIGIN_SHIFT]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """An unpacked view of one reference, for tests and small tools."""
+
+    address: int
+    is_write: bool
+    bypass: bool
+    kill: bool
+    ambiguous: bool
+    origin: RefOrigin
+    is_instruction: bool = False
+
+    @classmethod
+    def from_packed(cls, address, flags):
+        return cls(
+            address=address,
+            is_write=bool(flags & FLAG_WRITE),
+            bypass=bool(flags & FLAG_BYPASS),
+            kill=bool(flags & FLAG_KILL),
+            ambiguous=bool(flags & FLAG_AMBIGUOUS),
+            origin=origin_from_flags(flags),
+            is_instruction=bool(flags & FLAG_INSTRUCTION),
+        )
+
+
+class TraceBuffer:
+    """Parallel-array storage for a data-reference trace."""
+
+    def __init__(self):
+        self.addresses = array("q")
+        self.flags = array("B")
+
+    def append(self, address, flags):
+        self.addresses.append(address)
+        self.flags.append(flags)
+
+    def __len__(self):
+        return len(self.addresses)
+
+    def __iter__(self):
+        """Yield packed ``(address, flags)`` pairs."""
+        return zip(self.addresses, self.flags)
+
+    def events(self):
+        """Yield unpacked :class:`TraceEvent` objects (slower)."""
+        for address, flags in self:
+            yield TraceEvent.from_packed(address, flags)
+
+    def summary(self):
+        """Counts used by the dynamic-classification experiment.
+
+        Instruction-fetch events (combined traces) are reported under
+        ``instructions`` and excluded from every data-reference count.
+        """
+        writes = 0
+        bypassed = 0
+        killed = 0
+        ambiguous = 0
+        instructions = 0
+        by_origin = {origin: 0 for origin in _ORIGIN_CODES}
+        for flags in self.flags:
+            if flags & FLAG_INSTRUCTION:
+                instructions += 1
+                continue
+            if flags & FLAG_WRITE:
+                writes += 1
+            if flags & FLAG_BYPASS:
+                bypassed += 1
+            if flags & FLAG_KILL:
+                killed += 1
+            if flags & FLAG_AMBIGUOUS:
+                ambiguous += 1
+            by_origin[origin_from_flags(flags)] += 1
+        total = len(self) - instructions
+        return {
+            "total": total,
+            "reads": total - writes,
+            "writes": writes,
+            "bypassed": bypassed,
+            "killed": killed,
+            "ambiguous": ambiguous,
+            "unambiguous": total - ambiguous,
+            "instructions": instructions,
+            "by_origin": {
+                origin.value: count for origin, count in by_origin.items()
+            },
+        }

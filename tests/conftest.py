@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.unified.pipeline import CompilationOptions, compile_source
+
+#: Every (scheme, promotion) combination the pipeline supports; used to
+#: assert that program semantics are identical across all of them.
+ALL_CONFIGS = [
+    ("unified", "none"),
+    ("unified", "modest"),
+    ("unified", "aggressive"),
+    ("conventional", "none"),
+    ("conventional", "modest"),
+    ("conventional", "aggressive"),
+]
+
+
+def compile_program(source, scheme="unified", promotion="modest", **kwargs):
+    """Compile MiniC source with the given pipeline configuration."""
+    options = CompilationOptions(scheme=scheme, promotion=promotion, **kwargs)
+    return compile_source(source, options)
+
+
+def run_source(source, scheme="unified", promotion="modest", memory=None,
+               **kwargs):
+    """Compile and execute; returns the ExecutionResult."""
+    program = compile_program(source, scheme, promotion, **kwargs)
+    return program.run(memory=memory)
+
+
+def outputs(source, **kwargs):
+    """Compile, run, and return just the printed values."""
+    return run_source(source, **kwargs).output
+
+
+@pytest.fixture
+def compile_run():
+    return run_source

@@ -1,0 +1,264 @@
+"""Alias analysis tests: points-to, alias sets, classification.
+
+Includes the paper's Figure 2 example (compile-time unsolvable
+aliasing) as a regression case: every element reference of the array
+must land in one ambiguous alias set.
+"""
+
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+from repro.analysis.alias import analyze_aliases
+from repro.ir.builder import build_module
+from repro.ir.cfg import build_cfg
+from repro.ir.instructions import Load, RefClass, Store
+
+
+def build_with_alias(source, refine=False):
+    module = build_module(analyze(parse_program(source)))
+    for function in module.functions.values():
+        build_cfg(function)
+    return module, analyze_aliases(module, refine_points_to=refine)
+
+
+def classify_map(module, alias):
+    """{access_path: RefClass} over all memory references."""
+    result = {}
+    for function in module.functions.values():
+        for instruction in function.instructions():
+            if isinstance(instruction, (Load, Store)):
+                ref = instruction.ref
+                result[ref.access_path] = alias.classify(ref)
+    return result
+
+
+def find_global(module, name):
+    for symbol in module.globals:
+        if symbol.name == name:
+            return symbol
+    raise KeyError(name)
+
+
+class TestPointsTo:
+    def test_pointer_to_global_array(self):
+        module, alias = build_with_alias(
+            "int a[8]; int f(int *p) { return p[0]; } "
+            "int main() { return f(a); }"
+        )
+        param = module.functions["f"].params[0]
+        regions = alias.points_to[param]
+        assert ("array", find_global(module, "a")) in regions
+
+    def test_pointer_to_two_arrays(self):
+        module, alias = build_with_alias(
+            "int a[4]; int b[4];"
+            "int f(int *p) { return *p; }"
+            "int main() { int x; x = f(a); return x + f(b); }"
+        )
+        param = module.functions["f"].params[0]
+        names = {region[1].name for region in alias.points_to[param]}
+        assert names == {"a", "b"}
+
+    def test_pointer_copy_propagates(self):
+        module, alias = build_with_alias(
+            "int a[4]; int main() { int *p; int *q; p = a; q = p; "
+            "return *q; }"
+        )
+        q = next(
+            symbol for symbol in module.functions["main"].frame._offsets
+            if symbol.name == "q"
+        )
+        assert {region[1].name for region in alias.points_to[q]} == {"a"}
+
+    def test_pointer_arithmetic_keeps_region(self):
+        module, alias = build_with_alias(
+            "int a[8]; int main() { int *p; p = a + 3; return *(p - 1); }"
+        )
+        p = next(
+            symbol for symbol in module.functions["main"].frame._offsets
+            if symbol.name == "p"
+        )
+        assert {region[1].name for region in alias.points_to[p]} == {"a"}
+
+    def test_pointer_through_return_value(self):
+        module, alias = build_with_alias(
+            "int a[4];"
+            "int *pick() { return a; }"
+            "int main() { int *p; p = pick(); return *p; }"
+        )
+        p = next(
+            symbol for symbol in module.functions["main"].frame._offsets
+            if symbol.name == "p"
+        )
+        assert {region[1].name for region in alias.points_to[p]} == {"a"}
+
+    def test_address_of_scalar_in_points_to(self):
+        module, alias = build_with_alias(
+            "int main() { int x; int *p; p = &x; *p = 3; return x; }"
+        )
+        p = next(
+            symbol for symbol in module.functions["main"].frame._offsets
+            if symbol.name == "p"
+        )
+        assert {region[0] for region in alias.points_to[p]} == {"scalar"}
+
+
+class TestClassification:
+    def test_plain_scalar_unambiguous(self):
+        module, alias = build_with_alias(
+            "int main() { int x; x = 1; return x; }"
+        )
+        classes = classify_map(module, alias)
+        assert all(
+            cls is RefClass.UNAMBIGUOUS for cls in classes.values()
+        )
+
+    def test_array_refs_ambiguous(self):
+        module, alias = build_with_alias(
+            "int a[4]; int main() { a[1] = 2; return a[1]; }"
+        )
+        classes = classify_map(module, alias)
+        array_refs = {
+            path: cls for path, cls in classes.items() if "[" in path
+        }
+        assert array_refs
+        assert all(cls is RefClass.AMBIGUOUS for cls in array_refs.values())
+
+    def test_address_taken_scalar_ambiguous(self):
+        module, alias = build_with_alias(
+            "int main() { int x; int *p; p = &x; *p = 1; return x; }"
+        )
+        classes = classify_map(module, alias)
+        x_path = next(path for path in classes if path.startswith("x#"))
+        assert classes[x_path] is RefClass.AMBIGUOUS
+
+    def test_pointer_variable_itself_unambiguous(self):
+        module, alias = build_with_alias(
+            "int a[4]; int main() { int *p; p = a; return *p; }"
+        )
+        classes = classify_map(module, alias)
+        p_path = next(path for path in classes if path.startswith("p#"))
+        assert classes[p_path] is RefClass.UNAMBIGUOUS
+
+    def test_global_scalar_unambiguous(self):
+        module, alias = build_with_alias(
+            "int g; int main() { g = 3; return g; }"
+        )
+        classes = classify_map(module, alias)
+        g_path = next(path for path in classes if path.startswith("g#"))
+        assert classes[g_path] is RefClass.UNAMBIGUOUS
+
+    def test_deref_always_ambiguous(self):
+        module, alias = build_with_alias(
+            "int a[4]; int f(int *p) { return *p; } "
+            "int main() { return f(a); }"
+        )
+        classes = classify_map(module, alias)
+        deref_path = next(path for path in classes if path.startswith("*"))
+        assert classes[deref_path] is RefClass.AMBIGUOUS
+
+    def test_refined_classification_of_unreferenced_address(self):
+        # &x is taken but the pointer is never dereferenced: the
+        # conservative answer is ambiguous, the refined one unambiguous.
+        source = (
+            "int main() { int x; int *p; x = 1; p = &x; "
+            "if (p == 0) x = 2; return x; }"
+        )
+        module, conservative = build_with_alias(source)
+        classes = classify_map(module, conservative)
+        x_path = next(path for path in classes if path.startswith("x#"))
+        assert classes[x_path] is RefClass.AMBIGUOUS
+
+        module2, refined = build_with_alias(source, refine=True)
+        classes2 = classify_map(module2, refined)
+        x_path2 = next(path for path in classes2 if path.startswith("x#"))
+        assert classes2[x_path2] is RefClass.UNAMBIGUOUS
+
+    def test_register_worthiness(self):
+        module, alias = build_with_alias(
+            "int g; int a[4];"
+            "int main() { int x; int y; int *p; p = &y; *p = 1; "
+            "x = 2; return x + y + g + a[0]; }"
+        )
+        frame_symbols = {
+            symbol.name: symbol
+            for symbol in module.functions["main"].frame._offsets
+        }
+        assert alias.symbol_is_register_worthy(frame_symbols["x"])
+        assert not alias.symbol_is_register_worthy(frame_symbols["y"])
+        assert not alias.symbol_is_register_worthy(find_global(module, "g"))
+
+
+class TestAliasSets:
+    def test_figure2_example(self):
+        # read(i, j); a[i+j] = a[i] + a[j];  -- the paper's Figure 2.
+        module, alias = build_with_alias(
+            "int a[16];"
+            "int main() { int i; int j; i = 3; j = 5; "
+            "a[i + j] = a[i] + a[j]; return a[8]; }"
+        )
+        sets = alias.alias_sets()
+        array_sets = [s for s in sets if any("a#" in n for n in s.names)]
+        assert len(array_sets) == 1
+        assert array_sets[0].ambiguous
+
+    def test_singleton_scalar_sets_unambiguous(self):
+        _module, alias = build_with_alias(
+            "int main() { int x; int y; x = 1; y = 2; return x + y; }"
+        )
+        sets = alias.alias_sets()
+        for alias_set in sets:
+            assert len(alias_set) == 1
+            assert not alias_set.ambiguous
+
+    def test_uniqueness_property(self):
+        # Paper Section 4.1.1.2: each name is in exactly one alias set.
+        _module, alias = build_with_alias(
+            "int a[4]; int b[4];"
+            "int f(int *p, int *q) { return *p + *q; }"
+            "int main() { int x; int *r; r = &x; *r = 1; "
+            "return f(a, b) + x; }"
+        )
+        sets = alias.alias_sets()
+        seen = set()
+        for alias_set in sets:
+            for name in alias_set.names:
+                assert name not in seen
+                seen.add(name)
+
+    def test_completeness_property(self):
+        # Every scalar/array name appears in some set.
+        module, alias = build_with_alias(
+            "int g; int a[4]; int main() { int x; x = g + a[0]; return x; }"
+        )
+        sets = alias.alias_sets()
+        all_names = set()
+        for alias_set in sets:
+            all_names.update(alias_set.names)
+        assert any(name.startswith("g#") for name in all_names)
+        assert any(name.startswith("a#") for name in all_names)
+        assert any(name.startswith("x#") for name in all_names)
+
+    def test_deref_merged_with_target(self):
+        _module, alias = build_with_alias(
+            "int a[4]; int main() { int *p; p = a; return *p; }"
+        )
+        sets = alias.alias_sets()
+        merged = [
+            s for s in sets
+            if any(n.startswith("*p#") for n in s.names)
+            and any("a#" in n for n in s.names)
+        ]
+        assert len(merged) == 1
+
+    def test_two_pointers_same_target_share_set(self):
+        _module, alias = build_with_alias(
+            "int a[4]; int main() { int *p; int *q; p = a; q = a; "
+            "return *p + *q; }"
+        )
+        sets = alias.alias_sets()
+        both = [
+            s for s in sets
+            if any(n.startswith("*p#") for n in s.names)
+            and any(n.startswith("*q#") for n in s.names)
+        ]
+        assert len(both) == 1

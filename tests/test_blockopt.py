@@ -1,0 +1,165 @@
+"""Tests for block-local register caching of unambiguous globals."""
+
+import pytest
+
+from conftest import ALL_CONFIGS, compile_program, run_source
+
+from repro.ir.instructions import Load, Store, SymMem
+
+GLOBAL_HEAVY = """
+int counter;
+int limit;
+
+void bump() { counter = counter + 2; }
+
+int main() {
+    int i;
+    counter = 0;
+    limit = 10;
+    for (i = 0; i < limit; i++) {
+        counter = counter + 1;
+        counter = counter + 1;
+        counter = counter + 1;
+    }
+    bump();
+    print(counter);
+    print(limit);
+    return 0;
+}
+"""
+
+
+def global_ref_count(program, symbol_name):
+    count = 0
+    for function in program.module.functions.values():
+        for instruction in function.instructions():
+            if isinstance(instruction, (Load, Store)) and isinstance(
+                instruction.mem, SymMem
+            ):
+                if instruction.mem.symbol.name == symbol_name:
+                    count += 1
+    return count
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scheme,promotion", ALL_CONFIGS)
+    def test_semantics_preserved(self, scheme, promotion):
+        result = run_source(
+            GLOBAL_HEAVY, scheme=scheme, promotion=promotion,
+            cache_globals_in_blocks=True,
+        )
+        assert result.output == [32, 10]
+
+    def test_matches_unoptimised_output(self):
+        plain = run_source(GLOBAL_HEAVY)
+        optimised = run_source(GLOBAL_HEAVY, cache_globals_in_blocks=True)
+        assert plain.output == optimised.output
+
+    def test_callee_sees_flushed_value(self):
+        source = """
+        int g;
+        int observe() { return g; }
+        int main() {
+            g = 5;
+            g = g + 1;
+            print(observe());   // must see 6, not a stale 5
+            g = g * 10;
+            print(observe());
+            return 0;
+        }
+        """
+        result = run_source(source, cache_globals_in_blocks=True,
+                            promotion="aggressive")
+        assert result.output == [6, 60]
+
+    def test_value_reloaded_after_call(self):
+        source = """
+        int g;
+        void mutate() { g = 99; }
+        int main() {
+            g = 1;
+            print(g);
+            mutate();
+            print(g);          // must reload: callee changed it
+            return 0;
+        }
+        """
+        result = run_source(source, cache_globals_in_blocks=True,
+                            promotion="aggressive")
+        assert result.output == [1, 99]
+
+    def test_address_taken_global_untouched(self):
+        source = """
+        int g;
+        int main() {
+            int *p;
+            p = &g;
+            g = 1;
+            *p = 7;
+            print(g);
+            return 0;
+        }
+        """
+        result = run_source(source, cache_globals_in_blocks=True)
+        assert result.output == [7]
+
+    def test_benchmarks_still_correct(self):
+        from repro.programs import get_benchmark
+
+        for name in ("towers", "queen", "sieve"):
+            bench = get_benchmark(name)
+            program = compile_program(
+                bench.source, promotion="aggressive",
+                cache_globals_in_blocks=True,
+            )
+            assert tuple(program.run().output) == bench.expected_output
+
+
+class TestEffectiveness:
+    def test_redundant_refs_removed(self):
+        plain = compile_program(GLOBAL_HEAVY, promotion="aggressive")
+        optimised = compile_program(
+            GLOBAL_HEAVY, promotion="aggressive",
+            cache_globals_in_blocks=True,
+        )
+        assert global_ref_count(optimised, "counter") < (
+            global_ref_count(plain, "counter")
+        )
+
+    def test_dynamic_traffic_reduced(self):
+        from repro.vm.memory import RecordingMemory
+
+        plain = compile_program(GLOBAL_HEAVY, promotion="aggressive")
+        optimised = compile_program(
+            GLOBAL_HEAVY, promotion="aggressive",
+            cache_globals_in_blocks=True,
+        )
+        plain_memory = RecordingMemory()
+        plain.run(memory=plain_memory)
+        optimised_memory = RecordingMemory()
+        optimised.run(memory=optimised_memory)
+        assert len(optimised_memory.buffer) < len(plain_memory.buffer)
+
+    def test_towers_access_time_recovers(self):
+        """The E13 gap: with intraprocedural global caching, towers'
+        unified access time improves substantially."""
+        from repro.cache.cache import CacheConfig
+        from repro.cache.replay import replay_trace
+        from repro.cache.timing import LatencyModel
+        from repro.programs import get_benchmark
+        from repro.vm.memory import RecordingMemory
+
+        bench = get_benchmark("towers")
+        model = LatencyModel()
+        cycles = {}
+        for flag in (False, True):
+            program = compile_program(
+                bench.source, promotion="aggressive",
+                cache_globals_in_blocks=flag,
+            )
+            memory = RecordingMemory()
+            result = program.run(memory=memory)
+            assert tuple(result.output) == bench.expected_output
+            stats = replay_trace(memory.buffer, CacheConfig())
+            cycles[flag] = model.cycles(stats)
+        assert cycles[True] < cycles[False]

@@ -1,0 +1,254 @@
+"""Cache simulator tests: geometry, policies, bypass, kill semantics."""
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+
+
+def lru_cache(**kwargs):
+    defaults = dict(size_words=4, line_words=1, associativity=4, policy="lru")
+    defaults.update(kwargs)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size_words=256, line_words=4, associativity=4)
+        assert config.num_sets == 16
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_words=100, line_words=4, associativity=3)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            CacheConfig(policy="belady")
+
+    def test_rejects_unknown_kill_mode(self):
+        with pytest.raises(ValueError):
+            CacheConfig(kill_mode="sideways")
+
+    def test_cache_rejects_config_plus_kwargs(self):
+        with pytest.raises(TypeError):
+            Cache(CacheConfig(), size_words=64)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = lru_cache()
+        assert cache.access(100, False) == "miss"
+        assert cache.access(100, False) == "hit"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_distinct_addresses_fill_lines(self):
+        cache = lru_cache()
+        for address in range(4):
+            assert cache.access(address, False) == "miss"
+        for address in range(4):
+            assert cache.access(address, False) == "hit"
+
+    def test_capacity_eviction(self):
+        cache = lru_cache()  # 4 words, fully associative
+        for address in range(5):
+            cache.access(address, False)
+        assert cache.stats.evictions == 1
+        # Address 0 was least recently used and must be gone.
+        assert cache.access(0, False) == "miss"
+
+    def test_lru_order_updated_by_hits(self):
+        cache = lru_cache()
+        for address in range(4):
+            cache.access(address, False)
+        cache.access(0, False)  # 0 becomes most recent
+        cache.access(99, False)  # evicts 1, not 0
+        assert cache.access(0, False) == "hit"
+        assert cache.access(1, False) == "miss"
+
+    def test_write_makes_line_dirty_and_writeback_counts(self):
+        cache = lru_cache()
+        cache.access(10, True)  # write-allocate, dirty
+        for address in range(4):
+            cache.access(100 + address, False)  # evict everything
+        assert cache.stats.writebacks == 1
+        assert cache.stats.words_to_memory == 1
+
+    def test_clean_eviction_has_no_writeback(self):
+        cache = lru_cache()
+        cache.access(10, False)
+        for address in range(4):
+            cache.access(100 + address, False)
+        assert cache.stats.writebacks == 0
+
+    def test_write_allocate_one_word_line_fetches_nothing(self):
+        cache = lru_cache()
+        cache.access(10, True)
+        assert cache.stats.words_from_memory == 0
+
+    def test_wide_line_fetches_whole_line(self):
+        cache = Cache(CacheConfig(size_words=16, line_words=4,
+                                  associativity=4))
+        cache.access(10, False)
+        assert cache.stats.words_from_memory == 4
+
+    def test_wide_line_spatial_hit(self):
+        cache = Cache(CacheConfig(size_words=16, line_words=4,
+                                  associativity=4))
+        cache.access(8, False)
+        assert cache.access(9, False) == "hit"
+        assert cache.access(11, False) == "hit"
+
+    def test_set_mapping_conflicts(self):
+        # Direct-mapped, 4 sets: addresses 0 and 4 collide.
+        cache = Cache(CacheConfig(size_words=4, line_words=1,
+                                  associativity=1))
+        cache.access(0, False)
+        cache.access(4, False)
+        assert cache.access(0, False) == "miss"
+
+
+class TestBypass:
+    def test_bypass_read_miss_does_not_allocate(self):
+        cache = lru_cache()
+        cache.access(7, False, bypass=True)
+        assert cache.stats.refs_bypassed == 1
+        assert cache.stats.words_from_memory == 1
+        assert cache.contents() == {}
+
+    def test_bypass_write_goes_to_memory(self):
+        cache = lru_cache()
+        cache.access(7, True, bypass=True)
+        assert cache.stats.words_to_memory == 1
+        assert cache.contents() == {}
+
+    def test_umam_load_hit_invalidates_clean_line(self):
+        cache = lru_cache()
+        cache.access(7, False)  # through cache, clean
+        cache.access(7, False, bypass=True)
+        assert cache.stats.probe_hits == 1
+        assert cache.contents() == {}
+        assert cache.stats.writebacks == 0
+
+    def test_umam_load_hit_writes_back_dirty_line(self):
+        cache = lru_cache()
+        cache.access(7, True)  # dirty
+        cache.access(7, False, bypass=True)
+        assert cache.stats.writebacks == 1
+        assert cache.stats.words_to_memory == 1  # just the write-back
+        assert cache.contents() == {}
+
+    def test_umam_load_hit_with_kill_drops_dirty_data(self):
+        cache = lru_cache()
+        cache.access(7, True)  # dirty
+        cache.access(7, False, bypass=True, kill=True)
+        assert cache.stats.writebacks == 0
+        assert cache.stats.dead_drops == 1
+        assert cache.contents() == {}
+
+    def test_umam_store_invalidates_stale_copy(self):
+        cache = lru_cache()
+        cache.access(7, True)  # dirty copy in cache
+        cache.access(7, True, bypass=True)  # newest value to memory
+        assert cache.stats.probe_hits == 1
+        assert cache.contents() == {}
+
+    def test_honor_bypass_false_treats_as_cached(self):
+        cache = lru_cache(honor_bypass=False)
+        cache.access(7, False, bypass=True)
+        assert cache.stats.refs_bypassed == 0
+        assert cache.stats.refs_cached == 1
+        assert 7 in cache.contents()
+
+
+class TestKillBits:
+    def test_kill_on_hit_frees_line(self):
+        cache = lru_cache()
+        cache.access(3, False)
+        cache.access(3, False, kill=True)
+        assert cache.stats.dead_line_frees == 1
+        assert cache.contents() == {}
+
+    def test_kill_on_miss_bypasses_fill(self):
+        cache = lru_cache()
+        cache.access(3, False, kill=True)
+        assert cache.contents() == {}
+        assert cache.stats.words_from_memory == 1
+
+    def test_kill_dirty_line_drops_writeback(self):
+        cache = lru_cache()
+        cache.access(3, True)
+        cache.access(3, False, kill=True)
+        assert cache.stats.dead_drops == 1
+        assert cache.stats.writebacks == 0
+
+    def test_honor_kill_false_ignores_bit(self):
+        cache = lru_cache(honor_kill=False)
+        cache.access(3, False)
+        cache.access(3, False, kill=True)
+        assert 3 in cache.contents()
+
+    def test_demote_mode_marks_preferred_victim(self):
+        cache = lru_cache(kill_mode="demote")
+        for address in range(4):
+            cache.access(address, False)
+        cache.access(0, False, kill=True)  # 0 most recent but dead
+        cache.access(50, False)  # must evict the dead 0, not LRU 1
+        assert cache.access(1, False) == "hit"
+        assert cache.access(0, False) == "miss"
+
+    def test_multiword_lines_never_drop_dirty(self):
+        cache = Cache(CacheConfig(size_words=16, line_words=4,
+                                  associativity=4))
+        cache.access(0, True)
+        cache.access(1, False, kill=True)  # same line; only demote
+        # Filling the set evicts the dead line but must write it back.
+        for base in (16, 32, 48, 64):
+            cache.access(base, False)
+        assert cache.stats.dead_drops == 0
+        assert cache.stats.writebacks == 1
+
+    def test_kill_frees_slot_for_next_miss(self):
+        cache = lru_cache()
+        for address in range(4):
+            cache.access(address, False)
+        cache.access(0, False, kill=True)
+        cache.access(50, False)  # takes the freed slot, no eviction
+        assert cache.stats.evictions == 0
+
+
+class TestPolicies:
+    def test_fifo_ignores_recency(self):
+        cache = lru_cache(policy="fifo")
+        for address in range(4):
+            cache.access(address, False)
+        cache.access(0, False)  # hit; FIFO order unchanged
+        cache.access(99, False)  # evicts 0 (first in), not 1
+        assert cache.access(0, False) == "miss"
+
+    def test_random_policy_is_seed_deterministic(self):
+        def run(seed):
+            cache = lru_cache(policy="random", seed=seed)
+            for address in range(64):
+                cache.access(address % 7, False)
+                cache.access(address, False)
+            return cache.stats.as_dict()
+
+        assert run(1) == run(1)
+
+    def test_stats_conservation(self):
+        cache = lru_cache()
+        import random
+
+        rng = random.Random(7)
+        for _ in range(500):
+            cache.access(
+                rng.randrange(32),
+                rng.random() < 0.5,
+                bypass=rng.random() < 0.3,
+                kill=rng.random() < 0.1,
+            )
+        stats = cache.stats
+        assert stats.refs_total == 500
+        assert stats.refs_cached + stats.refs_bypassed == 500
+        assert stats.hits + stats.misses == stats.refs_cached
+        assert stats.reads + stats.writes == 500

@@ -1,0 +1,177 @@
+"""Tests for Definition 1 user-name merging (deref_merge)."""
+
+import pytest
+
+from conftest import compile_program, run_source
+
+from repro.ir.instructions import Load, RefClass, RegionKind, Store, SymMem
+
+SINGLE_TARGET = """
+int main() {
+    int x;
+    int *p;
+    x = 1;
+    p = &x;
+    *p = *p + 41;
+    print(x);
+    return 0;
+}
+"""
+
+TWO_TARGETS = """
+int main() {
+    int x;
+    int y;
+    int *p;
+    x = 1;
+    y = 2;
+    if (x < y) { p = &x; } else { p = &y; }
+    *p = 9;
+    print(x + y);
+    return 0;
+}
+"""
+
+
+def memory_refs(program, symbol_name=None):
+    refs = []
+    for function in program.module.functions.values():
+        for instruction in function.instructions():
+            if isinstance(instruction, (Load, Store)):
+                ref = instruction.ref
+                if symbol_name is None or (
+                    ref.region_symbol is not None
+                    and getattr(ref.region_symbol, "name", None)
+                    == symbol_name
+                ):
+                    refs.append(ref)
+    return refs
+
+
+class TestMerging:
+    def test_single_target_deref_becomes_direct(self):
+        program = compile_program(
+            SINGLE_TARGET, promotion="none", merge_true_aliases=True
+        )
+        pointer_refs = [
+            ref for ref in memory_refs(program)
+            if ref.region_kind is RegionKind.POINTER
+        ]
+        assert pointer_refs == []
+
+    def test_refined_classification_recovers_unambiguity(self):
+        program = compile_program(
+            SINGLE_TARGET, promotion="none",
+            merge_true_aliases=True, refine_points_to=True,
+        )
+        x_refs = memory_refs(program, "x")
+        assert x_refs
+        assert all(ref.ref_class is RefClass.UNAMBIGUOUS for ref in x_refs)
+
+    def test_without_merge_x_stays_ambiguous(self):
+        program = compile_program(
+            SINGLE_TARGET, promotion="none", refine_points_to=True
+        )
+        x_refs = memory_refs(program, "x")
+        assert any(ref.ref_class is RefClass.AMBIGUOUS for ref in x_refs)
+
+    def test_merged_target_becomes_promotable(self):
+        program = compile_program(
+            SINGLE_TARGET, promotion="aggressive",
+            merge_true_aliases=True, refine_points_to=True,
+        )
+        # x promoted: no direct memory references to it remain.
+        assert memory_refs(program, "x") == []
+        assert any(
+            name.startswith("x#")
+            for name in program.allocation_stats["main"].promoted_symbols
+        )
+
+    def test_two_target_pointer_untouched(self):
+        program = compile_program(
+            TWO_TARGETS, promotion="none",
+            merge_true_aliases=True, refine_points_to=True,
+        )
+        pointer_refs = [
+            ref for ref in memory_refs(program)
+            if ref.region_kind is RegionKind.POINTER
+        ]
+        assert pointer_refs  # still ambiguous: p has two targets
+
+    def test_foreign_frame_local_not_redirected(self):
+        source = """
+        int deref(int *q) { return *q; }
+        int main() {
+            int x;
+            x = 7;
+            print(deref(&x));
+            return 0;
+        }
+        """
+        program = compile_program(
+            source, promotion="none", merge_true_aliases=True
+        )
+        # q's target is main's local: deref() cannot address it via its
+        # own frame, so the dereference must survive.
+        deref_fn = program.module.functions["deref"]
+        loads = [
+            inst for inst in deref_fn.instructions()
+            if isinstance(inst, Load) and not isinstance(inst.mem, SymMem)
+        ]
+        assert loads
+        assert program.run().output == [7]
+
+    def test_array_region_sharpened(self):
+        source = """
+        int a[8];
+        int take(int *p) { return p[2]; }
+        int main() { a[2] = 5; return take(a); }
+        """
+        program = compile_program(
+            source, promotion="none", merge_true_aliases=True
+        )
+        take_refs = [
+            inst.ref
+            for inst in program.module.functions["take"].instructions()
+            if isinstance(inst, (Load, Store))
+            and inst.ref.region_kind is RegionKind.ARRAY
+        ]
+        assert take_refs
+        assert take_refs[0].region_symbol.name == "a"
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("promotion", ["none", "modest", "aggressive"])
+    def test_single_target_output(self, promotion):
+        result = run_source(
+            SINGLE_TARGET, promotion=promotion,
+            merge_true_aliases=True, refine_points_to=True,
+        )
+        assert result.output == [42]
+
+    def test_two_target_output(self):
+        result = run_source(
+            TWO_TARGETS, merge_true_aliases=True, refine_points_to=True
+        )
+        assert result.output == [11]
+
+    def test_benchmarks_unaffected(self):
+        from repro.programs import get_benchmark
+
+        for name in ("towers", "queen", "intmm"):
+            bench = get_benchmark(name)
+            program = compile_program(
+                bench.source, promotion="aggressive",
+                merge_true_aliases=True, refine_points_to=True,
+            )
+            assert tuple(program.run().output) == bench.expected_output
+
+    def test_functional_cache_transparency(self):
+        from repro.cache.functional import DataCachedMemory
+
+        program = compile_program(
+            SINGLE_TARGET, promotion="modest",
+            merge_true_aliases=True, refine_points_to=True,
+        )
+        memory = DataCachedMemory(size_words=4, associativity=2)
+        assert program.run(memory=memory).output == [42]

@@ -1,0 +1,117 @@
+"""Tests for Section 4.4's bypass-bit transmission mechanisms."""
+
+import pytest
+
+from repro.unified.encoding import (
+    DEFAULT_BYPASS_BIT,
+    PatternControlEncoder,
+    address_space_limit,
+    decode_address,
+    encode_address,
+    encode_trace,
+)
+from repro.vm.trace import (
+    FLAG_BYPASS,
+    FLAG_INSTRUCTION,
+    FLAG_WRITE,
+    TraceBuffer,
+)
+
+
+def make_trace(entries):
+    trace = TraceBuffer()
+    for address, flags in entries:
+        trace.append(address, flags)
+    return trace
+
+
+class TestAddressBitScheme:
+    def test_roundtrip_plain(self):
+        encoded = encode_address(1234, False)
+        assert decode_address(encoded) == (1234, False)
+
+    def test_roundtrip_bypass(self):
+        encoded = encode_address(1234, True)
+        assert encoded != 1234
+        assert decode_address(encoded) == (1234, True)
+
+    def test_all_addresses_roundtrip(self):
+        for address in (0, 1, 1023, 65536, address_space_limit() - 1):
+            for bypass in (False, True):
+                encoded = encode_address(address, bypass)
+                assert decode_address(encoded) == (address, bypass)
+
+    def test_address_space_is_halved(self):
+        limit = address_space_limit()
+        with pytest.raises(ValueError):
+            encode_address(limit, False)
+        with pytest.raises(ValueError):
+            encode_address(limit + 5, True)
+
+    def test_custom_bit_position(self):
+        encoded = encode_address(3, True, bypass_bit=8)
+        assert encoded == 3 | (1 << 8)
+        assert decode_address(encoded, bypass_bit=8) == (3, True)
+
+    def test_encode_trace_lossless(self):
+        trace = make_trace([
+            (100, 0),
+            (200, FLAG_BYPASS),
+            (300, FLAG_WRITE | FLAG_BYPASS),
+        ])
+        decoded = [
+            decode_address(encoded)
+            for encoded, _flags in encode_trace(trace)
+        ]
+        assert decoded == [(100, False), (200, True), (300, True)]
+
+
+class TestPatternControlScheme:
+    def test_cost_rounding(self):
+        encoder = PatternControlEncoder(pattern_width=8)
+        trace = make_trace([(i, 0) for i in range(17)])
+        cost = encoder.cost(trace)
+        assert cost.references == 17
+        assert cost.control_instructions == 3  # ceil(17/8)
+        assert cost.overhead_ratio == pytest.approx(3 / 17)
+
+    def test_instruction_events_excluded(self):
+        encoder = PatternControlEncoder(pattern_width=4)
+        trace = make_trace(
+            [(1, FLAG_INSTRUCTION)] * 10 + [(2, 0)] * 4
+        )
+        cost = encoder.cost(trace)
+        assert cost.references == 4
+        assert cost.control_instructions == 1
+
+    def test_patterns_content(self):
+        encoder = PatternControlEncoder(pattern_width=4)
+        trace = make_trace([
+            (1, FLAG_BYPASS),
+            (2, 0),
+            (3, FLAG_BYPASS),
+            (4, 0),
+            (5, FLAG_BYPASS),
+        ])
+        patterns = list(encoder.patterns(trace))
+        assert patterns == [0b0101, 0b1]
+
+    def test_empty_trace(self):
+        encoder = PatternControlEncoder()
+        cost = encoder.cost(make_trace([]))
+        assert cost.control_instructions == 0
+        assert cost.overhead_ratio == 0.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PatternControlEncoder(pattern_width=0)
+
+    def test_realistic_overhead(self):
+        """The paper: 'the high frequency of cache bypass control
+        instructions would limit performance' — with a 24-bit pattern
+        the overhead is one extra instruction per 24 references."""
+        from repro.evalharness.sweeps import _trace_for
+
+        trace, _program = _trace_for("queen")
+        cost = PatternControlEncoder(pattern_width=24).cost(trace)
+        assert cost.overhead_ratio == pytest.approx(1 / 24, rel=0.01)

@@ -1,0 +1,71 @@
+"""Smoke-run every shipped example so they cannot rot.
+
+Each example is executed in-process (imported as a module and its
+``main()`` called) with stdout captured; we assert on load-bearing
+lines of the output.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, argv=()):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location(
+        "example_" + name, path
+    )
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [path] + list(argv)
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "annotated machine code" in out
+        assert "UmAm_LOAD" in out or "Am_LOAD" in out
+        assert "traffic reduction" in out
+
+    def test_alias_explorer(self, capsys):
+        run_example("alias_explorer")
+        out = capsys.readouterr().out
+        assert "figure2" in out
+        assert "alias sets:" in out
+        assert "points-to facts:" in out
+        assert "ambiguous" in out
+
+    def test_cache_policy_lab(self, capsys):
+        run_example("cache_policy_lab", ["queen"])
+        out = capsys.readouterr().out
+        assert "policy x kill-bit grid" in out
+        assert "min" in out
+
+    def test_register_pressure(self, capsys):
+        run_example("register_pressure")
+        out = capsys.readouterr().out
+        assert "spilled webs" in out
+        assert "8 registers" in out
+
+    def test_figure5_reproduction(self, capsys):
+        run_example("figure5_reproduction")
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "average" in out
+
+    @pytest.mark.slow
+    def test_unified_cache_and_hybrid(self, capsys):
+        run_example("unified_cache_and_hybrid")
+        out = capsys.readouterr().out
+        assert "instruction hit rate" in out
+        assert "hybrid" in out

@@ -1,0 +1,66 @@
+"""Tests for the extra Stanford workloads (quicksort, perm)."""
+
+import pytest
+
+from conftest import compile_program
+
+from repro.programs import EXTRA_BENCHMARK_NAMES, get_benchmark
+from repro.programs import extras
+
+
+class TestReferenceOracles:
+    def test_quicksort_sorted_flag(self):
+        out = extras.quicksort_reference(60)
+        assert out[2] == 1
+        assert out[0] <= out[1]
+
+    def test_quicksort_matches_bubble_checksum(self):
+        # Same generator, same checksum definition: sorting the same
+        # data must produce identical outputs to the bubble oracle.
+        from repro.programs import bubble
+
+        assert extras.quicksort_reference(200) == bubble.reference_output(200)
+
+    def test_perm_counts(self):
+        # pctr follows the recurrence a(n) = n*a(n-1) + 1.
+        assert extras.perm_reference(1) == [1]
+        assert extras.perm_reference(2) == [3]
+        assert extras.perm_reference(3) == [10]
+        assert extras.perm_reference(4) == [41]
+
+    def test_perm_paper_scale_value(self):
+        # Stanford Perm.c checks pctr == 8660 after permute(7).
+        assert extras.perm_reference(7) == [8660]
+
+
+@pytest.mark.parametrize("name", EXTRA_BENCHMARK_NAMES)
+@pytest.mark.parametrize("promotion", ["none", "modest", "aggressive"])
+class TestCompiled:
+    def test_matches_reference(self, name, promotion):
+        bench = get_benchmark(name)
+        program = compile_program(bench.source, promotion=promotion)
+        assert tuple(program.run().output) == bench.expected_output
+
+    def test_conventional_scheme(self, name, promotion):
+        bench = get_benchmark(name)
+        program = compile_program(bench.source, scheme="conventional",
+                                  promotion=promotion)
+        assert tuple(program.run().output) == bench.expected_output
+
+
+class TestRegistry:
+    def test_extras_not_in_figure5_set(self):
+        from repro.programs import BENCHMARK_NAMES
+
+        for name in EXTRA_BENCHMARK_NAMES:
+            assert name not in BENCHMARK_NAMES
+
+    def test_error_message_mentions_extras(self):
+        with pytest.raises(KeyError, match="quicksort"):
+            get_benchmark("nope")
+
+    def test_quicksort_in_sweeps(self):
+        from repro.evalharness.sweeps import cache_size_sweep
+
+        rows = cache_size_sweep("quicksort", sizes=(128,))
+        assert rows[0]["cache_traffic_reduction"] > 0

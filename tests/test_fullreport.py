@@ -1,0 +1,23 @@
+"""Smoke tests for the one-command reproduction report."""
+
+from repro.evalharness.fullreport import build_report, main
+
+
+class TestReport:
+    def test_fast_report_contains_sections(self):
+        report = build_report(fast=True)
+        assert "Figure 5" in report
+        assert "Dead-line" in report
+        assert "Spill-to-cache" in report
+        assert "towers" in report
+        assert "paper" in report
+
+    def test_fast_report_excludes_slow_sections(self):
+        report = build_report(fast=True)
+        assert "Combined I+D" not in report
+        assert "Total memory access time" not in report
+
+    def test_cli_fast(self, capsys):
+        assert main(["--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out

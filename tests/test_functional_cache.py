@@ -1,0 +1,182 @@
+"""Protocol-transparency tests: the data-carrying cache must never
+change program behaviour (paper's hardware-correctness obligation).
+
+A program is executed twice — once on flat memory, once through
+:class:`DataCachedMemory`, which implements the full unified protocol
+(bypass path, coherence probes, kill-bit dead drops) *with the data
+actually stored in the cache lines*.  Outputs, return values and final
+global memory must agree.
+"""
+
+import pytest
+
+from conftest import ALL_CONFIGS, compile_program
+
+from repro.cache.cache import CacheConfig
+from repro.cache.functional import DataCachedMemory
+from repro.ir.function import GLOBAL_BASE
+from repro.vm.memory import FlatMemory
+
+PROGRAMS = {
+    "scalars": """
+        int main() { int x; int y; x = 3; y = x * 2 + 1; print(x + y);
+                     return y; }
+    """,
+    "arrays": """
+        int a[16];
+        int main() {
+            int i;
+            for (i = 0; i < 16; i++) a[i] = i * i;
+            for (i = 0; i < 16; i++) a[i] = a[i] + a[(i + 1) % 16];
+            print(a[0]); print(a[15]);
+            return 0;
+        }
+    """,
+    "pointers": """
+        int buf[8];
+        void zap(int *p, int n) { int i; for (i = 0; i < n; i++) p[i] = -i; }
+        int main() {
+            int *p;
+            zap(buf, 8);
+            p = &buf[4];
+            *p = *p * 10;
+            print(buf[4]);
+            return 0;
+        }
+    """,
+    "recursion": """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { print(fib(12)); return 0; }
+    """,
+    "aliased_scalars": """
+        int main() {
+            int x; int y; int *p;
+            x = 1; y = 2;
+            p = &x;
+            *p = *p + y;
+            p = &y;
+            *p = x * 10;
+            print(x); print(y);
+            return 0;
+        }
+    """,
+    "globals_across_calls": """
+        int counter;
+        void bump() { counter = counter + 1; }
+        int main() {
+            int i;
+            counter = 0;
+            for (i = 0; i < 10; i++) bump();
+            print(counter);
+            return 0;
+        }
+    """,
+}
+
+#: Deliberately tiny caches so eviction, write-back, probe and kill
+#: paths all fire constantly.
+CACHE_SHAPES = [
+    dict(size_words=4, associativity=1),
+    dict(size_words=4, associativity=4),
+    dict(size_words=16, associativity=2),
+    dict(size_words=64, associativity=4),
+]
+
+
+def run_both(source, scheme, promotion, cache_kwargs):
+    program = compile_program(source, scheme=scheme, promotion=promotion)
+    flat_result = program.run(memory=FlatMemory())
+
+    cached_memory = DataCachedMemory(
+        CacheConfig(line_words=1, policy="lru", **cache_kwargs)
+    )
+    cached_result = program.run(memory=cached_memory)
+    return program, flat_result, cached_result, cached_memory
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    @pytest.mark.parametrize("cache_kwargs", CACHE_SHAPES,
+                             ids=lambda c: "c{size_words}w{associativity}a"
+                             .format(**c))
+    def test_outputs_identical(self, name, cache_kwargs):
+        program, flat, cached, _memory = run_both(
+            PROGRAMS[name], "unified", "modest", cache_kwargs
+        )
+        assert cached.output == flat.output
+        assert cached.return_value == flat.return_value
+
+    @pytest.mark.parametrize("scheme,promotion", ALL_CONFIGS)
+    def test_all_configs_on_tiny_cache(self, scheme, promotion):
+        for name, source in sorted(PROGRAMS.items()):
+            _program, flat, cached, _memory = run_both(
+                source, scheme, promotion, dict(size_words=4, associativity=2)
+            )
+            assert cached.output == flat.output, name
+            assert cached.return_value == flat.return_value, name
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_final_global_memory_coherent(self, name):
+        program, _flat, _cached, memory = run_both(
+            PROGRAMS[name], "unified", "none", dict(size_words=8,
+                                                    associativity=2)
+        )
+        # Compare the coherent view (cache wins) against a flat rerun.
+        flat = FlatMemory()
+        program.run(memory=flat)
+        module = program.module
+        for symbol in module.globals:
+            base = symbol.global_address
+            size = symbol.type.size_words() if symbol.is_array() else 1
+            for offset in range(size):
+                assert memory.peek(base + offset) == flat.peek(base + offset), (
+                    symbol.name, offset)
+
+    def test_kill_bits_exercised(self):
+        # The property is only meaningful if dead drops actually occur.
+        source = PROGRAMS["recursion"]
+        program = compile_program(source, scheme="unified",
+                                  promotion="aggressive")
+        memory = DataCachedMemory(size_words=16, associativity=2)
+        program.run(memory=memory)
+        assert memory.stats.kills > 0
+        assert memory.stats.probe_hits > 0
+
+    def test_functional_requires_line_size_one(self):
+        with pytest.raises(ValueError):
+            DataCachedMemory(size_words=16, line_words=4, associativity=2)
+
+    def test_stats_shape_matches_performance_model(self):
+        """The functional twin and the tag-only simulator must agree on
+        hit/miss/bypass accounting for the same reference stream."""
+        from repro.cache.replay import replay_trace
+        from repro.vm.memory import RecordingMemory
+
+        source = PROGRAMS["arrays"]
+        program = compile_program(source, scheme="unified", promotion="none")
+
+        recorder = RecordingMemory()
+        program.run(memory=recorder)
+        perf = replay_trace(recorder.buffer, size_words=16, associativity=2)
+
+        functional = DataCachedMemory(size_words=16, associativity=2)
+        program.run(memory=functional)
+
+        assert functional.stats.refs_total == perf.refs_total
+        assert functional.stats.refs_bypassed == perf.refs_bypassed
+        assert functional.stats.hits == perf.hits
+        assert functional.stats.misses == perf.misses
+        assert functional.stats.dead_drops == perf.dead_drops
+        assert functional.stats.writebacks == perf.writebacks
+
+    def test_peek_prefers_cached_copy(self):
+        memory = DataCachedMemory(size_words=4, associativity=4)
+        from repro.ir.instructions import RefInfo, RegionKind
+
+        ref = RefInfo("t", RegionKind.DIRECT)
+        ref.annotate(None, bypass=False, kill=False)
+        memory.write(GLOBAL_BASE, 42, ref)  # dirty in cache only
+        assert memory.main.get(GLOBAL_BASE, 0) == 0
+        assert memory.peek(GLOBAL_BASE) == 42
+        memory.flush()
+        assert memory.main[GLOBAL_BASE] == 42

@@ -1,0 +1,153 @@
+"""Statement-level compiler fuzzing with hypothesis.
+
+Generates small straight-line/branching MiniC programs over a fixed
+set of scalar variables alongside a Python model, and checks that the
+compiled program (at a random promotion level and scheme) produces the
+model's outputs.  This exercises the whole pipeline — lowering,
+promotion, webs, coloring, annotation, VM — against an independent
+semantic oracle.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import compile_program
+
+VARS = ("a", "b", "c", "d")
+
+
+def c_div(x, y):
+    q = abs(x) // abs(y)
+    if (x < 0) != (y < 0):
+        q = -q
+    return q
+
+
+def c_mod(x, y):
+    return x - c_div(x, y) * y
+
+
+@st.composite
+def simple_exprs(draw, depth=0):
+    """(text, eval_fn) pairs over VARS; total functions, no div by 0."""
+    choice = draw(st.integers(0, 3 if depth < 2 else 1))
+    if choice == 0:
+        value = draw(st.integers(-20, 20))
+        text = str(value) if value >= 0 else "(0 - {})".format(-value)
+        return text, (lambda env, v=value: v)
+    if choice == 1:
+        name = draw(st.sampled_from(VARS))
+        return name, (lambda env, n=name: env[n])
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left_text, left_fn = draw(simple_exprs(depth=depth + 1))
+    right_text, right_fn = draw(simple_exprs(depth=depth + 1))
+    ops = {
+        "+": lambda x, y: x + y,
+        "-": lambda x, y: x - y,
+        "*": lambda x, y: x * y,
+    }
+    fn = ops[op]
+    return (
+        "({} {} {})".format(left_text, op, right_text),
+        lambda env, f=fn, lf=left_fn, rf=right_fn: f(lf(env), rf(env)),
+    )
+
+
+@st.composite
+def statements(draw, depth=0):
+    """(minic_text, apply_fn) where apply_fn mutates env and output."""
+    kind = draw(st.integers(0, 3 if depth < 1 else 1))
+    if kind == 0:
+        target = draw(st.sampled_from(VARS))
+        expr_text, expr_fn = draw(simple_exprs())
+
+        def assign(env, output, t=target, f=expr_fn):
+            env[t] = f(env)
+
+        return "{} = {};".format(target, expr_text), assign
+    if kind == 1:
+        expr_text, expr_fn = draw(simple_exprs())
+
+        def emit(env, output, f=expr_fn):
+            output.append(f(env))
+
+        return "print({});".format(expr_text), emit
+    if kind == 2:
+        cond_text, cond_fn = draw(simple_exprs())
+        then_text, then_fn = draw(statements(depth=depth + 1))
+        else_text, else_fn = draw(statements(depth=depth + 1))
+
+        def branch(env, output, c=cond_fn, t=then_fn, e=else_fn):
+            if c(env) != 0:
+                t(env, output)
+            else:
+                e(env, output)
+
+        text = "if ({}) {{ {} }} else {{ {} }}".format(
+            cond_text, then_text, else_text
+        )
+        return text, branch
+    # A bounded counted loop over a fresh loop variable.
+    iterations = draw(st.integers(0, 4))
+    body_text, body_fn = draw(statements(depth=depth + 1))
+
+    def loop(env, output, n=iterations, b=body_fn):
+        for _ in range(n):
+            b(env, output)
+
+    text = (
+        "for (loopv = 0; loopv < {}; loopv = loopv + 1) {{ {} }}"
+        .format(iterations, body_text)
+    )
+    return text, loop
+
+
+@st.composite
+def programs(draw):
+    count = draw(st.integers(1, 6))
+    parts = []
+    fns = []
+    for _ in range(count):
+        text, fn = draw(statements())
+        parts.append(text)
+        fns.append(fn)
+    body = "\n    ".join(parts)
+    source = (
+        "int main() {\n"
+        "    int a; int b; int c; int d; int loopv;\n"
+        "    a = 0; b = 0; c = 0; d = 0;\n"
+        "    " + body + "\n"
+        "    print(a + b + c + d);\n"
+        "    return 0;\n"
+        "}\n"
+    )
+    env = {name: 0 for name in VARS}
+    output = []
+    for fn in fns:
+        fn(env, output)
+    output.append(sum(env[name] for name in VARS))
+    return source, output
+
+
+class TestProgramFuzzing:
+    @given(
+        program=programs(),
+        promotion=st.sampled_from(["none", "modest", "aggressive"]),
+        scheme=st.sampled_from(["unified", "conventional"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_matches_model(self, program, promotion, scheme):
+        source, expected = program
+        compiled = compile_program(source, scheme=scheme,
+                                   promotion=promotion)
+        assert compiled.run().output == expected
+
+    @given(program=programs())
+    @settings(max_examples=20, deadline=None)
+    def test_functional_cache_matches_model(self, program):
+        from repro.cache.functional import DataCachedMemory
+
+        source, expected = program
+        compiled = compile_program(source, scheme="unified",
+                                   promotion="modest")
+        memory = DataCachedMemory(size_words=4, associativity=2)
+        assert compiled.run(memory=memory).output == expected

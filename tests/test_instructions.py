@@ -1,0 +1,209 @@
+"""Unit tests for IR operand/instruction mechanics and machine config."""
+
+import pytest
+
+from repro.ir.instructions import (
+    MACHINE,
+    AddrOfSym,
+    BinOp,
+    Call,
+    CJump,
+    Imm,
+    Jump,
+    Load,
+    MachineConfig,
+    Move,
+    PReg,
+    Print,
+    RefInfo,
+    RegionKind,
+    RegMem,
+    Ret,
+    Store,
+    SymMem,
+    UnOp,
+    VReg,
+    is_reg,
+)
+
+
+class TestOperands:
+    def test_preg_interned(self):
+        assert PReg(3) is PReg(3)
+        assert PReg(3) is not PReg(4)
+
+    def test_vreg_identity(self):
+        a = VReg("x")
+        b = VReg("x")
+        assert a is not b
+        assert a != b
+        assert a == a
+
+    def test_vreg_ids_monotonic(self):
+        a = VReg()
+        b = VReg()
+        assert b.id > a.id
+
+    def test_imm_equality(self):
+        assert Imm(5) == Imm(5)
+        assert Imm(5) != Imm(6)
+
+    def test_is_reg(self):
+        assert is_reg(VReg())
+        assert is_reg(PReg(0))
+        assert not is_reg(Imm(1))
+        assert not is_reg(None)
+
+    def test_reprs(self):
+        assert repr(PReg(7)) == "r7"
+        assert repr(Imm(3)) == "#3"
+        assert "x" in repr(VReg("x"))
+
+
+class TestUsesDefs:
+    def test_move(self):
+        a, b = VReg("a"), VReg("b")
+        inst = Move(a, b)
+        assert inst.uses() == [b]
+        assert inst.defs() == [a]
+        assert Move(a, Imm(1)).uses() == []
+
+    def test_binop(self):
+        a, b, c = VReg(), VReg(), VReg()
+        inst = BinOp(a, "add", b, c)
+        assert set(inst.uses()) == {b, c}
+        assert inst.defs() == [a]
+        assert BinOp(a, "add", Imm(1), c).uses() == [c]
+
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(AssertionError):
+            BinOp(VReg(), "xor", Imm(1), Imm(2))
+
+    def test_load_store_regmem(self):
+        addr, dest, src = VReg("addr"), VReg("d"), VReg("s")
+        ref = RefInfo("t", RegionKind.UNKNOWN)
+        load = Load(dest, RegMem(addr), ref)
+        assert load.uses() == [addr]
+        assert load.defs() == [dest]
+        store = Store(RegMem(addr), src, ref)
+        assert set(store.uses()) == {src, addr}
+        assert store.defs() == []
+
+    def test_load_store_symmem(self):
+        class FakeSymbol:
+            def storage_name(self):
+                return "fake"
+
+        ref = RefInfo("t", RegionKind.DIRECT)
+        dest = VReg()
+        load = Load(dest, SymMem(FakeSymbol()), ref)
+        assert load.uses() == []
+
+    def test_call_clobbers_caller_saved(self):
+        call = Call("f", 2, True)
+        assert set(call.uses()) == {PReg(0), PReg(1)}
+        assert set(call.defs()) == {
+            PReg(i) for i in MACHINE.caller_saved()
+        }
+
+    def test_ret_uses_r0_only_with_value(self):
+        assert Ret(True).uses() == [PReg(MACHINE.ret_reg)]
+        assert Ret(False).uses() == []
+
+    def test_terminator_flags(self):
+        assert Jump("x").is_terminator
+        assert CJump(Imm(1), "a", "b").is_terminator
+        assert Ret(False).is_terminator
+        assert not Move(VReg(), Imm(0)).is_terminator
+
+    def test_successors(self):
+        assert Jump("x").successors_names() == ["x"]
+        assert CJump(Imm(1), "a", "b").successors_names() == ["a", "b"]
+        assert Ret(False).successors_names() == []
+
+
+class TestRewrite:
+    def test_rewrite_all_positions(self):
+        a, b, c = VReg("a"), VReg("b"), VReg("c")
+        new = {a: VReg("a2"), b: VReg("b2")}
+        inst = BinOp(a, "add", b, c)
+        inst.rewrite_registers(lambda reg: new.get(reg, reg))
+        assert inst.dest is new[a]
+        assert inst.left is new[b]
+        assert inst.right is c
+
+    def test_rewrite_regmem(self):
+        addr = VReg("addr")
+        new_addr = VReg("addr2")
+        ref = RefInfo("t", RegionKind.UNKNOWN)
+        inst = Load(VReg(), RegMem(addr), ref)
+        inst.rewrite_registers(
+            lambda reg: new_addr if reg is addr else reg
+        )
+        assert inst.mem.addr is new_addr
+
+    def test_rewrite_cjump_cond(self):
+        cond = VReg()
+        new_cond = VReg()
+        inst = CJump(cond, "a", "b")
+        inst.rewrite_registers(lambda reg: new_cond)
+        assert inst.cond is new_cond
+
+    def test_rewrite_print(self):
+        src = VReg()
+        inst = Print(src)
+        replacement = VReg()
+        inst.rewrite_registers(lambda reg: replacement)
+        assert inst.src is replacement
+
+
+class TestRefInfo:
+    def test_annotate(self):
+        from repro.ir.instructions import RefFlavor
+
+        ref = RefInfo("x", RegionKind.DIRECT)
+        ref.annotate(RefFlavor.UMAM_LOAD, bypass=True, kill=True)
+        assert ref.flavor is RefFlavor.UMAM_LOAD
+        assert ref.bypass and ref.kill
+
+    def test_describe(self):
+        from repro.ir.instructions import RefClass, RefFlavor
+
+        ref = RefInfo("x", RegionKind.DIRECT)
+        ref.ref_class = RefClass.UNAMBIGUOUS
+        ref.annotate(RefFlavor.UMAM_STORE, bypass=True)
+        text = ref.describe()
+        assert "x" in text and "bypass" in text
+
+
+class TestMachineConfig:
+    def test_default_partition(self):
+        machine = MachineConfig()
+        assert len(machine.all_regs()) == 16
+        assert set(machine.caller_saved()) | set(machine.callee_saved()) \
+            == set(machine.all_regs())
+        assert not set(machine.caller_saved()) & set(machine.callee_saved())
+
+    def test_arg_regs_are_caller_saved(self):
+        machine = MachineConfig()
+        assert set(machine.arg_regs()) <= set(machine.caller_saved())
+
+    def test_custom_machine(self):
+        machine = MachineConfig(num_regs=8, num_caller_saved=4)
+        assert machine.callee_saved() == (4, 5, 6, 7)
+
+
+class TestAddrOfSym:
+    def test_defs(self):
+        class FakeSymbol:
+            def storage_name(self):
+                return "arr"
+
+        dest = VReg()
+        inst = AddrOfSym(dest, FakeSymbol())
+        assert inst.defs() == [dest]
+        assert inst.uses() == []
+
+    def test_unop_ops(self):
+        with pytest.raises(AssertionError):
+            UnOp(VReg(), "abs", Imm(1))

@@ -1,0 +1,277 @@
+"""IR construction, CFG, dominators, loops, and verifier tests."""
+
+import pytest
+
+from repro.lang.errors import IRError
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+from repro.ir.builder import build_module
+from repro.ir.cfg import build_cfg, postorder, reverse_postorder
+from repro.ir.dominators import DominatorTree
+from repro.ir.instructions import (
+    AddrOfSym,
+    BinOp,
+    Call,
+    CJump,
+    Jump,
+    Load,
+    Move,
+    PReg,
+    Print,
+    RefOrigin,
+    RegionKind,
+    RegMem,
+    Ret,
+    Store,
+    SymMem,
+)
+from repro.ir.loops import LoopInfo
+from repro.ir.printer import format_function, format_module
+from repro.ir.validate import verify_function, verify_module
+
+
+def build(source):
+    module = build_module(analyze(parse_program(source)))
+    for function in module.functions.values():
+        build_cfg(function)
+    verify_module(module)
+    return module
+
+
+def instructions_of(module, name):
+    return list(module.functions[name].instructions())
+
+
+class TestLowering:
+    def test_scalar_access_is_memory_resident(self):
+        module = build("int main() { int x; x = 1; return x; }")
+        insts = instructions_of(module, "main")
+        stores = [i for i in insts if isinstance(i, Store)]
+        loads = [i for i in insts if isinstance(i, Load)]
+        assert any(isinstance(s.mem, SymMem) for s in stores)
+        assert any(isinstance(l.mem, SymMem) for l in loads)
+
+    def test_array_access_uses_computed_address(self):
+        module = build("int a[4]; int main() { a[2] = 7; return a[2]; }")
+        insts = instructions_of(module, "main")
+        stores = [i for i in insts if isinstance(i, Store)]
+        assert all(isinstance(s.mem, RegMem) for s in stores)
+        assert stores[0].ref.region_kind is RegionKind.ARRAY
+
+    def test_pointer_deref_region(self):
+        module = build(
+            "int f(int *p) { return *p; } int a[2]; "
+            "int main() { return f(a); }"
+        )
+        loads = [
+            i for i in instructions_of(module, "f")
+            if isinstance(i, Load) and isinstance(i.mem, RegMem)
+        ]
+        assert loads[0].ref.region_kind is RegionKind.POINTER
+
+    def test_arg_homing_stores(self):
+        module = build("int f(int a, int b) { return a + b; } "
+                       "int main() { return f(1, 2); }")
+        stores = [
+            i for i in instructions_of(module, "f") if isinstance(i, Store)
+        ]
+        assert [s.ref.origin for s in stores[:2]] == [
+            RefOrigin.ARG_HOME, RefOrigin.ARG_HOME
+        ]
+
+    def test_call_lowering_moves_args_to_arg_registers(self):
+        module = build("int f(int a) { return a; } "
+                       "int main() { return f(41); }")
+        insts = instructions_of(module, "main")
+        call_index = next(
+            i for i, inst in enumerate(insts) if isinstance(inst, Call)
+        )
+        move = insts[call_index - 1]
+        assert isinstance(move, Move)
+        assert move.dest is PReg(0)
+
+    def test_return_through_r0(self):
+        module = build("int main() { return 9; }")
+        insts = instructions_of(module, "main")
+        ret = insts[-1]
+        assert isinstance(ret, Ret) and ret.has_value
+        assert any(
+            isinstance(i, Move) and i.dest is PReg(0) for i in insts
+        )
+
+    def test_void_function_implicit_return(self):
+        module = build("void f() { } int main() { f(); return 0; }")
+        terminator = module.functions["f"].entry.terminator
+        assert isinstance(terminator, Ret) and not terminator.has_value
+
+    def test_print_lowering(self):
+        module = build("int main() { print(3); return 0; }")
+        assert any(
+            isinstance(i, Print) for i in instructions_of(module, "main")
+        )
+
+    def test_global_init_recorded(self):
+        module = build("int x = 7; int main() { return x; }")
+        symbol = module.globals[0]
+        assert module.global_inits[symbol] == 7
+
+    def test_global_layout_is_disjoint(self):
+        module = build("int a[10]; int b; int c[3]; int main() { return 0; }")
+        addresses = []
+        for symbol in module.globals:
+            size = symbol.type.size_words() if symbol.is_array() else 1
+            addresses.append((symbol.global_address, size))
+        addresses.sort()
+        for (addr_a, size_a), (addr_b, _size_b) in zip(addresses, addresses[1:]):
+            assert addr_a + size_a <= addr_b
+
+    def test_frame_contains_locals_and_arrays(self):
+        module = build("int main() { int x; int a[8]; a[0] = 1; x = a[0]; "
+                       "return x; }")
+        assert module.functions["main"].frame.size >= 9
+
+    def test_short_circuit_creates_control_flow(self):
+        module = build(
+            "int main() { int x; x = 1; if (x > 0 && x < 10) return 1; "
+            "return 0; }"
+        )
+        assert len(module.functions["main"].blocks) >= 4
+
+    def test_addr_of_scalar(self):
+        module = build(
+            "int main() { int x; int *p; p = &x; *p = 3; return x; }"
+        )
+        assert any(
+            isinstance(i, AddrOfSym)
+            for i in instructions_of(module, "main")
+        )
+
+    def test_dead_code_after_return_pruned(self):
+        module = build("int main() { return 1; print(2); return 3; }")
+        insts = instructions_of(module, "main")
+        assert not any(isinstance(i, Print) for i in insts)
+
+
+class TestCFG:
+    def test_entry_has_no_preds(self):
+        module = build("int main() { int i; for (i=0;i<3;i++) ; return 0; }")
+        assert module.functions["main"].entry.preds == []
+
+    def test_loop_back_edge(self):
+        module = build("int main() { int i; i = 0; while (i < 3) i = i + 1; "
+                       "return i; }")
+        function = module.functions["main"]
+        loop_info = LoopInfo(function)
+        assert len(loop_info.loops) == 1
+
+    def test_nested_loop_depths(self):
+        module = build(
+            "int main() { int i; int j; int s; s = 0;"
+            "for (i=0;i<2;i++) for (j=0;j<2;j++) s = s + 1; return s; }"
+        )
+        loop_info = LoopInfo(module.functions["main"])
+        assert len(loop_info.loops) == 2
+        assert max(loop_info.depth.values()) == 2
+
+    def test_reverse_postorder_starts_at_entry(self):
+        module = build("int main() { if (1) return 1; return 0; }")
+        function = module.functions["main"]
+        order = reverse_postorder(function)
+        assert order[0] is function.entry
+
+    def test_postorder_is_reverse_of_rpo(self):
+        module = build("int main() { int i; for (i=0;i<3;i++) ; return 0; }")
+        function = module.functions["main"]
+        assert postorder(function) == list(reversed(reverse_postorder(function)))
+
+    def test_rpo_covers_all_blocks(self):
+        module = build(
+            "int main() { int i; int s; s=0; for (i=0;i<3;i++) "
+            "{ if (i>1) s+=i; else s-=i; } return s; }"
+        )
+        function = module.functions["main"]
+        assert len(reverse_postorder(function)) == len(function.blocks)
+
+    def test_succs_preds_are_consistent(self):
+        module = build(
+            "int main() { int i; for (i=0;i<3;i++) if (i) break; return i; }"
+        )
+        for block in module.functions["main"].blocks.values():
+            for successor in block.succs:
+                assert block in successor.preds
+            for pred in block.preds:
+                assert block in pred.succs
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        module = build(
+            "int main() { int i; for (i=0;i<3;i++) { if (i) print(i); } "
+            "return 0; }"
+        )
+        function = module.functions["main"]
+        dom = DominatorTree(function)
+        for name in function.blocks:
+            assert dom.dominates(function.entry_name, name)
+
+    def test_loop_header_dominates_body(self):
+        module = build("int main() { int i; i=0; while (i<3) i=i+1; "
+                       "return i; }")
+        function = module.functions["main"]
+        loop = LoopInfo(function).loops[0]
+        dom = DominatorTree(function)
+        for name in loop.body:
+            assert dom.dominates(loop.header, name)
+
+    def test_branches_do_not_dominate_join(self):
+        module = build(
+            "int main() { int x; x=0; if (x) x=1; else x=2; return x; }"
+        )
+        function = module.functions["main"]
+        dom = DominatorTree(function)
+        ret_block = next(
+            block.name
+            for block in function.blocks.values()
+            if isinstance(block.terminator, Ret)
+        )
+        branch_blocks = [
+            name for name in function.blocks
+            if name != function.entry_name and name != ret_block
+        ]
+        dominating = [
+            name for name in branch_blocks if dom.dominates(name, ret_block)
+        ]
+        assert len(dominating) <= 1  # Only a straight-line predecessor may.
+
+
+class TestVerifier:
+    def test_detects_missing_terminator(self):
+        module = build("int main() { return 0; }")
+        function = module.functions["main"]
+        function.entry.instructions.pop()
+        with pytest.raises(IRError):
+            verify_function(function)
+
+    def test_detects_unallocated_vreg(self):
+        module = build("int main() { int x; x = 1; return x; }")
+        with pytest.raises(IRError):
+            verify_function(module.functions["main"], allocated=True)
+
+    def test_detects_branch_to_unknown_block(self):
+        module = build("int main() { return 0; }")
+        function = module.functions["main"]
+        function.entry.instructions[-1] = Jump("nowhere")
+        with pytest.raises(IRError):
+            verify_function(function)
+
+
+class TestPrinter:
+    def test_format_function_mentions_blocks(self):
+        module = build("int main() { int i; for (i=0;i<2;i++) ; return i; }")
+        text = format_function(module.functions["main"])
+        assert "func main" in text
+        assert "jump" in text
+
+    def test_format_module_lists_globals(self):
+        module = build("int g; int main() { return g; }")
+        assert "globals:" in format_module(module)

@@ -1,0 +1,192 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only(self):
+        assert kinds("  \t\n  ") == [TokenKind.EOF]
+
+    def test_single_identifier(self):
+        tokens = tokenize("hello")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "hello"
+
+    def test_identifier_with_underscore_and_digits(self):
+        tokens = tokenize("_foo_42x")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "_foo_42x"
+
+    def test_decimal_literal(self):
+        tokens = tokenize("12345")
+        assert tokens[0].kind is TokenKind.INT_LITERAL
+        assert tokens[0].value == 12345
+
+    def test_zero_literal(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_hex_literal(self):
+        assert tokenize("0x1F")[0].value == 31
+
+    def test_hex_literal_lowercase(self):
+        assert tokenize("0xff")[0].value == 255
+
+    def test_keywords_are_not_identifiers(self):
+        expected = [
+            TokenKind.KW_INT,
+            TokenKind.KW_VOID,
+            TokenKind.KW_IF,
+            TokenKind.KW_ELSE,
+            TokenKind.KW_WHILE,
+            TokenKind.KW_FOR,
+            TokenKind.KW_RETURN,
+            TokenKind.KW_BREAK,
+            TokenKind.KW_CONTINUE,
+            TokenKind.KW_DO,
+            TokenKind.EOF,
+        ]
+        assert kinds("int void if else while for return break continue do") \
+            == expected
+
+    def test_keyword_prefix_is_identifier(self):
+        tokens = tokenize("interior iffy")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[1].kind is TokenKind.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("&&", TokenKind.AND_AND),
+            ("||", TokenKind.OR_OR),
+            ("++", TokenKind.PLUS_PLUS),
+            ("--", TokenKind.MINUS_MINUS),
+            ("+=", TokenKind.PLUS_ASSIGN),
+            ("-=", TokenKind.MINUS_ASSIGN),
+        ],
+    )
+    def test_multi_char_operator(self, text, kind):
+        assert kinds(text)[0] is kind
+
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("+", TokenKind.PLUS),
+            ("-", TokenKind.MINUS),
+            ("*", TokenKind.STAR),
+            ("/", TokenKind.SLASH),
+            ("%", TokenKind.PERCENT),
+            ("&", TokenKind.AMP),
+            ("!", TokenKind.BANG),
+            ("<", TokenKind.LT),
+            (">", TokenKind.GT),
+            ("=", TokenKind.ASSIGN),
+            (";", TokenKind.SEMICOLON),
+            (",", TokenKind.COMMA),
+            ("(", TokenKind.LPAREN),
+            (")", TokenKind.RPAREN),
+            ("{", TokenKind.LBRACE),
+            ("}", TokenKind.RBRACE),
+            ("[", TokenKind.LBRACKET),
+            ("]", TokenKind.RBRACKET),
+        ],
+    )
+    def test_single_char_operator(self, text, kind):
+        assert kinds(text)[0] is kind
+
+    def test_maximal_munch(self):
+        # `a+++b` lexes as a ++ + b, like C.
+        assert kinds("a+++b")[:4] == [
+            TokenKind.IDENT,
+            TokenKind.PLUS_PLUS,
+            TokenKind.PLUS,
+            TokenKind.IDENT,
+        ]
+
+    def test_le_vs_lt_assign(self):
+        assert kinds("a <= b < c =")[:6] == [
+            TokenKind.IDENT,
+            TokenKind.LE,
+            TokenKind.IDENT,
+            TokenKind.LT,
+            TokenKind.IDENT,
+            TokenKind.ASSIGN,
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // the rest is gone\nb") == [
+            TokenKind.IDENT, TokenKind.IDENT, TokenKind.EOF
+        ]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("a // no newline") == [TokenKind.IDENT, TokenKind.EOF]
+
+    def test_block_comment(self):
+        assert kinds("a /* b c d */ e") == [
+            TokenKind.IDENT, TokenKind.IDENT, TokenKind.EOF
+        ]
+
+    def test_block_comment_spanning_lines(self):
+        assert kinds("a /* x\ny\nz */ b") == [
+            TokenKind.IDENT, TokenKind.IDENT, TokenKind.EOF
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_filename_propagates(self):
+        tokens = tokenize("x", filename="prog.minic")
+        assert tokens[0].location.filename == "prog.minic"
+
+
+class TestLexErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_number_followed_by_letter(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ab\n  @")
+        assert excinfo.value.location.line == 2

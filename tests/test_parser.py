@@ -1,0 +1,263 @@
+"""Parser unit tests: grammar coverage and desugarings."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_program
+from repro.lang.types import INT, ArrayType, PointerType
+
+
+def parse_main_body(body):
+    program = parse_program("int main() { %s }" % body)
+    return program.functions()[0].body.statements
+
+
+def parse_expr(text):
+    statements = parse_main_body("%s;" % text)
+    assert isinstance(statements[0], ast.ExprStmt)
+    return statements[0].expr
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        assert parse_program("").items == []
+
+    def test_global_scalar(self):
+        program = parse_program("int x;")
+        decl = program.globals()[0]
+        assert decl.name == "x"
+        assert decl.var_type == INT
+
+    def test_global_with_initializer(self):
+        decl = parse_program("int x = 42;").globals()[0]
+        assert isinstance(decl.init, ast.IntLit)
+        assert decl.init.value == 42
+
+    def test_global_array(self):
+        decl = parse_program("int a[100];").globals()[0]
+        assert decl.var_type == ArrayType(INT, 100)
+
+    def test_global_pointer(self):
+        decl = parse_program("int *p;").globals()[0]
+        assert decl.var_type == PointerType(INT)
+
+    def test_multiple_declarators(self):
+        program = parse_program("int x, y = 3, z[4];")
+        names = [decl.name for decl in program.globals()]
+        assert names == ["x", "y", "z"]
+
+    def test_function_definition(self):
+        func = parse_program("int f(int a, int *b, int c[]) { }").functions()[0]
+        assert func.name == "f"
+        assert func.params[0].param_type == INT
+        assert func.params[1].param_type == PointerType(INT)
+        assert func.params[2].param_type == ArrayType(INT, None)
+
+    def test_void_function(self):
+        func = parse_program("void g() { }").functions()[0]
+        assert func.return_type.is_void()
+
+
+class TestStatements:
+    def test_local_declarations(self):
+        statements = parse_main_body("int x; int y = 1, z;")
+        assert isinstance(statements[0], ast.DeclStmt)
+        assert len(statements[1].decls) == 2
+
+    def test_if_without_else(self):
+        statements = parse_main_body("if (1) x;")
+        node = statements[0]
+        assert isinstance(node, ast.If)
+        assert node.else_branch is None
+
+    def test_if_else_chain(self):
+        statements = parse_main_body("if (1) x; else if (2) y; else z;")
+        node = statements[0]
+        assert isinstance(node.else_branch, ast.If)
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        statements = parse_main_body("if (1) if (2) x; else y;")
+        outer = statements[0]
+        assert outer.else_branch is None
+        assert isinstance(outer.then_branch, ast.If)
+        assert outer.then_branch.else_branch is not None
+
+    def test_while(self):
+        statements = parse_main_body("while (x) y;")
+        assert isinstance(statements[0], ast.While)
+
+    def test_do_while(self):
+        statements = parse_main_body("do x; while (y);")
+        assert isinstance(statements[0], ast.DoWhile)
+
+    def test_for_full(self):
+        statements = parse_main_body("for (i = 0; i < 10; i++) x;")
+        node = statements[0]
+        assert isinstance(node, ast.For)
+        assert node.init is not None
+        assert node.cond is not None
+        assert node.update is not None
+
+    def test_for_with_declaration(self):
+        statements = parse_main_body("for (int i = 0; i < 3; i++) x;")
+        assert isinstance(statements[0].init, ast.DeclStmt)
+
+    def test_for_empty_clauses(self):
+        statements = parse_main_body("for (;;) break;")
+        node = statements[0]
+        assert node.init is None and node.cond is None and node.update is None
+
+    def test_return_value_and_bare(self):
+        statements = parse_main_body("return 1; return;")
+        assert statements[0].value is not None
+        assert statements[1].value is None
+
+    def test_break_continue(self):
+        statements = parse_main_body("break; continue;")
+        assert isinstance(statements[0], ast.Break)
+        assert isinstance(statements[1], ast.Continue)
+
+    def test_empty_statement(self):
+        statements = parse_main_body(";;")
+        assert len(statements) == 2
+
+    def test_nested_blocks(self):
+        statements = parse_main_body("{ { x; } }")
+        inner = statements[0].statements[0]
+        assert isinstance(inner, ast.Block)
+
+
+class TestExpressionPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        expr = parse_expr("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_below_arithmetic(self):
+        expr = parse_expr("a + 1 < b - 2")
+        assert expr.op == "<"
+
+    def test_logical_or_is_weakest(self):
+        expr = parse_expr("a && b || c && d")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_equality_vs_relational(self):
+        expr = parse_expr("a < b == c < d")
+        assert expr.op == "=="
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_assignment_is_right_associative(self):
+        expr = parse_expr("a = b = c")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_unary_minus(self):
+        expr = parse_expr("-a * b")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_unary_chains(self):
+        expr = parse_expr("!!a")
+        assert isinstance(expr, ast.Unary)
+        assert isinstance(expr.operand, ast.Unary)
+
+
+class TestPointerSyntax:
+    def test_deref(self):
+        assert isinstance(parse_expr("*p"), ast.Deref)
+
+    def test_address_of(self):
+        assert isinstance(parse_expr("&x"), ast.AddrOf)
+
+    def test_deref_binds_tighter_than_binary(self):
+        expr = parse_expr("*p + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.Deref)
+
+    def test_index(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, ast.Index)
+        assert expr.index.op == "+"
+
+    def test_chained_index(self):
+        expr = parse_expr("a[i][j]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_assign_through_deref(self):
+        expr = parse_expr("*p = 5")
+        assert isinstance(expr.target, ast.Deref)
+
+
+class TestDesugaring:
+    def test_plus_assign(self):
+        expr = parse_expr("x += 2")
+        assert isinstance(expr, ast.Assign)
+        assert expr.value.op == "+"
+
+    def test_minus_assign(self):
+        expr = parse_expr("x -= 2")
+        assert expr.value.op == "-"
+
+    def test_postfix_increment(self):
+        expr = parse_expr("x++")
+        assert isinstance(expr, ast.Assign)
+        assert expr.value.op == "+"
+        assert expr.value.right.value == 1
+
+    def test_prefix_decrement(self):
+        expr = parse_expr("--x")
+        assert isinstance(expr, ast.Assign)
+        assert expr.value.op == "-"
+
+    def test_compound_assign_to_element(self):
+        expr = parse_expr("a[i] += 1")
+        assert isinstance(expr.target, ast.Index)
+
+
+class TestCalls:
+    def test_no_args(self):
+        expr = parse_expr("f()")
+        assert isinstance(expr, ast.Call)
+        assert expr.args == []
+
+    def test_args(self):
+        expr = parse_expr("f(1, x, g(2))")
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], ast.Call)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { if (1) }",
+            "int main() { x = ; }",
+            "int main() { for (;; }",
+            "int main() { a[1; }",
+            "int f(,) { }",
+            "int main() { 1 + ; }",
+            "int x",
+            "int main() { return 1 }",
+            "int a[]; ",
+        ],
+    )
+    def test_malformed_input(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_error_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("int main() {\n  x = ;\n}")
+        assert excinfo.value.location.line == 2

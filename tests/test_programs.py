@@ -1,0 +1,111 @@
+"""Benchmark program tests: differential correctness across configs."""
+
+import pytest
+
+from conftest import compile_program
+
+from repro.programs import BENCHMARK_NAMES, get_benchmark, iter_benchmarks
+from repro.programs import bubble, intmm, queen, sieve, towers
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(BENCHMARK_NAMES) == {
+            "bubble", "intmm", "puzzle", "queen", "sieve", "towers"
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("doom")
+
+    def test_iter_order_matches_figure5(self):
+        names = [bench.name for bench in iter_benchmarks()]
+        assert names == list(BENCHMARK_NAMES)
+
+    def test_paper_scale_params(self):
+        bench = get_benchmark("bubble", paper_scale=True)
+        assert bench.params["n"] == 500
+        bench = get_benchmark("towers", paper_scale=True)
+        assert bench.params["n"] == 18
+        bench = get_benchmark("sieve", paper_scale=True)
+        assert bench.params == {"size": 8190, "iterations": 10}
+
+
+class TestReferenceOracles:
+    def test_queen_8_has_92_solutions(self):
+        assert queen.reference_output(8) == [92]
+
+    def test_queen_6_has_4_solutions(self):
+        assert queen.reference_output(6) == [4]
+
+    def test_sieve_counts_1899_primes(self):
+        assert sieve.reference_output(8190, 1) == [1899]
+
+    def test_towers_moves(self):
+        assert towers.reference_output(5) == [31, 0]
+
+    def test_bubble_is_sorted(self):
+        out = bubble.reference_output(50)
+        assert out[2] == 1  # sortedness flag
+        assert out[0] <= out[1]
+
+    def test_intmm_symmetry_of_reference(self):
+        # The oracle must be deterministic.
+        assert intmm.reference_output(8) == intmm.reference_output(8)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+class TestBenchmarksRun:
+    def test_unified_matches_reference(self, name):
+        bench = get_benchmark(name)
+        program = compile_program(bench.source, scheme="unified",
+                                  promotion="modest")
+        result = program.run()
+        assert tuple(result.output) == bench.expected_output
+
+    def test_conventional_matches_reference(self, name):
+        bench = get_benchmark(name)
+        program = compile_program(bench.source, scheme="conventional",
+                                  promotion="modest")
+        result = program.run()
+        assert tuple(result.output) == bench.expected_output
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+@pytest.mark.parametrize("promotion", ["none", "aggressive"])
+def test_benchmarks_across_promotion(name, promotion):
+    bench = get_benchmark(name)
+    program = compile_program(bench.source, promotion=promotion)
+    result = program.run()
+    assert tuple(result.output) == bench.expected_output
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_annotations_never_change_instruction_stream(name):
+    """The unified and conventional compiles execute the identical
+    instruction sequence — annotations are metadata only.  This is the
+    invariant that lets the harness reuse one trace for both schemes."""
+    bench = get_benchmark(name)
+    unified = compile_program(bench.source, scheme="unified")
+    conventional = compile_program(bench.source, scheme="conventional")
+    result_u = unified.run()
+    result_c = conventional.run()
+    assert result_u.steps == result_c.steps
+    assert result_u.output == result_c.output
+
+
+@pytest.mark.parametrize("name", ["bubble", "towers", "sieve"])
+def test_small_scale_variants_run(name):
+    """Smaller-than-default sizes also work (size-sweep support)."""
+    sources = {
+        "bubble": bubble.source(20),
+        "towers": towers.source(5),
+        "sieve": sieve.source(100, 1),
+    }
+    references = {
+        "bubble": bubble.reference_output(20),
+        "towers": towers.reference_output(5),
+        "sieve": sieve.reference_output(100, 1),
+    }
+    program = compile_program(sources[name])
+    assert program.run().output == references[name]

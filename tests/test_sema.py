@@ -1,0 +1,257 @@
+"""Semantic-analysis tests: typing, scoping, and alias-relevant flags."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+
+
+def check(source):
+    return analyze(parse_program(source))
+
+
+def find_symbol(analyzed, name):
+    for func in analyzed.program.functions():
+        for param in func.params:
+            if param.name == name:
+                return param.symbol
+    from repro.lang import ast_nodes as ast
+    from repro.lang.ast_nodes import walk
+
+    for func in analyzed.program.functions():
+        for node in walk(func.body):
+            if isinstance(node, ast.VarDecl) and node.name == name:
+                return node.symbol
+    for symbol in analyzed.globals:
+        if symbol.name == name:
+            return symbol
+    raise KeyError(name)
+
+
+class TestScoping:
+    def test_global_visible_in_function(self):
+        check("int g; int main() { g = 1; return g; }")
+
+    def test_undeclared_name(self):
+        with pytest.raises(SemanticError):
+            check("int main() { x = 1; return 0; }")
+
+    def test_local_shadows_global(self):
+        analyzed = check("int x; int main() { int x; x = 2; return x; }")
+        assert analyzed is not None
+
+    def test_block_scope_ends(self):
+        with pytest.raises(SemanticError):
+            check("int main() { { int x; } x = 1; return 0; }")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(SemanticError):
+            check("int main() { int x; int x; return 0; }")
+
+    def test_redeclaration_in_inner_scope_ok(self):
+        check("int main() { int x; { int x; } return 0; }")
+
+    def test_for_init_scope(self):
+        with pytest.raises(SemanticError):
+            check("int main() { for (int i = 0; i < 3; i++) ; return i; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError):
+            check("int f() { return 0; } int f() { return 1; }")
+
+    def test_forward_function_reference(self):
+        check("int f() { return g(); } int g() { return 1; } "
+              "int main() { return f(); }")
+
+    def test_function_used_as_value(self):
+        with pytest.raises(SemanticError):
+            check("int f() { return 0; } int main() { return f + 1; }")
+
+
+class TestTyping:
+    def test_arithmetic_ok(self):
+        check("int main() { int x; x = 1 + 2 * 3 % 4 / 2 - 1; return x; }")
+
+    def test_pointer_plus_int(self):
+        check("int a[4]; int main() { int *p; p = a + 2; return *p; }")
+
+    def test_int_plus_pointer(self):
+        check("int a[4]; int main() { int *p; p = 2 + a; return *p; }")
+
+    def test_pointer_minus_pointer_is_int(self):
+        check("int a[4]; int main() { int *p; int *q; p = a; q = a + 2; "
+              "return q - p; }")
+
+    def test_pointer_times_int_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int a[4]; int main() { int *p; p = a; return *(p * 2); }")
+
+    def test_assign_pointer_to_int_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int a[4]; int main() { int x; x = a; return x; }")
+
+    def test_assign_int_to_pointer_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int main() { int *p; p = 5; return 0; }")
+
+    def test_null_pointer_constant_ok(self):
+        check("int main() { int *p; p = 0; return 0; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int a[4]; int b[4]; int main() { a = b; return 0; }")
+
+    def test_index_requires_array_or_pointer(self):
+        with pytest.raises(SemanticError):
+            check("int main() { int x; return x[0]; }")
+
+    def test_index_must_be_int(self):
+        with pytest.raises(SemanticError):
+            check("int a[4]; int main() { int *p; p = a; return a[p]; }")
+
+    def test_deref_requires_pointer(self):
+        with pytest.raises(SemanticError):
+            check("int main() { int x; return *x; }")
+
+    def test_deref_array_ok(self):
+        check("int a[4]; int main() { return *a; }")
+
+    def test_addr_of_expression_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int main() { int x; int *p; p = &(x + 1); return 0; }")
+
+    def test_no_pointer_to_pointer(self):
+        with pytest.raises(SemanticError):
+            check("int main() { int *p; int *q; q = &p; return 0; }")
+
+    def test_compare_pointer_with_pointer(self):
+        check("int a[4]; int main() { int *p; int *q; p = a; q = a; "
+              "return p == q; }")
+
+    def test_compare_pointer_with_int_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int a[2]; int main() { int *p; int x; p = a; x = 1; "
+                  "return p < x; }")
+
+
+class TestFunctionsAndCalls:
+    def test_arg_count_mismatch(self):
+        with pytest.raises(SemanticError):
+            check("int f(int a) { return a; } int main() { return f(1, 2); }")
+
+    def test_arg_type_mismatch(self):
+        with pytest.raises(SemanticError):
+            check("int f(int *p) { return *p; } int main() { return f(3); }")
+
+    def test_array_decays_to_pointer_arg(self):
+        check("int a[4]; int f(int *p) { return *p; } "
+              "int main() { return f(a); }")
+
+    def test_array_param_syntax(self):
+        check("int a[4]; int f(int p[]) { return p[0]; } "
+              "int main() { return f(a); }")
+
+    def test_too_many_params(self):
+        with pytest.raises(SemanticError):
+            check("int f(int a, int b, int c, int d, int e) { return 0; }")
+
+    def test_void_return_with_value_rejected(self):
+        with pytest.raises(SemanticError):
+            check("void f() { return 3; }")
+
+    def test_int_return_without_value_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int f() { return; }")
+
+    def test_call_undeclared(self):
+        with pytest.raises(SemanticError):
+            check("int main() { return nothere(); }")
+
+    def test_print_intrinsic(self):
+        check("int main() { print(42); return 0; }")
+
+    def test_print_arity(self):
+        with pytest.raises(SemanticError):
+            check("int main() { print(1, 2); return 0; }")
+
+    def test_cannot_redefine_print(self):
+        with pytest.raises(SemanticError):
+            check("void print(int x) { }")
+
+
+class TestControlChecks:
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            check("int main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError):
+            check("int main() { continue; return 0; }")
+
+    def test_break_in_nested_loop_ok(self):
+        check("int main() { while (1) { for (;;) break; break; } return 0; }")
+
+
+class TestGlobals:
+    def test_global_constant_initializer(self):
+        analyzed = check("int x = -5;")
+        decl = analyzed.program.globals()[0]
+        assert decl.const_init == -5
+
+    def test_global_nonconstant_initializer_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int y; int x = y + 1;")
+
+    def test_pointer_global_nonzero_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int *p = 5;")
+
+    def test_array_local_initializer_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int main() { int a[3] = 1; return 0; }")
+
+
+class TestAliasFlags:
+    def test_address_taken_flag(self):
+        analyzed = check(
+            "int main() { int x; int *p; p = &x; *p = 1; return x; }"
+        )
+        assert find_symbol(analyzed, "x").address_taken
+
+    def test_plain_scalar_not_address_taken(self):
+        analyzed = check("int main() { int x; x = 1; return x; }")
+        assert not find_symbol(analyzed, "x").address_taken
+
+    def test_array_escape_via_call(self):
+        analyzed = check(
+            "int a[4]; int f(int *p) { return *p; } "
+            "int main() { return f(a); }"
+        )
+        assert find_symbol(analyzed, "a").escapes
+
+    def test_array_escape_via_assignment(self):
+        analyzed = check(
+            "int a[4]; int main() { int *p; p = a; return *p; }"
+        )
+        assert find_symbol(analyzed, "a").escapes
+
+    def test_array_direct_indexing_does_not_escape(self):
+        analyzed = check("int a[4]; int main() { a[0] = 1; return a[0]; }")
+        assert not find_symbol(analyzed, "a").escapes
+
+    def test_addr_of_element_escapes_array(self):
+        analyzed = check(
+            "int a[4]; int main() { int *p; p = &a[2]; return *p; }"
+        )
+        assert find_symbol(analyzed, "a").escapes
+
+    def test_expression_types_filled(self):
+        analyzed = check("int main() { int x; x = 1 + 2; return x; }")
+        func = analyzed.program.functions()[0]
+        from repro.lang import ast_nodes as ast
+        from repro.lang.ast_nodes import walk
+
+        for node in walk(func.body):
+            if isinstance(node, ast.Expr):
+                assert node.type is not None

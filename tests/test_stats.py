@@ -1,0 +1,61 @@
+"""Unit tests for CacheStats derived metrics and comparisons."""
+
+import pytest
+
+from repro.cache.stats import CacheStats, ComparisonRow
+
+
+class TestDerivedRates:
+    def test_miss_rate_over_cached_refs_only(self):
+        stats = CacheStats(refs_total=10, refs_cached=4, refs_bypassed=6,
+                           hits=3, misses=1)
+        assert stats.miss_rate == pytest.approx(0.25)
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_rates_with_no_cached_refs(self):
+        stats = CacheStats(refs_total=5, refs_bypassed=5)
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_bus_words(self):
+        stats = CacheStats(words_from_memory=7, words_to_memory=3)
+        assert stats.bus_words == 10
+
+    def test_percent_bypassed(self):
+        stats = CacheStats(refs_total=8, refs_bypassed=2)
+        assert stats.percent_bypassed == pytest.approx(25.0)
+        assert CacheStats().percent_bypassed == 0.0
+
+    def test_as_dict_round_numbers(self):
+        stats = CacheStats(refs_total=3, refs_cached=3, hits=1, misses=2)
+        data = stats.as_dict()
+        assert data["refs_total"] == 3
+        assert data["miss_rate"] == pytest.approx(2 / 3, abs=1e-4)
+
+
+class TestReductions:
+    def test_cache_traffic_reduction(self):
+        unified = CacheStats(refs_cached=40)
+        conventional = CacheStats(refs_cached=100)
+        assert unified.cache_traffic_reduction_vs(conventional) == (
+            pytest.approx(60.0)
+        )
+
+    def test_reduction_with_empty_baseline(self):
+        assert CacheStats().cache_traffic_reduction_vs(CacheStats()) == 0.0
+
+    def test_bus_reduction_can_be_negative(self):
+        unified = CacheStats(words_from_memory=20)
+        conventional = CacheStats(words_from_memory=10)
+        assert unified.bus_traffic_reduction_vs(conventional) == (
+            pytest.approx(-100.0)
+        )
+
+    def test_comparison_row(self):
+        row = ComparisonRow(
+            name="x",
+            unified=CacheStats(refs_cached=30, words_from_memory=5),
+            conventional=CacheStats(refs_cached=60, words_from_memory=10),
+        )
+        assert row.cache_traffic_reduction == pytest.approx(50.0)
+        assert row.bus_traffic_reduction == pytest.approx(50.0)

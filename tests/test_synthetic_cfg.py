@@ -1,0 +1,183 @@
+"""Dataflow and dominators on hand-built CFGs (shapes MiniC's
+structured control flow cannot produce, e.g. irreducible loops)."""
+
+from repro.analysis.dataflow import DataflowProblem, solve_dataflow
+from repro.analysis.liveness import compute_liveness
+from repro.ir.cfg import build_cfg, reverse_postorder
+from repro.ir.dominators import DominatorTree
+from repro.ir.function import IRFunction
+from repro.ir.instructions import (
+    BinOp,
+    CJump,
+    Imm,
+    Jump,
+    Move,
+    PReg,
+    Ret,
+)
+from repro.ir.loops import LoopInfo
+from repro.lang.types import INT
+
+
+def build_graph(edges, entry="A"):
+    """Build a function whose blocks have the given edge structure.
+
+    ``edges`` maps block name -> list of successor names (one = Jump,
+    two = CJump on r0, zero = Ret).
+    """
+    function = IRFunction("synthetic", None, [], INT)
+    blocks = {}
+    order = [entry] + [name for name in edges if name != entry]
+    for name in order:
+        block = function.new_block("raw")
+        # Rename for readability.
+        del function.blocks[block.name]
+        block.name = name
+        function.blocks[name] = block
+        blocks[name] = block
+    function.entry_name = entry
+    for name, successors in edges.items():
+        block = blocks[name]
+        if len(successors) == 0:
+            block.append(Move(PReg(0), Imm(0)))
+            block.append(Ret(True))
+        elif len(successors) == 1:
+            block.append(Jump(successors[0]))
+        else:
+            block.append(CJump(PReg(0), successors[0], successors[1]))
+    build_cfg(function)
+    return function, blocks
+
+
+class TestIrreducible:
+    def test_irreducible_loop_terminates(self):
+        # Classic irreducible shape: A -> B, A -> C, B <-> C, C -> D.
+        function, _blocks = build_graph({
+            "A": ["B", "C"],
+            "B": ["C"],
+            "C": ["B", "D"],
+            "D": [],
+        })
+        dom = DominatorTree(function)
+        assert dom.dominates("A", "D")
+        assert not dom.dominates("B", "C")
+        assert not dom.dominates("C", "B")
+        # No natural loop headers dominate their back edges here except
+        # none exist; LoopInfo must not loop forever or invent loops
+        # for the B<->C cycle (no back edge to a dominator).
+        info = LoopInfo(function)
+        assert info.loops == []
+
+    def test_liveness_converges_on_cycle(self):
+        function, blocks = build_graph({
+            "A": ["B", "C"],
+            "B": ["C"],
+            "C": ["B", "D"],
+            "D": [],
+        })
+        # r1 defined in A, used in D: live through the whole cycle.
+        blocks["A"].instructions.insert(0, Move(PReg(1), Imm(5)))
+        blocks["D"].instructions.insert(
+            0, BinOp(PReg(0), "add", PReg(1), Imm(1))
+        )
+        build_cfg(function)
+        liveness = compute_liveness(function)
+        for name in ("B", "C"):
+            assert PReg(1) in liveness.live_in[name]
+            assert PReg(1) in liveness.live_out[name]
+
+
+class TestDiamond:
+    def test_join_dominated_only_by_fork(self):
+        function, _blocks = build_graph({
+            "A": ["B", "C"],
+            "B": ["D"],
+            "C": ["D"],
+            "D": [],
+        })
+        dom = DominatorTree(function)
+        assert dom.immediate_dominator("D") == "A"
+        assert dom.dominates("A", "D")
+        assert not dom.dominates("B", "D")
+
+    def test_rpo_visits_fork_before_join(self):
+        function, _blocks = build_graph({
+            "A": ["B", "C"],
+            "B": ["D"],
+            "C": ["D"],
+            "D": [],
+        })
+        order = [block.name for block in reverse_postorder(function)]
+        assert order.index("A") < order.index("D")
+        assert order.index("B") < order.index("D")
+        assert order.index("C") < order.index("D")
+
+
+class TestNestedLoops:
+    def test_shared_header_merges_loops(self):
+        # Two back edges to one header form a single natural loop.
+        function, _blocks = build_graph({
+            "H": ["B1", "X"],
+            "B1": ["H", "B2"],
+            "B2": ["H"],
+            "X": [],
+        }, entry="H")
+        info = LoopInfo(function)
+        assert len(info.loops) == 1
+        assert info.loops[0].body == {"H", "B1", "B2"}
+
+    def test_depths_of_nested(self):
+        function, _blocks = build_graph({
+            "O": ["I", "E"],      # outer header
+            "I": ["IB", "OB"],    # inner header
+            "IB": ["I"],          # inner back edge
+            "OB": ["O"],          # outer back edge
+            "E": [],
+        }, entry="O")
+        info = LoopInfo(function)
+        assert info.depth_of("IB") == 2
+        assert info.depth_of("I") == 2
+        assert info.depth_of("OB") == 1
+        assert info.depth_of("E") == 0
+
+
+class TestGenericSolver:
+    def test_must_analysis_meet(self):
+        """A toy must-problem (intersection meet) on a diamond."""
+        function, blocks = build_graph({
+            "A": ["B", "C"],
+            "B": ["D"],
+            "C": ["D"],
+            "D": [],
+        })
+
+        class Available(DataflowProblem):
+            direction = "forward"
+            universe = frozenset({"x", "y"})
+
+            def initial(self):
+                return self.universe
+
+            def boundary(self):
+                return frozenset()
+
+            def meet(self, values):
+                result = set(self.universe)
+                for value in values:
+                    result &= value
+                return frozenset(result)
+
+            def gen_kill(self, block):
+                gen = {
+                    "A": {"x", "y"},
+                    "B": set(),
+                    "C": set(),
+                    "D": set(),
+                }[block.name]
+                kill = {"B": {"y"}}.get(block.name, set())
+                return frozenset(gen), frozenset(kill)
+
+        solution = solve_dataflow(function, Available())
+        in_d, _out_d = solution["D"]
+        # y was killed on the B path: only x is available at the join.
+        assert in_d == frozenset({"x"})

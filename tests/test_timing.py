@@ -1,0 +1,120 @@
+"""Tests for the analytic access-time model."""
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.stats import CacheStats
+from repro.cache.timing import (
+    LatencyModel,
+    access_time_speedup,
+    value_reference_time,
+)
+
+
+class TestLatencyModel:
+    def test_empty_stats_zero_cycles(self):
+        assert LatencyModel().cycles(CacheStats()) == 0
+
+    def test_pure_hits(self):
+        stats = CacheStats(refs_total=10, refs_cached=10, hits=10)
+        assert LatencyModel().cycles(stats) == 10
+
+    def test_miss_with_fill(self):
+        stats = CacheStats(
+            refs_total=1, refs_cached=1, misses=1, words_from_memory=1
+        )
+        model = LatencyModel()
+        assert model.cycles(stats) == model.miss_detect_cycles + \
+            model.memory_cycles
+
+    def test_write_allocate_miss_without_fill(self):
+        stats = CacheStats(refs_total=1, refs_cached=1, misses=1)
+        assert LatencyModel().cycles(stats) == 1  # tag check only
+
+    def test_bypass_read_from_memory(self):
+        stats = CacheStats(
+            refs_total=1, refs_bypassed=1, words_from_memory=1,
+            bypass_reads_from_memory=1,
+        )
+        assert LatencyModel().cycles(stats) == 10
+
+    def test_bypass_probe_hit_is_cache_speed(self):
+        stats = CacheStats(
+            refs_total=1, refs_bypassed=1, probe_hits=1, bypass_read_hits=1
+        )
+        assert LatencyModel().cycles(stats) == 1
+
+    def test_bypass_write(self):
+        stats = CacheStats(
+            refs_total=1, refs_bypassed=1, words_to_memory=1,
+            bypass_writes=1,
+        )
+        assert LatencyModel().cycles(stats) == 10
+
+    def test_writebacks_off_critical_path(self):
+        with_wb = CacheStats(
+            refs_total=2, refs_cached=2, hits=2, writebacks=1,
+            words_to_memory=1,
+        )
+        without = CacheStats(refs_total=2, refs_cached=2, hits=2)
+        model = LatencyModel()
+        assert model.cycles(with_wb) == model.cycles(without)
+
+    def test_average_access_time(self):
+        stats = CacheStats(refs_total=4, refs_cached=4, hits=4)
+        assert LatencyModel().average_access_time(stats) == 1.0
+        assert LatencyModel().average_access_time(CacheStats()) == 0.0
+
+    def test_custom_latencies(self):
+        model = LatencyModel(cache_hit_cycles=2, memory_cycles=50)
+        stats = CacheStats(refs_total=1, refs_cached=1, hits=1)
+        assert model.cycles(stats) == 2
+
+
+class TestDerivedFromSimulation:
+    def test_bypass_breakdown_sums(self):
+        cache = Cache(CacheConfig(size_words=8, associativity=4))
+        import random
+
+        rng = random.Random(5)
+        for _ in range(300):
+            cache.access(
+                rng.randrange(16),
+                rng.random() < 0.5,
+                bypass=rng.random() < 0.4,
+                kill=rng.random() < 0.1,
+            )
+        stats = cache.stats
+        assert (
+            stats.bypass_read_hits
+            + stats.bypass_reads_from_memory
+            + stats.bypass_writes
+            == stats.refs_bypassed
+        )
+
+    def test_cycles_nonnegative_on_random_streams(self):
+        cache = Cache(CacheConfig(size_words=8, associativity=2))
+        import random
+
+        rng = random.Random(9)
+        for _ in range(500):
+            cache.access(
+                rng.randrange(32),
+                rng.random() < 0.5,
+                bypass=rng.random() < 0.3,
+                kill=rng.random() < 0.2,
+            )
+        assert LatencyModel().cycles(cache.stats) >= 0
+
+
+class TestHelpers:
+    def test_value_reference_time_adds_register_refs(self):
+        stats = CacheStats(refs_total=1, refs_cached=1, hits=1)
+        assert value_reference_time(stats, refs_in_registers=100) == 1
+        assert value_reference_time(
+            stats, refs_in_registers=100, register_cycles=1
+        ) == 101
+
+    def test_speedup_ratio(self):
+        assert access_time_speedup(100, 50) == pytest.approx(2.0)
+        assert access_time_speedup(100, 0) == float("inf")

@@ -1,0 +1,122 @@
+"""Trace encoding and memory-system wrapper tests."""
+
+from repro.ir.instructions import RefClass, RefInfo, RefOrigin, RegionKind
+from repro.vm.trace import (
+    FLAG_AMBIGUOUS,
+    FLAG_BYPASS,
+    FLAG_KILL,
+    FLAG_WRITE,
+    TraceBuffer,
+    TraceEvent,
+    encode_flags,
+    origin_from_flags,
+)
+from repro.vm.memory import FlatMemory, RecordingMemory, StreamingMemory
+
+
+def make_ref(bypass=False, kill=False, ambiguous=False,
+             origin=RefOrigin.USER):
+    ref = RefInfo("t", RegionKind.DIRECT, origin=origin)
+    ref.ref_class = RefClass.AMBIGUOUS if ambiguous else RefClass.UNAMBIGUOUS
+    ref.bypass = bypass
+    ref.kill = kill
+    return ref
+
+
+class TestFlagEncoding:
+    def test_roundtrip_all_flags(self):
+        for bypass in (False, True):
+            for kill in (False, True):
+                for ambiguous in (False, True):
+                    for origin in RefOrigin:
+                        for is_write in (False, True):
+                            ref = make_ref(bypass, kill, ambiguous, origin)
+                            flags = encode_flags(ref, is_write)
+                            event = TraceEvent.from_packed(99, flags)
+                            assert event.is_write == is_write
+                            assert event.bypass == bypass
+                            assert event.kill == kill
+                            assert event.ambiguous == ambiguous
+                            assert event.origin == origin
+
+    def test_flag_bits_disjoint(self):
+        bits = [FLAG_WRITE, FLAG_BYPASS, FLAG_KILL, FLAG_AMBIGUOUS]
+        for index, bit in enumerate(bits):
+            for other in bits[index + 1:]:
+                assert bit & other == 0
+
+    def test_origin_from_flags(self):
+        ref = make_ref(origin=RefOrigin.SPILL)
+        assert origin_from_flags(encode_flags(ref, False)) is RefOrigin.SPILL
+
+
+class TestTraceBuffer:
+    def test_append_and_len(self):
+        buffer = TraceBuffer()
+        buffer.append(5, 0)
+        buffer.append(6, FLAG_WRITE)
+        assert len(buffer) == 2
+        assert list(buffer) == [(5, 0), (6, FLAG_WRITE)]
+
+    def test_events_view(self):
+        buffer = TraceBuffer()
+        buffer.append(7, FLAG_WRITE | FLAG_BYPASS)
+        event = next(buffer.events())
+        assert event.address == 7
+        assert event.is_write and event.bypass
+
+    def test_summary_counts(self):
+        buffer = TraceBuffer()
+        buffer.append(1, 0)
+        buffer.append(2, FLAG_WRITE)
+        buffer.append(3, FLAG_BYPASS | FLAG_AMBIGUOUS)
+        buffer.append(4, FLAG_KILL)
+        summary = buffer.summary()
+        assert summary["total"] == 4
+        assert summary["reads"] == 3
+        assert summary["writes"] == 1
+        assert summary["bypassed"] == 1
+        assert summary["killed"] == 1
+        assert summary["ambiguous"] == 1
+        assert summary["unambiguous"] == 3
+
+
+class TestMemorySystems:
+    def test_flat_memory_read_default_zero(self):
+        memory = FlatMemory()
+        assert memory.read(1234, make_ref()) == 0
+
+    def test_flat_memory_write_read(self):
+        memory = FlatMemory()
+        memory.write(10, 99, make_ref())
+        assert memory.read(10, make_ref()) == 99
+
+    def test_recording_memory_captures_everything(self):
+        memory = RecordingMemory()
+        memory.write(10, 1, make_ref())
+        memory.read(10, make_ref(bypass=True))
+        assert len(memory.buffer) == 2
+        events = list(memory.buffer.events())
+        assert events[0].is_write
+        assert events[1].bypass
+
+    def test_recording_memory_is_functional(self):
+        memory = RecordingMemory()
+        memory.write(10, 7, make_ref())
+        assert memory.read(10, make_ref()) == 7
+
+    def test_streaming_memory_feeds_cache(self):
+        from repro.cache.cache import Cache
+
+        cache = Cache(size_words=4, associativity=4)
+        memory = StreamingMemory(cache)
+        memory.write(3, 1, make_ref())
+        memory.read(3, make_ref())
+        assert cache.stats.refs_total == 2
+        assert cache.stats.hits == 1
+
+    def test_poke_is_not_traced(self):
+        memory = RecordingMemory()
+        memory.poke(5, 55)
+        assert len(memory.buffer) == 0
+        assert memory.peek(5) == 55

@@ -1,0 +1,286 @@
+"""Unified-model tests: classification, flavors, bypass/kill bits."""
+
+import pytest
+
+from conftest import compile_program
+
+from repro.ir.instructions import (
+    Load,
+    RefClass,
+    RefFlavor,
+    RefOrigin,
+    Store,
+)
+from repro.lang.errors import IRError
+from repro.ir.validate import verify_annotations
+
+
+def refs_of(program, function=None, cls=None):
+    result = []
+    functions = program.module.functions
+    names = [function] if function else list(functions)
+    for name in names:
+        for instruction in functions[name].instructions():
+            if isinstance(instruction, (Load, Store)):
+                ref = instruction.ref
+                if cls is None or isinstance(instruction, cls):
+                    result.append(ref)
+    return result
+
+
+SIMPLE = "int main() { int x; x = 1; return x; }"
+ARRAY = "int a[4]; int main() { a[0] = 1; return a[0]; }"
+ALIASED = "int main() { int x; int *p; p = &x; *p = 2; return x; }"
+
+
+class TestFlavors:
+    def test_unambiguous_load_is_umam(self):
+        program = compile_program(SIMPLE, promotion="none")
+        loads = refs_of(program, cls=Load)
+        user_loads = [r for r in loads if r.origin is RefOrigin.USER]
+        assert user_loads
+        for ref in user_loads:
+            assert ref.flavor is RefFlavor.UMAM_LOAD
+            assert ref.bypass
+
+    def test_unambiguous_store_is_umam(self):
+        program = compile_program(SIMPLE, promotion="none")
+        stores = [
+            r for r in refs_of(program, cls=Store)
+            if r.origin is RefOrigin.USER
+        ]
+        assert stores
+        for ref in stores:
+            assert ref.flavor is RefFlavor.UMAM_STORE
+            assert ref.bypass
+
+    def test_ambiguous_refs_go_through_cache(self):
+        program = compile_program(ARRAY, promotion="none")
+        ambiguous = [
+            r for r in refs_of(program)
+            if r.ref_class is RefClass.AMBIGUOUS
+        ]
+        assert ambiguous
+        for ref in ambiguous:
+            assert ref.flavor in (RefFlavor.AM_LOAD, RefFlavor.AMSP_STORE)
+            assert not ref.bypass
+
+    def test_aliased_scalar_is_ambiguous(self):
+        program = compile_program(ALIASED, promotion="none")
+        x_refs = [
+            r for r in refs_of(program) if r.access_path.startswith("x#")
+        ]
+        assert x_refs
+        for ref in x_refs:
+            assert ref.ref_class is RefClass.AMBIGUOUS
+
+    def test_spill_store_goes_through_cache(self):
+        from test_regalloc import PRESSURE_SOURCE
+
+        program = compile_program(PRESSURE_SOURCE, promotion="aggressive")
+        spill_stores = [
+            r for r in refs_of(program, cls=Store)
+            if r.origin is RefOrigin.SPILL
+        ]
+        assert spill_stores, "pressure program must spill"
+        for ref in spill_stores:
+            assert ref.flavor is RefFlavor.AMSP_STORE
+            assert not ref.bypass
+        spill_loads = [
+            r for r in refs_of(program, cls=Load)
+            if r.origin is RefOrigin.SPILL
+        ]
+        assert spill_loads
+        # Last reloads carry kill bits; non-last reloads stay Am_LOAD.
+        assert any(
+            ref.kill and ref.flavor is RefFlavor.UMAM_LOAD
+            for ref in spill_loads
+        )
+
+    def test_conventional_scheme_never_bypasses(self):
+        program = compile_program(ARRAY, scheme="conventional",
+                                  promotion="none")
+        for ref in refs_of(program):
+            assert not ref.bypass
+            assert not ref.kill
+            assert ref.flavor in (RefFlavor.AM_LOAD, RefFlavor.AMSP_STORE)
+
+    def test_every_ref_classified_and_flavored(self):
+        program = compile_program(
+            "int a[4]; int f(int *p) { return *p; } "
+            "int main() { return f(a) + a[1]; }",
+            promotion="modest",
+        )
+        verify_annotations(program.module)
+        for ref in refs_of(program):
+            assert ref.ref_class is not RefClass.UNKNOWN
+            assert ref.flavor is not None
+
+
+class TestKillBits:
+    def test_last_use_load_killed(self):
+        # x is loaded once and never referenced again: that load is a
+        # last use and carries the kill bit.
+        program = compile_program(
+            "int main() { int x; x = 1; return x; }", promotion="none"
+        )
+        loads = [
+            r for r in refs_of(program, cls=Load)
+            if r.access_path.startswith("x#")
+        ]
+        assert loads
+        assert all(ref.kill for ref in loads)
+
+    def test_loop_variable_not_killed_inside_loop(self):
+        program = compile_program(
+            "int main() { int i; int s; s = 0; "
+            "for (i = 0; i < 4; i++) s = s + 1; return s; }",
+            promotion="none",
+        )
+        # The load of i in the loop condition is not a last use (the
+        # update reads it again and the next iteration reloads it).
+        cond_loads = [
+            r for r in refs_of(program, cls=Load)
+            if r.access_path.startswith("i#")
+        ]
+        assert any(not ref.kill for ref in cond_loads)
+
+    def test_kill_bits_disabled_by_option(self):
+        program = compile_program(SIMPLE, promotion="none", kill_bits=False)
+        for ref in refs_of(program):
+            if ref.origin is RefOrigin.USER:
+                assert not ref.kill
+
+    def test_callee_save_restore_killed(self):
+        source = (
+            "int fib(int n) { if (n < 2) return n; "
+            "return fib(n-1) + fib(n-2); } "
+            "int main() { return fib(6); }"
+        )
+        program = compile_program(source, promotion="aggressive")
+        restores = [
+            r for r in refs_of(program, "fib", cls=Load)
+            if r.origin is RefOrigin.CALLEE_SAVE
+        ]
+        assert restores
+        for ref in restores:
+            assert ref.flavor is RefFlavor.UMAM_LOAD
+            assert ref.kill
+
+    def test_callee_save_store_through_cache(self):
+        source = (
+            "int fib(int n) { if (n < 2) return n; "
+            "return fib(n-1) + fib(n-2); } "
+            "int main() { return fib(6); }"
+        )
+        program = compile_program(source, promotion="aggressive")
+        saves = [
+            r for r in refs_of(program, "fib", cls=Store)
+            if r.origin is RefOrigin.CALLEE_SAVE
+        ]
+        assert saves
+        for ref in saves:
+            assert ref.flavor is RefFlavor.AMSP_STORE
+
+    def test_hybrid_keeps_user_refs_cached(self):
+        program = compile_program(SIMPLE, promotion="none",
+                                  bypass_user_refs=False)
+        user_refs = [
+            r for r in refs_of(program) if r.origin is RefOrigin.USER
+        ]
+        assert user_refs
+        for ref in user_refs:
+            assert not ref.bypass
+            assert ref.flavor in (RefFlavor.AM_LOAD, RefFlavor.AMSP_STORE)
+
+    def test_hybrid_keeps_kill_bits(self):
+        program = compile_program(SIMPLE, promotion="none",
+                                  bypass_user_refs=False)
+        loads = [
+            r for r in refs_of(program, cls=Load)
+            if r.access_path.startswith("x#")
+        ]
+        assert loads and all(ref.kill for ref in loads)
+
+    def test_hybrid_still_bypasses_save_reloads(self):
+        source = (
+            "int fib(int n) { if (n < 2) return n; "
+            "return fib(n-1) + fib(n-2); } "
+            "int main() { return fib(6); }"
+        )
+        program = compile_program(source, promotion="aggressive",
+                                  bypass_user_refs=False)
+        restores = [
+            r for r in refs_of(program, "fib", cls=Load)
+            if r.origin is RefOrigin.CALLEE_SAVE
+        ]
+        assert restores
+        for ref in restores:
+            assert ref.flavor is RefFlavor.UMAM_LOAD and ref.kill
+
+    def test_hybrid_semantics_preserved(self):
+        from repro.programs import get_benchmark
+
+        bench = get_benchmark("towers")
+        program = compile_program(bench.source, promotion="aggressive",
+                                  bypass_user_refs=False)
+        assert tuple(program.run().output) == bench.expected_output
+
+    def test_spill_bypass_option(self):
+        source = (
+            "int fib(int n) { if (n < 2) return n; "
+            "return fib(n-1) + fib(n-2); } "
+            "int main() { return fib(6); }"
+        )
+        program = compile_program(
+            source, promotion="aggressive", spill_to_cache=False
+        )
+        saves = [
+            r for r in refs_of(program, "fib", cls=Store)
+            if r.origin is RefOrigin.CALLEE_SAVE
+        ]
+        for ref in saves:
+            assert ref.flavor is RefFlavor.UMAM_STORE
+            assert ref.bypass
+
+
+class TestStaticReport:
+    def test_percentages_sum(self):
+        program = compile_program(ARRAY, promotion="none")
+        report = program.static
+        assert report.total == report.ambiguous + report.unambiguous
+        assert report.total == report.loads + report.stores
+
+    def test_rows_rendering(self):
+        program = compile_program(ARRAY, promotion="none")
+        rows = dict(program.static.rows())
+        assert rows["static data references"] == program.static.total
+
+    def test_by_function_breakdown(self):
+        program = compile_program(
+            "int f() { int y; y = 2; return y; } "
+            "int main() { int x; x = f(); return x; }",
+            promotion="none",
+        )
+        assert set(program.static.by_function) == {"f", "main"}
+
+    def test_miller_ratio(self):
+        program = compile_program(ARRAY, promotion="none")
+        report = program.static
+        assert report.miller_ratio == pytest.approx(
+            report.unambiguous / report.ambiguous
+        )
+
+
+class TestAnnotationVerifier:
+    def test_unannotated_module_rejected(self):
+        from repro.lang.parser import parse_program
+        from repro.lang.sema import analyze
+        from repro.ir.builder import build_module
+        from repro.ir.cfg import build_cfg
+
+        module = build_module(analyze(parse_program(SIMPLE)))
+        for function in module.functions.values():
+            build_cfg(function)
+        with pytest.raises(IRError):
+            verify_annotations(module)

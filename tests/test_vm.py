@@ -1,0 +1,300 @@
+"""VM semantics tests: arithmetic, control flow, memory, errors."""
+
+import pytest
+
+from conftest import ALL_CONFIGS, compile_program, outputs, run_source
+
+from repro.lang.errors import VMError
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        source = (
+            "int main() { print(7 + 3); print(7 - 3); print(7 * 3); "
+            "print(7 / 3); print(7 % 3); return 0; }"
+        )
+        assert outputs(source) == [10, 4, 21, 2, 1]
+
+    def test_c_division_truncates_toward_zero(self):
+        source = (
+            "int main() { print(-7 / 2); print(7 / -2); print(-7 / -2); "
+            "return 0; }"
+        )
+        assert outputs(source) == [-3, -3, 3]
+
+    def test_c_modulo_sign_follows_dividend(self):
+        source = (
+            "int main() { print(-7 % 2); print(7 % -2); print(-7 % -2); "
+            "return 0; }"
+        )
+        assert outputs(source) == [-1, 1, -1]
+
+    def test_unary_operators(self):
+        source = (
+            "int main() { int x; x = 5; print(-x); print(!x); print(!0); "
+            "return 0; }"
+        )
+        assert outputs(source) == [-5, 0, 1]
+
+    def test_comparisons_produce_zero_one(self):
+        source = (
+            "int main() { print(3 < 4); print(4 < 3); print(3 <= 3); "
+            "print(3 == 3); print(3 != 3); print(4 >= 5); print(5 > 4); "
+            "return 0; }"
+        )
+        assert outputs(source) == [1, 0, 1, 1, 0, 0, 1]
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(VMError):
+            run_source("int main() { int z; z = 0; return 5 / z; }")
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(VMError):
+            run_source("int main() { int z; z = 0; return 5 % z; }")
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = (
+            "int main() { int x; x = 3; if (x > 2) print(1); else print(2); "
+            "if (x > 5) print(3); else print(4); return 0; }"
+        )
+        assert outputs(source) == [1, 4]
+
+    def test_while_loop(self):
+        source = (
+            "int main() { int i; int s; i = 0; s = 0; "
+            "while (i < 5) { s = s + i; i = i + 1; } print(s); return 0; }"
+        )
+        assert outputs(source) == [10]
+
+    def test_do_while_runs_at_least_once(self):
+        source = (
+            "int main() { int i; i = 100; do { print(i); i = i + 1; } "
+            "while (i < 3); return 0; }"
+        )
+        assert outputs(source) == [100]
+
+    def test_for_loop_with_break_continue(self):
+        source = (
+            "int main() { int i; for (i = 0; i < 10; i++) { "
+            "if (i == 3) continue; if (i == 6) break; print(i); } "
+            "return 0; }"
+        )
+        assert outputs(source) == [0, 1, 2, 4, 5]
+
+    def test_short_circuit_and(self):
+        source = (
+            "int g; "
+            "int touch() { g = g + 1; return 1; } "
+            "int main() { g = 0; if (0 && touch()) print(-1); print(g); "
+            "if (1 && touch()) print(g); return 0; }"
+        )
+        assert outputs(source) == [0, 1]
+
+    def test_short_circuit_or(self):
+        source = (
+            "int g; "
+            "int touch() { g = g + 1; return 0; } "
+            "int main() { g = 0; if (1 || touch()) print(g); "
+            "if (0 || touch()) print(-1); print(g); return 0; }"
+        )
+        assert outputs(source) == [0, 1]
+
+    def test_boolean_value_materialisation(self):
+        source = (
+            "int main() { int x; x = (3 > 2) && (1 < 2); print(x); "
+            "x = (3 > 2) && (1 > 2); print(x); return 0; }"
+        )
+        assert outputs(source) == [1, 0]
+
+    def test_nested_loops(self):
+        source = (
+            "int main() { int i; int j; int s; s = 0; "
+            "for (i = 0; i < 4; i++) for (j = 0; j < i; j++) s += 1; "
+            "print(s); return 0; }"
+        )
+        assert outputs(source) == [6]
+
+
+class TestFunctions:
+    def test_four_arguments(self):
+        source = (
+            "int f(int a, int b, int c, int d) { "
+            "return a * 1000 + b * 100 + c * 10 + d; } "
+            "int main() { print(f(1, 2, 3, 4)); return 0; }"
+        )
+        assert outputs(source) == [1234]
+
+    def test_nested_calls_as_arguments(self):
+        source = (
+            "int inc(int x) { return x + 1; } "
+            "int add(int a, int b) { return a + b; } "
+            "int main() { print(add(inc(1), inc(10))); return 0; }"
+        )
+        assert outputs(source) == [13]
+
+    def test_deep_recursion(self):
+        source = (
+            "int depth(int n) { if (n == 0) return 0; "
+            "return 1 + depth(n - 1); } "
+            "int main() { print(depth(500)); return 0; }"
+        )
+        assert outputs(source) == [500]
+
+    def test_mutual_recursion(self):
+        source = (
+            "int is_odd(int n); "
+            "int is_even(int n) { if (n == 0) return 1; "
+            "return is_odd(n - 1); } "
+            "int is_odd(int n) { if (n == 0) return 0; "
+            "return is_even(n - 1); } "
+            "int main() { print(is_even(10)); print(is_odd(10)); return 0; }"
+        )
+        # MiniC has no declarations without bodies; rewrite without one.
+        source = (
+            "int is_even(int n) { if (n == 0) return 1; "
+            "return is_odd(n - 1); } "
+            "int is_odd(int n) { if (n == 0) return 0; "
+            "return is_even(n - 1); } "
+            "int main() { print(is_even(10)); print(is_odd(10)); return 0; }"
+        )
+        assert outputs(source) == [1, 0]
+
+    def test_stack_overflow_detected(self):
+        source = (
+            "int forever(int n) { return forever(n + 1); } "
+            "int main() { return forever(0); }"
+        )
+        with pytest.raises(VMError):
+            run_source(source)
+
+    def test_step_budget_enforced(self):
+        program = compile_program("int main() { while (1) ; return 0; }")
+        with pytest.raises(VMError):
+            program.run(max_steps=10_000)
+
+
+class TestMemory:
+    def test_pointer_swap(self):
+        source = """
+        void swap(int *x, int *y) { int t; t = *x; *x = *y; *y = t; }
+        int main() {
+            int a; int b;
+            a = 1; b = 2;
+            swap(&a, &b);
+            print(a); print(b);
+            return 0;
+        }
+        """
+        assert outputs(source) == [2, 1]
+
+    def test_array_walk_with_pointer(self):
+        source = """
+        int a[5];
+        int main() {
+            int *p; int i; int s;
+            for (i = 0; i < 5; i++) a[i] = i + 1;
+            s = 0;
+            for (p = a; p < a + 5; p = p + 1) s = s + *p;
+            print(s);
+            return 0;
+        }
+        """
+        assert outputs(source) == [15]
+
+    def test_pointer_difference(self):
+        source = """
+        int a[10];
+        int main() { int *p; int *q; p = &a[2]; q = &a[7]; print(q - p);
+                     return 0; }
+        """
+        assert outputs(source) == [5]
+
+    def test_local_array(self):
+        source = (
+            "int main() { int a[4]; int i; "
+            "for (i = 0; i < 4; i++) a[i] = 10 * i; "
+            "print(a[0] + a[1] + a[2] + a[3]); return 0; }"
+        )
+        assert outputs(source) == [60]
+
+    def test_global_initializers(self):
+        source = "int x = 41; int y = -7; int main() { print(x); print(y); " \
+                 "return 0; }"
+        assert outputs(source) == [41, -7]
+
+    def test_null_dereference_detected(self):
+        source = "int main() { int *p; p = 0; return *p; }"
+        with pytest.raises(VMError):
+            run_source(source)
+
+    def test_set_and_get_global_api(self):
+        program = compile_program(
+            "int data[4]; int n;"
+            "int main() { int i; int s; s = 0; "
+            "for (i = 0; i < n; i++) s += data[i]; return s; }"
+        )
+        vm = program.machine()
+        vm.set_global("n", 3)
+        for index, value in enumerate([5, 6, 7]):
+            vm.set_global("data", value, index)
+        result = vm.run()
+        assert result.return_value == 18
+        assert vm.get_global("n") == 3
+
+    def test_distinct_frames_for_recursion(self):
+        source = """
+        int collatz_len(int n) {
+            int local;
+            local = n;
+            if (local == 1) return 1;
+            if (local % 2 == 0) return 1 + collatz_len(local / 2);
+            return 1 + collatz_len(3 * local + 1);
+        }
+        int main() { print(collatz_len(27)); return 0; }
+        """
+        assert outputs(source) == [112]
+
+
+class TestAllConfigurations:
+    @pytest.mark.parametrize("scheme,promotion", ALL_CONFIGS)
+    def test_semantics_identical_everywhere(self, scheme, promotion):
+        source = """
+        int g;
+        int a[8];
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int sum(int *p, int n) { int s; int i; s = 0;
+            for (i = 0; i < n; i++) s += p[i]; return s; }
+        int main() {
+            int i;
+            for (i = 0; i < 8; i++) a[i] = fib(i);
+            g = sum(a, 8);
+            print(g);
+            print(a[7]);
+            return g;
+        }
+        """
+        result = run_source(source, scheme=scheme, promotion=promotion)
+        assert result.output == [33, 13]
+        assert result.return_value == 33
+
+    @pytest.mark.parametrize("scheme,promotion", ALL_CONFIGS)
+    def test_pointer_heavy_program_everywhere(self, scheme, promotion):
+        source = """
+        int buf[6];
+        void fill(int *p, int n, int v) {
+            int i;
+            for (i = 0; i < n; i++) p[i] = v + i;
+        }
+        int main() {
+            int *p;
+            fill(buf, 6, 100);
+            p = buf + 3;
+            *p = *p + buf[0];
+            print(buf[3]);
+            return 0;
+        }
+        """
+        result = run_source(source, scheme=scheme, promotion=promotion)
+        assert result.output == [203]

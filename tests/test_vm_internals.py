@@ -1,0 +1,214 @@
+"""VM tests against hand-built modules: error paths and edge cases the
+MiniC frontend cannot produce."""
+
+import pytest
+
+from repro.lang.errors import VMError
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+from repro.ir.builder import build_module
+from repro.ir.cfg import build_cfg
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CJump,
+    Imm,
+    Jump,
+    Load,
+    Move,
+    PReg,
+    Print,
+    RefClass,
+    RefFlavor,
+    RefInfo,
+    RegionKind,
+    RegMem,
+    Ret,
+    Store,
+    SymMem,
+    UnOp,
+)
+from repro.vm.machine import Machine
+
+
+def empty_module():
+    return build_module(analyze(parse_program("int g;")))
+
+
+def make_function(module, name, build):
+    """Create a function whose entry block is filled by ``build``."""
+    from repro.ir.function import IRFunction
+    from repro.lang.types import INT
+
+    function = IRFunction(name, None, [], INT)
+    block = function.new_block("entry")
+    build(function, block)
+    module.add_function(function)
+    build_cfg(function)
+    return function
+
+
+def plain_ref():
+    ref = RefInfo("t", RegionKind.DIRECT)
+    ref.ref_class = RefClass.UNAMBIGUOUS
+    ref.flavor = RefFlavor.AM_LOAD
+    return ref
+
+
+class TestErrorPaths:
+    def test_call_to_unknown_function(self):
+        module = empty_module()
+
+        def build(function, block):
+            block.append(Call("missing", 0, False))
+            block.append(Move(PReg(0), Imm(0)))
+            block.append(Ret(True))
+
+        make_function(module, "main", build)
+        with pytest.raises(VMError, match="unknown function"):
+            Machine(module).run()
+
+    def test_wild_load_address(self):
+        module = empty_module()
+
+        def build(function, block):
+            block.append(Move(PReg(1), Imm(3)))  # below GLOBAL_BASE
+            block.append(Load(PReg(0), RegMem(PReg(1)), plain_ref()))
+            block.append(Ret(True))
+
+        make_function(module, "main", build)
+        with pytest.raises(VMError, match="wild memory access"):
+            Machine(module).run()
+
+    def test_wild_store_address(self):
+        module = empty_module()
+
+        def build(function, block):
+            block.append(Move(PReg(1), Imm(1 << 30)))  # above stack base
+            block.append(Store(RegMem(PReg(1)), Imm(7), plain_ref()))
+            block.append(Move(PReg(0), Imm(0)))
+            block.append(Ret(True))
+
+        make_function(module, "main", build)
+        with pytest.raises(VMError, match="wild memory access"):
+            Machine(module).run()
+
+    def test_missing_entry_function(self):
+        module = empty_module()
+        with pytest.raises(VMError, match="no function named"):
+            Machine(module).run("nothere")
+
+    def test_set_global_on_non_array(self):
+        module = empty_module()
+
+        def build(function, block):
+            block.append(Move(PReg(0), Imm(0)))
+            block.append(Ret(True))
+
+        make_function(module, "main", build)
+        vm = Machine(module)
+        with pytest.raises(VMError):
+            vm.set_global("g", 1, index=0)
+        with pytest.raises(VMError):
+            vm.set_global("missing", 1)
+
+    def test_array_index_out_of_range(self):
+        source = "int a[4]; int main() { return 0; }"
+        module = build_module(analyze(parse_program(source)))
+        for function in module.functions.values():
+            build_cfg(function)
+        from repro.unified.pipeline import CompilationOptions, compile_source
+
+        program = compile_source(source, CompilationOptions())
+        vm = program.machine()
+        with pytest.raises(VMError):
+            vm.set_global("a", 1, index=99)
+
+
+class TestOperandForms:
+    def test_print_immediate(self):
+        module = empty_module()
+
+        def build(function, block):
+            block.append(Print(Imm(42)))
+            block.append(Move(PReg(0), Imm(0)))
+            block.append(Ret(True))
+
+        make_function(module, "main", build)
+        result = Machine(module).run()
+        assert result.output == [42]
+
+    def test_cjump_immediate_condition(self):
+        module = empty_module()
+
+        def build(function, block):
+            taken = function.new_block("taken")
+            skipped = function.new_block("skipped")
+            block.append(CJump(Imm(1), taken.name, skipped.name))
+            taken.append(Print(Imm(1)))
+            taken.append(Move(PReg(0), Imm(0)))
+            taken.append(Ret(True))
+            skipped.append(Print(Imm(2)))
+            skipped.append(Move(PReg(0), Imm(0)))
+            skipped.append(Ret(True))
+
+        make_function(module, "main", build)
+        result = Machine(module).run()
+        assert result.output == [1]
+
+    def test_binop_two_immediates(self):
+        module = empty_module()
+
+        def build(function, block):
+            block.append(BinOp(PReg(0), "mul", Imm(6), Imm(7)))
+            block.append(Print(PReg(0)))
+            block.append(Ret(True))
+
+        make_function(module, "main", build)
+        assert Machine(module).run().output == [42]
+
+    def test_unop_immediate(self):
+        module = empty_module()
+
+        def build(function, block):
+            block.append(UnOp(PReg(0), "neg", Imm(5)))
+            block.append(Print(PReg(0)))
+            block.append(UnOp(PReg(0), "not", Imm(0)))
+            block.append(Print(PReg(0)))
+            block.append(Ret(True))
+
+        make_function(module, "main", build)
+        assert Machine(module).run().output == [-5, 1]
+
+    def test_jump_loop_with_budget(self):
+        module = empty_module()
+
+        def build(function, block):
+            spin = function.new_block("spin")
+            block.append(Jump(spin.name))
+            spin.append(Jump(spin.name))
+
+        make_function(module, "main", build)
+        with pytest.raises(VMError, match="exceeded"):
+            Machine(module, max_steps=1000).run()
+
+    def test_registers_persist_across_runs(self):
+        module = empty_module()
+
+        def build(function, block):
+            block.append(Move(PReg(0), Imm(7)))
+            block.append(Ret(True))
+
+        make_function(module, "main", build)
+        vm = Machine(module)
+        assert vm.run().return_value == 7
+
+    def test_symmem_global_addressing(self):
+        source = "int g = 5; int main() { return g; }"
+        from repro.unified.pipeline import CompilationOptions, compile_source
+
+        program = compile_source(source, CompilationOptions(promotion="none"))
+        vm = program.machine()
+        assert vm.get_global("g") == 5
+        result = vm.run()
+        assert result.return_value == 5

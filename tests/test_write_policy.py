@@ -1,0 +1,115 @@
+"""Write-policy tests: write-through and write-around variants."""
+
+import random
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+
+
+def wt_cache(**kwargs):
+    defaults = dict(size_words=4, line_words=1, associativity=4,
+                    write_policy="writethrough")
+    defaults.update(kwargs)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestWriteThrough:
+    def test_store_reaches_memory_immediately(self):
+        cache = wt_cache()
+        cache.access(5, True)
+        assert cache.stats.words_to_memory == 1
+
+    def test_lines_never_dirty(self):
+        cache = wt_cache()
+        cache.access(5, True)
+        cache.access(5, True)
+        assert cache.contents() == {5: False}
+
+    def test_no_writebacks_ever(self):
+        cache = wt_cache()
+        for address in range(20):
+            cache.access(address, True)
+            cache.access(address, False)
+        assert cache.stats.writebacks == 0
+
+    def test_every_store_pays_bus(self):
+        cache = wt_cache()
+        for _ in range(7):
+            cache.access(3, True)
+        assert cache.stats.words_to_memory == 7
+
+    def test_writeback_coalesces_stores(self):
+        wb = Cache(CacheConfig(size_words=4, associativity=4))
+        for _ in range(7):
+            wb.access(3, True)
+        # Dirty line still resident: nothing on the bus yet.
+        assert wb.stats.words_to_memory == 0
+
+    def test_kill_has_no_dirty_to_drop(self):
+        cache = wt_cache()
+        cache.access(3, True)
+        cache.access(3, False, kill=True)
+        assert cache.stats.dead_drops == 0
+        assert cache.stats.dead_line_frees == 1
+
+    def test_read_hits_still_work(self):
+        cache = wt_cache()
+        cache.access(3, True)
+        assert cache.access(3, False) == "hit"
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            CacheConfig(write_policy="sideways")
+
+
+class TestWriteAround:
+    def test_write_miss_does_not_allocate(self):
+        cache = Cache(CacheConfig(size_words=4, associativity=4,
+                                  allocate_on_write=False))
+        cache.access(5, True)
+        assert cache.contents() == {}
+        assert cache.stats.words_to_memory == 1
+
+    def test_write_hit_still_updates_line(self):
+        cache = Cache(CacheConfig(size_words=4, associativity=4,
+                                  allocate_on_write=False))
+        cache.access(5, False)  # allocate via read
+        cache.access(5, True)
+        assert cache.contents() == {5: True}
+
+    def test_writethrough_around_combination(self):
+        cache = Cache(CacheConfig(size_words=4, associativity=4,
+                                  write_policy="writethrough",
+                                  allocate_on_write=False))
+        cache.access(5, True)
+        assert cache.contents() == {}
+        assert cache.stats.words_to_memory == 1
+
+
+class TestEquivalenceOnReadOnlyStreams:
+    def test_policies_agree_without_writes(self):
+        rng = random.Random(11)
+        addresses = [rng.randrange(16) for _ in range(400)]
+        results = []
+        for write_policy in ("writeback", "writethrough"):
+            cache = Cache(CacheConfig(size_words=8, associativity=4,
+                                      write_policy=write_policy))
+            for address in addresses:
+                cache.access(address, False)
+            results.append((cache.stats.hits, cache.stats.misses,
+                            cache.stats.bus_words))
+        assert results[0] == results[1]
+
+    def test_total_bus_writeback_not_worse_with_locality(self):
+        # Repeated stores to a small hot set: write-back coalesces.
+        rng = random.Random(12)
+        refs = [(rng.randrange(4), True) for _ in range(500)]
+        totals = {}
+        for write_policy in ("writeback", "writethrough"):
+            cache = Cache(CacheConfig(size_words=8, associativity=4,
+                                      write_policy=write_policy))
+            for address, is_write in refs:
+                cache.access(address, is_write)
+            totals[write_policy] = cache.stats.bus_words
+        assert totals["writeback"] <= totals["writethrough"]
