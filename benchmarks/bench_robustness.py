@@ -1,0 +1,69 @@
+"""Robustness-layer throughput: the fuzz loop must stay cheap enough
+to run hundreds of programs in CI.
+
+Timings land in ``BENCH_robustness.json`` (written by the conftest
+hook) so the cost trajectory of generation, the differential battery
+and delta-debugging accumulates across revisions.
+"""
+
+import pytest
+
+from repro.robustness.differential import check_source
+from repro.robustness.generator import generate_program
+from repro.robustness.reducer import reduce_source
+from repro.unified.pipeline import compile_source
+
+
+def test_generate_programs(benchmark):
+    def generate_batch():
+        return [generate_program(seed) for seed in range(20)]
+
+    programs = benchmark(generate_batch)
+    assert len(programs) == 20
+    benchmark.extra_info["avg_lines"] = sum(
+        p.line_count for p in programs
+    ) / len(programs)
+
+
+def test_differential_battery(benchmark):
+    generated = generate_program(0)
+    info = benchmark(
+        check_source,
+        generated.source,
+        generated.expected_output,
+        generated.expected_return,
+    )
+    assert info["configs"] == 8
+    benchmark.extra_info["trace_events"] = info["trace_events"]
+
+
+def test_reduce_injected_failure(benchmark):
+    generated = generate_program(7)
+
+    def predicate(candidate):
+        if "print(" not in candidate:
+            return False
+        try:
+            compile_source(candidate)
+        except Exception:
+            return False
+        return True
+
+    reduced = benchmark(reduce_source, generated.source, predicate)
+    assert len(reduced.splitlines()) <= 15
+    benchmark.extra_info["reduced_lines"] = len(reduced.splitlines())
+
+
+def test_fuel_check_overhead(benchmark):
+    """The per-step fuel check must not tax healthy programs."""
+    program = compile_source(
+        "int main() { int i; int s; s = 0;"
+        " for (i = 0; i < 5000; i = i + 1) { s = s + i; }"
+        " return s; }"
+    )
+    result = benchmark(program.run, max_steps=10_000_000)
+    assert result.return_value == 12497500
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "--benchmark-only"]))

@@ -5,6 +5,11 @@ a full ``pytest benchmarks/ --benchmark-only`` run compiles and traces
 each workload once and spends its time on what the benches measure.
 """
 
+import json
+import os
+import platform
+import time
+
 import pytest
 
 from repro.evalharness.figure5 import figure5_options
@@ -50,6 +55,40 @@ def traced_benchmark(name, options=None):
         assert tuple(result.output) == bench.expected_output
         _trace_cache[key] = (bench, program, memory.buffer)
     return _trace_cache[key]
+
+
+_robustness_timings = []
+
+
+def pytest_runtest_logreport(report):
+    """Collect call-phase durations of the robustness benches."""
+    if report.when == "call" and "bench_robustness" in report.nodeid:
+        _robustness_timings.append(
+            {
+                "test": report.nodeid.split("::")[-1],
+                "seconds": round(report.duration, 4),
+                "outcome": report.outcome,
+            }
+        )
+
+
+def pytest_sessionfinish(session):
+    """Emit ``BENCH_robustness.json`` so the robustness layer's cost
+    trajectory accumulates alongside the other benchmark records."""
+    if not _robustness_timings:
+        return
+    record = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timings": _robustness_timings,
+    }
+    out_path = os.path.join(
+        str(session.config.rootdir), "BENCH_robustness.json"
+    )
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
 
 
 @pytest.fixture

@@ -78,6 +78,7 @@ class DataCachedMemory(MemorySystem):
         if free is not None:
             return free
         victim = min(lines, key=lambda line: line.stamp)  # LRU
+        self.stats.evictions += 1
         if victim.dirty:
             self.stats.writebacks += 1
             self.stats.words_to_memory += 1

@@ -1,0 +1,116 @@
+"""The unified error hierarchy for the whole pipeline.
+
+Every error the repro system raises deliberately derives from
+:class:`ReproError` and carries a ``stage`` tag naming the pipeline
+layer that produced it (``lex``, ``parse``, ``sema``, ``lower``,
+``alias``, ``regalloc``, ``classify``, ``annotate``, ``verify``,
+``vm``, ``limits`` ...).  Anything *else* escaping a pipeline stage —
+a ``KeyError``, an ``AssertionError`` from a broken invariant — is a
+bug; :func:`pipeline_stage` converts it into an :class:`InternalError`
+so callers (the fuzz driver, the evaluation harness) can classify the
+failure without pattern-matching arbitrary exception types.
+
+This module is dependency-free; the frontend error types in
+:mod:`repro.lang.errors` subclass :class:`ReproError`.
+"""
+
+import contextlib
+
+
+class ReproError(Exception):
+    """Base class for every structured error raised by the pipeline.
+
+    ``stage`` is a class-level default that subclasses override; the
+    instance attribute wins when a stage guard re-tags an error that
+    did not know where it was raised.
+    """
+
+    stage = "unknown"
+
+    def __init__(self, message):
+        self.message = message
+        super().__init__(message)
+
+
+class ResourceExhausted(ReproError):
+    """An execution budget ran out: VM fuel, trace memory, recursion.
+
+    Raised *instead of* hanging or exhausting host memory; the work is
+    abandoned cleanly and the partial state is discarded.  The VM's
+    fuel variant (:class:`repro.lang.errors.ResourceExhausted`) is also
+    a ``VMError`` so existing ``except VMError`` sites keep working.
+    """
+
+    stage = "limits"
+
+
+class InternalError(ReproError):
+    """An unexpected exception escaped a pipeline stage.
+
+    Wraps the original exception (also chained via ``__cause__``) and
+    records which stage it escaped from, so a crash anywhere in the
+    pipeline surfaces as one classifiable error type.
+    """
+
+    def __init__(self, stage, original):
+        self.stage = stage
+        self.original = original
+        self.original_type = type(original).__name__
+        super().__init__(
+            "internal error in stage '{}': {}: {}".format(
+                stage, self.original_type, original
+            )
+        )
+
+
+@contextlib.contextmanager
+def pipeline_stage(name):
+    """Tag errors escaping the guarded block with the stage ``name``.
+
+    Structured :class:`ReproError` exceptions pass through (gaining the
+    stage tag if they have none); any other ``Exception`` is wrapped in
+    an :class:`InternalError` chained to the original.
+    """
+    try:
+        yield
+    except ReproError as error:
+        if getattr(error, "stage", "unknown") == "unknown":
+            error.stage = name
+        raise
+    except Exception as error:
+        raise InternalError(name, error) from error
+
+
+def failure_record(section, item, error):
+    """A JSON-friendly description of one recorded (not raised) failure.
+
+    The evaluation harness appends these to its ``failures`` list when
+    a benchmark or report section breaks, so one bad workload degrades
+    the report instead of killing it.
+    """
+    error_type, stage, kind, original_type = error_signature(error)
+    return {
+        "section": section,
+        "item": item,
+        "error_type": error_type,
+        "stage": stage,
+        "kind": kind,
+        "original_type": original_type,
+        "message": str(error),
+    }
+
+
+def error_signature(error):
+    """A compact, message-free classification of a failure.
+
+    Used by the fuzz driver and the delta-debugging reducer to decide
+    whether two failures are "the same bug": same type, same stage,
+    same kind (differential checks set ``kind``), same wrapped type
+    for internal errors.
+    """
+    return (
+        type(error).__name__,
+        getattr(error, "stage", "unknown"),
+        getattr(error, "kind", None),
+        getattr(error, "original_type", None),
+    )

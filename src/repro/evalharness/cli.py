@@ -6,9 +6,11 @@
 """
 
 import argparse
+import functools
 import sys
 
 from repro.cache.cache import CacheConfig
+from repro.errors import ReproError
 from repro.cache.replay import replay_trace
 from repro.evalharness.experiment import DEFAULT_CACHE
 from repro.evalharness.figure5 import figure5_table, format_figure5
@@ -32,7 +34,45 @@ def _compile_options(args):
     )
 
 
+def _structured_errors(entry):
+    """CLI wrapper: structured pipeline errors print one clean line
+    (``error [stage]: message``) and exit 1 instead of dumping a
+    traceback at the user."""
+
+    @functools.wraps(entry)
+    def wrapper(argv=None):
+        try:
+            return entry(argv)
+        except ReproError as error:
+            print(
+                "error [{}]: {}".format(
+                    getattr(error, "stage", "unknown"), error
+                ),
+                file=sys.stderr,
+            )
+            return 1
+
+    return wrapper
+
+
+def _read_source(args, parser):
+    """The MiniC source to operate on: a file, stdin, or ``--seed``."""
+    if args.seed is not None:
+        if args.file is not None:
+            parser.error("give either a file or --seed, not both")
+        from repro.robustness.generator import generate_program
+
+        return generate_program(args.seed).source
+    if args.file is None:
+        parser.error("a source file (or --seed N) is required")
+    return sys.stdin.read() if args.file == "-" else open(args.file).read()
+
+
 def _add_compile_args(parser):
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="compile the fuzz generator's program for this seed "
+             "instead of reading a file")
     parser.add_argument(
         "--scheme", choices=["unified", "conventional"], default="unified"
     )
@@ -88,14 +128,16 @@ def main_figure5(argv=None):
     return 0
 
 
+@_structured_errors
 def main_compile(argv=None):
     parser = argparse.ArgumentParser(
         description="Compile MiniC and dump the annotated machine IR."
     )
-    parser.add_argument("file", help="MiniC source file ('-' for stdin)")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="MiniC source file ('-' for stdin)")
     _add_compile_args(parser)
     args = parser.parse_args(argv)
-    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    source = _read_source(args, parser)
     program = compile_source(source, _compile_options(args))
     print(format_module(program.module))
     print()
@@ -108,19 +150,23 @@ def main_compile(argv=None):
     return 0
 
 
+@_structured_errors
 def main_run(argv=None):
     parser = argparse.ArgumentParser(
         description="Compile and execute MiniC; print output and cache stats."
     )
-    parser.add_argument("file", help="MiniC source file ('-' for stdin)")
+    parser.add_argument("file", nargs="?", default=None,
+                        help="MiniC source file ('-' for stdin)")
     _add_compile_args(parser)
     parser.add_argument("--cache-words", type=int,
                         default=DEFAULT_CACHE.size_words)
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="VM fuel budget (ResourceExhausted beyond it)")
     args = parser.parse_args(argv)
-    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    source = _read_source(args, parser)
     program = compile_source(source, _compile_options(args))
     memory = RecordingMemory()
-    result = program.run(memory=memory)
+    result = program.run(memory=memory, max_steps=args.max_steps)
     for value in result.output:
         print(value)
     stats = replay_trace(

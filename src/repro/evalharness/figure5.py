@@ -12,6 +12,7 @@ The paper reports (Section 5):
 
 from dataclasses import dataclass
 
+from repro.errors import failure_record
 from repro.evalharness.experiment import DEFAULT_CACHE, run_benchmark
 from repro.evalharness.tables import format_bar_chart, format_table
 from repro.programs import BENCHMARK_NAMES
@@ -69,19 +70,31 @@ def figure5_table(
     options=None,
     cache_config=DEFAULT_CACHE,
     names=BENCHMARK_NAMES,
+    failures=None,
 ):
     """Run the full Figure 5 experiment; returns a list of rows plus
-    an average row."""
+    an average row.
+
+    With ``failures`` (a list), a benchmark that breaks is recorded
+    there and skipped instead of aborting the whole table; without it,
+    errors propagate.
+    """
     if options is None:
         options = figure5_options()
     rows = []
     for name in names:
-        result = run_benchmark(
-            name,
-            paper_scale=paper_scale,
-            options=options,
-            cache_config=cache_config,
-        )
+        try:
+            result = run_benchmark(
+                name,
+                paper_scale=paper_scale,
+                options=options,
+                cache_config=cache_config,
+            )
+        except Exception as error:  # noqa: BLE001 - recorded, reported
+            if failures is None:
+                raise
+            failures.append(failure_record("figure5", name, error))
+            continue
         rows.append(Figure5Row.from_result(result))
     return rows
 

@@ -7,7 +7,9 @@ with the paper's expectations alongside the measured values.
 """
 
 import argparse
+import sys
 import time
+from dataclasses import replace
 
 from repro.cache.cache import CacheConfig
 from repro.cache.replay import replay_trace
@@ -21,6 +23,8 @@ from repro.evalharness.figure5 import (
     figure5_table,
     format_figure5,
 )
+from repro.errors import failure_record
+from repro.evalharness.experiment import DEFAULT_CACHE
 from repro.evalharness.sweeps import (
     kill_bit_ablation,
     spill_ablation,
@@ -29,6 +33,7 @@ from repro.evalharness.tables import format_table
 from repro.evalharness.unifiedcache import unified_cache_comparison
 from repro.programs import BENCHMARK_NAMES, get_benchmark
 from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.machine import set_default_max_steps
 from repro.vm.memory import RecordingMemory
 
 
@@ -36,8 +41,17 @@ def _heading(text):
     return "\n{}\n{}".format(text, "=" * len(text))
 
 
-def figure5_section(paper_scale):
-    rows = figure5_table(paper_scale=paper_scale)
+def figure5_section(paper_scale, failures=None, cache_config=DEFAULT_CACHE):
+    rows = figure5_table(
+        paper_scale=paper_scale, cache_config=cache_config, failures=failures
+    )
+    if not rows:
+        return "\n".join(
+            [
+                _heading("E1-E3  Figure 5 and the Section 5 bands"),
+                "[every benchmark failed; see the failure summary]",
+            ]
+        )
     avg = average_row(rows)
     lines = [_heading("E1-E3  Figure 5 and the Section 5 bands")]
     lines.append(format_figure5(rows))
@@ -86,11 +100,17 @@ def spill_section():
     return "\n".join(lines)
 
 
-def combined_cache_section():
+def combined_cache_section(failures=None):
     lines = [_heading("E10  Combined I+D cache: instruction hit rate")]
     table_rows = []
     for name, size in (("queen", 128), ("towers", 128), ("towers", 256)):
-        row = unified_cache_comparison(name, size_words=size)
+        try:
+            row = unified_cache_comparison(name, size_words=size)
+        except Exception as error:  # noqa: BLE001 - recorded, reported
+            if failures is None:
+                raise
+            failures.append(failure_record("combined-cache", name, error))
+            continue
         table_rows.append([
             "{} @ {}w".format(name, size),
             "{:.4f}".format(row["conventional_i_hit_rate"]),
@@ -102,50 +122,59 @@ def combined_cache_section():
     return "\n".join(lines)
 
 
-def access_time_section():
+def _access_time_row(name, model):
+    bench = get_benchmark(name)
+    cycles = {}
+    refs = {}
+    for label, options, honor in (
+        ("conv",
+         CompilationOptions(scheme="conventional", promotion="none"),
+         False),
+        ("pure",
+         CompilationOptions(scheme="unified", promotion="aggressive"),
+         True),
+        ("hybrid",
+         CompilationOptions(scheme="unified", promotion="aggressive",
+                            bypass_user_refs=False),
+         True),
+    ):
+        program = compile_source(bench.source, options)
+        memory = RecordingMemory()
+        result = program.run(memory=memory)
+        assert tuple(result.output) == bench.expected_output
+        stats = replay_trace(
+            memory.buffer,
+            CacheConfig(honor_bypass=honor, honor_kill=honor),
+        )
+        refs[label] = len(memory.buffer)
+        cycles[label] = (stats, memory.buffer)
+    total = refs["conv"]
+    conv = value_reference_time(cycles["conv"][0], 0, model)
+    pure = value_reference_time(
+        cycles["pure"][0], total - refs["pure"], model
+    )
+    hybrid = value_reference_time(
+        cycles["hybrid"][0], total - refs["hybrid"], model
+    )
+    return [
+        name,
+        "{:.2f}x".format(access_time_speedup(conv, pure)),
+        "{:.2f}x".format(access_time_speedup(conv, hybrid)),
+    ]
+
+
+def access_time_section(failures=None):
     model = LatencyModel()
     lines = [_heading("E13/E14  Total memory access time "
                       "(speedup vs conventional)")]
     table_rows = []
     for name in BENCHMARK_NAMES:
-        bench = get_benchmark(name)
-        cycles = {}
-        refs = {}
-        for label, options, honor in (
-            ("conv",
-             CompilationOptions(scheme="conventional", promotion="none"),
-             False),
-            ("pure",
-             CompilationOptions(scheme="unified", promotion="aggressive"),
-             True),
-            ("hybrid",
-             CompilationOptions(scheme="unified", promotion="aggressive",
-                                bypass_user_refs=False),
-             True),
-        ):
-            program = compile_source(bench.source, options)
-            memory = RecordingMemory()
-            result = program.run(memory=memory)
-            assert tuple(result.output) == bench.expected_output
-            stats = replay_trace(
-                memory.buffer,
-                CacheConfig(honor_bypass=honor, honor_kill=honor),
-            )
-            refs[label] = len(memory.buffer)
-            cycles[label] = (stats, memory.buffer)
-        total = refs["conv"]
-        conv = value_reference_time(cycles["conv"][0], 0, model)
-        pure = value_reference_time(
-            cycles["pure"][0], total - refs["pure"], model
-        )
-        hybrid = value_reference_time(
-            cycles["hybrid"][0], total - refs["hybrid"], model
-        )
-        table_rows.append([
-            name,
-            "{:.2f}x".format(access_time_speedup(conv, pure)),
-            "{:.2f}x".format(access_time_speedup(conv, hybrid)),
-        ])
+        try:
+            table_rows.append(_access_time_row(name, model))
+        except Exception as error:  # noqa: BLE001 - recorded, reported
+            if failures is None:
+                raise
+            failures.append(failure_record("access-time", name, error))
     lines.append(format_table(
         ["benchmark", "pure unified", "hybrid"], table_rows
     ))
@@ -154,22 +183,66 @@ def access_time_section():
     return "\n".join(lines)
 
 
-def build_report(paper_scale=False, fast=False):
+def build_report(paper_scale=False, fast=False, failures=None,
+                 cache_config=DEFAULT_CACHE):
+    """Assemble the report string.
+
+    With ``failures`` (a list), a section or benchmark that breaks is
+    recorded there and the report carries on — one bad workload must
+    not cost the other results.  Without it, errors propagate.
+    """
     started = time.time()
-    sections = [
-        "Reproduction report: Chi & Dietz, PLDI 1989",
-        figure5_section(paper_scale),
-        kill_section(),
-        spill_section(),
+    section_builders = [
+        ("figure5",
+         lambda: figure5_section(paper_scale, failures=failures,
+                                 cache_config=cache_config)),
+        ("kill-bits", kill_section),
+        ("spill", spill_section),
     ]
     if not fast:
-        sections.append(combined_cache_section())
-        sections.append(access_time_section())
+        section_builders.append(
+            ("combined-cache",
+             lambda: combined_cache_section(failures=failures)))
+        section_builders.append(
+            ("access-time",
+             lambda: access_time_section(failures=failures)))
+    sections = ["Reproduction report: Chi & Dietz, PLDI 1989"]
+    for section_name, builder in section_builders:
+        try:
+            sections.append(builder())
+        except Exception as error:  # noqa: BLE001 - recorded, reported
+            if failures is None:
+                raise
+            failures.append(failure_record(section_name, None, error))
+            sections.append(
+                "{}\n[section failed: {}: {}]".format(
+                    _heading("SECTION {}".format(section_name)),
+                    type(error).__name__,
+                    error,
+                )
+            )
     sections.append(
         "\n(generated in {:.1f}s; see EXPERIMENTS.md for the full record)"
         .format(time.time() - started)
     )
     return "\n".join(sections)
+
+
+def format_failures(failures):
+    lines = ["{} experiment(s) failed:".format(len(failures))]
+    for record in failures:
+        where = record["section"]
+        if record["item"]:
+            where += "/" + str(record["item"])
+        lines.append(
+            "  {}: {} (stage {}): {}".format(
+                where,
+                record["error_type"],
+                record["stage"],
+                record["message"],
+            )
+        )
+    return "\n".join(lines)
 
 
 def main(argv=None):
@@ -180,8 +253,21 @@ def main(argv=None):
     parser.add_argument("--fast", action="store_true",
                         help="skip the slower combined-cache and "
                              "access-time sections")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="cache-simulator RNG seed (random policy)")
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="VM fuel budget per benchmark run")
     args = parser.parse_args(argv)
-    print(build_report(paper_scale=args.paper_scale, fast=args.fast))
+    set_default_max_steps(args.max_steps)
+    cache_config = DEFAULT_CACHE
+    if args.seed is not None:
+        cache_config = replace(DEFAULT_CACHE, seed=args.seed)
+    failures = []
+    print(build_report(paper_scale=args.paper_scale, fast=args.fast,
+                       failures=failures, cache_config=cache_config))
+    if failures:
+        print("\n" + format_failures(failures), file=sys.stderr)
+        return 1
     return 0
 
 

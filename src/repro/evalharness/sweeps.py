@@ -249,9 +249,23 @@ def promotion_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
     return rows
 
 
-def all_benchmarks_sweep(sweep, names=BENCHMARK_NAMES, **kwargs):
-    """Apply one of the sweeps above to every benchmark."""
+def all_benchmarks_sweep(sweep, names=BENCHMARK_NAMES, failures=None, **kwargs):
+    """Apply one of the sweeps above to every benchmark.
+
+    With ``failures`` (a list), a benchmark that breaks is recorded
+    there and skipped instead of aborting the whole sweep; without it,
+    errors propagate.
+    """
+    from repro.errors import failure_record
+
     rows = []
     for name in names:
-        rows.extend(sweep(name, **kwargs))
+        try:
+            rows.extend(sweep(name, **kwargs))
+        except Exception as error:  # noqa: BLE001 - recorded, reported
+            if failures is None:
+                raise
+            failures.append(
+                failure_record(getattr(sweep, "__name__", "sweep"), name, error)
+            )
     return rows

@@ -1,6 +1,14 @@
-"""Error types and source locations shared by the whole frontend."""
+"""Error types and source locations shared by the whole frontend.
+
+All of these derive from :class:`repro.errors.ReproError`, carry a
+``stage`` tag naming the pipeline layer, and keep a structured
+:class:`SourceLocation` so tooling can point at the offending source.
+"""
 
 from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.errors import ResourceExhausted as _ResourceExhausted
 
 
 @dataclass(frozen=True)
@@ -22,30 +30,60 @@ class SourceLocation:
 UNKNOWN_LOCATION = SourceLocation(0, 0, "<synthesized>")
 
 
-class CompileError(Exception):
+class CompileError(ReproError):
     """Base class for every error raised by the MiniC pipeline."""
+
+    stage = "compile"
 
     def __init__(self, message, location=None):
         self.message = message
         self.location = location or UNKNOWN_LOCATION
-        super().__init__("{}: {}".format(self.location, message))
+        if self.location is UNKNOWN_LOCATION:
+            Exception.__init__(self, message)
+        else:
+            Exception.__init__(self, "{}: {}".format(self.location, message))
 
 
 class LexError(CompileError):
     """Raised for malformed input at the character level."""
 
+    stage = "lex"
+
 
 class ParseError(CompileError):
     """Raised for token sequences that do not form a valid program."""
+
+    stage = "parse"
 
 
 class SemanticError(CompileError):
     """Raised for well-formed programs that violate typing/scoping rules."""
 
+    stage = "sema"
+
 
 class IRError(CompileError):
     """Raised when IR construction or verification fails."""
 
+    stage = "ir"
+
 
 class VMError(CompileError):
     """Raised by the register-machine interpreter at run time."""
+
+    stage = "vm"
+
+
+class ResourceExhausted(_ResourceExhausted, VMError):
+    """An execution budget ran out inside the VM or its trace buffers.
+
+    Doubly rooted: it is the canonical
+    :class:`repro.errors.ResourceExhausted` *and* a :class:`VMError`,
+    so both ``except ResourceExhausted`` and legacy ``except VMError``
+    handlers see it.
+    """
+
+    stage = "limits"
+
+    def __init__(self, message, location=None):
+        CompileError.__init__(self, message, location)

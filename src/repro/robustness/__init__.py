@@ -1,0 +1,30 @@
+"""Robustness machinery: fuzzing, reduction, hardened execution.
+
+The differential claim at the heart of this reproduction — unified and
+conventional annotations execute step-identical programs, and the
+tag-only cache, the Belady MIN and the data-carrying functional cache
+agree on the same reference stream — is only as strong as the inputs
+it has been checked on.  This package manufactures those inputs:
+
+* :mod:`repro.robustness.generator` — a seeded random MiniC program
+  generator (scalars, arrays, pointers, ``&x``, calls, loops) paired
+  with an independent Python model that predicts the exact output;
+* :mod:`repro.robustness.differential` — one program, every pipeline
+  configuration and cache model, every agreement assertion;
+* :mod:`repro.robustness.reducer` — delta-debugging reduction of a
+  failing program to a minimal reproducer;
+* :mod:`repro.robustness.driver` — the ``repro-fuzz`` CLI: fuzz,
+  shrink, and save crashes with stage/seed/traceback metadata.
+"""
+
+from repro.robustness.differential import DifferentialError, check_source
+from repro.robustness.generator import GeneratedProgram, generate_program
+from repro.robustness.reducer import reduce_source
+
+__all__ = [
+    "DifferentialError",
+    "GeneratedProgram",
+    "check_source",
+    "generate_program",
+    "reduce_source",
+]

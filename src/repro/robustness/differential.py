@@ -1,0 +1,295 @@
+"""Differential execution: one program, every configuration.
+
+A fuzzed program is only interesting evidence if we extract every
+agreement the design promises.  :func:`check_source` compiles one
+MiniC program under the full cross-product of annotation scheme and
+promotion level (plus the hybrid and alias-merging refinements) and
+asserts:
+
+* **Functional equivalence** — every configuration prints the same
+  output and returns the same value (and matches the generator's
+  Python model when one is supplied).  Register promotion and
+  bypass/kill annotation must never change observable semantics.
+* **Event-stream agreement** — at equal promotion, the unified and
+  conventional schemes execute the *same instructions*: identical step
+  counts, identical data-address streams, identical read/write
+  pattern.  Only the bypass/kill bits may differ, because annotation
+  is metadata, not code motion.
+* **Cache-model agreement** — on the unified/aggressive trace, the
+  data-carrying functional cache produces the same program output,
+  the same final memory as flat memory, and *exactly* the same
+  statistics as the tag-only simulator replaying the recorded trace.
+* **MIN sanity** — Belady MIN on the same trace agrees with LRU on
+  every policy-independent counter and never misses more than LRU.
+
+Violations raise :class:`DifferentialError` with a ``kind`` tag so the
+fuzz driver can bucket failures.
+"""
+
+from repro.cache.belady import simulate_min
+from repro.cache.cache import CacheConfig
+from repro.cache.functional import DataCachedMemory
+from repro.cache.replay import replay_trace
+from repro.errors import ReproError
+from repro.regalloc.promotion import PromotionLevel
+from repro.unified.pipeline import CompilationOptions, Scheme, compile_source
+from repro.vm.memory import RecordingMemory
+from repro.vm.trace import FLAG_WRITE
+
+#: Fuel budget for each fuzzed run; generated programs are tiny, so a
+#: run that gets anywhere near this is itself a bug.
+DEFAULT_FUZZ_MAX_STEPS = 5_000_000
+
+#: Counters that depend only on the reference stream's flags, never on
+#: the replacement policy — MIN and LRU must agree on all of them.
+POLICY_INDEPENDENT_COUNTERS = (
+    "refs_total",
+    "reads",
+    "writes",
+    "refs_cached",
+    "refs_bypassed",
+    "bypass_writes",
+    "kills",
+)
+
+
+class DifferentialError(ReproError):
+    """Two configurations (or models) disagreed about one program."""
+
+    stage = "differential"
+
+    def __init__(self, kind, message):
+        self.kind = kind
+        super().__init__("[{}] {}".format(kind, message))
+
+
+def _configs():
+    """(name, options) pairs covering the scheme/promotion matrix."""
+    pairs = []
+    for promotion in (
+        PromotionLevel.NONE,
+        PromotionLevel.MODEST,
+        PromotionLevel.AGGRESSIVE,
+    ):
+        for scheme in (Scheme.UNIFIED, Scheme.CONVENTIONAL):
+            name = "{}/{}".format(scheme.value, promotion.value)
+            pairs.append(
+                (
+                    name,
+                    CompilationOptions(scheme=scheme, promotion=promotion),
+                )
+            )
+    pairs.append(
+        (
+            "hybrid/aggressive",
+            CompilationOptions(
+                scheme=Scheme.UNIFIED,
+                promotion=PromotionLevel.AGGRESSIVE,
+                bypass_user_refs=False,
+            ),
+        )
+    )
+    pairs.append(
+        (
+            "merged/aggressive",
+            CompilationOptions(
+                scheme=Scheme.UNIFIED,
+                promotion=PromotionLevel.AGGRESSIVE,
+                refine_points_to=True,
+                merge_true_aliases=True,
+            ),
+        )
+    )
+    return pairs
+
+
+class _Run:
+    __slots__ = ("name", "options", "program", "result", "trace", "words")
+
+    def __init__(self, name, options, program, result, memory):
+        self.name = name
+        self.options = options
+        self.program = program
+        self.result = result
+        self.trace = memory.buffer
+        self.words = memory.flat.words
+
+
+def _write_pattern(trace):
+    return [flags & FLAG_WRITE for flags in trace.flags]
+
+
+def check_source(
+    source,
+    expected_output=None,
+    expected_return=None,
+    max_steps=DEFAULT_FUZZ_MAX_STEPS,
+    cache_words=16,
+    associativity=2,
+):
+    """Run every differential assertion over ``source``.
+
+    Returns a summary dict (config count, trace length) on success;
+    raises :class:`DifferentialError` on any disagreement.  Compile
+    and VM errors propagate unchanged, already stage-tagged.
+    """
+    runs = []
+    for name, options in _configs():
+        program = compile_source(source, options)
+        memory = RecordingMemory()
+        result = program.run(memory=memory, max_steps=max_steps)
+        runs.append(_Run(name, options, program, result, memory))
+
+    baseline = runs[0]
+    if expected_output is not None:
+        if baseline.result.output != list(expected_output):
+            raise DifferentialError(
+                "model-output",
+                "{} printed {!r}, model predicted {!r}".format(
+                    baseline.name, baseline.result.output, list(expected_output)
+                ),
+            )
+    if expected_return is not None:
+        if baseline.result.return_value != expected_return:
+            raise DifferentialError(
+                "model-return",
+                "{} returned {!r}, model predicted {!r}".format(
+                    baseline.name, baseline.result.return_value, expected_return
+                ),
+            )
+
+    for run in runs[1:]:
+        if run.result.output != baseline.result.output:
+            raise DifferentialError(
+                "output-mismatch",
+                "{} printed {!r} but {} printed {!r}".format(
+                    run.name,
+                    run.result.output,
+                    baseline.name,
+                    baseline.result.output,
+                ),
+            )
+        if run.result.return_value != baseline.result.return_value:
+            raise DifferentialError(
+                "return-mismatch",
+                "{} returned {!r} but {} returned {!r}".format(
+                    run.name,
+                    run.result.return_value,
+                    baseline.name,
+                    baseline.result.return_value,
+                ),
+            )
+
+    by_name = {run.name: run for run in runs}
+    stream_pairs = [
+        ("unified/{}".format(level), "conventional/{}".format(level))
+        for level in ("none", "modest", "aggressive")
+    ]
+    stream_pairs.append(("unified/aggressive", "hybrid/aggressive"))
+    for left_name, right_name in stream_pairs:
+        left, right = by_name[left_name], by_name[right_name]
+        if left.result.steps != right.result.steps:
+            raise DifferentialError(
+                "step-mismatch",
+                "{} took {} steps, {} took {}".format(
+                    left_name,
+                    left.result.steps,
+                    right_name,
+                    right.result.steps,
+                ),
+            )
+        if left.trace.addresses != right.trace.addresses:
+            raise DifferentialError(
+                "address-stream",
+                "{} and {} disagree on the data-address stream "
+                "({} vs {} events)".format(
+                    left_name, right_name, len(left.trace), len(right.trace)
+                ),
+            )
+        if _write_pattern(left.trace) != _write_pattern(right.trace):
+            raise DifferentialError(
+                "write-pattern",
+                "{} and {} disagree on which references are writes".format(
+                    left_name, right_name
+                ),
+            )
+
+    _check_cache_models(
+        by_name["unified/aggressive"], baseline, cache_words, associativity
+    )
+    return {
+        "configs": len(runs),
+        "trace_events": len(by_name["unified/aggressive"].trace),
+        "steps": baseline.result.steps,
+    }
+
+
+def _check_cache_models(run, baseline, cache_words, associativity):
+    config = CacheConfig(
+        size_words=cache_words,
+        line_words=1,
+        associativity=associativity,
+        policy="lru",
+    )
+
+    functional = DataCachedMemory(config)
+    result = run.program.run(
+        memory=functional, max_steps=run.result.steps + 1
+    )
+    if result.output != baseline.result.output:
+        raise DifferentialError(
+            "functional-output",
+            "data cache printed {!r}, flat memory printed {!r}".format(
+                result.output, baseline.result.output
+            ),
+        )
+    if result.return_value != baseline.result.return_value:
+        raise DifferentialError(
+            "functional-return",
+            "data cache returned {!r}, flat memory returned {!r}".format(
+                result.return_value, baseline.result.return_value
+            ),
+        )
+
+    functional.flush()
+    for address in set(run.words) | set(functional.main):
+        flat_value = run.words.get(address, 0)
+        cached_value = functional.main.get(address, 0)
+        if flat_value != cached_value:
+            raise DifferentialError(
+                "functional-memory",
+                "after flush, address {} holds {} under the data cache "
+                "but {} under flat memory".format(
+                    address, cached_value, flat_value
+                ),
+            )
+
+    replayed = replay_trace(run.trace, config)
+    if functional.stats.as_dict() != replayed.as_dict():
+        diff = {
+            key: (functional.stats.as_dict()[key], replayed.as_dict()[key])
+            for key in functional.stats.as_dict()
+            if functional.stats.as_dict()[key] != replayed.as_dict().get(key)
+        }
+        raise DifferentialError(
+            "stats-mismatch",
+            "functional cache and tag-only replay disagree: {!r}".format(diff),
+        )
+
+    min_stats = simulate_min(run.trace, config)
+    lru = replayed.as_dict()
+    minimum = min_stats.as_dict()
+    for counter in POLICY_INDEPENDENT_COUNTERS:
+        if minimum[counter] != lru[counter]:
+            raise DifferentialError(
+                "min-counter",
+                "MIN and LRU disagree on policy-independent counter "
+                "{}: {} vs {}".format(counter, minimum[counter], lru[counter]),
+            )
+    if min_stats.misses > replayed.misses:
+        raise DifferentialError(
+            "min-not-optimal",
+            "MIN missed {} times, LRU only {}".format(
+                min_stats.misses, replayed.misses
+            ),
+        )

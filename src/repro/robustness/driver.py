@@ -1,0 +1,241 @@
+"""The ``repro-fuzz`` driver: generate, check, shrink, archive.
+
+For each seed the driver generates a random MiniC program with its
+model-predicted output (:mod:`repro.robustness.generator`), runs the
+whole differential battery over it
+(:mod:`repro.robustness.differential`), and — when something breaks —
+delta-debugs the program down to a minimal reproducer
+(:mod:`repro.robustness.reducer`) and archives original, reduction and
+stage/seed/traceback metadata under a ``crashes/`` corpus.
+
+``--inject REGEX`` wires in a synthetic failure (any generated program
+matching the pattern "fails") so the shrink-and-archive machinery is
+itself testable end to end.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+import traceback
+
+from repro.errors import ReproError, error_signature
+from repro.robustness.differential import (
+    DEFAULT_FUZZ_MAX_STEPS,
+    check_source,
+)
+from repro.robustness.generator import generate_program
+from repro.robustness.reducer import reduce_source
+from repro.unified.pipeline import compile_source
+
+
+class InjectedFailure(ReproError):
+    """A synthetic failure planted by ``--inject`` (testing the driver)."""
+
+    stage = "injected"
+
+
+def _check_one(source, expected_output, expected_return, max_steps, inject):
+    if inject is not None and inject.search(source):
+        # The reproducer must still be a real program, so reduction
+        # cannot cheat by keeping the pattern in unparsable fragments.
+        compile_source(source)
+        raise InjectedFailure(
+            "injected failure: pattern {!r} present".format(inject.pattern)
+        )
+    check_source(
+        source,
+        expected_output=expected_output,
+        expected_return=expected_return,
+        max_steps=max_steps,
+    )
+
+
+def _reduce_failure(source, signature, max_steps, inject, max_evals):
+    """Shrink ``source`` to a minimal program with the same signature.
+
+    Model-prediction mismatches cannot be re-checked on candidate
+    subsets (the model belongs to the original program), so those come
+    back unreduced.
+    """
+    kind = signature[2]
+    if kind is not None and str(kind).startswith("model-"):
+        return source
+
+    def predicate(candidate):
+        try:
+            _check_one(candidate, None, None, max_steps, inject)
+        except Exception as error:  # noqa: BLE001 - signature decides
+            return error_signature(error) == signature
+        return False
+
+    return reduce_source(source, predicate, max_evals=max_evals)
+
+
+def _save_crash(crashes_dir, record):
+    name = "seed{}-{}".format(record["seed"], record["error_type"].lower())
+    crash_dir = os.path.join(crashes_dir, name)
+    os.makedirs(crash_dir, exist_ok=True)
+    with open(os.path.join(crash_dir, "original.mc"), "w") as handle:
+        handle.write(record["source"])
+    with open(os.path.join(crash_dir, "reduced.mc"), "w") as handle:
+        handle.write(record["reduced"])
+    meta = {key: record[key] for key in record if key not in ("source", "reduced")}
+    with open(os.path.join(crash_dir, "meta.json"), "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return crash_dir
+
+
+def run_fuzz(
+    programs=500,
+    seed=0,
+    crashes_dir="crashes",
+    max_steps=DEFAULT_FUZZ_MAX_STEPS,
+    inject=None,
+    reduce_evals=1500,
+    log=None,
+):
+    """Fuzz ``programs`` seeds starting at ``seed``; return failures.
+
+    Every failure is shrunk and archived under ``crashes_dir``.  The
+    returned list holds one metadata dict per failing seed.
+    """
+    inject_re = re.compile(inject) if isinstance(inject, str) else inject
+    failures = []
+    for index in range(programs):
+        program_seed = seed + index
+        generated = generate_program(program_seed)
+        try:
+            _check_one(
+                generated.source,
+                generated.expected_output,
+                generated.expected_return,
+                max_steps,
+                inject_re,
+            )
+        except Exception as error:  # noqa: BLE001 - archived, re-reported
+            signature = error_signature(error)
+            reduced = _reduce_failure(
+                generated.source, signature, max_steps, inject_re, reduce_evals
+            )
+            record = {
+                "seed": program_seed,
+                "index": index,
+                "error_type": signature[0],
+                "stage": signature[1],
+                "kind": signature[2],
+                "original_type": signature[3],
+                "message": str(error),
+                "traceback": traceback.format_exc(),
+                "original_lines": generated.line_count,
+                "reduced_lines": len(reduced.strip().splitlines()),
+                "source": generated.source,
+                "reduced": reduced,
+            }
+            crash_dir = _save_crash(crashes_dir, record)
+            record["crash_dir"] = crash_dir
+            failures.append(record)
+            if log:
+                log(
+                    "FAIL seed={} {} at stage {}: {} "
+                    "(reduced {} -> {} lines, saved to {})".format(
+                        program_seed,
+                        record["error_type"],
+                        record["stage"],
+                        record["message"],
+                        record["original_lines"],
+                        record["reduced_lines"],
+                        crash_dir,
+                    )
+                )
+        else:
+            if log and (index + 1) % 50 == 0:
+                log("ok: {}/{} programs".format(index + 1, programs))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description=(
+            "Differential fuzzing of the compile->simulate pipeline: "
+            "random MiniC programs, every scheme/promotion/cache-model "
+            "combination, failures shrunk and archived."
+        ),
+    )
+    parser.add_argument(
+        "--programs",
+        type=int,
+        default=500,
+        help="number of programs to generate (default 500)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="first generator seed (default 0)"
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=DEFAULT_FUZZ_MAX_STEPS,
+        help="VM fuel budget per run (default {})".format(
+            DEFAULT_FUZZ_MAX_STEPS
+        ),
+    )
+    parser.add_argument(
+        "--crashes",
+        default="crashes",
+        help="directory for the crash corpus (default ./crashes)",
+    )
+    parser.add_argument(
+        "--inject",
+        default=None,
+        help=(
+            "regex: treat any generated program matching it as a "
+            "synthetic failure (exercises the reducer and corpus)"
+        ),
+    )
+    parser.add_argument(
+        "--reduce-evals",
+        type=int,
+        default=1500,
+        help="delta-debugging evaluation budget per failure",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    options = parser.parse_args(argv)
+
+    log = None if options.quiet else lambda message: print(message, flush=True)
+    failures = run_fuzz(
+        programs=options.programs,
+        seed=options.seed,
+        crashes_dir=options.crashes,
+        max_steps=options.max_steps,
+        inject=options.inject,
+        reduce_evals=options.reduce_evals,
+        log=log,
+    )
+    total = options.programs
+    if failures:
+        print(
+            "{} of {} programs failed; reproducers in {}".format(
+                len(failures), total, options.crashes
+            )
+        )
+        by_kind = {}
+        for record in failures:
+            key = (record["error_type"], record["stage"], record["kind"])
+            by_kind[key] = by_kind.get(key, 0) + 1
+        for (error_type, stage, kind), count in sorted(by_kind.items()):
+            label = "{}/{}".format(error_type, stage)
+            if kind:
+                label += "/{}".format(kind)
+            print("  {:4d}  {}".format(count, label))
+        return 1
+    print("all {} programs passed the differential battery".format(total))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

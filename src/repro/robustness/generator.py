@@ -1,0 +1,764 @@
+"""Seeded random MiniC program generator with a built-in oracle.
+
+Every generated program is paired, construct by construct, with a
+Python closure that evaluates it, so the generator knows the exact
+expected output without running the compiler.  Programs are total by
+construction: every loop is bounded, every division is by a nonzero
+constant, every array index is provably in range, and every pointer
+dereference targets an object that is live for the whole of ``main``.
+
+The construct mix is deliberately biased toward what stresses the
+alias/classification machinery: address-taken scalars (``&x``),
+pointers retargeted under branches, array elements reached both by
+name and through pointers, and helper functions that mutate globals
+behind the caller's back.
+"""
+
+import random
+from dataclasses import dataclass
+
+#: Abort generation when any intermediate value grows past this bound;
+#: the generator retries with a derived seed.  Keeps multiplications
+#: inside nested loops from producing astronomic bignums.
+VALUE_LIMIT = 1 << 45
+
+#: How many derived seeds to try before giving up on one request.
+MAX_ATTEMPTS = 50
+
+
+class _Overflow(Exception):
+    """Model-side: a value exceeded VALUE_LIMIT; regenerate."""
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+def _c_div(a, b):
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q
+
+
+def _c_mod(a, b):
+    return a - _c_div(a, b) * b
+
+
+def _ck(value):
+    if value > VALUE_LIMIT or value < -VALUE_LIMIT:
+        raise _Overflow()
+    return value
+
+
+_BINOPS = {
+    "+": lambda a, b: _ck(a + b),
+    "-": lambda a, b: _ck(a - b),
+    "*": lambda a, b: _ck(a * b),
+    "/": _c_div,
+    "%": _c_mod,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "&&": lambda a, b: 1 if (a != 0 and b != 0) else 0,
+    "||": lambda a, b: 1 if (a != 0 or b != 0) else 0,
+}
+
+
+def _store(scope, env, genv):
+    return genv if scope == "g" else env
+
+
+def _deref(ptr, env, genv):
+    """Resolve a model pointer value to (container, key)."""
+    if ptr[0] == "s":
+        _, scope, name = ptr
+        return _store(scope, env, genv), name
+    _, scope, name, index = ptr
+    return _store(scope, env, genv)[name], index
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated MiniC program plus its model-predicted behaviour."""
+
+    seed: int
+    source: str
+    expected_output: tuple
+    expected_return: int
+
+    @property
+    def line_count(self):
+        return len(self.source.splitlines())
+
+
+class _Helper:
+    """A generated helper function plus its model."""
+
+    def __init__(self, name, params, pure, body_fns, ret_fn, lines):
+        self.name = name
+        self.params = params
+        self.pure = pure
+        self.body_fns = body_fns
+        self.ret_fn = ret_fn
+        self.lines = lines
+
+    def call(self, args, genv, out):
+        env = dict(zip(self.params, args))
+        try:
+            for fn in self.body_fns:
+                fn(env, genv, out)
+        except _Return as ret:
+            return ret.value
+        return self.ret_fn(env, genv)
+
+
+class _Ctx:
+    """What is in scope while generating one function body."""
+
+    def __init__(self, scalars, arrays, pointers, helpers, loop_pool):
+        self.scalars = list(scalars)  # [(name, scope)]
+        self.arrays = list(arrays)  # [(name, scope, size)]
+        self.pointers = list(pointers)  # [name] (main only)
+        self.helpers = list(helpers)
+        self.loop_pool = list(loop_pool)  # unused loop-var names
+        self.loop_vars = []  # [(name, bound)] currently in scope
+        self.in_for = 0
+        self.allow_return = False
+        self.allow_print = True
+
+
+class _Generator:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Expressions: every method returns (text, fn(env, genv) -> int).
+    # ------------------------------------------------------------------
+
+    def _literal(self):
+        value = self.rng.randint(-30, 30)
+        text = str(value) if value >= 0 else "(0 - {})".format(-value)
+        return text, (lambda env, genv, v=value: v)
+
+    def _safe_index(self, ctx, size):
+        """(text, fn) guaranteed to evaluate inside [0, size)."""
+        usable = [(n, b) for n, b in ctx.loop_vars if b <= size]
+        if usable and self.rng.random() < 0.6:
+            name, bound = self.rng.choice(usable)
+            slack = size - bound
+            if slack > 0 and self.rng.random() < 0.4:
+                offset = self.rng.randint(0, slack)
+                return (
+                    "({} + {})".format(name, offset),
+                    lambda env, genv, n=name, o=offset: env[n] + o,
+                )
+            return name, (lambda env, genv, n=name: env[n])
+        index = self.rng.randint(0, size - 1)
+        return str(index), (lambda env, genv, i=index: i)
+
+    def _expr(self, ctx, depth=0):
+        rng = self.rng
+        choices = ["literal"]
+        if ctx.scalars or ctx.loop_vars:
+            choices += ["scalar"] * 4
+        if ctx.arrays:
+            choices += ["array"] * 2
+        if ctx.pointers:
+            choices += ["deref"] * 2
+        pure = [h for h in ctx.helpers if h.pure]
+        if pure and depth == 0:
+            choices += ["call"]
+        if depth < 3:
+            choices += ["binary"] * 4 + ["unary"]
+        kind = rng.choice(choices)
+
+        if kind == "scalar":
+            pool = [(n, s) for n, s in ctx.scalars]
+            pool += [(n, "l") for n, _ in ctx.loop_vars]
+            name, scope = rng.choice(pool)
+            return name, (
+                lambda env, genv, n=name, s=scope: _store(s, env, genv)[n]
+            )
+        if kind == "array":
+            name, scope, size = rng.choice(ctx.arrays)
+            idx_text, idx_fn = self._safe_index(ctx, size)
+            return (
+                "{}[{}]".format(name, idx_text),
+                lambda env, genv, n=name, s=scope, f=idx_fn: _store(
+                    s, env, genv
+                )[n][f(env, genv)],
+            )
+        if kind == "deref":
+            name = rng.choice(ctx.pointers)
+
+            def read(env, genv, n=name):
+                container, key = _deref(env[n], env, genv)
+                return container[key]
+
+            return "*{}".format(name), read
+        if kind == "call":
+            helper = rng.choice(pure)
+            args = [self._expr(ctx, depth + 2) for _ in helper.params]
+            text = "{}({})".format(helper.name, ", ".join(a[0] for a in args))
+
+            def call(env, genv, h=helper, fns=tuple(a[1] for a in args)):
+                return h.call([fn(env, genv) for fn in fns], genv, None)
+
+            return text, call
+        if kind == "unary":
+            op = rng.choice(["-", "!"])
+            inner_text, inner_fn = self._expr(ctx, depth + 1)
+            if op == "-":
+                return (
+                    "(-{})".format(inner_text),
+                    lambda env, genv, f=inner_fn: -f(env, genv),
+                )
+            return (
+                "(!{})".format(inner_text),
+                lambda env, genv, f=inner_fn: 1 if f(env, genv) == 0 else 0,
+            )
+        if kind == "binary":
+            op = rng.choice(
+                ["+", "+", "-", "-", "*", "/", "%", "==", "!=", "<", "<=",
+                 ">", ">=", "&&", "||"]
+            )
+            left_text, left_fn = self._expr(ctx, depth + 1)
+            if op in ("/", "%"):
+                # Keep division total: nonzero constant denominator.
+                denom = self.rng.randint(1, 9)
+                right_text, right_fn = str(denom), (
+                    lambda env, genv, d=denom: d
+                )
+            else:
+                right_text, right_fn = self._expr(ctx, depth + 1)
+            fn = _BINOPS[op]
+            return (
+                "({} {} {})".format(left_text, op, right_text),
+                lambda env, genv, f=fn, lf=left_fn, rf=right_fn: f(
+                    lf(env, genv), rf(env, genv)
+                ),
+            )
+        return self._literal()
+
+    # ------------------------------------------------------------------
+    # Statements: (lines, fn(env, genv, out)).
+    # ------------------------------------------------------------------
+
+    def _pointer_target(self, ctx):
+        """Pick a valid target: (&-text, model pointer value)."""
+        rng = self.rng
+        locals_ = [(n, s) for n, s in ctx.scalars]
+        if ctx.arrays and rng.random() < 0.45:
+            name, scope, size = rng.choice(ctx.arrays)
+            index = rng.randint(0, size - 1)
+            return "&{}[{}]".format(name, index), ("a", scope, name, index)
+        name, scope = rng.choice(locals_)
+        return "&{}".format(name), ("s", scope, name)
+
+    def _stmt_assign(self, ctx, ind):
+        name, scope = self.rng.choice(ctx.scalars)
+        expr_text, expr_fn = self._expr(ctx)
+        if self.rng.random() < 0.15:
+            line = "{}{} += {};".format(ind, name, expr_text)
+
+            def fn(env, genv, out, n=name, s=scope, f=expr_fn):
+                store = _store(s, env, genv)
+                store[n] = _ck(store[n] + f(env, genv))
+
+            return [line], fn
+        line = "{}{} = {};".format(ind, name, expr_text)
+
+        def fn(env, genv, out, n=name, s=scope, f=expr_fn):
+            _store(s, env, genv)[n] = _ck(f(env, genv))
+
+        return [line], fn
+
+    def _stmt_array_write(self, ctx, ind):
+        name, scope, size = self.rng.choice(ctx.arrays)
+        idx_text, idx_fn = self._safe_index(ctx, size)
+        expr_text, expr_fn = self._expr(ctx)
+        line = "{}{}[{}] = {};".format(ind, name, idx_text, expr_text)
+
+        def fn(env, genv, out, n=name, s=scope, i=idx_fn, f=expr_fn):
+            _store(s, env, genv)[n][i(env, genv)] = _ck(f(env, genv))
+
+        return [line], fn
+
+    def _stmt_print(self, ctx, ind):
+        expr_text, expr_fn = self._expr(ctx)
+        line = "{}print({});".format(ind, expr_text)
+
+        def fn(env, genv, out, f=expr_fn):
+            out.append(f(env, genv))
+
+        return [line], fn
+
+    def _stmt_if(self, ctx, ind, depth):
+        cond_text, cond_fn = self._expr(ctx)
+        then_lines, then_fns = self._block(ctx, ind + "    ", depth + 1)
+        lines = ["{}if ({}) {{".format(ind, cond_text)]
+        lines += then_lines
+        else_fns = None
+        if self.rng.random() < 0.5:
+            else_lines, else_fns = self._block(ctx, ind + "    ", depth + 1)
+            lines.append("{}}} else {{".format(ind))
+            lines += else_lines
+        lines.append("{}}}".format(ind))
+
+        def fn(env, genv, out, c=cond_fn, t=tuple(then_fns),
+               e=tuple(else_fns) if else_fns else None):
+            if c(env, genv) != 0:
+                for sub in t:
+                    sub(env, genv, out)
+            elif e is not None:
+                for sub in e:
+                    sub(env, genv, out)
+
+        return lines, fn
+
+    def _stmt_for(self, ctx, ind, depth):
+        var = ctx.loop_pool.pop()
+        bound = self.rng.randint(1, 5)
+        ctx.loop_vars.append((var, bound))
+        ctx.in_for += 1
+        body_lines, body_fns = self._block(ctx, ind + "    ", depth + 1)
+        ctx.in_for -= 1
+        ctx.loop_vars.pop()
+        lines = [
+            "{}for ({} = 0; {} < {}; {} = {} + 1) {{".format(
+                ind, var, var, bound, var, var
+            )
+        ]
+        lines += body_lines
+        lines.append("{}}}".format(ind))
+
+        def fn(env, genv, out, v=var, n=bound, body=tuple(body_fns)):
+            env[v] = 0
+            while env[v] < n:
+                try:
+                    for sub in body:
+                        sub(env, genv, out)
+                except _Continue:
+                    pass
+                except _Break:
+                    break
+                env[v] = env[v] + 1
+
+        return lines, fn
+
+    def _stmt_while(self, ctx, ind, depth, do_while=False):
+        var = ctx.loop_pool.pop()
+        bound = self.rng.randint(1, 4)
+        ctx.loop_vars.append((var, bound))
+        # A break/continue in this body would bind to *this* loop in C
+        # but the model only routes them to `for` loops — forbid them
+        # here by masking the enclosing-for state.
+        saved_in_for = ctx.in_for
+        ctx.in_for = 0
+        body_lines, body_fns = self._block(ctx, ind + "    ", depth + 1)
+        ctx.in_for = saved_in_for
+        ctx.loop_vars.pop()
+        inner = ind + "    "
+        if do_while:
+            lines = ["{}{} = 0;".format(ind, var), "{}do {{".format(ind)]
+            lines += body_lines
+            lines.append("{}{} = {} + 1;".format(inner, var, var))
+            lines.append("{}}} while ({} < {});".format(ind, var, bound))
+        else:
+            lines = [
+                "{}{} = 0;".format(ind, var),
+                "{}while ({} < {}) {{".format(ind, var, bound),
+            ]
+            lines += body_lines
+            lines.append("{}{} = {} + 1;".format(inner, var, var))
+            lines.append("{}}}".format(ind))
+
+        def fn(env, genv, out, v=var, n=bound, body=tuple(body_fns),
+               at_least_once=do_while):
+            env[v] = 0
+            while True:
+                if not at_least_once and not env[v] < n:
+                    break
+                at_least_once = False
+                for sub in body:
+                    sub(env, genv, out)
+                env[v] = env[v] + 1
+                if not env[v] < n:
+                    break
+
+        return lines, fn
+
+    def _stmt_pointer_retarget(self, ctx, ind):
+        name = self.rng.choice(ctx.pointers)
+        target_text, target_value = self._pointer_target(ctx)
+        line = "{}{} = {};".format(ind, name, target_text)
+
+        def fn(env, genv, out, n=name, t=target_value):
+            env[n] = t
+
+        return [line], fn
+
+    def _stmt_pointer_write(self, ctx, ind):
+        name = self.rng.choice(ctx.pointers)
+        expr_text, expr_fn = self._expr(ctx)
+        line = "{}*{} = {};".format(ind, name, expr_text)
+
+        def fn(env, genv, out, n=name, f=expr_fn):
+            container, key = _deref(env[n], env, genv)
+            container[key] = _ck(f(env, genv))
+
+        return [line], fn
+
+    def _stmt_pointer_walk(self, ctx, ind):
+        """``p = &a[c]; x = *(p + d);`` — bounded pointer arithmetic."""
+        pointer = self.rng.choice(ctx.pointers)
+        name, scope, size = self.rng.choice(ctx.arrays)
+        base = self.rng.randint(0, size - 1)
+        offset = self.rng.randint(0, size - 1 - base)
+        target, target_scope = self.rng.choice(ctx.scalars)
+        lines = [
+            "{}{} = &{}[{}];".format(ind, pointer, name, base),
+            "{}{} = *({} + {});".format(ind, target, pointer, offset),
+        ]
+
+        def fn(env, genv, out, p=pointer, a=name, s=scope, b=base, o=offset,
+               t=target, ts=target_scope):
+            env[p] = ("a", s, a, b)
+            _store(ts, env, genv)[t] = _store(s, env, genv)[a][b + o]
+
+        return lines, fn
+
+    def _stmt_call(self, ctx, ind):
+        helper = self.rng.choice(ctx.helpers)
+        args = [self._expr(ctx, depth=2) for _ in helper.params]
+        arg_text = ", ".join(a[0] for a in args)
+        target, target_scope = self.rng.choice(ctx.scalars)
+        line = "{}{} = {}({});".format(ind, target, helper.name, arg_text)
+
+        def fn(env, genv, out, h=helper, t=target, ts=target_scope,
+               fns=tuple(a[1] for a in args)):
+            value = h.call([f(env, genv) for f in fns], genv, out)
+            _store(ts, env, genv)[t] = _ck(value)
+
+        return [line], fn
+
+    def _stmt_guarded_jump(self, ctx, ind, kind):
+        cond_text, cond_fn = self._expr(ctx)
+        lines = [
+            "{}if ({}) {{".format(ind, cond_text),
+            "{}    {};".format(ind, kind),
+            "{}}}".format(ind),
+        ]
+        control = _Break if kind == "break" else _Continue
+
+        def fn(env, genv, out, c=cond_fn, exc=control):
+            if c(env, genv) != 0:
+                raise exc()
+
+        return lines, fn
+
+    def _stmt_guarded_return(self, ctx, ind):
+        cond_text, cond_fn = self._expr(ctx)
+        value_text, value_fn = self._expr(ctx)
+        lines = [
+            "{}if ({}) {{".format(ind, cond_text),
+            "{}    return {};".format(ind, value_text),
+            "{}}}".format(ind),
+        ]
+
+        def fn(env, genv, out, c=cond_fn, v=value_fn):
+            if c(env, genv) != 0:
+                raise _Return(v(env, genv))
+
+        return lines, fn
+
+    def _statement(self, ctx, ind, depth):
+        rng = self.rng
+        kinds = ["assign"] * 5
+        if ctx.allow_print:
+            kinds += ["print"] * 2
+        if ctx.arrays:
+            kinds += ["array"] * 3
+        if ctx.pointers:
+            kinds += ["retarget", "pwrite", "pwrite"]
+            if ctx.arrays:
+                kinds += ["pwalk"]
+        if ctx.helpers:
+            kinds += ["call", "call"]
+        if depth < 2:
+            kinds += ["if"] * 2
+            if ctx.loop_pool:
+                kinds += ["for"] * 2 + ["while", "dowhile"]
+        if ctx.in_for:
+            kinds += ["break", "continue"]
+        if ctx.allow_return:
+            kinds += ["return"]
+        kind = rng.choice(kinds)
+        if kind == "assign":
+            return self._stmt_assign(ctx, ind)
+        if kind == "print":
+            return self._stmt_print(ctx, ind)
+        if kind == "array":
+            return self._stmt_array_write(ctx, ind)
+        if kind == "retarget":
+            return self._stmt_pointer_retarget(ctx, ind)
+        if kind == "pwrite":
+            return self._stmt_pointer_write(ctx, ind)
+        if kind == "pwalk":
+            return self._stmt_pointer_walk(ctx, ind)
+        if kind == "call":
+            return self._stmt_call(ctx, ind)
+        if kind == "if":
+            return self._stmt_if(ctx, ind, depth)
+        if kind == "for":
+            return self._stmt_for(ctx, ind, depth)
+        if kind == "while":
+            return self._stmt_while(ctx, ind, depth)
+        if kind == "dowhile":
+            return self._stmt_while(ctx, ind, depth, do_while=True)
+        if kind in ("break", "continue"):
+            return self._stmt_guarded_jump(ctx, ind, kind)
+        return self._stmt_guarded_return(ctx, ind)
+
+    def _block(self, ctx, ind, depth, count=None):
+        if count is None:
+            count = self.rng.randint(1, 3 if depth else 4)
+        lines = []
+        fns = []
+        for _ in range(count):
+            stmt_lines, stmt_fn = self._statement(ctx, ind, depth)
+            lines += stmt_lines
+            fns.append(stmt_fn)
+        return lines, fns
+
+    # ------------------------------------------------------------------
+    # Whole-program assembly.
+    # ------------------------------------------------------------------
+
+    def _gen_helper(self, index, globals_scalars, global_arrays, pure):
+        name = "f{}".format(index)
+        params = ["n{}".format(i) for i in range(self.rng.randint(1, 3))]
+        locals_ = ["t{}".format(i) for i in range(self.rng.randint(0, 2))]
+        scalars = [(p, "l") for p in params] + [(t, "l") for t in locals_]
+        if not pure:
+            scalars += [(n, "g") for n, _ in globals_scalars]
+        ctx = _Ctx(
+            scalars,
+            [] if pure else global_arrays,
+            [],
+            [],
+            ["h{}i".format(index), "h{}w".format(index)],
+        )
+        ctx.allow_return = True
+        ctx.allow_print = not pure
+        ind = "    "
+        lines = [
+            "int {}({}) {{".format(
+                name, ", ".join("int {}".format(p) for p in params)
+            )
+        ]
+        for loop_var in ctx.loop_pool:
+            lines.append("{}int {};".format(ind, loop_var))
+        init_fns = []
+        for local in locals_:
+            value = self.rng.randint(-10, 10)
+            text = str(value) if value >= 0 else "(0 - {})".format(-value)
+            lines.append("{}int {};".format(ind, local))
+            lines.append("{}{} = {};".format(ind, local, text))
+            init_fns.append(
+                lambda env, genv, out, n=local, v=value: env.update({n: v})
+            )
+        body_lines, body_fns = self._block(
+            ctx, ind, depth=1, count=self.rng.randint(1, 3)
+        )
+        if not pure:
+            # Bias: impure helpers mutate global state and may print.
+            extra_lines, extra_fns = self._stmt_print(ctx, ind)
+            body_lines += extra_lines
+            body_fns.append(extra_fns)
+        lines += body_lines
+        ret_text, ret_fn = self._expr(ctx)
+        lines.append("{}return {};".format(ind, ret_text))
+        lines.append("}")
+        return _Helper(
+            name, params, pure, init_fns + body_fns, ret_fn, lines
+        )
+
+    def generate(self):
+        rng = self.rng
+        # Globals: a couple of scalars with constant inits, one array.
+        global_scalars = []
+        global_lines = []
+        genv_init = {}
+        for i in range(rng.randint(1, 2)):
+            name = "g{}".format(i)
+            value = rng.randint(-20, 20)
+            # Global initializers must be integer constants; a negative
+            # one is written with unary minus, which sema folds.
+            global_lines.append("int {} = {};".format(name, value))
+            global_scalars.append((name, "g"))
+            genv_init[name] = value
+        global_arrays = []
+        if rng.random() < 0.8:
+            size = rng.randint(4, 8)
+            global_lines.append("int ga[{}];".format(size))
+            global_arrays.append(("ga", "g", size))
+            genv_init["ga"] = [0] * size
+
+        helpers = []
+        for i in range(rng.randint(0, 2)):
+            pure = rng.random() < 0.5
+            helpers.append(
+                self._gen_helper(
+                    i + 1, global_scalars, global_arrays, pure
+                )
+            )
+
+        # main locals.
+        num_scalars = rng.randint(3, 5)
+        local_scalars = [("x{}".format(i), "l") for i in range(num_scalars)]
+        local_arrays = []
+        if rng.random() < 0.7:
+            size = rng.randint(4, 8)
+            local_arrays.append(("la", "l", size))
+        pointers = ["p0"] if rng.random() < 0.85 else []
+        if pointers and rng.random() < 0.4:
+            pointers.append("p1")
+
+        ctx = _Ctx(
+            local_scalars + global_scalars,
+            local_arrays + global_arrays,
+            pointers,
+            helpers,
+            ["i0", "i1", "i2", "w0", "w1"],
+        )
+        ctx.allow_return = True
+
+        ind = "    "
+        main_lines = ["int main() {"]
+        env_init = {}
+        decls = []
+        for name, _ in local_scalars:
+            decls.append("int {}".format(name))
+        for name, _, size in local_arrays:
+            decls.append("int {}[{}]".format(name, size))
+        for name in pointers:
+            decls.append("int *{}".format(name))
+        for name in ctx.loop_pool:
+            decls.append("int {}".format(name))
+        for decl in decls:
+            main_lines.append("{}{};".format(ind, decl))
+        init_fns = []
+        for name, _ in local_scalars:
+            value = rng.randint(-10, 10)
+            text = str(value) if value >= 0 else "(0 - {})".format(-value)
+            main_lines.append("{}{} = {};".format(ind, name, text))
+            init_fns.append(
+                lambda env, genv, out, n=name, v=value: env.update({n: v})
+            )
+        for name, _, size in local_arrays:
+            env_init[name] = [0] * size
+        for name in pointers:
+            target_text, target_value = self._pointer_target(ctx)
+            main_lines.append(
+                "{}{} = {};".format(ind, name, target_text)
+            )
+            init_fns.append(
+                lambda env, genv, out, n=name, t=target_value: env.update(
+                    {n: t}
+                )
+            )
+
+        body_lines, body_fns = self._block(
+            ctx, ind, depth=0, count=rng.randint(5, 10)
+        )
+        main_lines += body_lines
+
+        # Deterministic final checksum over all visible state.
+        checksum_terms = [name for name, _ in local_scalars]
+        checksum_terms += [name for name, _ in global_scalars]
+        for name, _, size in local_arrays + global_arrays:
+            checksum_terms.append("{}[0]".format(name))
+            checksum_terms.append("{}[{}]".format(name, size - 1))
+        checksum = " + ".join(checksum_terms)
+        main_lines.append("{}print({});".format(ind, checksum))
+
+        def checksum_fn(env, genv, out, scalars=tuple(local_scalars),
+                        globals_=tuple(global_scalars),
+                        arrays=tuple(local_arrays + global_arrays)):
+            total = 0
+            for n, s in scalars + globals_:
+                total += _store(s, env, genv)[n]
+            for n, s, size in arrays:
+                values = _store(s, env, genv)[n]
+                total += values[0] + values[size - 1]
+            out.append(total)
+
+        ret_name, ret_scope = rng.choice(ctx.scalars)
+        main_lines.append("{}return {};".format(ind, ret_name))
+        main_lines.append("}")
+
+        def return_fn(env, genv, n=ret_name, s=ret_scope):
+            return _store(s, env, genv)[n]
+
+        source_lines = global_lines[:]
+        for helper in helpers:
+            source_lines += helper.lines
+        source_lines += main_lines
+        source = "\n".join(source_lines) + "\n"
+
+        # Run the model.
+        genv = {
+            key: (list(value) if isinstance(value, list) else value)
+            for key, value in genv_init.items()
+        }
+        env = {
+            key: (list(value) if isinstance(value, list) else value)
+            for key, value in env_init.items()
+        }
+        out = []
+        try:
+            for fn in init_fns + body_fns:
+                fn(env, genv, out)
+            checksum_fn(env, genv, out)
+            expected_return = return_fn(env, genv)
+        except _Return as ret:
+            expected_return = ret.value
+        return GeneratedProgram(
+            seed=self.seed,
+            source=source,
+            expected_output=tuple(out),
+            expected_return=expected_return,
+        )
+
+
+def generate_program(seed, max_attempts=MAX_ATTEMPTS):
+    """Generate one total, oracle-paired MiniC program for ``seed``.
+
+    Deterministic: the same seed always yields the same program.  When
+    a candidate overflows :data:`VALUE_LIMIT` in the model, a derived
+    seed is tried (still a pure function of ``seed``).
+    """
+    for attempt in range(max_attempts):
+        try:
+            return _Generator(seed * 1000003 + attempt).generate()
+        except _Overflow:
+            continue
+    raise RuntimeError(
+        "could not generate a bounded program for seed {} after {} "
+        "attempts".format(seed, max_attempts)
+    )

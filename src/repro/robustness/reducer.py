@@ -1,0 +1,103 @@
+"""Delta-debugging reduction of failing MiniC programs.
+
+Classic ddmin [Zeller & Hildebrandt 2002] over source *lines*: remove
+ever-smaller complements of the line set while a caller-supplied
+predicate keeps reporting "still fails the same way".  Most candidate
+subsets do not even parse; the predicate simply returns ``False`` for
+those and ddmin routes around them.  The reducer never interprets the
+program itself, so it works for compile-stage crashes, VM divergences
+and differential mismatches alike.
+"""
+
+
+def _brace_spans(lines):
+    """(open_line, close_line) index pairs for every ``{ ... }`` block."""
+    spans = []
+    stack = []
+    for index, line in enumerate(lines):
+        for _ in range(line.count("{")):
+            stack.append(index)
+        for _ in range(line.count("}")):
+            if stack:
+                spans.append((stack.pop(), index))
+    return spans
+
+
+def reduce_source(source, predicate, max_evals=1500):
+    """Shrink ``source`` while ``predicate(candidate)`` stays true.
+
+    ``predicate`` takes a candidate source string and returns whether
+    it still reproduces the original failure (same error signature —
+    deciding that is the caller's business).  ``max_evals`` caps the
+    number of predicate evaluations; when the budget runs out the best
+    reduction found so far is returned.  If the predicate does not
+    even hold for ``source`` itself the input is returned unchanged —
+    an unreproducible failure must not be "reduced" to noise.
+    """
+    lines = [line for line in source.splitlines()]
+    budget = [max_evals]
+    cache = {}
+
+    def still_fails(candidate_lines):
+        key = tuple(candidate_lines)
+        if key in cache:
+            return cache[key]
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        result = bool(predicate("\n".join(candidate_lines) + "\n"))
+        cache[key] = result
+        return result
+
+    if not still_fails(lines):
+        return source
+
+    chunks = 2
+    while len(lines) >= 2:
+        subset_len = max(1, len(lines) // chunks)
+        reduced = False
+        for i in range(chunks):
+            low = i * subset_len
+            high = len(lines) if i == chunks - 1 else low + subset_len
+            complement = lines[:low] + lines[high:]
+            if complement and still_fails(complement):
+                lines = complement
+                chunks = max(chunks - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunks >= len(lines):
+                break
+            chunks = min(chunks * 2, len(lines))
+        if budget[0] <= 0:
+            break
+
+    # ddmin works on contiguous chunks, so it stalls on brace-matched
+    # blocks (a ``for (...) {`` header cannot go without its ``}``).
+    # Finish with structure-aware passes to a fixpoint: drop whole
+    # ``{...}`` blocks, unwrap block bodies, then single lines.
+    changed = True
+    while changed and budget[0] > 0 and len(lines) > 1:
+        changed = False
+        for start, end in sorted(
+            _brace_spans(lines), key=lambda span: span[0] - span[1]
+        ):
+            without_block = lines[:start] + lines[end + 1 :]
+            if without_block and still_fails(without_block):
+                lines = without_block
+                changed = True
+                break
+            unwrapped = lines[:start] + lines[start + 1 : end] + lines[end + 1 :]
+            if unwrapped and still_fails(unwrapped):
+                lines = unwrapped
+                changed = True
+                break
+        if changed:
+            continue
+        for index in range(len(lines) - 1, -1, -1):
+            candidate = lines[:index] + lines[index + 1 :]
+            if candidate and still_fails(candidate):
+                lines = candidate
+                changed = True
+
+    return "\n".join(lines) + "\n"

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from enum import Enum, unique
 
 from repro.analysis.alias import analyze_aliases
+from repro.errors import pipeline_stage
 from repro.ir.builder import build_module
 from repro.ir.cfg import build_cfg
 from repro.ir.instructions import MACHINE
@@ -120,41 +121,49 @@ def compile_source(source, options=None, filename="<minic>"):
     """Compile MiniC ``source`` under ``options``; see module docstring."""
     options = (options or CompilationOptions()).normalized()
 
-    analyzed = analyze(parse_program(source, filename))
-    module = build_module(analyzed, options.machine)
-    for function in module.functions.values():
-        build_cfg(function)
-    verify_module(module)
-
-    alias_analysis = analyze_aliases(module, options.refine_points_to)
-    if options.merge_true_aliases:
-        from repro.analysis.deref_merge import merge_true_aliases
-
-        merge_true_aliases(module, alias_analysis)
-    if options.cache_globals_in_blocks:
-        from repro.regalloc.blockopt import cache_globals_module
-
-        cache_globals_module(module, alias_analysis)
+    with pipeline_stage("frontend"):
+        analyzed = analyze(parse_program(source, filename))
+    with pipeline_stage("lower"):
+        module = build_module(analyzed, options.machine)
         for function in module.functions.values():
             build_cfg(function)
-    allocation_stats = allocate_module(
-        module,
-        alias_analysis,
-        options.machine,
-        promotion=options.promotion,
-        budget=options.promotion_budget,
-    )
-    classify_references(module, alias_analysis)
-    if options.scheme is Scheme.UNIFIED:
-        annotate_unified(
+        verify_module(module)
+
+    with pipeline_stage("alias"):
+        alias_analysis = analyze_aliases(module, options.refine_points_to)
+        if options.merge_true_aliases:
+            from repro.analysis.deref_merge import merge_true_aliases
+
+            merge_true_aliases(module, alias_analysis)
+    if options.cache_globals_in_blocks:
+        with pipeline_stage("blockopt"):
+            from repro.regalloc.blockopt import cache_globals_module
+
+            cache_globals_module(module, alias_analysis)
+            for function in module.functions.values():
+                build_cfg(function)
+    with pipeline_stage("regalloc"):
+        allocation_stats = allocate_module(
             module,
             alias_analysis,
-            kill_bits=options.kill_bits,
-            spill_to_cache=options.spill_to_cache,
-            bypass_user_refs=options.bypass_user_refs,
+            options.machine,
+            promotion=options.promotion,
+            budget=options.promotion_budget,
         )
-    else:
-        annotate_conventional(module)
-    verify_annotations(module)
-    verify_module(module, allocated=True, machine=options.machine)
+    with pipeline_stage("classify"):
+        classify_references(module, alias_analysis)
+    with pipeline_stage("annotate"):
+        if options.scheme is Scheme.UNIFIED:
+            annotate_unified(
+                module,
+                alias_analysis,
+                kill_bits=options.kill_bits,
+                spill_to_cache=options.spill_to_cache,
+                bypass_user_refs=options.bypass_user_refs,
+            )
+        else:
+            annotate_conventional(module)
+    with pipeline_stage("verify"):
+        verify_annotations(module)
+        verify_module(module, allocated=True, machine=options.machine)
     return CompiledProgram(module, alias_analysis, allocation_stats, options)

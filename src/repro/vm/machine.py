@@ -9,7 +9,7 @@ reference stream with the paper's bypass/kill annotations attached.
 
 from dataclasses import dataclass, field
 
-from repro.lang.errors import VMError
+from repro.lang.errors import ResourceExhausted, VMError
 from repro.ir.function import GLOBAL_BASE
 from repro.ir.instructions import (
     MACHINE,
@@ -37,7 +37,21 @@ DEFAULT_STACK_BASE = 1 << 22
 TEXT_BASE = 1 << 23
 
 #: Default execution budget; generous enough for paper-scale workloads.
+#: Read at Machine construction time, so tools (the CLIs' --max-steps
+#: flag, the fuzz driver) can tighten it process-wide via
+#: :func:`set_default_max_steps`.
 DEFAULT_MAX_STEPS = 2_000_000_000
+
+#: Maximum call-stack depth before the VM refuses to recurse further.
+MAX_CALL_DEPTH = 100_000
+
+
+def set_default_max_steps(max_steps):
+    """Set the process-wide default VM fuel budget (None keeps it)."""
+    global DEFAULT_MAX_STEPS
+    if max_steps is not None:
+        DEFAULT_MAX_STEPS = max_steps
+    return DEFAULT_MAX_STEPS
 
 
 def _c_div(a, b):
@@ -87,14 +101,14 @@ class Machine:
         memory=None,
         machine=MACHINE,
         stack_base=DEFAULT_STACK_BASE,
-        max_steps=DEFAULT_MAX_STEPS,
+        max_steps=None,
         instruction_sink=None,
     ):
         self.module = module
         self.memory = memory if memory is not None else FlatMemory()
         self.machine = machine
         self.stack_base = stack_base
-        self.max_steps = max_steps
+        self.max_steps = max_steps if max_steps is not None else DEFAULT_MAX_STEPS
         #: Optional callable(address) invoked for every instruction
         #: fetch; used to build combined I+D traces.
         self.instruction_sink = instruction_sink
@@ -184,7 +198,7 @@ class Machine:
             steps += 1
             if steps > budget:
                 self.steps = steps
-                raise VMError(
+                raise ResourceExhausted(
                     "execution exceeded {} steps (infinite loop?)".format(budget)
                 )
             cls = instruction.__class__
@@ -265,8 +279,10 @@ class Machine:
                         "call to unknown function {}".format(instruction.callee)
                     )
                 call_stack.append((function, offsets, block, index, fp))
-                if len(call_stack) > 100_000:
-                    raise VMError("call stack overflow (recursion too deep)")
+                if len(call_stack) > MAX_CALL_DEPTH:
+                    raise ResourceExhausted(
+                        "call stack overflow (recursion too deep)"
+                    )
                 fp = fp - callee.frame.size
                 if fp < self._global_top:
                     raise VMError(

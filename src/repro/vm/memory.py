@@ -34,11 +34,22 @@ class FlatMemory(MemorySystem):
 
 
 class RecordingMemory(MemorySystem):
-    """Flat memory that records every reference into a TraceBuffer."""
+    """Flat memory that records every reference into a TraceBuffer.
 
-    def __init__(self, flat=None, buffer=None):
+    ``max_events`` bounds the freshly created buffer (ignored when an
+    explicit ``buffer`` is supplied); see
+    :data:`repro.vm.trace.DEFAULT_MAX_EVENTS`.
+    """
+
+    def __init__(self, flat=None, buffer=None, max_events=None):
         self.flat = flat if flat is not None else FlatMemory()
-        self.buffer = buffer if buffer is not None else TraceBuffer()
+        if buffer is None:
+            buffer = (
+                TraceBuffer(max_events=max_events)
+                if max_events is not None
+                else TraceBuffer()
+            )
+        self.buffer = buffer
 
     def read(self, address, ref):
         self.buffer.append(address, encode_flags(ref, False))

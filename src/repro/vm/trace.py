@@ -10,6 +10,15 @@ from array import array
 from dataclasses import dataclass
 
 from repro.ir.instructions import RefClass, RefOrigin
+from repro.lang.errors import ResourceExhausted
+
+#: Default cap on buffered trace events.  Each event costs nine bytes
+#: (an int64 address plus a flag byte), so the default bounds one
+#: buffer at roughly 1.8 GB — far above any shipped workload
+#: (paper-scale runs stay in the tens of millions) but low enough to
+#: fail with a clean :class:`ResourceExhausted` instead of an OOM kill
+#: when a runaway program floods the recorder.
+DEFAULT_MAX_EVENTS = 200_000_000
 
 FLAG_WRITE = 0x01
 FLAG_BYPASS = 0x02
@@ -75,13 +84,23 @@ class TraceEvent:
 
 
 class TraceBuffer:
-    """Parallel-array storage for a data-reference trace."""
+    """Parallel-array storage for a data-reference trace.
 
-    def __init__(self):
+    ``max_events`` caps the buffer's growth; exceeding it raises
+    :class:`ResourceExhausted` (``None`` disables the cap entirely).
+    """
+
+    def __init__(self, max_events=DEFAULT_MAX_EVENTS):
         self.addresses = array("q")
         self.flags = array("B")
+        self.max_events = max_events
 
     def append(self, address, flags):
+        if self.max_events is not None and len(self.addresses) >= self.max_events:
+            raise ResourceExhausted(
+                "trace buffer exceeded {} events "
+                "(runaway reference stream?)".format(self.max_events)
+            )
         self.addresses.append(address)
         self.flags.append(flags)
 

@@ -1,0 +1,127 @@
+"""Malformed MiniC must fail with *structured* frontend errors.
+
+Every rejection travels as a :class:`CompileError` subclass carrying a
+source location — never a ``KeyError``/``AttributeError``/``IndexError``
+leaking out of the lexer, parser or type checker.  The fuzz driver and
+any tool embedding the compiler rely on this contract to classify
+failures.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lang.errors import (
+    CompileError,
+    LexError,
+    ParseError,
+    SemanticError,
+)
+from repro.unified.pipeline import compile_source
+
+LEX_CASES = [
+    "int main() { int x; x = 1 @ 2; return x; }",
+    "int main() { return $; }",
+    'int main() { return "unsupported"; }',
+]
+
+PARSE_CASES = [
+    "int main() { int ; return 0; }",
+    "int main() { return 0;",
+    "int main() { if return; }",
+    "int main() { int x x; return 0; }",
+    "int main() { int i; for (i = 0 i < 3; i = i + 1) { } return 0; }",
+    "int x = ; int main() { return 0; }",
+]
+
+SEMA_CASES = [
+    # Undeclared name.
+    "int main() { x = 1; return 0; }",
+    # Deref of a non-pointer.
+    "int main() { int x; x = 0; *x = 1; return 0; }",
+    # Indexing a scalar.
+    "int main() { int x; x = 0; x[0] = 1; return 0; }",
+    # Calling an undefined function.
+    "int main() { return missing(1); }",
+    # Wrong arity.
+    "int f(int a) { return a; } int main() { return f(1, 2); }",
+    # Duplicate local declaration.
+    "int main() { int x; int x; return 0; }",
+    # Global initializer that is not a constant.
+    "int g; int h = g; int main() { return h; }",
+    # Assigning to an array name.
+    "int main() { int a[4]; int *p; p = &a[0]; a = p; return 0; }",
+]
+
+
+def _assert_structured(excinfo, expected_type):
+    error = excinfo.value
+    assert isinstance(error, expected_type)
+    assert isinstance(error, CompileError)
+    assert isinstance(error, ReproError)
+    assert error.stage in ("lex", "parse", "sema")
+    location = getattr(error, "location", None)
+    assert location is not None
+    assert location.line >= 1
+    assert location.column >= 1
+    # The rendered message leads with file:line:column.
+    assert str(location) in str(error)
+
+
+class TestLexErrors:
+    @pytest.mark.parametrize("source", LEX_CASES)
+    def test_structured(self, source):
+        with pytest.raises(LexError) as excinfo:
+            compile_source(source)
+        _assert_structured(excinfo, LexError)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("source", PARSE_CASES)
+    def test_structured(self, source):
+        with pytest.raises(ParseError) as excinfo:
+            compile_source(source)
+        _assert_structured(excinfo, ParseError)
+
+
+class TestSemaErrors:
+    @pytest.mark.parametrize("source", SEMA_CASES)
+    def test_structured(self, source):
+        with pytest.raises(SemanticError) as excinfo:
+            compile_source(source)
+        _assert_structured(excinfo, SemanticError)
+
+
+class TestNoRawExceptions:
+    """The union of all malformed inputs never leaks a raw exception."""
+
+    @pytest.mark.parametrize(
+        "source", LEX_CASES + PARSE_CASES + SEMA_CASES
+    )
+    def test_only_repro_errors(self, source):
+        with pytest.raises(ReproError):
+            compile_source(source)
+
+    def test_cli_prints_one_clean_line(self, tmp_path, capsys):
+        from repro.evalharness.cli import main_run
+
+        bad = tmp_path / "bad.mc"
+        bad.write_text("int main() { x = 1; return 0; }")
+        assert main_run([str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error [sema]:")
+        assert "Traceback" not in captured.err
+
+    def test_truncated_everywhere(self):
+        """Chopping a valid program at every byte still fails cleanly."""
+        source = (
+            "int g = 3;\n"
+            "int f(int n) { return n * g; }\n"
+            "int main() { int x; x = f(2); print(x); return x; }\n"
+        )
+        compile_source(source)  # sanity: the full program is valid
+        for cut in range(1, len(source)):
+            try:
+                compile_source(source[:cut])
+            except ReproError:
+                pass  # structured: good
+            # Any other exception type propagates and fails the test.

@@ -1,6 +1,9 @@
 """Smoke tests for the one-command reproduction report."""
 
-from repro.evalharness.fullreport import build_report, main
+import pytest
+
+import repro.programs.registry as registry
+from repro.evalharness.fullreport import build_report, format_failures, main
 
 
 class TestReport:
@@ -21,3 +24,62 @@ class TestReport:
         assert main(["--fast"]) == 0
         out = capsys.readouterr().out
         assert "Reproduction report" in out
+
+    def test_cli_accepts_seed_and_max_steps(self, capsys):
+        assert main(["--fast", "--seed", "7", "--max-steps",
+                     "100000000"]) == 0
+        assert "Reproduction report" in capsys.readouterr().out
+
+
+@pytest.fixture
+def broken_towers(monkeypatch):
+    def broken(paper_scale=False):
+        raise KeyError("synthetic benchmark corruption")
+
+    monkeypatch.setitem(registry._FACTORIES, "towers", broken)
+
+
+class TestGracefulDegradation:
+    OTHER_FIVE = ("bubble", "intmm", "puzzle", "queen", "sieve")
+
+    def test_broken_benchmark_degrades_not_aborts(self, broken_towers):
+        failures = []
+        report = build_report(fast=True, failures=failures)
+        for name in self.OTHER_FIVE:
+            assert name in report
+        assert failures
+        sections = {record["section"] for record in failures}
+        assert "figure5" in sections
+        assert "kill-bits" in sections  # that section is towers-only
+        assert all(
+            record["error_type"] == "KeyError" for record in failures
+        )
+
+    def test_without_failures_list_errors_propagate(self, broken_towers):
+        with pytest.raises(KeyError):
+            build_report(fast=True)
+
+    def test_cli_reports_and_exits_nonzero(self, broken_towers, capsys):
+        assert main(["--fast"]) == 1
+        captured = capsys.readouterr()
+        for name in self.OTHER_FIVE:
+            assert name in captured.out
+        assert "experiment(s) failed" in captured.err
+        assert "towers" in captured.err
+
+    def test_format_failures_lists_each_record(self):
+        text = format_failures(
+            [
+                {
+                    "section": "figure5",
+                    "item": "towers",
+                    "error_type": "KeyError",
+                    "stage": "unknown",
+                    "kind": None,
+                    "original_type": None,
+                    "message": "boom",
+                }
+            ]
+        )
+        assert "figure5/towers" in text
+        assert "KeyError" in text
