@@ -1,26 +1,50 @@
 """A generic iterative dataflow solver over basic blocks.
 
-Problems describe their direction and per-block transfer as gen/kill
-sets; the solver iterates a worklist to the (unique, because all our
-transfer functions are monotone over finite powersets) fixpoint.
+Two kinds of problems are supported:
+
+* **Gen/kill problems** describe their direction and per-block transfer
+  as gen/kill sets over finite powersets (liveness, reaching defs,
+  memory liveness).  Subclass :class:`DataflowProblem` and fill in the
+  four hooks.
+* **General lattice problems** (the abstract cache analysis in
+  :mod:`repro.staticcheck`) override :meth:`DataflowProblem.transfer`
+  directly with an arbitrary monotone function over an arbitrary
+  join-semilattice, and represent the bottom element (an unreached
+  block) as ``None``; :meth:`DataflowProblem.meet` must then skip
+  ``None`` inputs.
+
+The solver iterates a worklist to the (unique, because all transfer
+functions are required to be monotone over a finite-height lattice)
+fixpoint.  Iteration order is deterministic: blocks are processed in
+reverse-postorder for forward problems (postorder for backward ones),
+and re-queued blocks re-enter the worklist at their priority position
+rather than at the back.  Determinism makes both the results *and* the
+iteration counts reproducible across runs, so golden tests can pin
+them (see ``tests/test_dataflow.py``).
 """
 
-from collections import deque
+import heapq
 
 from repro.ir.cfg import postorder, reverse_postorder
 
 
 class DataflowProblem:
-    """Subclass and fill in the four hooks.
+    """Subclass and fill in the hooks.
 
     * ``direction`` — ``"forward"`` or ``"backward"``.
-    * ``boundary()`` — set at the entry (forward) / exits (backward).
+    * ``boundary()`` — value at the entry (forward) / exits (backward).
     * ``initial()`` — starting value for interior blocks (∅ for may
-      problems, the universe for must problems).
-    * ``gen_kill(block)`` — returns ``(gen, kill)`` frozensets.
+      problems, the universe for must problems, ``None`` for general
+      lattice problems that track reachability as bottom).
+    * ``gen_kill(block)`` — returns ``(gen, kill)`` frozensets; only
+      consulted by the default :meth:`transfer`.
+    * ``transfer(block, value)`` — override for non-gen/kill lattices.
     """
 
     direction = "forward"
+
+    def __init__(self):
+        self._gen_kill_cache = {}
 
     def boundary(self):
         return frozenset()
@@ -31,28 +55,65 @@ class DataflowProblem:
     def gen_kill(self, block):
         raise NotImplementedError
 
+    def transfer(self, block, value):
+        """Apply the block's transfer function to an input value.
+
+        The default implements the classic gen/kill form, memoizing
+        the per-block sets.  Lattice problems override this wholesale
+        (and then never need :meth:`gen_kill`).
+        """
+        cache = getattr(self, "_gen_kill_cache", None)
+        if cache is None:
+            cache = self._gen_kill_cache = {}
+        sets = cache.get(block.name)
+        if sets is None:
+            sets = cache[block.name] = self.gen_kill(block)
+        gen, kill = sets
+        return frozenset((value - kill) | gen)
+
     def meet(self, values):
-        """Union by default (may analysis).  Override for must problems."""
+        """Union by default (may analysis).  Override for must problems.
+
+        General lattice problems must treat ``None`` inputs as bottom
+        (skip them) and return ``None`` when every input is bottom.
+        """
         result = set()
         for value in values:
             result |= value
         return frozenset(result)
 
 
+class DataflowSolution(dict):
+    """``{block_name: (in_value, out_value)}`` plus solver telemetry.
+
+    ``iterations`` counts how many block transfers the worklist ran
+    before reaching the fixpoint; with the deterministic priority
+    worklist this number is reproducible run to run and is pinned by
+    golden tests.  ``order`` records the block names in the traversal
+    order the worklist was seeded with.
+    """
+
+    def __init__(self, mapping, iterations, order):
+        super().__init__(mapping)
+        self.iterations = iterations
+        self.order = tuple(order)
+
+
 def solve_dataflow(function, problem):
-    """Run ``problem`` on ``function``; returns ``{name: (in, out)}``."""
-    if problem.direction == "forward":
-        return _solve(function, problem, forward=True)
-    return _solve(function, problem, forward=False)
+    """Run ``problem`` on ``function``; returns a :class:`DataflowSolution`."""
+    return _solve(function, problem, forward=problem.direction == "forward")
 
 
 def _solve(function, problem, forward):
     blocks = function.block_list()
     order = reverse_postorder(function) if forward else postorder(function)
-    gen = {}
-    kill = {}
-    for block in blocks:
-        gen[block.name], kill[block.name] = problem.gen_kill(block)
+    # Blocks unreachable in the chosen direction (e.g. no path to an
+    # exit for a backward problem over an infinite loop) still need a
+    # slot in the result; append them after the ordered ones.
+    ordered_names = {block.name for block in order}
+    trailing = [block for block in blocks if block.name not in ordered_names]
+    order = order + trailing
+    priority = {block.name: index for index, block in enumerate(order)}
 
     entry_name = function.entry_name
     in_sets = {}
@@ -61,40 +122,53 @@ def _solve(function, problem, forward):
         in_sets[block.name] = problem.initial()
         out_sets[block.name] = problem.initial()
 
-    worklist = deque(order)
-    queued = {block.name for block in order}
-    while worklist:
-        block = worklist.popleft()
-        queued.discard(block.name)
+    # A deterministic priority worklist: pop the pending block with the
+    # smallest traversal index.  Seeded with every block in order.
+    heap = list(range(len(order)))
+    heapq.heapify(heap)
+    queued = set(heap)
+    by_index = {index: block for index, block in enumerate(order)}
+    iterations = 0
+
+    def push(block):
+        index = priority[block.name]
+        if index not in queued:
+            queued.add(index)
+            heapq.heappush(heap, index)
+
+    while heap:
+        index = heapq.heappop(heap)
+        queued.discard(index)
+        block = by_index[index]
+        iterations += 1
         if forward:
-            if block.name == entry_name:
-                preds_values = [problem.boundary()]
-            else:
-                preds_values = [out_sets[pred.name] for pred in block.preds]
-                if not preds_values:
-                    preds_values = [problem.boundary()]
+            preds_values = [out_sets[pred.name] for pred in block.preds]
+            if block.name == entry_name or not preds_values:
+                preds_values = preds_values + [problem.boundary()]
             new_in = problem.meet(preds_values)
-            new_out = frozenset((new_in - kill[block.name]) | gen[block.name])
+            new_out = problem.transfer(block, new_in)
             in_sets[block.name] = new_in
             if new_out != out_sets[block.name]:
                 out_sets[block.name] = new_out
                 for successor in block.succs:
-                    if successor.name not in queued:
-                        worklist.append(successor)
-                        queued.add(successor.name)
+                    push(successor)
         else:
             succs_values = [in_sets[succ.name] for succ in block.succs]
             if not succs_values:
                 succs_values = [problem.boundary()]
             new_out = problem.meet(succs_values)
-            new_in = frozenset((new_out - kill[block.name]) | gen[block.name])
+            new_in = problem.transfer(block, new_out)
             out_sets[block.name] = new_out
             if new_in != in_sets[block.name]:
                 in_sets[block.name] = new_in
                 for pred in block.preds:
-                    if pred.name not in queued:
-                        worklist.append(pred)
-                        queued.add(pred.name)
+                    push(pred)
 
-    return {block.name: (in_sets[block.name], out_sets[block.name])
-            for block in blocks}
+    return DataflowSolution(
+        {
+            block.name: (in_sets[block.name], out_sets[block.name])
+            for block in blocks
+        },
+        iterations=iterations,
+        order=[block.name for block in order],
+    )

@@ -62,9 +62,11 @@ class MemoryLiveness:
             and symbol.is_scalar()
             and symbol.address_taken
         )
-        exit_live = self._globals | self._escaped_locals
+        #: Locations that must be considered live at every return; also
+        #: consulted by the staticcheck linter's kill-path check.
+        self.exit_live = self._globals | self._escaped_locals
         solution = solve_dataflow(
-            function, _MemLivenessProblem(self._summaries, exit_live)
+            function, _MemLivenessProblem(self._summaries, self.exit_live)
         )
         self.live_in = {name: in_set for name, (in_set, _o) in solution.items()}
         self.live_out = {name: out for name, (_i, out) in solution.items()}
@@ -105,6 +107,12 @@ class MemoryLiveness:
             # Calls may also write them, but a may-def kills nothing.
             return uses, set()
         return set(), set()
+
+    def summaries(self, instruction):
+        """Public (uses, defs) view over scalar memory locations —
+        the per-instruction semantics external checkers (the
+        staticcheck linter's kill-path walk) must agree with."""
+        return self._summaries(instruction)
 
     # ------------------------------------------------------------------
 

@@ -112,6 +112,19 @@ class Cache:
             return self._access_bypass(lines, block, is_write, kill)
         return self._access_through(lines, block, is_write, kill)
 
+    def probe(self, address):
+        """Is the block holding ``address`` currently present?
+
+        A pure coherence probe: no stats, no recency update, no state
+        change.  Used by the static-analysis cross-validator to compare
+        predicted against actual presence before each reference (for
+        one-word lines presence is exactly the hit/miss outcome of a
+        through-cache access, and the probe outcome of a bypass one).
+        """
+        block = address // self.config.line_words
+        lines = self._sets[block % self.config.num_sets]
+        return self._find(lines, block) is not None
+
     # ------------------------------------------------------------------
 
     def _find(self, lines, block):

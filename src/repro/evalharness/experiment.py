@@ -38,10 +38,25 @@ class ExperimentResult:
     output: tuple
     steps: int
     trace: object = field(default=None, repr=False)
+    #: The static bypass ratio derived independently by the must/may
+    #: analysis (:mod:`repro.staticcheck`), or ``None`` when the cache
+    #: geometry is outside what the analysis models.  Cross-checks the
+    #: annotation pass's own :attr:`StaticReport.percent_bypassed`.
+    static_bypass_checked: object = None
 
     @property
     def static_percent_unambiguous(self):
         return self.static.percent_unambiguous
+
+    @property
+    def static_bypass_agrees(self):
+        """Do the annotation pass and the static analysis agree on the
+        bypass ratio?  ``None`` when the analysis could not run."""
+        if self.static_bypass_checked is None:
+            return None
+        return abs(
+            self.static_bypass_checked - self.static.percent_bypassed
+        ) < 0.05
 
     @property
     def dynamic_percent_unambiguous(self):
@@ -101,6 +116,19 @@ def run_compiled(
     )
     conventional_stats = replay_trace(trace, baseline_config)
 
+    # Independent derivation of the paper's static bypass claim: the
+    # must/may analysis re-counts the bypassed sites from the module
+    # it analyses, so a disagreement with the annotation pass's own
+    # StaticReport means one of the two mis-reads the annotations.
+    from repro.staticcheck import StaticCheckError
+    from repro.staticcheck.mustmay import analyze_module
+
+    try:
+        analysis = analyze_module(program.module, program.alias, cache_config)
+        static_bypass_checked = analysis.static_bypass_percent
+    except StaticCheckError:
+        static_bypass_checked = None  # geometry outside the model
+
     return ExperimentResult(
         name=name,
         options=program.options,
@@ -112,6 +140,7 @@ def run_compiled(
         output=tuple(result.output),
         steps=result.steps,
         trace=trace if keep_trace else None,
+        static_bypass_checked=static_bypass_checked,
     )
 
 

@@ -10,6 +10,7 @@ from repro.ir.instructions import (
     Load,
     PReg,
     RefClass,
+    RefFlavor,
     RegMem,
     Store,
     SymMem,
@@ -116,23 +117,58 @@ def verify_module(module, allocated=False, machine=None):
 def verify_annotations(module):
     """Check the unified-model discipline after the bypass pass ran.
 
-    Every reference must be classified and carry a flavor consistent
-    with its class (unambiguous => bypass unless it is a kill-probe).
+    Every reference must be classified and carry a flavor, and the
+    flavor/bypass/kill triple must be internally coherent:
+
+    * the ``UmAm_*`` flavors are exactly the bypassed references, the
+      ``Am_*`` flavors exactly the through-cache ones;
+    * loads carry load flavors and stores store flavors;
+    * a bypassed reference must be unambiguous (bypassing an
+      ambiguous word breaks coherence with its aliases);
+    * kill bits appear only on direct scalar loads — a store
+      creates a live value, an indirect reference has no stable
+      location to declare dead, and a bypassed *store* has no line to
+      kill.
+
+    A deeper semantic audit (is every kill really a last use?) lives
+    in :mod:`repro.staticcheck.linter`; this pass is the cheap
+    structural gate the pipeline runs on every compile.
     """
     for function in module.functions.values():
         for instruction in function.instructions():
             if not isinstance(instruction, (Load, Store)):
                 continue
             ref = instruction.ref
+
+            def bad(message):
+                return IRError(
+                    "{} {} in {}".format(message, ref.access_path,
+                                         function.name)
+                )
+
             if ref.ref_class is RefClass.UNKNOWN:
-                raise IRError(
-                    "unclassified reference {} in {}".format(
-                        ref.access_path, function.name
-                    )
-                )
+                raise bad("unclassified reference")
             if ref.flavor is None:
-                raise IRError(
-                    "reference {} in {} lacks a flavor".format(
-                        ref.access_path, function.name
+                raise bad("flavor missing on reference")
+            is_store = isinstance(instruction, Store)
+            expected = {
+                (False, False): RefFlavor.AM_LOAD,
+                (False, True): RefFlavor.AMSP_STORE,
+                (True, False): RefFlavor.UMAM_LOAD,
+                (True, True): RefFlavor.UMAM_STORE,
+            }[(bool(ref.bypass), is_store)]
+            if ref.flavor is not expected:
+                raise bad(
+                    "flavor {} inconsistent with bypass={} on {}".format(
+                        ref.flavor.value,
+                        ref.bypass,
+                        "store" if is_store else "load",
                     )
                 )
+            if ref.bypass and ref.ref_class is not RefClass.UNAMBIGUOUS:
+                raise bad("bypass on ambiguous reference")
+            if ref.kill:
+                if is_store:
+                    raise bad("kill bit on store")
+                if not isinstance(instruction.mem, SymMem):
+                    raise bad("kill bit on indirect load")

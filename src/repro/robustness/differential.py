@@ -21,9 +21,17 @@ asserts:
   statistics as the tag-only simulator replaying the recorded trace.
 * **MIN sanity** — Belady MIN on the same trace agrees with LRU on
   every policy-independent counter and never misses more than LRU.
+* **Static-analysis agreement** — the :mod:`repro.staticcheck`
+  must/may classifier is sound on this program: the annotation linter
+  reports no violations, and replaying representative configurations
+  under two cache geometries contradicts no *always-hit*/*always-miss*
+  claim.  Every fuzzed program thereby validates the static analysis.
 
 Violations raise :class:`DifferentialError` with a ``kind`` tag so the
-fuzz driver can bucket failures.
+fuzz driver can bucket failures; static-analysis failures raise
+:class:`repro.staticcheck.StaticCheckError` (stage ``staticcheck``)
+so reduced reproducers distinguish analysis unsoundness from pipeline
+bugs.
 """
 
 from repro.cache.belady import simulate_min
@@ -217,11 +225,67 @@ def check_source(
     _check_cache_models(
         by_name["unified/aggressive"], baseline, cache_words, associativity
     )
+    static_events = _check_static_analysis(
+        runs, by_name, cache_words, associativity
+    )
     return {
         "configs": len(runs),
         "trace_events": len(by_name["unified/aggressive"].trace),
         "steps": baseline.result.steps,
+        "static_checked_events": static_events,
     }
+
+
+#: Configurations whose programs get the static must/may treatment in
+#: every fuzz iteration: full memory traffic (none), the heaviest
+#: annotation mix (aggressive), the conventional baseline (exercises
+#: the must analysis), and the points-to-refined variant (exercises
+#: the refined classification the linter leans on).
+STATIC_CHECKED_CONFIGS = (
+    "unified/none",
+    "unified/aggressive",
+    "conventional/none",
+    "merged/aggressive",
+)
+
+
+def _check_static_analysis(runs, by_name, cache_words, associativity):
+    """Lint every configuration; cross-validate representative ones
+    under two geometries.  Raises ``StaticCheckError`` on failure."""
+    from repro.staticcheck import StaticCheckError, cross_validate, lint_module
+
+    for run in runs:
+        violations = lint_module(run.program.module, run.program.alias)
+        if violations:
+            raise StaticCheckError(
+                "lint",
+                "{}: {} annotation violation(s); first: {}".format(
+                    run.name, len(violations), violations[0]
+                ),
+            )
+
+    geometries = (
+        CacheConfig(
+            size_words=cache_words,
+            line_words=1,
+            associativity=associativity,
+            policy="lru",
+        ),
+        CacheConfig(size_words=256, line_words=1, associativity=4,
+                    policy="lru"),
+    )
+    checked = 0
+    for name in STATIC_CHECKED_CONFIGS:
+        run = by_name[name]
+        for geometry in geometries:
+            report = cross_validate(
+                run.program,
+                geometry,
+                max_steps=run.result.steps + 1,
+                raise_on_mismatch=True,
+            )
+            checked += report.events_classified
+    return checked
 
 
 def _check_cache_models(run, baseline, cache_words, associativity):

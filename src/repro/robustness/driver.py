@@ -36,6 +36,18 @@ class InjectedFailure(ReproError):
     stage = "injected"
 
 
+#: Pipeline stages that belong to the static-analysis layer rather
+#: than the compile→simulate pipeline proper.  Crash metadata carries
+#: the resulting family tag so a triager reading a reduced reproducer
+#: knows immediately whether the bug is analysis unsoundness (a wrong
+#: always-hit/always-miss claim, a lint defect) or a pipeline bug.
+STATIC_ANALYSIS_STAGES = frozenset({"staticcheck"})
+
+
+def _stage_family(stage):
+    return "static-analysis" if stage in STATIC_ANALYSIS_STAGES else "pipeline"
+
+
 def _check_one(source, expected_output, expected_return, max_steps, inject):
     if inject is not None and inject.search(source):
         # The reproducer must still be a real program, so reduction
@@ -125,6 +137,7 @@ def run_fuzz(
                 "index": index,
                 "error_type": signature[0],
                 "stage": signature[1],
+                "stage_family": _stage_family(signature[1]),
                 "kind": signature[2],
                 "original_type": signature[3],
                 "message": str(error),

@@ -1,0 +1,53 @@
+"""Compile-time correctness tooling for the unified model.
+
+Three layers (see ``docs/STATIC_ANALYSIS.md``):
+
+1. :mod:`repro.staticcheck.mustmay` — Ferdinand-style must/may
+   abstract cache analysis over the post-allocation CFG, extended with
+   the paper's bypass/kill semantics, classifying every static memory
+   reference as *always-hit*, *always-miss*, or *unknown*.
+2. :mod:`repro.staticcheck.linter` — the annotation soundness linter:
+   verifies the compiler's own bypass/kill output against the alias
+   and memory-liveness analyses.
+3. :mod:`repro.staticcheck.crossval` — dynamic cross-validation: runs
+   the VM against the real cache model and asserts every always-hit
+   reference actually hits and every always-miss reference misses.
+
+All failures raise :class:`StaticCheckError` (stage ``staticcheck``)
+so the fuzz driver and the evaluation harness can tell analysis
+unsoundness apart from pipeline bugs.
+"""
+
+from repro.errors import ReproError
+
+
+class StaticCheckError(ReproError):
+    """A static-analysis layer failed: lint violation or prediction
+    contradicted by the simulator.  ``kind`` buckets the failure for
+    the fuzz driver's crash-corpus metadata."""
+
+    stage = "staticcheck"
+
+    def __init__(self, kind, message):
+        self.kind = kind
+        super().__init__("[{}] {}".format(kind, message))
+
+
+from repro.staticcheck.mustmay import (  # noqa: E402
+    Classification,
+    ModuleCacheAnalysis,
+    analyze_program,
+)
+from repro.staticcheck.linter import LintViolation, lint_module, lint_program  # noqa: E402
+from repro.staticcheck.crossval import cross_validate  # noqa: E402
+
+__all__ = [
+    "Classification",
+    "LintViolation",
+    "ModuleCacheAnalysis",
+    "StaticCheckError",
+    "analyze_program",
+    "cross_validate",
+    "lint_module",
+    "lint_program",
+]

@@ -1,0 +1,301 @@
+"""The abstract cache domain: joined must/may states with unified
+bypass/kill transfer functions.
+
+One :class:`CacheState` abstracts the set of concrete cache contents
+reachable at a program point:
+
+* **must** — ``{word_location: age_bound}``.  A location in the map is
+  guaranteed present in every concrete cache, with LRU age at most the
+  bound (0 = most recent; bounds run up to associativity − 1).  This is
+  Ferdinand's must analysis, so membership proves *always-hit*.  Only
+  single-word locations appear — an array summary cannot be "the"
+  resident block.  Must information is only sound for true-LRU
+  replacement; the analysis disables it for FIFO/Random.
+* **may** — a set of locations that over-approximates every block
+  possibly present, plus a ``may_top`` escape hatch.  Absence proves
+  *always-miss*.  Unlike the classic may analysis we never age
+  anything out: a block leaves the may set only on a *deterministic*
+  invalidation (a strongly resolved bypass or kill reference — the
+  cache semantics guarantee the block is gone afterwards, whatever
+  the replacement policy).  Keeping evicted blocks is a sound
+  over-approximation, and it makes the may half policy-independent.
+
+Bottom (an unreached point) is represented as ``None`` throughout, as
+:mod:`repro.analysis.dataflow` expects for general lattice problems.
+
+The transfer functions mirror ``repro/cache/cache.py`` exactly (for
+``line_words == 1``, write-allocate, ``kill_mode="invalidate"``):
+
+========================  =============================================
+reference                 concrete effect              abstract effect
+========================  =============================================
+through, no kill          install/refresh, age 0;      must: target→0,
+                          LRU-age conflicting blocks   Ferdinand aging;
+                                                       may: add target
+through, kill             line invalidated (hit) or    must/may: remove
+                          served uninstalled (miss);   target; others
+                          nobody else ages             unchanged
+bypass (any)              block absent afterwards      must/may: remove
+                          (taken or invalidated);      target; others
+                          nobody else ages             unchanged
+call                      callee runs arbitrary code   must: emptied;
+                                                       may: add callee's
+                                                       install summary
+========================  =============================================
+
+Weakly resolved references (several candidate locations) apply the
+*join over candidates*: conservative aging for must, weak update for
+may, and invalidations remove candidates from must but cannot remove
+anything from may.
+"""
+
+from repro.staticcheck.locations import (
+    AMBIG,
+    STACK,
+    is_ambiguous_reachable,
+    is_word,
+    loc_of_array,
+    loc_of_symbol,
+    may_conflict,
+)
+
+
+class CacheState:
+    """One abstract cache state (see module docstring)."""
+
+    __slots__ = ("must", "may", "may_top")
+
+    def __init__(self, must, may, may_top=False):
+        self.must = must  # {loc: age_bound}
+        self.may = may  # frozenset[loc]
+        self.may_top = may_top
+
+    @staticmethod
+    def cold():
+        """Empty cache: nothing guaranteed, nothing possible."""
+        return CacheState({}, frozenset(), False)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CacheState)
+            and self.must == other.must
+            and self.may == other.may
+            and self.may_top == other.may_top
+        )
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __repr__(self):
+        return "CacheState(must={}, may={}{})".format(
+            self.must, sorted(self.may), ", TOP" if self.may_top else ""
+        )
+
+
+def join(values):
+    """Join abstract states; ``None`` inputs are bottom and skipped.
+
+    Must: keep locations present in *every* input, at the *worst*
+    (largest) age bound.  May: union.
+    """
+    states = [value for value in values if value is not None]
+    if not states:
+        return None
+    must = dict(states[0].must)
+    for state in states[1:]:
+        merged = {}
+        for loc, age in must.items():
+            other = state.must.get(loc)
+            if other is not None:
+                merged[loc] = max(age, other)
+        must = merged
+    may = frozenset().union(*[state.may for state in states])
+    may_top = any(state.may_top for state in states)
+    return CacheState(must, may, may_top)
+
+
+def _purge_must(must, candidates):
+    """Drop must entries a (kill/bypass) access to ``candidates`` may
+    have invalidated.  An ambiguous target may invalidate any
+    pointer-reachable word."""
+    if AMBIG in candidates:
+        return {
+            loc: age
+            for loc, age in must.items()
+            if loc not in candidates and not is_ambiguous_reachable(loc)
+        }
+    return {loc: age for loc, age in must.items() if loc not in candidates}
+
+
+def _age_must(state, candidates, strong, config):
+    """Ferdinand aging for one install-capable access.  ``h`` is the
+    accessed block's previous age bound (associativity when it may be
+    absent): blocks that may conflict and are younger than h age by
+    one; bounds reaching associativity fall out."""
+    assoc = config.associativity
+    num_sets = config.num_sets
+    if strong is not None:
+        h = state.must.get(strong, assoc)
+    else:
+        h = assoc
+    must = {}
+    for loc, age in state.must.items():
+        if strong is not None and loc == strong:
+            continue
+        if age < h and any(
+            may_conflict(loc, c, num_sets) for c in candidates
+        ):
+            age += 1
+        if age < assoc:
+            must[loc] = age
+    return must
+
+
+def access_through(state, candidates, strong, is_write, kill, config,
+                   must_enabled):
+    """Transfer for a through-cache Load/Store.
+
+    ``candidates`` are the possible target locations; ``strong`` is
+    the single stable word location if the reference has one.
+    """
+    if kill:
+        # Invalidate semantics: the referenced block is absent after
+        # the access.  A kill-*load* moves nobody else (a miss is
+        # served via the bypass path without installing; a hit is
+        # invalidated in place).  A kill-*store* that misses still
+        # allocates before invalidating, so it can evict a victim —
+        # age the must half as an install first.
+        if is_write and must_enabled:
+            must = _age_must(state, candidates, strong, config)
+        else:
+            must = dict(state.must)
+        must = _purge_must(must, candidates)
+        if strong is not None:
+            may = state.may - {strong}
+        else:
+            may = state.may  # weak invalidation removes nothing
+        return CacheState(must, may, state.may_top)
+
+    must = {}
+    if must_enabled:
+        must = _age_must(state, candidates, strong, config)
+        if strong is not None:
+            must[strong] = 0
+
+    # May half: the accessed block is now present; nothing leaves.
+    may = state.may | frozenset(candidates)
+    return CacheState(must, may, state.may_top)
+
+
+def access_bypass(state, candidates, strong):
+    """Transfer for a bypassed (``UmAm_*``) Load/Store.
+
+    The bypass path never installs and always leaves the referenced
+    block absent (a write invalidates any stale copy; a read takes
+    the cached copy out).  Nobody else moves.
+    """
+    must = _purge_must(state.must, candidates)
+    if strong is not None:
+        may = state.may - {strong}
+    else:
+        may = state.may
+    return CacheState(must, may, state.may_top)
+
+
+def apply_call(state, summary):
+    """Transfer for a Call: havoc must, fold in the callee's installs."""
+    may = state.may | summary.installs
+    may_top = state.may_top or summary.top
+    if summary.ambig:
+        may = may | {AMBIG}
+    if summary.stack:
+        may = may | {STACK}
+    return CacheState({}, may, may_top)
+
+
+def translate_entry(state, callee):
+    """A caller-side state at a callsite, seen from the callee.
+
+    * must: only global words survive (frame identities shift).
+    * may: globals survive; the caller's live frame blocks are only
+      reachable ambiguously (if at all) → fold into ``AMBIG``; dead
+      deeper frames (``STACK``) overlap the callee's brand-new frame,
+      so they expand into the callee's own frame locations (and stay
+      ``STACK`` for the frames deeper still).
+    """
+    must = {loc: age for loc, age in state.must.items() if loc[0] == "g"}
+    may = set()
+    for loc in state.may:
+        tag = loc[0]
+        if tag in ("g", "ga"):
+            may.add(loc)
+        elif tag in ("f", "fa"):
+            if loc[-1]:  # address-taken / escaping: pointer-reachable
+                may.add(AMBIG)
+            # else: invisible to the callee — drop.
+        elif loc == AMBIG:
+            may.add(AMBIG)
+        elif loc == STACK:
+            may.add(STACK)
+            for symbol, _offset in callee.frame.items():
+                if symbol.is_array():
+                    may.add(loc_of_array(symbol, callee))
+                else:
+                    may.add(loc_of_symbol(symbol, callee))
+    return CacheState(must, frozenset(may), state.may_top)
+
+
+def may_possible(state, loc):
+    """May ``loc`` be present in some concrete cache at this state?"""
+    if state.may_top:
+        return True
+    if loc in state.may:
+        return True
+    if loc == AMBIG:
+        # An ambiguous reference may touch any pointer-reachable word.
+        return any(is_ambiguous_reachable(entry) for entry in state.may)
+    if AMBIG in state.may and is_ambiguous_reachable(loc):
+        return True
+    # STACK never overlaps the current frame or the globals (dead
+    # frames sit strictly below the live frame pointer), so it only
+    # matters for AMBIG above.
+    return False
+
+
+class CallSummary:
+    """What a call may leave installed in the cache (transitively).
+
+    ``installs``: global locations the callee chain installs through
+    the cache.  ``ambig``: some ambiguous install may have happened.
+    ``stack``: some now-dead frame block may remain.  ``top``: the
+    chain reached an unknown callee — anything may be present.
+    """
+
+    __slots__ = ("installs", "ambig", "stack", "top")
+
+    def __init__(self, installs=frozenset(), ambig=False, stack=False,
+                 top=False):
+        self.installs = installs
+        self.ambig = ambig
+        self.stack = stack
+        self.top = top
+
+    def merge(self, other):
+        return CallSummary(
+            self.installs | other.installs,
+            self.ambig or other.ambig,
+            self.stack or other.stack,
+            self.top or other.top,
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CallSummary)
+            and self.installs == other.installs
+            and self.ambig == other.ambig
+            and self.stack == other.stack
+            and self.top == other.top
+        )
+
+    def __ne__(self, other):
+        return not self.__eq__(other)

@@ -1,0 +1,257 @@
+"""The ``repro-analyze`` command: classify, lint, cross-validate.
+
+Three modes over one compiled program (a MiniC file, ``--seed N`` for
+a fuzz-generated program, or ``--benchmark NAME``):
+
+* default — the per-reference classification table: every static
+  memory reference with its flavor, resolved target, and
+  always-hit / always-miss / unknown verdict, plus the summary block
+  (classification counts, static bypass ratio).
+* ``--validate`` — additionally execute the program under a
+  validating memory and report dynamic precision (% of dynamic
+  references whose site carries a definite verdict) and any
+  static/dynamic mismatches.
+* ``--check`` — CI mode over benchmarks (all six by default): the
+  soundness linter must report zero violations and the cross-validator
+  zero mismatches on every requested cache geometry; prints the
+  per-benchmark precision table and exits non-zero on any failure.
+
+Geometries are given as ``SIZE:ASSOC[:POLICY]`` (e.g. ``256:4`` or
+``64:2:lru``); ``--geometry`` may be repeated.
+"""
+
+import argparse
+import sys
+
+from repro.cache.cache import CacheConfig
+from repro.evalharness.cli import (
+    _add_compile_args,
+    _compile_options,
+    _read_source,
+    _structured_errors,
+)
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.staticcheck.crossval import cross_validate
+from repro.staticcheck.linter import lint_module
+from repro.staticcheck.locations import describe_loc
+from repro.staticcheck.mustmay import Classification, analyze_program
+from repro.unified.pipeline import CompilationOptions, compile_source
+
+#: The geometries ``--check`` exercises when none are given: the
+#: paper-scale default cache and a small high-conflict one.
+DEFAULT_CHECK_GEOMETRIES = ("256:4", "64:2")
+
+
+def _parse_geometry(text):
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            "geometry must be SIZE:ASSOC[:POLICY], got {!r}".format(text)
+        )
+    size, assoc = int(parts[0]), int(parts[1])
+    policy = parts[2] if len(parts) == 3 else "lru"
+    return CacheConfig(
+        size_words=size, line_words=1, associativity=assoc, policy=policy
+    )
+
+
+def _geometries(args):
+    if args.geometry:
+        return list(args.geometry)
+    return [_parse_geometry(text) for text in DEFAULT_CHECK_GEOMETRIES]
+
+
+def _describe_target(target):
+    if target.strong is not None:
+        return describe_loc(target.strong)
+    return " | ".join(describe_loc(loc) for loc in target.weak) or "?"
+
+
+def _print_site_table(analysis, out):
+    header = "{:26s} {:22s} {:11s} {:6s} {:4s} {}".format(
+        "site", "access", "flavor", "bypass", "kill", "verdict"
+    )
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for site in analysis.sites:
+        flavor = site.ref.flavor.value if site.ref.flavor else "-"
+        out.write(
+            "{:26s} {:22s} {:11s} {:6s} {:4s} {}   [{}]\n".format(
+                site.where(),
+                site.ref.access_path,
+                flavor,
+                "yes" if site.bypass else "no",
+                "yes" if site.kill else "no",
+                site.classification.value,
+                _describe_target(site.target),
+            )
+        )
+
+
+def _print_summary(analysis, out):
+    counts = analysis.counts()
+    out.write("\n")
+    out.write("{:28s} {}\n".format("memory reference sites", len(analysis.sites)))
+    for classification in Classification:
+        out.write(
+            "{:28s} {}\n".format(
+                classification.value, counts[classification.value]
+            )
+        )
+    out.write(
+        "{:28s} {:.1f}%\n".format(
+            "statically classified", analysis.static_classified_percent
+        )
+    )
+    out.write(
+        "{:28s} {:.1f}%\n".format(
+            "static bypass ratio", analysis.static_bypass_percent
+        )
+    )
+
+
+@_structured_errors
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=(
+            "Static must/may cache analysis with bypass/kill semantics: "
+            "classification table, annotation soundness lint, and "
+            "dynamic cross-validation against the cache simulator."
+        ),
+    )
+    parser.add_argument("file", nargs="?", default=None,
+                        help="MiniC source file ('-' for stdin)")
+    parser.add_argument("--benchmark", choices=list(BENCHMARK_NAMES),
+                        default=None,
+                        help="analyze one Stanford benchmark")
+    parser.add_argument(
+        "--geometry", action="append", type=_parse_geometry, default=None,
+        metavar="SIZE:ASSOC[:POLICY]",
+        help="cache geometry (repeatable; default {})".format(
+            " and ".join(DEFAULT_CHECK_GEOMETRIES)),
+    )
+    parser.add_argument("--validate", action="store_true",
+                        help="also execute and cross-validate the claims")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: lint + cross-validate benchmarks, "
+                             "print the precision table, exit non-zero on "
+                             "any violation or mismatch")
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="VM fuel budget for --validate/--check runs")
+    _add_compile_args(parser)
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return _run_check(args)
+
+    if args.benchmark is not None:
+        if args.file is not None or args.seed is not None:
+            parser.error("--benchmark excludes a file and --seed")
+        source = get_benchmark(args.benchmark).source
+    else:
+        source = _read_source(args, parser)
+    program = compile_source(source, _compile_options(args))
+    geometries = _geometries(args)
+
+    violations = lint_module(program.module, program.alias)
+    analysis = analyze_program(program, geometries[0])
+    _print_site_table(analysis, sys.stdout)
+    _print_summary(analysis, sys.stdout)
+    sys.stdout.write(
+        "{:28s} {}\n".format("lint violations", len(violations))
+    )
+    for violation in violations:
+        sys.stdout.write("  {!r}\n".format(violation))
+
+    status = 1 if violations else 0
+    if args.validate:
+        for geometry in geometries:
+            report = cross_validate(
+                program,
+                geometry,
+                max_steps=args.max_steps,
+                analysis=analyze_program(program, geometry),
+            )
+            sys.stdout.write(
+                "{:28s} {} events, {:.1f}% classified, "
+                "{} mismatch(es)\n".format(
+                    "validated " + report.describe_geometry(),
+                    report.events_total,
+                    report.dynamic_classified_percent,
+                    len(report.mismatches),
+                )
+            )
+            for mismatch in report.mismatches:
+                sys.stdout.write("  {!r}\n".format(mismatch))
+            if report.mismatches:
+                status = 1
+    return status
+
+
+def _run_check(args):
+    """CI mode: every benchmark must lint clean and validate clean."""
+    names = (args.benchmark,) if args.benchmark else BENCHMARK_NAMES
+    geometries = _geometries(args)
+    # The precision table is about *memory* references, so expose the
+    # full reference stream: no register promotion (higher promotion
+    # levels hide scalar traffic in registers, leaving little for the
+    # classifier to grade).  Scheme and the other toggles follow the
+    # command line.
+    options = _compile_options(args)
+    options = CompilationOptions(
+        scheme=options.scheme,
+        promotion="none",
+        promotion_budget=options.promotion_budget,
+        kill_bits=options.kill_bits,
+        spill_to_cache=options.spill_to_cache,
+        bypass_user_refs=options.bypass_user_refs,
+        merge_true_aliases=options.merge_true_aliases,
+        refine_points_to=options.refine_points_to,
+        cache_globals_in_blocks=options.cache_globals_in_blocks,
+    )
+
+    header = "{:10s} {:>6s} {:>8s} {:>7s}".format(
+        "benchmark", "lint", "sites", "byp%"
+    )
+    for geometry in geometries:
+        header += "  {:>22s}".format(
+            "{}w/{}way mm/dyn%".format(geometry.size_words,
+                                       geometry.associativity)
+        )
+    print(header)
+    print("-" * len(header))
+
+    failed = False
+    for name in names:
+        program = compile_source(get_benchmark(name).source, options)
+        violations = lint_module(program.module, program.alias)
+        if violations:
+            failed = True
+        row = None
+        for geometry in geometries:
+            analysis = analyze_program(program, geometry)
+            if row is None:
+                row = "{:10s} {:>6d} {:>8d} {:>6.1f}%".format(
+                    name, len(violations), len(analysis.sites),
+                    analysis.static_bypass_percent,
+                )
+            report = cross_validate(
+                program, geometry, max_steps=args.max_steps,
+                analysis=analysis,
+            )
+            if report.mismatches or report.dynamic_classified_percent < 50.0:
+                failed = True
+            row += "  {:>12d} {:>8.1f}%".format(
+                len(report.mismatches), report.dynamic_classified_percent
+            )
+        print(row)
+        for violation in violations:
+            print("  {!r}".format(violation))
+    if failed:
+        print("FAIL: lint violations, mismatches, or <50% dynamic "
+              "classification", file=sys.stderr)
+        return 1
+    print("all benchmarks: zero lint violations, zero mismatches, "
+          ">=50% of dynamic references classified")
+    return 0

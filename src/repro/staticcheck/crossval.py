@@ -1,0 +1,178 @@
+"""Dynamic cross-validation of the static cache analysis.
+
+The analysis and the simulator describe the same machine from
+opposite ends: the analysis proves presence/absence from the program
+text, the simulator observes it by running the program.  Replaying an
+execution through the real cache model while checking every
+*always-hit* / *always-miss* claim turns the two into mutual
+correctness oracles — a mismatch means either the abstract transfer
+functions or the concrete cache semantics are wrong, and both are
+worth knowing about immediately.
+
+The contract checked per dynamic memory reference, before the access
+is applied:
+
+* ``ALWAYS_HIT``  → ``cache.probe(address)`` is True;
+* ``ALWAYS_MISS`` → ``cache.probe(address)`` is False;
+* ``UNKNOWN``     → nothing (but counted, for the precision summary).
+
+Static sites are keyed by RefInfo identity: each Load/Store owns one
+:class:`~repro.ir.instructions.RefInfo` and the VM hands exactly that
+object to the memory system, so ``id(ref)`` connects dynamic events to
+static classifications with no trace-format changes.
+"""
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.staticcheck import StaticCheckError
+from repro.staticcheck.mustmay import Classification, analyze_program
+from repro.vm.memory import FlatMemory, MemorySystem
+
+
+class Mismatch:
+    """One dynamic contradiction of a static claim."""
+
+    __slots__ = ("site", "address", "event_index", "predicted", "present")
+
+    def __init__(self, site, address, event_index, predicted, present):
+        self.site = site
+        self.address = address
+        self.event_index = event_index
+        self.predicted = predicted
+        self.present = present
+
+    def __repr__(self):
+        return (
+            "Mismatch(event {} at {} {}: predicted {}, block {} present="
+            "{})".format(
+                self.event_index,
+                self.site.where(),
+                self.site.ref.access_path,
+                self.predicted.value,
+                self.address,
+                self.present,
+            )
+        )
+
+
+class ValidatingMemory(MemorySystem):
+    """Flat memory + online cache that audits static claims in-line."""
+
+    def __init__(self, analysis, flat=None, max_mismatches=25):
+        self.analysis = analysis
+        self.cache = Cache(analysis.config)
+        self.flat = flat if flat is not None else FlatMemory()
+        self.max_mismatches = max_mismatches
+        self.mismatches = []
+        self.events_total = 0
+        self.events_classified = 0
+        self._predictions = analysis.predictions
+        self._sites = {id(site.ref): site for site in analysis.sites}
+
+    def _audit(self, address, ref):
+        self.events_total += 1
+        verdict = self._predictions.get(id(ref))
+        if verdict is None or verdict is Classification.UNKNOWN:
+            return
+        self.events_classified += 1
+        present = self.cache.probe(address)
+        expected = verdict is Classification.ALWAYS_HIT
+        if present != expected and len(self.mismatches) < self.max_mismatches:
+            self.mismatches.append(
+                Mismatch(
+                    self._sites[id(ref)],
+                    address,
+                    self.events_total - 1,
+                    verdict,
+                    present,
+                )
+            )
+
+    def read(self, address, ref):
+        self._audit(address, ref)
+        self.cache.access(address, False, ref.bypass, ref.kill)
+        return self.flat.words.get(address, 0)
+
+    def write(self, address, value, ref):
+        self._audit(address, ref)
+        self.cache.access(address, True, ref.bypass, ref.kill)
+        self.flat.words[address] = value
+
+    def poke(self, address, value):
+        self.flat.poke(address, value)
+
+    def peek(self, address):
+        return self.flat.peek(address)
+
+
+class CrossValidationReport:
+    """Outcome of one validated execution under one geometry."""
+
+    __slots__ = ("analysis", "config", "mismatches", "events_total",
+                 "events_classified", "result")
+
+    def __init__(self, analysis, memory, result):
+        self.analysis = analysis
+        self.config = analysis.config
+        self.mismatches = memory.mismatches
+        self.events_total = memory.events_total
+        self.events_classified = memory.events_classified
+        self.result = result
+
+    @property
+    def ok(self):
+        return not self.mismatches
+
+    @property
+    def dynamic_classified_percent(self):
+        """% of dynamic data references whose static site carried a
+        definite (always-hit / always-miss) classification."""
+        if not self.events_total:
+            return 0.0
+        return 100.0 * self.events_classified / self.events_total
+
+    def describe_geometry(self):
+        return "{}w/{}-way/{}".format(
+            self.config.size_words,
+            self.config.associativity,
+            self.config.policy,
+        )
+
+
+def cross_validate(
+    program,
+    cache_config=None,
+    entry="main",
+    max_steps=None,
+    analysis=None,
+    raise_on_mismatch=False,
+    globals_init=None,
+):
+    """Run ``program`` once, auditing the analysis's claims.
+
+    Returns a :class:`CrossValidationReport`; with
+    ``raise_on_mismatch`` the first contradiction becomes a
+    :class:`~repro.staticcheck.StaticCheckError` (stage
+    ``staticcheck``, kind ``crossval``) after the run completes.
+    """
+    if cache_config is None:
+        cache_config = CacheConfig()
+    if analysis is None:
+        analysis = analyze_program(program, cache_config, entry=entry)
+    memory = ValidatingMemory(analysis)
+    kwargs = {}
+    if max_steps is not None:
+        kwargs["max_steps"] = max_steps
+    result = program.run(
+        entry=entry, memory=memory, globals_init=globals_init, **kwargs
+    )
+    report = CrossValidationReport(analysis, memory, result)
+    if report.mismatches and raise_on_mismatch:
+        raise StaticCheckError(
+            "crossval",
+            "{} static/dynamic mismatch(es) under {}; first: {}".format(
+                len(report.mismatches),
+                report.describe_geometry(),
+                report.mismatches[0],
+            ),
+        )
+    return report

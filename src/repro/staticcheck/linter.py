@@ -1,0 +1,194 @@
+"""The annotation soundness linter.
+
+The bypass/kill annotations are the unified model's entire hardware
+contract: a bypassed reference asserts "no other name reaches this
+word", a kill bit asserts "this value is dead after this read".  If
+the annotation pass emits either assertion wrongly, the simulator
+silently computes wrong performance numbers (or, with a kill, wrong
+*values* — a dropped dirty line).  This linter re-derives both
+assertions from the repo's first-principles analyses and reports every
+divergence:
+
+``bypass-ambiguous``
+    A bypassed reference that :mod:`repro.analysis.alias` does not
+    classify as unambiguous — some other name may reach the word, so
+    routing it around the cache breaks coherence.
+``kill-on-store`` / ``kill-indirect``
+    Kill bits belong only on direct scalar loads: a store creates a
+    live value, and an indirect reference has no stable location to
+    declare dead.
+``kill-not-last-use``
+    A kill bit on a load that :mod:`repro.analysis.memliveness` does
+    not prove to be the last use of its location.
+``kill-line-reused``
+    An independent CFG walk (not the liveness fixpoint) found a path
+    from a killed load to a later use of the same location with no
+    intervening redefinition — the killed line would be referenced
+    again.  This re-checks what ``kill-not-last-use`` establishes via
+    the dataflow solution, so a bug in either the solver or the walk
+    shows up as a disagreement between the two diagnostics.
+``flavor-missing`` / ``flavor-mismatch``
+    Structural coherence: every reference carries a flavor, bypassing
+    is exactly the ``UmAm_*`` flavors.
+
+Violations are collected as :class:`LintViolation` values (function,
+block, instruction index, access path);
+:func:`lint_program` raises a :class:`~repro.staticcheck.StaticCheckError`
+on demand so pipelines can fail fast.
+"""
+
+from repro.analysis.memliveness import MemoryLiveness
+from repro.ir.instructions import Load, RefClass, RefFlavor, Store, SymMem
+from repro.staticcheck import StaticCheckError
+
+_BYPASS_FLAVORS = (RefFlavor.UMAM_LOAD, RefFlavor.UMAM_STORE)
+
+
+class LintViolation:
+    """One annotation soundness defect at one static reference."""
+
+    __slots__ = ("kind", "function", "block", "index", "access_path",
+                 "message")
+
+    def __init__(self, kind, function, block, index, access_path, message):
+        self.kind = kind
+        self.function = function
+        self.block = block
+        self.index = index
+        self.access_path = access_path
+        self.message = message
+
+    def where(self):
+        return "{}:{}[{}]".format(self.function, self.block, self.index)
+
+    def __repr__(self):
+        return "LintViolation({} at {} ({}): {})".format(
+            self.kind, self.where(), self.access_path, self.message
+        )
+
+
+def lint_module(module, alias):
+    """Lint every annotated reference; returns a list of violations."""
+    violations = []
+    for function in module.functions.values():
+        liveness = MemoryLiveness(function, module, alias)
+        last_use = {id(load) for load in liveness.last_use_loads()}
+        for block in function.block_list():
+            for index, instruction in enumerate(block.instructions):
+                cls = instruction.__class__
+                if cls is not Load and cls is not Store:
+                    continue
+                violations.extend(
+                    _lint_reference(
+                        function, liveness, last_use,
+                        block, index, instruction,
+                    )
+                )
+    return violations
+
+
+def _lint_reference(function, liveness, last_use, block, index, instruction):
+    ref = instruction.ref
+    where = (function.name, block.name, index, ref.access_path)
+
+    def violation(kind, message):
+        return LintViolation(kind, *where[:3],
+                             access_path=where[3], message=message)
+
+    found = []
+    if ref.flavor is None:
+        found.append(violation(
+            "flavor-missing", "reference was never annotated"))
+    elif (ref.flavor in _BYPASS_FLAVORS) != bool(ref.bypass):
+        found.append(violation(
+            "flavor-mismatch",
+            "flavor {} disagrees with bypass={}".format(
+                ref.flavor.value, ref.bypass),
+        ))
+
+    if ref.bypass and liveness.alias.classify(ref) is not RefClass.UNAMBIGUOUS:
+        found.append(violation(
+            "bypass-ambiguous",
+            "bypassed reference is not unambiguous per the alias "
+            "analysis ({})".format(ref.ref_class.value),
+        ))
+
+    if ref.kill:
+        if instruction.__class__ is Store:
+            found.append(violation(
+                "kill-on-store", "kill bit on a store creates-then-kills"))
+        elif not isinstance(instruction.mem, SymMem):
+            found.append(violation(
+                "kill-indirect",
+                "kill bit on an indirect load has no stable location"))
+        else:
+            if id(instruction) not in last_use:
+                found.append(violation(
+                    "kill-not-last-use",
+                    "memory liveness does not prove this load is the "
+                    "last use of {}".format(
+                        instruction.mem.symbol.storage_name()),
+                ))
+            witness = _find_reuse(
+                function, liveness, block, index, instruction.mem.symbol
+            )
+            if witness is not None:
+                found.append(violation(
+                    "kill-line-reused",
+                    "killed location {} is used again at {} with no "
+                    "redefinition in between".format(
+                        instruction.mem.symbol.storage_name(), witness),
+                ))
+    return found
+
+
+def _find_reuse(function, liveness, block, index, symbol):
+    """CFG walk: from just after ``block.instructions[index]``, find a
+    use of ``symbol`` reachable before any redefinition.  Returns a
+    human-readable witness position, or ``None``.
+
+    Deliberately not the dataflow solution: a plain depth-first search
+    using the same per-instruction use/def summaries, so the linter
+    and the liveness solver check each other.
+    """
+    stack = [(block, index + 1)]
+    visited = set()
+    while stack:
+        current, start = stack.pop()
+        key = (current.name, start)
+        if key in visited:
+            continue
+        visited.add(key)
+        redefined = False
+        for position in range(start, len(current.instructions)):
+            uses, defs = liveness.summaries(current.instructions[position])
+            if symbol in uses:
+                return "{}:{}[{}]".format(
+                    function.name, current.name, position)
+            if symbol in defs:
+                redefined = True
+                break
+        if redefined:
+            continue
+        if not current.succs and symbol in liveness.exit_live:
+            # Fell off the function with the location still killable
+            # by the caller's view: a return is a use of every global
+            # and escaped local.
+            return "{}:{}[return]".format(function.name, current.name)
+        for successor in current.succs:
+            stack.append((successor, 0))
+    return None
+
+
+def lint_program(program, raise_on_violation=False):
+    """Lint a compiled program; optionally fail fast."""
+    violations = lint_module(program.module, program.alias)
+    if violations and raise_on_violation:
+        first = violations[0]
+        raise StaticCheckError(
+            "lint",
+            "{} annotation violation(s); first: {}".format(
+                len(violations), first
+            ),
+        )
+    return violations

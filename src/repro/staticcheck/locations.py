@@ -1,0 +1,250 @@
+"""The abstract location model of the static cache analysis.
+
+The cache simulator works on concrete word addresses; the analysis
+works on *locations* — compile-time names for the blocks a reference
+may touch.  Locations are plain tuples (hashable, ordered, cheap):
+
+``("g", address, at)``
+    A global scalar word at a concrete address.  ``at`` records
+    whether its address is taken (reachable through pointers).
+``("f", function, offset, at)``
+    A scalar word of the *current invocation's* frame at a known
+    offset from the frame pointer (locals, params, spill slots,
+    callee saves).  Identity is only stable within one invocation —
+    which is exactly the region the intraprocedural analysis covers,
+    because calls havoc the state (see ``mustmay``).
+``("ga", address, size, esc)`` / ``("fa", function, offset, size, esc)``
+    A whole array (global / frame-resident): a *summary* covering
+    ``size`` consecutive words; individual elements are not tracked.
+    ``esc`` records whether the array escapes into pointer values.
+``AMBIG``
+    Some member of the ambiguous universe: any address-taken scalar,
+    any escaping array, any word reachable through an untracked
+    pointer, including scalars of *other* live frames.
+``STACK``
+    Some word of a dead deeper frame (below the current frame
+    pointer): junk left in the cache by completed callees.  Only
+    relevant when translating a caller's state into a callee's entry
+    state, where dead-frame addresses coincide with the callee's
+    fresh frame.
+
+A reference resolves (:func:`resolve_target`) to either one *strong*
+location — a single stable word every execution of the reference
+touches — or a *weak* set of candidate locations.
+
+Soundness assumption, inherited from the repo's alias analysis (and
+ultimately from the paper): a reference only ever touches addresses
+inside its alias region.  Out-of-bounds pointer arithmetic off a
+scalar's address is undefined behaviour in MiniC just as in C; the
+bypass/kill annotations themselves are already unsound for such
+programs, so the static analysis assumes them away too.
+"""
+
+from repro.ir.function import SpillSlot
+from repro.ir.instructions import RegionKind, SymMem
+
+#: Summary locations (see module docstring).
+AMBIG = ("ambig",)
+STACK = ("stack",)
+
+
+def loc_of_symbol(symbol, function):
+    """The location of one directly addressed scalar symbol."""
+    if symbol.global_address is not None:
+        return ("g", symbol.global_address, bool(symbol.address_taken))
+    return (
+        "f",
+        function.name,
+        function.frame.offset_of(symbol),
+        bool(symbol.address_taken),
+    )
+
+
+def loc_of_array(symbol, function):
+    """The summary location of one array symbol."""
+    size = symbol.type.size_words()
+    if symbol.global_address is not None:
+        return ("ga", symbol.global_address, size, bool(symbol.escapes))
+    return (
+        "fa",
+        function.name,
+        function.frame.offset_of(symbol),
+        size,
+        bool(symbol.escapes),
+    )
+
+
+def is_word(loc):
+    """True for single-word locations (may appear in the must set)."""
+    return loc[0] in ("g", "f")
+
+
+def is_ambiguous_reachable(loc):
+    """May this location be touched by an ambiguous reference?
+
+    Mirrors the alias analysis: address-taken scalars and escaping
+    arrays are reachable through pointers; everything else is not.
+    The summaries are ambiguous by definition.
+    """
+    tag = loc[0]
+    if tag in ("g", "f"):
+        return loc[-1]
+    if tag in ("ga", "fa"):
+        return loc[-1]
+    return True  # AMBIG / STACK
+
+
+def _span(loc):
+    """(base_key, offset, size) for conflict computation."""
+    tag = loc[0]
+    if tag == "g":
+        return ("g",), loc[1], 1
+    if tag == "f":
+        return ("f", loc[1]), loc[2], 1
+    if tag == "ga":
+        return ("g",), loc[1], loc[2]
+    if tag == "fa":
+        return ("f", loc[1]), loc[2], loc[3]
+    return None, 0, 0  # summaries: caller treats as always-conflicting
+
+
+def may_conflict(a, b, num_sets):
+    """May locations ``a`` and ``b`` map to the same cache set?
+
+    Exact when both share an address base (two globals; two slots of
+    the same frame): set indices differ by a known amount, so the
+    answer follows from the offsets mod ``num_sets``.  Conservatively
+    true across bases (the frame pointer is unknown relative to the
+    global segment and to other frames) and for the summaries.
+    """
+    if num_sets <= 1:
+        return True
+    base_a, off_a, size_a = _span(a)
+    base_b, off_b, size_b = _span(b)
+    if base_a is None or base_b is None:
+        return True
+    if base_a != base_b:
+        return True
+    if size_a >= num_sets or size_b >= num_sets:
+        return True
+    delta = (off_b - off_a) % num_sets
+    # Ranges [0, size_a) and [delta, delta+size_b) intersect mod S?
+    if delta < size_a:
+        return True
+    return delta + size_b > num_sets
+
+
+class ResolvedTarget:
+    """What one memory reference may touch.
+
+    ``strong`` is a single word location every execution of the
+    reference touches (or ``None``); ``weak`` is the tuple of
+    candidate locations otherwise.  ``top`` means the candidates are
+    unknown (treat as the whole ambiguous universe).
+    """
+
+    __slots__ = ("strong", "weak")
+
+    def __init__(self, strong=None, weak=()):
+        self.strong = strong
+        self.weak = tuple(weak)
+
+    def candidates(self):
+        if self.strong is not None:
+            return (self.strong,)
+        return self.weak
+
+    def __repr__(self):
+        if self.strong is not None:
+            return "ResolvedTarget(strong={})".format(self.strong)
+        return "ResolvedTarget(weak={})".format(list(self.weak))
+
+
+def resolve_target(function, instruction, alias):
+    """Resolve one Load/Store to a :class:`ResolvedTarget`."""
+    ref = instruction.ref
+    mem = instruction.mem
+    if isinstance(mem, SymMem):
+        return ResolvedTarget(strong=loc_of_symbol(mem.symbol, function))
+
+    kind = ref.region_kind
+    if kind is RegionKind.ARRAY:
+        return ResolvedTarget(weak=(loc_of_array(ref.region_symbol, function),))
+    if kind is RegionKind.POINTER:
+        regions = alias.points_to.get(ref.region_symbol, ())
+        if not regions:
+            # Nothing flowed into this pointer that the analysis saw;
+            # a successful dereference at run time means some valid
+            # address reached it anyway — stay conservative.
+            return ResolvedTarget(weak=(AMBIG,))
+        weak = []
+        for region in sorted(regions, key=_region_sort_key):
+            weak.append(_region_to_loc(region, function))
+        weak = _dedup(weak)
+        if len(weak) == 1 and is_word(weak[0]):
+            # A single stable word target: every non-faulting
+            # execution of the dereference touches exactly it.
+            return ResolvedTarget(strong=weak[0])
+        return ResolvedTarget(weak=weak)
+    return ResolvedTarget(weak=(AMBIG,))
+
+
+def _region_sort_key(region):
+    kind, symbol = region
+    return (kind, symbol.id if symbol is not None else -1)
+
+
+def _region_to_loc(region, function):
+    kind, symbol = region
+    if kind == "scalar":
+        if symbol.global_address is not None:
+            return ("g", symbol.global_address, bool(symbol.address_taken))
+        if not isinstance(symbol, SpillSlot) and function.frame.contains(symbol):
+            return (
+                "f",
+                function.name,
+                function.frame.offset_of(symbol),
+                bool(symbol.address_taken),
+            )
+        # A local of some *other* function: its address is not stable
+        # relative to this invocation's frame pointer, and it is
+        # necessarily address-taken (its address got into a pointer).
+        return AMBIG
+    if kind == "array":
+        if symbol.global_address is not None:
+            return ("ga", symbol.global_address, symbol.type.size_words(),
+                    bool(symbol.escapes))
+        if function.frame.contains(symbol):
+            return (
+                "fa",
+                function.name,
+                function.frame.offset_of(symbol),
+                symbol.type.size_words(),
+                bool(symbol.escapes),
+            )
+        return AMBIG
+    return AMBIG
+
+
+def _dedup(locs):
+    seen = []
+    for loc in locs:
+        if loc not in seen:
+            seen.append(loc)
+    return seen
+
+
+def describe_loc(loc):
+    """Human-readable form for tables and diagnostics."""
+    tag = loc[0]
+    if tag == "g":
+        return "glob@{}".format(loc[1])
+    if tag == "f":
+        return "{}.fp+{}".format(loc[1], loc[2])
+    if tag == "ga":
+        return "glob@{}..{}".format(loc[1], loc[1] + loc[2] - 1)
+    if tag == "fa":
+        return "{}.fp+{}..{}".format(loc[1], loc[2], loc[2] + loc[3] - 1)
+    if loc == AMBIG:
+        return "<ambiguous>"
+    return "<dead-frames>"

@@ -188,6 +188,94 @@ class TestClassification:
         assert not alias.symbol_is_register_worthy(find_global(module, "g"))
 
 
+class TestClassificationEdgeCases:
+    """classify() in the corners the linter leans on: addresses that
+    escape through calls, pointers retargeted between call sites, and
+    the refine_points_to sharpening."""
+
+    def test_address_taken_local_escapes_via_call(self):
+        # &x never dereferenced in main -- but it escapes into f,
+        # which writes through it.  x must stay ambiguous in main.
+        module, alias = build_with_alias(
+            "int f(int *p) { *p = 5; return 0; }"
+            "int main() { int x; x = 1; f(&x); return x; }"
+        )
+        param = module.functions["f"].params[0]
+        assert {region[0] for region in alias.points_to[param]} == {"scalar"}
+        classes = classify_map(module, alias)
+        x_path = next(path for path in classes if path.startswith("x#"))
+        assert classes[x_path] is RefClass.AMBIGUOUS
+
+    def test_escaped_address_stays_ambiguous_under_refinement(self):
+        # Same escape, refine_points_to=True: the pointer *is*
+        # dereferenced (in the callee), so refinement must not recover
+        # x as unambiguous the way it does for a never-used address.
+        module, alias = build_with_alias(
+            "int f(int *p) { return *p; }"
+            "int main() { int x; x = 1; f(&x); return x; }",
+            refine=True,
+        )
+        classes = classify_map(module, alias)
+        x_path = next(path for path in classes if path.startswith("x#"))
+        assert classes[x_path] is RefClass.AMBIGUOUS
+
+    def test_parameter_retargeted_across_call_sites(self):
+        # f is called once with a and once with b: its parameter's
+        # points-to set is the union, and *p aliases both arrays.
+        module, alias = build_with_alias(
+            "int a[4]; int b[4];"
+            "int f(int *p) { return *p; }"
+            "int main() { return f(a) + f(b); }"
+        )
+        param = module.functions["f"].params[0]
+        names = {region[1].name for region in alias.points_to[param]}
+        assert names == {"a", "b"}
+        sets = alias.alias_sets()
+        merged = [
+            s for s in sets
+            if any(n.startswith("*p#") for n in s.names)
+            and any(n.startswith("a#") for n in s.names)
+            and any(n.startswith("b#") for n in s.names)
+        ]
+        assert len(merged) == 1
+
+    def test_local_pointer_reassigned_between_uses(self):
+        # Flow-insensitive points-to: after p = a; ... p = b; the set
+        # is {a, b} at every program point, and every *p is ambiguous.
+        module, alias = build_with_alias(
+            "int a[4]; int b[4];"
+            "int main() { int *p; int x; p = a; x = *p; p = b; "
+            "return x + *p; }"
+        )
+        p = next(
+            symbol for symbol in module.functions["main"].frame._offsets
+            if symbol.name == "p"
+        )
+        assert {region[1].name for region in alias.points_to[p]} == {"a", "b"}
+        classes = classify_map(module, alias)
+        deref_paths = [path for path in classes if path.startswith("*p")]
+        assert deref_paths
+        assert all(
+            classes[path] is RefClass.AMBIGUOUS for path in deref_paths
+        )
+
+    def test_refinement_with_mixed_addresses(self):
+        # Two address-taken locals: &x flows into a dereferenced
+        # pointer, &y is compared and discarded.  Refinement must
+        # split them -- x ambiguous, y recovered as unambiguous.
+        source = (
+            "int main() { int x; int y; int *p; int *q; "
+            "x = 1; y = 2; p = &x; q = &y; "
+            "if (q == 0) y = 3; return *p + y; }"
+        )
+        module, refined = build_with_alias(source, refine=True)
+        classes = classify_map(module, refined)
+        x_path = next(path for path in classes if path.startswith("x#"))
+        y_path = next(path for path in classes if path.startswith("y#"))
+        assert classes[x_path] is RefClass.AMBIGUOUS
+        assert classes[y_path] is RefClass.UNAMBIGUOUS
+
+
 class TestAliasSets:
     def test_figure2_example(self):
         # read(i, j); a[i+j] = a[i] + a[j];  -- the paper's Figure 2.

@@ -80,6 +80,40 @@ class TestLiveness:
             assert len(befores) == len(afters) == len(block.instructions)
 
 
+class TestDeterminism:
+    def test_golden_iteration_count(self):
+        # The priority worklist makes the solver's behaviour — not
+        # just its fixpoint — reproducible: the loop's backward
+        # liveness converges in exactly one pass over the five blocks
+        # in postorder.  A change here means the traversal order or
+        # requeue discipline changed, which invalidates every other
+        # golden number built on top of it.
+        from repro.analysis.dataflow import solve_dataflow
+        from repro.analysis.liveness import _LivenessProblem
+
+        function = build_function(LOOP_SOURCE)
+        solution = solve_dataflow(function, _LivenessProblem())
+        assert solution.iterations == 5
+        assert solution.order == ("L3", "L2", "L4", "L1", "entry0")
+
+    def test_solution_identical_across_runs(self):
+        runs = []
+        for _ in range(2):
+            function = build_function(LOOP_SOURCE)
+            solution = solve_dataflow_fresh(function)
+            runs.append(
+                (solution.iterations, solution.order, dict(solution))
+            )
+        assert runs[0] == runs[1]
+
+
+def solve_dataflow_fresh(function):
+    from repro.analysis.dataflow import solve_dataflow
+    from repro.analysis.liveness import _LivenessProblem
+
+    return solve_dataflow(function, _LivenessProblem())
+
+
 class TestReachingDefs:
     def test_single_def_reaches_use(self):
         function = build_function("int main() { int x; x = 3; return x; }")
