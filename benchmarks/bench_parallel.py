@@ -1,0 +1,112 @@
+"""The engine acceptance benchmark: serial sweep vs the
+compile-once/trace-once engine, with the timing record written to
+``BENCH_parallel.json``.
+
+The sweep is the full geometry battery — every benchmark at four cache
+sizes — and the claim is twofold: the engine's results are
+bit-identical to the serial path, and the warm-artifact-cache engine
+run beats the serial run by at least 3x wall-clock (the compile+VM
+half is skipped entirely and the replay half runs through the shared
+single-decode core).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py -q
+"""
+
+import json
+import os
+import platform
+import tempfile
+import time
+
+from repro.cache.cache import CacheConfig
+from repro.evalharness.artifacts import ArtifactCache
+from repro.evalharness.experiment import run_benchmark
+from repro.evalharness.figure5 import figure5_options
+from repro.evalharness.parallel import EvalUnit, run_units
+from repro.programs import BENCHMARK_NAMES
+
+SWEEP_SIZES = (64, 128, 256, 512)
+
+GEOMETRIES = tuple(
+    CacheConfig(size_words=size, line_words=1, associativity=4, policy="lru")
+    for size in SWEEP_SIZES
+)
+
+RECORD_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_parallel.json",
+)
+
+
+def canonical(result):
+    return {
+        "unified": result.unified_stats.as_dict(),
+        "conventional": result.conventional_stats.as_dict(),
+        "dynamic": dict(result.dynamic),
+        "steps": result.steps,
+        "static_bypass_checked": result.static_bypass_checked,
+    }
+
+
+def test_engine_speedup_and_equivalence():
+    options = figure5_options()
+
+    serial_started = time.perf_counter()
+    serial = {}
+    for name in BENCHMARK_NAMES:
+        for geometry in GEOMETRIES:
+            serial[(name, geometry.size_words)] = run_benchmark(
+                name, options=options, cache_config=geometry
+            )
+    serial_seconds = time.perf_counter() - serial_started
+
+    units = [
+        EvalUnit(name=name, options=options, cache_configs=GEOMETRIES)
+        for name in BENCHMARK_NAMES
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(tmp)
+
+        cold_started = time.perf_counter()
+        cold = run_units(units, jobs=4, artifact_cache=cache)
+        cold_seconds = time.perf_counter() - cold_started
+
+        warm_started = time.perf_counter()
+        warm = run_units(units, jobs=4, artifact_cache=cache)
+        warm_seconds = time.perf_counter() - warm_started
+
+    for results in (cold, warm):
+        for name, unit_results in zip(BENCHMARK_NAMES, results):
+            for geometry, result in zip(GEOMETRIES, unit_results):
+                expect = serial[(name, geometry.size_words)]
+                assert canonical(result) == canonical(expect), (
+                    name, geometry.size_words,
+                )
+
+    warm_speedup = serial_seconds / warm_seconds
+    cold_speedup = serial_seconds / cold_seconds
+    record = {
+        "benchmarks": list(BENCHMARK_NAMES),
+        "geometry_sizes": list(SWEEP_SIZES),
+        "jobs": 4,
+        "serial_seconds": round(serial_seconds, 3),
+        "cold_engine_seconds": round(cold_seconds, 3),
+        "warm_engine_seconds": round(warm_seconds, 3),
+        "cold_speedup": round(cold_speedup, 2),
+        "warm_speedup": round(warm_speedup, 2),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert warm_speedup >= 3.0, (
+        "warm engine speedup {:.2f}x is below the 3x floor "
+        "(serial {:.2f}s, warm {:.2f}s)".format(
+            warm_speedup, serial_seconds, warm_seconds
+        )
+    )

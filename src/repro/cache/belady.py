@@ -6,6 +6,13 @@ two-pass trace simulator rather than an online policy.  The paper
 (Section 3.2) notes the dead-marking idea applies to MIN as well: a
 kill-marked reference tells MIN the block's next use is at infinity
 *and* that its dirty data need not be written back.
+
+The second pass is exposed incrementally as :class:`MinSimulator` so
+the multi-configuration replay core (:mod:`repro.cache.replay`) can
+drive several MIN geometries through one trace walk; the first pass
+(:func:`next_use_index`) depends only on ``(line_words,
+honor_bypass)`` and is shared between all configurations that agree on
+those two fields.
 """
 
 from repro.cache.cache import CacheConfig
@@ -15,11 +22,16 @@ from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE
 _INFINITY = float("inf")
 
 
-def _next_use_positions(trace, config):
+def next_use_index(trace, line_words=1, honor_bypass=True):
     """For each reference index, the index of the next through-cache
-    reference to the same block (or infinity)."""
-    line_words = config.line_words
-    honor_bypass = config.honor_bypass
+    reference to the same block (or infinity).
+
+    Bypassed references (when honored) never touch a line's future, so
+    they carry the marker ``-1`` instead of a position.  The result
+    depends only on the two arguments, never on geometry or policy, so
+    one index serves every MIN configuration of a sweep that shares
+    them.
+    """
     next_use = [0] * len(trace)
     last_seen = {}
     addresses = trace.addresses
@@ -35,24 +47,30 @@ def _next_use_positions(trace, config):
     return next_use
 
 
-def simulate_min(trace, config=None, **kwargs):
-    """Simulate ``trace`` under MIN replacement; returns CacheStats.
+class MinSimulator:
+    """One MIN cache consuming a trace event-by-event.
 
-    The bypass path behaves exactly as in the online simulator; only
-    the victim choice differs.
+    ``next_use`` must be the :func:`next_use_index` of the trace being
+    replayed, computed with this configuration's ``line_words`` and
+    ``honor_bypass``; the per-event logic is exactly the body of the
+    original one-shot simulator, so feeding every event in order
+    reproduces its statistics bit for bit.
     """
-    if config is None:
-        config = CacheConfig(policy="lru", **kwargs)  # policy field unused
-    stats = CacheStats()
-    next_use = _next_use_positions(trace, config)
-    num_sets = config.num_sets
-    line_words = config.line_words
-    assoc = config.associativity
 
-    # Per set: {block: [next_use, dirty, dead]}.
-    sets = [dict() for _ in range(num_sets)]
+    __slots__ = ("config", "stats", "_sets", "_next_use")
 
-    for index, (address, flags) in enumerate(trace):
+    def __init__(self, config, next_use):
+        self.config = config
+        self.stats = CacheStats()
+        # Per set: {block: [next_use, dirty, dead]}.
+        self._sets = [dict() for _ in range(config.num_sets)]
+        self._next_use = next_use
+
+    def access(self, index, address, flags):
+        """Simulate trace event ``index``; mirrors ``Cache.access``."""
+        config = self.config
+        stats = self.stats
+        next_use = self._next_use
         stats.refs_total += 1
         is_write = bool(flags & FLAG_WRITE)
         if is_write:
@@ -61,8 +79,9 @@ def simulate_min(trace, config=None, **kwargs):
             stats.reads += 1
         bypass = bool(flags & FLAG_BYPASS) and config.honor_bypass
         kill = bool(flags & FLAG_KILL) and config.honor_kill
+        line_words = config.line_words
         block = address // line_words
-        lines = sets[block % num_sets]
+        lines = self._sets[block % config.num_sets]
 
         if bypass:
             stats.refs_bypassed += 1
@@ -89,7 +108,7 @@ def simulate_min(trace, config=None, **kwargs):
                     stats.bypass_reads_from_memory += 1
                 if kill:
                     stats.kills += 1
-            continue
+            return
 
         stats.refs_cached += 1
         entry = lines.get(block)
@@ -101,14 +120,14 @@ def simulate_min(trace, config=None, **kwargs):
             entry[2] = False
             if kill:
                 _kill_entry(stats, lines, block, entry, config)
-            continue
+            return
 
         stats.misses += 1
         if kill and not is_write:
             stats.kills += 1
             stats.words_from_memory += 1
-            continue
-        if len(lines) >= assoc:
+            return
+        if len(lines) >= config.associativity:
             victim_block = _choose_min_victim(lines)
             victim = lines.pop(victim_block)
             stats.evictions += 1
@@ -120,7 +139,27 @@ def simulate_min(trace, config=None, **kwargs):
             stats.words_from_memory += line_words
         if kill:
             _kill_entry(stats, lines, block, lines[block], config)
-    return stats
+
+
+def simulate_min(trace, config=None, next_use=None, **kwargs):
+    """Simulate ``trace`` under MIN replacement; returns CacheStats.
+
+    The bypass path behaves exactly as in the online simulator; only
+    the victim choice differs.  ``next_use`` accepts a precomputed
+    :func:`next_use_index` (it must match the config's ``line_words``
+    and ``honor_bypass``) so sweeps can amortize the first pass.
+    """
+    if config is None:
+        config = CacheConfig(policy="lru", **kwargs)  # policy field unused
+    if next_use is None:
+        next_use = next_use_index(
+            trace, config.line_words, config.honor_bypass
+        )
+    simulator = MinSimulator(config, next_use)
+    access = simulator.access
+    for index, (address, flags) in enumerate(trace):
+        access(index, address, flags)
+    return simulator.stats
 
 
 def _kill_entry(stats, lines, block, entry, config):

@@ -3,13 +3,17 @@ evaluation (Figure 5 and the in-text claims) plus the ablations that
 probe each design decision.
 """
 
+from repro.evalharness.artifacts import Artifact, ArtifactCache, artifact_key
 from repro.evalharness.experiment import (
     DEFAULT_CACHE,
     ExperimentResult,
+    evaluate_trace,
+    evaluate_trace_multi,
     run_benchmark,
     run_compiled,
 )
 from repro.evalharness.figure5 import Figure5Row, figure5_table, format_figure5
+from repro.evalharness.parallel import EvalUnit, evaluate_unit, run_units
 from repro.evalharness.sweeps import (
     cache_size_sweep,
     kill_bit_ablation,
@@ -28,10 +32,18 @@ __all__ = [
     "record_combined_trace",
     "replay_combined",
     "unified_cache_comparison",
+    "Artifact",
+    "ArtifactCache",
+    "artifact_key",
     "DEFAULT_CACHE",
     "ExperimentResult",
+    "EvalUnit",
+    "evaluate_trace",
+    "evaluate_trace_multi",
+    "evaluate_unit",
     "run_benchmark",
     "run_compiled",
+    "run_units",
     "Figure5Row",
     "figure5_table",
     "format_figure5",

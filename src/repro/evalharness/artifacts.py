@@ -1,0 +1,236 @@
+"""Content-addressed on-disk cache of compiled programs and traces.
+
+The expensive half of every experiment is invariant across cache
+geometries: compiling a benchmark under one annotation configuration
+and executing it once on the VM to record the reference trace.  This
+module stores exactly that pair — the pickled
+:class:`~repro.unified.pipeline.CompiledProgram` and the serialized
+:class:`~repro.vm.trace.TraceBuffer` — keyed by the SHA-256 of
+``(artifact schema, compiler version, source text, normalized
+compilation options)``, so each (benchmark × annotation-config) unit
+is compiled and VM-executed exactly once no matter how many sweep
+configurations replay it.
+
+Layout under the cache root (``REPRO_ARTIFACT_CACHE`` or
+``~/.cache/repro/artifacts``)::
+
+    <key[:2]>/<key>/meta.json     name, output, steps, event count
+    <key[:2]>/<key>/program.pkl   pickled CompiledProgram
+    <key[:2]>/<key>/trace.bin     serialized TraceBuffer
+
+Entries are written atomically (temp directory + rename), so
+concurrent workers racing on the same key produce one winner and no
+torn artifacts; a corrupt or truncated entry is treated as a miss and
+silently recomputed.  Invalidation is by key only: bump
+``ARTIFACT_SCHEMA`` whenever the trace format, the pickle layout, or
+any compilation semantics change without a version bump.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+
+from repro import __version__
+from repro.lang.errors import VMError
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+from repro.vm.trace import TraceBuffer
+
+#: Bump to invalidate every stored artifact (schema/semantics change).
+ARTIFACT_SCHEMA = 1
+
+#: Environment override for the default cache root.
+CACHE_ROOT_ENV = "REPRO_ARTIFACT_CACHE"
+
+
+def default_cache_root():
+    root = os.environ.get(CACHE_ROOT_ENV)
+    if root:
+        return root
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "artifacts"
+    )
+
+
+def options_fingerprint(options):
+    """A JSON-stable description of everything that affects codegen."""
+    options = options.normalized()
+    machine = options.machine
+    return {
+        "scheme": options.scheme.value,
+        "promotion": options.promotion.value,
+        "promotion_budget": options.promotion_budget,
+        "kill_bits": options.kill_bits,
+        "spill_to_cache": options.spill_to_cache,
+        "refine_points_to": options.refine_points_to,
+        "cache_globals_in_blocks": options.cache_globals_in_blocks,
+        "bypass_user_refs": options.bypass_user_refs,
+        "merge_true_aliases": options.merge_true_aliases,
+        "machine": {
+            "num_regs": machine.num_regs,
+            "num_arg_regs": machine.num_arg_regs,
+            "ret_reg": machine.ret_reg,
+            "num_caller_saved": machine.num_caller_saved,
+        },
+    }
+
+
+def artifact_key(source, options):
+    """The content address of one (source × options) compilation."""
+    payload = json.dumps(
+        {
+            "schema": ARTIFACT_SCHEMA,
+            "compiler": __version__,
+            "source": source,
+            "options": options_fingerprint(options),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class Artifact:
+    """One resolved compile-once/trace-once unit."""
+
+    __slots__ = ("key", "name", "program", "trace", "output", "steps",
+                 "from_cache")
+
+    def __init__(self, key, name, program, trace, output, steps, from_cache):
+        self.key = key
+        self.name = name
+        self.program = program
+        self.trace = trace
+        self.output = output
+        self.steps = steps
+        self.from_cache = from_cache
+
+
+class ArtifactCache:
+    """Resolve (source × options) units, hitting disk when possible."""
+
+    def __init__(self, root=None):
+        self.root = root if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def resolve(self, name, source, options=None, expected_output=None):
+        """Compile and trace ``source`` exactly once.
+
+        On a hit the program, trace, output and step count come back
+        from disk; on a miss (or a corrupt entry) the unit is
+        recomputed and stored.  ``expected_output`` is enforced on both
+        paths, matching ``run_compiled``'s guard.
+        """
+        options = (options or CompilationOptions()).normalized()
+        key = artifact_key(source, options)
+        artifact = self._load(key, name)
+        if artifact is None:
+            artifact = self._compute(key, name, source, options)
+            self._store(artifact)
+            self.misses += 1
+        else:
+            self.hits += 1
+        if expected_output is not None and artifact.output != tuple(
+            expected_output
+        ):
+            raise VMError(
+                "benchmark {} produced {} instead of {}".format(
+                    name, list(artifact.output), list(expected_output)
+                )
+            )
+        return artifact
+
+    def clear(self):
+        """Delete every stored artifact under this root."""
+        if os.path.isdir(self.root):
+            shutil.rmtree(self.root)
+
+    # ------------------------------------------------------------------
+
+    def _entry_dir(self, key):
+        return os.path.join(self.root, key[:2], key)
+
+    def _compute(self, key, name, source, options):
+        program = compile_source(source, options)
+        memory = RecordingMemory()
+        result = program.run(memory=memory)
+        return Artifact(
+            key,
+            name,
+            program,
+            memory.buffer,
+            tuple(result.output),
+            result.steps,
+            from_cache=False,
+        )
+
+    def _load(self, key, name):
+        entry = self._entry_dir(key)
+        try:
+            with open(os.path.join(entry, "meta.json")) as handle:
+                meta = json.load(handle)
+            with open(os.path.join(entry, "program.pkl"), "rb") as handle:
+                program = pickle.load(handle)
+            trace = TraceBuffer.load(os.path.join(entry, "trace.bin"))
+            if len(trace) != meta["events"]:
+                raise ValueError(
+                    "trace holds {} events, meta promises {}".format(
+                        len(trace), meta["events"]
+                    )
+                )
+        except (OSError, ValueError, KeyError, pickle.UnpicklingError,
+                EOFError, json.JSONDecodeError):
+            # Missing or corrupt: treat as a miss, recompute, overwrite.
+            return None
+        return Artifact(
+            key,
+            name,
+            program,
+            trace,
+            tuple(meta["output"]),
+            meta["steps"],
+            from_cache=True,
+        )
+
+    def _store(self, artifact):
+        entry = self._entry_dir(artifact.key)
+        parent = os.path.dirname(entry)
+        os.makedirs(parent, exist_ok=True)
+        staging = tempfile.mkdtemp(prefix=".staging-", dir=parent)
+        try:
+            with open(os.path.join(staging, "meta.json"), "w") as handle:
+                json.dump(
+                    {
+                        "schema": ARTIFACT_SCHEMA,
+                        "compiler": __version__,
+                        "name": artifact.name,
+                        "output": list(artifact.output),
+                        "steps": artifact.steps,
+                        "events": len(artifact.trace),
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+            with open(os.path.join(staging, "program.pkl"), "wb") as handle:
+                pickle.dump(artifact.program, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            artifact.trace.save(os.path.join(staging, "trace.bin"))
+            if os.path.isdir(entry):
+                # A concurrent worker already stored this key; its copy
+                # is equivalent (same content address), keep it.
+                shutil.rmtree(staging)
+                return
+            try:
+                os.rename(staging, entry)
+            except OSError:
+                shutil.rmtree(staging, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise

@@ -112,6 +112,16 @@ def main_figure5(argv=None):
                         default=DEFAULT_CACHE.associativity)
     parser.add_argument("--policy", default=DEFAULT_CACHE.policy,
                         choices=["lru", "fifo", "random"])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the benchmark fan-out "
+                             "(enables the artifact cache)")
+    parser.add_argument("--artifact-cache", default=None, metavar="PATH",
+                        help="artifact cache root (default: "
+                             "$REPRO_ARTIFACT_CACHE or "
+                             "~/.cache/repro/artifacts)")
+    parser.add_argument("--no-artifact-cache", action="store_true",
+                        help="always compile and trace in-process, even "
+                             "with --jobs")
     args = parser.parse_args(argv)
     cache = CacheConfig(
         size_words=args.cache_words,
@@ -119,10 +129,17 @@ def main_figure5(argv=None):
         associativity=args.associativity,
         policy=args.policy,
     )
+    artifact_cache = None
+    if not args.no_artifact_cache and (args.jobs or args.artifact_cache):
+        from repro.evalharness.artifacts import ArtifactCache
+
+        artifact_cache = ArtifactCache(args.artifact_cache)
     rows = figure5_table(
         paper_scale=args.paper_scale,
         cache_config=cache,
         names=tuple(args.benchmarks) if args.benchmarks else BENCHMARK_NAMES,
+        jobs=args.jobs,
+        artifact_cache=artifact_cache,
     )
     print(format_figure5(rows))
     return 0

@@ -12,8 +12,7 @@ The paper reports (Section 5):
 
 from dataclasses import dataclass
 
-from repro.errors import failure_record
-from repro.evalharness.experiment import DEFAULT_CACHE, run_benchmark
+from repro.evalharness.experiment import DEFAULT_CACHE
 from repro.evalharness.tables import format_bar_chart, format_table
 from repro.programs import BENCHMARK_NAMES
 
@@ -77,32 +76,44 @@ def figure5_table(
     cache_config=DEFAULT_CACHE,
     names=BENCHMARK_NAMES,
     failures=None,
+    jobs=None,
+    artifact_cache=None,
 ):
     """Run the full Figure 5 experiment; returns a list of rows plus
     an average row.
 
     With ``failures`` (a list), a benchmark that breaks is recorded
     there and skipped instead of aborting the whole table; without it,
-    errors propagate.
+    errors propagate.  ``jobs``/``artifact_cache`` route the table
+    through the compile-once/trace-once engine
+    (:mod:`repro.evalharness.parallel`); the rows are bit-identical to
+    the serial path either way.
     """
+    from repro.evalharness.parallel import EvalUnit, run_units
+
     if options is None:
         options = figure5_options()
-    rows = []
-    for name in names:
-        try:
-            result = run_benchmark(
-                name,
-                paper_scale=paper_scale,
-                options=options,
-                cache_config=cache_config,
-            )
-        except Exception as error:  # noqa: BLE001 - recorded, reported
-            if failures is None:
-                raise
-            failures.append(failure_record("figure5", name, error))
-            continue
-        rows.append(Figure5Row.from_result(result))
-    return rows
+    units = [
+        EvalUnit(
+            name=name,
+            paper_scale=paper_scale,
+            options=options,
+            cache_configs=(cache_config,),
+        )
+        for name in names
+    ]
+    unit_results = run_units(
+        units,
+        jobs=jobs,
+        artifact_cache=artifact_cache,
+        failures=failures,
+        section="figure5",
+    )
+    return [
+        Figure5Row.from_result(results[0])
+        for results in unit_results
+        if results is not None
+    ]
 
 
 def average_row(rows):

@@ -41,9 +41,11 @@ def _heading(text):
     return "\n{}\n{}".format(text, "=" * len(text))
 
 
-def figure5_section(paper_scale, failures=None, cache_config=DEFAULT_CACHE):
+def figure5_section(paper_scale, failures=None, cache_config=DEFAULT_CACHE,
+                    jobs=None, artifact_cache=None):
     rows = figure5_table(
-        paper_scale=paper_scale, cache_config=cache_config, failures=failures
+        paper_scale=paper_scale, cache_config=cache_config, failures=failures,
+        jobs=jobs, artifact_cache=artifact_cache,
     )
     if not rows:
         return "\n".join(
@@ -67,8 +69,9 @@ def figure5_section(paper_scale, failures=None, cache_config=DEFAULT_CACHE):
     return "\n".join(lines)
 
 
-def kill_section():
-    rows = kill_bit_ablation("towers", sizes=(32, 64, 256))
+def kill_section(artifact_cache=None):
+    rows = kill_bit_ablation("towers", sizes=(32, 64, 256),
+                             artifact_cache=artifact_cache)
     lines = [_heading("E5  Dead-line (kill-bit) modification, towers")]
     lines.append(format_table(
         ["cache words", "kill", "write-backs", "bus words"],
@@ -81,8 +84,8 @@ def kill_section():
     return "\n".join(lines)
 
 
-def spill_section():
-    rows = spill_ablation()
+def spill_section(artifact_cache=None):
+    rows = spill_ablation(artifact_cache=artifact_cache)
     lines = [_heading("E6  Spill-to-cache vs spill-bypass "
                       "(pressure kernel, 8 registers)")]
     lines.append(format_table(
@@ -122,7 +125,7 @@ def combined_cache_section(failures=None):
     return "\n".join(lines)
 
 
-def _access_time_row(name, model):
+def _access_time_row(name, model, artifact_cache=None):
     bench = get_benchmark(name)
     cycles = {}
     refs = {}
@@ -138,16 +141,24 @@ def _access_time_row(name, model):
                             bypass_user_refs=False),
          True),
     ):
-        program = compile_source(bench.source, options)
-        memory = RecordingMemory()
-        result = program.run(memory=memory)
-        assert tuple(result.output) == bench.expected_output
+        if artifact_cache is not None:
+            artifact = artifact_cache.resolve(
+                bench.name, bench.source, options,
+                expected_output=bench.expected_output,
+            )
+            trace = artifact.trace
+        else:
+            program = compile_source(bench.source, options)
+            memory = RecordingMemory()
+            result = program.run(memory=memory)
+            assert tuple(result.output) == bench.expected_output
+            trace = memory.buffer
         stats = replay_trace(
-            memory.buffer,
+            trace,
             CacheConfig(honor_bypass=honor, honor_kill=honor),
         )
-        refs[label] = len(memory.buffer)
-        cycles[label] = (stats, memory.buffer)
+        refs[label] = len(trace)
+        cycles[label] = (stats, trace)
     total = refs["conv"]
     conv = value_reference_time(cycles["conv"][0], 0, model)
     pure = value_reference_time(
@@ -163,14 +174,16 @@ def _access_time_row(name, model):
     ]
 
 
-def access_time_section(failures=None):
+def access_time_section(failures=None, artifact_cache=None):
     model = LatencyModel()
     lines = [_heading("E13/E14  Total memory access time "
                       "(speedup vs conventional)")]
     table_rows = []
     for name in BENCHMARK_NAMES:
         try:
-            table_rows.append(_access_time_row(name, model))
+            table_rows.append(
+                _access_time_row(name, model, artifact_cache=artifact_cache)
+            )
         except Exception as error:  # noqa: BLE001 - recorded, reported
             if failures is None:
                 raise
@@ -184,20 +197,25 @@ def access_time_section(failures=None):
 
 
 def build_report(paper_scale=False, fast=False, failures=None,
-                 cache_config=DEFAULT_CACHE):
+                 cache_config=DEFAULT_CACHE, jobs=None, artifact_cache=None):
     """Assemble the report string.
 
     With ``failures`` (a list), a section or benchmark that breaks is
     recorded there and the report carries on — one bad workload must
     not cost the other results.  Without it, errors propagate.
+    ``jobs`` fans the Figure 5 benchmarks out over worker processes;
+    ``artifact_cache`` routes every compile+trace through the on-disk
+    store.  The report text is byte-identical either way (only the
+    trailing wall-clock line differs).
     """
     started = time.time()
     section_builders = [
         ("figure5",
          lambda: figure5_section(paper_scale, failures=failures,
-                                 cache_config=cache_config)),
-        ("kill-bits", kill_section),
-        ("spill", spill_section),
+                                 cache_config=cache_config, jobs=jobs,
+                                 artifact_cache=artifact_cache)),
+        ("kill-bits", lambda: kill_section(artifact_cache=artifact_cache)),
+        ("spill", lambda: spill_section(artifact_cache=artifact_cache)),
     ]
     if not fast:
         section_builders.append(
@@ -205,7 +223,8 @@ def build_report(paper_scale=False, fast=False, failures=None,
              lambda: combined_cache_section(failures=failures)))
         section_builders.append(
             ("access-time",
-             lambda: access_time_section(failures=failures)))
+             lambda: access_time_section(failures=failures,
+                                         artifact_cache=artifact_cache)))
     sections = ["Reproduction report: Chi & Dietz, PLDI 1989"]
     for section_name, builder in section_builders:
         try:
@@ -257,14 +276,30 @@ def main(argv=None):
                         help="cache-simulator RNG seed (random policy)")
     parser.add_argument("--max-steps", type=int, default=None,
                         help="VM fuel budget per benchmark run")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the benchmark fan-out "
+                             "(enables the artifact cache)")
+    parser.add_argument("--artifact-cache", default=None, metavar="PATH",
+                        help="artifact cache root (default: "
+                             "$REPRO_ARTIFACT_CACHE or "
+                             "~/.cache/repro/artifacts)")
+    parser.add_argument("--no-artifact-cache", action="store_true",
+                        help="always compile and trace in-process, even "
+                             "with --jobs")
     args = parser.parse_args(argv)
     set_default_max_steps(args.max_steps)
     cache_config = DEFAULT_CACHE
     if args.seed is not None:
         cache_config = replace(DEFAULT_CACHE, seed=args.seed)
+    artifact_cache = None
+    if not args.no_artifact_cache and (args.jobs or args.artifact_cache):
+        from repro.evalharness.artifacts import ArtifactCache
+
+        artifact_cache = ArtifactCache(args.artifact_cache)
     failures = []
     print(build_report(paper_scale=args.paper_scale, fast=args.fast,
-                       failures=failures, cache_config=cache_config))
+                       failures=failures, cache_config=cache_config,
+                       jobs=args.jobs, artifact_cache=artifact_cache))
     if failures:
         print("\n" + format_failures(failures), file=sys.stderr)
         return 1

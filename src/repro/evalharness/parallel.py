@@ -1,0 +1,160 @@
+"""The parallel compile-once/trace-once evaluation engine.
+
+The unit of work is one (benchmark × annotation-config): compiling it
+and tracing it on the VM happens exactly once (amortized to zero by
+the on-disk :class:`~repro.evalharness.artifacts.ArtifactCache`),
+after which any number of cache geometries are scored against the
+stored trace through the single-pass multi-configuration replay core.
+Units fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merge deterministically: results come back in unit order, failures
+are recorded in unit order, and every replay is bit-identical to the
+serial ``run_benchmark`` path (the equivalence battery in
+``tests/test_parallel_equivalence.py`` holds the engine to that).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import failure_record
+from repro.evalharness.artifacts import ArtifactCache
+from repro.evalharness.experiment import (
+    DEFAULT_CACHE,
+    evaluate_trace,
+    evaluate_trace_multi,
+)
+from repro.programs import get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.memory import RecordingMemory
+
+
+@dataclass(frozen=True)
+class EvalUnit:
+    """One (benchmark × annotation-config) work item.
+
+    ``cache_configs`` lists every geometry to score against the unit's
+    single reference trace; one entry uses the reference serial replay
+    path, several share the single-pass multi-configuration core.
+    """
+
+    name: str
+    paper_scale: bool = False
+    options: object = None
+    cache_configs: tuple = field(default=(DEFAULT_CACHE,))
+
+
+def evaluate_unit(unit, artifact_cache=None, keep_trace=False):
+    """Resolve one unit's artifact and score all its geometries.
+
+    Returns the list of :class:`ExperimentResult`, one per entry of
+    ``unit.cache_configs``, in order.
+    """
+    bench = get_benchmark(unit.name, unit.paper_scale)
+    options = unit.options or CompilationOptions()
+    if artifact_cache is not None:
+        artifact = artifact_cache.resolve(
+            bench.name,
+            bench.source,
+            options,
+            expected_output=bench.expected_output,
+        )
+        program = artifact.program
+        trace = artifact.trace
+        output = artifact.output
+        steps = artifact.steps
+    else:
+        program = compile_source(bench.source, options)
+        memory = RecordingMemory()
+        result = program.run(memory=memory)
+        if tuple(result.output) != tuple(bench.expected_output):
+            from repro.lang.errors import VMError
+
+            raise VMError(
+                "benchmark {} produced {} instead of {}".format(
+                    bench.name, result.output, list(bench.expected_output)
+                )
+            )
+        trace = memory.buffer
+        output = tuple(result.output)
+        steps = result.steps
+    configs = tuple(unit.cache_configs)
+    if len(configs) == 1:
+        return [
+            evaluate_trace(
+                bench.name, program, trace, output, steps,
+                cache_config=configs[0], keep_trace=keep_trace,
+            )
+        ]
+    return evaluate_trace_multi(
+        bench.name, program, trace, output, steps, configs,
+        keep_trace=keep_trace,
+    )
+
+
+def _unit_worker(payload):
+    """Top-level worker so ProcessPoolExecutor can pickle it.
+
+    With ``capture`` set the worker converts any failure into a
+    :func:`~repro.errors.failure_record`; otherwise the exception
+    propagates (the pool re-raises it in the parent), preserving the
+    serial harness's error-propagation contract.
+    """
+    unit, artifact_root, section, capture = payload
+    cache = ArtifactCache(artifact_root) if artifact_root else None
+    if not capture:
+        return "ok", evaluate_unit(unit, artifact_cache=cache)
+    try:
+        return "ok", evaluate_unit(unit, artifact_cache=cache)
+    except Exception as error:  # noqa: BLE001 - serialized as a record
+        return "error", failure_record(section, unit.name, error)
+
+
+def run_units(
+    units,
+    jobs=None,
+    artifact_cache=None,
+    failures=None,
+    section="evalharness",
+):
+    """Evaluate every unit; returns one result list per unit, aligned.
+
+    ``jobs`` of ``None``/``0``/``1`` runs in-process (still
+    artifact-aware); higher values fan out over a process pool.  With
+    ``failures`` (a list), a failing unit contributes ``None`` to the
+    output and a :func:`~repro.errors.failure_record` to ``failures``
+    (in unit order); without it, the unit's own exception propagates,
+    exactly as in the serial harness.
+    """
+    units = list(units)
+    capture = failures is not None
+    root = artifact_cache.root if artifact_cache is not None else None
+    payloads = [(unit, root, section, capture) for unit in units]
+    if not jobs or jobs <= 1:
+        outcomes = [_unit_worker(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_unit_worker, payloads))
+    results = []
+    for status, value in outcomes:
+        if status == "ok":
+            results.append(value)
+        else:
+            failures.append(value)
+            results.append(None)
+    return results
+
+
+def pool_map(worker, payloads, jobs=None):
+    """Order-preserving fan-out of ``worker`` over ``payloads``.
+
+    The shared fan-out primitive for harness layers that are not
+    unit-shaped (sweep batteries, the static-analysis gate): ``jobs``
+    of ``None``/``0``/``1`` runs inline, anything higher uses a
+    process pool.  ``worker`` must be a module-level function and
+    every payload/return value picklable; exceptions are the worker's
+    responsibility to catch and encode.
+    """
+    payloads = list(payloads)
+    if not jobs or jobs <= 1:
+        return [worker(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(worker, payloads))

@@ -2,26 +2,42 @@
 
 Every function returns a list of plain dict rows so the pytest
 benchmarks and the examples can both render or assert on them.
+
+Each sweep obtains its reference trace once (compile + VM run, or an
+:class:`~repro.evalharness.artifacts.ArtifactCache` hit) and scores
+every configuration of the battery through the single-pass
+multi-replay core (:func:`~repro.cache.replay.replay_trace_multi`), so
+the per-configuration cost is one decoded replay rather than a full
+compile-run-replay pipeline.
 """
 
 from repro.cache.cache import CacheConfig
-from repro.cache.replay import replay_trace
+from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
 from repro.evalharness.experiment import DEFAULT_CACHE, run_benchmark
 from repro.programs import BENCHMARK_NAMES, get_benchmark
 from repro.unified.pipeline import CompilationOptions, compile_source
 from repro.vm.memory import RecordingMemory
 
 
-def _trace_for(name, paper_scale=False, options=None):
+def _trace_for(name, paper_scale=False, options=None, artifact_cache=None):
     """Compile + run once, returning the annotated trace.
 
     Defaults to the Figure 5 configuration so every sweep measures the
-    same reference stream the headline experiment uses.
+    same reference stream the headline experiment uses.  With
+    ``artifact_cache`` the compile and VM run resolve through the
+    on-disk artifact store instead.
     """
     from repro.evalharness.figure5 import figure5_options
 
     bench = get_benchmark(name, paper_scale)
-    program = compile_source(bench.source, options or figure5_options())
+    options = options or figure5_options()
+    if artifact_cache is not None:
+        artifact = artifact_cache.resolve(
+            bench.name, bench.source, options,
+            expected_output=bench.expected_output,
+        )
+        return artifact.trace, artifact.program
+    program = compile_source(bench.source, options)
     memory = RecordingMemory()
     result = program.run(memory=memory)
     assert tuple(result.output) == bench.expected_output, (
@@ -52,17 +68,22 @@ def cache_size_sweep(
     base=DEFAULT_CACHE,
     paper_scale=False,
     options=None,
+    artifact_cache=None,
 ):
     """Unified-vs-conventional across cache sizes (Section 2.2)."""
-    trace, _program = _trace_for(name, paper_scale, options)
-    rows = []
+    trace, _program = _trace_for(name, paper_scale, options, artifact_cache)
+    specs = []
     for size in sizes:
-        unified = replay_trace(trace, _variant(base, size_words=size))
-        baseline = replay_trace(
-            trace,
+        specs.append(_variant(base, size_words=size))
+        specs.append(
             _variant(base, size_words=size, honor_bypass=False,
-                     honor_kill=False),
+                     honor_kill=False)
         )
+    stats = replay_trace_multi(trace, specs)
+    rows = []
+    for index, size in enumerate(sizes):
+        unified = stats[2 * index]
+        baseline = stats[2 * index + 1]
         rows.append(
             {
                 "benchmark": name,
@@ -84,71 +105,84 @@ def policy_ablation(
     base=DEFAULT_CACHE,
     paper_scale=False,
     options=None,
+    artifact_cache=None,
 ):
     """The dead-line modification applied to each policy (Section 3.2)."""
-    trace, _program = _trace_for(name, paper_scale, options)
-    rows = []
+    trace, _program = _trace_for(name, paper_scale, options, artifact_cache)
+    cells = []
+    specs = []
     for policy in policies:
         for honor_kill in (True, False):
             if policy == "min":
-                stats = replay_trace(
-                    trace,
-                    policy="min",
-                    size_words=base.size_words,
-                    line_words=base.line_words,
-                    associativity=base.associativity,
-                    honor_kill=honor_kill,
+                specs.append(
+                    MinConfig(
+                        size_words=base.size_words,
+                        line_words=base.line_words,
+                        associativity=base.associativity,
+                        honor_kill=honor_kill,
+                    )
                 )
             else:
-                stats = replay_trace(
-                    trace, _variant(base, policy=policy, honor_kill=honor_kill)
+                specs.append(
+                    _variant(base, policy=policy, honor_kill=honor_kill)
                 )
-            rows.append(
-                {
-                    "benchmark": name,
-                    "policy": policy,
-                    "kill_bits": honor_kill,
-                    "miss_rate": stats.miss_rate,
-                    "misses": stats.misses,
-                    "writebacks": stats.writebacks,
-                    "dead_drops": stats.dead_drops,
-                    "bus_words": stats.bus_words,
-                }
-            )
+            cells.append((policy, honor_kill))
+    all_stats = replay_trace_multi(trace, specs)
+    rows = []
+    for (policy, honor_kill), stats in zip(cells, all_stats):
+        rows.append(
+            {
+                "benchmark": name,
+                "policy": policy,
+                "kill_bits": honor_kill,
+                "miss_rate": stats.miss_rate,
+                "misses": stats.misses,
+                "writebacks": stats.writebacks,
+                "dead_drops": stats.dead_drops,
+                "bus_words": stats.bus_words,
+            }
+        )
     return rows
 
 
 def kill_bit_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
-                      sizes=(32, 64, 128, 256), options=None):
+                      sizes=(32, 64, 128, 256), options=None,
+                      artifact_cache=None):
     """Kill bits on/off and invalidate-vs-demote (Section 3.2).
 
     Small caches make the LRU-decay waste visible: without kill bits a
     dead line occupies a slot for O(associativity) further misses.
     """
-    trace, _program = _trace_for(name, paper_scale, options)
-    rows = []
+    trace, _program = _trace_for(name, paper_scale, options, artifact_cache)
+    cells = []
+    specs = []
     for size in sizes:
         for mode in ("invalidate", "demote", "off"):
-            config = _variant(
-                base,
-                size_words=size,
-                honor_kill=mode != "off",
-                kill_mode=mode if mode != "off" else "invalidate",
+            specs.append(
+                _variant(
+                    base,
+                    size_words=size,
+                    honor_kill=mode != "off",
+                    kill_mode=mode if mode != "off" else "invalidate",
+                )
             )
-            stats = replay_trace(trace, config)
-            rows.append(
-                {
-                    "benchmark": name,
-                    "size_words": size,
-                    "kill_mode": mode,
-                    "miss_rate": stats.miss_rate,
-                    "misses": stats.misses,
-                    "writebacks": stats.writebacks,
-                    "dead_drops": stats.dead_drops,
-                    "dead_line_frees": stats.dead_line_frees,
-                    "bus_words": stats.bus_words,
-                }
-            )
+            cells.append((size, mode))
+    all_stats = replay_trace_multi(trace, specs)
+    rows = []
+    for (size, mode), stats in zip(cells, all_stats):
+        rows.append(
+            {
+                "benchmark": name,
+                "size_words": size,
+                "kill_mode": mode,
+                "miss_rate": stats.miss_rate,
+                "misses": stats.misses,
+                "writebacks": stats.writebacks,
+                "dead_drops": stats.dead_drops,
+                "dead_line_frees": stats.dead_line_frees,
+                "bus_words": stats.bus_words,
+            }
+        )
     return rows
 
 
@@ -179,7 +213,7 @@ int main() {
 
 
 def spill_ablation(name="pressure-kernel", base=DEFAULT_CACHE,
-                   paper_scale=False, num_regs=8):
+                   paper_scale=False, num_regs=8, artifact_cache=None):
     """Spill-to-cache vs spill-bypass (Section 4.2).
 
     Compiles for a small register file (default 8 registers) with
@@ -204,11 +238,16 @@ def spill_ablation(name="pressure-kernel", base=DEFAULT_CACHE,
             machine=machine,
             spill_to_cache=spill_to_cache,
         )
-        program = compile_source(source, options)
-        memory = RecordingMemory()
-        program.run(memory=memory)
-        stats = replay_trace(memory.buffer, base)
-        summary = memory.buffer.summary()
+        if artifact_cache is not None:
+            artifact = artifact_cache.resolve(name, source, options)
+            trace = artifact.trace
+        else:
+            program = compile_source(source, options)
+            memory = RecordingMemory()
+            program.run(memory=memory)
+            trace = memory.buffer
+        stats = replay_trace(trace, base)
+        summary = trace.summary()
         rows.append(
             {
                 "benchmark": name,
@@ -225,13 +264,15 @@ def spill_ablation(name="pressure-kernel", base=DEFAULT_CACHE,
 
 
 def promotion_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
-                       levels=("none", "modest", "aggressive")):
+                       levels=("none", "modest", "aggressive"),
+                       artifact_cache=None):
     """Classification fractions vs allocator aggressiveness."""
     rows = []
     for level in levels:
         options = CompilationOptions(scheme="unified", promotion=level)
         result = run_benchmark(
-            name, paper_scale=paper_scale, options=options, cache_config=base
+            name, paper_scale=paper_scale, options=options, cache_config=base,
+            artifact_cache=artifact_cache,
         )
         rows.append(
             {
@@ -249,15 +290,60 @@ def promotion_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
     return rows
 
 
-def all_benchmarks_sweep(sweep, names=BENCHMARK_NAMES, failures=None, **kwargs):
+def _sweep_worker(payload):
+    """Top-level worker for :func:`all_benchmarks_sweep` fan-out."""
+    from repro.errors import failure_record
+    from repro.evalharness.artifacts import ArtifactCache
+
+    sweep_name, name, artifact_root, kwargs, capture = payload
+    sweep = globals()[sweep_name]
+    if artifact_root:
+        kwargs = dict(kwargs, artifact_cache=ArtifactCache(artifact_root))
+    if not capture:
+        return "ok", sweep(name, **kwargs)
+    try:
+        return "ok", sweep(name, **kwargs)
+    except Exception as error:  # noqa: BLE001 - serialized as a record
+        return "error", failure_record(sweep_name, name, error)
+
+
+def all_benchmarks_sweep(sweep, names=BENCHMARK_NAMES, failures=None,
+                         jobs=None, artifact_cache=None, **kwargs):
     """Apply one of the sweeps above to every benchmark.
 
     With ``failures`` (a list), a benchmark that breaks is recorded
     there and skipped instead of aborting the whole sweep; without it,
-    errors propagate.
+    errors propagate.  ``jobs`` fans the per-benchmark sweeps out over
+    a process pool (the sweep must be one of this module's functions so
+    workers can resolve it by name); ``artifact_cache`` lets every
+    benchmark resolve its trace from the on-disk store.
     """
     from repro.errors import failure_record
 
+    if jobs and jobs > 1:
+        from repro.evalharness.parallel import pool_map
+
+        sweep_name = sweep.__name__
+        if globals().get(sweep_name) is not sweep:
+            raise ValueError(
+                "all_benchmarks_sweep(jobs=N) requires one of the "
+                "module-level sweeps, got {!r}".format(sweep)
+            )
+        root = artifact_cache.root if artifact_cache is not None else None
+        capture = failures is not None
+        payloads = [
+            (sweep_name, name, root, kwargs, capture) for name in names
+        ]
+        rows = []
+        for status, value in pool_map(_sweep_worker, payloads, jobs=jobs):
+            if status == "ok":
+                rows.extend(value)
+            else:
+                failures.append(value)
+        return rows
+
+    if artifact_cache is not None:
+        kwargs = dict(kwargs, artifact_cache=artifact_cache)
     rows = []
     for name in names:
         try:

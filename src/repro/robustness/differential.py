@@ -19,6 +19,12 @@ asserts:
   data-carrying functional cache produces the same program output,
   the same final memory as flat memory, and *exactly* the same
   statistics as the tag-only simulator replaying the recorded trace.
+* **Multi-replay agreement** — the single-pass multi-configuration
+  replay core (:func:`repro.cache.replay.replay_trace_multi`) produces
+  bit-identical statistics to the serial replays for the unified, the
+  annotation-blind, and the MIN configuration of the same trace; every
+  fuzzed program thereby exercises the parallel engine's fast path
+  against the reference path.
 * **MIN sanity** — Belady MIN on the same trace agrees with LRU on
   every policy-independent counter and never misses more than LRU.
 * **Static-analysis agreement** — the :mod:`repro.staticcheck`
@@ -37,7 +43,7 @@ bugs.
 from repro.cache.belady import simulate_min
 from repro.cache.cache import CacheConfig
 from repro.cache.functional import DataCachedMemory
-from repro.cache.replay import replay_trace
+from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
 from repro.errors import ReproError
 from repro.regalloc.promotion import PromotionLevel
 from repro.unified.pipeline import CompilationOptions, Scheme, compile_source
@@ -357,3 +363,32 @@ def _check_cache_models(run, baseline, cache_words, associativity):
                 min_stats.misses, replayed.misses
             ),
         )
+
+    blind = CacheConfig(
+        size_words=cache_words,
+        line_words=1,
+        associativity=associativity,
+        policy="lru",
+        honor_bypass=False,
+        honor_kill=False,
+    )
+    serial = {
+        "unified": lru,
+        "conventional": replay_trace(run.trace, blind).as_dict(),
+        "min": minimum,
+    }
+    multi = replay_trace_multi(
+        run.trace, [config, blind, MinConfig(config)]
+    )
+    for label, stats in zip(("unified", "conventional", "min"), multi):
+        if stats.as_dict() != serial[label]:
+            diff = {
+                key: (stats.as_dict()[key], serial[label][key])
+                for key in serial[label]
+                if stats.as_dict().get(key) != serial[label][key]
+            }
+            raise DifferentialError(
+                "multi-replay",
+                "multi-config replay and serial replay disagree on the "
+                "{} configuration: {!r}".format(label, diff),
+            )

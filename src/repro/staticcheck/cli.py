@@ -139,6 +139,9 @@ def main(argv=None):
                              "any violation or mismatch")
     parser.add_argument("--max-steps", type=int, default=None,
                         help="VM fuel budget for --validate/--check runs")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for --check (one benchmark "
+                             "per worker; output order is unchanged)")
     _add_compile_args(parser)
     args = parser.parse_args(argv)
 
@@ -189,6 +192,39 @@ def main(argv=None):
     return status
 
 
+def _check_benchmark_worker(payload):
+    """One benchmark of the ``--check`` gate: compile, lint, validate.
+
+    Top-level so ``--jobs`` can fan benchmarks out over a process pool;
+    returns ``(failed, row, violation_lines)`` so the parent prints the
+    table in benchmark order regardless of completion order.
+    """
+    name, options, geometries, max_steps = payload
+    program = compile_source(get_benchmark(name).source, options)
+    violations = lint_module(program.module, program.alias)
+    failed = bool(violations)
+    row = None
+    for geometry in geometries:
+        analysis = analyze_program(program, geometry)
+        if row is None:
+            row = "{:10s} {:>6d} {:>8d} {:>6.1f}%".format(
+                name, len(violations), len(analysis.sites),
+                analysis.static_bypass_percent,
+            )
+        report = cross_validate(
+            program, geometry, max_steps=max_steps, analysis=analysis,
+        )
+        if report.mismatches or report.dynamic_classified_percent < 50.0:
+            failed = True
+        row += "  {:>12d} {:>8.1f}%".format(
+            len(report.mismatches), report.dynamic_classified_percent
+        )
+    violation_lines = [
+        "  {!r}".format(violation) for violation in violations
+    ]
+    return failed, row, violation_lines
+
+
 def _run_check(args):
     """CI mode: every benchmark must lint clean and validate clean."""
     names = (args.benchmark,) if args.benchmark else BENCHMARK_NAMES
@@ -223,31 +259,19 @@ def _run_check(args):
     print("-" * len(header))
 
     failed = False
-    for name in names:
-        program = compile_source(get_benchmark(name).source, options)
-        violations = lint_module(program.module, program.alias)
-        if violations:
+    payloads = [
+        (name, options, tuple(geometries), args.max_steps) for name in names
+    ]
+    from repro.evalharness.parallel import pool_map
+
+    for benchmark_failed, row, violation_lines in pool_map(
+        _check_benchmark_worker, payloads, jobs=args.jobs
+    ):
+        if benchmark_failed:
             failed = True
-        row = None
-        for geometry in geometries:
-            analysis = analyze_program(program, geometry)
-            if row is None:
-                row = "{:10s} {:>6d} {:>8d} {:>6.1f}%".format(
-                    name, len(violations), len(analysis.sites),
-                    analysis.static_bypass_percent,
-                )
-            report = cross_validate(
-                program, geometry, max_steps=args.max_steps,
-                analysis=analysis,
-            )
-            if report.mismatches or report.dynamic_classified_percent < 50.0:
-                failed = True
-            row += "  {:>12d} {:>8.1f}%".format(
-                len(report.mismatches), report.dynamic_classified_percent
-            )
         print(row)
-        for violation in violations:
-            print("  {!r}".format(violation))
+        for line in violation_lines:
+            print(line)
     if failed:
         print("FAIL: lint violations, mismatches, or <50% dynamic "
               "classification", file=sys.stderr)

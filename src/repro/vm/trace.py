@@ -6,11 +6,22 @@ traces stay cheap; the cache simulators consume either the packed form
 directly or :class:`TraceEvent` views.
 """
 
+import struct
+import sys
 from array import array
 from dataclasses import dataclass
 
 from repro.ir.instructions import RefClass, RefOrigin
 from repro.lang.errors import ResourceExhausted
+
+#: On-disk trace format: magic, format version, event count.  Payload
+#: is the address array (little-endian int64) followed by the flag
+#: array (one byte per event).  Version bumps whenever the flag-byte
+#: encoding above changes, so a stale artifact can never be replayed
+#: under the wrong semantics.
+TRACE_MAGIC = b"RPTRACE1"
+TRACE_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<8sIQ")
 
 #: Default cap on buffered trace events.  Each event costs nine bytes
 #: (an int64 address plus a flag byte), so the default bounds one
@@ -115,6 +126,66 @@ class TraceBuffer:
         """Yield unpacked :class:`TraceEvent` objects (slower)."""
         for address, flags in self:
             yield TraceEvent.from_packed(address, flags)
+
+    # -- serialization -------------------------------------------------
+
+    def to_bytes(self):
+        """Serialize to the versioned on-disk format (little-endian)."""
+        addresses = self.addresses
+        if sys.byteorder != "little":
+            addresses = array("q", addresses)
+            addresses.byteswap()
+        return b"".join(
+            [
+                _HEADER.pack(TRACE_MAGIC, TRACE_FORMAT_VERSION, len(self)),
+                addresses.tobytes(),
+                self.flags.tobytes(),
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, data, max_events=DEFAULT_MAX_EVENTS):
+        """Rebuild a buffer serialized by :meth:`to_bytes`.
+
+        Raises :class:`ValueError` on a truncated, corrupted, or
+        wrong-version payload rather than returning a bad trace.
+        """
+        if len(data) < _HEADER.size:
+            raise ValueError("trace data shorter than its header")
+        magic, version, count = _HEADER.unpack_from(data)
+        if magic != TRACE_MAGIC:
+            raise ValueError("not a serialized trace (bad magic)")
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                "trace format version {} unsupported (expected {})".format(
+                    version, TRACE_FORMAT_VERSION
+                )
+            )
+        expected = _HEADER.size + count * 9
+        if len(data) != expected:
+            raise ValueError(
+                "trace payload is {} bytes, header promises {}".format(
+                    len(data), expected
+                )
+            )
+        buffer = cls(max_events=max_events)
+        split = _HEADER.size + count * 8
+        buffer.addresses.frombytes(data[_HEADER.size:split])
+        if sys.byteorder != "little":
+            buffer.addresses.byteswap()
+        buffer.flags.frombytes(data[split:])
+        return buffer
+
+    def save(self, path):
+        """Write the serialized trace to ``path`` (see :meth:`to_bytes`)."""
+        with open(path, "wb") as handle:
+            handle.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path, max_events=DEFAULT_MAX_EVENTS):
+        """Read a trace written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read(), max_events=max_events)
 
     def summary(self):
         """Counts used by the dynamic-classification experiment.

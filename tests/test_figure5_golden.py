@@ -1,0 +1,68 @@
+"""Golden-file regression test pinning the Figure 5 table.
+
+The headline experiment's exact numbers — every float, every
+reference count, for all six benchmarks — are pinned in
+``tests/golden/figure5.json``.  Any change to the compiler, the VM,
+the cache model, or the evaluation engine that moves a single value
+fails here, deliberately loudly: the whole engine refactor is sold on
+bit-identical results, so a drift is either a bug or a semantics
+change that must re-pin the golden file on purpose.
+
+To regenerate after an *intentional* semantics change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_figure5_golden.py -q
+
+and commit the refreshed ``tests/golden/figure5.json`` alongside the
+change that moved the numbers.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.evalharness.figure5 import figure5_table
+from repro.programs import BENCHMARK_NAMES
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "figure5.json"
+)
+
+
+def row_payload(row):
+    return {
+        "static_percent_unambiguous": row.static_percent_unambiguous,
+        "static_bypass_checked": row.static_bypass_checked,
+        "dynamic_percent_unambiguous": row.dynamic_percent_unambiguous,
+        "cache_traffic_reduction": row.cache_traffic_reduction,
+        "bus_traffic_reduction": row.bus_traffic_reduction,
+        "dynamic_refs": row.dynamic_refs,
+    }
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = figure5_table()
+    return {row.name: row_payload(row) for row in rows}
+
+
+def test_figure5_matches_golden(measured):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        with open(GOLDEN_PATH, "w") as handle:
+            json.dump(measured, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    with open(GOLDEN_PATH) as handle:
+        golden = json.load(handle)
+    assert set(golden) == set(BENCHMARK_NAMES)
+    # Compare exactly — these are deterministic integer-arithmetic
+    # pipelines; float equality is intentional, not a tolerance bug.
+    assert measured == golden
+
+
+def test_golden_covers_all_benchmarks():
+    with open(GOLDEN_PATH) as handle:
+        golden = json.load(handle)
+    assert sorted(golden) == sorted(BENCHMARK_NAMES)
+    for name, values in golden.items():
+        assert values["dynamic_refs"] > 0, name

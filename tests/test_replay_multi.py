@@ -1,0 +1,251 @@
+"""The single-pass multi-configuration replay core vs the serial path.
+
+Every configuration the sweeps can request — policies, bypass/kill
+honoring, write policies, allocation policy, kill modes, multi-word
+lines, MIN — must produce bit-identical statistics whether it runs
+through :func:`replay_trace` (the reference serial path) or through
+:func:`replay_trace_multi` (the engine's shared-decode fast path).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import (
+    MinConfig,
+    decode_trace,
+    replay_trace,
+    replay_trace_multi,
+)
+from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE, TraceBuffer
+
+
+def make_trace(refs):
+    trace = TraceBuffer()
+    for address, is_write, bypass, kill in refs:
+        flags = 0
+        if is_write:
+            flags |= FLAG_WRITE
+        if bypass:
+            flags |= FLAG_BYPASS
+        if kill:
+            flags |= FLAG_KILL
+        trace.append(address, flags)
+    return trace
+
+
+#: Every behaviorally distinct configuration family the harness uses.
+SWEEP_CONFIGS = [
+    CacheConfig(size_words=8, line_words=1, associativity=2, policy="lru"),
+    CacheConfig(size_words=8, line_words=1, associativity=2, policy="fifo"),
+    CacheConfig(size_words=8, line_words=1, associativity=2, policy="random",
+                seed=99),
+    CacheConfig(size_words=8, line_words=1, associativity=2, policy="lru",
+                honor_bypass=False, honor_kill=False),
+    CacheConfig(size_words=8, line_words=1, associativity=2, policy="lru",
+                honor_bypass=True, honor_kill=False),
+    CacheConfig(size_words=8, line_words=1, associativity=2, policy="lru",
+                write_policy="writethrough"),
+    CacheConfig(size_words=8, line_words=1, associativity=2, policy="lru",
+                allocate_on_write=False),
+    CacheConfig(size_words=8, line_words=1, associativity=2, policy="lru",
+                kill_mode="demote"),
+    CacheConfig(size_words=16, line_words=4, associativity=2, policy="lru"),
+    CacheConfig(size_words=16, line_words=4, associativity=2, policy="fifo",
+                kill_mode="demote", write_policy="writethrough"),
+    CacheConfig(size_words=4, line_words=1, associativity=4, policy="random",
+                seed=7, allocate_on_write=False, kill_mode="demote"),
+]
+
+
+def serial_replay(trace, spec):
+    """The reference result for one multi-replay slot."""
+    if isinstance(spec, MinConfig):
+        return replay_trace(
+            trace,
+            policy="min",
+            size_words=spec.config.size_words,
+            line_words=spec.config.line_words,
+            associativity=spec.config.associativity,
+            honor_bypass=spec.config.honor_bypass,
+            honor_kill=spec.config.honor_kill,
+            kill_mode=spec.config.kill_mode,
+        )
+    return replay_trace(trace, spec)
+
+
+def assert_multi_matches_serial(trace, configs):
+    serial = [serial_replay(trace, spec) for spec in configs]
+    multi = replay_trace_multi(trace, configs)
+    for spec, expect, got in zip(configs, serial, multi):
+        assert got.as_dict() == expect.as_dict(), spec
+
+
+# A dense little stream touching hits, misses, evictions, bypasses,
+# kills, writes, and re-reads of killed addresses.
+HAND_REFS = [
+    (0, False, False, False),
+    (1, True, False, False),
+    (2, False, False, False),
+    (3, True, False, True),
+    (0, False, False, False),
+    (4, False, True, False),   # bypass read, not resident
+    (1, False, True, True),    # bypass read of a dirty resident line + kill
+    (5, True, True, False),    # bypass write
+    (6, True, False, False),
+    (7, False, False, True),   # kill on miss
+    (2, True, True, True),     # bypass write + kill (kill not counted)
+    (0, True, False, False),
+    (8, False, False, False),
+    (9, False, False, False),  # forces eviction at assoc 2
+    (1, False, False, False),
+    (3, False, False, False),
+]
+
+
+class TestMultiEqualsSerial:
+    def test_hand_trace_all_configs(self):
+        trace = make_trace(HAND_REFS)
+        assert_multi_matches_serial(trace, list(SWEEP_CONFIGS))
+
+    def test_min_configs_share_next_use(self):
+        trace = make_trace(HAND_REFS)
+        specs = [
+            MinConfig(size_words=8, line_words=1, associativity=2),
+            MinConfig(size_words=8, line_words=1, associativity=2,
+                      honor_kill=False),
+            MinConfig(size_words=4, line_words=1, associativity=1),
+            MinConfig(size_words=16, line_words=4, associativity=2),
+            MinConfig(size_words=8, line_words=1, associativity=2,
+                      honor_bypass=False),
+        ]
+        assert_multi_matches_serial(trace, specs)
+
+    def test_mixed_online_and_min(self):
+        trace = make_trace(HAND_REFS)
+        specs = [
+            SWEEP_CONFIGS[0],
+            MinConfig(size_words=8, line_words=1, associativity=2),
+            SWEEP_CONFIGS[3],
+            MinConfig(size_words=8, line_words=1, associativity=2,
+                      honor_kill=False),
+        ]
+        assert_multi_matches_serial(trace, specs)
+
+    def test_empty_trace(self):
+        trace = make_trace([])
+        stats = replay_trace_multi(
+            trace, [SWEEP_CONFIGS[0], MinConfig(size_words=8,
+                                                associativity=2)]
+        )
+        assert all(s.refs_total == 0 for s in stats)
+
+    def test_precomputed_decode_shared_across_calls(self):
+        trace = make_trace(HAND_REFS)
+        decoded = decode_trace(trace)
+        direct = replay_trace_multi(trace, [SWEEP_CONFIGS[0]])
+        shared = replay_trace_multi(trace, [SWEEP_CONFIGS[0]],
+                                    decoded=decoded)
+        assert direct[0].as_dict() == shared[0].as_dict()
+
+    @given(
+        refs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=23),
+                st.booleans(),
+                st.booleans(),
+                st.booleans(),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_traces(self, refs):
+        trace = make_trace(refs)
+        specs = list(SWEEP_CONFIGS) + [
+            MinConfig(size_words=8, line_words=1, associativity=2),
+            MinConfig(size_words=8, line_words=1, associativity=2,
+                      honor_kill=False),
+        ]
+        assert_multi_matches_serial(trace, specs)
+
+
+class TestReplayTraceKwargsGuard:
+    def test_config_plus_kwargs_raises(self):
+        trace = make_trace(HAND_REFS)
+        config = CacheConfig(size_words=8, associativity=2)
+        with pytest.raises(ValueError, match="not both"):
+            replay_trace(trace, config, size_words=4)
+
+    def test_config_alone_still_works(self):
+        trace = make_trace(HAND_REFS)
+        config = CacheConfig(size_words=8, associativity=2)
+        assert replay_trace(trace, config).refs_total == len(HAND_REFS)
+
+    def test_kwargs_alone_still_work(self):
+        trace = make_trace(HAND_REFS)
+        stats = replay_trace(trace, size_words=8, associativity=2)
+        assert stats.refs_total == len(HAND_REFS)
+
+    def test_min_config_plus_kwargs_raises(self):
+        config = CacheConfig(size_words=8, associativity=2)
+        with pytest.raises(ValueError, match="not both"):
+            MinConfig(config, size_words=4)
+
+
+class TestFuzzedProgramTraces:
+    """The multi-replay core against traces of real compiled programs."""
+
+    @pytest.fixture(scope="class")
+    def fuzz_traces(self):
+        from repro.robustness.generator import generate_program
+        from repro.unified.pipeline import CompilationOptions, compile_source
+        from repro.vm.memory import RecordingMemory
+
+        traces = []
+        for seed in (3, 11, 29):
+            generated = generate_program(seed)
+            program = compile_source(
+                generated.source,
+                CompilationOptions(scheme="unified", promotion="aggressive"),
+            )
+            memory = RecordingMemory()
+            program.run(memory=memory)
+            traces.append(memory.buffer)
+        return traces
+
+    def test_fuzzed_traces_agree(self, fuzz_traces):
+        for trace in fuzz_traces:
+            assert_multi_matches_serial(
+                trace,
+                [
+                    SWEEP_CONFIGS[0],
+                    SWEEP_CONFIGS[2],
+                    SWEEP_CONFIGS[3],
+                    MinConfig(size_words=8, line_words=1, associativity=2),
+                ],
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_fuzzed_seeds(self, seed):
+        from repro.robustness.generator import generate_program
+        from repro.unified.pipeline import CompilationOptions, compile_source
+        from repro.vm.memory import RecordingMemory
+
+        generated = generate_program(seed)
+        program = compile_source(
+            generated.source,
+            CompilationOptions(scheme="unified", promotion="aggressive"),
+        )
+        memory = RecordingMemory()
+        program.run(memory=memory)
+        assert_multi_matches_serial(
+            memory.buffer,
+            [
+                SWEEP_CONFIGS[0],
+                SWEEP_CONFIGS[5],
+                SWEEP_CONFIGS[6],
+                MinConfig(size_words=8, line_words=1, associativity=2),
+            ],
+        )
