@@ -1,0 +1,167 @@
+"""The one-pass sweep acceptance benchmark, recorded in
+``BENCH_onepass.json``.
+
+Two claims, both asserted live:
+
+* **Replay**: on the 6-benchmark × 4-geometry associativity ladder
+  (64 sets fixed, ways 1/2/4/8 — the canonical Mattson shape, every
+  geometry answered by the same per-set distance histograms), the
+  stack-distance engine (:func:`repro.cache.stackdist.replay_trace_sweep`)
+  beats the inlined multi-replay core
+  (:func:`repro.cache.replay.replay_trace_multi`) by at least **3x**
+  single-core, with bit-identical statistics.
+* **Trace generation**: the closure-compiled VM hot loop
+  (:class:`repro.vm.machine.Machine`) produces the recorded reference
+  traces at least **1.5x** faster than the per-step dispatch reference
+  interpreter (:class:`repro.vm.reference.ReferenceMachine`) it
+  replaced — the cold-path cost when the artifact cache is empty.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_onepass.py -q
+"""
+
+import json
+import os
+import platform
+import time
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace_multi
+from repro.cache.stackdist import replay_trace_sweep
+from repro.evalharness.experiment import conventional_config
+from repro.evalharness.figure5 import figure5_options
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.unified.pipeline import compile_source
+from repro.vm.machine import Machine
+from repro.vm.memory import RecordingMemory
+from repro.vm.reference import ReferenceMachine
+
+#: The associativity ladder: 64 sets at every rung, so one profiling
+#: pass covers the whole column of geometries.
+SWEEP_WAYS = (1, 2, 4, 8)
+NUM_SETS = 64
+
+GEOMETRIES = tuple(
+    CacheConfig(
+        size_words=NUM_SETS * ways,
+        line_words=1,
+        associativity=ways,
+        policy="lru",
+    )
+    for ways in SWEEP_WAYS
+)
+
+RECORD_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_onepass.json",
+)
+
+REPLAY_SPEEDUP_FLOOR = 3.0
+VM_SPEEDUP_FLOOR = 1.5
+
+
+def _specs():
+    """Unified + conventional per geometry, the harness sweep shape."""
+    specs = []
+    for geometry in GEOMETRIES:
+        specs.append(geometry)
+        specs.append(conventional_config(geometry))
+    return specs
+
+
+def _trace_with(vm_class, program):
+    memory = RecordingMemory()
+    vm = vm_class(program.module, memory=memory,
+                  machine=program.options.machine)
+    started = time.perf_counter()
+    result = vm.run()
+    seconds = time.perf_counter() - started
+    return memory.buffer, result, seconds
+
+
+def test_onepass_speedup_and_equivalence():
+    options = figure5_options()
+    programs = {
+        name: compile_source(get_benchmark(name).source, options)
+        for name in BENCHMARK_NAMES
+    }
+
+    # -- cold path: VM trace generation, closure loop vs reference ----
+    traces = {}
+    vm_seconds = 0.0
+    reference_seconds = 0.0
+    for name, program in programs.items():
+        trace, result, seconds = _trace_with(Machine, program)
+        traces[name] = trace
+        vm_seconds += seconds
+        ref_trace, ref_result, ref_seconds = _trace_with(
+            ReferenceMachine, program
+        )
+        reference_seconds += ref_seconds
+        assert ref_result.output == result.output
+        assert ref_result.steps == result.steps
+        assert list(ref_trace) == list(trace)
+
+    # -- warm path: geometry sweep, stackdist vs multi-replay ---------
+    specs = _specs()
+    multi_started = time.perf_counter()
+    multi = {
+        name: replay_trace_multi(trace, specs)
+        for name, trace in traces.items()
+    }
+    multi_seconds = time.perf_counter() - multi_started
+
+    sweep_started = time.perf_counter()
+    swept = {
+        name: replay_trace_sweep(trace, specs, engine="stackdist")
+        for name, trace in traces.items()
+    }
+    sweep_seconds = time.perf_counter() - sweep_started
+
+    for name in BENCHMARK_NAMES:
+        for spec, want, got in zip(specs, multi[name], swept[name]):
+            assert got.as_dict() == want.as_dict(), (name, spec)
+
+    replay_speedup = multi_seconds / sweep_seconds
+    vm_speedup = reference_seconds / vm_seconds
+    record = {
+        "benchmarks": list(BENCHMARK_NAMES),
+        "num_sets": NUM_SETS,
+        "ways": list(SWEEP_WAYS),
+        "geometry_sizes": [g.size_words for g in GEOMETRIES],
+        "specs_per_trace": len(specs),
+        "multi_replay_seconds": round(multi_seconds, 3),
+        "stackdist_seconds": round(sweep_seconds, 3),
+        "replay_speedup": round(replay_speedup, 2),
+        "reference_vm_seconds": round(reference_seconds, 3),
+        "closure_vm_seconds": round(vm_seconds, 3),
+        "vm_speedup": round(vm_speedup, 2),
+        "replay_speedup_floor": REPLAY_SPEEDUP_FLOOR,
+        "vm_speedup_floor": VM_SPEEDUP_FLOOR,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        record["effective_cpus"] = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        record["effective_cpus"] = None
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert replay_speedup >= REPLAY_SPEEDUP_FLOOR, (
+        "stack-distance sweep speedup {:.2f}x is below the {}x floor "
+        "(multi {:.2f}s, stackdist {:.2f}s)".format(
+            replay_speedup, REPLAY_SPEEDUP_FLOOR,
+            multi_seconds, sweep_seconds,
+        )
+    )
+    assert vm_speedup >= VM_SPEEDUP_FLOOR, (
+        "closure VM speedup {:.2f}x is below the {}x floor "
+        "(reference {:.2f}s, closure {:.2f}s)".format(
+            vm_speedup, VM_SPEEDUP_FLOOR,
+            reference_seconds, vm_seconds,
+        )
+    )

@@ -22,10 +22,12 @@ import time
 
 from repro.cache.cache import CacheConfig
 from repro.evalharness.artifacts import ArtifactCache
-from repro.evalharness.experiment import run_benchmark
+from repro.evalharness.experiment import evaluate_trace_multi, run_benchmark
 from repro.evalharness.figure5 import figure5_options
 from repro.evalharness.parallel import EvalUnit, run_units
-from repro.programs import BENCHMARK_NAMES
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.unified.pipeline import compile_source
+from repro.vm.memory import RecordingMemory
 
 SWEEP_SIZES = (64, 128, 256, 512)
 
@@ -38,6 +40,56 @@ RECORD_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_parallel.json",
 )
+
+
+def _effective_cpus():
+    """CPUs this process may actually run on, where the OS can say.
+
+    ``os.cpu_count()`` reports the machine; a container or cpuset can
+    pin the process to fewer, which is what the engine's ``jobs``
+    setting competes against.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return None
+
+
+def staged_timings(options):
+    """One serial compile → trace → replay pass, timed per stage.
+
+    Each benchmark is compiled once, traced once, and its trace scored
+    against every geometry once — the minimum work the engine's
+    artifact cache amortizes — so the record shows where the serial
+    sweep's time actually goes.
+    """
+    compile_started = time.perf_counter()
+    programs = {
+        name: compile_source(get_benchmark(name).source, options)
+        for name in BENCHMARK_NAMES
+    }
+    compile_seconds = time.perf_counter() - compile_started
+
+    trace_started = time.perf_counter()
+    traced = {}
+    for name, program in programs.items():
+        memory = RecordingMemory()
+        result = program.run(memory=memory)
+        traced[name] = (memory.buffer, result)
+    trace_seconds = time.perf_counter() - trace_started
+
+    replay_started = time.perf_counter()
+    for name, (trace, result) in traced.items():
+        evaluate_trace_multi(
+            name, programs[name], trace, result.output, result.steps,
+            GEOMETRIES,
+        )
+    replay_seconds = time.perf_counter() - replay_started
+    return {
+        "compile_seconds": round(compile_seconds, 3),
+        "trace_seconds": round(trace_seconds, 3),
+        "replay_seconds": round(replay_seconds, 3),
+    }
 
 
 def canonical(result):
@@ -99,6 +151,8 @@ def test_engine_speedup_and_equivalence():
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "effective_cpus": _effective_cpus(),
+        "stages": staged_timings(options),
     }
     with open(RECORD_PATH, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)

@@ -14,14 +14,25 @@ line is dropped without a write-back.
 from repro.cache.stats import CacheStats
 from repro.cache.cache import Cache, CacheConfig
 from repro.cache.belady import simulate_min
-from repro.cache.replay import replay_trace
+from repro.cache.replay import replay_trace, replay_trace_multi
+from repro.cache.stackdist import (
+    StackDistanceProfile,
+    profile_pass,
+    replay_trace_sweep,
+    supports_stackdist,
+)
 from repro.cache.functional import DataCachedMemory
 
 __all__ = [
     "Cache",
     "CacheConfig",
     "CacheStats",
+    "StackDistanceProfile",
     "simulate_min",
+    "profile_pass",
     "replay_trace",
+    "replay_trace_multi",
+    "replay_trace_sweep",
+    "supports_stackdist",
     "DataCachedMemory",
 ]

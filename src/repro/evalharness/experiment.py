@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.cache import CacheConfig
 from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
+from repro.cache.stackdist import replay_trace_sweep
 from repro.lang.errors import VMError
 from repro.programs import get_benchmark
 from repro.unified.pipeline import CompilationOptions, compile_source
@@ -168,8 +169,11 @@ def evaluate_trace_multi(
     """Score one recorded trace under many cache geometries at once.
 
     The unified and conventional replays of every geometry run through
-    the single-pass multi-configuration core
-    (:func:`~repro.cache.replay.replay_trace_multi`), and the dynamic
+    the sweep dispatcher
+    (:func:`~repro.cache.stackdist.replay_trace_sweep`): LRU
+    geometries are scored by the one-pass stack-distance profiler,
+    everything else by the single-pass multi-configuration core
+    (:func:`~repro.cache.replay.replay_trace_multi`) — and the dynamic
     summary is computed once and shared; the per-geometry results are
     bit-identical to calling :func:`evaluate_trace` per config (the
     equivalence battery asserts exactly that).
@@ -178,7 +182,7 @@ def evaluate_trace_multi(
     for cache_config in cache_configs:
         specs.append(cache_config)
         specs.append(conventional_config(cache_config))
-    stats = replay_trace_multi(trace, specs)
+    stats = replay_trace_sweep(trace, specs)
     summary = trace.summary()
     output = tuple(output)
     results = []

@@ -12,6 +12,7 @@ serial ``run_benchmark`` path (the equivalence battery in
 ``tests/test_parallel_equivalence.py`` holds the engine to that).
 """
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -47,6 +48,12 @@ def evaluate_unit(unit, artifact_cache=None, keep_trace=False):
 
     Returns the list of :class:`ExperimentResult`, one per entry of
     ``unit.cache_configs``, in order.
+
+    A single-geometry unit normally scores through the reference
+    serial replay (:func:`~repro.evalharness.experiment.evaluate_trace`);
+    setting ``REPRO_SWEEP_ENGINE`` routes even that case through the
+    sweep dispatcher so CI can force the stack-distance path end to
+    end.
     """
     bench = get_benchmark(unit.name, unit.paper_scale)
     options = unit.options or CompilationOptions()
@@ -77,7 +84,8 @@ def evaluate_unit(unit, artifact_cache=None, keep_trace=False):
         output = tuple(result.output)
         steps = result.steps
     configs = tuple(unit.cache_configs)
-    if len(configs) == 1:
+    forced_engine = os.environ.get("REPRO_SWEEP_ENGINE")
+    if len(configs) == 1 and not forced_engine:
         return [
             evaluate_trace(
                 bench.name, program, trace, output, steps,

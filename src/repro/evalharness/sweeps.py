@@ -6,13 +6,17 @@ benchmarks and the examples can both render or assert on them.
 Each sweep obtains its reference trace once (compile + VM run, or an
 :class:`~repro.evalharness.artifacts.ArtifactCache` hit) and scores
 every configuration of the battery through the single-pass
-multi-replay core (:func:`~repro.cache.replay.replay_trace_multi`), so
-the per-configuration cost is one decoded replay rather than a full
-compile-run-replay pipeline.
+sweep dispatcher (:func:`~repro.cache.stackdist.replay_trace_sweep`):
+LRU geometries share one stack-distance profiling pass per flavor,
+everything else runs the single-pass multi-replay core
+(:func:`~repro.cache.replay.replay_trace_multi`) — either way the
+per-configuration cost is far below a full compile-run-replay
+pipeline.
 """
 
 from repro.cache.cache import CacheConfig
-from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
+from repro.cache.replay import MinConfig, replay_trace
+from repro.cache.stackdist import replay_trace_sweep
 from repro.evalharness.experiment import DEFAULT_CACHE, run_benchmark
 from repro.programs import BENCHMARK_NAMES, get_benchmark
 from repro.unified.pipeline import CompilationOptions, compile_source
@@ -79,7 +83,7 @@ def cache_size_sweep(
             _variant(base, size_words=size, honor_bypass=False,
                      honor_kill=False)
         )
-    stats = replay_trace_multi(trace, specs)
+    stats = replay_trace_sweep(trace, specs)
     rows = []
     for index, size in enumerate(sizes):
         unified = stats[2 * index]
@@ -127,7 +131,7 @@ def policy_ablation(
                     _variant(base, policy=policy, honor_kill=honor_kill)
                 )
             cells.append((policy, honor_kill))
-    all_stats = replay_trace_multi(trace, specs)
+    all_stats = replay_trace_sweep(trace, specs)
     rows = []
     for (policy, honor_kill), stats in zip(cells, all_stats):
         rows.append(
@@ -167,7 +171,7 @@ def kill_bit_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
                 )
             )
             cells.append((size, mode))
-    all_stats = replay_trace_multi(trace, specs)
+    all_stats = replay_trace_sweep(trace, specs)
     rows = []
     for (size, mode), stats in zip(cells, all_stats):
         rows.append(

@@ -25,6 +25,11 @@ asserts:
   annotation-blind, and the MIN configuration of the same trace; every
   fuzzed program thereby exercises the parallel engine's fast path
   against the reference path.
+* **Stack-distance agreement** — the one-pass stack-distance sweep
+  (:func:`repro.cache.stackdist.replay_trace_sweep`) reconstructs the
+  same three configurations bit-identically from its per-set distance
+  histograms, so every fuzzed trace also cross-examines the hole-stack
+  automaton against the reference simulator.
 * **MIN sanity** — Belady MIN on the same trace agrees with LRU on
   every policy-independent counter and never misses more than LRU.
 * **Static-analysis agreement** — the :mod:`repro.staticcheck`
@@ -44,6 +49,7 @@ from repro.cache.belady import simulate_min
 from repro.cache.cache import CacheConfig
 from repro.cache.functional import DataCachedMemory
 from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
+from repro.cache.stackdist import replay_trace_sweep
 from repro.errors import ReproError
 from repro.regalloc.promotion import PromotionLevel
 from repro.unified.pipeline import CompilationOptions, Scheme, compile_source
@@ -390,5 +396,21 @@ def _check_cache_models(run, baseline, cache_words, associativity):
             raise DifferentialError(
                 "multi-replay",
                 "multi-config replay and serial replay disagree on the "
+                "{} configuration: {!r}".format(label, diff),
+            )
+
+    swept = replay_trace_sweep(
+        run.trace, [config, blind, MinConfig(config)], engine="auto"
+    )
+    for label, stats in zip(("unified", "conventional", "min"), swept):
+        if stats.as_dict() != serial[label]:
+            diff = {
+                key: (stats.as_dict()[key], serial[label][key])
+                for key in serial[label]
+                if stats.as_dict().get(key) != serial[label][key]
+            }
+            raise DifferentialError(
+                "stackdist",
+                "stack-distance sweep and serial replay disagree on the "
                 "{} configuration: {!r}".format(label, diff),
             )

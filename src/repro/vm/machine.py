@@ -5,6 +5,16 @@ addressed memory, a downward-growing stack of frames.  Every data
 memory access goes through the pluggable memory system together with
 its :class:`RefInfo`, which is how traces and cache models observe the
 reference stream with the paper's bypass/kill annotations attached.
+
+The hot loop is **closure-compiled**: at construction time every
+instruction is translated into a zero-argument handler closure with
+its operand kinds, arithmetic op, frame offsets, jump targets, and
+trace flag byte resolved once, instead of being re-dispatched on every
+step.  The interpreter loop is then just ``index = handlers[index]()``
+plus the fuel check; each handler returns the global index of its
+successor.  Handlers bind the memory system at construction — build
+the :class:`Machine` after the memory it should run against, and do
+not swap ``vm.memory`` afterwards.
 """
 
 from dataclasses import dataclass, field
@@ -27,7 +37,7 @@ from repro.ir.instructions import (
     SymMem,
     UnOp,
 )
-from repro.vm.memory import FlatMemory
+from repro.vm.memory import FlatMemory, RecordingMemory
 
 #: Default top-of-stack word address (stack grows downward from here).
 DEFAULT_STACK_BASE = 1 << 22
@@ -83,6 +93,10 @@ _BINOPS = {
 }
 
 
+class _Halt(Exception):
+    """Internal: a top-level Ret ends the run (never escapes Machine)."""
+
+
 @dataclass
 class ExecutionResult:
     """What one program run produced."""
@@ -121,6 +135,7 @@ class Machine:
             self._offsets[function.name] = dict(function.frame._offsets)
         self._initialize_globals()
         self._layout_code()
+        self._compile_handlers()
 
     def _layout_code(self):
         """Assign every basic block a text-segment address so fetches
@@ -141,6 +156,520 @@ class Machine:
                     self.memory.poke(base + offset, 0)
             else:
                 self.memory.poke(base, self.module.global_inits.get(symbol, 0))
+
+    # -- closure compilation -------------------------------------------
+
+    def _compile_handlers(self):
+        """Translate the laid-out code into the global handler table.
+
+        ``self._handlers[i]`` executes the instruction at text address
+        ``TEXT_BASE + i`` and returns its successor's index.  One extra
+        guard slot at the end catches control flow that falls off a
+        block without a terminator (or jumps to an empty block).
+        """
+        module = self.module
+        #: Index of the fall-off guard handler (one past the code).
+        guard = self.code_size
+        self._fpbox = [0]
+        self._call_stack = []
+        handlers = []
+        entry_index = {}
+        for function in module.functions.values():
+            entry_block = function.entry
+            entry_index[function.name] = (
+                entry_block.code_address - TEXT_BASE
+                if entry_block.instructions
+                else guard
+            )
+            offsets = self._offsets[function.name]
+            for block in function.blocks.values():
+                base = block.code_address - TEXT_BASE
+                assert base == len(handlers), "layout/compile order skew"
+                last = len(block.instructions) - 1
+                for i, instruction in enumerate(block.instructions):
+                    next_index = base + i + 1 if i < last else guard
+                    handlers.append(
+                        self._compile_instruction(
+                            instruction, next_index, function, offsets, guard
+                        )
+                    )
+
+        def fell_off():
+            raise VMError("execution fell off the end of a basic block")
+
+        handlers.append(fell_off)
+        self._handlers = handlers
+        self._entry_index = entry_index
+
+    def _block_index(self, function, name, guard):
+        block = function.blocks[name]
+        if not block.instructions:
+            return guard
+        return block.code_address - TEXT_BASE
+
+    def _compile_instruction(self, ins, nxt, function, offsets, guard):
+        """One instruction -> one zero-argument handler closure."""
+        regs = self.regs
+        fpbox = self._fpbox
+        cls = ins.__class__
+
+        if cls is BinOp:
+            opname = ins.op
+            if opname not in _BINOPS:
+                def unknown_op(opname=opname):
+                    return _BINOPS[opname]  # the historical KeyError
+                return unknown_op
+            op = _BINOPS[opname]
+            d = ins.dest.index
+            left, right = ins.left, ins.right
+            if left.__class__ is PReg:
+                li = left.index
+                if right.__class__ is PReg:
+                    def h(regs=regs, op=op, d=d, l=li, r=right.index, n=nxt):
+                        regs[d] = op(regs[l], regs[r])
+                        return n
+                else:
+                    def h(regs=regs, op=op, d=d, l=li, b=right.value, n=nxt):
+                        regs[d] = op(regs[l], b)
+                        return n
+            else:
+                a = left.value
+                if right.__class__ is PReg:
+                    def h(regs=regs, op=op, d=d, a=a, r=right.index, n=nxt):
+                        regs[d] = op(a, regs[r])
+                        return n
+                else:
+                    def h(regs=regs, op=op, d=d, a=a, b=right.value, n=nxt):
+                        regs[d] = op(a, b)
+                        return n
+            return h
+
+        if cls is Move:
+            d = ins.dest.index
+            src = ins.src
+            if src.__class__ is PReg:
+                def h(regs=regs, d=d, s=src.index, n=nxt):
+                    regs[d] = regs[s]
+                    return n
+            else:
+                def h(regs=regs, d=d, v=src.value, n=nxt):
+                    regs[d] = v
+                    return n
+            return h
+
+        if cls is Load:
+            return self._compile_load(ins, nxt, offsets)
+
+        if cls is Store:
+            return self._compile_store(ins, nxt, offsets)
+
+        if cls is CJump:
+            cond = ins.cond
+            t = self._block_index(function, ins.if_true, guard)
+            f = self._block_index(function, ins.if_false, guard)
+            if cond.__class__ is PReg:
+                def h(regs=regs, c=cond.index, t=t, f=f):
+                    return t if regs[c] != 0 else f
+            else:
+                target = t if cond.value != 0 else f
+                def h(t=target):
+                    return t
+            return h
+
+        if cls is Jump:
+            target = self._block_index(function, ins.target, guard)
+
+            def h(t=target):
+                return t
+            return h
+
+        if cls is UnOp:
+            d = ins.dest.index
+            operand = ins.operand
+            negate = ins.op == "neg"
+            if operand.__class__ is PReg:
+                if negate:
+                    def h(regs=regs, d=d, s=operand.index, n=nxt):
+                        regs[d] = -regs[s]
+                        return n
+                else:
+                    def h(regs=regs, d=d, s=operand.index, n=nxt):
+                        regs[d] = 1 if regs[s] == 0 else 0
+                        return n
+            else:
+                value = -operand.value if negate else (
+                    1 if operand.value == 0 else 0
+                )
+
+                def h(regs=regs, d=d, v=value, n=nxt):
+                    regs[d] = v
+                    return n
+            return h
+
+        if cls is AddrOfSym:
+            d = ins.dest.index
+            symbol = ins.symbol
+            if symbol.global_address is not None:
+                def h(regs=regs, d=d, a=symbol.global_address, n=nxt):
+                    regs[d] = a
+                    return n
+            else:
+                def h(regs=regs, d=d, fpbox=fpbox, off=offsets[symbol], n=nxt):
+                    regs[d] = fpbox[0] + off
+                    return n
+            return h
+
+        if cls is Call:
+            callee = self.module.functions.get(ins.callee)
+            if callee is None:
+                def h(name=ins.callee):
+                    raise VMError(
+                        "call to unknown function {}".format(name)
+                    )
+                return h
+            centry = (
+                callee.entry.code_address - TEXT_BASE
+                if callee.entry.instructions
+                else guard
+            )
+
+            def h(
+                cs=self._call_stack,
+                fpbox=fpbox,
+                n=nxt,
+                size=callee.frame.size,
+                ce=centry,
+                top=self._global_top,
+                cname=callee.name,
+            ):
+                cs.append((n, fpbox[0]))
+                if len(cs) > MAX_CALL_DEPTH:
+                    raise ResourceExhausted(
+                        "call stack overflow (recursion too deep)"
+                    )
+                fp = fpbox[0] - size
+                if fp < top:
+                    raise VMError("stack overflow calling {}".format(cname))
+                fpbox[0] = fp
+                return ce
+            return h
+
+        if cls is Ret:
+            def h(cs=self._call_stack, fpbox=fpbox):
+                if not cs:
+                    raise _Halt
+                n, fp = cs.pop()
+                fpbox[0] = fp
+                return n
+            return h
+
+        if cls is Print:
+            out = self.output
+            src = ins.src
+            if src.__class__ is PReg:
+                def h(regs=regs, out=out, s=src.index, n=nxt):
+                    out.append(regs[s])
+                    return n
+            else:
+                def h(out=out, v=src.value, n=nxt):
+                    out.append(v)
+                    return n
+            return h
+
+        def h(ins=ins):
+            raise VMError("cannot execute instruction {!r}".format(ins))
+        return h
+
+    def _memory_plan(self):
+        """How loads/stores bind the memory system.
+
+        Exact-type :class:`RecordingMemory` (over exact-type
+        :class:`FlatMemory`) and exact-type :class:`FlatMemory` get
+        inlined fast paths — the flag byte is encoded at compile time
+        and the handler talks straight to the trace buffer and the
+        word dict.  Anything else (streaming sinks, subclasses) goes
+        through ``memory.read``/``memory.write`` unchanged.
+        """
+        memory = self.memory
+        if (
+            type(memory) is RecordingMemory
+            and type(memory.flat) is FlatMemory
+        ):
+            return "recording", memory.buffer.append, memory.flat.words
+        if type(memory) is FlatMemory:
+            return "flat", None, memory.words
+        return "generic", None, None
+
+    def _compile_load(self, ins, nxt, offsets):
+        from repro.vm.trace import encode_flags
+
+        regs = self.regs
+        fpbox = self._fpbox
+        d = ins.dest.index
+        mem = ins.mem
+        kind, append, words = self._memory_plan()
+        if kind == "recording":
+            fb = encode_flags(ins.ref, False)
+            get = words.get
+        elif kind == "flat":
+            get = words.get
+        else:
+            read = self.memory.read
+
+        if mem.__class__ is SymMem:
+            symbol = mem.symbol
+            if symbol.global_address is not None:
+                address = symbol.global_address
+                if kind == "recording":
+                    def h(append=append, get=get, regs=regs, d=d,
+                          a=address, fb=fb, n=nxt):
+                        append(a, fb)
+                        regs[d] = get(a, 0)
+                        return n
+                elif kind == "flat":
+                    def h(get=get, regs=regs, d=d, a=address, n=nxt):
+                        regs[d] = get(a, 0)
+                        return n
+                else:
+                    def h(read=read, regs=regs, d=d, a=address,
+                          ref=ins.ref, n=nxt):
+                        regs[d] = read(a, ref)
+                        return n
+                return h
+            off = offsets[symbol]
+            if kind == "recording":
+                def h(append=append, get=get, regs=regs, fpbox=fpbox,
+                      d=d, off=off, fb=fb, n=nxt):
+                    a = fpbox[0] + off
+                    append(a, fb)
+                    regs[d] = get(a, 0)
+                    return n
+            elif kind == "flat":
+                def h(get=get, regs=regs, fpbox=fpbox, d=d, off=off, n=nxt):
+                    regs[d] = get(fpbox[0] + off, 0)
+                    return n
+            else:
+                def h(read=read, regs=regs, fpbox=fpbox, d=d, off=off,
+                      ref=ins.ref, n=nxt):
+                    regs[d] = read(fpbox[0] + off, ref)
+                    return n
+            return h
+
+        ai = mem.addr.index
+        lo, hi = GLOBAL_BASE, self.stack_base
+        if kind == "recording":
+            def h(append=append, get=get, regs=regs, d=d, ai=ai,
+                  lo=lo, hi=hi, fb=fb, ins=ins, n=nxt):
+                a = regs[ai]
+                if a < lo or a >= hi:
+                    raise VMError(
+                        "wild memory access at address {} by {!r}".format(
+                            a, ins
+                        )
+                    )
+                append(a, fb)
+                regs[d] = get(a, 0)
+                return n
+        elif kind == "flat":
+            def h(get=get, regs=regs, d=d, ai=ai, lo=lo, hi=hi,
+                  ins=ins, n=nxt):
+                a = regs[ai]
+                if a < lo or a >= hi:
+                    raise VMError(
+                        "wild memory access at address {} by {!r}".format(
+                            a, ins
+                        )
+                    )
+                regs[d] = get(a, 0)
+                return n
+        else:
+            def h(read=read, regs=regs, d=d, ai=ai, lo=lo, hi=hi,
+                  ref=ins.ref, ins=ins, n=nxt):
+                a = regs[ai]
+                if a < lo or a >= hi:
+                    raise VMError(
+                        "wild memory access at address {} by {!r}".format(
+                            a, ins
+                        )
+                    )
+                regs[d] = read(a, ref)
+                return n
+        return h
+
+    def _compile_store(self, ins, nxt, offsets):
+        from repro.vm.trace import encode_flags
+
+        regs = self.regs
+        fpbox = self._fpbox
+        mem = ins.mem
+        src = ins.src
+        src_reg = src.index if src.__class__ is PReg else None
+        src_val = None if src_reg is not None else src.value
+        kind, append, words = self._memory_plan()
+        if kind == "recording":
+            fb = encode_flags(ins.ref, True)
+        if kind == "generic":
+            write = self.memory.write
+
+        if mem.__class__ is SymMem:
+            symbol = mem.symbol
+            if symbol.global_address is not None:
+                address = symbol.global_address
+                if kind == "recording":
+                    if src_reg is not None:
+                        def h(append=append, words=words, regs=regs,
+                              a=address, s=src_reg, fb=fb, n=nxt):
+                            append(a, fb)
+                            words[a] = regs[s]
+                            return n
+                    else:
+                        def h(append=append, words=words, a=address,
+                              v=src_val, fb=fb, n=nxt):
+                            append(a, fb)
+                            words[a] = v
+                            return n
+                elif kind == "flat":
+                    if src_reg is not None:
+                        def h(words=words, regs=regs, a=address,
+                              s=src_reg, n=nxt):
+                            words[a] = regs[s]
+                            return n
+                    else:
+                        def h(words=words, a=address, v=src_val, n=nxt):
+                            words[a] = v
+                            return n
+                else:
+                    if src_reg is not None:
+                        def h(write=write, regs=regs, a=address, s=src_reg,
+                              ref=ins.ref, n=nxt):
+                            write(a, regs[s], ref)
+                            return n
+                    else:
+                        def h(write=write, a=address, v=src_val,
+                              ref=ins.ref, n=nxt):
+                            write(a, v, ref)
+                            return n
+                return h
+            off = offsets[symbol]
+            if kind == "recording":
+                if src_reg is not None:
+                    def h(append=append, words=words, regs=regs, fpbox=fpbox,
+                          off=off, s=src_reg, fb=fb, n=nxt):
+                        a = fpbox[0] + off
+                        append(a, fb)
+                        words[a] = regs[s]
+                        return n
+                else:
+                    def h(append=append, words=words, fpbox=fpbox, off=off,
+                          v=src_val, fb=fb, n=nxt):
+                        a = fpbox[0] + off
+                        append(a, fb)
+                        words[a] = v
+                        return n
+            elif kind == "flat":
+                if src_reg is not None:
+                    def h(words=words, regs=regs, fpbox=fpbox, off=off,
+                          s=src_reg, n=nxt):
+                        words[fpbox[0] + off] = regs[s]
+                        return n
+                else:
+                    def h(words=words, fpbox=fpbox, off=off, v=src_val,
+                          n=nxt):
+                        words[fpbox[0] + off] = v
+                        return n
+            else:
+                if src_reg is not None:
+                    def h(write=write, regs=regs, fpbox=fpbox, off=off,
+                          s=src_reg, ref=ins.ref, n=nxt):
+                        write(fpbox[0] + off, regs[s], ref)
+                        return n
+                else:
+                    def h(write=write, fpbox=fpbox, off=off, v=src_val,
+                          ref=ins.ref, n=nxt):
+                        write(fpbox[0] + off, v, ref)
+                        return n
+            return h
+
+        ai = mem.addr.index
+        lo, hi = GLOBAL_BASE, self.stack_base
+        if kind == "recording":
+            if src_reg is not None:
+                def h(append=append, words=words, regs=regs, ai=ai,
+                      lo=lo, hi=hi, s=src_reg, fb=fb, ins=ins, n=nxt):
+                    a = regs[ai]
+                    if a < lo or a >= hi:
+                        raise VMError(
+                            "wild memory access at address {} by {!r}".format(
+                                a, ins
+                            )
+                        )
+                    append(a, fb)
+                    words[a] = regs[s]
+                    return n
+            else:
+                def h(append=append, words=words, regs=regs, ai=ai,
+                      lo=lo, hi=hi, v=src_val, fb=fb, ins=ins, n=nxt):
+                    a = regs[ai]
+                    if a < lo or a >= hi:
+                        raise VMError(
+                            "wild memory access at address {} by {!r}".format(
+                                a, ins
+                            )
+                        )
+                    append(a, fb)
+                    words[a] = v
+                    return n
+        elif kind == "flat":
+            if src_reg is not None:
+                def h(words=words, regs=regs, ai=ai, lo=lo, hi=hi,
+                      s=src_reg, ins=ins, n=nxt):
+                    a = regs[ai]
+                    if a < lo or a >= hi:
+                        raise VMError(
+                            "wild memory access at address {} by {!r}".format(
+                                a, ins
+                            )
+                        )
+                    words[a] = regs[s]
+                    return n
+            else:
+                def h(words=words, regs=regs, ai=ai, lo=lo, hi=hi,
+                      v=src_val, ins=ins, n=nxt):
+                    a = regs[ai]
+                    if a < lo or a >= hi:
+                        raise VMError(
+                            "wild memory access at address {} by {!r}".format(
+                                a, ins
+                            )
+                        )
+                    words[a] = v
+                    return n
+        else:
+            if src_reg is not None:
+                def h(write=write, regs=regs, ai=ai, lo=lo, hi=hi,
+                      s=src_reg, ref=ins.ref, ins=ins, n=nxt):
+                    a = regs[ai]
+                    if a < lo or a >= hi:
+                        raise VMError(
+                            "wild memory access at address {} by {!r}".format(
+                                a, ins
+                            )
+                        )
+                    write(a, regs[s], ref)
+                    return n
+            else:
+                def h(write=write, regs=regs, ai=ai, lo=lo, hi=hi,
+                      v=src_val, ref=ins.ref, ins=ins, n=nxt):
+                    a = regs[ai]
+                    if a < lo or a >= hi:
+                        raise VMError(
+                            "wild memory access at address {} by {!r}".format(
+                                a, ins
+                            )
+                        )
+                    write(a, v, ref)
+                    return n
+        return h
 
     # ------------------------------------------------------------------
 
@@ -180,137 +709,42 @@ class Machine:
         fp = self.stack_base - function.frame.size
         if fp < self._global_top:
             raise VMError("stack overflow on entry")
-        call_stack = []
-        offsets = self._offsets[function.name]
-        block = function.entry
-        instructions = block.instructions
-        index = 0
-        regs = self.regs
-        memory = self.memory
+        self._fpbox[0] = fp
+        self._call_stack.clear()
+        handlers = self._handlers
+        index = self._entry_index[entry]
         steps = self.steps
-        instruction_sink = self.instruction_sink
+        sink = self.instruction_sink
 
-        while True:
-            instruction = instructions[index]
-            if instruction_sink is not None:
-                instruction_sink(block.code_address + index)
-            index += 1
-            steps += 1
-            if steps > budget:
-                self.steps = steps
-                raise ResourceExhausted(
-                    "execution exceeded {} steps (infinite loop?)".format(budget)
-                )
-            cls = instruction.__class__
-
-            if cls is BinOp:
-                left = instruction.left
-                right = instruction.right
-                a = regs[left.index] if left.__class__ is PReg else left.value
-                b = regs[right.index] if right.__class__ is PReg else right.value
-                regs[instruction.dest.index] = _BINOPS[instruction.op](a, b)
-            elif cls is Move:
-                src = instruction.src
-                regs[instruction.dest.index] = (
-                    regs[src.index] if src.__class__ is PReg else src.value
-                )
-            elif cls is Load:
-                mem = instruction.mem
-                if mem.__class__ is SymMem:
-                    symbol = mem.symbol
-                    if symbol.global_address is not None:
-                        address = symbol.global_address
-                    else:
-                        address = fp + offsets[symbol]
-                else:
-                    address = regs[mem.addr.index]
-                    self._check_address(address, instruction)
-                regs[instruction.dest.index] = memory.read(
-                    address, instruction.ref
-                )
-            elif cls is Store:
-                mem = instruction.mem
-                if mem.__class__ is SymMem:
-                    symbol = mem.symbol
-                    if symbol.global_address is not None:
-                        address = symbol.global_address
-                    else:
-                        address = fp + offsets[symbol]
-                else:
-                    address = regs[mem.addr.index]
-                    self._check_address(address, instruction)
-                src = instruction.src
-                value = regs[src.index] if src.__class__ is PReg else src.value
-                memory.write(address, value, instruction.ref)
-            elif cls is CJump:
-                cond = instruction.cond
-                value = (
-                    regs[cond.index] if cond.__class__ is PReg else cond.value
-                )
-                target = instruction.if_true if value != 0 else instruction.if_false
-                block = function.blocks[target]
-                instructions = block.instructions
-                index = 0
-            elif cls is Jump:
-                block = function.blocks[instruction.target]
-                instructions = block.instructions
-                index = 0
-            elif cls is UnOp:
-                operand = instruction.operand
-                value = (
-                    regs[operand.index]
-                    if operand.__class__ is PReg
-                    else operand.value
-                )
-                if instruction.op == "neg":
-                    regs[instruction.dest.index] = -value
-                else:
-                    regs[instruction.dest.index] = 1 if value == 0 else 0
-            elif cls is AddrOfSym:
-                symbol = instruction.symbol
-                if symbol.global_address is not None:
-                    regs[instruction.dest.index] = symbol.global_address
-                else:
-                    regs[instruction.dest.index] = fp + offsets[symbol]
-            elif cls is Call:
-                callee = self.module.functions.get(instruction.callee)
-                if callee is None:
-                    raise VMError(
-                        "call to unknown function {}".format(instruction.callee)
-                    )
-                call_stack.append((function, offsets, block, index, fp))
-                if len(call_stack) > MAX_CALL_DEPTH:
-                    raise ResourceExhausted(
-                        "call stack overflow (recursion too deep)"
-                    )
-                fp = fp - callee.frame.size
-                if fp < self._global_top:
-                    raise VMError(
-                        "stack overflow calling {}".format(callee.name)
-                    )
-                function = callee
-                offsets = self._offsets[function.name]
-                block = function.entry
-                instructions = block.instructions
-                index = 0
-            elif cls is Ret:
-                if not call_stack:
-                    self.steps = steps
-                    return ExecutionResult(
-                        return_value=regs[self.machine.ret_reg],
-                        output=self.output,
-                        steps=steps,
-                    )
-                function, offsets, block, index, fp = call_stack.pop()
-                instructions = block.instructions
-            elif cls is Print:
-                src = instruction.src
-                value = regs[src.index] if src.__class__ is PReg else src.value
-                self.output.append(value)
+        try:
+            if sink is None:
+                while True:
+                    steps += 1
+                    if steps > budget:
+                        self.steps = steps
+                        raise ResourceExhausted(
+                            "execution exceeded {} steps "
+                            "(infinite loop?)".format(budget)
+                        )
+                    index = handlers[index]()
             else:
-                raise VMError(
-                    "cannot execute instruction {!r}".format(instruction)
-                )
+                while True:
+                    sink(TEXT_BASE + index)
+                    steps += 1
+                    if steps > budget:
+                        self.steps = steps
+                        raise ResourceExhausted(
+                            "execution exceeded {} steps "
+                            "(infinite loop?)".format(budget)
+                        )
+                    index = handlers[index]()
+        except _Halt:
+            self.steps = steps
+            return ExecutionResult(
+                return_value=self.regs[self.machine.ret_reg],
+                output=self.output,
+                steps=steps,
+            )
 
     def _check_address(self, address, instruction):
         if address < GLOBAL_BASE or address >= self.stack_base:

@@ -105,6 +105,8 @@ class TraceBuffer:
         self.addresses = array("q")
         self.flags = array("B")
         self.max_events = max_events
+        self._events = None
+        self._columns = None
 
     def append(self, address, flags):
         if self.max_events is not None and len(self.addresses) >= self.max_events:
@@ -112,6 +114,9 @@ class TraceBuffer:
                 "trace buffer exceeded {} events "
                 "(runaway reference stream?)".format(self.max_events)
             )
+        if self._events is not None or self._columns is not None:
+            self._events = None
+            self._columns = None
         self.addresses.append(address)
         self.flags.append(flags)
 
@@ -123,9 +128,44 @@ class TraceBuffer:
         return zip(self.addresses, self.flags)
 
     def events(self):
-        """Yield unpacked :class:`TraceEvent` objects (slower)."""
-        for address, flags in self:
-            yield TraceEvent.from_packed(address, flags)
+        """The unpacked :class:`TraceEvent` list.
+
+        Decoded once and cached — repeated consumers (fuzzer
+        cross-checks, cross-validation audits) iterate the same tuple.
+        :meth:`append` invalidates the cache.
+        """
+        if self._events is None:
+            self._events = tuple(
+                TraceEvent.from_packed(address, flags)
+                for address, flags in self
+            )
+        return self._events
+
+    def to_columns(self):
+        """The packed stream as flat ``(addresses, flags)`` columns.
+
+        Returns NumPy int64/uint8 arrays when NumPy is importable,
+        otherwise the underlying ``array`` objects.  The result is
+        cached (and invalidated by :meth:`append`); callers must treat
+        it as read-only — the replay engines and the stack-distance
+        profiler all share one decode.
+        """
+        if self._columns is None:
+            try:
+                import numpy
+            except Exception:  # pragma: no cover - exercised off-image
+                self._columns = (self.addresses, self.flags)
+            else:
+                # tobytes() detaches the columns from the live arrays:
+                # exporting the arrays' own buffers would make a later
+                # append raise BufferError while a caller held them.
+                self._columns = (
+                    numpy.frombuffer(
+                        self.addresses.tobytes(), dtype=numpy.int64
+                    ),
+                    numpy.frombuffer(self.flags.tobytes(), dtype=numpy.uint8),
+                )
+        return self._columns
 
     # -- serialization -------------------------------------------------
 

@@ -61,9 +61,34 @@ class TestTraceBuffer:
     def test_events_view(self):
         buffer = TraceBuffer()
         buffer.append(7, FLAG_WRITE | FLAG_BYPASS)
-        event = next(buffer.events())
+        event = buffer.events()[0]
         assert event.address == 7
         assert event.is_write and event.bypass
+
+    def test_events_cached_and_invalidated_on_append(self):
+        buffer = TraceBuffer()
+        buffer.append(7, FLAG_WRITE)
+        first = buffer.events()
+        assert buffer.events() is first
+        buffer.append(8, 0)
+        second = buffer.events()
+        assert second is not first
+        assert [event.address for event in second] == [7, 8]
+
+    def test_to_columns_cached_and_invalidated_on_append(self):
+        buffer = TraceBuffer()
+        buffer.append(3, FLAG_KILL)
+        buffer.append(4, FLAG_WRITE)
+        addresses, flags = buffer.to_columns()
+        assert list(addresses) == [3, 4]
+        assert list(flags) == [FLAG_KILL, FLAG_WRITE]
+        assert buffer.to_columns() is buffer._columns
+        again = buffer.to_columns()
+        assert again == buffer.to_columns()
+        buffer.append(5, 0)
+        addresses, flags = buffer.to_columns()
+        assert list(addresses) == [3, 4, 5]
+        assert list(flags) == [FLAG_KILL, FLAG_WRITE, 0]
 
     def test_summary_counts(self):
         buffer = TraceBuffer()

@@ -1,0 +1,92 @@
+"""Closure-compiled VM vs the per-step reference interpreter.
+
+The closure compiler (:meth:`Machine._compile_handlers`) resolves
+operand kinds, frame offsets, jump targets, and memory fast paths at
+build time; this suite runs identical modules through both loops and
+demands identical observable behaviour — return value, printed
+output, step count, register file, final memory, and the recorded
+reference trace, bit for bit.
+"""
+
+import pytest
+
+from repro.lang.errors import ResourceExhausted, VMError
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.machine import Machine
+from repro.vm.memory import RecordingMemory
+from repro.vm.reference import ReferenceMachine
+
+
+def _both(source, options=None):
+    program = compile_source(source, options or CompilationOptions())
+    runs = []
+    for cls in (Machine, ReferenceMachine):
+        memory = RecordingMemory()
+        vm = cls(program.module, memory=memory,
+                 machine=program.options.machine)
+        result = vm.run()
+        runs.append((vm, memory, result))
+    return runs
+
+
+def assert_equivalent(source, options=None):
+    (vm_a, mem_a, res_a), (vm_b, mem_b, res_b) = _both(source, options)
+    assert res_a.return_value == res_b.return_value
+    assert res_a.output == res_b.output
+    assert res_a.steps == res_b.steps
+    assert vm_a.regs == vm_b.regs
+    assert mem_a.flat.words == mem_b.flat.words
+    assert list(mem_a.buffer) == list(mem_b.buffer)
+
+
+class TestBenchmarkEquivalence:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_benchmark(self, name):
+        assert_equivalent(get_benchmark(name).source)
+
+    @pytest.mark.parametrize("scheme", ["unified", "conventional"])
+    @pytest.mark.parametrize("promotion", ["none", "aggressive"])
+    def test_schemes(self, scheme, promotion):
+        source = get_benchmark("intmm").source
+        assert_equivalent(
+            source,
+            CompilationOptions(scheme=scheme, promotion=promotion),
+        )
+
+
+class TestFuzzedEquivalence:
+    @pytest.mark.parametrize("seed", [5, 23, 47, 101])
+    def test_generated_program(self, seed):
+        from repro.robustness.generator import generate_program
+
+        assert_equivalent(generate_program(seed).source)
+
+
+class TestErrorEquivalence:
+    LOOP = "int main() { while (1) { } return 0; }"
+
+    def test_budget_exhaustion_agrees(self):
+        program = compile_source(self.LOOP)
+        for cls in (Machine, ReferenceMachine):
+            vm = cls(program.module, max_steps=500)
+            with pytest.raises(ResourceExhausted, match="exceeded 500 steps"):
+                vm.run()
+            assert vm.steps > 500
+
+    def test_missing_entry_agrees(self):
+        program = compile_source("int main() { return 0; }")
+        for cls in (Machine, ReferenceMachine):
+            with pytest.raises(VMError, match="no function named other"):
+                cls(program.module).run("other")
+
+    def test_instruction_sink_streams_agree(self):
+        source = get_benchmark("towers").source
+        program = compile_source(source)
+        streams = []
+        for cls in (Machine, ReferenceMachine):
+            fetched = []
+            vm = cls(program.module, instruction_sink=fetched.append)
+            vm.run()
+            streams.append(fetched)
+        assert streams[0] == streams[1]
