@@ -1,20 +1,32 @@
 """The one-pass sweep acceptance benchmark, recorded in
 ``BENCH_onepass.json``.
 
-Two claims, both asserted live:
+Four claims, all asserted live:
 
-* **Replay**: on the 6-benchmark × 4-geometry associativity ladder
-  (64 sets fixed, ways 1/2/4/8 — the canonical Mattson shape, every
-  geometry answered by the same per-set distance histograms), the
-  stack-distance engine (:func:`repro.cache.stackdist.replay_trace_sweep`)
-  beats the inlined multi-replay core
+* **LRU replay**: on the 6-benchmark × 4-geometry associativity
+  ladder (64 sets fixed, ways 1/2/4/8 — the canonical Mattson shape,
+  every geometry answered by the same per-set distance histograms),
+  the stack-distance engine
+  (:func:`repro.cache.stackdist.replay_trace_sweep`) beats the
+  inlined multi-replay core
   (:func:`repro.cache.replay.replay_trace_multi`) by at least **3x**
   single-core, with bit-identical statistics.
+* **FIFO / MIN sweeps**: the same ladder under FIFO and Belady MIN
+  routes through the single-pass set-count stackers
+  (:func:`repro.cache.semantics.fifo_sweep` /
+  :func:`repro.cache.semantics.min_sweep`), each at least **2x** over
+  the per-configuration replay path, bit-identical.
 * **Trace generation**: the closure-compiled VM hot loop
   (:class:`repro.vm.machine.Machine`) produces the recorded reference
   traces at least **1.5x** faster than the per-step dispatch reference
   interpreter (:class:`repro.vm.reference.ReferenceMachine`) it
   replaced — the cold-path cost when the artifact cache is empty.
+
+The record also carries the RPTRACE2 delta-codec compression ratio
+over the same traces.  When the environment cannot support the claims
+(no NumPy for the vectorized decode, or the scheduler grants fewer
+than two CPUs for stable wall-clock ratios) the benchmark *skips* and
+records the reason instead of failing.
 
 Run with::
 
@@ -26,8 +38,10 @@ import os
 import platform
 import time
 
+import pytest
+
 from repro.cache.cache import CacheConfig
-from repro.cache.replay import replay_trace_multi
+from repro.cache.replay import MinConfig, replay_trace_multi
 from repro.cache.stackdist import replay_trace_sweep
 from repro.evalharness.experiment import conventional_config
 from repro.evalharness.figure5 import figure5_options
@@ -58,7 +72,55 @@ RECORD_PATH = os.path.join(
 )
 
 REPLAY_SPEEDUP_FLOOR = 3.0
+FIFO_SPEEDUP_FLOOR = 2.0
+MIN_SPEEDUP_FLOOR = 2.0
 VM_SPEEDUP_FLOOR = 1.5
+
+
+def record_skip(path, reason):
+    """Degrade gracefully: write the skip reason where the timing
+    record would have gone, then skip the test."""
+    record = {
+        "skipped": reason,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "effective_cpus": effective_cpus(),
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    pytest.skip(reason)
+
+
+def effective_cpus():
+    """CPUs this process may actually run on, where the OS can say."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count()
+
+
+def check_environment(path):
+    """Skip (with a recorded reason) when the floors cannot be fair.
+
+    ``REPRO_BENCH_FORCE=1`` overrides the guard — the ratios here are
+    single-core algorithmic speedups, so a pinned box can still
+    produce a valid record when the operator asks for one.
+    """
+    if os.environ.get("REPRO_BENCH_FORCE"):
+        return
+    try:
+        import numpy  # noqa: F401
+    except Exception:
+        record_skip(path, "NumPy unavailable: the one-pass engines "
+                          "fall back to pure-Python decode and the "
+                          "speedup floors do not apply")
+    cpus = effective_cpus()
+    if cpus is not None and cpus < 2:
+        record_skip(path, "only {} effective CPU(s): wall-clock "
+                          "ratios are too noisy to assert "
+                          "floors".format(cpus))
 
 
 def _specs():
@@ -68,6 +130,21 @@ def _specs():
         specs.append(geometry)
         specs.append(conventional_config(geometry))
     return specs
+
+
+def _policy_specs(policy):
+    """The same ladder under another replacement policy."""
+    if policy == "min":
+        return [MinConfig(config=geometry) for geometry in GEOMETRIES]
+    return [
+        CacheConfig(
+            size_words=geometry.size_words,
+            line_words=1,
+            associativity=geometry.associativity,
+            policy=policy,
+        )
+        for geometry in GEOMETRIES
+    ]
 
 
 def _trace_with(vm_class, program):
@@ -81,6 +158,7 @@ def _trace_with(vm_class, program):
 
 
 def test_onepass_speedup_and_equivalence():
+    check_environment(RECORD_PATH)
     options = figure5_options()
     programs = {
         name: compile_source(get_benchmark(name).source, options)
@@ -123,6 +201,39 @@ def test_onepass_speedup_and_equivalence():
         for spec, want, got in zip(specs, multi[name], swept[name]):
             assert got.as_dict() == want.as_dict(), (name, spec)
 
+    # -- FIFO / MIN ladders: set-count stackers vs per-config replay --
+    policy_speedups = {}
+    for policy in ("fifo", "min"):
+        policy_specs = _policy_specs(policy)
+        fallback_started = time.perf_counter()
+        fallback = {
+            name: replay_trace_multi(trace, policy_specs)
+            for name, trace in traces.items()
+        }
+        fallback_seconds = time.perf_counter() - fallback_started
+
+        stacked_started = time.perf_counter()
+        stacked = {
+            name: replay_trace_sweep(trace, policy_specs, engine="auto")
+            for name, trace in traces.items()
+        }
+        stacked_seconds = time.perf_counter() - stacked_started
+
+        for name in BENCHMARK_NAMES:
+            for spec, want, got in zip(
+                policy_specs, fallback[name], stacked[name]
+            ):
+                assert got.as_dict() == want.as_dict(), (policy, name, spec)
+        policy_speedups[policy] = {
+            "fallback_seconds": round(fallback_seconds, 3),
+            "sweep_seconds": round(stacked_seconds, 3),
+            "speedup": round(fallback_seconds / stacked_seconds, 2),
+        }
+
+    # -- trace codec: RPTRACE2 delta varints vs verbatim RPTRACE1 -----
+    v1_bytes = sum(len(t.to_bytes(version=1)) for t in traces.values())
+    v2_bytes = sum(len(t.to_bytes()) for t in traces.values())
+
     replay_speedup = multi_seconds / sweep_seconds
     vm_speedup = reference_seconds / vm_seconds
     record = {
@@ -137,7 +248,14 @@ def test_onepass_speedup_and_equivalence():
         "reference_vm_seconds": round(reference_seconds, 3),
         "closure_vm_seconds": round(vm_seconds, 3),
         "vm_speedup": round(vm_speedup, 2),
+        "fifo_sweep": policy_speedups["fifo"],
+        "min_sweep": policy_speedups["min"],
+        "trace_bytes_v1": v1_bytes,
+        "trace_bytes_v2": v2_bytes,
+        "trace_v2_compression": round(v1_bytes / v2_bytes, 2),
         "replay_speedup_floor": REPLAY_SPEEDUP_FLOOR,
+        "fifo_speedup_floor": FIFO_SPEEDUP_FLOOR,
+        "min_speedup_floor": MIN_SPEEDUP_FLOOR,
         "vm_speedup_floor": VM_SPEEDUP_FLOOR,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -165,3 +283,13 @@ def test_onepass_speedup_and_equivalence():
             reference_seconds, vm_seconds,
         )
     )
+    for policy, floor in (("fifo", FIFO_SPEEDUP_FLOOR),
+                          ("min", MIN_SPEEDUP_FLOOR)):
+        timing = policy_speedups[policy]
+        assert timing["speedup"] >= floor, (
+            "{} set-count sweep speedup {:.2f}x is below the {}x floor "
+            "(per-config {:.2f}s, sweep {:.2f}s)".format(
+                policy, timing["speedup"], floor,
+                timing["fallback_seconds"], timing["sweep_seconds"],
+            )
+        )

@@ -12,9 +12,17 @@ line is dropped without a write-back.
 """
 
 from repro.cache.stats import CacheStats
+from repro.cache.semantics import (
+    FIFOPolicy,
+    LRUPolicy,
+    MinPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    UnifiedCache,
+)
 from repro.cache.cache import Cache, CacheConfig
 from repro.cache.belady import simulate_min
-from repro.cache.replay import replay_trace, replay_trace_multi
+from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
 from repro.cache.stackdist import (
     StackDistanceProfile,
     profile_pass,
@@ -22,13 +30,30 @@ from repro.cache.stackdist import (
     supports_stackdist,
 )
 from repro.cache.functional import DataCachedMemory
+from repro.cache.hierarchy import (
+    HierarchyCache,
+    HierarchySpec,
+    hierarchy_stats,
+    parse_hierarchy,
+)
 
 __all__ = [
     "Cache",
     "CacheConfig",
     "CacheStats",
+    "FIFOPolicy",
+    "HierarchyCache",
+    "HierarchySpec",
+    "LRUPolicy",
+    "MinConfig",
+    "MinPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
     "StackDistanceProfile",
+    "UnifiedCache",
     "simulate_min",
+    "hierarchy_stats",
+    "parse_hierarchy",
     "profile_pass",
     "replay_trace",
     "replay_trace_multi",

@@ -1,151 +1,31 @@
-"""Belady's MIN replacement, offline, with the dead-line modification.
+"""Belady's MIN (optimal replacement) over the unified semantics.
 
-MIN evicts the block whose next use lies farthest in the future
-[Bel66].  It needs the whole trace up front, so it is implemented as a
-two-pass trace simulator rather than an online policy.  The paper
-(Section 3.2) notes the dead-marking idea applies to MIN as well: a
-kill-marked reference tells MIN the block's next use is at infinity
-*and* that its dirty data need not be written back.
-
-The second pass is exposed incrementally as :class:`MinSimulator` so
-the multi-configuration replay core (:mod:`repro.cache.replay`) can
-drive several MIN geometries through one trace walk; the first pass
-(:func:`next_use_index`) depends only on ``(line_words,
-honor_bypass)`` and is shared between all configurations that agree on
-those two fields.
+The offline oracle: evict the block whose next use is farthest in the
+future.  The per-event semantics and the victim search both live in
+:mod:`repro.cache.semantics` (:class:`~repro.cache.semantics.MinPolicy`
+driven by :class:`~repro.cache.semantics.UnifiedCache`); this module
+keeps the one-shot :func:`simulate_min` entry point and re-exports
+:func:`next_use_index` for sweep callers that share the index.
 """
 
 from repro.cache.cache import CacheConfig
-from repro.cache.stats import CacheStats
+from repro.cache.semantics import (  # noqa: F401  (re-exported)
+    MinPolicy,
+    UnifiedCache,
+    next_use_index,
+)
 from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE
 
-_INFINITY = float("inf")
-
-
-def next_use_index(trace, line_words=1, honor_bypass=True):
-    """For each reference index, the index of the next through-cache
-    reference to the same block (or infinity).
-
-    Bypassed references (when honored) never touch a line's future, so
-    they carry the marker ``-1`` instead of a position.  The result
-    depends only on the two arguments, never on geometry or policy, so
-    one index serves every MIN configuration of a sweep that shares
-    them.
-    """
-    next_use = [0] * len(trace)
-    last_seen = {}
-    addresses = trace.addresses
-    flags_array = trace.flags
-    for index in range(len(trace) - 1, -1, -1):
-        flags = flags_array[index]
-        if honor_bypass and flags & FLAG_BYPASS:
-            next_use[index] = -1  # Marker: not a through-cache reference.
-            continue
-        block = addresses[index] // line_words
-        next_use[index] = last_seen.get(block, _INFINITY)
-        last_seen[block] = index
-    return next_use
-
-
-class MinSimulator:
-    """One MIN cache consuming a trace event-by-event.
-
-    ``next_use`` must be the :func:`next_use_index` of the trace being
-    replayed, computed with this configuration's ``line_words`` and
-    ``honor_bypass``; the per-event logic is exactly the body of the
-    original one-shot simulator, so feeding every event in order
-    reproduces its statistics bit for bit.
-    """
-
-    __slots__ = ("config", "stats", "_sets", "_next_use")
-
-    def __init__(self, config, next_use):
-        self.config = config
-        self.stats = CacheStats()
-        # Per set: {block: [next_use, dirty, dead]}.
-        self._sets = [dict() for _ in range(config.num_sets)]
-        self._next_use = next_use
-
-    def access(self, index, address, flags):
-        """Simulate trace event ``index``; mirrors ``Cache.access``."""
-        config = self.config
-        stats = self.stats
-        next_use = self._next_use
-        stats.refs_total += 1
-        is_write = bool(flags & FLAG_WRITE)
-        if is_write:
-            stats.writes += 1
-        else:
-            stats.reads += 1
-        bypass = bool(flags & FLAG_BYPASS) and config.honor_bypass
-        kill = bool(flags & FLAG_KILL) and config.honor_kill
-        line_words = config.line_words
-        block = address // line_words
-        lines = self._sets[block % config.num_sets]
-
-        if bypass:
-            stats.refs_bypassed += 1
-            entry = lines.get(block)
-            if is_write:
-                stats.words_to_memory += 1
-                stats.bypass_writes += 1
-                if entry is not None:
-                    stats.probe_hits += 1
-                    del lines[block]
-            else:
-                if entry is not None:
-                    stats.probe_hits += 1
-                    stats.bypass_read_hits += 1
-                    if entry[1]:
-                        if kill:
-                            stats.dead_drops += 1
-                        else:
-                            stats.writebacks += 1
-                            stats.words_to_memory += line_words
-                    del lines[block]
-                else:
-                    stats.words_from_memory += 1
-                    stats.bypass_reads_from_memory += 1
-                if kill:
-                    stats.kills += 1
-            return
-
-        stats.refs_cached += 1
-        entry = lines.get(block)
-        if entry is not None:
-            stats.hits += 1
-            entry[0] = next_use[index]
-            if is_write:
-                entry[1] = True
-            entry[2] = False
-            if kill:
-                _kill_entry(stats, lines, block, entry, config)
-            return
-
-        stats.misses += 1
-        if kill and not is_write:
-            stats.kills += 1
-            stats.words_from_memory += 1
-            return
-        if len(lines) >= config.associativity:
-            victim_block = _choose_min_victim(lines)
-            victim = lines.pop(victim_block)
-            stats.evictions += 1
-            if victim[1]:
-                stats.writebacks += 1
-                stats.words_to_memory += line_words
-        lines[block] = [next_use[index], is_write, False]
-        if not (is_write and line_words == 1):
-            stats.words_from_memory += line_words
-        if kill:
-            _kill_entry(stats, lines, block, lines[block], config)
+__all__ = ["next_use_index", "simulate_min"]
 
 
 def simulate_min(trace, config=None, next_use=None, **kwargs):
     """Simulate ``trace`` under MIN replacement; returns CacheStats.
 
-    The bypass path behaves exactly as in the online simulator; only
-    the victim choice differs.  ``next_use`` accepts a precomputed
+    ``config`` carries the geometry and the honor/kill semantics (its
+    ``policy`` field is unused — replacement is MIN).  The bypass path
+    behaves exactly as in the online simulator; only the victim choice
+    differs.  ``next_use`` accepts a precomputed
     :func:`next_use_index` (it must match the config's ``line_words``
     and ``honor_bypass``) so sweeps can amortize the first pass.
     """
@@ -155,33 +35,14 @@ def simulate_min(trace, config=None, next_use=None, **kwargs):
         next_use = next_use_index(
             trace, config.line_words, config.honor_bypass
         )
-    simulator = MinSimulator(config, next_use)
-    access = simulator.access
+    core = UnifiedCache(config, policy=MinPolicy(next_use))
+    access = core.access
     for index, (address, flags) in enumerate(trace):
-        access(index, address, flags)
-    return simulator.stats
-
-
-def _kill_entry(stats, lines, block, entry, config):
-    stats.kills += 1
-    if config.kill_mode == "invalidate" and config.line_words == 1:
-        if entry[1]:
-            stats.dead_drops += 1
-        del lines[block]
-        stats.dead_line_frees += 1
-    else:
-        entry[2] = True
-
-
-def _choose_min_victim(lines):
-    """Dead lines first, then the block used farthest in the future."""
-    best_block = None
-    best_key = None
-    for block, (next_use_pos, _dirty, dead) in lines.items():
-        key = (0 if dead else 1, -next_use_pos if next_use_pos != _INFINITY else -_INFINITY)
-        # We want: dead first; then farthest next use.  Compare via
-        # tuple where smaller wins: dead -> 0, farther -> smaller.
-        if best_key is None or key < best_key:
-            best_key = key
-            best_block = block
-    return best_block
+        access(
+            address,
+            bool(flags & FLAG_WRITE),
+            bool(flags & FLAG_BYPASS),
+            bool(flags & FLAG_KILL),
+            index=index,
+        )
+    return core.stats

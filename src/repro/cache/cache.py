@@ -1,15 +1,15 @@
 """The online cache simulator (LRU/FIFO/Random) with bypass and kill.
 
 A performance model: it tracks tags, dirtiness and recency but not
-data.  The data-carrying twin in :mod:`repro.cache.functional`
-implements the identical protocol and is used to prove functional
-transparency; keep the two in sync.
+data.  :class:`Cache` is a thin driver over the canonical transfer
+function in :mod:`repro.cache.semantics` — the per-event bypass/kill
+handling lives there, shared with the data-carrying functional twin,
+the replay engines, and the sweep dispatchers.
 """
 
-import random
 from dataclasses import dataclass
 
-from repro.cache.stats import CacheStats
+from repro.cache.semantics import UnifiedCache
 
 #: Online replacement policies (Belady MIN lives in repro.cache.belady).
 POLICIES = ("lru", "fifo", "random")
@@ -60,204 +60,19 @@ class CacheConfig:
         return self.size_words // (self.line_words * self.associativity)
 
 
-class _Line:
-    __slots__ = ("tag", "valid", "dirty", "stamp", "inserted", "dead")
+class Cache(UnifiedCache):
+    """Set-associative cache honoring the unified model's annotations.
 
-    def __init__(self):
-        self.tag = -1
-        self.valid = False
-        self.dirty = False
-        self.stamp = 0
-        self.inserted = 0
-        self.dead = False
+    All behaviour — ``access``, ``probe``, ``contents``, ``stats`` —
+    comes from :class:`~repro.cache.semantics.UnifiedCache`; this
+    subclass only adds the keyword-argument constructor convenience.
+    """
 
-
-class Cache:
-    """Set-associative cache honoring the unified model's annotations."""
+    __slots__ = ()
 
     def __init__(self, config=None, **kwargs):
         if config is None:
             config = CacheConfig(**kwargs)
         elif kwargs:
             raise TypeError("pass either a CacheConfig or keyword arguments")
-        self.config = config
-        self.stats = CacheStats()
-        self._sets = [
-            [_Line() for _ in range(config.associativity)]
-            for _ in range(config.num_sets)
-        ]
-        self._clock = 0
-        self._rng = random.Random(config.seed)
-
-    # ------------------------------------------------------------------
-
-    def access(self, address, is_write, bypass=False, kill=False):
-        """Simulate one reference; returns "hit", "miss" or "bypass"."""
-        stats = self.stats
-        stats.refs_total += 1
-        if is_write:
-            stats.writes += 1
-        else:
-            stats.reads += 1
-        config = self.config
-        if not config.honor_bypass:
-            bypass = False
-        if not config.honor_kill:
-            kill = False
-        self._clock += 1
-        block = address // config.line_words
-        lines = self._sets[block % config.num_sets]
-
-        if bypass:
-            return self._access_bypass(lines, block, is_write, kill)
-        return self._access_through(lines, block, is_write, kill)
-
-    def probe(self, address):
-        """Is the block holding ``address`` currently present?
-
-        A pure coherence probe: no stats, no recency update, no state
-        change.  Used by the static-analysis cross-validator to compare
-        predicted against actual presence before each reference (for
-        one-word lines presence is exactly the hit/miss outcome of a
-        through-cache access, and the probe outcome of a bypass one).
-        """
-        block = address // self.config.line_words
-        lines = self._sets[block % self.config.num_sets]
-        return self._find(lines, block) is not None
-
-    # ------------------------------------------------------------------
-
-    def _find(self, lines, block):
-        for line in lines:
-            if line.valid and line.tag == block:
-                return line
-        return None
-
-    def _access_bypass(self, lines, block, is_write, kill):
-        """UmAm_LOAD / UmAm_STORE: the bypass path with coherence probe."""
-        stats = self.stats
-        config = self.config
-        stats.refs_bypassed += 1
-        line = self._find(lines, block)
-        if is_write:
-            # Write straight to memory; invalidate any stale copy.
-            stats.words_to_memory += 1
-            stats.bypass_writes += 1
-            if line is not None:
-                stats.probe_hits += 1
-                line.valid = False
-                line.dirty = False
-            return "bypass"
-        if line is not None:
-            # The cache holds the authoritative copy: take it and free
-            # the line (paper 4.3).  Dirty data must reach memory unless
-            # the compiler proved the value dead (kill bit).
-            stats.probe_hits += 1
-            stats.bypass_read_hits += 1
-            if line.dirty:
-                if kill:
-                    stats.dead_drops += 1
-                else:
-                    stats.writebacks += 1
-                    stats.words_to_memory += config.line_words
-            if kill:
-                stats.kills += 1
-            line.valid = False
-            line.dirty = False
-            return "bypass"
-        stats.words_from_memory += 1
-        stats.bypass_reads_from_memory += 1
-        if kill:
-            stats.kills += 1
-        return "bypass"
-
-    def _access_through(self, lines, block, is_write, kill):
-        """Am_LOAD / AmSp_STORE: the normal cached path (write-back,
-        write-allocate), with the dead-line modification."""
-        stats = self.stats
-        config = self.config
-        stats.refs_cached += 1
-        writethrough = config.write_policy == "writethrough"
-        if is_write and writethrough:
-            stats.words_to_memory += 1
-        line = self._find(lines, block)
-        if line is not None:
-            stats.hits += 1
-            if is_write and not writethrough:
-                line.dirty = True
-            line.stamp = self._clock
-            line.dead = False
-            if kill:
-                self._kill_line(line)
-            return "hit"
-
-        stats.misses += 1
-        if kill and not is_write:
-            # Last use of a value not in cache: serve it via the bypass
-            # path instead of installing a dead line (paper 3.2).
-            stats.kills += 1
-            stats.words_from_memory += 1
-            return "miss"
-        if is_write and not config.allocate_on_write:
-            # Write-around: memory gets the word, the cache stays put.
-            if not writethrough:
-                stats.words_to_memory += 1
-            return "miss"
-        victim = self._choose_victim(lines)
-        if victim.valid:
-            stats.evictions += 1
-            if victim.dirty:
-                stats.writebacks += 1
-                stats.words_to_memory += config.line_words
-        victim.tag = block
-        victim.valid = True
-        victim.dirty = is_write and not writethrough
-        victim.stamp = self._clock
-        victim.inserted = self._clock
-        victim.dead = False
-        if not (is_write and config.line_words == 1):
-            # A one-word write-allocate overwrites the whole line, so
-            # no fill is fetched; wider lines must fetch-on-write.
-            stats.words_from_memory += config.line_words
-        if kill:
-            self._kill_line(victim)
-        return "miss"
-
-    def _kill_line(self, line):
-        """Apply the dead-line modification after the reference is done."""
-        stats = self.stats
-        stats.kills += 1
-        if self.config.kill_mode == "invalidate" and self.config.line_words == 1:
-            if line.dirty:
-                stats.dead_drops += 1
-            line.valid = False
-            line.dirty = False
-            stats.dead_line_frees += 1
-        else:
-            # Multi-word lines may hold live neighbours; only demote.
-            line.dead = True
-
-    def _choose_victim(self, lines):
-        for line in lines:
-            if not line.valid:
-                return line
-        dead = [line for line in lines if line.dead]
-        if dead:
-            return min(dead, key=lambda line: line.stamp)
-        policy = self.config.policy
-        if policy == "lru":
-            return min(lines, key=lambda line: line.stamp)
-        if policy == "fifo":
-            return min(lines, key=lambda line: line.inserted)
-        return self._rng.choice(lines)
-
-    # ------------------------------------------------------------------
-
-    def contents(self):
-        """Valid blocks currently cached, for tests: {block: dirty}."""
-        result = {}
-        for lines in self._sets:
-            for line in lines:
-                if line.valid:
-                    result[line.tag] = line.dirty
-        return result
+        super().__init__(config)

@@ -1,30 +1,20 @@
 """A data-carrying cache: proves the unified protocol is transparent.
 
 The performance simulator (:mod:`repro.cache.cache`) tracks tags only.
-This twin actually stores the data in the simulated lines and applies
-the identical protocol, so running a program against it and comparing
-every output (and final memory) with a flat-memory run demonstrates
-that bypass bits, kill bits, coherence probes and dead-dirty drops
-never change program semantics — the property the paper's hardware
-depends on.
+This twin drives the very same transfer function
+(:class:`repro.cache.semantics.UnifiedCache` in data mode, which
+actually stores each word in its line), so running a program against
+it and comparing every output (and final memory) with a flat-memory
+run demonstrates that bypass bits, kill bits, coherence probes and
+dead-dirty drops never change program semantics — the property the
+paper's hardware depends on.
 
 Restricted to line size one, like the paper's data cache.
 """
 
 from repro.cache.cache import CacheConfig
-from repro.cache.stats import CacheStats
+from repro.cache.semantics import UnifiedCache
 from repro.vm.memory import MemorySystem
-
-
-class _DataLine:
-    __slots__ = ("tag", "valid", "dirty", "stamp", "value")
-
-    def __init__(self):
-        self.tag = -1
-        self.valid = False
-        self.dirty = False
-        self.stamp = 0
-        self.value = 0
 
 
 class DataCachedMemory(MemorySystem):
@@ -36,171 +26,37 @@ class DataCachedMemory(MemorySystem):
         if config.line_words != 1:
             raise ValueError("the functional model requires line size 1")
         self.config = config
-        self.stats = CacheStats()
-        self.main = {}
-        self._sets = [
-            [_DataLine() for _ in range(config.associativity)]
-            for _ in range(config.num_sets)
-        ]
-        self._clock = 0
+        self._core = UnifiedCache(config, data=True)
+
+    @property
+    def stats(self):
+        return self._core.stats
+
+    @property
+    def main(self):
+        return self._core.main
 
     # ------------------------------------------------------------------
     # Initialisation helpers (not traced).
     # ------------------------------------------------------------------
 
     def poke(self, address, value):
-        self.main[address] = value
+        self._core.main[address] = value
 
     def peek(self, address):
         """Coherent view: the cached copy wins over main memory."""
-        line = self._find(self._lines_for(address), address)
-        if line is not None:
-            return line.value
-        return self.main.get(address, 0)
-
-    # ------------------------------------------------------------------
-
-    def _lines_for(self, address):
-        return self._sets[address % self.config.num_sets]
-
-    def _find(self, lines, tag):
-        for line in lines:
-            if line.valid and line.tag == tag:
-                return line
-        return None
-
-    def _victim(self, lines):
-        free = None
-        for line in lines:
-            if not line.valid:
-                free = line
-                break
-        if free is not None:
-            return free
-        victim = min(lines, key=lambda line: line.stamp)  # LRU
-        self.stats.evictions += 1
-        if victim.dirty:
-            self.stats.writebacks += 1
-            self.stats.words_to_memory += 1
-            self.main[victim.tag] = victim.value
-        return victim
+        return self._core.peek(address)
 
     # ------------------------------------------------------------------
 
     def read(self, address, ref):
-        stats = self.stats
-        stats.refs_total += 1
-        stats.reads += 1
-        self._clock += 1
-        lines = self._lines_for(address)
-        line = self._find(lines, address)
-
-        if ref.bypass:
-            stats.refs_bypassed += 1
-            if line is not None:
-                # UmAm_LOAD hit: take the authoritative copy, free the
-                # line; write dirty data back unless the value is dead.
-                stats.probe_hits += 1
-                stats.bypass_read_hits += 1
-                value = line.value
-                if line.dirty:
-                    if ref.kill:
-                        stats.dead_drops += 1
-                    else:
-                        stats.writebacks += 1
-                        stats.words_to_memory += 1
-                        self.main[address] = value
-                line.valid = False
-                line.dirty = False
-                if ref.kill:
-                    stats.kills += 1
-                return value
-            stats.words_from_memory += 1
-            stats.bypass_reads_from_memory += 1
-            if ref.kill:
-                stats.kills += 1
-            return self.main.get(address, 0)
-
-        stats.refs_cached += 1
-        if line is not None:
-            stats.hits += 1
-            line.stamp = self._clock
-            value = line.value
-            if ref.kill:
-                self._kill(line)
-            return value
-        stats.misses += 1
-        value = self.main.get(address, 0)
-        if ref.kill:
-            # Dead value not in cache: serve via bypass, don't install.
-            stats.kills += 1
-            stats.words_from_memory += 1
-            return value
-        victim = self._victim(lines)
-        victim.tag = address
-        victim.valid = True
-        victim.dirty = False
-        victim.stamp = self._clock
-        victim.value = value
-        stats.words_from_memory += 1
-        return value
+        core = self._core
+        core.access(address, False, ref.bypass, ref.kill)
+        return core.value
 
     def write(self, address, value, ref):
-        stats = self.stats
-        stats.refs_total += 1
-        stats.writes += 1
-        self._clock += 1
-        lines = self._lines_for(address)
-        line = self._find(lines, address)
-
-        if ref.bypass:
-            # UmAm_STORE: straight to memory; invalidate stale copies.
-            stats.refs_bypassed += 1
-            stats.bypass_writes += 1
-            stats.words_to_memory += 1
-            self.main[address] = value
-            if line is not None:
-                stats.probe_hits += 1
-                line.valid = False
-                line.dirty = False
-            return
-
-        stats.refs_cached += 1
-        if line is not None:
-            stats.hits += 1
-            line.value = value
-            line.dirty = True
-            line.stamp = self._clock
-            if ref.kill:
-                self._kill(line)
-            return
-        stats.misses += 1
-        victim = self._victim(lines)
-        victim.tag = address
-        victim.valid = True
-        victim.dirty = True
-        victim.stamp = self._clock
-        victim.value = value
-        # Line size is one word: the write overwrites the whole line,
-        # so write-allocate fetches nothing from memory.
-        if ref.kill:
-            self._kill(victim)
-
-    def _kill(self, line):
-        stats = self.stats
-        stats.kills += 1
-        if line.dirty:
-            stats.dead_drops += 1
-        line.valid = False
-        line.dirty = False
-        stats.dead_line_frees += 1
-
-    # ------------------------------------------------------------------
+        self._core.access(address, True, ref.bypass, ref.kill, value=value)
 
     def flush(self):
         """Write every dirty line back; used before final memory checks."""
-        for lines in self._sets:
-            for line in lines:
-                if line.valid and line.dirty:
-                    self.main[line.tag] = line.value
-                    line.dirty = False
+        self._core.flush()

@@ -1,0 +1,337 @@
+"""Two-level (L1/L2) cache hierarchies over the unified semantics.
+
+The paper's experiments score a single data cache; this module asks
+the natural follow-up: in a memory hierarchy, *which level* do the
+compiler's annotations address?  A ``UmAm_*`` reference marked bypass
+certainly skips the first-level cache — but whether it also skips the
+second level is a design choice with measurable consequences, so the
+model makes it a knob (``bypass_level``):
+
+* ``"l1"`` — the bypass bit is a *first-level* directive: the
+  reference skips (and invalidates any stale copy in) L1 but is a
+  perfectly ordinary cached reference at L2.
+* ``"both"`` — the bypass bit addresses the whole hierarchy: the
+  reference probes and invalidates at every level and the data moves
+  straight between processor and memory.
+
+Kill bits always act at L1 only: the liveness argument (Section 3.2)
+is about the level whose working set the register allocator manages;
+a dead first-level line may still serve a future miss from L2.
+
+Two inclusion disciplines are modeled:
+
+* ``"inclusive"`` — L2 holds a superset of L1.  Both levels are then
+  scored *standalone over the unfiltered stream* through the one-pass
+  sweep dispatcher (:func:`~repro.cache.stackdist.replay_trace_sweep`),
+  which is exact for an inclusive hierarchy whose L2 recency state is
+  updated on L1 hits: with LRU, ``num_sets(L1) | num_sets(L2)`` and
+  ``assoc(L2) >= assoc(L1)``, a block at L1 stack distance ``d`` sits
+  at L2 distance ``<= d`` (the L2 set's blocks are a subset of the L1
+  set's), so residency in L1 implies residency in L2 and per-level
+  hit counts follow from the standalone scores.  The nesting
+  conditions are validated at parse time.
+* ``"non-inclusive"`` — L2 sees only the references L1 could not
+  serve.  L1 is replayed online (recording the filtered stream) and
+  L2 is scored on that stream; :class:`HierarchyCache` chains the two
+  online simulators and is bit-identical to this by construction —
+  the differential harness holds the offline scorer to it.
+
+Modeling simplification, stated once: L1 victim writebacks are
+accounted as L1-to-L2 bus words (``L1.words_to_memory``) but do not
+allocate or re-dirty lines in the modeled L2 — a write-no-allocate
+victim path.  Each level's ``bus_words`` therefore measures the
+traffic on the bus *below* it (L1: the L1-L2 bus; the last level: the
+memory bus).
+"""
+
+from dataclasses import replace
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.stackdist import replay_trace_sweep
+from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE, TraceBuffer
+
+INCLUSIONS = ("inclusive", "non-inclusive")
+BYPASS_LEVELS = ("l1", "both")
+
+
+class HierarchySpec:
+    """Geometry and discipline of a multi-level hierarchy.
+
+    ``levels`` is a tuple of ``(name, CacheConfig)`` pairs ordered
+    from the processor outward; every config shares the innermost
+    level's ``line_words`` (mixed line sizes would make the inter-level
+    traffic accounting ambiguous).
+    """
+
+    __slots__ = ("levels", "inclusion", "bypass_level")
+
+    def __init__(self, levels, inclusion="non-inclusive", bypass_level="l1"):
+        levels = tuple(levels)
+        if len(levels) < 2:
+            raise ValueError("a hierarchy needs at least two levels")
+        if inclusion not in INCLUSIONS:
+            raise ValueError("unknown inclusion {!r}".format(inclusion))
+        if bypass_level not in BYPASS_LEVELS:
+            raise ValueError("unknown bypass level {!r}".format(bypass_level))
+        line_words = levels[0][1].line_words
+        for _name, config in levels[1:]:
+            if config.line_words != line_words:
+                raise ValueError("hierarchy levels must share line_words")
+        if inclusion == "inclusive":
+            for (inner_name, inner), (outer_name, outer) in zip(
+                levels, levels[1:]
+            ):
+                if (
+                    outer.num_sets % inner.num_sets
+                    or outer.associativity < inner.associativity
+                ):
+                    raise ValueError(
+                        "inclusive hierarchy requires nested geometry: "
+                        "{} ({} sets x {} ways) does not nest inside "
+                        "{} ({} sets x {} ways)".format(
+                            inner_name, inner.num_sets, inner.associativity,
+                            outer_name, outer.num_sets, outer.associativity,
+                        )
+                    )
+        self.levels = levels
+        self.inclusion = inclusion
+        self.bypass_level = bypass_level
+
+    def __repr__(self):
+        return "HierarchySpec({}, {}, bypass={})".format(
+            ",".join(
+                "{}:{}x{}".format(name, cfg.size_words, cfg.associativity)
+                for name, cfg in self.levels
+            ),
+            self.inclusion,
+            self.bypass_level,
+        )
+
+    def describe(self):
+        """The canonical spec string (parseable by :func:`parse_hierarchy`)."""
+        parts = [
+            "{}:{}x{}".format(name, cfg.size_words, cfg.associativity)
+            for name, cfg in self.levels
+        ]
+        parts.append(self.inclusion)
+        parts.append("bypass=" + self.bypass_level)
+        return ",".join(parts)
+
+
+def parse_hierarchy(text, base=None, inclusion=None, bypass_level=None):
+    """Parse ``"L1:64x2,L2:512x8"`` into a :class:`HierarchySpec`.
+
+    Each ``NAME:SIZExASSOC`` part builds a level from ``base`` (default
+    :class:`CacheConfig`) with ``size_words`` and ``associativity``
+    overridden.  The comma list also accepts the bare discipline tokens
+    ``inclusive`` / ``non-inclusive`` and ``bypass=l1`` /
+    ``bypass=both``; explicit keyword arguments win over tokens.
+    """
+    if base is None:
+        base = CacheConfig()
+    levels = []
+    token_inclusion = None
+    token_bypass = None
+    for raw in text.split(","):
+        part = raw.strip()
+        if not part:
+            continue
+        if part in INCLUSIONS:
+            token_inclusion = part
+            continue
+        if part.startswith("bypass="):
+            value = part[len("bypass="):]
+            if value not in BYPASS_LEVELS:
+                raise ValueError(
+                    "bad bypass level {!r} (expected one of {})".format(
+                        value, "/".join(BYPASS_LEVELS)
+                    )
+                )
+            token_bypass = value
+            continue
+        try:
+            name, geometry = part.split(":")
+            size_text, assoc_text = geometry.lower().split("x")
+            size_words = int(size_text)
+            associativity = int(assoc_text)
+        except ValueError:
+            raise ValueError(
+                "bad hierarchy level {!r} (expected NAME:SIZExASSOC, "
+                "e.g. L1:64x2)".format(part)
+            )
+        levels.append(
+            (
+                name,
+                replace(
+                    base,
+                    size_words=size_words,
+                    associativity=associativity,
+                ),
+            )
+        )
+    return HierarchySpec(
+        levels,
+        inclusion=inclusion or token_inclusion or "non-inclusive",
+        bypass_level=bypass_level or token_bypass or "l1",
+    )
+
+
+def _downstream_flags(flags, bypass_level):
+    """Flag byte a reference carries past L1.
+
+    Kills always stop at L1; the bypass bit survives only when it
+    addresses the whole hierarchy.
+    """
+    flags &= ~FLAG_KILL
+    if bypass_level != "both":
+        flags &= ~FLAG_BYPASS
+    return flags
+
+
+class HierarchyCache:
+    """Online chained hierarchy: the reference model.
+
+    Drives one :class:`~repro.cache.semantics.UnifiedCache` per level;
+    a reference propagates outward until some level serves it (every
+    outcome except ``"hit"`` — misses *and* bypasses — falls through).
+    The offline scorers in :func:`hierarchy_stats` are held
+    bit-identical to this model by the differential harness.
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.caches = [Cache(config) for _name, config in spec.levels]
+
+    def access(self, address, is_write, bypass=False, kill=False):
+        """Run one reference through the hierarchy; returns the name of
+        the level that served it (or ``"memory"``)."""
+        drop_bypass = self.spec.bypass_level != "both"
+        for position, cache in enumerate(self.caches):
+            outcome = cache.access(address, is_write, bypass, kill)
+            if outcome == "hit":
+                return self.spec.levels[position][0]
+            kill = False
+            if drop_bypass:
+                bypass = False
+        return "memory"
+
+    def stats(self):
+        """Per-level :class:`CacheStats`, as ``{name: stats}``."""
+        return {
+            name: cache.stats
+            for (name, _cfg), cache in zip(self.spec.levels, self.caches)
+        }
+
+
+class HierarchyStats:
+    """Scored hierarchy: per-level stats plus the derived metrics."""
+
+    __slots__ = ("spec", "levels")
+
+    def __init__(self, spec, levels):
+        self.spec = spec
+        self.levels = levels  # list of (name, CacheStats)
+
+    def __getitem__(self, name):
+        for level_name, stats in self.levels:
+            if level_name == name:
+                return stats
+        raise KeyError(name)
+
+    def as_dict(self):
+        """Flat reporting row (JSON-friendly)."""
+        inner_name, inner = self.levels[0]
+        outer_name, outer = self.levels[-1]
+        row = {
+            "hierarchy": self.spec.describe(),
+            "inclusion": self.spec.inclusion,
+            "bypass_level": self.spec.bypass_level,
+        }
+        for name, stats in self.levels:
+            key = name.lower()
+            row[key + "_hits"] = stats.hits
+            row[key + "_misses"] = stats.misses
+            row[key + "_miss_rate"] = stats.miss_rate
+            row[key + "_bus_words"] = stats.bus_words
+        if self.spec.inclusion == "inclusive":
+            # Outer-level stats are global (scored on the unfiltered
+            # stream); localize them against the inner level.
+            local_hits = outer.hits - inner.hits
+            local_accesses = local_hits + outer.misses
+        else:
+            local_hits = outer.hits
+            local_accesses = outer.hits + outer.misses
+        row["{}_local_hits".format(outer_name.lower())] = local_hits
+        row["{}_local_miss_rate".format(outer_name.lower())] = (
+            outer.misses / local_accesses if local_accesses else 0.0
+        )
+        row["memory_bus_words"] = outer.bus_words
+        row["l1_l2_bus_words"] = inner.bus_words
+        return row
+
+
+def _filtered_trace(trace, config, bypass_level):
+    """Replay one level online; return ``(stats, stream_passed_down)``."""
+    cache = Cache(config)
+    access = cache.access
+    downstream = TraceBuffer(max_events=None)
+    append = downstream.append
+    drop = (
+        ~FLAG_KILL & ~FLAG_BYPASS
+        if bypass_level != "both" else ~FLAG_KILL
+    )
+    for address, flags in trace:
+        outcome = access(
+            address,
+            bool(flags & FLAG_WRITE),
+            bool(flags & FLAG_BYPASS),
+            bool(flags & FLAG_KILL),
+        )
+        if outcome != "hit":
+            append(address, flags & drop)
+    return cache.stats, downstream
+
+
+def hierarchy_stats(trace, spec):
+    """Score ``trace`` through every level of ``spec``.
+
+    Inclusive hierarchies score every level standalone over the full
+    stream in one :func:`~repro.cache.stackdist.replay_trace_sweep`
+    call (one-pass stack-distance profiling whenever the level's
+    config supports it); non-inclusive hierarchies chain the levels,
+    scoring each on the stream its inner neighbour passed through.
+    Returns a :class:`HierarchyStats`.
+    """
+    if spec.inclusion == "inclusive":
+        specs = [spec.levels[0][1]]
+        for _name, config in spec.levels[1:]:
+            specs.append(
+                replace(
+                    config,
+                    honor_kill=False,
+                    honor_bypass=spec.bypass_level == "both",
+                )
+            )
+        scored = replay_trace_sweep(trace, specs)
+        return HierarchyStats(
+            spec,
+            [
+                (name, stats)
+                for (name, _cfg), stats in zip(spec.levels, scored)
+            ],
+        )
+
+    levels = []
+    current = trace
+    last = len(spec.levels) - 1
+    for position, (name, config) in enumerate(spec.levels):
+        if position == last:
+            # Outermost level: score the residual stream through the
+            # one-pass dispatcher.
+            (stats,) = replay_trace_sweep(current, [config])
+        else:
+            stats, current = _filtered_trace(
+                current, config, spec.bypass_level
+            )
+        levels.append((name, stats))
+    return HierarchyStats(spec, levels)

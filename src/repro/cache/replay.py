@@ -3,24 +3,33 @@
 Two entry points:
 
 * :func:`replay_trace` — the reference serial path: one trace, one
-  configuration, driven through the online :class:`Cache` (or the
-  offline MIN simulator).  Every other replay implementation in the
-  repository is defined as "bit-identical to this".
+  configuration, driven event-by-event through the online
+  :class:`Cache` (or the offline MIN simulator).  Every other replay
+  implementation in the repository is defined as "bit-identical to
+  this".
 * :func:`replay_trace_multi` — the sweep core: one trace, N
   configurations, one decode.  The flag bytes are unpacked once and
-  every configuration consumes the shared decoded stream through a
-  tight inlined state machine (:func:`_replay_decoded`) that mirrors
-  ``Cache.access`` branch for branch; MIN slots (requested with
+  every configuration consumes the shared decoded stream through the
+  canonical transfer function
+  (:func:`repro.cache.semantics.replay_decoded`), fronted by the
+  same-block run collapse wherever the configuration's allocation
+  policy makes followers guaranteed hits; MIN slots (requested with
   :class:`MinConfig`) share one precomputed next-use index per
   ``(line_words, honor_bypass)`` combination.  The equivalence battery
   (``tests/test_parallel_equivalence.py``) and the fuzzer's
   differential loop both assert the two paths agree on every counter.
 """
 
-import random
-
 from repro.cache.belady import next_use_index, simulate_min
 from repro.cache.cache import Cache, CacheConfig
+from repro.cache.semantics import (
+    MinPolicy,
+    collapse_runs,
+    decode_trace,  # noqa: F401  (re-exported sweep helper)
+    flag_presence,
+    flavor_decode,
+    replay_decoded,
+)
 from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE
 
 
@@ -84,23 +93,6 @@ def replay_trace(trace, config=None, **kwargs):
     return cache.stats
 
 
-def decode_trace(trace):
-    """Unpack the flag bytes once for the whole sweep.
-
-    Returns ``(addresses, writes, bypasses, kills)`` — the address
-    array plus three parallel lists of the masked flag bits.  Sharing
-    this across N configurations removes N-1 redundant per-event
-    decodes from a sweep.
-    """
-    flags = trace.flags
-    return (
-        list(trace.addresses),
-        [f & FLAG_WRITE for f in flags],
-        [f & FLAG_BYPASS for f in flags],
-        [f & FLAG_KILL for f in flags],
-    )
-
-
 def replay_trace_multi(trace, configs, decoded=None):
     """Replay ``trace`` through every configuration of a sweep at once.
 
@@ -109,12 +101,56 @@ def replay_trace_multi(trace, configs, decoded=None):
     entries; the result is the list of :class:`CacheStats` in the same
     order, each bit-identical to what :func:`replay_trace` produces
     for that entry alone.  The trace is decoded once (pass ``decoded``
-    to amortize even that across calls) and the MIN next-use index is
-    computed once per ``(line_words, honor_bypass)`` combination.
+    to amortize even that across calls), the MIN next-use index is
+    computed once per ``(line_words, honor_bypass)`` combination, and
+    the same-block run collapse is computed once per effective flavor
+    and set count, shared across every configuration that can use it.
     """
     if decoded is None:
         decoded = decode_trace(trace)
     next_use_cache = {}
+    stream_cache = {}
+    runs_cache = {}
+    state = {"columns": None, "presence": None}
+
+    def runs_for(config):
+        """The run collapse for this config, or ``None`` if ineligible."""
+        if not config.allocate_on_write:
+            # A write-around head miss leaves its followers missing
+            # too, so followers are not guaranteed hits.
+            return None
+        if state["columns"] is None:
+            if not hasattr(trace, "to_columns"):
+                return None
+            state["columns"] = trace.to_columns()
+            state["presence"] = flag_presence(state["columns"])
+        has_bypass, has_kill = state["presence"]
+        effective = (
+            config.line_words,
+            config.honor_bypass and has_bypass,
+            config.honor_kill and has_kill,
+        )
+        runs_key = effective + (config.num_sets,)
+        if runs_key in runs_cache:
+            return runs_cache[runs_key]
+        stream = stream_cache.get(effective)
+        if stream is None:
+            stream = flavor_decode(
+                state["columns"], effective + (config.write_policy,)
+            )
+            stream_cache[effective] = stream
+        blocks = (
+            stream.blocks_np if stream.blocks_np is not None
+            else stream.blocks_list
+        )
+        types = (
+            stream.types_np if stream.types_np is not None
+            else stream.types_list
+        )
+        runs = collapse_runs(blocks, types, config.num_sets)
+        runs_cache[runs_key] = runs
+        return runs
+
     results = []
     for spec in configs:
         if isinstance(spec, MinConfig):
@@ -124,199 +160,15 @@ def replay_trace_multi(trace, configs, decoded=None):
             if next_use is None:
                 next_use = next_use_index(trace, *key)
                 next_use_cache[key] = next_use
-            results.append(simulate_min(trace, config, next_use=next_use))
+            results.append(
+                replay_decoded(
+                    decoded, config,
+                    policy=MinPolicy(next_use),
+                    runs=runs_for(config),
+                )
+            )
         else:
-            results.append(_replay_decoded(decoded, spec))
+            results.append(
+                replay_decoded(decoded, spec, runs=runs_for(spec))
+            )
     return results
-
-
-def _replay_decoded(decoded, config):
-    """One online configuration over the decoded stream.
-
-    This is ``Cache.access`` inlined: identical branch structure and
-    counter updates, with the per-line record ``[tag, valid, dirty,
-    stamp, inserted, dead]`` and the statistics held in locals for the
-    duration of the loop.  Any change to the semantics in
-    :mod:`repro.cache.cache` must be mirrored here — the equivalence
-    tests and the fuzzer both fail loudly if the two drift.
-    """
-    from repro.cache.stats import CacheStats
-
-    addresses, writes, bypasses, kills = decoded
-    honor_bypass = config.honor_bypass
-    honor_kill = config.honor_kill
-    line_words = config.line_words
-    num_sets = config.num_sets
-    policy = config.policy
-    writethrough = config.write_policy == "writethrough"
-    allocate_on_write = config.allocate_on_write
-    kill_invalidates = config.kill_mode == "invalidate" and line_words == 1
-    rng_choice = (
-        random.Random(config.seed).choice if policy == "random" else None
-    )
-    # line := [tag, valid, dirty, stamp, inserted, dead]
-    sets = [
-        [[-1, False, False, 0, 0, False] for _ in range(config.associativity)]
-        for _ in range(num_sets)
-    ]
-    clock = 0
-
-    refs_total = reads = write_refs = 0
-    refs_cached = refs_bypassed = 0
-    hits = misses = evictions = writebacks = 0
-    words_from_memory = words_to_memory = 0
-    probe_hits = kill_count = dead_drops = dead_line_frees = 0
-    bypass_read_hits = bypass_reads_from_memory = bypass_writes = 0
-
-    one_word_lines = line_words == 1
-    # Ignored annotation bits become flat zero streams so the hot loop
-    # carries no honor_* branches.
-    if not honor_bypass:
-        bypasses = [0] * len(addresses)
-    if not honor_kill:
-        kills = [0] * len(addresses)
-
-    for address, is_write, bypass, kill in zip(
-        addresses, writes, bypasses, kills
-    ):
-        refs_total += 1
-        if is_write:
-            write_refs += 1
-        else:
-            reads += 1
-        clock += 1
-        block = address if one_word_lines else address // line_words
-        lines = sets[block % num_sets]
-        line = None
-        for candidate in lines:
-            if candidate[1] and candidate[0] == block:
-                line = candidate
-                break
-
-        if bypass:
-            refs_bypassed += 1
-            if is_write:
-                words_to_memory += 1
-                bypass_writes += 1
-                if line is not None:
-                    probe_hits += 1
-                    line[1] = False
-                    line[2] = False
-                continue
-            if line is not None:
-                probe_hits += 1
-                bypass_read_hits += 1
-                if line[2]:
-                    if kill:
-                        dead_drops += 1
-                    else:
-                        writebacks += 1
-                        words_to_memory += line_words
-                if kill:
-                    kill_count += 1
-                line[1] = False
-                line[2] = False
-                continue
-            words_from_memory += 1
-            bypass_reads_from_memory += 1
-            if kill:
-                kill_count += 1
-            continue
-
-        refs_cached += 1
-        if is_write and writethrough:
-            words_to_memory += 1
-        if line is not None:
-            hits += 1
-            if is_write and not writethrough:
-                line[2] = True
-            line[3] = clock
-            line[5] = False
-            if kill:
-                kill_count += 1
-                if kill_invalidates:
-                    if line[2]:
-                        dead_drops += 1
-                    line[1] = False
-                    line[2] = False
-                    dead_line_frees += 1
-                else:
-                    line[5] = True
-            continue
-
-        misses += 1
-        if kill and not is_write:
-            kill_count += 1
-            words_from_memory += 1
-            continue
-        if is_write and not allocate_on_write:
-            if not writethrough:
-                words_to_memory += 1
-            continue
-        victim = None
-        for candidate in lines:
-            if not candidate[1]:
-                victim = candidate
-                break
-        if victim is None:
-            dead = [candidate for candidate in lines if candidate[5]]
-            if dead:
-                victim = min(dead, key=_stamp)
-            elif policy == "lru":
-                victim = min(lines, key=_stamp)
-            elif policy == "fifo":
-                victim = min(lines, key=_inserted)
-            else:
-                victim = rng_choice(lines)
-        if victim[1]:
-            evictions += 1
-            if victim[2]:
-                writebacks += 1
-                words_to_memory += line_words
-        victim[0] = block
-        victim[1] = True
-        victim[2] = bool(is_write and not writethrough)
-        victim[3] = clock
-        victim[4] = clock
-        victim[5] = False
-        if not (is_write and one_word_lines):
-            words_from_memory += line_words
-        if kill:
-            kill_count += 1
-            if kill_invalidates:
-                if victim[2]:
-                    dead_drops += 1
-                victim[1] = False
-                victim[2] = False
-                dead_line_frees += 1
-            else:
-                victim[5] = True
-
-    return CacheStats(
-        refs_total=refs_total,
-        reads=reads,
-        writes=write_refs,
-        refs_cached=refs_cached,
-        refs_bypassed=refs_bypassed,
-        hits=hits,
-        misses=misses,
-        evictions=evictions,
-        writebacks=writebacks,
-        words_from_memory=words_from_memory,
-        words_to_memory=words_to_memory,
-        probe_hits=probe_hits,
-        kills=kill_count,
-        dead_drops=dead_drops,
-        dead_line_frees=dead_line_frees,
-        bypass_read_hits=bypass_read_hits,
-        bypass_reads_from_memory=bypass_reads_from_memory,
-        bypass_writes=bypass_writes,
-    )
-
-
-def _stamp(line):
-    return line[3]
-
-
-def _inserted(line):
-    return line[4]

@@ -1,0 +1,1399 @@
+"""The canonical per-event cache semantics, in exactly one place.
+
+Every cache engine in the repo — the online :class:`~repro.cache.cache.Cache`,
+the data-carrying functional twin, the multi-configuration replay, the
+offline MIN simulator, and the stack-distance sweep's flavor decode —
+drives the paper's bypass/kill transfer function through this module.
+The transfer function itself lives in :meth:`UnifiedCache.access`;
+replacement decisions are delegated to a state-owning
+:class:`ReplacementPolicy` (LRU, FIFO, Random, MIN), so adding a policy
+or changing a semantic rule happens once and is visible to all engines
+at once.
+
+Three layers:
+
+* **Flag/flavor decode** — ``decode_trace`` (per-event flag lists),
+  ``flavor_decode`` (the EV_* typed stream shared by the sweep
+  engines), ``flag_presence`` and ``next_use_index``.
+* **The transfer function** — :class:`UnifiedCache` plus the policy
+  protocol.  The per-event handling of bypass probes, kill bits
+  (invalidate vs demote), write policies, write-allocation, and
+  dirty-writeback accounting appears *only* here.
+* **Batch drivers** — :func:`replay_decoded` (one config, optionally
+  fronted by the same-block run collapse), and the single-pass
+  multi-associativity sweeps :func:`fifo_sweep` / :func:`min_sweep`
+  that score a whole geometry column in one walk of the stream.
+
+The contract between every pair of engines is bit-identical
+:class:`~repro.cache.stats.CacheStats`, never approximately-equal; the
+differential fuzzer and the equivalence batteries in
+``tests/test_replay_multi.py`` / ``tests/test_policy_protocol.py``
+enforce it.
+"""
+
+import random
+from itertools import repeat as _repeat
+
+from repro.cache.stats import CacheStats
+from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE
+
+try:  # NumPy is an accelerator, never a requirement.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only off-image
+    _np = None
+
+_INFINITY = float("inf")
+
+#: Event type codes produced by the flavor decode (order matters only
+#: to the consumers' dispatch; plain events are the two smallest).
+EV_PLAIN_READ = 0
+EV_PLAIN_WRITE = 1
+EV_KILL_READ = 2
+EV_KILL_WRITE = 3
+EV_BYPASS_READ = 4
+EV_BYPASS_READ_KILL = 5
+EV_BYPASS_WRITE = 6
+
+
+# ----------------------------------------------------------------------
+# Flag and flavor decode
+# ----------------------------------------------------------------------
+
+
+def decode_trace(trace):
+    """Unpack the flag bytes once for the whole sweep.
+
+    Returns ``(addresses, writes, bypasses, kills)`` — the address
+    array plus three parallel lists of the masked flag bits.  Sharing
+    this across N configurations removes N-1 redundant per-event
+    decodes from a sweep.
+    """
+    flags = trace.flags
+    return (
+        list(trace.addresses),
+        [f & FLAG_WRITE for f in flags],
+        [f & FLAG_BYPASS for f in flags],
+        [f & FLAG_KILL for f in flags],
+    )
+
+
+def flag_presence(columns):
+    """Does the trace carry any bypass / kill bits at all?"""
+    _addresses, flags = columns
+    if _np is not None and isinstance(flags, _np.ndarray):
+        present = int(
+            _np.bitwise_or.reduce(flags) if len(flags) else 0
+        )
+    else:
+        present = 0
+        for flag in flags:
+            present |= flag
+            if present & (FLAG_BYPASS | FLAG_KILL) == (
+                FLAG_BYPASS | FLAG_KILL
+            ):
+                break
+    return bool(present & FLAG_BYPASS), bool(present & FLAG_KILL)
+
+
+class FlavorStream:
+    """One flavor's decoded event stream.
+
+    The blocks and EV_* type codes both as NumPy arrays (``None``
+    without NumPy) and as Python lists, plus the geometry-independent
+    stat constants — all computed exactly once per flavor no matter
+    how many ``(num_sets, assoc)`` passes share them.
+    """
+
+    __slots__ = (
+        "blocks_np", "types_np", "blocks_list", "types_list",
+        "constants", "plain_only",
+    )
+
+
+def flavor_decode(columns, flavor):
+    """Decode the packed columns into a :class:`FlavorStream`.
+
+    ``flavor`` is ``(line_words, honor_bypass, honor_kill,
+    write_policy)`` with the honor flags already normalized against
+    the trace's flag presence.
+    """
+    addresses, flags = columns
+    line_words, honor_bypass, honor_kill, _write_policy = flavor
+    stream = FlavorStream()
+    if _np is not None:
+        a = _np.asarray(addresses, dtype=_np.int64)
+        f = _np.asarray(flags, dtype=_np.int64)
+        blocks = a if line_words == 1 else a // line_words
+        w = f & FLAG_WRITE
+        y = (f & FLAG_BYPASS) >> 1 if honor_bypass else 0
+        k = (f & FLAG_KILL) >> 2 if honor_kill else 0
+        # plain=0/1 by write bit; kill adds 2; bypass overrides to
+        # 4/5/6 (a bypass write sheds its kill bit: the probe already
+        # invalidates, so the kill is never separately honored).
+        types = (1 - y) * (w + 2 * k) + y * (4 + 2 * w + (1 - w) * k)
+        if isinstance(types, int):  # n == 0 with scalar y/k
+            types = w
+        stream.blocks_np = blocks
+        stream.types_np = types
+        stream.blocks_list = blocks.tolist()
+        stream.types_list = types.tolist()
+        counts = _np.bincount(types, minlength=7).tolist()
+    else:
+        stream.blocks_np = None
+        stream.types_np = None
+        stream.blocks_list = [
+            address if line_words == 1 else address // line_words
+            for address in addresses
+        ]
+        types = []
+        counts = [0] * 7
+        for flag in flags:
+            w = flag & FLAG_WRITE
+            y = (flag & FLAG_BYPASS) if honor_bypass else 0
+            k = (flag & FLAG_KILL) if honor_kill else 0
+            if y:
+                t = (
+                    EV_BYPASS_WRITE if w
+                    else (EV_BYPASS_READ_KILL if k else EV_BYPASS_READ)
+                )
+            elif k:
+                t = EV_KILL_WRITE if w else EV_KILL_READ
+            else:
+                t = EV_PLAIN_WRITE if w else EV_PLAIN_READ
+            types.append(t)
+            counts[t] += 1
+        stream.types_list = types
+    stream.constants = flavor_constants(counts, flavor)
+    stream.plain_only = (
+        counts[EV_PLAIN_READ] + counts[EV_PLAIN_WRITE] == len(addresses)
+    )
+    return stream
+
+
+def flavor_constants(counts, flavor):
+    """The geometry-independent :class:`CacheStats` contributions.
+
+    ``kills`` and ``words_to_memory_const`` assume every kill-write
+    event reaches a cache line (true whenever
+    ``allocate_on_write=True``); the write-around sweeps count kills
+    per associativity instead of using this entry.
+    """
+    _line_words, _hb, _hk, write_policy = flavor
+    refs_total = sum(counts)
+    writes = counts[EV_PLAIN_WRITE] + counts[EV_KILL_WRITE] + counts[
+        EV_BYPASS_WRITE
+    ]
+    refs_bypassed = (
+        counts[EV_BYPASS_READ]
+        + counts[EV_BYPASS_READ_KILL]
+        + counts[EV_BYPASS_WRITE]
+    )
+    kills = (
+        counts[EV_KILL_READ]
+        + counts[EV_KILL_WRITE]
+        + counts[EV_BYPASS_READ_KILL]
+    )
+    words_to_memory = counts[EV_BYPASS_WRITE]
+    if write_policy == "writethrough":
+        words_to_memory += counts[EV_PLAIN_WRITE] + counts[EV_KILL_WRITE]
+    return {
+        "refs_total": refs_total,
+        "reads": refs_total - writes,
+        "writes": writes,
+        "refs_cached": refs_total - refs_bypassed,
+        "refs_bypassed": refs_bypassed,
+        "cached_events": refs_total - refs_bypassed,
+        "kills": kills,
+        "bypass_writes": counts[EV_BYPASS_WRITE],
+        "words_to_memory_const": words_to_memory,
+        "counts": counts,
+    }
+
+
+def next_use_index(trace, line_words=1, honor_bypass=True):
+    """For each reference index, the index of the next through-cache
+    reference to the same block (or infinity).
+
+    Bypassed references (when honored) never touch a line's future, so
+    they carry the marker ``-1`` instead of a position.  The result
+    depends only on the two arguments, never on geometry or policy, so
+    one index serves every MIN configuration of a sweep that shares
+    them.
+    """
+    if _np is not None and hasattr(trace, "to_columns"):
+        addresses, flags = trace.to_columns()
+        n = len(addresses)
+        if n == 0:
+            return []
+        a = _np.asarray(addresses, dtype=_np.int64)
+        blocks = a if line_words == 1 else a // line_words
+        if honor_bypass:
+            f = _np.asarray(flags, dtype=_np.int64)
+            cached = _np.flatnonzero((f & FLAG_BYPASS) == 0)
+        else:
+            cached = _np.arange(n)
+        out = _np.full(n, -1.0)
+        if len(cached):
+            cb = blocks[cached]
+            order = _np.argsort(cb, kind="stable")
+            sorted_blocks = cb[order]
+            sorted_indices = cached[order]
+            # Within a block group the stable sort keeps time order,
+            # so each event's next use is simply its right neighbor.
+            nxt = _np.empty(len(cached))
+            if len(cached) > 1:
+                same = sorted_blocks[1:] == sorted_blocks[:-1]
+                nxt[:-1] = _np.where(same, sorted_indices[1:], _np.inf)
+            nxt[-1] = _np.inf
+            unsorted = _np.empty(len(cached))
+            unsorted[order] = nxt
+            out[cached] = unsorted
+        return out.tolist()
+    next_use = [0] * len(trace)
+    last_seen = {}
+    addresses = trace.addresses
+    flags_array = trace.flags
+    for index in range(len(trace) - 1, -1, -1):
+        flags = flags_array[index]
+        if honor_bypass and flags & FLAG_BYPASS:
+            next_use[index] = -1  # Marker: not a through-cache reference.
+            continue
+        block = addresses[index] // line_words
+        next_use[index] = last_seen.get(block, _INFINITY)
+        last_seen[block] = index
+    return next_use
+
+
+# ----------------------------------------------------------------------
+# The run-collapse pre-pass
+# ----------------------------------------------------------------------
+
+
+class CollapsedRuns:
+    """Per-set consecutive same-block plain runs, collapsed to heads.
+
+    ``indices`` are the surviving event indices in time order (a NumPy
+    array when NumPy produced it, for fancy-indexing; ``indices_list``
+    is always a plain list).  ``run_writes[p]`` says a collapsed
+    follower of head ``p`` wrote; ``last_indices[p]`` is the original
+    index of the run's final event (the head itself for singleton
+    runs) — the index whose next-use value the MIN policies must see.
+    ``follower_reads`` / ``follower_writes`` partition the
+    ``collapsed`` guaranteed-hit followers.
+    """
+
+    __slots__ = (
+        "indices", "indices_list", "run_writes", "last_indices",
+        "follower_reads", "follower_writes", "collapsed",
+    )
+
+
+def collapse_runs(blocks, types, num_sets):
+    """Collapse per-set consecutive same-block plain-cached runs.
+
+    A through-cache reference whose set's previous reference touched
+    the same block is a guaranteed MRU hit in every geometry and moves
+    nothing, so only the run head needs simulating; followers
+    contribute guaranteed hits and at most a write-dirtying.  Returns
+    a :class:`CollapsedRuns` or ``None`` when nothing collapses.
+
+    Only valid when every plain head leaves its block resident — i.e.
+    ``allocate_on_write=True`` (a write-around head miss would make
+    its followers miss too); callers gate on that.
+    """
+    if _np is None or len(blocks) == 0:
+        return _collapse_runs_py(blocks, types, num_sets)
+    b = blocks if isinstance(blocks, _np.ndarray) else _np.asarray(blocks)
+    t = _np.asarray(types, dtype=_np.int64)
+    n = len(b)
+    sets = b % num_sets
+    order = _np.argsort(sets, kind="stable")
+    sb = b[order]
+    st = t[order]
+    ss = sets[order]
+    same_set = _np.empty(n, dtype=bool)
+    same_set[0] = False
+    same_set[1:] = ss[1:] == ss[:-1]
+    plain = st <= EV_PLAIN_WRITE
+    follower = _np.empty(n, dtype=bool)
+    follower[0] = False
+    follower[1:] = (
+        same_set[1:]
+        & plain[1:]
+        & plain[:-1]
+        & (sb[1:] == sb[:-1])
+    )
+    collapsed = int(follower.sum())
+    if collapsed == 0:
+        return None
+    keep_sorted = ~follower
+    # Runs are contiguous in set-sorted order and time-ordered inside
+    # (the stable sort never reorders one set's events), so each run
+    # spans from its head up to the position before the next head.
+    head_ids = _np.cumsum(keep_sorted) - 1
+    heads = int(keep_sorted.sum())
+    wrote = _np.zeros(heads, dtype=bool)
+    follower_write_mask = follower & (st == EV_PLAIN_WRITE)
+    _np.logical_or.at(wrote, head_ids[follower_write_mask], True)
+    head_indices = order[keep_sorted]
+    head_pos = _np.flatnonzero(keep_sorted)
+    last_pos = _np.empty(heads, dtype=head_pos.dtype)
+    last_pos[:-1] = head_pos[1:] - 1
+    last_pos[-1] = n - 1
+    last_orig = order[last_pos]
+    # Back to time order, carrying each head's run metadata along.
+    time_order = _np.argsort(head_indices, kind="stable")
+    runs = CollapsedRuns()
+    runs.indices = head_indices[time_order]
+    runs.indices_list = runs.indices.tolist()
+    runs.run_writes = wrote[time_order].tolist()
+    runs.last_indices = last_orig[time_order].tolist()
+    runs.follower_writes = int(follower_write_mask.sum())
+    runs.follower_reads = collapsed - runs.follower_writes
+    runs.collapsed = collapsed
+    return runs
+
+
+def _collapse_runs_py(blocks, types, num_sets):
+    """Pure-Python twin of :func:`collapse_runs`.
+
+    Tracks each set's current run head by position so follower writes
+    dirty the right head even when other sets' events interleave.
+    """
+    last_block = {}
+    last_plain = {}
+    head_pos = {}
+    indices = []
+    run_writes = []
+    last_indices = []
+    follower_reads = 0
+    follower_writes = 0
+    for i, block in enumerate(blocks):
+        t = types[i]
+        s = block % num_sets
+        plain = t <= EV_PLAIN_WRITE
+        if (
+            plain
+            and last_plain.get(s, False)
+            and last_block.get(s) == block
+        ):
+            pos = head_pos[s]
+            last_indices[pos] = i
+            if t == EV_PLAIN_WRITE:
+                run_writes[pos] = True
+                follower_writes += 1
+            else:
+                follower_reads += 1
+        else:
+            if plain:
+                head_pos[s] = len(indices)
+            indices.append(i)
+            run_writes.append(False)
+            last_indices.append(i)
+        last_block[s] = block
+        last_plain[s] = plain
+    collapsed = follower_reads + follower_writes
+    if collapsed == 0:
+        return None
+    runs = CollapsedRuns()
+    runs.indices = indices
+    runs.indices_list = indices
+    runs.run_writes = run_writes
+    runs.last_indices = last_indices
+    runs.follower_reads = follower_reads
+    runs.follower_writes = follower_writes
+    runs.collapsed = collapsed
+    return runs
+
+
+# ----------------------------------------------------------------------
+# Replacement policies
+# ----------------------------------------------------------------------
+
+# Entry layout shared by every policy: the semantics core reads and
+# writes only these three leading slots; everything after them is
+# policy-private bookkeeping.
+ENTRY_DIRTY = 0
+ENTRY_DEAD = 1
+ENTRY_VALUE = 2
+
+# Way-list private slots (the online policies).
+_WAY_TAG = 3
+_WAY_VALID = 4
+_WAY_STAMP = 5
+_WAY_INSERTED = 6
+
+# MIN private slot.
+_MIN_NEXT_USE = 3
+
+
+def _by_stamp(line):
+    return line[_WAY_STAMP]
+
+
+def _by_inserted(line):
+    return line[_WAY_INSERTED]
+
+
+class ReplacementPolicy:
+    """State-owning replacement policy behind :class:`UnifiedCache`.
+
+    The policy owns the resident-line storage; the semantics core
+    never sees sets directly.  Entries are small lists whose leading
+    ``ENTRY_DIRTY`` / ``ENTRY_DEAD`` / ``ENTRY_VALUE`` slots belong to
+    the core and whose tail belongs to the policy.  ``evict`` must
+    prefer dead lines (smallest stamp first) before applying its own
+    order — the paper's dead-line reuse is policy-independent.
+    """
+
+    __slots__ = ()
+
+    #: Policies that consume the trace position (MIN's next-use index)
+    #: set this so drivers know to thread event indices through.
+    needs_index = False
+
+    def reset(self, config):
+        """(Re)build empty per-set state for ``config``'s geometry."""
+        raise NotImplementedError
+
+    def lookup(self, set_index, block):
+        """The resident entry for ``block``, or ``None``."""
+        raise NotImplementedError
+
+    def touch(self, entry, clock, index):
+        """Record a hit on ``entry`` (recency/next-use update)."""
+        raise NotImplementedError
+
+    def room(self, set_index):
+        """Is there a free slot, making eviction unnecessary?"""
+        raise NotImplementedError
+
+    def evict(self, set_index):
+        """Choose, remove, and return ``(block, entry)`` of a victim.
+
+        Only called when ``room`` is ``False``; the returned entry
+        still carries its dirty bit for writeback accounting.
+        """
+        raise NotImplementedError
+
+    def install(self, set_index, block, clock, index):
+        """Insert ``block`` (there is room) and return its clean entry."""
+        raise NotImplementedError
+
+    def invalidate(self, set_index, block, entry):
+        """Drop a resident entry (bypass probe or kill)."""
+        raise NotImplementedError
+
+    def entries(self):
+        """Yield ``(block, entry)`` for every resident line."""
+        raise NotImplementedError
+
+
+class _WayPolicy(ReplacementPolicy):
+    """Shared way-ordered line storage for the online policies.
+
+    The per-set state is a fixed list of ways, exactly like a hardware
+    set — way order is load-bearing: free-slot filling scans ways in
+    order, and the Random policy draws over the way list, so the
+    victim sequence is reproducible across every driver.
+    """
+
+    __slots__ = ("_sets",)
+
+    def reset(self, config):
+        self._sets = [
+            [
+                [False, False, None, -1, False, 0, 0]
+                for _ in range(config.associativity)
+            ]
+            for _ in range(config.num_sets)
+        ]
+
+    def lookup(self, set_index, block):
+        for line in self._sets[set_index]:
+            if line[_WAY_VALID] and line[_WAY_TAG] == block:
+                return line
+        return None
+
+    def touch(self, entry, clock, index):
+        entry[_WAY_STAMP] = clock
+
+    def room(self, set_index):
+        for line in self._sets[set_index]:
+            if not line[_WAY_VALID]:
+                return True
+        return False
+
+    def evict(self, set_index):
+        lines = self._sets[set_index]
+        dead = [line for line in lines if line[ENTRY_DEAD]]
+        victim = min(dead, key=_by_stamp) if dead else self._victim(lines)
+        victim[_WAY_VALID] = False
+        return victim[_WAY_TAG], victim
+
+    def install(self, set_index, block, clock, index):
+        for line in self._sets[set_index]:
+            if not line[_WAY_VALID]:
+                line[ENTRY_DIRTY] = False
+                line[ENTRY_DEAD] = False
+                line[_WAY_TAG] = block
+                line[_WAY_VALID] = True
+                line[_WAY_STAMP] = clock
+                line[_WAY_INSERTED] = clock
+                return line
+        raise AssertionError("install without room")
+
+    def invalidate(self, set_index, block, entry):
+        entry[_WAY_VALID] = False
+        entry[ENTRY_DIRTY] = False
+
+    def entries(self):
+        for lines in self._sets:
+            for line in lines:
+                if line[_WAY_VALID]:
+                    yield line[_WAY_TAG], line
+
+    def _victim(self, lines):
+        raise NotImplementedError
+
+
+class LRUPolicy(_WayPolicy):
+    """Least-recently-touched victim (the paper's baseline)."""
+
+    __slots__ = ()
+    name = "lru"
+
+    def _victim(self, lines):
+        return min(lines, key=_by_stamp)
+
+
+class FIFOPolicy(_WayPolicy):
+    """Oldest-installed victim; touches never refresh position."""
+
+    __slots__ = ()
+    name = "fifo"
+
+    def _victim(self, lines):
+        return min(lines, key=_by_inserted)
+
+
+class RandomPolicy(_WayPolicy):
+    """Seeded uniform victim over the way list.
+
+    The draw happens only when no dead line short-circuits the choice,
+    so the call sequence — and therefore every victim — is identical
+    across the serial, multi-config, and pooled drivers.
+    """
+
+    __slots__ = ("_rng",)
+    name = "random"
+
+    def reset(self, config):
+        super().reset(config)
+        self._rng = random.Random(config.seed)
+
+    def _victim(self, lines):
+        return self._rng.choice(lines)
+
+
+class MinPolicy(ReplacementPolicy):
+    """Belady's MIN: evict the block whose next use is farthest away.
+
+    Per-set state is an insertion-ordered dict; the first strict
+    minimum over ``(not dead, -next_use)`` wins, so infinity ties
+    break by insertion order — the same order the original offline
+    simulator produced.
+    """
+
+    __slots__ = ("_sets", "_assoc", "_next_use")
+    name = "min"
+    needs_index = True
+
+    def __init__(self, next_use):
+        self._next_use = next_use
+
+    def reset(self, config):
+        self._assoc = config.associativity
+        self._sets = [dict() for _ in range(config.num_sets)]
+
+    def lookup(self, set_index, block):
+        return self._sets[set_index].get(block)
+
+    def touch(self, entry, clock, index):
+        entry[_MIN_NEXT_USE] = self._next_use[index]
+
+    def room(self, set_index):
+        return len(self._sets[set_index]) < self._assoc
+
+    def evict(self, set_index):
+        lines = self._sets[set_index]
+        victim_block = None
+        victim_key = None
+        for block, entry in lines.items():
+            next_use_pos = entry[_MIN_NEXT_USE]
+            key = (
+                0 if entry[ENTRY_DEAD] else 1,
+                -next_use_pos if next_use_pos != _INFINITY else -_INFINITY,
+            )
+            if victim_key is None or key < victim_key:
+                victim_key = key
+                victim_block = block
+        return victim_block, lines.pop(victim_block)
+
+    def install(self, set_index, block, clock, index):
+        entry = [False, False, None, self._next_use[index]]
+        self._sets[set_index][block] = entry
+        return entry
+
+    def invalidate(self, set_index, block, entry):
+        del self._sets[set_index][block]
+
+    def entries(self):
+        for lines in self._sets:
+            yield from lines.items()
+
+
+_POLICY_CLASSES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(config, next_use=None):
+    """Instantiate the :class:`ReplacementPolicy` for ``config``.
+
+    MIN needs the trace's precomputed ``next_use`` index (see
+    :func:`next_use_index`); the online policies ignore it.
+    """
+    if config.policy == "min" or next_use is not None:
+        if next_use is None:
+            raise ValueError("the MIN policy needs a next-use index")
+        return MinPolicy(next_use)
+    try:
+        return _POLICY_CLASSES[config.policy]()
+    except KeyError:
+        raise ValueError("unknown policy {!r}".format(config.policy))
+
+
+# ----------------------------------------------------------------------
+# The transfer function
+# ----------------------------------------------------------------------
+
+
+class UnifiedCache:
+    """The paper's cache semantics over a pluggable policy.
+
+    ``access`` is the single source of truth for how a reference with
+    bypass/kill bits moves words, dirties lines, and retires dead
+    values; every engine is a driver over it.  With ``data=True`` the
+    cache also carries values (the functional twin): ``main`` is the
+    backing word store, writes deposit ``value``, and reads leave the
+    observed word in ``self.value``.
+    """
+
+    __slots__ = (
+        "config", "stats", "policy", "main", "value", "last_entry",
+        "_clock", "_line_words", "_num_sets", "_honor_bypass",
+        "_honor_kill", "_writethrough", "_allocate_on_write",
+        "_kill_invalidates",
+    )
+
+    def __init__(self, config, policy=None, data=False, next_use=None):
+        self.config = config
+        self.stats = CacheStats()
+        if policy is None:
+            policy = make_policy(config, next_use=next_use)
+        policy.reset(config)
+        self.policy = policy
+        self._clock = 0
+        self._line_words = config.line_words
+        self._num_sets = config.num_sets
+        self._honor_bypass = config.honor_bypass
+        self._honor_kill = config.honor_kill
+        self._writethrough = config.write_policy == "writethrough"
+        self._allocate_on_write = config.allocate_on_write
+        self._kill_invalidates = (
+            config.kill_mode == "invalidate" and config.line_words == 1
+        )
+        if data and config.line_words != 1:
+            raise ValueError(
+                "data-carrying caches require line_words=1 "
+                "(got {})".format(config.line_words)
+            )
+        self.main = {} if data else None
+        self.value = None
+        self.last_entry = None
+
+    # -- the canonical per-event semantics ----------------------------
+
+    def access(self, address, is_write, bypass=False, kill=False,
+               value=None, index=None):
+        """Apply one reference; returns ``"hit"``/``"miss"``/``"bypass"``.
+
+        ``index`` is the trace position (consumed by next-use-driven
+        policies); ``value`` is the stored word in data mode.
+        """
+        stats = self.stats
+        stats.refs_total += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        if bypass and not self._honor_bypass:
+            bypass = False
+        if kill and not self._honor_kill:
+            kill = False
+        self._clock += 1
+        line_words = self._line_words
+        block = address // line_words
+        set_index = block % self._num_sets
+        policy = self.policy
+        entry = policy.lookup(set_index, block)
+        main = self.main
+
+        if bypass:
+            stats.refs_bypassed += 1
+            self.last_entry = None
+            if is_write:
+                # A bypassed store goes straight to memory; a resident
+                # copy is stale and dies without writeback (the store
+                # supersedes whatever the line held).
+                stats.words_to_memory += 1
+                stats.bypass_writes += 1
+                if main is not None:
+                    main[address] = value
+                if entry is not None:
+                    stats.probe_hits += 1
+                    policy.invalidate(set_index, block, entry)
+                return "bypass"
+            if entry is not None:
+                stats.probe_hits += 1
+                stats.bypass_read_hits += 1
+                if main is not None:
+                    self.value = entry[ENTRY_VALUE]
+                if entry[ENTRY_DIRTY]:
+                    if kill:
+                        # Last use of a dead value: drop it instead of
+                        # flushing.
+                        stats.dead_drops += 1
+                    else:
+                        stats.writebacks += 1
+                        stats.words_to_memory += line_words
+                        if main is not None:
+                            main[address] = entry[ENTRY_VALUE]
+                if kill:
+                    stats.kills += 1
+                policy.invalidate(set_index, block, entry)
+                return "bypass"
+            stats.words_from_memory += 1
+            stats.bypass_reads_from_memory += 1
+            if kill:
+                stats.kills += 1
+            if main is not None:
+                self.value = main.get(address, 0)
+            return "bypass"
+
+        # -- through-cache path ---------------------------------------
+        stats.refs_cached += 1
+        writethrough = self._writethrough
+        if is_write and writethrough:
+            stats.words_to_memory += 1
+            if main is not None:
+                main[address] = value
+
+        if entry is not None:
+            stats.hits += 1
+            if is_write:
+                if not writethrough:
+                    entry[ENTRY_DIRTY] = True
+                if main is not None:
+                    entry[ENTRY_VALUE] = value
+            elif main is not None:
+                self.value = entry[ENTRY_VALUE]
+            policy.touch(entry, self._clock, index)
+            entry[ENTRY_DEAD] = False
+            self.last_entry = entry
+            if kill:
+                self._kill(set_index, block, entry)
+            return "hit"
+
+        stats.misses += 1
+        if kill and not is_write:
+            # A killed read misses *around* the cache: the value is
+            # dead after this one use, so serve the word and install
+            # nothing.
+            stats.kills += 1
+            stats.words_from_memory += 1
+            if main is not None:
+                self.value = main.get(address, 0)
+            self.last_entry = None
+            return "miss"
+        if is_write and not self._allocate_on_write:
+            # Write-around: the store goes to memory without claiming
+            # a line (and without honoring any kill — there is no line
+            # to retire).
+            if not writethrough:
+                stats.words_to_memory += 1
+                if main is not None:
+                    main[address] = value
+            self.last_entry = None
+            return "miss"
+
+        if not policy.room(set_index):
+            victim_block, victim = policy.evict(set_index)
+            stats.evictions += 1
+            if victim[ENTRY_DIRTY]:
+                stats.writebacks += 1
+                stats.words_to_memory += line_words
+                if main is not None:
+                    main[victim_block] = victim[ENTRY_VALUE]
+        entry = policy.install(set_index, block, self._clock, index)
+        if is_write:
+            if not writethrough:
+                entry[ENTRY_DIRTY] = True
+            if main is not None:
+                entry[ENTRY_VALUE] = value
+        elif main is not None:
+            entry[ENTRY_VALUE] = main.get(address, 0)
+            self.value = entry[ENTRY_VALUE]
+        if not (is_write and line_words == 1):
+            # A one-word write-allocate needs no fill; everything else
+            # fetches the line.
+            stats.words_from_memory += line_words
+        self.last_entry = entry
+        if kill:
+            self._kill(set_index, block, entry)
+        return "miss"
+
+    def _kill(self, set_index, block, entry):
+        """Retire a dead value after its final touch."""
+        stats = self.stats
+        stats.kills += 1
+        if self._kill_invalidates:
+            if entry[ENTRY_DIRTY]:
+                stats.dead_drops += 1
+            self.policy.invalidate(set_index, block, entry)
+            stats.dead_line_frees += 1
+            self.last_entry = None
+        else:
+            # Demote (or a partial-line kill): mark dead so the next
+            # eviction in this set prefers it.
+            entry[ENTRY_DEAD] = True
+
+    def absorb_followers(self, follower_reads, follower_writes):
+        """Account collapsed same-block run followers.
+
+        Followers are guaranteed hits in every geometry (their head
+        left the block resident and MRU); only reference counting and
+        writethrough store traffic remain.  Line-dirtying for
+        follower writes is handled at the head via ``last_entry``.
+        """
+        stats = self.stats
+        count = follower_reads + follower_writes
+        stats.refs_total += count
+        stats.reads += follower_reads
+        stats.writes += follower_writes
+        stats.refs_cached += count
+        stats.hits += count
+        if self._writethrough:
+            stats.words_to_memory += follower_writes
+
+    # -- inspection and data-mode helpers -----------------------------
+
+    def probe(self, address):
+        """Would ``address`` hit right now?  Counts nothing."""
+        block = address // self._line_words
+        return self.policy.lookup(block % self._num_sets, block) is not None
+
+    def contents(self):
+        """``{block: dirty}`` for every resident line."""
+        return {
+            block: entry[ENTRY_DIRTY]
+            for block, entry in self.policy.entries()
+        }
+
+    def peek(self, address):
+        """Observe a word without touching state (cached copy wins)."""
+        block = address // self._line_words
+        entry = self.policy.lookup(block % self._num_sets, block)
+        if entry is not None:
+            return entry[ENTRY_VALUE]
+        return self.main.get(address, 0)
+
+    def poke(self, address, value):
+        """Set a word directly, keeping any cached copy coherent."""
+        block = address // self._line_words
+        entry = self.policy.lookup(block % self._num_sets, block)
+        if entry is not None:
+            entry[ENTRY_VALUE] = value
+        self.main[address] = value
+
+    def flush(self):
+        """Write every dirty line back to ``main`` (lines stay resident)."""
+        for block, entry in self.policy.entries():
+            if entry[ENTRY_DIRTY]:
+                self.main[block * self._line_words] = entry[ENTRY_VALUE]
+                entry[ENTRY_DIRTY] = False
+
+
+# ----------------------------------------------------------------------
+# Batch drivers
+# ----------------------------------------------------------------------
+
+
+def replay_decoded(decoded, config, policy=None, next_use=None, runs=None):
+    """Replay one decoded stream through one configuration.
+
+    ``runs`` (a :class:`CollapsedRuns` for this config's effective
+    flavor and set count) fronts the loop with the same-block run
+    collapse; pass it only when ``config.allocate_on_write`` holds.
+    """
+    addresses, writes, bypasses, kills = decoded
+    core = UnifiedCache(config, policy=policy, next_use=next_use)
+    access = core.access
+    if runs is not None and config.allocate_on_write:
+        dirty_runs = not core._writethrough
+        run_writes = runs.run_writes
+        last_indices = runs.last_indices
+        for pos, i in enumerate(runs.indices_list):
+            access(addresses[i], writes[i], bypasses[i], kills[i],
+                   index=last_indices[pos])
+            if run_writes[pos] and dirty_runs:
+                core.last_entry[ENTRY_DIRTY] = True
+        core.absorb_followers(runs.follower_reads, runs.follower_writes)
+    elif core.policy.needs_index:
+        index = 0
+        for address, is_write, bypass, kill in zip(
+            addresses, writes, bypasses, kills
+        ):
+            access(address, is_write, bypass, kill, index=index)
+            index += 1
+    else:
+        for address, is_write, bypass, kill in zip(
+            addresses, writes, bypasses, kills
+        ):
+            access(address, is_write, bypass, kill)
+    return core.stats
+
+
+# Per-associativity counter slots used by the single-pass sweeps.
+_C_HITS = 0
+_C_MISSES = 1
+_C_EVICTIONS = 2
+_C_WRITEBACKS = 3
+_C_WORDS_FROM = 4
+_C_WORDS_TO = 5
+_C_PROBE_HITS = 6
+_C_KILLS = 7
+_C_DEAD_DROPS = 8
+_C_DEAD_FREES = 9
+_C_BYPASS_READ_HITS = 10
+_C_BYPASS_READ_MEM = 11
+_C_SLOTS = 12
+
+
+def _sweep_stats(stream, counters, collapsed):
+    """Assemble exact :class:`CacheStats` from sweep counters."""
+    const = stream.constants
+    stats = CacheStats()
+    stats.refs_total = const["refs_total"]
+    stats.reads = const["reads"]
+    stats.writes = const["writes"]
+    stats.refs_cached = const["refs_cached"]
+    stats.refs_bypassed = const["refs_bypassed"]
+    stats.bypass_writes = const["bypass_writes"]
+    stats.hits = counters[_C_HITS] + collapsed
+    stats.misses = counters[_C_MISSES]
+    stats.evictions = counters[_C_EVICTIONS]
+    stats.writebacks = counters[_C_WRITEBACKS]
+    stats.words_from_memory = counters[_C_WORDS_FROM]
+    stats.words_to_memory = (
+        const["words_to_memory_const"] + counters[_C_WORDS_TO]
+    )
+    stats.probe_hits = counters[_C_PROBE_HITS]
+    stats.kills = counters[_C_KILLS]
+    stats.dead_drops = counters[_C_DEAD_DROPS]
+    stats.dead_line_frees = counters[_C_DEAD_FREES]
+    stats.bypass_read_hits = counters[_C_BYPASS_READ_HITS]
+    stats.bypass_reads_from_memory = counters[_C_BYPASS_READ_MEM]
+    return stats
+
+
+def fifo_sweep(stream, num_sets, assocs, line_words, kill_mode,
+               write_policy, allocate_on_write):
+    """Score every FIFO associativity of one flavor group in one pass.
+
+    FIFO has no stacking property, so each associativity keeps its own
+    per-set residency dict — but one walk of the shared typed stream
+    (fronted by the run collapse) serves them all, and the victim
+    choice (free slot, else smallest-stamp dead line, else oldest
+    install) is representation-independent because clock stamps are
+    globally unique.  Returns ``{assoc: CacheStats}``.
+    """
+    writethrough = write_policy == "writethrough"
+    kill_invalidates = kill_mode == "invalidate" and line_words == 1
+    runs = None
+    if allocate_on_write:
+        blocks_src = (
+            stream.blocks_np if stream.blocks_np is not None
+            else stream.blocks_list
+        )
+        types_src = (
+            stream.types_np if stream.types_np is not None
+            else stream.types_list
+        )
+        runs = collapse_runs(blocks_src, types_src, num_sets)
+    blocks = stream.blocks_list
+    types = stream.types_list
+    if runs is not None:
+        events = [
+            (blocks[i], types[i], wrote)
+            for i, wrote in zip(runs.indices_list, runs.run_writes)
+        ]
+        collapsed = runs.collapsed
+    else:
+        events = zip(blocks, types, _false_forever())
+        collapsed = 0
+
+    uniq = sorted(set(assocs))
+    states = [[{} for _ in range(num_sets)] for _ in uniq]
+    counters = [[0] * _C_SLOTS for _ in uniq]
+    lanes = list(zip(uniq, states, counters))
+
+    clock = 0
+    for block, event_type, follower_wrote in events:
+        clock += 1
+        set_index = block % num_sets
+        for assoc, sets, c in lanes:
+            lines = sets[set_index]
+            entry = lines.get(block)
+            if event_type <= EV_PLAIN_WRITE:
+                is_write = event_type == EV_PLAIN_WRITE
+                if entry is not None:
+                    c[_C_HITS] += 1
+                    if not writethrough and (is_write or follower_wrote):
+                        entry[0] = True
+                    entry[1] = False
+                    entry[2] = clock
+                    continue
+                c[_C_MISSES] += 1
+                if is_write and not allocate_on_write:
+                    if not writethrough:
+                        c[_C_WORDS_TO] += 1
+                    continue
+                if len(lines) >= assoc:
+                    _fifo_evict(lines, c, line_words)
+                dirty = (is_write or follower_wrote) and not writethrough
+                lines[block] = [dirty, False, clock, clock]
+                if not (is_write and line_words == 1):
+                    c[_C_WORDS_FROM] += line_words
+                continue
+            if event_type == EV_KILL_READ:
+                if entry is None:
+                    c[_C_MISSES] += 1
+                    c[_C_KILLS] += 1
+                    c[_C_WORDS_FROM] += 1
+                    continue
+                c[_C_HITS] += 1
+                entry[1] = False
+                entry[2] = clock
+                c[_C_KILLS] += 1
+                if kill_invalidates:
+                    if entry[0]:
+                        c[_C_DEAD_DROPS] += 1
+                    del lines[block]
+                    c[_C_DEAD_FREES] += 1
+                else:
+                    entry[1] = True
+                continue
+            if event_type == EV_KILL_WRITE:
+                if entry is not None:
+                    c[_C_HITS] += 1
+                    if not writethrough:
+                        entry[0] = True
+                    entry[1] = False
+                    entry[2] = clock
+                else:
+                    c[_C_MISSES] += 1
+                    if not allocate_on_write:
+                        if not writethrough:
+                            c[_C_WORDS_TO] += 1
+                        continue
+                    if len(lines) >= assoc:
+                        _fifo_evict(lines, c, line_words)
+                    dirty = not writethrough
+                    entry = [dirty, False, clock, clock]
+                    lines[block] = entry
+                    if line_words != 1:
+                        c[_C_WORDS_FROM] += line_words
+                c[_C_KILLS] += 1
+                if kill_invalidates:
+                    if entry[0]:
+                        c[_C_DEAD_DROPS] += 1
+                    del lines[block]
+                    c[_C_DEAD_FREES] += 1
+                else:
+                    entry[1] = True
+                continue
+            if event_type == EV_BYPASS_WRITE:
+                if entry is not None:
+                    c[_C_PROBE_HITS] += 1
+                    del lines[block]
+                continue
+            # Bypass read, with or without a kill bit.
+            if entry is not None:
+                c[_C_PROBE_HITS] += 1
+                c[_C_BYPASS_READ_HITS] += 1
+                if entry[0]:
+                    if event_type == EV_BYPASS_READ_KILL:
+                        c[_C_DEAD_DROPS] += 1
+                    else:
+                        c[_C_WRITEBACKS] += 1
+                        c[_C_WORDS_TO] += line_words
+                if event_type == EV_BYPASS_READ_KILL:
+                    c[_C_KILLS] += 1
+                del lines[block]
+            else:
+                c[_C_WORDS_FROM] += 1
+                c[_C_BYPASS_READ_MEM] += 1
+                if event_type == EV_BYPASS_READ_KILL:
+                    c[_C_KILLS] += 1
+
+    return {
+        assoc: _sweep_stats(stream, c, collapsed)
+        for assoc, _sets, c in lanes
+    }
+
+
+def _fifo_evict(lines, counters, line_words):
+    """Pop the FIFO victim (dead-first) and account the eviction."""
+    victim_block = None
+    dead_stamp = None
+    fifo_block = None
+    fifo_inserted = None
+    for block, entry in lines.items():
+        if entry[1] and (dead_stamp is None or entry[2] < dead_stamp):
+            dead_stamp = entry[2]
+            victim_block = block
+        if fifo_inserted is None or entry[3] < fifo_inserted:
+            fifo_inserted = entry[3]
+            fifo_block = block
+    if victim_block is None:
+        victim_block = fifo_block
+    victim = lines.pop(victim_block)
+    counters[_C_EVICTIONS] += 1
+    if victim[0]:
+        counters[_C_WRITEBACKS] += 1
+        counters[_C_WORDS_TO] += line_words
+
+
+def min_sweep(stream, num_sets, assocs, line_words, kill_mode,
+              write_policy, allocate_on_write, next_use):
+    """Score every MIN associativity of one flavor group in one pass.
+
+    Shares the typed stream, the run collapse, and one next-use index
+    across every associativity; per-set state and the
+    farthest-next-use victim scan mirror :class:`MinPolicy` exactly
+    (insertion-ordered dicts, first strict minimum wins), so the
+    statistics are bit-identical to the per-config path.  Returns
+    ``{assoc: CacheStats}``.
+    """
+    writethrough = write_policy == "writethrough"
+    kill_invalidates = kill_mode == "invalidate" and line_words == 1
+    runs = None
+    if allocate_on_write:
+        blocks_src = (
+            stream.blocks_np if stream.blocks_np is not None
+            else stream.blocks_list
+        )
+        types_src = (
+            stream.types_np if stream.types_np is not None
+            else stream.types_list
+        )
+        runs = collapse_runs(blocks_src, types_src, num_sets)
+    # Events carry everything the hot loop needs — block, set, type,
+    # follower-write flag, next-use position — precomputed once (and
+    # vectorized where NumPy holds the columns) so the per-lane walk
+    # does no arithmetic or index chasing of its own.
+    if runs is not None:
+        if _np is not None and stream.blocks_np is not None:
+            eb = stream.blocks_np[runs.indices]
+            events = list(zip(
+                eb.tolist(),
+                (eb % num_sets).tolist(),
+                stream.types_np[runs.indices].tolist(),
+                runs.run_writes,
+                [next_use[i] for i in runs.last_indices],
+            ))
+        else:
+            blocks = stream.blocks_list
+            types = stream.types_list
+            events = [
+                (blocks[i], blocks[i] % num_sets, types[i], wrote,
+                 next_use[last])
+                for i, wrote, last in zip(
+                    runs.indices_list, runs.run_writes, runs.last_indices
+                )
+            ]
+        collapsed = runs.collapsed
+    else:
+        if _np is not None and stream.blocks_np is not None:
+            set_indices = (stream.blocks_np % num_sets).tolist()
+        else:
+            set_indices = [b % num_sets for b in stream.blocks_list]
+        events = list(zip(
+            stream.blocks_list, set_indices, stream.types_list,
+            _repeat(False), next_use,
+        ))
+        collapsed = 0
+
+    uniq = sorted(set(assocs))
+    states = [[{} for _ in range(num_sets)] for _ in uniq]
+    counters = [[0] * _C_SLOTS for _ in uniq]
+    lanes = list(zip(uniq, states, counters))
+
+    for block, set_index, event_type, follower_wrote, position in events:
+        if event_type <= EV_PLAIN_WRITE:
+            is_write = event_type == EV_PLAIN_WRITE
+            dirties = (is_write or follower_wrote) and not writethrough
+            fetches = not (is_write and line_words == 1)
+            for assoc, sets, c in lanes:
+                lines = sets[set_index]
+                entry = lines.get(block)
+                if entry is not None:
+                    c[_C_HITS] += 1
+                    if dirties:
+                        entry[0] = True
+                    entry[1] = False
+                    entry[2] = position
+                    continue
+                c[_C_MISSES] += 1
+                if is_write and not allocate_on_write:
+                    if not writethrough:
+                        c[_C_WORDS_TO] += 1
+                    continue
+                if len(lines) >= assoc:
+                    _min_evict(lines, c, line_words)
+                lines[block] = [dirties, False, position]
+                if fetches:
+                    c[_C_WORDS_FROM] += line_words
+            continue
+        if event_type == EV_KILL_READ:
+            for assoc, sets, c in lanes:
+                lines = sets[set_index]
+                entry = lines.get(block)
+                if entry is None:
+                    c[_C_MISSES] += 1
+                    c[_C_KILLS] += 1
+                    c[_C_WORDS_FROM] += 1
+                    continue
+                c[_C_HITS] += 1
+                entry[1] = False
+                entry[2] = position
+                c[_C_KILLS] += 1
+                if kill_invalidates:
+                    if entry[0]:
+                        c[_C_DEAD_DROPS] += 1
+                    del lines[block]
+                    c[_C_DEAD_FREES] += 1
+                else:
+                    entry[1] = True
+            continue
+        if event_type == EV_KILL_WRITE:
+            for assoc, sets, c in lanes:
+                lines = sets[set_index]
+                entry = lines.get(block)
+                if entry is not None:
+                    c[_C_HITS] += 1
+                    if not writethrough:
+                        entry[0] = True
+                    entry[1] = False
+                    entry[2] = position
+                else:
+                    c[_C_MISSES] += 1
+                    if not allocate_on_write:
+                        if not writethrough:
+                            c[_C_WORDS_TO] += 1
+                        continue
+                    if len(lines) >= assoc:
+                        _min_evict(lines, c, line_words)
+                    entry = [not writethrough, False, position]
+                    lines[block] = entry
+                    if line_words != 1:
+                        c[_C_WORDS_FROM] += line_words
+                c[_C_KILLS] += 1
+                if kill_invalidates:
+                    if entry[0]:
+                        c[_C_DEAD_DROPS] += 1
+                    del lines[block]
+                    c[_C_DEAD_FREES] += 1
+                else:
+                    entry[1] = True
+            continue
+        if event_type == EV_BYPASS_WRITE:
+            for assoc, sets, c in lanes:
+                lines = sets[set_index]
+                if block in lines:
+                    c[_C_PROBE_HITS] += 1
+                    del lines[block]
+            continue
+        is_kill = event_type == EV_BYPASS_READ_KILL
+        for assoc, sets, c in lanes:
+            lines = sets[set_index]
+            entry = lines.get(block)
+            if entry is not None:
+                c[_C_PROBE_HITS] += 1
+                c[_C_BYPASS_READ_HITS] += 1
+                if entry[0]:
+                    if is_kill:
+                        c[_C_DEAD_DROPS] += 1
+                    else:
+                        c[_C_WRITEBACKS] += 1
+                        c[_C_WORDS_TO] += line_words
+                if is_kill:
+                    c[_C_KILLS] += 1
+                del lines[block]
+            else:
+                c[_C_WORDS_FROM] += 1
+                c[_C_BYPASS_READ_MEM] += 1
+                if is_kill:
+                    c[_C_KILLS] += 1
+
+    return {
+        assoc: _sweep_stats(stream, c, collapsed)
+        for assoc, _sets, c in lanes
+    }
+
+
+def _min_evict(lines, counters, line_words):
+    """Pop the MIN victim (dead-first, then farthest next use).
+
+    Same ordering as :class:`MinPolicy` — dead beats live, then the
+    larger next-use position, first strict winner on ties — written
+    as scalar comparisons so the scan allocates nothing.
+    """
+    victim_block = None
+    victim_dead = False
+    victim_pos = -1.0
+    for block, entry in lines.items():
+        dead = entry[1]
+        pos = entry[2]
+        if dead:
+            if not victim_dead or pos > victim_pos:
+                victim_dead = True
+                victim_pos = pos
+                victim_block = block
+        elif not victim_dead and pos > victim_pos:
+            victim_pos = pos
+            victim_block = block
+    victim = lines.pop(victim_block)
+    counters[_C_EVICTIONS] += 1
+    if victim[0]:
+        counters[_C_WRITEBACKS] += 1
+        counters[_C_WORDS_TO] += line_words
+
+
+def _false_forever():
+    while True:
+        yield False

@@ -45,8 +45,12 @@ The profiler is exact for LRU with write-allocate (any write policy,
 any line size), with kills honored only when they fully invalidate
 (``kill_mode == "invalidate"`` and one-word lines — the demote mode
 reorders evictions away from pure recency and has no stack property).
-Everything else — FIFO/Random, Belady MIN, write-around, demoted kills
-— is the fallback path's job (:func:`repro.cache.replay.replay_trace_multi`);
+FIFO and Belady MIN have no stack property, but their sweeps still
+share one walk of the typed stream per flavor through the set-count
+stackers in :mod:`repro.cache.semantics` (:func:`~repro.cache.semantics.fifo_sweep`
+/ :func:`~repro.cache.semantics.min_sweep`).  Everything else — Random,
+write-around LRU, demoted-kill LRU — is the fallback path's job
+(:func:`repro.cache.replay.replay_trace_multi`);
 :func:`replay_trace_sweep` routes each requested configuration to
 whichever engine applies and merges the results in request order.
 
@@ -57,24 +61,22 @@ same pre-pass runs on plain Python lists.
 
 from itertools import repeat
 
-from repro.cache.cache import CacheConfig
+from repro.cache.semantics import (
+    EV_BYPASS_READ,
+    EV_BYPASS_READ_KILL,
+    EV_BYPASS_WRITE,
+    EV_KILL_READ,
+    EV_KILL_WRITE,
+    EV_PLAIN_READ,
+    EV_PLAIN_WRITE,
+    collapse_runs,
+    fifo_sweep,
+    flag_presence as _flag_presence,
+    flavor_decode as _flavor_decode,
+    min_sweep,
+    next_use_index,
+)
 from repro.cache.stats import CacheStats
-from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE
-
-try:  # NumPy is an accelerator, never a requirement.
-    import numpy as _np
-except Exception:  # pragma: no cover - exercised only off-image
-    _np = None
-
-#: Event type codes produced by the flavor decode (order matters only
-#: to the automaton's dispatch).
-EV_PLAIN_READ = 0
-EV_PLAIN_WRITE = 1
-EV_KILL_READ = 2
-EV_KILL_WRITE = 3
-EV_BYPASS_READ = 4
-EV_BYPASS_READ_KILL = 5
-EV_BYPASS_WRITE = 6
 
 
 def supports_stackdist(config, has_bypass, has_kill):
@@ -318,201 +320,6 @@ def _prefix2(hist2, assoc):
 
 
 # ----------------------------------------------------------------------
-# Flavor decode
-# ----------------------------------------------------------------------
-
-
-class _FlavorStream:
-    """One flavor's decoded event stream, shared by every geometry.
-
-    Holds the block ids and event-type codes both as NumPy arrays (for
-    the collapse pre-pass and fancy-indexed materialization; ``None``
-    without NumPy) and as Python lists (for the automaton), plus the
-    geometry-independent stat constants — all computed exactly once
-    per flavor no matter how many ``(num_sets, assoc)`` passes share
-    them.
-    """
-
-    __slots__ = (
-        "blocks_np", "types_np", "blocks_list", "types_list",
-        "constants", "plain_only",
-    )
-
-
-def _flavor_decode(columns, flavor):
-    """Decode the packed columns into a :class:`_FlavorStream`."""
-    addresses, flags = columns
-    line_words, honor_bypass, honor_kill, _write_policy = flavor
-    stream = _FlavorStream()
-    if _np is not None:
-        a = _np.asarray(addresses, dtype=_np.int64)
-        f = _np.asarray(flags, dtype=_np.int64)
-        blocks = a if line_words == 1 else a // line_words
-        w = f & FLAG_WRITE
-        y = (f & FLAG_BYPASS) >> 1 if honor_bypass else 0
-        k = (f & FLAG_KILL) >> 2 if honor_kill else 0
-        # plain=0/1 by write bit; kill adds 2; bypass overrides to
-        # 4/5/6 (a bypass write sheds its kill bit: the probe already
-        # invalidates, so the kill is never separately honored).
-        types = (1 - y) * (w + 2 * k) + y * (4 + 2 * w + (1 - w) * k)
-        if isinstance(types, int):  # n == 0 with scalar y/k
-            types = w
-        stream.blocks_np = blocks
-        stream.types_np = types
-        stream.blocks_list = blocks.tolist()
-        stream.types_list = types.tolist()
-        counts = _np.bincount(types, minlength=7).tolist()
-    else:
-        stream.blocks_np = None
-        stream.types_np = None
-        stream.blocks_list = [
-            address if line_words == 1 else address // line_words
-            for address in addresses
-        ]
-        types = []
-        counts = [0] * 7
-        for flag in flags:
-            w = flag & FLAG_WRITE
-            y = (flag & FLAG_BYPASS) if honor_bypass else 0
-            k = (flag & FLAG_KILL) if honor_kill else 0
-            if y:
-                t = (
-                    EV_BYPASS_WRITE if w
-                    else (EV_BYPASS_READ_KILL if k else EV_BYPASS_READ)
-                )
-            elif k:
-                t = EV_KILL_WRITE if w else EV_KILL_READ
-            else:
-                t = EV_PLAIN_WRITE if w else EV_PLAIN_READ
-            types.append(t)
-            counts[t] += 1
-        stream.types_list = types
-    stream.constants = _flavor_constants(counts, flavor)
-    stream.plain_only = (
-        counts[EV_PLAIN_READ] + counts[EV_PLAIN_WRITE] == len(addresses)
-    )
-    return stream
-
-
-def _flavor_constants(counts, flavor):
-    """The geometry-independent :class:`CacheStats` contributions."""
-    _line_words, _hb, _hk, write_policy = flavor
-    refs_total = sum(counts)
-    writes = counts[EV_PLAIN_WRITE] + counts[EV_KILL_WRITE] + counts[
-        EV_BYPASS_WRITE
-    ]
-    refs_bypassed = (
-        counts[EV_BYPASS_READ]
-        + counts[EV_BYPASS_READ_KILL]
-        + counts[EV_BYPASS_WRITE]
-    )
-    kills = (
-        counts[EV_KILL_READ]
-        + counts[EV_KILL_WRITE]
-        + counts[EV_BYPASS_READ_KILL]
-    )
-    words_to_memory = counts[EV_BYPASS_WRITE]
-    if write_policy == "writethrough":
-        words_to_memory += counts[EV_PLAIN_WRITE] + counts[EV_KILL_WRITE]
-    return {
-        "refs_total": refs_total,
-        "reads": refs_total - writes,
-        "writes": writes,
-        "refs_cached": refs_total - refs_bypassed,
-        "refs_bypassed": refs_bypassed,
-        "cached_events": refs_total - refs_bypassed,
-        "kills": kills,
-        "bypass_writes": counts[EV_BYPASS_WRITE],
-        "words_to_memory_const": words_to_memory,
-        "counts": counts,
-    }
-
-
-# ----------------------------------------------------------------------
-# The run-collapse pre-pass
-# ----------------------------------------------------------------------
-
-
-def _collapse_runs(blocks, types, num_sets):
-    """Collapse per-set consecutive same-block plain-cached runs.
-
-    A through-cache reference whose set's previous reference touched
-    the same block is a guaranteed MRU hit in every geometry and moves
-    nothing, so only the run head needs the automaton; followers
-    contribute ``count - 1`` hits (all associativities) and at most a
-    write-dirtying.  Returns ``(indices, run_writes, collapsed)``:
-    the surviving event indices in time order, a parallel "a follower
-    wrote" flag list, and the number of collapsed followers.
-    """
-    n = len(blocks)
-    if _np is None or n == 0:
-        return _collapse_runs_py(blocks, types, num_sets)
-    b = blocks if isinstance(blocks, _np.ndarray) else _np.asarray(blocks)
-    t = _np.asarray(types, dtype=_np.int64)
-    sets = b % num_sets
-    order = _np.argsort(sets, kind="stable")
-    sb = b[order]
-    st = t[order]
-    same_set = _np.empty(n, dtype=bool)
-    same_set[0] = False
-    ss = sets[order]
-    same_set[1:] = ss[1:] == ss[:-1]
-    plain = st <= EV_PLAIN_WRITE
-    follower = _np.empty(n, dtype=bool)
-    follower[0] = False
-    follower[1:] = (
-        same_set[1:]
-        & plain[1:]
-        & plain[:-1]
-        & (sb[1:] == sb[:-1])
-    )
-    keep_sorted = ~follower
-    collapsed = int(follower.sum())
-    if collapsed == 0:
-        return None, None, 0
-    # Run heads in set-sorted order; map follower writes back onto them.
-    head_ids = _np.cumsum(keep_sorted) - 1
-    wrote = _np.zeros(int(keep_sorted.sum()), dtype=bool)
-    follower_writes = follower & (st == EV_PLAIN_WRITE)
-    _np.logical_or.at(wrote, head_ids[follower_writes], True)
-    head_indices = order[keep_sorted]
-    # Back to time order, carrying each head's follower-write flag.
-    time_order = _np.argsort(head_indices, kind="stable")
-    indices = head_indices[time_order]
-    run_writes = wrote[time_order]
-    return indices, run_writes.tolist(), collapsed
-
-
-def _collapse_runs_py(blocks, types, num_sets):
-    """Pure-Python twin of :func:`_collapse_runs`."""
-    last_block = {}
-    last_plain = {}
-    indices = []
-    run_writes = []
-    collapsed = 0
-    for i, block in enumerate(blocks):
-        t = types[i]
-        s = block % num_sets
-        plain = t <= EV_PLAIN_WRITE
-        if (
-            plain
-            and last_plain.get(s, False)
-            and last_block.get(s) == block
-        ):
-            collapsed += 1
-            if t == EV_PLAIN_WRITE:
-                run_writes[-1] = True
-        else:
-            indices.append(i)
-            run_writes.append(False)
-        last_block[s] = block
-        last_plain[s] = plain
-    if collapsed == 0:
-        return None, None, 0
-    return indices, run_writes, collapsed
-
-
-# ----------------------------------------------------------------------
 # The automaton
 # ----------------------------------------------------------------------
 
@@ -542,27 +349,23 @@ def profile_pass(columns, flavor, num_sets, assoc_cap, decoded=None):
     }
 
     if stream.blocks_np is not None:
-        indices, run_writes, collapsed = _collapse_runs(
-            stream.blocks_np, stream.types_np, num_sets
-        )
+        runs = collapse_runs(stream.blocks_np, stream.types_np, num_sets)
     else:
-        indices, run_writes, collapsed = _collapse_runs_py(
-            stream.blocks_list, stream.types_list, num_sets
-        )
-    profile.collapsed_hits = collapsed
+        runs = collapse_runs(stream.blocks_list, stream.types_list, num_sets)
+    profile.collapsed_hits = runs.collapsed if runs is not None else 0
 
-    if indices is None:
+    if runs is None:
         blocks_it = stream.blocks_list
         types_it = stream.types_list
         rw_it = repeat(False)
     elif stream.blocks_np is not None:
-        blocks_it = stream.blocks_np[indices].tolist()
-        types_it = stream.types_np[indices].tolist()
-        rw_it = run_writes
+        blocks_it = stream.blocks_np[runs.indices].tolist()
+        types_it = stream.types_np[runs.indices].tolist()
+        rw_it = runs.run_writes
     else:
-        blocks_it = [stream.blocks_list[i] for i in indices]
-        types_it = [stream.types_list[i] for i in indices]
-        rw_it = run_writes
+        blocks_it = [stream.blocks_list[i] for i in runs.indices_list]
+        types_it = [stream.types_list[i] for i in runs.indices_list]
+        rw_it = runs.run_writes
 
     if stream.plain_only:
         _run_plain(profile, zip(blocks_it, types_it, rw_it),
@@ -805,13 +608,18 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
     aligned with the input and bit-identical to the serial
     :func:`~repro.cache.replay.replay_trace` path for every entry.
     Supported LRU configurations are grouped by flavor and set count
-    and scored by :func:`profile_pass`; everything else falls back to
-    the multi-replay core.  ``engine`` forces a path: ``"stackdist"``
-    raises :class:`ValueError` if any spec is unsupported, ``"multi"``
-    skips profiling entirely, ``"auto"`` routes per spec.  When left
-    ``None`` the ``REPRO_SWEEP_ENGINE`` environment variable picks the
-    engine (the CI golden-pin job forces ``stackdist`` this way),
-    defaulting to ``auto``.
+    and scored by :func:`profile_pass`; FIFO and Belady MIN specs are
+    grouped the same way and scored by the single-pass set-count
+    stackers (:func:`repro.cache.semantics.fifo_sweep` /
+    :func:`repro.cache.semantics.min_sweep`); everything else
+    (Random, write-around LRU, demoted-kill LRU) falls back to the
+    multi-replay core.  ``engine`` forces a path: ``"stackdist"``
+    raises :class:`ValueError` if any spec is outside the hole-stack
+    profiler (FIFO/MIN included — they have no stack property),
+    ``"multi"`` skips one-pass engines entirely, ``"auto"`` routes per
+    spec.  When left ``None`` the ``REPRO_SWEEP_ENGINE`` environment
+    variable picks the engine (the CI golden-pin job forces
+    ``stackdist`` this way), defaulting to ``auto``.
     """
     import os
 
@@ -829,34 +637,95 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
         columns = trace.to_columns()
     has_bypass, has_kill = _flag_presence(columns)
 
+    def policy_sweep_key(config):
+        """Group key for the FIFO/MIN single-pass stackers.
+
+        Like :func:`flavor_key` plus the knobs those sweeps honor
+        directly; the kill mode is normalized away when the effective
+        stream carries no kills.
+        """
+        eff_hk = bool(config.honor_kill and has_kill)
+        return (
+            config.line_words,
+            bool(config.honor_bypass and has_bypass),
+            eff_hk,
+            config.kill_mode if eff_hk else "invalidate",
+            config.write_policy,
+            config.allocate_on_write,
+            config.num_sets,
+        )
+
     groups = {}
+    fifo_groups = {}
+    min_groups = {}
     fallback = []
     for index, spec in enumerate(specs):
-        if isinstance(spec, MinConfig) or not supports_stackdist(
-            spec, has_bypass, has_kill
-        ):
+        if isinstance(spec, MinConfig):
             if engine == "stackdist":
                 raise ValueError(
                     "stack-distance engine cannot profile {!r}".format(spec)
                 )
-            fallback.append((index, spec))
+            config = spec.config
+            key = policy_sweep_key(config)
+            min_groups.setdefault(key, []).append((index, config))
             continue
-        key = (flavor_key(spec, has_bypass, has_kill), spec.num_sets)
-        groups.setdefault(key, []).append((index, spec))
+        if supports_stackdist(spec, has_bypass, has_kill):
+            key = (flavor_key(spec, has_bypass, has_kill), spec.num_sets)
+            groups.setdefault(key, []).append((index, spec))
+            continue
+        if engine == "stackdist":
+            raise ValueError(
+                "stack-distance engine cannot profile {!r}".format(spec)
+            )
+        if spec.policy == "fifo":
+            key = policy_sweep_key(spec)
+            fifo_groups.setdefault(key, []).append((index, spec))
+            continue
+        fallback.append((index, spec))
 
     results = [None] * len(specs)
     decoded_cache = {}
-    for (flavor, num_sets), members in groups.items():
-        assoc_cap = max(spec.associativity for _i, spec in members)
+
+    def stream_for(flavor):
         decoded = decoded_cache.get(flavor)
         if decoded is None:
             decoded = _flavor_decode(columns, flavor)
             decoded_cache[flavor] = decoded
+        return decoded
+
+    for (flavor, num_sets), members in groups.items():
+        assoc_cap = max(spec.associativity for _i, spec in members)
         profile = profile_pass(
-            columns, flavor, num_sets, assoc_cap, decoded=decoded
+            columns, flavor, num_sets, assoc_cap,
+            decoded=stream_for(flavor),
         )
         for index, spec in members:
             results[index] = profile.stats_for(spec.associativity)
+
+    next_use_cache = {}
+    for kind, kind_groups in (("fifo", fifo_groups), ("min", min_groups)):
+        for key, members in kind_groups.items():
+            (line_words, eff_hb, eff_hk, kill_mode, write_policy,
+             allocate_on_write, num_sets) = key
+            stream = stream_for((line_words, eff_hb, eff_hk, write_policy))
+            assocs = sorted({spec.associativity for _i, spec in members})
+            if kind == "fifo":
+                sweep = fifo_sweep(
+                    stream, num_sets, assocs, line_words, kill_mode,
+                    write_policy, allocate_on_write,
+                )
+            else:
+                nu_key = (line_words, eff_hb)
+                next_use = next_use_cache.get(nu_key)
+                if next_use is None:
+                    next_use = next_use_index(trace, line_words, eff_hb)
+                    next_use_cache[nu_key] = next_use
+                sweep = min_sweep(
+                    stream, num_sets, assocs, line_words, kill_mode,
+                    write_policy, allocate_on_write, next_use,
+                )
+            for index, spec in members:
+                results[index] = sweep[spec.associativity]
 
     if fallback:
         fallback_stats = replay_trace_multi(
@@ -865,21 +734,3 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
         for (index, _spec), stats in zip(fallback, fallback_stats):
             results[index] = stats
     return results
-
-
-def _flag_presence(columns):
-    """Does the trace carry any bypass / kill bits at all?"""
-    _addresses, flags = columns
-    if _np is not None and isinstance(flags, _np.ndarray):
-        present = int(
-            _np.bitwise_or.reduce(flags) if len(flags) else 0
-        )
-    else:
-        present = 0
-        for flag in flags:
-            present |= flag
-            if present & (FLAG_BYPASS | FLAG_KILL) == (
-                FLAG_BYPASS | FLAG_KILL
-            ):
-                break
-    return bool(present & FLAG_BYPASS), bool(present & FLAG_KILL)

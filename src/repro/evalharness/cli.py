@@ -122,6 +122,9 @@ def main_figure5(argv=None):
     parser.add_argument("--no-artifact-cache", action="store_true",
                         help="always compile and trace in-process, even "
                              "with --jobs")
+    parser.add_argument("--hierarchy", default=None, metavar="SPEC",
+                        help="also print the L1/L2 hierarchy table for "
+                             "this geometry, e.g. L1:64x2,L2:512x8")
     args = parser.parse_args(argv)
     cache = CacheConfig(
         size_words=args.cache_words,
@@ -142,6 +145,30 @@ def main_figure5(argv=None):
         artifact_cache=artifact_cache,
     )
     print(format_figure5(rows))
+    if args.hierarchy:
+        from repro.evalharness.sweeps import hierarchy_sweep
+        from repro.evalharness.tables import format_table
+
+        names = tuple(args.benchmarks) if args.benchmarks else BENCHMARK_NAMES
+        table_rows = []
+        for name in names:
+            for row in hierarchy_sweep(
+                name, hierarchy=args.hierarchy, base=cache,
+                artifact_cache=artifact_cache,
+            ):
+                table_rows.append([
+                    name, row["inclusion"], row["bypass_level"],
+                    "{:.4f}".format(row["l1_miss_rate"]),
+                    "{:.4f}".format(row["l2_local_miss_rate"]),
+                    row["memory_bus_words"],
+                ])
+        print()
+        print("hierarchy {} (bypass-level ablation)".format(args.hierarchy))
+        print(format_table(
+            ["benchmark", "inclusion", "bypass", "L1 miss",
+             "L2 local miss", "memory words"],
+            table_rows,
+        ))
     return 0
 
 

@@ -26,6 +26,7 @@ from repro.evalharness.figure5 import (
 from repro.errors import failure_record
 from repro.evalharness.experiment import DEFAULT_CACHE
 from repro.evalharness.sweeps import (
+    hierarchy_sweep,
     kill_bit_ablation,
     spill_ablation,
 )
@@ -99,6 +100,42 @@ def spill_section(artifact_cache=None):
             ]
             for row in rows
         ],
+    ))
+    return "\n".join(lines)
+
+
+def hierarchy_section(hierarchy, names, failures=None, artifact_cache=None):
+    """E16: which level do bypassed references skip?
+
+    Rows pair the ``bypass_level="l1"`` and ``"both"`` scores per
+    benchmark and inclusion discipline so the L2 effect of hierarchy-
+    wide bypassing reads straight off the table.
+    """
+    lines = [_heading("E16  L1/L2 hierarchy: bypass-level ablation "
+                      "({})".format(hierarchy))]
+    table_rows = []
+    for name in names:
+        try:
+            rows = hierarchy_sweep(name, hierarchy=hierarchy,
+                                   artifact_cache=artifact_cache)
+        except Exception as error:  # noqa: BLE001 - recorded, reported
+            if failures is None:
+                raise
+            failures.append(failure_record("hierarchy", name, error))
+            continue
+        for row in rows:
+            table_rows.append([
+                name,
+                row["inclusion"],
+                row["bypass_level"],
+                "{:.4f}".format(row["l1_miss_rate"]),
+                "{:.4f}".format(row["l2_local_miss_rate"]),
+                row["memory_bus_words"],
+            ])
+    lines.append(format_table(
+        ["benchmark", "inclusion", "bypass", "L1 miss", "L2 local miss",
+         "memory words"],
+        table_rows,
     ))
     return "\n".join(lines)
 
@@ -197,7 +234,8 @@ def access_time_section(failures=None, artifact_cache=None):
 
 
 def build_report(paper_scale=False, fast=False, failures=None,
-                 cache_config=DEFAULT_CACHE, jobs=None, artifact_cache=None):
+                 cache_config=DEFAULT_CACHE, jobs=None, artifact_cache=None,
+                 hierarchy=None, hierarchy_benchmarks=None):
     """Assemble the report string.
 
     With ``failures`` (a list), a section or benchmark that breaks is
@@ -217,6 +255,12 @@ def build_report(paper_scale=False, fast=False, failures=None,
         ("kill-bits", lambda: kill_section(artifact_cache=artifact_cache)),
         ("spill", lambda: spill_section(artifact_cache=artifact_cache)),
     ]
+    if hierarchy:
+        section_builders.append(
+            ("hierarchy",
+             lambda: hierarchy_section(
+                 hierarchy, hierarchy_benchmarks or BENCHMARK_NAMES,
+                 failures=failures, artifact_cache=artifact_cache)))
     if not fast:
         section_builders.append(
             ("combined-cache",
@@ -286,6 +330,13 @@ def main(argv=None):
     parser.add_argument("--no-artifact-cache", action="store_true",
                         help="always compile and trace in-process, even "
                              "with --jobs")
+    parser.add_argument("--hierarchy", default=None, metavar="SPEC",
+                        help="add the L1/L2 hierarchy section for this "
+                             "geometry, e.g. L1:64x2,L2:512x8")
+    parser.add_argument("--hierarchy-benchmarks", nargs="*", default=None,
+                        choices=list(BENCHMARK_NAMES),
+                        help="restrict the hierarchy section to these "
+                             "benchmarks (default: all)")
     args = parser.parse_args(argv)
     set_default_max_steps(args.max_steps)
     cache_config = DEFAULT_CACHE
@@ -299,7 +350,9 @@ def main(argv=None):
     failures = []
     print(build_report(paper_scale=args.paper_scale, fast=args.fast,
                        failures=failures, cache_config=cache_config,
-                       jobs=args.jobs, artifact_cache=artifact_cache))
+                       jobs=args.jobs, artifact_cache=artifact_cache,
+                       hierarchy=args.hierarchy,
+                       hierarchy_benchmarks=args.hierarchy_benchmarks))
     if failures:
         print("\n" + format_failures(failures), file=sys.stderr)
         return 1

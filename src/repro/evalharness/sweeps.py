@@ -15,6 +15,7 @@ pipeline.
 """
 
 from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import hierarchy_stats, parse_hierarchy
 from repro.cache.replay import MinConfig, replay_trace
 from repro.cache.stackdist import replay_trace_sweep
 from repro.evalharness.experiment import DEFAULT_CACHE, run_benchmark
@@ -291,6 +292,46 @@ def promotion_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
                 "steps": result.steps,
             }
         )
+    return rows
+
+
+#: Default two-level geometry for the hierarchy ablation: a small
+#: 64-word 2-way L1 (where bypass pressure is visible) backed by a
+#: 512-word 8-way L2, nested so the inclusive discipline is scorable.
+DEFAULT_HIERARCHY = "L1:64x2,L2:512x8"
+
+
+def hierarchy_sweep(
+    name,
+    hierarchy=DEFAULT_HIERARCHY,
+    base=DEFAULT_CACHE,
+    inclusions=("non-inclusive", "inclusive"),
+    bypass_levels=("l1", "both"),
+    paper_scale=False,
+    options=None,
+    artifact_cache=None,
+):
+    """L1/L2 hierarchy scores with the bypass-level ablation.
+
+    For each inclusion discipline and each ``bypass_level`` the
+    benchmark's reference trace is scored through
+    :func:`~repro.cache.hierarchy.hierarchy_stats`; the row set
+    answers *which level the compiler's bypassed references skip*:
+    comparing ``bypass_level="l1"`` against ``"both"`` isolates the
+    L2 consequences of routing ``UmAm_*`` traffic around the whole
+    hierarchy versus around the first level only.
+    """
+    trace, _program = _trace_for(name, paper_scale, options, artifact_cache)
+    rows = []
+    for inclusion in inclusions:
+        for bypass_level in bypass_levels:
+            spec = parse_hierarchy(
+                hierarchy, base=base,
+                inclusion=inclusion, bypass_level=bypass_level,
+            )
+            row = hierarchy_stats(trace, spec).as_dict()
+            row["benchmark"] = name
+            rows.append(row)
     return rows
 
 

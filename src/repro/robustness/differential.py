@@ -25,11 +25,18 @@ asserts:
   annotation-blind, and the MIN configuration of the same trace; every
   fuzzed program thereby exercises the parallel engine's fast path
   against the reference path.
-* **Stack-distance agreement** — the one-pass stack-distance sweep
+* **Sweep-engine agreement** — the one-pass sweep dispatcher
   (:func:`repro.cache.stackdist.replay_trace_sweep`) reconstructs the
-  same three configurations bit-identically from its per-set distance
-  histograms, so every fuzzed trace also cross-examines the hole-stack
-  automaton against the reference simulator.
+  same configurations bit-identically: LRU through the hole-stack
+  automaton's per-set distance histograms, FIFO and MIN through the
+  single-pass set-count stackers, so every fuzzed trace
+  cross-examines all one-pass engines against the reference
+  simulator.
+* **Hierarchy agreement** — the offline non-inclusive L1/L2 scorer
+  (:func:`repro.cache.hierarchy.hierarchy_stats`) is bit-identical to
+  the online chained :class:`~repro.cache.hierarchy.HierarchyCache`
+  for both bypass levels, and the inclusive discipline's derived
+  local counters stay within their invariants.
 * **MIN sanity** — Belady MIN on the same trace agrees with LRU on
   every policy-independent counter and never misses more than LRU.
 * **Static-analysis agreement** — the :mod:`repro.staticcheck`
@@ -48,13 +55,18 @@ bugs.
 from repro.cache.belady import simulate_min
 from repro.cache.cache import CacheConfig
 from repro.cache.functional import DataCachedMemory
+from repro.cache.hierarchy import (
+    HierarchyCache,
+    hierarchy_stats,
+    parse_hierarchy,
+)
 from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
 from repro.cache.stackdist import replay_trace_sweep
 from repro.errors import ReproError
 from repro.regalloc.promotion import PromotionLevel
 from repro.unified.pipeline import CompilationOptions, Scheme, compile_source
 from repro.vm.memory import RecordingMemory
-from repro.vm.trace import FLAG_WRITE
+from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE
 
 #: Fuel budget for each fuzzed run; generated programs are tiny, so a
 #: run that gets anywhere near this is itself a bug.
@@ -378,15 +390,22 @@ def _check_cache_models(run, baseline, cache_words, associativity):
         honor_bypass=False,
         honor_kill=False,
     )
+    fifo = CacheConfig(
+        size_words=cache_words,
+        line_words=1,
+        associativity=associativity,
+        policy="fifo",
+    )
     serial = {
         "unified": lru,
         "conventional": replay_trace(run.trace, blind).as_dict(),
         "min": minimum,
+        "fifo": replay_trace(run.trace, fifo).as_dict(),
     }
-    multi = replay_trace_multi(
-        run.trace, [config, blind, MinConfig(config)]
-    )
-    for label, stats in zip(("unified", "conventional", "min"), multi):
+    labels = ("unified", "conventional", "min", "fifo")
+    battery = [config, blind, MinConfig(config), fifo]
+    multi = replay_trace_multi(run.trace, battery)
+    for label, stats in zip(labels, multi):
         if stats.as_dict() != serial[label]:
             diff = {
                 key: (stats.as_dict()[key], serial[label][key])
@@ -399,10 +418,11 @@ def _check_cache_models(run, baseline, cache_words, associativity):
                 "{} configuration: {!r}".format(label, diff),
             )
 
-    swept = replay_trace_sweep(
-        run.trace, [config, blind, MinConfig(config)], engine="auto"
-    )
-    for label, stats in zip(("unified", "conventional", "min"), swept):
+    # engine="auto" routes LRU through the hole-stack profiler and
+    # FIFO/MIN through the single-pass set-count stackers; every
+    # fuzzed trace holds all three one-pass engines to the serial path.
+    swept = replay_trace_sweep(run.trace, battery, engine="auto")
+    for label, stats in zip(labels, swept):
         if stats.as_dict() != serial[label]:
             diff = {
                 key: (stats.as_dict()[key], serial[label][key])
@@ -411,6 +431,71 @@ def _check_cache_models(run, baseline, cache_words, associativity):
             }
             raise DifferentialError(
                 "stackdist",
-                "stack-distance sweep and serial replay disagree on the "
+                "one-pass sweep and serial replay disagree on the "
                 "{} configuration: {!r}".format(label, diff),
+            )
+
+    _check_hierarchy(run, cache_words, associativity)
+
+
+def _check_hierarchy(run, cache_words, associativity):
+    """The L1/L2 scorers agree with the online chained model."""
+    spec_text = "L1:{}x{},L2:{}x{}".format(
+        cache_words, associativity, cache_words * 8, associativity * 2
+    )
+    for bypass_level in ("l1", "both"):
+        spec = parse_hierarchy(spec_text, bypass_level=bypass_level)
+        offline = hierarchy_stats(run.trace, spec)
+        online = HierarchyCache(spec)
+        for address, flags in run.trace:
+            online.access(
+                address,
+                bool(flags & FLAG_WRITE),
+                bool(flags & FLAG_BYPASS),
+                bool(flags & FLAG_KILL),
+            )
+        online_stats = online.stats()
+        for name, stats in offline.levels:
+            if stats.as_dict() != online_stats[name].as_dict():
+                diff = {
+                    key: (stats.as_dict()[key],
+                          online_stats[name].as_dict()[key])
+                    for key in stats.as_dict()
+                    if stats.as_dict()[key]
+                    != online_stats[name].as_dict().get(key)
+                }
+                raise DifferentialError(
+                    "hierarchy",
+                    "offline non-inclusive scorer and online chained "
+                    "hierarchy disagree at {} (bypass_level={}): "
+                    "{!r}".format(name, bypass_level, diff),
+                )
+
+        inclusive = hierarchy_stats(
+            run.trace,
+            parse_hierarchy(
+                spec_text, inclusion="inclusive", bypass_level=bypass_level
+            ),
+        )
+        if inclusive.levels[0][1] != offline.levels[0][1]:
+            raise DifferentialError(
+                "hierarchy-l1",
+                "the L1 score must not depend on the inclusion "
+                "discipline (bypass_level={})".format(bypass_level),
+            )
+        row = inclusive.as_dict()
+        if row["l2_local_hits"] < 0:
+            raise DifferentialError(
+                "hierarchy-inclusion",
+                "inclusive L2 served fewer references than L1 "
+                "(local hits {}), violating inclusion".format(
+                    row["l2_local_hits"]
+                ),
+            )
+        if not 0.0 <= row["l2_local_miss_rate"] <= 1.0:
+            raise DifferentialError(
+                "hierarchy-inclusion",
+                "inclusive L2 local miss rate {} out of range".format(
+                    row["l2_local_miss_rate"]
+                ),
             )

@@ -22,7 +22,8 @@ object to the memory system, so ``id(ref)`` connects dynamic events to
 static classifications with no trace-format changes.
 """
 
-from repro.cache.cache import Cache, CacheConfig
+from repro.cache.cache import CacheConfig
+from repro.cache.semantics import UnifiedCache
 from repro.staticcheck import StaticCheckError
 from repro.staticcheck.mustmay import Classification, analyze_program
 from repro.vm.memory import FlatMemory, MemorySystem
@@ -59,7 +60,10 @@ class ValidatingMemory(MemorySystem):
 
     def __init__(self, analysis, flat=None, max_mismatches=25):
         self.analysis = analysis
-        self.cache = Cache(analysis.config)
+        # The audit drives the canonical transfer function directly:
+        # probe() and access() answer from the same per-event
+        # semantics every other engine is defined against.
+        self.cache = UnifiedCache(analysis.config)
         self.flat = flat if flat is not None else FlatMemory()
         self.max_mismatches = max_mismatches
         self.mismatches = []

@@ -14,14 +14,32 @@ from dataclasses import dataclass
 from repro.ir.instructions import RefClass, RefOrigin
 from repro.lang.errors import ResourceExhausted
 
-#: On-disk trace format: magic, format version, event count.  Payload
-#: is the address array (little-endian int64) followed by the flag
-#: array (one byte per event).  Version bumps whenever the flag-byte
-#: encoding above changes, so a stale artifact can never be replayed
-#: under the wrong semantics.
-TRACE_MAGIC = b"RPTRACE1"
-TRACE_FORMAT_VERSION = 1
+#: On-disk trace formats.  Both share the header (magic, format
+#: version, event count); the payloads differ:
+#:
+#: * ``RPTRACE1`` — the address array verbatim (little-endian int64)
+#:   followed by the flag array (one byte per event).
+#: * ``RPTRACE2`` (written by default) — each address as the zigzag
+#:   varint of its delta from the previous event's address (the first
+#:   event is relative to zero), followed by the raw flag bytes.
+#:   Reference streams walk arrays and stack frames in small strides,
+#:   so most deltas fit one varint byte and traces shrink several-fold
+#:   (``benchmarks/bench_onepass.py`` records the measured ratio).
+#:
+#: :meth:`TraceBuffer.from_bytes` auto-detects the format by magic, so
+#: artifacts written before the codec change stay readable.  Version
+#: bumps whenever the flag-byte encoding above changes, so a stale
+#: artifact can never be replayed under the wrong semantics.
+TRACE_MAGIC_V1 = b"RPTRACE1"
+TRACE_FORMAT_VERSION_V1 = 1
+TRACE_MAGIC = b"RPTRACE2"
+TRACE_FORMAT_VERSION = 2
 _HEADER = struct.Struct("<8sIQ")
+
+#: 64-bit wrap mask: the delta codec works in uint64 arithmetic so the
+#: NumPy fast path and the pure-Python fallback agree bit-for-bit even
+#: on adversarial address extremes.
+_U64 = (1 << 64) - 1
 
 #: Default cap on buffered trace events.  Each event costs nine bytes
 #: (an int64 address plus a flag byte), so the default bounds one
@@ -92,6 +110,125 @@ class TraceEvent:
             origin=origin_from_flags(flags),
             is_instruction=bool(flags & FLAG_INSTRUCTION),
         )
+
+
+def _encode_deltas(addresses):
+    """Zigzag-varint encode previous-address deltas (RPTRACE2 body).
+
+    All arithmetic wraps at 64 bits so the NumPy path and the
+    pure-Python fallback produce identical bytes.
+    """
+    try:
+        import numpy
+    except Exception:  # pragma: no cover - exercised off-image
+        numpy = None
+    if numpy is None or not len(addresses):
+        return _encode_deltas_py(addresses)
+    addrs = numpy.frombuffer(addresses.tobytes(), dtype=numpy.int64)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        addrs = addrs.byteswap()
+    deltas = numpy.diff(addrs, prepend=addrs.dtype.type(0))
+    zig = ((deltas << 1) ^ (deltas >> 63)).astype(numpy.uint64)
+    # Varint width of each value: one byte per started 7-bit group.
+    widths = numpy.ones(len(zig), dtype=numpy.int64)
+    for bits in range(7, 70, 7):
+        widths += zig >= numpy.uint64(1) << numpy.uint64(bits)
+    out = numpy.zeros(int(widths.sum()), dtype=numpy.uint8)
+    starts = numpy.cumsum(widths) - widths
+    for k in range(int(widths.max())):
+        mask = widths > k
+        group = (zig[mask] >> numpy.uint64(7 * k)) & numpy.uint64(0x7F)
+        cont = (widths[mask] > k + 1).astype(numpy.uint8) << 7
+        out[starts[mask] + k] = group.astype(numpy.uint8) | cont
+    return out.tobytes()
+
+
+def _encode_deltas_py(addresses):
+    out = bytearray()
+    previous = 0
+    for address in addresses:
+        delta = (address - previous) & _U64
+        previous = address
+        if delta >= 1 << 63:
+            delta -= 1 << 64
+        zig = ((delta << 1) ^ (delta >> 63)) & _U64
+        while zig > 0x7F:
+            out.append(0x80 | (zig & 0x7F))
+            zig >>= 7
+        out.append(zig)
+    return bytes(out)
+
+
+def _decode_deltas(payload, count):
+    """Decode an RPTRACE2 varint body into an ``array('q')``.
+
+    Raises :class:`ValueError` unless the payload holds exactly
+    ``count`` well-formed varints.
+    """
+    try:
+        import numpy
+    except Exception:  # pragma: no cover - exercised off-image
+        numpy = None
+    if numpy is None or not count:
+        return _decode_deltas_py(payload, count)
+    data = numpy.frombuffer(bytes(payload), dtype=numpy.uint8)
+    ends = numpy.flatnonzero(data < 0x80)
+    if len(ends) != count or (len(data) and ends[-1] != len(data) - 1):
+        raise ValueError("corrupt trace: varint stream does not hold "
+                         "the promised event count")
+    starts = numpy.empty(count, dtype=numpy.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    widths = ends - starts + 1
+    if int(widths.max()) > 10:
+        raise ValueError("corrupt trace: varint wider than 64 bits")
+    zig = numpy.zeros(count, dtype=numpy.uint64)
+    for k in range(int(widths.max())):
+        mask = widths > k
+        zig[mask] |= (
+            (data[starts[mask] + k] & numpy.uint64(0x7F))
+            << numpy.uint64(7 * k)
+        )
+    deltas = (zig >> numpy.uint64(1)).astype(numpy.int64) ^ -(
+        (zig & numpy.uint64(1)).astype(numpy.int64)
+    )
+    addrs = numpy.cumsum(deltas, dtype=numpy.int64)
+    out = array("q")
+    out.frombytes(addrs.tobytes())  # native order on both sides
+    return out
+
+
+def _decode_deltas_py(payload, count):
+    out = array("q")
+    position = 0
+    previous = 0
+    data = bytes(payload)
+    for _ in range(count):
+        zig = 0
+        shift = 0
+        while True:
+            if position >= len(data) or shift > 63:
+                raise ValueError(
+                    "corrupt trace: varint stream does not hold the "
+                    "promised event count"
+                )
+            byte = data[position]
+            position += 1
+            zig |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        zig &= _U64
+        delta = (zig >> 1) ^ -(zig & 1)
+        previous = (previous + delta) & _U64
+        value = previous
+        if value >= 1 << 63:
+            value -= 1 << 64
+        out.append(value)
+    if position != len(data):
+        raise ValueError("corrupt trace: trailing bytes after the "
+                         "varint stream")
+    return out
 
 
 class TraceBuffer:
@@ -169,51 +306,87 @@ class TraceBuffer:
 
     # -- serialization -------------------------------------------------
 
-    def to_bytes(self):
-        """Serialize to the versioned on-disk format (little-endian)."""
-        addresses = self.addresses
-        if sys.byteorder != "little":
-            addresses = array("q", addresses)
-            addresses.byteswap()
-        return b"".join(
-            [
-                _HEADER.pack(TRACE_MAGIC, TRACE_FORMAT_VERSION, len(self)),
-                addresses.tobytes(),
-                self.flags.tobytes(),
-            ]
-        )
+    def to_bytes(self, version=TRACE_FORMAT_VERSION):
+        """Serialize to the versioned on-disk format.
+
+        ``version=2`` (default) writes the zigzag-varint delta codec;
+        ``version=1`` writes the verbatim little-endian layout for
+        tooling that predates the codec.
+        """
+        if version == TRACE_FORMAT_VERSION:
+            return b"".join(
+                [
+                    _HEADER.pack(TRACE_MAGIC, TRACE_FORMAT_VERSION,
+                                 len(self)),
+                    _encode_deltas(self.addresses),
+                    self.flags.tobytes(),
+                ]
+            )
+        if version == TRACE_FORMAT_VERSION_V1:
+            addresses = self.addresses
+            if sys.byteorder != "little":
+                addresses = array("q", addresses)
+                addresses.byteswap()
+            return b"".join(
+                [
+                    _HEADER.pack(TRACE_MAGIC_V1, TRACE_FORMAT_VERSION_V1,
+                                 len(self)),
+                    addresses.tobytes(),
+                    self.flags.tobytes(),
+                ]
+            )
+        raise ValueError("unknown trace format version {!r}".format(version))
 
     @classmethod
     def from_bytes(cls, data, max_events=DEFAULT_MAX_EVENTS):
         """Rebuild a buffer serialized by :meth:`to_bytes`.
 
-        Raises :class:`ValueError` on a truncated, corrupted, or
-        wrong-version payload rather than returning a bad trace.
+        The format is detected from the magic, so both RPTRACE2 and
+        legacy RPTRACE1 payloads load.  Raises :class:`ValueError` on
+        a truncated, corrupted, or wrong-version payload rather than
+        returning a bad trace.
         """
         if len(data) < _HEADER.size:
             raise ValueError("trace data shorter than its header")
         magic, version, count = _HEADER.unpack_from(data)
-        if magic != TRACE_MAGIC:
+        if magic == TRACE_MAGIC:
+            expected_version = TRACE_FORMAT_VERSION
+        elif magic == TRACE_MAGIC_V1:
+            expected_version = TRACE_FORMAT_VERSION_V1
+        else:
             raise ValueError("not a serialized trace (bad magic)")
-        if version != TRACE_FORMAT_VERSION:
+        if version != expected_version:
             raise ValueError(
                 "trace format version {} unsupported (expected {})".format(
-                    version, TRACE_FORMAT_VERSION
+                    version, expected_version
                 )
             )
-        expected = _HEADER.size + count * 9
-        if len(data) != expected:
-            raise ValueError(
-                "trace payload is {} bytes, header promises {}".format(
-                    len(data), expected
-                )
-            )
+
         buffer = cls(max_events=max_events)
-        split = _HEADER.size + count * 8
-        buffer.addresses.frombytes(data[_HEADER.size:split])
-        if sys.byteorder != "little":
-            buffer.addresses.byteswap()
-        buffer.flags.frombytes(data[split:])
+        if version == TRACE_FORMAT_VERSION_V1:
+            expected = _HEADER.size + count * 9
+            if len(data) != expected:
+                raise ValueError(
+                    "trace payload is {} bytes, header promises {}".format(
+                        len(data), expected
+                    )
+                )
+            split = _HEADER.size + count * 8
+            buffer.addresses.frombytes(data[_HEADER.size:split])
+            if sys.byteorder != "little":
+                buffer.addresses.byteswap()
+            buffer.flags.frombytes(data[split:])
+            return buffer
+
+        payload = data[_HEADER.size:]
+        if len(payload) < count:
+            raise ValueError(
+                "trace payload is {} bytes, too short for {} flag "
+                "bytes".format(len(payload), count)
+            )
+        split = len(payload) - count
+        buffer.addresses = _decode_deltas(payload[:split], count)
+        buffer.flags.frombytes(payload[split:])
         return buffer
 
     def save(self, path):

@@ -24,7 +24,12 @@ from repro.vm.trace import (
     FLAG_KILL,
     FLAG_WRITE,
     TRACE_MAGIC,
+    TRACE_MAGIC_V1,
     TraceBuffer,
+    _decode_deltas,
+    _decode_deltas_py,
+    _encode_deltas,
+    _encode_deltas_py,
 )
 
 SIMPLE = """
@@ -82,6 +87,110 @@ class TestTraceSerialization:
 
     def test_magic_constant_in_payload(self):
         assert self._trace().to_bytes().startswith(TRACE_MAGIC)
+
+
+class TestTraceV2Codec:
+    """The RPTRACE2 zigzag-varint delta codec behind save/load."""
+
+    def _trace(self, addresses):
+        trace = TraceBuffer()
+        for index, address in enumerate(addresses):
+            trace.append(address, index % 8)
+        return trace
+
+    #: Streams the codec must round-trip exactly: strided walks,
+    #: backward jumps, repeats, and the int64 extremes whose deltas
+    #: wrap 64-bit arithmetic.
+    STREAMS = [
+        [],
+        [0],
+        [5, 5, 5, 5],
+        list(range(0, 400, 4)),
+        [1000, 0, 999, 1, 998, 2],
+        [0, (1 << 63) - 1, -(1 << 63), (1 << 63) - 1, 0],
+        [-(1 << 63), (1 << 63) - 1],
+    ]
+
+    @pytest.mark.parametrize("addresses", STREAMS)
+    def test_v2_roundtrip(self, addresses):
+        trace = self._trace(addresses)
+        clone = TraceBuffer.from_bytes(trace.to_bytes())
+        assert list(clone.addresses) == list(trace.addresses)
+        assert list(clone.flags) == list(trace.flags)
+
+    @pytest.mark.parametrize("addresses", STREAMS)
+    def test_v1_still_written_and_read(self, addresses):
+        trace = self._trace(addresses)
+        legacy = trace.to_bytes(version=1)
+        assert legacy.startswith(TRACE_MAGIC_V1)
+        clone = TraceBuffer.from_bytes(legacy)
+        assert list(clone.addresses) == list(trace.addresses)
+        assert list(clone.flags) == list(trace.flags)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            self._trace([1, 2]).to_bytes(version=3)
+
+    @pytest.mark.parametrize("addresses", STREAMS)
+    def test_numpy_and_python_encoders_agree(self, addresses):
+        pytest.importorskip("numpy")
+        packed = self._trace(addresses).addresses
+        assert _encode_deltas(packed) == _encode_deltas_py(packed)
+
+    @pytest.mark.parametrize("addresses", STREAMS)
+    def test_numpy_and_python_decoders_agree(self, addresses):
+        pytest.importorskip("numpy")
+        packed = self._trace(addresses).addresses
+        payload = _encode_deltas_py(packed)
+        count = len(packed)
+        assert list(_decode_deltas(payload, count)) == list(
+            _decode_deltas_py(payload, count)
+        )
+
+    def test_small_deltas_compress(self):
+        """The point of the codec: a strided walk costs about one byte
+        per address instead of eight."""
+        trace = self._trace(list(range(0, 4000, 4)))
+        v1 = len(trace.to_bytes(version=1))
+        v2 = len(trace.to_bytes())
+        assert v2 < v1 / 3
+
+    def test_truncated_varint_rejected(self):
+        data = self._trace([1 << 40, 2 << 40, 3 << 40]).to_bytes()
+        with pytest.raises(ValueError):
+            TraceBuffer.from_bytes(data[:-4])
+
+    def test_wrong_count_rejected(self):
+        trace = self._trace([10, 20, 30])
+        data = bytearray(trace.to_bytes())
+        # The header's event count lives at offset 12 (magic + version).
+        data[12] = 7
+        with pytest.raises(ValueError):
+            TraceBuffer.from_bytes(bytes(data))
+
+    def test_overwide_varint_rejected(self):
+        import struct
+
+        # Eleven continuation-heavy bytes: wider than any 64-bit value.
+        payload = b"\xff" * 10 + b"\x01" + b"\x00"
+        data = struct.pack("<8sIQ", TRACE_MAGIC, 2, 1) + payload
+        with pytest.raises(ValueError):
+            TraceBuffer.from_bytes(data)
+
+    def test_python_decoder_rejects_trailing_bytes(self):
+        packed = self._trace([1, 2, 3]).addresses
+        payload = _encode_deltas_py(packed) + b"\x05"
+        with pytest.raises(ValueError, match="trailing"):
+            _decode_deltas_py(payload, len(packed))
+
+    def test_save_load_is_v2(self, tmp_path):
+        trace = self._trace(list(range(64)))
+        path = tmp_path / "trace.bin"
+        trace.save(str(path))
+        with open(str(path), "rb") as handle:
+            assert handle.read(8) == TRACE_MAGIC
+        clone = TraceBuffer.load(str(path))
+        assert list(clone) == list(trace)
 
 
 class TestArtifactKey:

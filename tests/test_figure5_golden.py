@@ -15,6 +15,13 @@ To regenerate after an *intentional* semantics change::
 
 and commit the refreshed ``tests/golden/figure5.json`` alongside the
 change that moved the numbers.
+
+``REPRO_GOLDEN_ENGINE`` selects which cache engine produces the
+measured table — ``cache`` (the online simulator, the default),
+``functional`` (the data-carrying twin, re-executing every benchmark
+against it), ``multi`` (the shared-decode multi-replay core) or
+``stackdist`` (the one-pass sweep engines).  All four must match the
+same golden file exactly; CI runs the full matrix.
 """
 
 import json
@@ -28,6 +35,83 @@ from repro.programs import BENCHMARK_NAMES
 GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "golden", "figure5.json"
 )
+
+GOLDEN_ENGINES = ("cache", "functional", "multi", "stackdist")
+
+
+def functional_table():
+    """The Figure 5 rows scored by the functional twin.
+
+    Each benchmark is executed against :class:`DataCachedMemory` under
+    the unified and conventional configurations — the cache stats are
+    measured *during* execution, not replayed — and the row is
+    assembled from the same :class:`ExperimentResult` arithmetic as
+    the replay engines.
+    """
+    from repro.cache.functional import DataCachedMemory
+    from repro.evalharness.experiment import (
+        DEFAULT_CACHE,
+        ExperimentResult,
+        _static_bypass_checked,
+        conventional_config,
+    )
+    from repro.evalharness.figure5 import Figure5Row, figure5_options
+    from repro.programs import get_benchmark
+    from repro.unified.pipeline import compile_source
+    from repro.vm.memory import RecordingMemory
+
+    options = figure5_options()
+    rows = []
+    for name in BENCHMARK_NAMES:
+        program = compile_source(get_benchmark(name).source, options)
+        memory = RecordingMemory()
+        result = program.run(memory=memory)
+        stats = []
+        for config in (DEFAULT_CACHE, conventional_config(DEFAULT_CACHE)):
+            functional = DataCachedMemory(config)
+            outcome = compile_source(
+                get_benchmark(name).source, options
+            ).run(memory=functional)
+            assert tuple(outcome.output) == tuple(result.output), name
+            stats.append(functional.stats)
+        rows.append(Figure5Row.from_result(ExperimentResult(
+            name=name,
+            options=options,
+            cache_config=DEFAULT_CACHE,
+            static=program.static,
+            dynamic=memory.buffer.summary(),
+            unified_stats=stats[0],
+            conventional_stats=stats[1],
+            output=tuple(result.output),
+            steps=result.steps,
+            static_bypass_checked=_static_bypass_checked(
+                program, DEFAULT_CACHE
+            ),
+        )))
+    return rows
+
+
+def measured_table():
+    engine = os.environ.get("REPRO_GOLDEN_ENGINE", "cache")
+    if engine not in GOLDEN_ENGINES:
+        raise ValueError(
+            "REPRO_GOLDEN_ENGINE={!r} (expected one of {})".format(
+                engine, "/".join(GOLDEN_ENGINES)
+            )
+        )
+    if engine == "functional":
+        return functional_table()
+    if engine == "cache":
+        return figure5_table()
+    previous = os.environ.get("REPRO_SWEEP_ENGINE")
+    os.environ["REPRO_SWEEP_ENGINE"] = engine
+    try:
+        return figure5_table()
+    finally:
+        if previous is None:
+            del os.environ["REPRO_SWEEP_ENGINE"]
+        else:
+            os.environ["REPRO_SWEEP_ENGINE"] = previous
 
 
 def row_payload(row):
@@ -43,7 +127,7 @@ def row_payload(row):
 
 @pytest.fixture(scope="module")
 def measured():
-    rows = figure5_table()
+    rows = measured_table()
     return {row.name: row_payload(row) for row in rows}
 
 

@@ -1,0 +1,273 @@
+"""The L1/L2 hierarchy layer: spec parsing, the offline scorers vs the
+online chained model, and the bypass-level ablation.
+
+The load-bearing contract is the one the differential harness also
+enforces: for non-inclusive hierarchies the offline
+:func:`hierarchy_stats` scorer is bit-identical, level by level, to
+the online :class:`HierarchyCache` chain; for inclusive hierarchies
+the L1 column is identical to the standalone L1 and the derived
+local-L2 metrics stay within their definitions.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import (
+    HierarchyCache,
+    HierarchySpec,
+    hierarchy_stats,
+    parse_hierarchy,
+)
+from repro.cache.replay import replay_trace
+from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE, TraceBuffer
+
+
+def make_trace(refs):
+    trace = TraceBuffer()
+    for address, is_write, bypass, kill in refs:
+        flags = 0
+        if is_write:
+            flags |= FLAG_WRITE
+        if bypass:
+            flags |= FLAG_BYPASS
+        if kill:
+            flags |= FLAG_KILL
+        trace.append(address, flags)
+    return trace
+
+
+def mixed_trace(events=4000, addresses=160, seed=42):
+    """Deterministic flag-rich trace exercising every event flavor."""
+    rng = random.Random(seed)
+    refs = []
+    for _ in range(events):
+        refs.append((
+            rng.randrange(addresses),
+            rng.random() < 0.3,
+            rng.random() < 0.2,
+            rng.random() < 0.1,
+        ))
+    return make_trace(refs)
+
+
+class TestParseHierarchy:
+    def test_basic_two_level(self):
+        spec = parse_hierarchy("L1:64x2,L2:512x8")
+        assert [name for name, _ in spec.levels] == ["L1", "L2"]
+        l1, l2 = (config for _name, config in spec.levels)
+        assert (l1.size_words, l1.associativity) == (64, 2)
+        assert (l2.size_words, l2.associativity) == (512, 8)
+        assert spec.inclusion == "non-inclusive"
+        assert spec.bypass_level == "l1"
+
+    def test_discipline_tokens(self):
+        spec = parse_hierarchy("L1:64x2,L2:512x8,inclusive,bypass=both")
+        assert spec.inclusion == "inclusive"
+        assert spec.bypass_level == "both"
+
+    def test_kwargs_win_over_tokens(self):
+        spec = parse_hierarchy(
+            "L1:64x2,L2:512x8,inclusive,bypass=both",
+            inclusion="non-inclusive",
+            bypass_level="l1",
+        )
+        assert spec.inclusion == "non-inclusive"
+        assert spec.bypass_level == "l1"
+
+    def test_base_config_carries_through(self):
+        base = CacheConfig(kill_mode="demote", write_policy="writethrough")
+        spec = parse_hierarchy("L1:64x2,L2:512x8", base=base)
+        for _name, config in spec.levels:
+            assert config.kill_mode == "demote"
+            assert config.write_policy == "writethrough"
+
+    def test_describe_round_trip(self):
+        text = "L1:64x2,L2:512x8,inclusive,bypass=both"
+        spec = parse_hierarchy(text)
+        again = parse_hierarchy(spec.describe())
+        assert again.describe() == spec.describe()
+
+    def test_single_level_rejected(self):
+        with pytest.raises(ValueError, match="two levels"):
+            parse_hierarchy("L1:64x2")
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError, match="NAME:SIZExASSOC"):
+            parse_hierarchy("L1:64x2,L2:big")
+
+    def test_bad_bypass_rejected(self):
+        with pytest.raises(ValueError, match="bad bypass level"):
+            parse_hierarchy("L1:64x2,L2:512x8,bypass=l3")
+
+    def test_inclusive_needs_nested_associativity(self):
+        with pytest.raises(ValueError, match="nest"):
+            parse_hierarchy("L1:64x4,L2:128x2,inclusive")
+
+    def test_inclusive_needs_nested_sets(self):
+        # 32 sets inside 48 sets: 48 % 32 != 0.
+        with pytest.raises(ValueError, match="nest"):
+            parse_hierarchy("L1:64x2,L2:96x2,inclusive")
+
+    def test_non_inclusive_allows_any_geometry(self):
+        spec = parse_hierarchy("L1:64x4,L2:128x2")
+        assert spec.inclusion == "non-inclusive"
+
+    def test_mixed_line_words_rejected(self):
+        levels = [
+            ("L1", CacheConfig(size_words=64, line_words=1,
+                               associativity=2)),
+            ("L2", CacheConfig(size_words=512, line_words=4,
+                               associativity=8)),
+        ]
+        with pytest.raises(ValueError, match="line_words"):
+            HierarchySpec(levels)
+
+
+class TestOnlineChain:
+    def test_serving_level_names(self):
+        spec = parse_hierarchy("L1:4x1,L2:16x2")
+        chain = HierarchyCache(spec)
+        assert chain.access(0, False) == "memory"
+        assert chain.access(0, False) == "L1"
+        # Push block 0 out of the 4-set direct-mapped L1 only.
+        assert chain.access(4, False) == "memory"
+        assert chain.access(0, False) == "L2"
+
+    def test_stats_keys_are_level_names(self):
+        spec = parse_hierarchy("L1:4x1,L2:16x2")
+        chain = HierarchyCache(spec)
+        chain.access(0, False)
+        assert sorted(chain.stats()) == ["L1", "L2"]
+
+
+class TestOfflineMatchesOnline:
+    """Non-inclusive offline scoring == the online chain, bit for bit."""
+
+    @pytest.mark.parametrize("bypass_level", ["l1", "both"])
+    @pytest.mark.parametrize(
+        "text", ["L1:16x2,L2:128x4", "L1:64x2,L2:512x8", "L1:32x4,L2:64x2"]
+    )
+    def test_bit_identity(self, text, bypass_level):
+        trace = mixed_trace()
+        spec = parse_hierarchy(text, bypass_level=bypass_level)
+        offline = hierarchy_stats(trace, spec)
+        online = HierarchyCache(spec)
+        for address, flags in trace:
+            online.access(
+                address,
+                bool(flags & FLAG_WRITE),
+                bool(flags & FLAG_BYPASS),
+                bool(flags & FLAG_KILL),
+            )
+        for name, stats in offline.levels:
+            assert stats.as_dict() == online.stats()[name].as_dict(), (
+                text, bypass_level, name,
+            )
+
+    def test_l1_equals_standalone_cache(self):
+        """The hierarchy's L1 column is exactly the single-cache score
+        — chaining adds levels without disturbing the paper's model."""
+        trace = mixed_trace()
+        spec = parse_hierarchy("L1:64x2,L2:512x8")
+        offline = hierarchy_stats(trace, spec)
+        standalone = replay_trace(trace, spec.levels[0][1])
+        assert offline["L1"].as_dict() == standalone.as_dict()
+
+
+class TestInclusiveScoring:
+    @pytest.mark.parametrize("bypass_level", ["l1", "both"])
+    def test_l1_matches_non_inclusive(self, bypass_level):
+        trace = mixed_trace()
+        inclusive = hierarchy_stats(
+            trace,
+            parse_hierarchy(
+                "L1:64x2,L2:512x8", inclusion="inclusive",
+                bypass_level=bypass_level,
+            ),
+        )
+        chained = hierarchy_stats(
+            trace,
+            parse_hierarchy(
+                "L1:64x2,L2:512x8", bypass_level=bypass_level
+            ),
+        )
+        assert inclusive["L1"].as_dict() == chained["L1"].as_dict()
+
+    @pytest.mark.parametrize("bypass_level", ["l1", "both"])
+    def test_derived_metrics_within_definitions(self, bypass_level):
+        trace = mixed_trace()
+        row = hierarchy_stats(
+            trace,
+            parse_hierarchy(
+                "L1:64x2,L2:512x8", inclusion="inclusive",
+                bypass_level=bypass_level,
+            ),
+        ).as_dict()
+        assert row["l2_local_hits"] >= 0
+        assert 0.0 <= row["l2_local_miss_rate"] <= 1.0
+        assert row["memory_bus_words"] >= 0
+        assert row["l1_l2_bus_words"] >= 0
+
+
+class TestBypassAblation:
+    """The headline question: which level do bypassed references skip?
+
+    A stream that re-reads bypassed blocks separates the designs: with
+    ``bypass=l1`` those blocks retain their L2 locality, with
+    ``bypass=both`` every re-read goes all the way to memory.
+    """
+
+    def ablation_rows(self, inclusion):
+        refs = []
+        # Eight hot blocks read through bypass four times each, round
+        # robin, never entering L1; a little plain traffic alongside.
+        for round_index in range(4):
+            for block in range(8):
+                refs.append((100 + block, False, True, False))
+                refs.append((block, False, False, False))
+        trace = make_trace(refs)
+        rows = {}
+        for bypass_level in ("l1", "both"):
+            rows[bypass_level] = hierarchy_stats(
+                trace,
+                parse_hierarchy(
+                    "L1:64x2,L2:512x8", inclusion=inclusion,
+                    bypass_level=bypass_level,
+                ),
+            ).as_dict()
+        return rows
+
+    @pytest.mark.parametrize("inclusion", ["non-inclusive", "inclusive"])
+    def test_bypass_both_costs_memory_traffic(self, inclusion):
+        rows = self.ablation_rows(inclusion)
+        assert (
+            rows["both"]["memory_bus_words"]
+            > rows["l1"]["memory_bus_words"]
+        )
+
+    @pytest.mark.parametrize("inclusion", ["non-inclusive", "inclusive"])
+    def test_l1_column_unaffected_by_bypass_level(self, inclusion):
+        """Both designs treat L1 identically — the knob only changes
+        what happens below it."""
+        rows = self.ablation_rows(inclusion)
+        for key in ("l1_hits", "l1_misses", "l1_miss_rate"):
+            assert rows["both"][key] == rows["l1"][key]
+
+
+class TestAsDictShape:
+    def test_reporting_row_fields(self):
+        trace = mixed_trace(events=500)
+        row = hierarchy_stats(
+            trace, parse_hierarchy("L1:64x2,L2:512x8")
+        ).as_dict()
+        for key in (
+            "hierarchy", "inclusion", "bypass_level",
+            "l1_hits", "l1_misses", "l1_miss_rate", "l1_bus_words",
+            "l2_hits", "l2_misses", "l2_miss_rate", "l2_bus_words",
+            "l2_local_hits", "l2_local_miss_rate",
+            "memory_bus_words", "l1_l2_bus_words",
+        ):
+            assert key in row, key
+        assert row["hierarchy"].startswith("L1:64x2,L2:512x8")

@@ -1,0 +1,360 @@
+"""Conformance suite for the :class:`ReplacementPolicy` protocol.
+
+The refactor's contract is that every policy — LRU, FIFO, Random, MIN
+— is a state-owning strategy object behind one transfer function
+(:class:`repro.cache.semantics.UnifiedCache`), and that every engine
+driving that core produces bit-identical :class:`CacheStats`.  This
+suite checks the contract from three angles:
+
+* the protocol surface itself (``make_policy`` dispatch, the
+  operations every policy must expose, capacity invariants);
+* cross-engine bit-identity per policy on hand-built and fuzzer
+  traces (serial replay vs multi-replay vs the sweep dispatcher);
+* the golden Figure 5 pin: the numbers in ``tests/golden/figure5.json``
+  reproduced through all four engines — online :class:`Cache`, the
+  data-carrying functional twin, the multi-replay core, and the
+  stack-distance sweep.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.functional import DataCachedMemory
+from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
+from repro.cache.semantics import (
+    FIFOPolicy,
+    LRUPolicy,
+    MinPolicy,
+    RandomPolicy,
+    UnifiedCache,
+    make_policy,
+    next_use_index,
+)
+from repro.cache.stackdist import replay_trace_sweep
+from repro.evalharness.experiment import (
+    DEFAULT_CACHE,
+    _static_bypass_checked,
+    conventional_config,
+)
+from repro.evalharness.figure5 import figure5_options
+from repro.programs import get_benchmark
+from repro.unified.pipeline import compile_source
+from repro.vm.memory import RecordingMemory
+from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE, TraceBuffer
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "figure5.json"
+)
+
+#: Every protocol operation the semantics core calls on a policy.
+PROTOCOL_OPS = (
+    "reset", "lookup", "touch", "room", "evict", "install",
+    "invalidate", "entries",
+)
+
+ONLINE_POLICIES = ("lru", "fifo", "random")
+
+
+def make_trace(refs):
+    trace = TraceBuffer()
+    for address, is_write, bypass, kill in refs:
+        flags = 0
+        if is_write:
+            flags |= FLAG_WRITE
+        if bypass:
+            flags |= FLAG_BYPASS
+        if kill:
+            flags |= FLAG_KILL
+        trace.append(address, flags)
+    return trace
+
+
+HAND_REFS = [
+    (0, False, False, False),
+    (1, True, False, False),
+    (2, False, False, False),
+    (3, True, False, True),
+    (0, False, False, False),
+    (4, False, True, False),
+    (1, False, True, True),
+    (5, True, True, False),
+    (6, True, False, False),
+    (7, False, False, True),
+    (0, True, False, False),
+    (8, False, False, False),
+    (9, False, False, False),
+    (1, False, False, False),
+    (3, False, False, False),
+]
+
+
+def policy_configs(policy):
+    """The behaviorally distinct config family for one policy name."""
+    base = dict(size_words=8, line_words=1, associativity=2, policy=policy)
+    if policy == "random":
+        base["seed"] = 17
+    return [
+        CacheConfig(**base),
+        CacheConfig(**dict(base, honor_bypass=False, honor_kill=False)),
+        CacheConfig(**dict(base, write_policy="writethrough")),
+        CacheConfig(**dict(base, allocate_on_write=False)),
+        CacheConfig(**dict(base, kill_mode="demote")),
+    ]
+
+
+class TestProtocolSurface:
+    def test_make_policy_dispatch(self):
+        assert isinstance(
+            make_policy(CacheConfig(policy="lru")), LRUPolicy
+        )
+        assert isinstance(
+            make_policy(CacheConfig(policy="fifo")), FIFOPolicy
+        )
+        assert isinstance(
+            make_policy(CacheConfig(policy="random", seed=1)), RandomPolicy
+        )
+        assert isinstance(
+            make_policy(CacheConfig(policy="lru"), next_use=[]), MinPolicy
+        )
+
+    def test_min_is_not_an_online_policy(self):
+        """MIN rides via MinConfig + next-use, never as a config
+        policy string — the config constructor rejects it."""
+        with pytest.raises(ValueError, match="unknown policy"):
+            CacheConfig(policy="min")
+
+    def test_unknown_policy_raises(self):
+        class Stub:
+            policy = "plru"
+
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy(Stub())
+
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES + ("min",))
+    def test_protocol_operations_exist(self, policy):
+        if policy == "min":
+            instance = MinPolicy([])
+        else:
+            instance = make_policy(
+                CacheConfig(policy=policy, seed=1)
+            )
+        for op in PROTOCOL_OPS:
+            assert callable(getattr(instance, op)), (policy, op)
+        assert isinstance(instance.needs_index, bool)
+        assert instance.needs_index == (policy == "min")
+
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    def test_capacity_never_exceeded(self, policy):
+        config = CacheConfig(
+            size_words=8, line_words=1, associativity=2, policy=policy,
+            seed=5,
+        )
+        core = UnifiedCache(config)
+        for address, is_write, bypass, kill in HAND_REFS:
+            core.access(address, is_write, bypass, kill)
+            counts = {}
+            for block, entry in core.policy.entries():
+                assert entry[0] in (True, False)
+                set_index = block % config.num_sets
+                counts[set_index] = counts.get(set_index, 0) + 1
+            for set_index, count in counts.items():
+                assert count <= config.associativity, (policy, set_index)
+
+
+class TestCrossEngineBitIdentity:
+    """serial replay == multi replay == sweep dispatcher, per policy."""
+
+    def serial(self, trace, spec):
+        if isinstance(spec, MinConfig):
+            return replay_trace(
+                trace,
+                policy="min",
+                size_words=spec.config.size_words,
+                line_words=spec.config.line_words,
+                associativity=spec.config.associativity,
+                honor_bypass=spec.config.honor_bypass,
+                honor_kill=spec.config.honor_kill,
+                kill_mode=spec.config.kill_mode,
+            )
+        return replay_trace(trace, spec)
+
+    def engines(self, trace, specs):
+        serial = [self.serial(trace, spec) for spec in specs]
+        multi = replay_trace_multi(trace, specs)
+        auto = replay_trace_sweep(trace, specs, engine="auto")
+        fallback = replay_trace_sweep(trace, specs, engine="multi")
+        for spec, want, a, b, c in zip(specs, serial, multi, auto, fallback):
+            assert a.as_dict() == want.as_dict(), ("multi", spec)
+            assert b.as_dict() == want.as_dict(), ("auto", spec)
+            assert c.as_dict() == want.as_dict(), ("fallback", spec)
+
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    def test_hand_trace(self, policy):
+        self.engines(make_trace(HAND_REFS), policy_configs(policy))
+
+    def test_hand_trace_min(self):
+        trace = make_trace(HAND_REFS)
+        specs = [
+            MinConfig(size_words=8, line_words=1, associativity=2),
+            MinConfig(size_words=8, line_words=1, associativity=2,
+                      honor_kill=False),
+            MinConfig(size_words=16, line_words=1, associativity=4,
+                      kill_mode="demote"),
+        ]
+        self.engines(trace, specs)
+
+    @pytest.fixture(scope="class")
+    def fuzz_traces(self):
+        from repro.robustness.generator import generate_program
+        from repro.unified.pipeline import CompilationOptions
+
+        traces = []
+        for seed in (7, 23):
+            generated = generate_program(seed)
+            program = compile_source(
+                generated.source,
+                CompilationOptions(scheme="unified", promotion="aggressive"),
+            )
+            memory = RecordingMemory()
+            program.run(memory=memory)
+            traces.append(memory.buffer)
+        return traces
+
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    def test_fuzzed_traces(self, policy, fuzz_traces):
+        for trace in fuzz_traces:
+            self.engines(trace, policy_configs(policy))
+
+    def test_fuzzed_traces_min(self, fuzz_traces):
+        for trace in fuzz_traces:
+            self.engines(trace, [
+                MinConfig(size_words=8, line_words=1, associativity=2),
+                MinConfig(size_words=16, line_words=1, associativity=4),
+            ])
+
+    def test_mixed_policy_battery_one_call(self, fuzz_traces):
+        """One sweep call spanning all four policies routes each spec
+        to its engine and still matches the serial path spec-by-spec."""
+        specs = [
+            CacheConfig(size_words=8, associativity=2, policy="lru"),
+            CacheConfig(size_words=8, associativity=2, policy="fifo"),
+            CacheConfig(size_words=8, associativity=2, policy="random",
+                        seed=3),
+            MinConfig(size_words=8, line_words=1, associativity=2),
+        ]
+        for trace in fuzz_traces:
+            self.engines(trace, specs)
+
+
+class TestGoldenFigure5Pin:
+    """The golden Figure 5 numbers through all four engines.
+
+    Two benchmarks keep the runtime proportionate; the CI matrix job
+    runs the full table per engine via ``REPRO_GOLDEN_ENGINE``.
+    """
+
+    NAMES = ("towers", "intmm")
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN_PATH) as handle:
+            return json.load(handle)
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        options = figure5_options()
+        out = {}
+        for name in self.NAMES:
+            program = compile_source(get_benchmark(name).source, options)
+            memory = RecordingMemory()
+            program.run(memory=memory)
+            out[name] = (program, memory.buffer)
+        return out
+
+    def payload(self, program, summary, unified, conventional):
+        return {
+            "static_percent_unambiguous":
+                program.static.percent_unambiguous,
+            "static_bypass_checked":
+                _static_bypass_checked(program, DEFAULT_CACHE),
+            "dynamic_percent_unambiguous":
+                100.0 * summary["unambiguous"] / summary["total"],
+            "cache_traffic_reduction":
+                unified.cache_traffic_reduction_vs(conventional),
+            "bus_traffic_reduction":
+                unified.bus_traffic_reduction_vs(conventional),
+            "dynamic_refs": summary["total"],
+        }
+
+    @pytest.mark.parametrize("engine", ["stackdist", "multi"])
+    def test_sweep_engines_match_golden(self, engine, runs, golden):
+        specs = [DEFAULT_CACHE, conventional_config(DEFAULT_CACHE)]
+        for name, (program, trace) in runs.items():
+            unified, conventional = replay_trace_sweep(
+                trace, specs, engine=engine
+            )
+            assert self.payload(
+                program, trace.summary(), unified, conventional
+            ) == golden[name], (engine, name)
+
+    def test_online_cache_matches_golden(self, runs, golden):
+        for name, (program, trace) in runs.items():
+            stats = []
+            for config in (DEFAULT_CACHE,
+                           conventional_config(DEFAULT_CACHE)):
+                cache = Cache(config)
+                for address, flags in trace:
+                    cache.access(
+                        address,
+                        bool(flags & FLAG_WRITE),
+                        bool(flags & FLAG_BYPASS),
+                        bool(flags & FLAG_KILL),
+                    )
+                stats.append(cache.stats)
+            assert self.payload(
+                program, trace.summary(), stats[0], stats[1]
+            ) == golden[name], name
+
+    def test_functional_twin_matches_golden(self, runs, golden):
+        options = figure5_options()
+        for name, (program, trace) in runs.items():
+            stats = []
+            for config in (DEFAULT_CACHE,
+                           conventional_config(DEFAULT_CACHE)):
+                functional = DataCachedMemory(config)
+                fresh = compile_source(get_benchmark(name).source, options)
+                fresh.run(memory=functional)
+                stats.append(functional.stats)
+            assert self.payload(
+                program, trace.summary(), stats[0], stats[1]
+            ) == golden[name], name
+
+
+class TestSharedNextUse:
+    def test_next_use_shared_across_min_specs(self):
+        """One next-use index answers every MIN geometry of a sweep."""
+        trace = make_trace(HAND_REFS)
+        shared = next_use_index(trace, 1, True)
+        specs = [
+            MinConfig(size_words=4, line_words=1, associativity=1),
+            MinConfig(size_words=8, line_words=1, associativity=2),
+        ]
+        direct = replay_trace_multi(trace, specs)
+        via_policy = [
+            UnifiedCache(spec.config, policy=MinPolicy(shared))
+            for spec in specs
+        ]
+        for core in via_policy:
+            for index, (address, flags) in enumerate(trace):
+                core.access(
+                    address,
+                    bool(flags & FLAG_WRITE),
+                    bool(flags & FLAG_BYPASS),
+                    bool(flags & FLAG_KILL),
+                    index=index,
+                )
+        for want, core in zip(direct, via_policy):
+            assert core.stats.as_dict() == want.as_dict()

@@ -17,6 +17,15 @@ from repro.cache.replay import (
     replay_trace,
     replay_trace_multi,
 )
+from repro.cache.semantics import (
+    MinPolicy,
+    _collapse_runs_py,
+    collapse_runs,
+    flag_presence,
+    flavor_decode,
+    next_use_index,
+    replay_decoded,
+)
 from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE, TraceBuffer
 
 
@@ -191,6 +200,120 @@ class TestReplayTraceKwargsGuard:
         config = CacheConfig(size_words=8, associativity=2)
         with pytest.raises(ValueError, match="not both"):
             MinConfig(config, size_words=4)
+
+
+def collapse_for(trace, config):
+    """The CollapsedRuns the replay layer would compute for ``config``."""
+    columns = trace.to_columns()
+    has_bypass, has_kill = flag_presence(columns)
+    effective = (
+        config.line_words,
+        config.honor_bypass and has_bypass,
+        config.honor_kill and has_kill,
+    )
+    stream = flavor_decode(columns, effective + (config.write_policy,))
+    blocks = (
+        stream.blocks_np if stream.blocks_np is not None
+        else stream.blocks_list
+    )
+    types = (
+        stream.types_np if stream.types_np is not None
+        else stream.types_list
+    )
+    return stream, collapse_runs(blocks, types, config.num_sets)
+
+
+#: Collapse is only sound under write-allocation (a write-around head
+#: miss leaves its followers missing too) — the eligible slice of the
+#: sweep family, across all three online policies plus the variant
+#: knobs.
+COLLAPSE_CONFIGS = [
+    spec for spec in SWEEP_CONFIGS if spec.allocate_on_write
+]
+
+
+class TestRunCollapseBitIdentity:
+    """The same-block run collapse fronting ``replay_decoded`` never
+    changes a single counter — collapsed followers are guaranteed MRU
+    hits and their write-dirtying is absorbed exactly."""
+
+    def assert_collapse_invisible(self, trace):
+        decoded = decode_trace(trace)
+        for config in COLLAPSE_CONFIGS:
+            _stream, runs = collapse_for(trace, config)
+            plain = replay_decoded(decoded, config)
+            fronted = replay_decoded(decoded, config, runs=runs)
+            assert fronted.as_dict() == plain.as_dict(), config
+        # MIN rides the same collapse with its next-use index intact.
+        config = CacheConfig(size_words=8, line_words=1, associativity=2)
+        next_use = next_use_index(trace, 1, True)
+        _stream, runs = collapse_for(trace, config)
+        plain = replay_decoded(
+            decoded, config, policy=MinPolicy(next_use)
+        )
+        fronted = replay_decoded(
+            decoded, config, policy=MinPolicy(next_use), runs=runs
+        )
+        assert fronted.as_dict() == plain.as_dict()
+
+    def test_hand_trace(self):
+        self.assert_collapse_invisible(make_trace(HAND_REFS))
+
+    def test_dense_runs(self):
+        """Long same-block runs with interleaved sets — the shape the
+        collapse exists for."""
+        refs = []
+        for block in (0, 1, 8, 1, 0):
+            for repeat in range(6):
+                refs.append((block, repeat % 2 == 1, False, False))
+        refs.append((9, False, False, True))
+        refs.extend((0, True, False, False) for _ in range(4))
+        self.assert_collapse_invisible(make_trace(refs))
+
+    @given(
+        refs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=11),
+                st.booleans(),
+                st.booleans(),
+                st.booleans(),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_collapse_bit_identity(self, refs):
+        self.assert_collapse_invisible(make_trace(refs))
+
+    @given(
+        refs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=11),
+                st.booleans(),
+                st.booleans(),
+                st.booleans(),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_numpy_and_python_collapse_agree(self, refs):
+        pytest.importorskip("numpy")
+        trace = make_trace(refs)
+        for config in COLLAPSE_CONFIGS[:3]:
+            stream, runs = collapse_for(trace, config)
+            blocks = stream.blocks_list
+            types = stream.types_list
+            pure = _collapse_runs_py(blocks, types, config.num_sets)
+            if runs is None or pure is None:
+                assert runs is None and pure is None
+                continue
+            assert runs.indices_list == pure.indices_list
+            assert runs.run_writes == pure.run_writes
+            assert runs.last_indices == pure.last_indices
+            assert runs.follower_reads == pure.follower_reads
+            assert runs.follower_writes == pure.follower_writes
+            assert runs.collapsed == pure.collapsed
 
 
 class TestFuzzedProgramTraces:
