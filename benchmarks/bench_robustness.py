@@ -1,13 +1,21 @@
 """Robustness-layer throughput: the fuzz loop must stay cheap enough
-to run hundreds of programs in CI.
+to run hundreds of programs in CI, and the fault-injection hooks must
+be ~free when no plan is active.
 
 Timings land in ``BENCH_robustness.json`` (written by the conftest
-hook) so the cost trajectory of generation, the differential battery
-and delta-debugging accumulates across revisions.
+hook, which also picks up ``record_property`` metrics) so the cost
+trajectory of generation, the differential battery, delta-debugging
+and the fault-path overhead accumulates across revisions.
 """
+
+import time
 
 import pytest
 
+from repro import faultinject
+from repro.errors import FaultInjected
+from repro.evalharness.artifacts import ArtifactCache
+from repro.evalharness.parallel import Journal
 from repro.robustness.differential import check_source
 from repro.robustness.generator import generate_program
 from repro.robustness.reducer import reduce_source
@@ -63,6 +71,121 @@ def test_fuel_check_overhead(benchmark):
     )
     result = benchmark(program.run, max_steps=10_000_000)
     assert result.return_value == 12497500
+
+
+_PROBE_SOURCE = (
+    "int main() {\n"
+    "    int values[16];\n"
+    "    int i;\n"
+    "    for (i = 0; i < 16; i++) { values[i] = i * 3; }\n"
+    "    print(values[5] + values[11]);\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+
+def test_fault_hook_disabled_overhead(benchmark, tmp_path,
+                                      record_property):
+    """With no active plan, an injection site must be ~free.
+
+    The warm artifact hit path crosses three sites (one
+    ``load_oserror`` decision, two ``bitflip`` payload checks); their
+    estimated share of a warm hit must stay under the 5% overhead
+    budget the hardening work promised.
+    """
+    with faultinject.fault_plan(None):
+        cache = ArtifactCache(str(tmp_path / "store"))
+        cache.resolve("probe", _PROBE_SOURCE)
+
+        def warm_hit():
+            artifact = cache.resolve("probe", _PROBE_SOURCE)
+            assert artifact.from_cache
+            return artifact
+
+        benchmark(warm_hit)
+        rounds = 20000
+        start = time.perf_counter()
+        for _ in range(rounds):
+            faultinject.should_fire("bitflip", "probe")
+        per_hook = (time.perf_counter() - start) / rounds
+        start = time.perf_counter()
+        for _ in range(50):
+            warm_hit()
+        per_resolve = (time.perf_counter() - start) / 50
+    fraction = 3 * per_hook / per_resolve
+    record_property("per_hook_ns", round(per_hook * 1e9, 1))
+    record_property("hook_fraction_of_warm_hit", round(fraction, 6))
+    assert fraction < 0.05
+
+
+def test_fault_decision_stream(benchmark):
+    """Plan decisions are one sha256 each; keep them cheap enough for
+    per-reference sites."""
+    plan = faultinject.FaultPlan(rates={"bitflip": 0.5}, seed=7, limit=10**9)
+
+    def decide_batch():
+        fired = 0
+        for index in range(2000):
+            if plan.should("bitflip", "key", index=index):
+                fired += 1
+        return fired
+
+    fired = benchmark(decide_batch)
+    assert 800 < fired < 1200  # rate 0.5 over 2000 seeded decisions
+
+
+def test_journal_checkpoint_throughput(benchmark, tmp_path,
+                                       record_property):
+    """Journal appends fsync per checkpoint; the cost must stay small
+    next to a unit evaluation (~hundreds of ms)."""
+    path = str(tmp_path / "journal.bin")
+    outcome = ("ok", {"payload": list(range(64))})
+
+    def write_and_reload():
+        journal = Journal(path)
+        for index in range(50):
+            journal.record("fp-{}".format(index), outcome)
+        return Journal(path)
+
+    reloaded = benchmark(write_and_reload)
+    assert len(reloaded.entries) == 50
+    record_property("entries", len(reloaded.entries))
+
+
+def test_supervised_retry_convergence(benchmark):
+    """A transient injected failure costs one backoff sleep and one
+    retry, nothing more."""
+    from repro.evalharness.parallel import Supervisor, _run_one_serial
+
+    def converge():
+        sup = Supervisor(backoff_base=0.001, backoff_cap=0.002)
+        state = {"calls": 0}
+
+        def payload_for(index, attempt, in_pool):
+            return (index, attempt, in_pool)
+
+        def fake_worker(payload):
+            state["calls"] += 1
+            if payload[1] == 0:
+                raise FaultInjected("transient")
+            return "ok", payload
+
+        import repro.evalharness.parallel as parallel
+
+        original = parallel._unit_worker
+        parallel._unit_worker = fake_worker
+        try:
+            outcome = _run_one_serial(
+                type("U", (), {"name": "probe"})(), "fp", payload_for,
+                0, sup, False, "bench",
+            )
+        finally:
+            parallel._unit_worker = original
+        assert outcome[0] == "ok"
+        return state["calls"]
+
+    calls = benchmark(converge)
+    assert calls == 2
 
 
 if __name__ == "__main__":

@@ -63,13 +63,16 @@ _robustness_timings = []
 def pytest_runtest_logreport(report):
     """Collect call-phase durations of the robustness benches."""
     if report.when == "call" and "bench_robustness" in report.nodeid:
-        _robustness_timings.append(
-            {
-                "test": report.nodeid.split("::")[-1],
-                "seconds": round(report.duration, 4),
-                "outcome": report.outcome,
-            }
-        )
+        entry = {
+            "test": report.nodeid.split("::")[-1],
+            "seconds": round(report.duration, 4),
+            "outcome": report.outcome,
+        }
+        # Benches publish derived metrics (e.g. the fault-hook share of
+        # a warm artifact hit) via ``record_property``.
+        for name, value in report.user_properties:
+            entry[name] = value
+        _robustness_timings.append(entry)
 
 
 def pytest_sessionfinish(session):

@@ -44,6 +44,41 @@ class ResourceExhausted(ReproError):
     stage = "limits"
 
 
+class FaultInjected(ReproError):
+    """A deliberate failure planted by :mod:`repro.faultinject`.
+
+    Chaos runs tag these with stage ``faultinject`` so fuzzer crash
+    records and failure summaries distinguish an injected fault (the
+    schedule working as designed) from a real pipeline bug.  Hardened
+    layers treat the class as *transient*: retry, degrade, or
+    quarantine — never a wrong result.
+    """
+
+    stage = "faultinject"
+
+
+class WorkerQuarantined(ReproError):
+    """A work unit was quarantined after exhausting its retry budget.
+
+    Carries the unit name, the attempt count, and the signature of the
+    last failure; the supervised pool records (not raises) these when a
+    ``failures`` collector is present, so one poisoned unit costs one
+    row, not the sweep.
+    """
+
+    stage = "quarantine"
+
+    def __init__(self, item, attempts, last_error):
+        self.item = item
+        self.attempts = attempts
+        self.last_error_type = type(last_error).__name__
+        self.last_stage = getattr(last_error, "stage", "unknown")
+        super().__init__(
+            "unit {!r} quarantined after {} attempt(s); last failure: "
+            "{}: {}".format(item, attempts, self.last_error_type, last_error)
+        )
+
+
 class InternalError(ReproError):
     """An unexpected exception escaped a pipeline stage.
 

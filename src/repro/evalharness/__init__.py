@@ -13,7 +13,14 @@ from repro.evalharness.experiment import (
     run_compiled,
 )
 from repro.evalharness.figure5 import Figure5Row, figure5_table, format_figure5
-from repro.evalharness.parallel import EvalUnit, evaluate_unit, run_units
+from repro.evalharness.parallel import (
+    EvalUnit,
+    Journal,
+    Supervisor,
+    evaluate_unit,
+    run_units,
+    unit_fingerprint,
+)
 from repro.evalharness.sweeps import (
     cache_size_sweep,
     kill_bit_ablation,
@@ -38,12 +45,15 @@ __all__ = [
     "DEFAULT_CACHE",
     "ExperimentResult",
     "EvalUnit",
+    "Journal",
+    "Supervisor",
     "evaluate_trace",
     "evaluate_trace_multi",
     "evaluate_unit",
     "run_benchmark",
     "run_compiled",
     "run_units",
+    "unit_fingerprint",
     "Figure5Row",
     "figure5_table",
     "format_figure5",

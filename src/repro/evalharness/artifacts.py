@@ -1,4 +1,5 @@
-"""Content-addressed on-disk cache of compiled programs and traces.
+"""Content-addressed, crash-safe, bounded cache of compiled programs
+and traces.
 
 The expensive half of every experiment is invariant across cache
 geometries: compiling a benchmark under one annotation configuration
@@ -14,16 +15,38 @@ configurations replay it.
 Layout under the cache root (``REPRO_ARTIFACT_CACHE`` or
 ``~/.cache/repro/artifacts``)::
 
-    <key[:2]>/<key>/meta.json     name, output, steps, event count
+    <key[:2]>/<key>/meta.json     name, output, steps, events, checksums
     <key[:2]>/<key>/program.pkl   pickled CompiledProgram
     <key[:2]>/<key>/trace.bin     serialized TraceBuffer
+    <key[:2]>/<key>/stamp         empty; mtime = last access (LRU order)
+    quarantine/<key>/             corrupt entries, plus reason.json
 
-Entries are written atomically (temp directory + rename), so
-concurrent workers racing on the same key produce one winner and no
-torn artifacts; a corrupt or truncated entry is treated as a miss and
-silently recomputed.  Invalidation is by key only: bump
-``ARTIFACT_SCHEMA`` whenever the trace format, the pickle layout, or
-any compilation semantics change without a version bump.
+The store is built to survive a hostile disk (see
+``docs/ROBUSTNESS.md`` and :mod:`repro.faultinject`):
+
+* **Crash-safe writes** — entries are staged in a temp directory,
+  every file is flushed and fsynced, and the entry appears via one
+  atomic rename (the parent directory is fsynced after).  A crash or
+  torn write mid-store leaves either no entry or a stale staging
+  directory (reaped by ``gc``), never a partially visible one.
+* **Integrity** — ``meta.json`` records the SHA-256 of ``program.pkl``
+  and ``trace.bin``; loads verify the payload *before* unpickling, so
+  a poisoned or bit-flipped pickle is never deserialized.
+* **Quarantine, not re-serve** — a corrupt entry is moved to
+  ``quarantine/<key>/`` with a ``reason.json`` and recomputed; it is
+  never silently re-read on the next lookup, and ``repro-artifacts
+  quarantine ls`` lists the evidence for triage.
+* **Bounded capacity** — an optional byte budget
+  (``capacity_bytes=...`` or ``$REPRO_ARTIFACT_BUDGET``, suffixes
+  K/M/G) is enforced after every store by evicting whole entries; the
+  victim order is chosen by our own
+  :class:`~repro.cache.semantics.ReplacementPolicy` implementations
+  (LRU by last access, FIFO by store time, seeded Random), the store
+  dogfooding the very policies it exists to evaluate.
+
+Invalidation is by key only: bump ``ARTIFACT_SCHEMA`` whenever the
+trace format, the pickle layout, or any compilation semantics change
+without a version bump.
 """
 
 import hashlib
@@ -32,18 +55,34 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 
 from repro import __version__
+from repro import faultinject
 from repro.lang.errors import VMError
 from repro.unified.pipeline import CompilationOptions, compile_source
 from repro.vm.memory import RecordingMemory
 from repro.vm.trace import TraceBuffer
 
 #: Bump to invalidate every stored artifact (schema/semantics change).
-ARTIFACT_SCHEMA = 1
+#: 2: per-entry payload checksums + stored_at in meta.json.
+ARTIFACT_SCHEMA = 2
 
 #: Environment override for the default cache root.
 CACHE_ROOT_ENV = "REPRO_ARTIFACT_CACHE"
+
+#: Environment override for the capacity budget (bytes; K/M/G suffix).
+CAPACITY_ENV = "REPRO_ARTIFACT_BUDGET"
+
+#: Environment override for the eviction policy (lru/fifo/random).
+POLICY_ENV = "REPRO_ARTIFACT_POLICY"
+
+#: The files making up one entry; checksummed ones first.
+_PAYLOAD_FILES = ("program.pkl", "trace.bin")
+_ENTRY_FILES = _PAYLOAD_FILES + ("meta.json", "stamp")
+
+#: Name of the quarantine directory under the root.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_root():
@@ -53,6 +92,22 @@ def default_cache_root():
     return os.path.join(
         os.path.expanduser("~"), ".cache", "repro", "artifacts"
     )
+
+
+def parse_size(text):
+    """``"64M"`` -> bytes; plain integers pass through."""
+    if text is None:
+        return None
+    if isinstance(text, int):
+        return text
+    text = text.strip().upper()
+    factor = 1
+    for suffix, mult in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if text.endswith(suffix):
+            factor = mult
+            text = text[: -len(suffix)]
+            break
+    return int(float(text) * factor)
 
 
 def options_fingerprint(options):
@@ -108,13 +163,64 @@ class Artifact:
         self.from_cache = from_cache
 
 
-class ArtifactCache:
-    """Resolve (source × options) units, hitting disk when possible."""
+class _StoreGeometry:
+    """The store viewed as one fully-associative cache set, so the
+    :mod:`repro.cache.semantics` replacement policies can pick eviction
+    victims without knowing they are ranking directories."""
 
-    def __init__(self, root=None):
+    num_sets = 1
+
+    def __init__(self, associativity, policy, seed):
+        self.associativity = max(associativity, 1)
+        self.policy = policy
+        self.seed = seed
+
+
+def _fsync_file(handle):
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _fsync_dir(path):
+    # Directory fsync is what makes the rename itself durable; not all
+    # platforms/filesystems allow it, and losing it only weakens
+    # durability, never atomicity.
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class ArtifactCache:
+    """Resolve (source × options) units, hitting disk when possible.
+
+    ``capacity_bytes``/``policy``/``seed`` bound the store: after every
+    write the total entry footprint is brought back under budget by
+    evicting whole entries in the order the named
+    :class:`~repro.cache.semantics.ReplacementPolicy` dictates.
+    Instance counters (``hits``, ``misses``, ``store_errors``,
+    ``quarantined``, ``evicted``) describe this process's view.
+    """
+
+    def __init__(self, root=None, capacity_bytes=None, policy=None,
+                 seed=12345):
         self.root = root if root is not None else default_cache_root()
+        if capacity_bytes is None:
+            capacity_bytes = parse_size(os.environ.get(CAPACITY_ENV))
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy or os.environ.get(POLICY_ENV) or "lru"
+        self.seed = seed
         self.hits = 0
         self.misses = 0
+        self.store_errors = 0
+        self.quarantined = 0
+        self.evicted = 0
 
     # ------------------------------------------------------------------
 
@@ -122,16 +228,22 @@ class ArtifactCache:
         """Compile and trace ``source`` exactly once.
 
         On a hit the program, trace, output and step count come back
-        from disk; on a miss (or a corrupt entry) the unit is
-        recomputed and stored.  ``expected_output`` is enforced on both
-        paths, matching ``run_compiled``'s guard.
+        from disk; on a miss (or a corrupt/quarantined entry) the unit
+        is recomputed and stored.  A store failure (disk full, injected
+        ``OSError``) is counted and swallowed — the computed artifact
+        is still returned, the cache just stays cold for that key.
+        ``expected_output`` is enforced on both paths, matching
+        ``run_compiled``'s guard.
         """
         options = (options or CompilationOptions()).normalized()
         key = artifact_key(source, options)
         artifact = self._load(key, name)
         if artifact is None:
             artifact = self._compute(key, name, source, options)
-            self._store(artifact)
+            try:
+                self._store(artifact)
+            except OSError:
+                self.store_errors += 1
             self.misses += 1
         else:
             self.hits += 1
@@ -149,6 +261,120 @@ class ArtifactCache:
         """Delete every stored artifact under this root."""
         if os.path.isdir(self.root):
             shutil.rmtree(self.root)
+
+    # -- maintenance (the ``repro-artifacts`` CLI drives these) --------
+
+    def entries(self):
+        """Yield ``(key, entry_dir)`` for every stored entry."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for key in sorted(os.listdir(shard_dir)):
+                entry = os.path.join(shard_dir, key)
+                if not key.startswith(".") and os.path.isdir(entry):
+                    yield key, entry
+
+    def entry_size(self, entry):
+        total = 0
+        try:
+            for item in os.scandir(entry):
+                try:
+                    total += item.stat().st_size
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return total
+
+    def stats(self):
+        """A JSON-friendly snapshot: footprint, budget, quarantine."""
+        entries = list(self.entries())
+        total = sum(self.entry_size(entry) for _, entry in entries)
+        quarantine = self.quarantine_entries()
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "bytes": total,
+            "capacity_bytes": self.capacity_bytes,
+            "policy": self.policy,
+            "quarantine_entries": len(quarantine),
+            "quarantine_bytes": sum(
+                self.entry_size(path) for _, path in quarantine
+            ),
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "store_errors": self.store_errors,
+                "quarantined": self.quarantined,
+                "evicted": self.evicted,
+            },
+        }
+
+    def verify(self):
+        """Integrity-check every entry; quarantine the corrupt ones.
+
+        Returns ``(checked, bad)`` where ``bad`` lists ``(key,
+        reason)`` for every entry that failed and was quarantined.
+        """
+        checked = 0
+        bad = []
+        for key, entry in list(self.entries()):
+            checked += 1
+            reason = self._verify_entry(key, entry)
+            if reason is not None:
+                self._quarantine(key, entry, reason)
+                bad.append((key, reason))
+        return checked, bad
+
+    def gc(self, max_staging_age=3600.0):
+        """Reap stale staging directories and enforce the byte budget.
+
+        Returns ``(staging_removed, evicted)``.  Staging directories
+        are only removed once older than ``max_staging_age`` seconds so
+        a concurrent in-flight store is never swept from under the
+        writer.
+        """
+        removed = 0
+        now = time.time()
+        if os.path.isdir(self.root):
+            for shard in os.listdir(self.root):
+                shard_dir = os.path.join(self.root, shard)
+                if len(shard) != 2 or not os.path.isdir(shard_dir):
+                    continue
+                for item in os.listdir(shard_dir):
+                    if not item.startswith(".staging-"):
+                        continue
+                    staging = os.path.join(shard_dir, item)
+                    try:
+                        if now - os.path.getmtime(staging) >= max_staging_age:
+                            shutil.rmtree(staging, ignore_errors=True)
+                            removed += 1
+                    except OSError:
+                        pass
+        evicted = self._enforce_budget()
+        return removed, evicted
+
+    def quarantine_entries(self):
+        """``(key, path)`` for every quarantined entry."""
+        quarantine = os.path.join(self.root, QUARANTINE_DIR)
+        if not os.path.isdir(quarantine):
+            return []
+        return [
+            (key, os.path.join(quarantine, key))
+            for key in sorted(os.listdir(quarantine))
+            if os.path.isdir(os.path.join(quarantine, key))
+        ]
+
+    def quarantine_clear(self):
+        """Delete the quarantine directory; returns entries removed."""
+        entries = self.quarantine_entries()
+        shutil.rmtree(
+            os.path.join(self.root, QUARANTINE_DIR), ignore_errors=True
+        )
+        return len(entries)
 
     # ------------------------------------------------------------------
 
@@ -169,24 +395,70 @@ class ArtifactCache:
             from_cache=False,
         )
 
+    # -- load ----------------------------------------------------------
+
+    def _read_payload(self, entry, key, filename, expected_checksum):
+        """Read and integrity-check one payload file.
+
+        The checksum is verified on the raw bytes *before* any parsing
+        or unpickling — a poisoned pickle that does not match its
+        recorded digest is never fed to ``pickle.loads``.
+        """
+        with open(os.path.join(entry, filename), "rb") as handle:
+            data = handle.read()
+        data = faultinject.corrupt_bytes(
+            "bitflip", "{}/{}".format(key, filename), data
+        )
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != expected_checksum:
+            raise _Corrupt(
+                "{}: checksum mismatch (stored {}, found {})".format(
+                    filename, expected_checksum[:12], digest[:12]
+                )
+            )
+        return data
+
     def _load(self, key, name):
         entry = self._entry_dir(key)
+        if not os.path.isdir(entry):
+            return None
         try:
+            faultinject.raise_oserror("load_oserror", key)
             with open(os.path.join(entry, "meta.json")) as handle:
                 meta = json.load(handle)
-            with open(os.path.join(entry, "program.pkl"), "rb") as handle:
-                program = pickle.load(handle)
-            trace = TraceBuffer.load(os.path.join(entry, "trace.bin"))
+            if meta.get("schema") != ARTIFACT_SCHEMA:
+                raise _Corrupt(
+                    "meta.json: schema {} != {}".format(
+                        meta.get("schema"), ARTIFACT_SCHEMA
+                    )
+                )
+            checksums = meta["checksums"]
+            program_bytes = self._read_payload(
+                entry, key, "program.pkl", checksums["program.pkl"]
+            )
+            trace_bytes = self._read_payload(
+                entry, key, "trace.bin", checksums["trace.bin"]
+            )
+            program = pickle.loads(program_bytes)
+            trace = TraceBuffer.from_bytes(trace_bytes)
             if len(trace) != meta["events"]:
-                raise ValueError(
-                    "trace holds {} events, meta promises {}".format(
+                raise _Corrupt(
+                    "trace.bin: {} events, meta promises {}".format(
                         len(trace), meta["events"]
                     )
                 )
-        except (OSError, ValueError, KeyError, pickle.UnpicklingError,
-                EOFError, json.JSONDecodeError):
-            # Missing or corrupt: treat as a miss, recompute, overwrite.
+        except OSError:
+            # Transient I/O failure (or a concurrent eviction): degrade
+            # to a miss without condemning the entry.
             return None
+        except (_Corrupt, ValueError, KeyError, TypeError,
+                pickle.UnpicklingError, EOFError,
+                json.JSONDecodeError) as error:
+            # Corrupt: quarantine so the bad entry is never re-read and
+            # re-parsed on the next lookup, then recompute.
+            self._quarantine(key, entry, str(error))
+            return None
+        self._touch(entry)
         return Artifact(
             key,
             name,
@@ -197,31 +469,116 @@ class ArtifactCache:
             from_cache=True,
         )
 
-    def _store(self, artifact):
-        entry = self._entry_dir(artifact.key)
-        parent = os.path.dirname(entry)
-        os.makedirs(parent, exist_ok=True)
-        staging = tempfile.mkdtemp(prefix=".staging-", dir=parent)
+    def _touch(self, entry):
+        """Refresh the LRU stamp; best-effort (hits must never fail)."""
         try:
-            with open(os.path.join(staging, "meta.json"), "w") as handle:
+            os.utime(os.path.join(entry, "stamp"))
+        except OSError:
+            pass
+
+    def _verify_entry(self, key, entry):
+        """The reason this entry is corrupt, or ``None`` if intact."""
+        try:
+            with open(os.path.join(entry, "meta.json")) as handle:
+                meta = json.load(handle)
+            if meta.get("schema") != ARTIFACT_SCHEMA:
+                return "meta.json: schema {} != {}".format(
+                    meta.get("schema"), ARTIFACT_SCHEMA
+                )
+            for filename in _PAYLOAD_FILES:
+                expected = meta["checksums"][filename]
+                with open(os.path.join(entry, filename), "rb") as handle:
+                    digest = hashlib.sha256(handle.read()).hexdigest()
+                if digest != expected:
+                    return "{}: checksum mismatch".format(filename)
+        except (OSError, ValueError, KeyError, TypeError,
+                json.JSONDecodeError) as error:
+            return "{}: {}".format(type(error).__name__, error)
+        return None
+
+    # -- quarantine ----------------------------------------------------
+
+    def _quarantine(self, key, entry, reason):
+        """Move a corrupt entry out of the lookup path, keeping it for
+        triage; fall back to deletion if the move itself fails."""
+        quarantine = os.path.join(self.root, QUARANTINE_DIR)
+        destination = os.path.join(quarantine, key)
+        try:
+            os.makedirs(quarantine, exist_ok=True)
+            if os.path.isdir(destination):
+                shutil.rmtree(destination, ignore_errors=True)
+            os.rename(entry, destination)
+            with open(os.path.join(destination, "reason.json"),
+                      "w") as handle:
                 json.dump(
                     {
-                        "schema": ARTIFACT_SCHEMA,
-                        "compiler": __version__,
-                        "name": artifact.name,
-                        "output": list(artifact.output),
-                        "steps": artifact.steps,
-                        "events": len(artifact.trace),
+                        "key": key,
+                        "reason": reason,
+                        "quarantined_at": time.strftime(
+                            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                        ),
                     },
                     handle,
                     indent=2,
                     sort_keys=True,
                 )
                 handle.write("\n")
-            with open(os.path.join(staging, "program.pkl"), "wb") as handle:
-                pickle.dump(artifact.program, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            artifact.trace.save(os.path.join(staging, "trace.bin"))
+        except OSError:
+            # Quarantine failed (another process won the race, or the
+            # disk is sick): delete instead — a corrupt entry must not
+            # stay in the lookup path either way.
+            shutil.rmtree(entry, ignore_errors=True)
+        self.quarantined += 1
+
+    # -- store ---------------------------------------------------------
+
+    def _write_staged(self, staging, filename, data, key):
+        """Write one staged file durably, with torn-write injection."""
+        data = faultinject.truncate_bytes(
+            "torn_write", "{}/{}".format(key, filename), data
+        )
+        with open(os.path.join(staging, filename), "wb") as handle:
+            handle.write(data)
+            _fsync_file(handle)
+
+    def _store(self, artifact):
+        key = artifact.key
+        entry = self._entry_dir(key)
+        parent = os.path.dirname(entry)
+        faultinject.raise_oserror("store_oserror", key)
+        os.makedirs(parent, exist_ok=True)
+        staging = tempfile.mkdtemp(prefix=".staging-", dir=parent)
+        try:
+            program_bytes = pickle.dumps(
+                artifact.program, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            trace_bytes = artifact.trace.to_bytes()
+            meta = {
+                "schema": ARTIFACT_SCHEMA,
+                "compiler": __version__,
+                "name": artifact.name,
+                "output": list(artifact.output),
+                "steps": artifact.steps,
+                "events": len(artifact.trace),
+                "stored_at": time.time(),
+                "checksums": {
+                    "program.pkl": hashlib.sha256(program_bytes).hexdigest(),
+                    "trace.bin": hashlib.sha256(trace_bytes).hexdigest(),
+                },
+            }
+            self._write_staged(staging, "program.pkl", program_bytes, key)
+            self._write_staged(staging, "trace.bin", trace_bytes, key)
+            self._write_staged(
+                staging,
+                "meta.json",
+                (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(
+                    "utf-8"
+                ),
+                key,
+            )
+            with open(os.path.join(staging, "stamp"), "wb") as handle:
+                _fsync_file(handle)
+            faultinject.stall_point("store_pause", key)
             if os.path.isdir(entry):
                 # A concurrent worker already stored this key; its copy
                 # is equivalent (same content address), keep it.
@@ -231,6 +588,81 @@ class ArtifactCache:
                 os.rename(staging, entry)
             except OSError:
                 shutil.rmtree(staging, ignore_errors=True)
+                return
+            _fsync_dir(parent)
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
+        self._enforce_budget()
+
+    # -- eviction ------------------------------------------------------
+
+    def _enforce_budget(self):
+        """Bring the store back under ``capacity_bytes``.
+
+        Victims are chosen by the configured
+        :class:`~repro.cache.semantics.ReplacementPolicy` over a
+        one-set view of the store: every entry is installed with its
+        policy-relevant timestamp (last access for LRU, store time for
+        FIFO; Random draws from its seeded stream), then evicted one at
+        a time until the footprint fits.  Returns entries evicted.
+        """
+        if not self.capacity_bytes:
+            return 0
+        entries = []
+        total = 0
+        for key, entry in self.entries():
+            size = self.entry_size(entry)
+            entries.append((key, entry, size))
+            total += size
+        if total <= self.capacity_bytes or not entries:
+            return 0
+        from repro.cache.semantics import make_policy
+
+        geometry = _StoreGeometry(
+            associativity=len(entries), policy=self.policy, seed=self.seed
+        )
+        policy = make_policy(geometry)
+        policy.reset(geometry)
+        by_key = {}
+        for key, entry, size in entries:
+            by_key[key] = (entry, size)
+            policy.install(0, key, self._entry_stamp(entry), 0)
+        evicted = 0
+        while total > self.capacity_bytes and evicted < len(entries):
+            victim_key, _line = policy.evict(0)
+            entry, size = by_key[victim_key]
+            shutil.rmtree(entry, ignore_errors=True)
+            total -= size
+            evicted += 1
+        self.evicted += evicted
+        return evicted
+
+    def _entry_stamp(self, entry):
+        """The policy clock for one entry.
+
+        LRU ranks by last access (the ``stamp`` file's mtime, refreshed
+        on every hit); FIFO ranks by the install clock, which
+        ``_WayPolicy.install`` also takes from this value — for
+        freshly-indexed entries that is store time (``stored_at``), so
+        both orders are served from one number: last access, falling
+        back to store time, falling back to directory mtime.
+        """
+        if self.policy == "fifo":
+            try:
+                with open(os.path.join(entry, "meta.json")) as handle:
+                    return float(json.load(handle)["stored_at"])
+            except (OSError, ValueError, KeyError, TypeError,
+                    json.JSONDecodeError):
+                pass
+        try:
+            return os.path.getmtime(os.path.join(entry, "stamp"))
+        except OSError:
+            try:
+                return os.path.getmtime(entry)
+            except OSError:
+                return 0.0
+
+
+class _Corrupt(ValueError):
+    """Internal: an entry failed an integrity check."""

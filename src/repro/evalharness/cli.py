@@ -122,6 +122,10 @@ def main_figure5(argv=None):
     parser.add_argument("--no-artifact-cache", action="store_true",
                         help="always compile and trace in-process, even "
                              "with --jobs")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="checkpoint completed benchmarks here; a "
+                             "rerun with the same journal resumes from "
+                             "completed units bit-identically")
     parser.add_argument("--hierarchy", default=None, metavar="SPEC",
                         help="also print the L1/L2 hierarchy table for "
                              "this geometry, e.g. L1:64x2,L2:512x8")
@@ -143,6 +147,7 @@ def main_figure5(argv=None):
         names=tuple(args.benchmarks) if args.benchmarks else BENCHMARK_NAMES,
         jobs=args.jobs,
         artifact_cache=artifact_cache,
+        journal=args.journal,
     )
     print(format_figure5(rows))
     if args.hierarchy:

@@ -78,6 +78,7 @@ def figure5_table(
     failures=None,
     jobs=None,
     artifact_cache=None,
+    journal=None,
 ):
     """Run the full Figure 5 experiment; returns a list of rows plus
     an average row.
@@ -87,7 +88,8 @@ def figure5_table(
     errors propagate.  ``jobs``/``artifact_cache`` route the table
     through the compile-once/trace-once engine
     (:mod:`repro.evalharness.parallel`); the rows are bit-identical to
-    the serial path either way.
+    the serial path either way.  ``journal`` (a path) checkpoints
+    completed benchmarks so a killed run resumes where it left off.
     """
     from repro.evalharness.parallel import EvalUnit, run_units
 
@@ -108,6 +110,7 @@ def figure5_table(
         artifact_cache=artifact_cache,
         failures=failures,
         section="figure5",
+        journal=journal,
     )
     return [
         Figure5Row.from_result(results[0])

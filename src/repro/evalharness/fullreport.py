@@ -43,10 +43,10 @@ def _heading(text):
 
 
 def figure5_section(paper_scale, failures=None, cache_config=DEFAULT_CACHE,
-                    jobs=None, artifact_cache=None):
+                    jobs=None, artifact_cache=None, journal=None):
     rows = figure5_table(
         paper_scale=paper_scale, cache_config=cache_config, failures=failures,
-        jobs=jobs, artifact_cache=artifact_cache,
+        jobs=jobs, artifact_cache=artifact_cache, journal=journal,
     )
     if not rows:
         return "\n".join(
@@ -235,7 +235,7 @@ def access_time_section(failures=None, artifact_cache=None):
 
 def build_report(paper_scale=False, fast=False, failures=None,
                  cache_config=DEFAULT_CACHE, jobs=None, artifact_cache=None,
-                 hierarchy=None, hierarchy_benchmarks=None):
+                 hierarchy=None, hierarchy_benchmarks=None, journal=None):
     """Assemble the report string.
 
     With ``failures`` (a list), a section or benchmark that breaks is
@@ -251,7 +251,8 @@ def build_report(paper_scale=False, fast=False, failures=None,
         ("figure5",
          lambda: figure5_section(paper_scale, failures=failures,
                                  cache_config=cache_config, jobs=jobs,
-                                 artifact_cache=artifact_cache)),
+                                 artifact_cache=artifact_cache,
+                                 journal=journal)),
         ("kill-bits", lambda: kill_section(artifact_cache=artifact_cache)),
         ("spill", lambda: spill_section(artifact_cache=artifact_cache)),
     ]
@@ -330,6 +331,10 @@ def main(argv=None):
     parser.add_argument("--no-artifact-cache", action="store_true",
                         help="always compile and trace in-process, even "
                              "with --jobs")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="checkpoint completed Figure 5 benchmarks "
+                             "here; a rerun with the same journal resumes "
+                             "from completed units bit-identically")
     parser.add_argument("--hierarchy", default=None, metavar="SPEC",
                         help="add the L1/L2 hierarchy section for this "
                              "geometry, e.g. L1:64x2,L2:512x8")
@@ -352,7 +357,8 @@ def main(argv=None):
                        failures=failures, cache_config=cache_config,
                        jobs=args.jobs, artifact_cache=artifact_cache,
                        hierarchy=args.hierarchy,
-                       hierarchy_benchmarks=args.hierarchy_benchmarks))
+                       hierarchy_benchmarks=args.hierarchy_benchmarks,
+                       journal=args.journal))
     if failures:
         print("\n" + format_failures(failures), file=sys.stderr)
         return 1

@@ -1,0 +1,380 @@
+"""Deterministic, seeded fault injection for the evaluation engine.
+
+Chaos testing only earns trust when a failing run can be replayed: a
+*fault plan* is a seeded description of which failure classes may fire
+and how often, and every individual decision is a pure function of
+``(seed, kind, site key, opportunity index)`` — no wall clock, no
+global RNG.  The same plan against the same workload therefore injects
+the same faults, which is what lets the tier-1 suite assert that the
+hardened layers converge to bit-identical results *with injection
+enabled*.
+
+A plan is activated either through the environment::
+
+    REPRO_FAULT_PLAN="seed=7,bitflip=0.5,worker_crash=0.25" pytest ...
+
+(worker processes inherit it automatically), or per-scope with the
+context manager::
+
+    with fault_plan("seed=7,torn_write=1.0"):
+        cache.resolve(...)
+
+``fault_plan(None)`` masks any ambient plan, which is how tests that
+assert exact internal counters opt out of a suite-wide chaos run.
+
+Fault kinds (rates in ``[0, 1]`` per opportunity):
+
+``torn_write``
+    One staged artifact file is silently truncated just before the
+    atomic rename — the on-disk image a torn write leaves behind.
+``bitflip``
+    One bit of an artifact payload flips on the read path (media
+    corruption); checksum verification must catch it.
+``store_oserror``
+    The artifact store hits ``OSError(ENOSPC)`` while persisting.
+``load_oserror``
+    The artifact load path hits ``OSError(EIO)``; must degrade to a
+    recomputed miss.
+``store_pause``
+    The store sleeps ``stall_seconds`` between staging and publish —
+    not a fault by itself, but it widens the store/load/gc race window
+    for the concurrency tests.
+``worker_crash``
+    An evaluation worker raises :class:`WorkerCrash` (the observable
+    shadow of a worker dying mid-unit); the supervisor must retry.
+``worker_stall``
+    A worker sleeps ``stall_seconds`` before doing its work; with a
+    watchdog timeout below that, the unit must be reaped and retried.
+``pool_break``
+    A worker calls ``os._exit`` — the pool itself dies and the
+    supervisor must rebuild it or fall back to serial execution.
+``poison_unit``
+    A unit fails *every* attempt (the decision ignores the attempt
+    index), forcing the bounded-retry path into quarantine.
+
+Knobs (not rates): ``seed`` (decision stream), ``limit`` (max fires
+per ``(kind, key)``, default 1 so injected faults are transient and
+retries converge), ``stall_seconds``, ``timeout`` (per-unit watchdog
+the supervisor adopts when the plan carries one), ``retries``
+(supervisor attempt budget override), ``interrupt_after`` (raise
+``KeyboardInterrupt`` in the *parent* after N journal checkpoints —
+the deterministic stand-in for kill -INT during a long sweep).
+"""
+
+import contextlib
+import errno
+import hashlib
+import os
+import time
+
+from repro.errors import FaultInjected
+
+#: Environment variable holding the ambient fault plan.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Every recognized rate-style fault kind.
+FAULT_KINDS = (
+    "torn_write",
+    "bitflip",
+    "store_oserror",
+    "load_oserror",
+    "store_pause",
+    "worker_crash",
+    "worker_stall",
+    "pool_break",
+    "poison_unit",
+)
+
+#: Integer/float knobs that are not per-opportunity rates.
+_KNOBS = ("seed", "limit", "stall_seconds", "timeout", "retries",
+          "interrupt_after")
+
+
+class WorkerCrash(FaultInjected):
+    """An injected stand-in for a worker process dying mid-unit."""
+
+    stage = "faultinject"
+
+
+class PlanError(ValueError):
+    """A fault-plan string that does not parse."""
+
+
+def decision_fraction(seed, kind, key, index):
+    """A deterministic float in ``[0, 1)`` for one fault opportunity.
+
+    Also the seeded-jitter source for the supervisor's retry backoff —
+    one hash, every schedule replayable.
+    """
+    payload = "{}:{}:{}:{}".format(seed, kind, key, index)
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+_fraction = decision_fraction
+
+
+class FaultPlan:
+    """A parsed, activatable fault schedule.
+
+    Rates live in ``self.rates`` (kind -> probability per opportunity);
+    ``self.fired`` counts what actually fired this process, which the
+    chaos tests use to assert a schedule exercised the classes it
+    promised to.
+    """
+
+    def __init__(self, rates=None, seed=0, limit=1, stall_seconds=0.25,
+                 timeout=None, retries=None, interrupt_after=None):
+        rates = dict(rates or {})
+        for kind in rates:
+            if kind not in FAULT_KINDS:
+                raise PlanError("unknown fault kind {!r}".format(kind))
+        self.rates = rates
+        self.seed = int(seed)
+        self.limit = int(limit)
+        self.stall_seconds = float(stall_seconds)
+        self.timeout = None if timeout is None else float(timeout)
+        self.retries = None if retries is None else int(retries)
+        self.interrupt_after = (
+            None if interrupt_after is None else int(interrupt_after)
+        )
+        #: kind -> number of times the fault actually fired.
+        self.fired = {}
+        #: in-process opportunity counters for sites without a natural
+        #: attempt index: (kind, key) -> opportunities seen so far.
+        self._counters = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"seed=7,bitflip=0.5,..."`` into a plan."""
+        rates = {}
+        knobs = {}
+        for field in text.split(","):
+            field = field.strip()
+            if not field:
+                continue
+            if "=" not in field:
+                raise PlanError(
+                    "fault-plan field {!r} is not key=value".format(field)
+                )
+            name, _, value = field.partition("=")
+            name = name.strip()
+            value = value.strip()
+            try:
+                if name in _KNOBS:
+                    knobs[name] = float(value) if "." in value else int(value)
+                elif name in FAULT_KINDS:
+                    rates[name] = float(value)
+                else:
+                    raise PlanError(
+                        "unknown fault-plan field {!r}".format(name)
+                    )
+            except ValueError as error:
+                raise PlanError(
+                    "bad fault-plan value {!r}: {}".format(field, error)
+                )
+        return cls(rates=rates, **knobs)
+
+    def format(self):
+        """The canonical string form (parses back to an equal plan)."""
+        fields = ["seed={}".format(self.seed)]
+        if self.limit != 1:
+            fields.append("limit={}".format(self.limit))
+        if self.stall_seconds != 0.25:
+            fields.append("stall_seconds={}".format(self.stall_seconds))
+        if self.timeout is not None:
+            fields.append("timeout={}".format(self.timeout))
+        if self.retries is not None:
+            fields.append("retries={}".format(self.retries))
+        if self.interrupt_after is not None:
+            fields.append("interrupt_after={}".format(self.interrupt_after))
+        for kind in FAULT_KINDS:
+            if kind in self.rates:
+                fields.append("{}={}".format(kind, self.rates[kind]))
+        return ",".join(fields)
+
+    # -- decisions ------------------------------------------------------
+
+    def should(self, kind, key, index=None):
+        """Decide one opportunity; deterministic and (usually) bounded.
+
+        ``index`` is the opportunity ordinal for ``(kind, key)`` —
+        retry attempts pass it explicitly so the decision stream is
+        identical no matter which process hosts the retry; sites
+        without a natural ordinal let the per-process counter supply
+        it.  A fault fires at most ``limit`` times per key, except
+        ``poison_unit``, which intentionally fires on every attempt.
+        """
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        if kind == "poison_unit":
+            return _fraction(self.seed, kind, key, 0) < rate
+        if index is None:
+            index = self._counters.get((kind, key), 0)
+            self._counters[(kind, key)] = index + 1
+        if index >= self.limit:
+            return False
+        return _fraction(self.seed, kind, key, index) < rate
+
+    def note_fired(self, kind):
+        self.fired[kind] = self.fired.get(kind, 0) + 1
+
+
+# ----------------------------------------------------------------------
+# Activation
+# ----------------------------------------------------------------------
+
+#: Sentinel distinguishing "no context manager active" (fall through to
+#: the environment) from "a context explicitly masked the plan".
+_UNSET = object()
+_ACTIVE = _UNSET
+_ENV_CACHE = (None, None)  # (env text, parsed plan)
+
+
+def active_plan():
+    """The plan in force, or ``None``.
+
+    A ``fault_plan(...)`` context wins over the environment;
+    ``fault_plan(None)`` masks the environment entirely.  The parsed
+    environment plan is cached per text so the disabled-path cost is a
+    couple of dict lookups.
+    """
+    if _ACTIVE is not _UNSET:
+        return _ACTIVE
+    text = os.environ.get(FAULT_PLAN_ENV)
+    if not text:
+        return None
+    global _ENV_CACHE
+    cached_text, cached_plan = _ENV_CACHE
+    if text != cached_text:
+        _ENV_CACHE = (text, FaultPlan.parse(text))
+    return _ENV_CACHE[1]
+
+
+@contextlib.contextmanager
+def fault_plan(plan):
+    """Activate ``plan`` (a :class:`FaultPlan`, a plan string, or
+    ``None`` to mask any ambient plan) for the dynamic extent.
+
+    The plan is also exported through ``REPRO_FAULT_PLAN`` so worker
+    processes spawned inside the block inherit it.
+    """
+    global _ACTIVE
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    saved_active = _ACTIVE
+    saved_env = os.environ.get(FAULT_PLAN_ENV)
+    _ACTIVE = plan
+    if plan is None:
+        os.environ.pop(FAULT_PLAN_ENV, None)
+    else:
+        os.environ[FAULT_PLAN_ENV] = plan.format()
+    try:
+        yield plan
+    finally:
+        _ACTIVE = saved_active
+        if saved_env is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = saved_env
+
+
+# ----------------------------------------------------------------------
+# Injection sites (all are near-free no-ops when no plan is active)
+# ----------------------------------------------------------------------
+
+
+def should_fire(kind, key, index=None):
+    """Decide-and-count one opportunity under the active plan."""
+    plan = active_plan()
+    if plan is None or not plan.should(kind, key, index):
+        return False
+    plan.note_fired(kind)
+    return True
+
+
+def raise_oserror(kind, key, index=None):
+    """``OSError`` sites: ENOSPC on store, EIO on load."""
+    if should_fire(kind, key, index):
+        code = errno.ENOSPC if kind == "store_oserror" else errno.EIO
+        raise OSError(
+            code,
+            "injected {} ({})".format(os.strerror(code), kind),
+            str(key),
+        )
+
+
+def corrupt_bytes(kind, key, data, index=None):
+    """Return ``data`` with one deterministic bit flipped, or as-is."""
+    if not data or not should_fire(kind, key, index):
+        return data
+    plan = active_plan()
+    digest = hashlib.sha256(
+        "{}:{}:{}".format(plan.seed, kind, key).encode("utf-8")
+    ).digest()
+    position = int.from_bytes(digest[:8], "big") % len(data)
+    bit = digest[8] % 8
+    corrupted = bytearray(data)
+    corrupted[position] ^= 1 << bit
+    return bytes(corrupted)
+
+
+def truncate_bytes(kind, key, data, index=None):
+    """Return a strict prefix of ``data`` (a torn write), or as-is."""
+    if len(data) < 2 or not should_fire(kind, key, index):
+        return data
+    plan = active_plan()
+    digest = hashlib.sha256(
+        "{}:{}:{}".format(plan.seed, kind, key).encode("utf-8")
+    ).digest()
+    keep = int.from_bytes(digest[:8], "big") % (len(data) - 1)
+    return data[:keep]
+
+
+def stall_point(kind, key, index=None):
+    """Sleep ``stall_seconds`` when the stall/pause fault fires."""
+    if should_fire(kind, key, index):
+        time.sleep(active_plan().stall_seconds)
+
+
+def crash_point(key, attempt=0, allow_exit=True):
+    """Worker-side crash/exit/poison sites, in escalating order.
+
+    ``allow_exit=False`` (the in-process/serial path) skips
+    ``pool_break`` — there is no pool to break, and ``os._exit`` would
+    take the parent down with it.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if allow_exit and plan.should("pool_break", key, attempt):
+        plan.note_fired("pool_break")
+        os._exit(3)
+    if plan.should("worker_crash", key, attempt):
+        plan.note_fired("worker_crash")
+        raise WorkerCrash(
+            "injected worker crash (unit {}, attempt {})".format(key, attempt)
+        )
+    if plan.should("poison_unit", key, attempt):
+        plan.note_fired("poison_unit")
+        raise FaultInjected(
+            "injected poisoned unit {} (fails every attempt)".format(key)
+        )
+    if plan.should("worker_stall", key, attempt):
+        plan.note_fired("worker_stall")
+        time.sleep(plan.stall_seconds)
+
+
+def interrupt_point(checkpoints):
+    """Parent-side kill simulation: fire after N journal checkpoints."""
+    plan = active_plan()
+    if plan is None or plan.interrupt_after is None:
+        return
+    if checkpoints >= plan.interrupt_after:
+        plan.interrupt_after = None  # one shot
+        raise KeyboardInterrupt(
+            "injected interrupt after {} checkpoints".format(checkpoints)
+        )

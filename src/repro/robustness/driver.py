@@ -43,9 +43,19 @@ class InjectedFailure(ReproError):
 #: always-hit/always-miss claim, a lint defect) or a pipeline bug.
 STATIC_ANALYSIS_STAGES = frozenset({"staticcheck"})
 
+#: Stages produced by :mod:`repro.faultinject` and the supervised
+#: pool's quarantine path.  A crash carrying one of these is the chaos
+#: schedule at work (or a hardening gap), never a compiler bug — the
+#: family tag keeps injected faults out of real-bug triage queues.
+FAULT_INJECTION_STAGES = frozenset({"faultinject", "quarantine"})
+
 
 def _stage_family(stage):
-    return "static-analysis" if stage in STATIC_ANALYSIS_STAGES else "pipeline"
+    if stage in STATIC_ANALYSIS_STAGES:
+        return "static-analysis"
+    if stage in FAULT_INJECTION_STAGES:
+        return "fault-injection"
+    return "pipeline"
 
 
 def _check_one(source, expected_output, expected_return, max_steps, inject):

@@ -1,9 +1,14 @@
 """The content-addressed artifact cache and trace serialization.
 
 A stored artifact must come back bit-identical (program, trace,
-output, steps); a corrupt entry must silently degrade into a miss; the
-content address must move whenever the source, the annotation
+output, steps); a corrupt entry must degrade into a quarantined miss;
+the content address must move whenever the source, the annotation
 configuration, or the schema moves.
+
+These are mechanism tests asserting exact hit/miss/quarantine
+counters, so they mask any ambient ``REPRO_FAULT_PLAN`` (the chaos CI
+job sets one suite-wide); the fault-injection behaviour of the store
+has its own battery in ``tests/test_artifact_store.py``.
 """
 
 import json
@@ -11,6 +16,7 @@ import os
 
 import pytest
 
+from repro import faultinject
 from repro.evalharness.artifacts import (
     ArtifactCache,
     artifact_key,
@@ -31,6 +37,13 @@ from repro.vm.trace import (
     _encode_deltas,
     _encode_deltas_py,
 )
+
+
+@pytest.fixture(autouse=True)
+def _mask_ambient_fault_plan():
+    with faultinject.fault_plan(None):
+        yield
+
 
 SIMPLE = """
 int main() {
@@ -264,11 +277,16 @@ class TestArtifactCache:
         repaired = cache.resolve("simple", SIMPLE)
         assert cache.misses == 2
         assert repaired.output == artifact.output
-        # The corrupt entry was left in place (same content address);
-        # the recompute did not clobber it, but the next load still
-        # fails cleanly and recomputes.
+        # The corrupt entry was quarantined (never re-read on the next
+        # lookup) and the recompute stored a fresh copy, so the third
+        # resolve is a clean hit.
+        assert cache.quarantined == 1
+        assert [key for key, _ in cache.quarantine_entries()] == [
+            artifact.key
+        ]
         third = cache.resolve("simple", SIMPLE)
         assert third.output == artifact.output
+        assert cache.hits == 1
 
     def test_corrupt_trace_is_a_miss(self, tmp_path):
         cache = ArtifactCache(str(tmp_path))

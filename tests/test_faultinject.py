@@ -1,0 +1,267 @@
+"""The fault-injection framework itself: plans, decisions, sites.
+
+Chaos only earns trust when a failing run replays: every decision must
+be a pure function of ``(seed, kind, key, index)``, a plan must
+round-trip through its string form, and a ``fault_plan(...)`` context
+must win over (or, with ``None``, mask) the ambient
+``REPRO_FAULT_PLAN`` environment plan.
+"""
+
+import errno
+import time
+
+import pytest
+
+from repro import faultinject
+from repro.errors import FaultInjected, WorkerQuarantined, error_signature
+from repro.faultinject import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    PlanError,
+    WorkerCrash,
+    decision_fraction,
+)
+from repro.robustness.driver import _stage_family
+
+
+@pytest.fixture(autouse=True)
+def _mask_ambient_fault_plan():
+    # Every test here builds its own plan; a suite-wide chaos plan (the
+    # chaos CI job exports one) must not leak into the assertions.
+    with faultinject.fault_plan(None):
+        yield
+
+
+class TestPlanParsing:
+    def test_round_trip(self):
+        text = ("seed=7,limit=2,stall_seconds=0.5,timeout=1.5,retries=3,"
+                "interrupt_after=2,bitflip=0.5,worker_crash=0.25")
+        plan = FaultPlan.parse(text)
+        clone = FaultPlan.parse(plan.format())
+        assert clone.seed == 7
+        assert clone.limit == 2
+        assert clone.stall_seconds == 0.5
+        assert clone.timeout == 1.5
+        assert clone.retries == 3
+        assert clone.interrupt_after == 2
+        assert clone.rates == {"bitflip": 0.5, "worker_crash": 0.25}
+        assert clone.format() == plan.format()
+
+    def test_defaults(self):
+        plan = FaultPlan.parse("seed=3")
+        assert plan.rates == {}
+        assert plan.limit == 1
+        assert plan.timeout is None
+        assert plan.retries is None
+        assert plan.interrupt_after is None
+
+    def test_every_kind_parses(self):
+        fields = ",".join("{}=0.5".format(kind) for kind in FAULT_KINDS)
+        plan = FaultPlan.parse("seed=1," + fields)
+        assert set(plan.rates) == set(FAULT_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError):
+            FaultPlan.parse("seed=1,disk_melt=1.0")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(PlanError):
+            FaultPlan.parse("seed=1,bitflip")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(PlanError):
+            FaultPlan.parse("seed=1,bitflip=lots")
+
+    def test_empty_fields_tolerated(self):
+        plan = FaultPlan.parse("seed=2,,bitflip=1.0,")
+        assert plan.seed == 2
+        assert plan.rates == {"bitflip": 1.0}
+
+
+class TestDecisions:
+    def test_fraction_deterministic_and_bounded(self):
+        first = decision_fraction(7, "bitflip", "some/key", 0)
+        again = decision_fraction(7, "bitflip", "some/key", 0)
+        assert first == again
+        assert 0.0 <= first < 1.0
+
+    def test_fraction_varies_with_inputs(self):
+        base = decision_fraction(7, "bitflip", "some/key", 0)
+        assert decision_fraction(8, "bitflip", "some/key", 0) != base
+        assert decision_fraction(7, "torn_write", "some/key", 0) != base
+        assert decision_fraction(7, "bitflip", "other/key", 0) != base
+        assert decision_fraction(7, "bitflip", "some/key", 1) != base
+
+    def test_rate_one_fires_then_limit_stops_it(self):
+        plan = FaultPlan(rates={"bitflip": 1.0}, seed=1)
+        assert plan.should("bitflip", "key")
+        # The per-key counter advanced past ``limit``: transient.
+        assert not plan.should("bitflip", "key")
+        # A different key has its own counter.
+        assert plan.should("bitflip", "other")
+
+    def test_explicit_index_replays_across_plan_instances(self):
+        one = FaultPlan(rates={"worker_crash": 0.5}, seed=9)
+        two = FaultPlan(rates={"worker_crash": 0.5}, seed=9)
+        for attempt in range(4):
+            assert one.should("worker_crash", "unit", index=attempt) == \
+                two.should("worker_crash", "unit", index=attempt)
+
+    def test_explicit_index_beyond_limit_never_fires(self):
+        plan = FaultPlan(rates={"worker_crash": 1.0}, seed=1, limit=2)
+        assert plan.should("worker_crash", "unit", index=0)
+        assert plan.should("worker_crash", "unit", index=1)
+        assert not plan.should("worker_crash", "unit", index=2)
+
+    def test_poison_ignores_limit_and_index(self):
+        plan = FaultPlan(rates={"poison_unit": 1.0}, seed=1)
+        for attempt in range(5):
+            assert plan.should("poison_unit", "unit", index=attempt)
+
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan(seed=1)
+        assert not plan.should("bitflip", "key")
+
+    def test_should_fire_counts(self):
+        with faultinject.fault_plan("seed=1,bitflip=1.0") as plan:
+            assert faultinject.should_fire("bitflip", "key")
+            assert not faultinject.should_fire("bitflip", "key")
+            assert plan.fired == {"bitflip": 1}
+
+
+class TestActivation:
+    def test_no_plan_means_none(self):
+        assert faultinject.active_plan() is None
+        assert not faultinject.should_fire("bitflip", "key")
+
+    def test_context_activates_and_exports_env(self):
+        with faultinject.fault_plan("seed=4,bitflip=1.0") as plan:
+            assert faultinject.active_plan() is plan
+            assert FAULT_PLAN_ENV in __import__("os").environ
+        assert faultinject.active_plan() is None
+
+    def test_context_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=1,bitflip=1.0")
+        with faultinject.fault_plan("seed=2") as plan:
+            assert faultinject.active_plan() is plan
+            assert faultinject.active_plan().seed == 2
+
+    def test_none_masks_env(self, monkeypatch):
+        # Lift this file's ambient mask so the env path is reachable.
+        monkeypatch.setattr(faultinject, "_ACTIVE", faultinject._UNSET)
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=1,bitflip=1.0")
+        assert faultinject.active_plan() is not None
+        with faultinject.fault_plan(None):
+            assert faultinject.active_plan() is None
+        assert faultinject.active_plan() is not None
+
+    def test_env_plan_parsed_once(self, monkeypatch):
+        monkeypatch.setattr(faultinject, "_ACTIVE", faultinject._UNSET)
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=6,torn_write=0.5")
+        first = faultinject.active_plan()
+        assert first.seed == 6
+        # Same text -> the cached parse (its counters persist).
+        assert faultinject.active_plan() is first
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=7,torn_write=0.5")
+        assert faultinject.active_plan().seed == 7
+
+
+class TestSites:
+    def test_corrupt_bytes_flips_exactly_one_bit(self):
+        data = bytes(range(64))
+        with faultinject.fault_plan("seed=5,bitflip=1.0"):
+            flipped = faultinject.corrupt_bytes("bitflip", "key", data)
+        assert flipped != data
+        assert len(flipped) == len(data)
+        delta = [a ^ b for a, b in zip(data, flipped) if a != b]
+        assert len(delta) == 1
+        assert bin(delta[0]).count("1") == 1
+        # Deterministic: a fresh plan with the same seed flips the same bit.
+        with faultinject.fault_plan("seed=5,bitflip=1.0"):
+            assert faultinject.corrupt_bytes("bitflip", "key", data) == flipped
+
+    def test_corrupt_bytes_identity_without_plan(self):
+        data = b"payload"
+        assert faultinject.corrupt_bytes("bitflip", "key", data) is data
+
+    def test_truncate_bytes_strict_prefix(self):
+        data = bytes(range(100))
+        with faultinject.fault_plan("seed=5,torn_write=1.0"):
+            torn = faultinject.truncate_bytes("torn_write", "key", data)
+        assert len(torn) < len(data)
+        assert data.startswith(torn)
+
+    def test_store_oserror_is_enospc(self):
+        with faultinject.fault_plan("seed=1,store_oserror=1.0"):
+            with pytest.raises(OSError) as caught:
+                faultinject.raise_oserror("store_oserror", "key")
+        assert caught.value.errno == errno.ENOSPC
+
+    def test_load_oserror_is_eio(self):
+        with faultinject.fault_plan("seed=1,load_oserror=1.0"):
+            with pytest.raises(OSError) as caught:
+                faultinject.raise_oserror("load_oserror", "key")
+        assert caught.value.errno == errno.EIO
+
+    def test_stall_point_sleeps(self):
+        with faultinject.fault_plan(
+            "seed=1,store_pause=1.0,stall_seconds=0.05"
+        ):
+            start = time.monotonic()
+            faultinject.stall_point("store_pause", "key")
+            assert time.monotonic() - start >= 0.04
+
+    def test_crash_point_worker_crash_is_transient(self):
+        with faultinject.fault_plan("seed=1,worker_crash=1.0"):
+            with pytest.raises(WorkerCrash):
+                faultinject.crash_point("unit", attempt=0)
+            # The retry's attempt index is past the limit: clean.
+            faultinject.crash_point("unit", attempt=1)
+
+    def test_crash_point_poison_fails_every_attempt(self):
+        with faultinject.fault_plan("seed=1,poison_unit=1.0"):
+            for attempt in range(4):
+                with pytest.raises(FaultInjected):
+                    faultinject.crash_point("unit", attempt=attempt)
+
+    def test_crash_point_skips_pool_break_in_process(self):
+        # allow_exit=False is the serial lane: os._exit would take the
+        # parent down, so the pool_break site must be inert there.  If
+        # it were not, this test would not live to assert anything.
+        with faultinject.fault_plan("seed=1,pool_break=1.0"):
+            faultinject.crash_point("unit", attempt=0, allow_exit=False)
+
+    def test_interrupt_point_fires_once_after_threshold(self):
+        with faultinject.fault_plan("seed=1,interrupt_after=2"):
+            faultinject.interrupt_point(1)
+            with pytest.raises(KeyboardInterrupt):
+                faultinject.interrupt_point(2)
+            # One shot: the resumed run must not be re-killed.
+            faultinject.interrupt_point(5)
+
+
+class TestErrorTaxonomy:
+    def test_fault_injected_signature(self):
+        signature = error_signature(FaultInjected("boom"))
+        assert signature[0] == "FaultInjected"
+        assert signature[1] == "faultinject"
+
+    def test_worker_crash_is_fault_injected(self):
+        assert issubclass(WorkerCrash, FaultInjected)
+        assert WorkerCrash("gone").stage == "faultinject"
+
+    def test_worker_quarantined_carries_last_failure(self):
+        quarantined = WorkerQuarantined("towers", 3, WorkerCrash("gone"))
+        assert quarantined.item == "towers"
+        assert quarantined.attempts == 3
+        assert quarantined.last_error_type == "WorkerCrash"
+        assert quarantined.last_stage == "faultinject"
+        assert error_signature(quarantined)[1] == "quarantine"
+        assert "towers" in str(quarantined)
+
+    def test_stage_families_route_to_fault_injection(self):
+        assert _stage_family("faultinject") == "fault-injection"
+        assert _stage_family("quarantine") == "fault-injection"
+        assert _stage_family("staticcheck") == "static-analysis"
+        assert _stage_family("parse") == "pipeline"

@@ -8,6 +8,7 @@ serial ``run_benchmark`` baseline, on all six benchmarks.
 
 import pytest
 
+from repro import faultinject
 from repro.cache.cache import CacheConfig
 from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
 from repro.evalharness.artifacts import ArtifactCache
@@ -56,7 +57,13 @@ class TestEngineEqualsSerial:
             warm = run_benchmark(name, artifact_cache=artifact_cache)
             assert canonical(cold) == canonical(serial_results[name]), name
             assert canonical(warm) == canonical(serial_results[name]), name
-        assert artifact_cache.hits >= len(BENCHMARK_NAMES)
+        if faultinject.active_plan() is None:
+            # Under an ambient REPRO_FAULT_PLAN (the chaos CI job) the
+            # hit count depends on the injection schedule — corrupted
+            # entries quarantine into recorded misses.  Equivalence
+            # above is the invariant; the counter is only meaningful
+            # on a clean run.
+            assert artifact_cache.hits >= len(BENCHMARK_NAMES)
 
     def test_evaluate_unit_matches_serial(self, serial_results,
                                           artifact_cache):

@@ -1,0 +1,277 @@
+"""The supervised evaluation pool under injected failure.
+
+Every supervision mechanism is pinned here with deterministic fault
+plans: crashed workers retry with seeded backoff (pool and serial
+lanes), a broken pool rebuilds, a hung worker is reaped by the
+watchdog, an exhausted rebuild budget falls back to supervised serial
+execution, a poisoned unit is quarantined as a recorded
+``WorkerQuarantined`` failure (never raised past a collector), the
+journal checkpoints outcomes so a killed run resumes bit-identically,
+and ``KeyboardInterrupt`` propagates promptly instead of draining the
+queue.  Every convergent path must land on results bit-identical to
+the clean serial baseline.
+"""
+
+import time
+
+import pytest
+
+from repro import faultinject
+from repro.errors import WorkerQuarantined
+from repro.evalharness.artifacts import ArtifactCache
+from repro.evalharness.parallel import (
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+    EvalUnit,
+    Journal,
+    Supervisor,
+    pool_map,
+    run_units,
+    unit_fingerprint,
+)
+
+
+@pytest.fixture(autouse=True)
+def _mask_ambient_fault_plan():
+    with faultinject.fault_plan(None):
+        yield
+
+
+UNITS = (EvalUnit(name="towers"), EvalUnit(name="queen"))
+
+
+def canonical(results):
+    """Results-per-unit as plain data (None for failed units)."""
+    return [
+        None if batch is None else [r.as_dict() if hasattr(r, "as_dict")
+                                    else _canon(r) for r in batch]
+        for batch in results
+    ]
+
+
+def _canon(result):
+    return {
+        "name": result.name,
+        "unified": result.unified_stats.as_dict(),
+        "conventional": result.conventional_stats.as_dict(),
+        "dynamic": dict(result.dynamic),
+        "output": tuple(result.output),
+        "steps": result.steps,
+    }
+
+
+@pytest.fixture(scope="module")
+def artifact_root(tmp_path_factory):
+    # Shared warm store so repeated attempts cost a load, not a compile.
+    root = str(tmp_path_factory.mktemp("pool-artifacts"))
+    with faultinject.fault_plan(None):
+        cache = ArtifactCache(root)
+        for unit in UNITS:
+            from repro.evalharness.parallel import evaluate_unit
+
+            evaluate_unit(unit, artifact_cache=cache)
+    return root
+
+
+@pytest.fixture(scope="module")
+def baseline(artifact_root):
+    with faultinject.fault_plan(None):
+        results = run_units(
+            list(UNITS), artifact_cache=ArtifactCache(artifact_root)
+        )
+    return canonical(results)
+
+
+def fast_supervisor(**overrides):
+    options = dict(backoff_base=0.01, backoff_cap=0.05, tick=0.02)
+    options.update(overrides)
+    return Supervisor(**options)
+
+
+class TestRetries:
+    def test_worker_crash_retries_in_pool(self, artifact_root, baseline):
+        sup = fast_supervisor()
+        with faultinject.fault_plan("seed=3,worker_crash=1.0"):
+            results = run_units(
+                list(UNITS), jobs=2, supervisor=sup,
+                artifact_cache=ArtifactCache(artifact_root),
+            )
+        assert canonical(results) == baseline
+        assert sup.count("retry") == len(UNITS)
+        assert sup.count("quarantine") == 0
+
+    def test_worker_crash_retries_serial(self, artifact_root, baseline):
+        sup = fast_supervisor()
+        with faultinject.fault_plan("seed=3,worker_crash=1.0"):
+            results = run_units(
+                list(UNITS), supervisor=sup,
+                artifact_cache=ArtifactCache(artifact_root),
+            )
+        assert canonical(results) == baseline
+        assert sup.count("retry") == len(UNITS)
+
+    def test_backoff_is_seeded_and_bounded(self):
+        one = Supervisor(backoff_base=0.05, backoff_cap=1.0, seed=4)
+        two = Supervisor(backoff_base=0.05, backoff_cap=1.0, seed=4)
+        fingerprint = unit_fingerprint(UNITS[0])
+        for attempt in (1, 2, 3):
+            delay = one.backoff(fingerprint, attempt)
+            assert delay == two.backoff(fingerprint, attempt)
+            assert 0.0 < delay <= 1.5 * one.backoff_cap
+
+    def test_supervisor_from_environment(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV, "2.5")
+        monkeypatch.setenv(RETRIES_ENV, "5")
+        sup = Supervisor.from_environment()
+        assert sup.effective_timeout() == 2.5
+        assert sup.effective_attempts() == 6
+
+    def test_plan_supplies_timeout_and_retries(self):
+        sup = Supervisor()
+        with faultinject.fault_plan("seed=1,timeout=3.5,retries=1"):
+            assert sup.effective_timeout() == 3.5
+            assert sup.effective_attempts() == 2
+        assert sup.effective_timeout() is None
+        assert sup.effective_attempts() == Supervisor.DEFAULT_RETRIES + 1
+
+
+class TestQuarantine:
+    def test_poisoned_unit_recorded_not_raised(self, artifact_root):
+        sup = fast_supervisor()
+        failures = []
+        with faultinject.fault_plan("seed=3,poison_unit=1.0"):
+            results = run_units(
+                list(UNITS), jobs=2, supervisor=sup, failures=failures,
+                artifact_cache=ArtifactCache(artifact_root),
+            )
+        assert results == [None, None]
+        assert len(failures) == len(UNITS)
+        for unit, record in zip(UNITS, failures):
+            assert record["item"] == unit.name
+            assert record["error_type"] == "WorkerQuarantined"
+            assert record["stage"] == "quarantine"
+            assert "attempt" in record["message"]
+        assert sup.count("quarantine") == len(UNITS)
+
+    def test_poison_raises_without_collector(self, artifact_root):
+        sup = fast_supervisor()
+        with faultinject.fault_plan("seed=3,poison_unit=1.0"):
+            with pytest.raises(WorkerQuarantined) as caught:
+                run_units(
+                    [EvalUnit(name="towers")], supervisor=sup,
+                    artifact_cache=ArtifactCache(artifact_root),
+                )
+        assert caught.value.item == "towers"
+        assert caught.value.attempts == sup.effective_attempts()
+
+
+class TestPoolSurvival:
+    def test_pool_break_rebuilds_and_converges(self, artifact_root,
+                                               baseline):
+        sup = fast_supervisor()
+        failures = []
+        with faultinject.fault_plan("seed=3,pool_break=1.0"):
+            results = run_units(
+                list(UNITS), jobs=2, supervisor=sup, failures=failures,
+                artifact_cache=ArtifactCache(artifact_root),
+            )
+        assert failures == []
+        assert canonical(results) == baseline
+        assert sup.count("pool-rebuild") >= 1
+
+    def test_stalled_worker_reaped_by_watchdog(self, artifact_root,
+                                               baseline):
+        # Watchdog well above the honest (warm-cache) unit time, well
+        # below the stall — a slow-but-healthy retry must not be reaped.
+        sup = fast_supervisor(timeout=2.0)
+        failures = []
+        with faultinject.fault_plan(
+            "seed=3,worker_stall=1.0,stall_seconds=6"
+        ):
+            results = run_units(
+                list(UNITS), jobs=2, supervisor=sup, failures=failures,
+                artifact_cache=ArtifactCache(artifact_root),
+            )
+        assert failures == []
+        assert canonical(results) == baseline
+        assert sup.count("timeout") >= 1
+        assert sup.count("pool-rebuild") >= 1
+
+    def test_serial_fallback_when_rebuild_budget_spent(self, artifact_root,
+                                                       baseline):
+        sup = fast_supervisor(rebuilds=0)
+        failures = []
+        with faultinject.fault_plan("seed=3,pool_break=1.0"):
+            results = run_units(
+                list(UNITS), jobs=2, supervisor=sup, failures=failures,
+                artifact_cache=ArtifactCache(artifact_root),
+            )
+        assert failures == []
+        assert canonical(results) == baseline
+        assert sup.count("serial-fallback") == 1
+
+
+class TestJournal:
+    def test_resume_skips_completed_units(self, tmp_path, artifact_root,
+                                          baseline):
+        path = str(tmp_path / "journal.bin")
+        first = run_units(
+            list(UNITS), journal=path,
+            artifact_cache=ArtifactCache(artifact_root),
+        )
+        assert canonical(first) == baseline
+        sup = fast_supervisor()
+        second = run_units(list(UNITS), journal=path, supervisor=sup)
+        assert canonical(second) == baseline
+        assert sup.count("journal-hit") == len(UNITS)
+        assert sup.count("checkpoint") == 0
+
+    def test_torn_tail_tolerated(self, tmp_path, artifact_root, baseline):
+        path = str(tmp_path / "journal.bin")
+        run_units(
+            list(UNITS), journal=path,
+            artifact_cache=ArtifactCache(artifact_root),
+        )
+        with open(path, "ab") as handle:
+            handle.write(b"\xff\x00\x00\x00TORNFRAME")  # truncated frame
+        journal = Journal(path)
+        assert len(journal.entries) == len(UNITS)
+        sup = fast_supervisor()
+        results = run_units(list(UNITS), journal=journal, supervisor=sup)
+        assert canonical(results) == baseline
+        assert sup.count("journal-hit") == len(UNITS)
+
+    def test_injected_interrupt_then_resume_bit_identical(
+            self, tmp_path, artifact_root, baseline):
+        path = str(tmp_path / "journal.bin")
+        sup = fast_supervisor()
+        with faultinject.fault_plan("seed=5,interrupt_after=1"):
+            with pytest.raises(KeyboardInterrupt):
+                run_units(
+                    list(UNITS), jobs=2, journal=path, supervisor=sup,
+                    artifact_cache=ArtifactCache(artifact_root),
+                )
+        completed = Journal(path)
+        assert 1 <= len(completed.entries) < len(UNITS) + 1
+        resumed = run_units(
+            list(UNITS), jobs=2, journal=path,
+            artifact_cache=ArtifactCache(artifact_root),
+        )
+        assert canonical(resumed) == baseline
+
+
+def _ki_worker(payload):
+    if payload == 0:
+        raise KeyboardInterrupt()
+    time.sleep(3)
+    return payload
+
+
+class TestInterruptPropagation:
+    def test_pool_map_propagates_interrupt_promptly(self):
+        start = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            pool_map(_ki_worker, [0, 1, 2, 3, 4, 5], jobs=2)
+        # Queued payloads were cancelled, not drained: well under the
+        # 3s one in-flight sleeper needs, let alone the queue's 12s.
+        assert time.monotonic() - start < 2.5
