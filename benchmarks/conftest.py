@@ -57,41 +57,50 @@ def traced_benchmark(name, options=None):
     return _trace_cache[key]
 
 
-_robustness_timings = []
+#: Bench modules whose call-phase timings get their own JSON record:
+#: {nodeid substring: (accumulator, output filename)}.
+_timing_sinks = {
+    "bench_robustness": ([], "BENCH_robustness.json"),
+    "bench_staticcheck": ([], "BENCH_staticcheck.json"),
+}
 
 
 def pytest_runtest_logreport(report):
-    """Collect call-phase durations of the robustness benches."""
-    if report.when == "call" and "bench_robustness" in report.nodeid:
-        entry = {
-            "test": report.nodeid.split("::")[-1],
-            "seconds": round(report.duration, 4),
-            "outcome": report.outcome,
-        }
-        # Benches publish derived metrics (e.g. the fault-hook share of
-        # a warm artifact hit) via ``record_property``.
-        for name, value in report.user_properties:
-            entry[name] = value
-        _robustness_timings.append(entry)
+    """Collect call-phase durations of the tracked bench modules."""
+    if report.when != "call":
+        return
+    for marker, (timings, _path) in _timing_sinks.items():
+        if marker in report.nodeid:
+            entry = {
+                "test": report.nodeid.split("::")[-1],
+                "seconds": round(report.duration, 4),
+                "outcome": report.outcome,
+            }
+            # Benches publish derived metrics (e.g. the exact pass's
+            # step count) via ``record_property``.
+            for name, value in report.user_properties:
+                entry[name] = value
+            timings.append(entry)
 
 
 def pytest_sessionfinish(session):
-    """Emit ``BENCH_robustness.json`` so the robustness layer's cost
+    """Emit the per-module BENCH_*.json records so each layer's cost
     trajectory accumulates alongside the other benchmark records."""
-    if not _robustness_timings:
-        return
-    record = {
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "timings": _robustness_timings,
-    }
-    out_path = os.path.join(
-        str(session.config.rootdir), "BENCH_robustness.json"
-    )
-    with open(out_path, "w") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    for timings, filename in _timing_sinks.values():
+        if not timings:
+            continue
+        record = {
+            "generated_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "timings": timings,
+        }
+        out_path = os.path.join(str(session.config.rootdir), filename)
+        with open(out_path, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
 
 
 @pytest.fixture

@@ -65,7 +65,12 @@ def _read_source(args, parser):
         return generate_program(args.seed).source
     if args.file is None:
         parser.error("a source file (or --seed N) is required")
-    return sys.stdin.read() if args.file == "-" else open(args.file).read()
+    if args.file == "-":
+        return sys.stdin.read()
+    try:
+        return open(args.file).read()
+    except OSError as error:
+        parser.error("cannot read {}: {}".format(args.file, error.strerror))
 
 
 def _add_compile_args(parser):
@@ -129,6 +134,17 @@ def main_figure5(argv=None):
     parser.add_argument("--hierarchy", default=None, metavar="SPEC",
                         help="also print the L1/L2 hierarchy table for "
                              "this geometry, e.g. L1:64x2,L2:512x8")
+    parser.add_argument("--static-predictor", action="store_true",
+                        help="also print the static-only hit-ratio "
+                             "predictor versus the simulator (exit "
+                             "non-zero if an exact prediction disagrees)")
+    parser.add_argument("--promotion", default=None,
+                        choices=["none", "modest", "aggressive"],
+                        help="override the Figure 5 register-promotion "
+                             "level (default: the figure's 'modest'; "
+                             "'none' exposes the full reference stream, "
+                             "where the static predictor decides the "
+                             "most benchmarks exactly)")
     args = parser.parse_args(argv)
     cache = CacheConfig(
         size_words=args.cache_words,
@@ -141,8 +157,18 @@ def main_figure5(argv=None):
         from repro.evalharness.artifacts import ArtifactCache
 
         artifact_cache = ArtifactCache(args.artifact_cache)
+    from repro.evalharness.figure5 import figure5_options
+
+    options = figure5_options()
+    if args.promotion is not None:
+        options = CompilationOptions(
+            scheme=options.scheme,
+            promotion=args.promotion,
+            promotion_budget=options.promotion_budget,
+        )
     rows = figure5_table(
         paper_scale=args.paper_scale,
+        options=options,
         cache_config=cache,
         names=tuple(args.benchmarks) if args.benchmarks else BENCHMARK_NAMES,
         jobs=args.jobs,
@@ -150,6 +176,26 @@ def main_figure5(argv=None):
         journal=args.journal,
     )
     print(format_figure5(rows))
+    status = 0
+    if args.static_predictor:
+        from repro.evalharness.figure5 import (
+            format_static_predictor,
+            static_predictor_table,
+        )
+
+        predictor_rows = static_predictor_table(
+            paper_scale=args.paper_scale,
+            options=options,
+            cache_config=cache,
+            names=(tuple(args.benchmarks) if args.benchmarks
+                   else BENCHMARK_NAMES),
+        )
+        print()
+        print(format_static_predictor(predictor_rows))
+        if not all(row.ok for row in predictor_rows):
+            print("FAIL: an exact static prediction disagrees with the "
+                  "simulator", file=sys.stderr)
+            status = 1
     if args.hierarchy:
         from repro.evalharness.sweeps import hierarchy_sweep
         from repro.evalharness.tables import format_table
@@ -174,7 +220,7 @@ def main_figure5(argv=None):
              "L2 local miss", "memory words"],
             table_rows,
         ))
-    return 0
+    return status
 
 
 @_structured_errors

@@ -145,6 +145,159 @@ def average_row(rows):
     )
 
 
+@dataclass
+class StaticPredictorRow:
+    """Predicted-vs-simulated hit counts for one benchmark.
+
+    ``exact`` — the analysis decided every through-cache event with a
+    definite verdict, so the prediction claims equality with the
+    simulator.  ``agrees`` — that claim held.  ``excuse`` — why a
+    non-exact benchmark is excused (input-dependent references, an
+    unsupported geometry); a row *fails* only when ``exact`` and not
+    ``agrees``.
+    """
+
+    name: str
+    predicted_hits: int = 0
+    predicted_misses: int = 0
+    simulated_hits: int = 0
+    simulated_misses: int = 0
+    unpredicted: int = 0
+    exact: bool = False
+    excuse: str = ""
+
+    @property
+    def agrees(self):
+        return (
+            self.exact
+            and self.predicted_hits == self.simulated_hits
+            and self.predicted_misses == self.simulated_misses
+        )
+
+    @property
+    def ok(self):
+        """An exact prediction must agree; a non-exact one is excused."""
+        return self.agrees if self.exact else True
+
+    @staticmethod
+    def _ratio(hits, misses):
+        total = hits + misses
+        return 100.0 * hits / total if total else 0.0
+
+    @property
+    def predicted_hit_ratio(self):
+        return self._ratio(self.predicted_hits, self.predicted_misses)
+
+    @property
+    def simulated_hit_ratio(self):
+        return self._ratio(self.simulated_hits, self.simulated_misses)
+
+
+def static_predictor_table(
+    paper_scale=False,
+    options=None,
+    cache_config=DEFAULT_CACHE,
+    names=BENCHMARK_NAMES,
+    exact_budget=None,
+):
+    """The static-only predictor versus the simulator, per benchmark.
+
+    Each benchmark is compiled once; the simulated side replays the
+    recorded trace through the reference cache (the numbers behind the
+    golden Figure 5 values for the same options/geometry), while the
+    predicted side re-executes under
+    :class:`~repro.staticcheck.predictor.PredictingMemory` — flat
+    memory, no cache state, hits and misses read off the verdict tiers
+    alone.  On every benchmark where the analysis decides all events
+    (``exact``), the two must match count-for-count.
+    """
+    from repro.evalharness.experiment import run_compiled
+    from repro.programs import get_benchmark
+    from repro.staticcheck import StaticCheckError
+    from repro.staticcheck.predictor import predict_program
+    from repro.unified.pipeline import compile_source
+
+    if options is None:
+        options = figure5_options()
+    rows = []
+    for name in names:
+        bench = get_benchmark(name, paper_scale)
+        program = compile_source(bench.source, options)
+        result = run_compiled(
+            name, program, expected_output=bench.expected_output,
+            cache_config=cache_config,
+        )
+        stats = result.unified_stats
+        try:
+            prediction = predict_program(
+                program, cache_config, exact_budget=exact_budget
+            )
+        except StaticCheckError as error:
+            rows.append(StaticPredictorRow(
+                name=name,
+                simulated_hits=stats.hits,
+                simulated_misses=stats.misses,
+                excuse="geometry outside the model: {}".format(error),
+            ))
+            continue
+        if prediction.exact:
+            excuse = ""
+        else:
+            sample = sorted(prediction.unpredicted_sites.items())
+            excuse = "{} unpredicted events (e.g. {} [{}])".format(
+                prediction.unpredicted,
+                sample[0][0] if sample else "?",
+                sample[0][1] if sample else "?",
+            )
+        rows.append(StaticPredictorRow(
+            name=name,
+            predicted_hits=prediction.hits,
+            predicted_misses=prediction.misses,
+            simulated_hits=stats.hits,
+            simulated_misses=stats.misses,
+            unpredicted=prediction.unpredicted,
+            exact=prediction.exact,
+            excuse=excuse,
+        ))
+    return rows
+
+
+def format_static_predictor(rows):
+    """Render the predictor-vs-simulator comparison."""
+    body = []
+    for row in rows:
+        if row.exact:
+            status = "exact, {}".format(
+                "agrees" if row.agrees else "DISAGREES"
+            )
+        else:
+            status = "excused ({})".format(row.excuse or "not exact")
+        body.append([
+            row.name,
+            "{}/{}".format(row.predicted_hits, row.predicted_misses),
+            "{}/{}".format(row.simulated_hits, row.simulated_misses),
+            "{:.2f}".format(row.predicted_hit_ratio) if row.exact else "-",
+            "{:.2f}".format(row.simulated_hit_ratio),
+            status,
+        ])
+    table = format_table(
+        ["benchmark", "predicted h/m", "simulated h/m",
+         "pred hit%", "sim hit%", "status"],
+        body,
+        title="static-only predictor vs cache simulator",
+    )
+    exact_rows = [row for row in rows if row.exact]
+    note = (
+        "\n{} of {} benchmarks fully decided statically; every exact "
+        "prediction {} the simulator".format(
+            len(exact_rows), len(rows),
+            "matches" if all(row.agrees for row in exact_rows)
+            else "DOES NOT match",
+        )
+    )
+    return table + note
+
+
 def format_figure5(rows, include_chart=True):
     """Render the reproduced Figure 5 as table + bar chart."""
     avg = average_row(rows)

@@ -1,17 +1,27 @@
 """Compile-time correctness tooling for the unified model.
 
-Three layers (see ``docs/STATIC_ANALYSIS.md``):
+Five layers (see ``docs/STATIC_ANALYSIS.md``):
 
 1. :mod:`repro.staticcheck.mustmay` — Ferdinand-style must/may
    abstract cache analysis over the post-allocation CFG, extended with
    the paper's bypass/kill semantics, classifying every static memory
    reference as *always-hit*, *always-miss*, or *unknown*.
-2. :mod:`repro.staticcheck.linter` — the annotation soundness linter:
+2. :mod:`repro.staticcheck.uncertainty` — the definitely-unknown
+   pre-pass: the install footprint, per-set demand certificates, and
+   the routing that separates *input-dependent* residuals (no
+   address-insensitive analysis can do better) from true exact-pass
+   candidates.
+3. :mod:`repro.staticcheck.exact` — the bounded exact refinement:
+   per-set explicit-state exploration of the focused references,
+   upgrading residual unknowns to *exact-hit* / *exact-miss* /
+   *exact-persistent*.
+4. :mod:`repro.staticcheck.linter` — the annotation soundness linter:
    verifies the compiler's own bypass/kill output against the alias
    and memory-liveness analyses.
-3. :mod:`repro.staticcheck.crossval` — dynamic cross-validation: runs
-   the VM against the real cache model and asserts every always-hit
-   reference actually hits and every always-miss reference misses.
+5. :mod:`repro.staticcheck.crossval` — dynamic cross-validation: runs
+   the VM against the real cache model and audits every definite
+   verdict per event (hit/miss constants directly, persistent
+   verdicts against the replayed presence history).
 
 All failures raise :class:`StaticCheckError` (stage ``staticcheck``)
 so the fuzz driver and the evaluation harness can tell analysis
@@ -34,20 +44,37 @@ class StaticCheckError(ReproError):
 
 
 from repro.staticcheck.mustmay import (  # noqa: E402
+    DEFINITE_VERDICTS,
+    TIER_OF,
+    TIERS,
     Classification,
     ModuleCacheAnalysis,
     analyze_program,
 )
 from repro.staticcheck.linter import LintViolation, lint_module, lint_program  # noqa: E402
 from repro.staticcheck.crossval import cross_validate  # noqa: E402
+from repro.staticcheck.uncertainty import Footprint, compute_footprint  # noqa: E402
+from repro.staticcheck.exact import (  # noqa: E402
+    DEFAULT_EXACT_BUDGET,
+    RefinementReport,
+    refine_analysis,
+)
 
 __all__ = [
     "Classification",
+    "DEFAULT_EXACT_BUDGET",
+    "DEFINITE_VERDICTS",
+    "Footprint",
     "LintViolation",
     "ModuleCacheAnalysis",
+    "RefinementReport",
     "StaticCheckError",
+    "TIER_OF",
+    "TIERS",
     "analyze_program",
+    "compute_footprint",
     "cross_validate",
     "lint_module",
     "lint_program",
+    "refine_analysis",
 ]

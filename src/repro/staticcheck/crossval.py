@@ -12,9 +12,19 @@ worth knowing about immediately.
 The contract checked per dynamic memory reference, before the access
 is applied:
 
-* ``ALWAYS_HIT``  → ``cache.probe(address)`` is True;
-* ``ALWAYS_MISS`` → ``cache.probe(address)`` is False;
-* ``UNKNOWN``     → nothing (but counted, for the precision summary).
+* ``ALWAYS_HIT`` / ``EXACT_HIT``   → ``cache.probe(address)`` is True;
+* ``ALWAYS_MISS`` / ``EXACT_MISS`` → ``cache.probe(address)`` is False;
+* ``EXACT_PERSISTENT`` → ``cache.probe(address)`` equals the presence
+  history the validator replays itself: an address is predicted
+  present exactly when it was installed through the cache and not
+  since removed by a bypass or kill.  The certificate behind the
+  verdict (:mod:`repro.staticcheck.uncertainty`) proves the involved
+  sets never evict, which is precisely what makes this history exact —
+  so the audit doubles as a check of the certificate.
+* ``INPUT_DEPENDENT`` → nothing: the verdict *is* "either outcome can
+  happen"; the event is counted as decided (the analysis finished
+  with it) but not definite.
+* ``UNKNOWN`` → nothing (counted, for the precision summary).
 
 Static sites are keyed by RefInfo identity: each Load/Store owns one
 :class:`~repro.ir.instructions.RefInfo` and the VM hands exactly that
@@ -25,7 +35,12 @@ static classifications with no trace-format changes.
 from repro.cache.cache import CacheConfig
 from repro.cache.semantics import UnifiedCache
 from repro.staticcheck import StaticCheckError
-from repro.staticcheck.mustmay import Classification, analyze_program
+from repro.staticcheck.mustmay import (
+    TIER_OF,
+    TIERS,
+    Classification,
+    analyze_program,
+)
 from repro.vm.memory import FlatMemory, MemorySystem
 
 
@@ -69,17 +84,43 @@ class ValidatingMemory(MemorySystem):
         self.mismatches = []
         self.events_total = 0
         self.events_classified = 0
+        self.event_tiers = {tier: 0 for tier in TIERS}
         self._predictions = analysis.predictions
         self._sites = {id(site.ref): site for site in analysis.sites}
+        # The presence history behind exact-persistent audits: which
+        # addresses are currently installed through the cache.  Exact
+        # for every address living in a certified (eviction-free) set;
+        # persistent verdicts are only ever issued for those.
+        self._installed = set()
+        self._honor_bypass = analysis.config.honor_bypass
+        self._honor_kill = analysis.config.honor_kill
+
+    _HIT_VERDICTS = frozenset(
+        {Classification.ALWAYS_HIT, Classification.EXACT_HIT}
+    )
+    _MISS_VERDICTS = frozenset(
+        {Classification.ALWAYS_MISS, Classification.EXACT_MISS}
+    )
 
     def _audit(self, address, ref):
         self.events_total += 1
         verdict = self._predictions.get(id(ref))
-        if verdict is None or verdict is Classification.UNKNOWN:
+        if verdict is None:
+            self.event_tiers["unknown"] += 1
+            self._track(address, ref)
+            return
+        self.event_tiers[TIER_OF[verdict]] += 1
+        if verdict in self._HIT_VERDICTS:
+            expected = True
+        elif verdict in self._MISS_VERDICTS:
+            expected = False
+        elif verdict is Classification.EXACT_PERSISTENT:
+            expected = address in self._installed
+        else:  # UNKNOWN / INPUT_DEPENDENT: nothing to audit.
+            self._track(address, ref)
             return
         self.events_classified += 1
         present = self.cache.probe(address)
-        expected = verdict is Classification.ALWAYS_HIT
         if present != expected and len(self.mismatches) < self.max_mismatches:
             self.mismatches.append(
                 Mismatch(
@@ -90,6 +131,21 @@ class ValidatingMemory(MemorySystem):
                     present,
                 )
             )
+        self._track(address, ref)
+
+    def _track(self, address, ref):
+        """Replay the presence history (one-word lines, write-allocate,
+        invalidate-mode kills — the geometries the analysis models).
+        A through access leaves the block installed; a bypass or kill
+        leaves it absent (a killed read misses around the cache, a
+        killed write retires its own line after the transient
+        allocate)."""
+        if (ref.bypass and self._honor_bypass) or (
+            ref.kill and self._honor_kill
+        ):
+            self._installed.discard(address)
+        else:
+            self._installed.add(address)
 
     def read(self, address, ref):
         self._audit(address, ref)
@@ -112,7 +168,7 @@ class CrossValidationReport:
     """Outcome of one validated execution under one geometry."""
 
     __slots__ = ("analysis", "config", "mismatches", "events_total",
-                 "events_classified", "result")
+                 "events_classified", "event_tiers", "result")
 
     def __init__(self, analysis, memory, result):
         self.analysis = analysis
@@ -120,6 +176,7 @@ class CrossValidationReport:
         self.mismatches = memory.mismatches
         self.events_total = memory.events_total
         self.events_classified = memory.events_classified
+        self.event_tiers = memory.event_tiers
         self.result = result
 
     @property
@@ -129,10 +186,29 @@ class CrossValidationReport:
     @property
     def dynamic_classified_percent(self):
         """% of dynamic data references whose static site carried a
-        definite (always-hit / always-miss) classification."""
+        definite (audited per-event) verdict: the always + exact
+        tiers."""
         if not self.events_total:
             return 0.0
         return 100.0 * self.events_classified / self.events_total
+
+    @property
+    def dynamic_decided_percent(self):
+        """% of dynamic references whose site the analysis finished
+        with — definite verdicts plus the input-dependent tier (where
+        "both outcomes happen" *is* the answer)."""
+        if not self.events_total:
+            return 0.0
+        decided = self.events_total - self.event_tiers["unknown"]
+        return 100.0 * decided / self.events_total
+
+    def tier_percents(self):
+        """{tier: % of dynamic events} for the reporting breakout."""
+        total = self.events_total or 1
+        return {
+            tier: 100.0 * count / total
+            for tier, count in self.event_tiers.items()
+        }
 
     def describe_geometry(self):
         return "{}w/{}-way/{}".format(
@@ -150,6 +226,8 @@ def cross_validate(
     analysis=None,
     raise_on_mismatch=False,
     globals_init=None,
+    exact=False,
+    exact_budget=None,
 ):
     """Run ``program`` once, auditing the analysis's claims.
 
@@ -157,11 +235,17 @@ def cross_validate(
     ``raise_on_mismatch`` the first contradiction becomes a
     :class:`~repro.staticcheck.StaticCheckError` (stage
     ``staticcheck``, kind ``crossval``) after the run completes.
+    ``exact`` (used when no ready ``analysis`` is passed) runs the
+    exact refinement pass before validating, so its verdicts get
+    audited too.
     """
     if cache_config is None:
         cache_config = CacheConfig()
     if analysis is None:
-        analysis = analyze_program(program, cache_config, entry=entry)
+        analysis = analyze_program(
+            program, cache_config, entry=entry, exact=exact,
+            exact_budget=exact_budget,
+        )
     memory = ValidatingMemory(analysis)
     kwargs = {}
     if max_steps is not None:

@@ -46,9 +46,57 @@ from repro.staticcheck.locations import is_word, resolve_target
 
 
 class Classification(Enum):
+    """The verdict lattice, in three tiers plus the residue.
+
+    * **always** tier — proved by the must/may abstract interpretation
+      alone: the outcome is the same constant in *every* execution.
+    * **exact** tier — proved by the refinement pass
+      (:mod:`repro.staticcheck.exact` / ``uncertainty``):
+      ``EXACT_HIT``/``EXACT_MISS`` are constants established by
+      explicit-state exploration; ``EXACT_PERSISTENT`` marks a
+      reference whose blocks live in provably eviction-free sets, so
+      each event hits exactly when its address was installed and not
+      since removed — per-event predictable and audited, though not a
+      constant.
+    * **input-dependent** tier — both outcomes are consistent with the
+      address-insensitive collecting semantics: no analysis at this
+      abstraction can (or should) decide the reference, because the
+      outcome turns on run-time values.  Decided-but-indefinite.
+    * ``UNKNOWN`` — the residue: nothing above applies (dead code,
+      unmodeled frame words, exhausted exploration budget).
+    """
+
     ALWAYS_HIT = "always-hit"
     ALWAYS_MISS = "always-miss"
+    EXACT_HIT = "exact-hit"
+    EXACT_MISS = "exact-miss"
+    EXACT_PERSISTENT = "exact-persistent"
+    INPUT_DEPENDENT = "input-dependent"
     UNKNOWN = "unknown"
+
+
+#: Verdicts carrying a per-event prediction the cross-validator audits.
+DEFINITE_VERDICTS = frozenset({
+    Classification.ALWAYS_HIT,
+    Classification.ALWAYS_MISS,
+    Classification.EXACT_HIT,
+    Classification.EXACT_MISS,
+    Classification.EXACT_PERSISTENT,
+})
+
+#: Verdict -> reporting tier (the CLI/JSON breakout buckets).
+TIER_OF = {
+    Classification.ALWAYS_HIT: "always",
+    Classification.ALWAYS_MISS: "always",
+    Classification.EXACT_HIT: "exact",
+    Classification.EXACT_MISS: "exact",
+    Classification.EXACT_PERSISTENT: "exact",
+    Classification.INPUT_DEPENDENT: "input-dependent",
+    Classification.UNKNOWN: "unknown",
+}
+
+#: The tiers, in reporting order.
+TIERS = ("always", "exact", "input-dependent", "unknown")
 
 
 class Site:
@@ -165,7 +213,8 @@ class ModuleCacheAnalysis:
     site's :class:`Classification`.
     """
 
-    def __init__(self, module, alias, cache_config=None, entry="main"):
+    def __init__(self, module, alias, cache_config=None, entry="main",
+                 exact=False, exact_budget=None):
         if cache_config is None:
             cache_config = CacheConfig()
         check_geometry(cache_config)
@@ -187,6 +236,15 @@ class ModuleCacheAnalysis:
         self.predictions = {
             id(site.ref): site.classification for site in self.sites
         }
+        # The exact refinement layer is strictly opt-in: the must/may
+        # result above is bit-identical with or without it, and every
+        # caller that pins golden output (the Figure 5 static column,
+        # the parallel-smoke report diffs) runs without it.
+        self.refinement = None
+        if exact:
+            from repro.staticcheck.exact import refine_analysis
+
+            self.refinement = refine_analysis(self, budget=exact_budget)
 
     # ------------------------------------------------------------------
     # Reference decoding.
@@ -413,9 +471,21 @@ class ModuleCacheAnalysis:
             result[site.classification.value] += 1
         return result
 
+    def tier_counts(self):
+        """Site counts per reporting tier (always/exact/input-dependent
+        /unknown) — the breakout the CI gate message names."""
+        result = {tier: 0 for tier in TIERS}
+        for site in self.sites:
+            result[TIER_OF[site.classification]] += 1
+        return result
+
     @property
     def static_classified_percent(self):
-        """% of static sites classified (always-hit or always-miss)."""
+        """% of static sites decided — any verdict but ``unknown``.
+
+        Without the exact layer this is exactly the old definite
+        ratio (the input-dependent tier only exists after refinement).
+        """
         if not self.sites:
             return 0.0
         classified = sum(
@@ -424,6 +494,19 @@ class ModuleCacheAnalysis:
             if site.classification is not Classification.UNKNOWN
         )
         return 100.0 * classified / len(self.sites)
+
+    @property
+    def static_definite_percent(self):
+        """% of static sites with an auditable per-event prediction
+        (the always + exact tiers)."""
+        if not self.sites:
+            return 0.0
+        definite = sum(
+            1
+            for site in self.sites
+            if site.classification in DEFINITE_VERDICTS
+        )
+        return 100.0 * definite / len(self.sites)
 
     @property
     def static_bypass_percent(self):
@@ -435,15 +518,27 @@ class ModuleCacheAnalysis:
         return 100.0 * sum(1 for s in self.sites if s.bypass) / len(self.sites)
 
 
-def analyze_module(module, alias=None, cache_config=None, entry="main"):
-    """Analyse an annotated module; builds an alias analysis if needed."""
+def analyze_module(module, alias=None, cache_config=None, entry="main",
+                   exact=False, exact_budget=None):
+    """Analyse an annotated module; builds an alias analysis if needed.
+
+    With ``exact=True`` the refinement pass (uncertainty filter +
+    explicit-state exploration, bounded by ``exact_budget`` transfer
+    steps) runs after the must/may fixpoint and retires residual
+    unknowns into the exact and input-dependent tiers.
+    """
     if alias is None:
         alias = AliasAnalysis(module)
-    return ModuleCacheAnalysis(module, alias, cache_config, entry=entry)
+    return ModuleCacheAnalysis(
+        module, alias, cache_config, entry=entry, exact=exact,
+        exact_budget=exact_budget,
+    )
 
 
-def analyze_program(program, cache_config=None, entry="main"):
+def analyze_program(program, cache_config=None, entry="main", exact=False,
+                    exact_budget=None):
     """Analyse a :class:`~repro.unified.pipeline.CompiledProgram`."""
     return ModuleCacheAnalysis(
-        program.module, program.alias, cache_config, entry=entry
+        program.module, program.alias, cache_config, entry=entry,
+        exact=exact, exact_budget=exact_budget,
     )

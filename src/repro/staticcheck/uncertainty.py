@@ -1,0 +1,247 @@
+"""The definitely-unknown pre-pass: demand certificates and residual
+routing.
+
+The must/may analysis (:mod:`repro.staticcheck.mustmay`) leaves a
+reference ``UNKNOWN`` when neither constant verdict is provable.  This
+module is the Touzeau-style *uncertainty filter* in front of the exact
+pass (:mod:`repro.staticcheck.exact`): it separates the residual
+unknowns that are still worth deciding exactly from the ones whose
+outcome genuinely depends on run-time data, so the expensive
+exploration only ever visits true candidates.
+
+Two cheap, exact instruments:
+
+* **The install footprint** — every concrete word the program can ever
+  install through the cache, gathered from the reachable sites'
+  resolved targets.  Bypassed references never install; killed reads
+  are served around the cache; killed writes install transiently (they
+  can evict a victim before invalidating themselves) and therefore do
+  count.
+* **Per-set demand certificates** — with one-word lines, a cache set
+  whose entire demand (the number of distinct footprint words mapping
+  to it) fits in the associativity can *never* evict: at any install
+  the resident blocks are a subset of the demand set minus the
+  incoming block, so there is always room.  The arithmetic is exact
+  for any demand-eviction policy (LRU/FIFO/Random all evict only on a
+  conflict miss in a full set).
+
+A certified set turns presence into pure history: a block is resident
+exactly when it has been installed since its last bypass/kill removal.
+That is the ``exact-persistent`` verdict — per-event predictable (and
+audited) without any replacement-order reasoning.
+
+Residual routing (:func:`route_residuals`), per unknown site:
+
+* all candidate words concrete and every touched set certified →
+  ``exact-persistent``;
+* a single concrete candidate word → candidate for the explicit-state
+  exploration (with the persistent certificate as fallback);
+* an ambiguous or multi-word region target that is not fully
+  certified → ``input-dependent``: the address-insensitive model lets
+  the reference pick any region element, and both a cold element
+  (miss) and a just-touched element (hit) are consistent with the
+  abstraction, so no address-insensitive analysis can decide the
+  outcome — it depends on the run-time index values;
+* a single frame word (address unknown relative to the set mapping) →
+  stays ``UNKNOWN``.
+"""
+
+from repro.staticcheck.locations import AMBIG, STACK, describe_loc
+
+#: Routing kinds returned by :func:`route_residuals`.
+ROUTE_PERSISTENT = "persistent"
+ROUTE_INPUT_DEPENDENT = "input-dependent"
+ROUTE_EXPLORE = "explore"
+ROUTE_UNKNOWN = "unknown"
+
+
+def expand_location(loc):
+    """The concrete word addresses of a location, or ``None``.
+
+    Only global locations have compile-time addresses; frame words sit
+    at an unknown offset from the global segment and the summaries
+    (``AMBIG``/``STACK``) have no address at all.
+    """
+    tag = loc[0]
+    if tag == "g":
+        return (loc[1],)
+    if tag == "ga":
+        return tuple(range(loc[1], loc[1] + loc[2]))
+    return None
+
+
+def location_window(loc):
+    """How many distinct words the location may cover (2 = "many")."""
+    tag = loc[0]
+    if tag in ("g", "f"):
+        return 1
+    if tag == "ga":
+        return loc[2]
+    if tag == "fa":
+        return loc[3]
+    return 2  # AMBIG / STACK: unboundedly many.
+
+
+def site_reachable(analysis, site):
+    """Is the site on some CFG path from the entry function?
+
+    Mirrors the must/may solver's notion of bottom: a function without
+    an entry state was never called, and a block whose in-state is
+    ``None`` has no path from its function's entry.  Sites failing
+    this test execute in *no* run, so they contribute nothing to the
+    install footprint and their verdicts are never audited.
+    """
+    function = analysis.functions.get(site.function)
+    if function is None or function.solution is None:
+        return False
+    pair = function.solution.get(site.block)
+    return pair is not None and pair[0] is not None
+
+
+class Footprint:
+    """The through-cache install footprint plus its certificates.
+
+    ``concrete`` — every install-capable reachable site resolves to
+    concrete global words (the precondition for any certificate or
+    exploration: an unknown-address install could land in any set).
+    ``addresses`` — ``{word: pointer_reachable}`` over the footprint.
+    ``demand`` — ``{set_index: distinct footprint words}``.
+    ``certified_sets`` — sets provably eviction-free forever.
+    ``all_certified`` — the whole footprint lives in certified sets.
+    ``culprits`` — sample of the sites that broke concreteness.
+    """
+
+    __slots__ = ("concrete", "addresses", "demand", "certified_sets",
+                 "all_certified", "num_sets", "culprits")
+
+    def __init__(self, concrete, addresses, demand, certified_sets,
+                 all_certified, num_sets, culprits):
+        self.concrete = concrete
+        self.addresses = addresses
+        self.demand = demand
+        self.certified_sets = certified_sets
+        self.all_certified = all_certified
+        self.num_sets = num_sets
+        self.culprits = culprits
+
+    def words_certified(self, words):
+        """Are all these concrete words in provably eviction-free sets?"""
+        if not self.concrete:
+            return False
+        return all(
+            (word % self.num_sets) in self.certified_sets for word in words
+        )
+
+    def describe(self):
+        return (
+            "{} footprint words, {}/{} touched sets certified "
+            "eviction-free".format(
+                len(self.addresses),
+                len(self.certified_sets),
+                len(self.demand),
+            )
+            if self.concrete
+            else "non-concrete footprint ({})".format(
+                "; ".join(self.culprits) or "no reachable installs"
+            )
+        )
+
+
+def site_installs(site):
+    """Can this reference ever leave a block resident (or evict one)?"""
+    if site.bypass:
+        return False
+    if site.kill and not site.is_write:
+        return False  # A killed read is served around the cache.
+    return True
+
+
+def compute_footprint(analysis):
+    """Gather the install footprint and certify the demand-safe sets."""
+    config = analysis.config
+    num_sets = config.num_sets
+    addresses = {}
+    concrete = True
+    culprits = []
+    for site in analysis.sites:
+        if not site_installs(site) or not site_reachable(analysis, site):
+            continue
+        for loc in site.target.candidates():
+            words = expand_location(loc)
+            if words is None:
+                concrete = False
+                if len(culprits) < 5:
+                    culprits.append(
+                        "{} -> {}".format(site.where(), describe_loc(loc))
+                    )
+                continue
+            reachable = bool(loc[-1]) if loc not in (AMBIG, STACK) else True
+            for word in words:
+                addresses[word] = addresses.get(word, False) or reachable
+    demand = {}
+    for word in addresses:
+        index = word % num_sets
+        demand[index] = demand.get(index, 0) + 1
+    if concrete:
+        certified = frozenset(
+            index
+            for index, count in demand.items()
+            if count <= config.associativity
+        )
+    else:
+        certified = frozenset()
+    all_certified = concrete and len(certified) == len(demand)
+    return Footprint(
+        concrete, addresses, demand, certified, all_certified, num_sets,
+        culprits,
+    )
+
+
+class Route:
+    """One residual site's routing decision.
+
+    ``kind`` is one of the ``ROUTE_*`` constants; ``word`` is the
+    single concrete address for exploration candidates;
+    ``certified`` says the persistent fallback is available should the
+    exploration refuse or run out of budget.
+    """
+
+    __slots__ = ("site", "kind", "word", "certified")
+
+    def __init__(self, site, kind, word=None, certified=False):
+        self.site = site
+        self.kind = kind
+        self.word = word
+        self.certified = certified
+
+
+def route_residuals(analysis, footprint, unknown):
+    """Route every residual unknown site (see module docstring)."""
+    routes = []
+    for site in unknown:
+        if not site_reachable(analysis, site):
+            routes.append(Route(site, ROUTE_UNKNOWN))
+            continue
+        candidates = site.target.candidates()
+        expansions = [expand_location(loc) for loc in candidates]
+        if all(words is not None for words in expansions):
+            words = sorted({w for words in expansions for w in words})
+            if len(words) == 1:
+                routes.append(Route(
+                    site, ROUTE_EXPLORE, word=words[0],
+                    certified=footprint.words_certified(words),
+                ))
+            elif footprint.words_certified(words):
+                routes.append(Route(site, ROUTE_PERSISTENT))
+            else:
+                routes.append(Route(site, ROUTE_INPUT_DEPENDENT))
+            continue
+        # Some candidate has no compile-time address.  A region of two
+        # or more possible words is undecidable address-insensitively
+        # (input-dependent); a lone frame word is merely unmodeled.
+        window = sum(location_window(loc) for loc in candidates)
+        if window >= 2:
+            routes.append(Route(site, ROUTE_INPUT_DEPENDENT))
+        else:
+            routes.append(Route(site, ROUTE_UNKNOWN))
+    return routes

@@ -1,0 +1,296 @@
+"""The exact refinement pass: uncertainty routing, focused
+exploration, tier soundness.
+
+Directed tests pin each verdict tier to a hand-built scenario — the
+worked example where must/may loses a fact to call havoc and the
+exploration wins it back, bypass/kill-interacting exact verdicts, the
+persistence certificate, input-dependent routing, budget exhaustion,
+and the non-LRU refusal — and every exact verdict is audited per
+event against the real cache by the cross-validator.  The Hypothesis
+property does the same over generated programs across scheme and
+promotion configurations.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import CacheConfig
+from repro.errors import ResourceExhausted
+from repro.ir.instructions import Load, Store
+from repro.staticcheck.crossval import cross_validate
+from repro.staticcheck.exact import DEFAULT_EXACT_BUDGET, _exhausted
+from repro.staticcheck.mustmay import (
+    DEFINITE_VERDICTS,
+    TIER_OF,
+    TIERS,
+    Classification,
+    analyze_program,
+)
+from repro.staticcheck.uncertainty import compute_footprint
+from repro.unified.pipeline import CompilationOptions, compile_source
+
+CONFIG = CacheConfig(size_words=8, line_words=1, associativity=2,
+                     policy="lru")  # 4 sets
+
+
+def compile_none(source, scheme="unified", **kwargs):
+    return compile_source(
+        source, CompilationOptions(scheme=scheme, promotion="none", **kwargs)
+    )
+
+
+def ref_in(program, function, cls, path_contains=""):
+    """The first Load/Store in ``function`` whose path matches."""
+    fn = program.module.functions[function]
+    for instruction in fn.instructions():
+        if isinstance(instruction, cls) and (
+            path_contains in instruction.ref.access_path
+        ):
+            return instruction
+    raise AssertionError("no matching reference")
+
+
+def verdicts(analysis):
+    return Counter(site.classification.value for site in analysis.sites)
+
+
+#: Two globals, a callee that touches only the *other* set, and a
+#: reload after the call: must/may havocs its must-facts at the call
+#: and leaves the reload unknown; the exploration models f exactly
+#: and proves the hit.  (The worked example in docs/STATIC_ANALYSIS.md.)
+WORKED_EXAMPLE = (
+    "int g; int h;"
+    "int f() { h = 2; return 0; }"
+    "int main() { g = 1; f(); return g; }"
+)
+
+
+class TestWorkedExample:
+    def test_mustmay_alone_says_unknown(self):
+        program = compile_none(WORKED_EXAMPLE, scheme="conventional")
+        analysis = analyze_program(program, CONFIG)
+        reload_site = analysis.sites[-1]
+        assert reload_site.classification is Classification.UNKNOWN
+
+    def test_exact_pass_proves_the_hit(self):
+        program = compile_none(WORKED_EXAMPLE, scheme="conventional")
+        analysis = analyze_program(program, CONFIG, exact=True)
+        reload_site = analysis.sites[-1]
+        assert reload_site.classification is Classification.EXACT_HIT
+        assert analysis.refinement.exact_hit_sites == 1
+        assert analysis.refinement.explored_sites == 1
+        assert not analysis.refinement.exhausted
+        assert analysis.static_definite_percent == 100.0
+
+    def test_exact_hit_survives_the_audit(self):
+        program = compile_none(WORKED_EXAMPLE, scheme="conventional")
+        analysis = analyze_program(program, CONFIG, exact=True)
+        report = cross_validate(program, CONFIG, analysis=analysis)
+        assert report.mismatches == []
+        assert report.dynamic_decided_percent == 100.0
+        assert report.event_tiers["exact"] > 0
+
+
+#: The callee reads ``g`` before main's reload — annotating that read
+#: changes the reload's outcome, and the exploration must track it
+#: through the same transfer semantics the cache applies.
+INTERACTION_EXAMPLE = (
+    "int g; int h;"
+    "int f() { h = g; return 0; }"
+    "int main() { g = 1; f(); return g; }"
+)
+
+
+class TestBypassKillInteraction:
+    def _check(self, mutate, expected):
+        program = compile_none(INTERACTION_EXAMPLE, scheme="conventional")
+        mutate(program)
+        analysis = analyze_program(program, CONFIG, exact=True)
+        reload_site = analysis.sites[-1]
+        assert reload_site.classification is expected
+        report = cross_validate(program, CONFIG, analysis=analysis)
+        assert report.mismatches == []
+
+    def test_plain_callee_read_keeps_the_hit(self):
+        self._check(lambda p: None, Classification.EXACT_HIT)
+
+    def test_bypassed_callee_read_turns_it_into_a_miss(self):
+        # The bypass takes g's line out of the cache on its way by.
+        def mutate(program):
+            ref_in(program, "f", Load, "g").ref.bypass = True
+
+        self._check(mutate, Classification.EXACT_MISS)
+
+    def test_killed_callee_read_turns_it_into_a_miss(self):
+        # A killed read leaves the line invalid (invalidate mode).
+        def mutate(program):
+            ref_in(program, "f", Load, "g").ref.kill = True
+
+        self._check(mutate, Classification.EXACT_MISS)
+
+    def test_killed_callee_write_turns_it_into_a_miss(self):
+        # A killed store retires its own line after the transient
+        # allocate: nothing stays resident for the reload.
+        program = compile_none(
+            "int g;"
+            "int f() { g = 2; return 0; }"
+            "int main() { g = 1; f(); return g; }",
+            scheme="conventional",
+        )
+        ref_in(program, "f", Store, "g").ref.kill = True
+        analysis = analyze_program(program, CONFIG, exact=True)
+        assert analysis.sites[-1].classification is Classification.EXACT_MISS
+        report = cross_validate(program, CONFIG, analysis=analysis)
+        assert report.mismatches == []
+
+
+SMALL_ARRAY = (
+    "int a[4]; int s; int main() { int i; "
+    "for (i = 0; i < 4; i = i + 1) { a[i] = i; } "
+    "for (i = 0; i < 4; i = i + 1) { s = s + a[i]; } return s; }"
+)
+
+BIG_ARRAY = SMALL_ARRAY.replace("4", "16")
+
+
+class TestRoutingTiers:
+    def test_certified_array_reads_become_persistent(self):
+        # Four words over four sets: demand 1 <= associativity 2, so
+        # every set is eviction-free and presence is pure history.
+        program = compile_none(SMALL_ARRAY)
+        analysis = analyze_program(program, CONFIG, exact=True)
+        tally = verdicts(analysis)
+        assert tally["exact-persistent"] == 2
+        assert tally["unknown"] == 0
+        report = cross_validate(program, CONFIG, analysis=analysis)
+        assert report.mismatches == []
+        assert report.dynamic_classified_percent == 100.0
+
+    def test_oversubscribed_array_reads_are_input_dependent(self):
+        # Sixteen words over four 2-way sets: demand 4 per set, no
+        # certificate, and the unknown-index reread genuinely turns on
+        # the run-time index values.
+        program = compile_none(BIG_ARRAY)
+        analysis = analyze_program(program, CONFIG, exact=True)
+        tally = verdicts(analysis)
+        assert tally["input-dependent"] == 2
+        assert tally["unknown"] == 0
+        report = cross_validate(program, CONFIG, analysis=analysis)
+        assert report.mismatches == []
+        assert report.dynamic_decided_percent == 100.0
+        assert report.dynamic_classified_percent < 100.0
+
+    def test_footprint_certificates(self):
+        program = compile_none(SMALL_ARRAY)
+        analysis = analyze_program(program, CONFIG)
+        footprint = compute_footprint(analysis)
+        assert footprint.concrete
+        assert footprint.all_certified
+        big = analyze_program(compile_none(BIG_ARRAY), CONFIG)
+        big_footprint = compute_footprint(big)
+        assert big_footprint.concrete
+        assert not big_footprint.certified_sets
+
+
+class TestDegradation:
+    def test_budget_exhaustion_degrades_to_fallback(self):
+        program = compile_none(WORKED_EXAMPLE, scheme="conventional")
+        analysis = analyze_program(
+            program, CONFIG, exact=True, exact_budget=1
+        )
+        refinement = analysis.refinement
+        assert refinement.exhausted
+        assert refinement.budget == 1
+        # The reload keeps the persistence certificate instead of the
+        # explored verdict — still definite, still audited clean.
+        reload_site = analysis.sites[-1]
+        assert reload_site.classification is Classification.EXACT_PERSISTENT
+        report = cross_validate(program, CONFIG, analysis=analysis)
+        assert report.mismatches == []
+
+    def test_default_budget_is_generous(self):
+        program = compile_none(WORKED_EXAMPLE, scheme="conventional")
+        analysis = analyze_program(program, CONFIG, exact=True)
+        assert analysis.refinement.budget == DEFAULT_EXACT_BUDGET
+        assert analysis.refinement.steps_used < 100
+
+    def test_exhaustion_error_is_stage_tagged(self):
+        error = _exhausted(5, 1)
+        assert isinstance(error, ResourceExhausted)
+        assert error.stage == "static-analysis"
+        assert "transfer steps" in str(error)
+
+    def test_non_lru_policy_refuses_exploration(self):
+        fifo = CacheConfig(size_words=8, line_words=1, associativity=2,
+                           policy="fifo")
+        program = compile_none(WORKED_EXAMPLE, scheme="conventional")
+        analysis = analyze_program(program, fifo, exact=True)
+        refinement = analysis.refinement
+        assert "non-LRU replacement" in refinement.refusal_reasons
+        assert refinement.refused_sites == 1
+        # The demand certificate is policy-independent, so the
+        # fallback still upgrades the site.
+        assert analysis.sites[-1].classification is (
+            Classification.EXACT_PERSISTENT
+        )
+        report = cross_validate(program, fifo, analysis=analysis)
+        assert report.mismatches == []
+
+
+class TestTierBookkeeping:
+    def test_tier_constants_cover_the_enum(self):
+        assert set(TIER_OF) == set(Classification)
+        assert set(TIER_OF.values()) == set(TIERS)
+        assert all(
+            TIER_OF[verdict] in ("always", "exact")
+            for verdict in DEFINITE_VERDICTS
+        )
+
+    def test_exact_layer_is_opt_in(self):
+        program = compile_none(WORKED_EXAMPLE, scheme="conventional")
+        analysis = analyze_program(program, CONFIG)
+        assert analysis.refinement is None
+        assert any(
+            site.classification is Classification.UNKNOWN
+            for site in analysis.sites
+        )
+
+
+# ----------------------------------------------------------------------
+# The property: on generated programs, every exact verdict agrees
+# with the replayed cache across scheme/promotion configurations.
+# ----------------------------------------------------------------------
+
+GEOMETRIES = (
+    CacheConfig(size_words=8, line_words=1, associativity=2, policy="lru"),
+    CacheConfig(size_words=64, line_words=1, associativity=4, policy="lru"),
+)
+
+
+class TestGeneratedPrograms:
+    @given(
+        seed=st.integers(0, 400),
+        scheme=st.sampled_from(["unified", "conventional"]),
+        promotion=st.sampled_from(["none", "modest", "aggressive"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_exact_verdicts_survive_replay(self, seed, scheme, promotion):
+        from repro.robustness.generator import generate_program
+
+        generated = generate_program(seed)
+        program = compile_source(
+            generated.source,
+            CompilationOptions(scheme=scheme, promotion=promotion),
+        )
+        for geometry in GEOMETRIES:
+            analysis = analyze_program(
+                program, geometry, exact=True, exact_budget=50_000
+            )
+            report = cross_validate(program, geometry, analysis=analysis)
+            assert report.mismatches == []
+            # Tier counts add up and decided >= definite always.
+            assert sum(report.event_tiers.values()) == report.events_total
+            assert (report.dynamic_decided_percent
+                    >= report.dynamic_classified_percent)
