@@ -1,0 +1,82 @@
+"""Replay cost of the predictive policy zoo, recorded in
+``BENCH_policyzoo.json``.
+
+The zoo must stay affordable: every predictive policy replays the
+towers trace (64 words, 4-way — the geometry the E17 golden table
+pins) in at most ``COST_CEILING`` times the LRU replay, best of
+``ROUNDS`` rounds, asserted live.  The record carries the absolute
+times, the relative costs, and each policy's miss count next to
+LRU's, so the cost/accuracy frontier accumulates run over run
+alongside the other BENCH records.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_policyzoo.py -q
+"""
+
+import time
+
+import pytest
+
+from conftest import traced_benchmark
+
+from repro.cache.cache import CacheConfig
+from repro.cache.replay import replay_trace
+
+#: Towers is recursion-heavy (kill bits and reuse prediction both have
+#: material work to do) and the longest of the six traces.
+WORKLOAD = "towers"
+CACHE_WORDS = 64
+
+#: Everything the zoo added over the classic trio, Random included —
+#: the counter RNG must not price it out of the one-pass lane either.
+ZOO = ("srrip", "brrip", "drrip", "ship", "hawkeye", "random")
+
+#: Ceiling on (policy replay time) / (LRU replay time).  Hawkeye pays
+#: for a shadow MIN per access and still measures well under 2x; 3x
+#: leaves room for noise without letting a quadratic regression hide.
+COST_CEILING = 3.0
+ROUNDS = 3
+
+
+def config_for(policy):
+    return CacheConfig(size_words=CACHE_WORDS, line_words=1,
+                       associativity=4, policy=policy, seed=1)
+
+
+def best_of(rounds, run):
+    best = None
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+@pytest.mark.parametrize("policy", ZOO)
+def test_zoo_replay_cost_vs_lru(policy, record_property):
+    _bench, _program, trace = traced_benchmark(WORKLOAD)
+    lru_config = config_for("lru")
+    lru_seconds, lru_stats = best_of(
+        ROUNDS, lambda: replay_trace(trace, lru_config)
+    )
+    config = config_for(policy)
+    policy_seconds, stats = best_of(
+        ROUNDS, lambda: replay_trace(trace, config)
+    )
+    relative = policy_seconds / lru_seconds
+    record_property("events", len(trace))
+    record_property("lru_seconds", round(lru_seconds, 4))
+    record_property("policy_seconds", round(policy_seconds, 4))
+    record_property("relative_cost", round(relative, 2))
+    record_property("misses", stats.misses)
+    record_property("lru_misses", lru_stats.misses)
+    assert relative <= COST_CEILING, (
+        "{} replay costs {:.2f}x LRU (policy {:.3f}s, LRU {:.3f}s), "
+        "over the {}x ceiling".format(
+            policy, relative, policy_seconds, lru_seconds, COST_CEILING
+        )
+    )

@@ -62,6 +62,7 @@ def traced_benchmark(name, options=None):
 _timing_sinks = {
     "bench_robustness": ([], "BENCH_robustness.json"),
     "bench_staticcheck": ([], "BENCH_staticcheck.json"),
+    "bench_policyzoo": ([], "BENCH_policyzoo.json"),
 }
 
 

@@ -12,7 +12,12 @@ from dataclasses import dataclass
 from repro.cache.semantics import UnifiedCache
 
 #: Online replacement policies (Belady MIN lives in repro.cache.belady).
-POLICIES = ("lru", "fifo", "random")
+#: The last five are the predictive zoo (docs/POLICIES.md); ``ship``
+#: and ``hawkeye`` consume precomputed trace columns, so drivers build
+#: their policy objects via ``make_policy`` before replaying.
+POLICIES = (
+    "lru", "fifo", "random", "srrip", "brrip", "drrip", "ship", "hawkeye",
+)
 
 #: What a kill-marked reference does to the line (paper Section 3.2
 #: offers both alternatives).
@@ -70,9 +75,9 @@ class Cache(UnifiedCache):
 
     __slots__ = ()
 
-    def __init__(self, config=None, **kwargs):
+    def __init__(self, config=None, policy=None, **kwargs):
         if config is None:
             config = CacheConfig(**kwargs)
         elif kwargs:
             raise TypeError("pass either a CacheConfig or keyword arguments")
-        super().__init__(config)
+        super().__init__(config, policy=policy)

@@ -18,15 +18,24 @@ from repro.vm.memory import MemorySystem
 
 
 class DataCachedMemory(MemorySystem):
-    """MemorySystem implementing the unified protocol *with data*."""
+    """MemorySystem implementing the unified protocol *with data*.
 
-    def __init__(self, config=None, **kwargs):
+    ``policy`` accepts a prebuilt :class:`ReplacementPolicy` for the
+    trace-column-driven predictors (SHiP, Hawkeye): record the
+    program's trace once, build the policy from its columns, and rerun
+    the program against this twin — the access sequence is identical,
+    so the internal event counter lines the predictor's columns up
+    with the live accesses.
+    """
+
+    def __init__(self, config=None, policy=None, **kwargs):
         if config is None:
             config = CacheConfig(**kwargs)
         if config.line_words != 1:
             raise ValueError("the functional model requires line size 1")
         self.config = config
-        self._core = UnifiedCache(config, data=True)
+        self._core = UnifiedCache(config, policy=policy, data=True)
+        self._index = 0
 
     @property
     def stats(self):
@@ -51,11 +60,17 @@ class DataCachedMemory(MemorySystem):
 
     def read(self, address, ref):
         core = self._core
-        core.access(address, False, ref.bypass, ref.kill)
+        index = self._index
+        self._index = index + 1
+        core.access(address, False, ref.bypass, ref.kill, index=index)
         return core.value
 
     def write(self, address, value, ref):
-        self._core.access(address, True, ref.bypass, ref.kill, value=value)
+        index = self._index
+        self._index = index + 1
+        self._core.access(
+            address, True, ref.bypass, ref.kill, value=value, index=index
+        )
 
     def flush(self):
         """Write every dirty line back; used before final memory checks."""

@@ -23,12 +23,16 @@ Two entry points:
 from repro.cache.belady import next_use_index, simulate_min
 from repro.cache.cache import Cache, CacheConfig
 from repro.cache.semantics import (
+    PREDICTOR_POLICIES,
     MinPolicy,
     collapse_runs,
     decode_trace,  # noqa: F401  (re-exported sweep helper)
     flag_presence,
     flavor_decode,
+    make_policy,
+    policy_collapse_safe,
     replay_decoded,
+    signature_column,
 )
 from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE
 
@@ -81,23 +85,53 @@ def replay_trace(trace, config=None, **kwargs):
             )
         )
 
-    cache = Cache(config)
+    cache = Cache(config, policy=policy_for_trace(trace, config))
     access = cache.access
-    for address, flags in trace:
-        access(
-            address,
-            bool(flags & FLAG_WRITE),
-            bool(flags & FLAG_BYPASS),
-            bool(flags & FLAG_KILL),
-        )
+    if cache.policy.needs_index:
+        for index, (address, flags) in enumerate(trace):
+            access(
+                address,
+                bool(flags & FLAG_WRITE),
+                bool(flags & FLAG_BYPASS),
+                bool(flags & FLAG_KILL),
+                index=index,
+            )
+    else:
+        for address, flags in trace:
+            access(
+                address,
+                bool(flags & FLAG_WRITE),
+                bool(flags & FLAG_BYPASS),
+                bool(flags & FLAG_KILL),
+            )
     return cache.stats
+
+
+def policy_for_trace(trace, config):
+    """Build the policy object ``config`` needs to replay ``trace``.
+
+    Returns ``None`` for the self-contained policies (the cache builds
+    its own); SHiP and Hawkeye need the trace's precomputed signature
+    (and, for Hawkeye, next-use) columns, so any driver holding only a
+    config uses this to construct them.
+    """
+    if config.policy not in PREDICTOR_POLICIES:
+        return None
+    signatures = signature_column(trace)
+    next_use = None
+    if config.policy == "hawkeye":
+        next_use = next_use_index(
+            trace, config.line_words, config.honor_bypass
+        )
+    return make_policy(config, next_use=next_use, signatures=signatures)
 
 
 def replay_trace_multi(trace, configs, decoded=None):
     """Replay ``trace`` through every configuration of a sweep at once.
 
-    ``configs`` is a sequence of :class:`CacheConfig` (online
-    LRU/FIFO/Random) and/or :class:`MinConfig` (offline Belady)
+    ``configs`` is a sequence of :class:`CacheConfig` (any online
+    policy, the predictive zoo included) and/or :class:`MinConfig`
+    (offline Belady)
     entries; the result is the list of :class:`CacheStats` in the same
     order, each bit-identical to what :func:`replay_trace` produces
     for that entry alone.  The trace is decoded once (pass ``decoded``
@@ -111,10 +145,27 @@ def replay_trace_multi(trace, configs, decoded=None):
     next_use_cache = {}
     stream_cache = {}
     runs_cache = {}
-    state = {"columns": None, "presence": None}
+    state = {"columns": None, "presence": None, "signatures": None}
+
+    def next_use_for(config):
+        key = (config.line_words, config.honor_bypass)
+        next_use = next_use_cache.get(key)
+        if next_use is None:
+            next_use = next_use_index(trace, *key)
+            next_use_cache[key] = next_use
+        return next_use
+
+    def signatures_for():
+        if state["signatures"] is None:
+            state["signatures"] = signature_column(trace)
+        return state["signatures"]
 
     def runs_for(config):
         """The run collapse for this config, or ``None`` if ineligible."""
+        if not policy_collapse_safe(config.policy):
+            # The RRIP family's hit promotion is not idempotent within
+            # a same-block run; replay it uncollapsed.
+            return None
         if not config.allocate_on_write:
             # A write-around head miss leaves its followers missing
             # too, so followers are not guaranteed hits.
@@ -155,18 +206,22 @@ def replay_trace_multi(trace, configs, decoded=None):
     for spec in configs:
         if isinstance(spec, MinConfig):
             config = spec.config
-            key = (config.line_words, config.honor_bypass)
-            next_use = next_use_cache.get(key)
-            if next_use is None:
-                next_use = next_use_index(trace, *key)
-                next_use_cache[key] = next_use
             results.append(
                 replay_decoded(
                     decoded, config,
-                    policy=MinPolicy(next_use),
+                    policy=MinPolicy(next_use_for(config)),
                     runs=runs_for(config),
                 )
             )
+        elif spec.policy in PREDICTOR_POLICIES:
+            policy = make_policy(
+                spec,
+                next_use=(
+                    next_use_for(spec) if spec.policy == "hawkeye" else None
+                ),
+                signatures=signatures_for(),
+            )
+            results.append(replay_decoded(decoded, spec, policy=policy))
         else:
             results.append(
                 replay_decoded(decoded, spec, runs=runs_for(spec))

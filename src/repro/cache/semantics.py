@@ -6,9 +6,10 @@ offline MIN simulator, and the stack-distance sweep's flavor decode —
 drives the paper's bypass/kill transfer function through this module.
 The transfer function itself lives in :meth:`UnifiedCache.access`;
 replacement decisions are delegated to a state-owning
-:class:`ReplacementPolicy` (LRU, FIFO, Random, MIN), so adding a policy
-or changing a semantic rule happens once and is visible to all engines
-at once.
+:class:`ReplacementPolicy` (LRU, FIFO, Random, MIN, and the predictive
+zoo: SRRIP, BRRIP, DRRIP, SHiP-lite, Hawkeye-lite — see
+``docs/POLICIES.md``), so adding a policy or changing a semantic rule
+happens once and is visible to all engines at once.
 
 Three layers:
 
@@ -31,7 +32,6 @@ differential fuzzer and the equivalence batteries in
 enforce it.
 """
 
-import random
 from itertools import repeat as _repeat
 
 from repro.cache.stats import CacheStats
@@ -423,8 +423,95 @@ _WAY_VALID = 4
 _WAY_STAMP = 5
 _WAY_INSERTED = 6
 
+# Extra way-list slots claimed by the predictive (RRIP-family)
+# policies; plain way policies never allocate them.
+_WAY_RRPV = 7
+_WAY_SIG = 8
+_WAY_OUTCOME = 9
+_WAY_SET = 10
+
 # MIN private slot.
 _MIN_NEXT_USE = 3
+
+# -- RRIP-family constants (docs/POLICIES.md) --------------------------
+
+#: 2-bit re-reference prediction values: 0 = near-immediate,
+#: RRPV_MAX = distant (the eviction frontier).
+RRPV_MAX = 3
+RRPV_LONG = RRPV_MAX - 1
+
+#: BRRIP inserts distant except every Nth install per set, which gets
+#: the long (SRRIP) position.  The throttle is a deterministic per-set
+#: install counter — never the clock — so collapsed and uncollapsed
+#: drivers agree and DRRIP leader sets replay standalone bit-exactly.
+BRRIP_THROTTLE = 32
+
+#: DRRIP set-dueling: leader sets every DUEL_PERIOD sets (clamped to
+#: the geometry), a 10-bit PSEL saturating counter trained on leader
+#: misses.
+DUEL_PERIOD = 32
+PSEL_BITS = 10
+PSEL_INIT = 1 << (PSEL_BITS - 1)
+PSEL_MAX = (1 << PSEL_BITS) - 1
+
+#: SHiP-lite: 2-bit saturating signature history counters.
+SHCT_MAX = 3
+SHCT_INIT = 1
+
+#: Hawkeye-lite: 3-bit saturating friendliness counters; a signature
+#: is cache-friendly while its counter stays at or above the midpoint.
+HAWKEYE_MAX = 7
+HAWKEYE_INIT = 4
+
+#: The static reference signature used by the SHiP/Hawkeye predictors:
+#: the trace's annotation byte (write/bypass/kill/ambiguous/origin
+#: bits — all static properties of the reference site), excluding the
+#: dynamic FLAG_INSTRUCTION bit.  The trace format carries no per-site
+#: program counter, and the signature must survive the RPTRACE2
+#: round-trip through the artifact cache, so it is derived from
+#: ``(flags)`` alone.
+SIGNATURE_MASK = 0x7F
+
+
+def signature_column(trace):
+    """Per-event static reference signatures for a trace.
+
+    Returns a list aligned with the trace's event positions; feed it
+    to :func:`make_policy` for the signature-indexed policies (SHiP,
+    Hawkeye).  Uses the columnar decode when NumPy is available.
+    """
+    if _np is not None:
+        columns = getattr(trace, "to_columns", None)
+        if columns is not None:
+            _addresses, flags = columns()
+            return _np.bitwise_and(
+                _np.asarray(flags, dtype=_np.int64), SIGNATURE_MASK
+            ).tolist()
+    return [flags & SIGNATURE_MASK for _address, flags in trace]
+
+
+_M64 = (1 << 64) - 1
+
+
+def _mix64(seed, set_index, draw):
+    """A splitmix64-style hash of ``(seed, set, draw ordinal)``.
+
+    The counter-based RNG behind :class:`RandomPolicy`: every driver
+    that replays the same trace makes the same draws in the same
+    per-set order, so victims agree bit-exactly across the serial,
+    multi-config, functional, and one-pass lane engines.
+    """
+    x = (
+        seed * 0x9E3779B97F4A7C15
+        + set_index * 0xBF58476D1CE4E5B9
+        + draw * 0x94D049BB133111EB
+    ) & _M64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _M64
+    x ^= x >> 31
+    return x
 
 
 def _by_stamp(line):
@@ -448,9 +535,19 @@ class ReplacementPolicy:
 
     __slots__ = ()
 
-    #: Policies that consume the trace position (MIN's next-use index)
-    #: set this so drivers know to thread event indices through.
+    #: Policies that consume the trace position (MIN's next-use index,
+    #: the signature-indexed predictors) set this so drivers know to
+    #: thread event indices through.
     needs_index = False
+
+    #: Whether the same-block run collapse preserves this policy's
+    #: state bit-exactly.  Collapse absorbs guaranteed-hit followers
+    #: without calling ``touch``, so it is only sound for policies
+    #: whose hit update is idempotent within a run (LRU, FIFO, Random,
+    #: MIN).  The RRIP family promotes RRPV non-idempotently on every
+    #: hit, so its policies clear this and drivers replay them
+    #: uncollapsed.
+    collapse_safe = True
 
     def reset(self, config):
         """(Re)build empty per-set state for ``config``'s geometry."""
@@ -484,6 +581,15 @@ class ReplacementPolicy:
         """Drop a resident entry (bypass probe or kill)."""
         raise NotImplementedError
 
+    def demote(self, entry):
+        """A kill retired ``entry`` in demote mode (it stays resident).
+
+        The core has already marked it ``ENTRY_DEAD``; predictive
+        policies additionally force their own predicted-dead state
+        (distant RRPV) and exempt the line from predictor training —
+        the compiler has supplied the reuse verdict.
+        """
+
     def entries(self):
         """Yield ``(block, entry)`` for every resident line."""
         raise NotImplementedError
@@ -500,10 +606,15 @@ class _WayPolicy(ReplacementPolicy):
 
     __slots__ = ("_sets",)
 
+    #: Extra way-list slots appended after ``_WAY_INSERTED`` (the RRIP
+    #: family claims four: rrpv, signature, outcome, set index).
+    _extra_slots = 0
+
     def reset(self, config):
+        extra = self._extra_slots
         self._sets = [
             [
-                [False, False, None, -1, False, 0, 0]
+                [False, False, None, -1, False, 0, 0] + [None] * extra
                 for _ in range(config.associativity)
             ]
             for _ in range(config.num_sets)
@@ -527,7 +638,10 @@ class _WayPolicy(ReplacementPolicy):
     def evict(self, set_index):
         lines = self._sets[set_index]
         dead = [line for line in lines if line[ENTRY_DEAD]]
-        victim = min(dead, key=_by_stamp) if dead else self._victim(lines)
+        if dead:
+            victim = min(dead, key=_by_stamp)
+        else:
+            victim = self._victim(set_index, lines)
         victim[_WAY_VALID] = False
         return victim[_WAY_TAG], victim
 
@@ -553,7 +667,7 @@ class _WayPolicy(ReplacementPolicy):
                 if line[_WAY_VALID]:
                     yield line[_WAY_TAG], line
 
-    def _victim(self, lines):
+    def _victim(self, set_index, lines):
         raise NotImplementedError
 
 
@@ -563,7 +677,7 @@ class LRUPolicy(_WayPolicy):
     __slots__ = ()
     name = "lru"
 
-    def _victim(self, lines):
+    def _victim(self, set_index, lines):
         return min(lines, key=_by_stamp)
 
 
@@ -573,27 +687,36 @@ class FIFOPolicy(_WayPolicy):
     __slots__ = ()
     name = "fifo"
 
-    def _victim(self, lines):
+    def _victim(self, set_index, lines):
         return min(lines, key=_by_inserted)
 
 
 class RandomPolicy(_WayPolicy):
-    """Seeded uniform victim over the way list.
+    """Counter-based seeded uniform victim.
 
-    The draw happens only when no dead line short-circuits the choice,
-    so the call sequence — and therefore every victim — is identical
-    across the serial, multi-config, and pooled drivers.
+    Each draw hashes ``(seed, set index, per-set draw ordinal)``
+    (:func:`_mix64`) and picks that rank in install order, so the
+    choice is a pure function of the per-set eviction history — no
+    shared RNG stream.  A draw happens only when no dead line
+    short-circuits the choice, so every driver (serial, multi-config,
+    functional, and the one-pass lane sweep, where install order is
+    the residency dict's insertion order) reproduces the identical
+    victim sequence.
     """
 
-    __slots__ = ("_rng",)
+    __slots__ = ("_seed", "_draws")
     name = "random"
 
     def reset(self, config):
         super().reset(config)
-        self._rng = random.Random(config.seed)
+        self._seed = config.seed
+        self._draws = [0] * config.num_sets
 
-    def _victim(self, lines):
-        return self._rng.choice(lines)
+    def _victim(self, set_index, lines):
+        draw = self._draws[set_index]
+        self._draws[set_index] = draw + 1
+        choice = _mix64(self._seed, set_index, draw) % len(lines)
+        return sorted(lines, key=_by_inserted)[choice]
 
 
 class MinPolicy(ReplacementPolicy):
@@ -653,19 +776,334 @@ class MinPolicy(ReplacementPolicy):
             yield from lines.items()
 
 
+class _RRIPPolicy(_WayPolicy):
+    """Shared 2-bit RRPV machinery for the predictive policies.
+
+    Insertion position is the subclass knob (``_insert``); hits
+    promote to RRPV 0; the victim scan ages the whole set to the
+    eviction frontier in one step and breaks frontier ties toward the
+    least-recently-touched line, so a just-promoted MRU block is never
+    the victim while an alternative exists.  Hit promotion is not
+    idempotent within a same-block run, so the family opts out of the
+    run collapse (``collapse_safe = False``).
+    """
+
+    __slots__ = ()
+    collapse_safe = False
+    _extra_slots = 4  # rrpv, signature, outcome, set index
+
+    def install(self, set_index, block, clock, index):
+        line = super().install(set_index, block, clock, index)
+        sig = self._signature(index)
+        line[_WAY_SET] = set_index
+        line[_WAY_SIG] = sig
+        line[_WAY_OUTCOME] = False
+        line[_WAY_RRPV] = self._insert(set_index, sig, index)
+        return line
+
+    def touch(self, entry, clock, index):
+        entry[_WAY_STAMP] = clock
+        entry[_WAY_RRPV] = 0
+        self._on_hit(entry, index)
+
+    def evict(self, set_index):
+        block, victim = super().evict(set_index)
+        self._on_evict(victim)
+        return block, victim
+
+    def demote(self, entry):
+        # Kill/bypass interaction: the compiler said dead, so force the
+        # hardware's predicted-dead state and withhold the line from
+        # predictor training (its non-reuse is knowledge, not evidence).
+        entry[_WAY_RRPV] = RRPV_MAX
+        entry[_WAY_SIG] = None
+
+    def _victim(self, set_index, lines):
+        top = lines[0][_WAY_RRPV]
+        for line in lines:
+            if line[_WAY_RRPV] > top:
+                top = line[_WAY_RRPV]
+        if top < RRPV_MAX:
+            bump = RRPV_MAX - top
+            for line in lines:
+                line[_WAY_RRPV] += bump
+        victim = None
+        for line in lines:
+            if line[_WAY_RRPV] >= RRPV_MAX and (
+                victim is None or line[_WAY_STAMP] < victim[_WAY_STAMP]
+            ):
+                victim = line
+        return victim
+
+    # -- subclass hooks ------------------------------------------------
+
+    def _signature(self, index):
+        return None
+
+    def _insert(self, set_index, sig, index):
+        raise NotImplementedError
+
+    def _on_hit(self, entry, index):
+        pass
+
+    def _on_evict(self, victim):
+        pass
+
+
+class SRRIPPolicy(_RRIPPolicy):
+    """Static RRIP: insert at the long position, promote on hit."""
+
+    __slots__ = ()
+    name = "srrip"
+
+    def _insert(self, set_index, sig, index):
+        return RRPV_LONG
+
+
+class BRRIPPolicy(_RRIPPolicy):
+    """Bimodal RRIP: insert distant, every Nth per-set install long."""
+
+    __slots__ = ("_throttle",)
+    name = "brrip"
+
+    def reset(self, config):
+        super().reset(config)
+        self._throttle = [0] * config.num_sets
+
+    def _insert(self, set_index, sig, index):
+        count = self._throttle[set_index]
+        self._throttle[set_index] = count + 1
+        return RRPV_LONG if count % BRRIP_THROTTLE == 0 else RRPV_MAX
+
+
+class DRRIPPolicy(_RRIPPolicy):
+    """Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion.
+
+    Leader sets are fixed by geometry (every ``DUEL_PERIOD`` sets,
+    clamped so small caches still duel); a saturating PSEL counter
+    charges each leader miss against its policy, and follower sets
+    insert with whichever side PSEL currently favors.  ``monitor``
+    exposes per-leader-set hit counts — a leader set's state depends
+    only on its own access subsequence, so those counts replay
+    standalone under pure SRRIP/BRRIP bit-exactly (the Hypothesis
+    suite holds it to that).
+    """
+
+    __slots__ = ("_throttle", "_psel", "_roles", "monitor")
+    name = "drrip"
+
+    def reset(self, config):
+        super().reset(config)
+        num_sets = config.num_sets
+        self._throttle = [0] * num_sets
+        self._psel = PSEL_INIT
+        period = min(num_sets, DUEL_PERIOD)
+        roles = []
+        for set_index in range(num_sets):
+            phase = set_index % period
+            if phase == 0:
+                roles.append("srrip")
+            elif period >= 2 and phase == period // 2:
+                roles.append("brrip")
+            else:
+                roles.append(None)
+        self._roles = roles
+        self.monitor = {"srrip": {}, "brrip": {}}
+
+    def _insert(self, set_index, sig, index):
+        role = self._roles[set_index]
+        if role == "srrip":
+            if self._psel < PSEL_MAX:
+                self._psel += 1
+            brrip = False
+        elif role == "brrip":
+            if self._psel > 0:
+                self._psel -= 1
+            brrip = True
+        else:
+            brrip = self._psel > PSEL_INIT
+        if not brrip:
+            return RRPV_LONG
+        count = self._throttle[set_index]
+        self._throttle[set_index] = count + 1
+        return RRPV_LONG if count % BRRIP_THROTTLE == 0 else RRPV_MAX
+
+    def _on_hit(self, entry, index):
+        role = self._roles[entry[_WAY_SET]]
+        if role is not None:
+            hits = self.monitor[role]
+            set_index = entry[_WAY_SET]
+            hits[set_index] = hits.get(set_index, 0) + 1
+
+
+class SHiPPolicy(_RRIPPolicy):
+    """SHiP-lite: signature history counters steer insertion.
+
+    A 2-bit saturating counter per static reference signature (the
+    trace's annotation byte — see :data:`SIGNATURE_MASK`) learns
+    whether that signature's installs see reuse: hits train up and set
+    the line's outcome bit, an eviction without reuse trains down.  A
+    zero counter predicts dead-on-arrival and inserts distant.
+    Invalidations (bypass probes, kills) never train — the compiler
+    already ruled on those lines.
+    """
+
+    __slots__ = ("_signatures", "_shct")
+    name = "ship"
+    needs_index = True
+
+    def __init__(self, signatures):
+        self._signatures = signatures
+
+    def reset(self, config):
+        super().reset(config)
+        self._shct = {}
+
+    def _signature(self, index):
+        return self._signatures[index]
+
+    def _insert(self, set_index, sig, index):
+        if self._shct.get(sig, SHCT_INIT) == 0:
+            return RRPV_MAX
+        return RRPV_LONG
+
+    def _on_hit(self, entry, index):
+        sig = entry[_WAY_SIG]
+        if sig is not None:
+            entry[_WAY_OUTCOME] = True
+            count = self._shct.get(sig, SHCT_INIT)
+            if count < SHCT_MAX:
+                self._shct[sig] = count + 1
+
+    def _on_evict(self, victim):
+        sig = victim[_WAY_SIG]
+        if sig is not None and not victim[_WAY_OUTCOME]:
+            count = self._shct.get(sig, SHCT_INIT)
+            if count > 0:
+                self._shct[sig] = count - 1
+
+
+class HawkeyePolicy(_RRIPPolicy):
+    """Hawkeye-lite: learn from what Belady's MIN *would have done*.
+
+    Every through-cache access also runs through a per-set shadow OPT
+    that mirrors :class:`MinPolicy` exactly — same always-install,
+    same farthest-next-use victim, same tie order — driven by the
+    precomputed :func:`next_use_index`, i.e. the OPTgen oracle is the
+    existing incremental MIN machinery rather than a liveness-vector
+    reconstruction.  A shadow hit trains the access's signature
+    cache-friendly, a shadow miss trains it averse; friendly installs
+    enter at RRPV 0, averse installs at the eviction frontier.
+    ``optgen_hits`` counts shadow hits so the property suite can hold
+    the oracle to :func:`~repro.cache.belady.simulate_min`.
+    """
+
+    __slots__ = (
+        "_signatures", "_next_use", "_predictor", "_shadow",
+        "_shadow_assoc", "optgen_hits", "optgen_refs",
+    )
+    name = "hawkeye"
+    needs_index = True
+
+    def __init__(self, next_use, signatures):
+        self._next_use = next_use
+        self._signatures = signatures
+
+    def reset(self, config):
+        super().reset(config)
+        self._predictor = {}
+        self._shadow = [dict() for _ in range(config.num_sets)]
+        self._shadow_assoc = config.associativity
+        self.optgen_hits = 0
+        self.optgen_refs = 0
+
+    def install(self, set_index, block, clock, index):
+        self._optgen(set_index, block, index)
+        return super().install(set_index, block, clock, index)
+
+    def touch(self, entry, clock, index):
+        self._optgen(entry[_WAY_SET], entry[_WAY_TAG], index)
+        super().touch(entry, clock, index)
+
+    def _signature(self, index):
+        return self._signatures[index]
+
+    def _insert(self, set_index, sig, index):
+        if self._predictor.get(sig, HAWKEYE_INIT) >= HAWKEYE_INIT:
+            return 0
+        return RRPV_MAX
+
+    def _optgen(self, set_index, block, index):
+        """One access through the shadow OPT; trains the predictor."""
+        shadow = self._shadow[set_index]
+        sig = self._signatures[index]
+        counters = self._predictor
+        count = counters.get(sig, HAWKEYE_INIT)
+        self.optgen_refs += 1
+        if block in shadow:
+            self.optgen_hits += 1
+            if count < HAWKEYE_MAX:
+                counters[sig] = count + 1
+        else:
+            if count > 0:
+                counters[sig] = count - 1
+            if len(shadow) >= self._shadow_assoc:
+                # MinPolicy's victim order: farthest next use, first
+                # strict winner on infinity ties (insertion order).
+                victim_block = None
+                victim_key = None
+                for resident, position in shadow.items():
+                    key = (
+                        -position if position != _INFINITY else -_INFINITY
+                    )
+                    if victim_key is None or key < victim_key:
+                        victim_key = key
+                        victim_block = resident
+                del shadow[victim_block]
+        shadow[block] = self._next_use[index]
+
+
 _POLICY_CLASSES = {
     "lru": LRUPolicy,
     "fifo": FIFOPolicy,
     "random": RandomPolicy,
+    "srrip": SRRIPPolicy,
+    "brrip": BRRIPPolicy,
+    "drrip": DRRIPPolicy,
+    "ship": SHiPPolicy,
+    "hawkeye": HawkeyePolicy,
 }
 
+#: Policies whose constructors need precomputed trace columns
+#: (next-use index and/or signature column) — drivers build these
+#: through :func:`make_policy` before replaying.
+PREDICTOR_POLICIES = ("ship", "hawkeye")
 
-def make_policy(config, next_use=None):
+
+def policy_collapse_safe(name):
+    """May the same-block run collapse front a replay of ``name``?"""
+    policy_class = _POLICY_CLASSES.get(name)
+    return policy_class is None or policy_class.collapse_safe
+
+
+def make_policy(config, next_use=None, signatures=None):
     """Instantiate the :class:`ReplacementPolicy` for ``config``.
 
-    MIN needs the trace's precomputed ``next_use`` index (see
-    :func:`next_use_index`); the online policies ignore it.
+    MIN and Hawkeye need the trace's precomputed ``next_use`` index
+    (see :func:`next_use_index`); SHiP and Hawkeye need its
+    ``signatures`` column (see :func:`signature_column`); the plain
+    online policies ignore both.
     """
+    if config.policy == "ship":
+        if signatures is None:
+            raise ValueError("the SHiP policy needs a signature column")
+        return SHiPPolicy(signatures)
+    if config.policy == "hawkeye":
+        if next_use is None or signatures is None:
+            raise ValueError(
+                "the Hawkeye policy needs next-use and signature columns"
+            )
+        return HawkeyePolicy(next_use, signatures)
     if config.policy == "min" or next_use is not None:
         if next_use is None:
             raise ValueError("the MIN policy needs a next-use index")
@@ -878,8 +1316,10 @@ class UnifiedCache:
             self.last_entry = None
         else:
             # Demote (or a partial-line kill): mark dead so the next
-            # eviction in this set prefers it.
+            # eviction in this set prefers it; predictive policies
+            # additionally force their predicted-dead state.
             entry[ENTRY_DEAD] = True
+            self.policy.demote(entry)
 
     def absorb_followers(self, follower_reads, follower_writes):
         """Account collapsed same-block run followers.
@@ -948,11 +1388,17 @@ def replay_decoded(decoded, config, policy=None, next_use=None, runs=None):
     ``runs`` (a :class:`CollapsedRuns` for this config's effective
     flavor and set count) fronts the loop with the same-block run
     collapse; pass it only when ``config.allocate_on_write`` holds.
+    Collapse-unsafe policies (the RRIP family) ignore ``runs`` and
+    replay every event.
     """
     addresses, writes, bypasses, kills = decoded
     core = UnifiedCache(config, policy=policy, next_use=next_use)
     access = core.access
-    if runs is not None and config.allocate_on_write:
+    if (
+        runs is not None
+        and config.allocate_on_write
+        and core.policy.collapse_safe
+    ):
         dirty_runs = not core._writethrough
         run_writes = runs.run_writes
         last_indices = runs.last_indices
@@ -1031,6 +1477,51 @@ def fifo_sweep(stream, num_sets, assocs, line_words, kill_mode,
     install) is representation-independent because clock stamps are
     globally unique.  Returns ``{assoc: CacheStats}``.
     """
+
+    def make_evict():
+        def evict(lines, counters, set_index):
+            _fifo_evict(lines, counters, line_words)
+
+        return evict
+
+    return _lane_sweep(stream, num_sets, assocs, line_words, kill_mode,
+                       write_policy, allocate_on_write, make_evict)
+
+
+def random_sweep(stream, num_sets, assocs, line_words, kill_mode,
+                 write_policy, allocate_on_write, seed):
+    """Score every Random associativity of one flavor group in one pass.
+
+    Shares the lane walk with :func:`fifo_sweep`; the victim is the
+    counter-based :func:`_mix64` draw over install order, which in a
+    lane's residency dict *is* its insertion order — so each lane's
+    per-set draw counters replay exactly the serial
+    :class:`RandomPolicy` sequence for that associativity.  Returns
+    ``{assoc: CacheStats}``.
+    """
+
+    def make_evict():
+        draws = [0] * num_sets
+
+        def evict(lines, counters, set_index):
+            _random_evict(lines, counters, line_words, seed, set_index,
+                          draws)
+
+        return evict
+
+    return _lane_sweep(stream, num_sets, assocs, line_words, kill_mode,
+                       write_policy, allocate_on_write, make_evict)
+
+
+def _lane_sweep(stream, num_sets, assocs, line_words, kill_mode,
+                write_policy, allocate_on_write, make_evict):
+    """One walk of the typed stream over per-associativity lanes.
+
+    The shared engine behind :func:`fifo_sweep` and
+    :func:`random_sweep`: ``make_evict()`` is called once per lane and
+    must return an ``evict(lines, counters, set_index)`` that pops a
+    victim from the residency dict and accounts the eviction.
+    """
     writethrough = write_policy == "writethrough"
     kill_invalidates = kill_mode == "invalidate" and line_words == 1
     runs = None
@@ -1059,13 +1550,16 @@ def fifo_sweep(stream, num_sets, assocs, line_words, kill_mode,
     uniq = sorted(set(assocs))
     states = [[{} for _ in range(num_sets)] for _ in uniq]
     counters = [[0] * _C_SLOTS for _ in uniq]
-    lanes = list(zip(uniq, states, counters))
+    lanes = [
+        (assoc, state, c, make_evict())
+        for assoc, state, c in zip(uniq, states, counters)
+    ]
 
     clock = 0
     for block, event_type, follower_wrote in events:
         clock += 1
         set_index = block % num_sets
-        for assoc, sets, c in lanes:
+        for assoc, sets, c, evict in lanes:
             lines = sets[set_index]
             entry = lines.get(block)
             if event_type <= EV_PLAIN_WRITE:
@@ -1083,7 +1577,7 @@ def fifo_sweep(stream, num_sets, assocs, line_words, kill_mode,
                         c[_C_WORDS_TO] += 1
                     continue
                 if len(lines) >= assoc:
-                    _fifo_evict(lines, c, line_words)
+                    evict(lines, c, set_index)
                 dirty = (is_write or follower_wrote) and not writethrough
                 lines[block] = [dirty, False, clock, clock]
                 if not (is_write and line_words == 1):
@@ -1121,7 +1615,7 @@ def fifo_sweep(stream, num_sets, assocs, line_words, kill_mode,
                             c[_C_WORDS_TO] += 1
                         continue
                     if len(lines) >= assoc:
-                        _fifo_evict(lines, c, line_words)
+                        evict(lines, c, set_index)
                     dirty = not writethrough
                     entry = [dirty, False, clock, clock]
                     lines[block] = entry
@@ -1162,7 +1656,7 @@ def fifo_sweep(stream, num_sets, assocs, line_words, kill_mode,
 
     return {
         assoc: _sweep_stats(stream, c, collapsed)
-        for assoc, _sets, c in lanes
+        for assoc, _sets, c, _evict in lanes
     }
 
 
@@ -1181,6 +1675,36 @@ def _fifo_evict(lines, counters, line_words):
             fifo_block = block
     if victim_block is None:
         victim_block = fifo_block
+    victim = lines.pop(victim_block)
+    counters[_C_EVICTIONS] += 1
+    if victim[0]:
+        counters[_C_WRITEBACKS] += 1
+        counters[_C_WORDS_TO] += line_words
+
+
+def _random_evict(lines, counters, line_words, seed, set_index, draws):
+    """Pop the counter-RNG Random victim (dead-first) and account it.
+
+    The residency dict's iteration order is its insertion order, which
+    for lane entries equals ascending install stamp — the same ranking
+    :class:`RandomPolicy` sorts its way list into, so the ``_mix64``
+    draw lands on the identical block.  The draw counter advances only
+    when a draw actually happens (a dead line short-circuits it).
+    """
+    victim_block = None
+    dead_stamp = None
+    for block, entry in lines.items():
+        if entry[1] and (dead_stamp is None or entry[2] < dead_stamp):
+            dead_stamp = entry[2]
+            victim_block = block
+    if victim_block is None:
+        draw = draws[set_index]
+        draws[set_index] = draw + 1
+        choice = _mix64(seed, set_index, draw) % len(lines)
+        for position, block in enumerate(lines):
+            if position == choice:
+                victim_block = block
+                break
     victim = lines.pop(victim_block)
     counters[_C_EVICTIONS] += 1
     if victim[0]:

@@ -45,10 +45,13 @@ The profiler is exact for LRU with write-allocate (any write policy,
 any line size), with kills honored only when they fully invalidate
 (``kill_mode == "invalidate"`` and one-word lines — the demote mode
 reorders evictions away from pure recency and has no stack property).
-FIFO and Belady MIN have no stack property, but their sweeps still
-share one walk of the typed stream per flavor through the set-count
-stackers in :mod:`repro.cache.semantics` (:func:`~repro.cache.semantics.fifo_sweep`
-/ :func:`~repro.cache.semantics.min_sweep`).  Everything else — Random,
+FIFO, Random, and Belady MIN have no stack property, but their sweeps
+still share one walk of the typed stream per flavor through the
+set-count stackers in :mod:`repro.cache.semantics`
+(:func:`~repro.cache.semantics.fifo_sweep` /
+:func:`~repro.cache.semantics.random_sweep` /
+:func:`~repro.cache.semantics.min_sweep`).  Everything else — the
+predictive zoo (SRRIP/BRRIP/DRRIP/SHiP/Hawkeye),
 write-around LRU, demoted-kill LRU — is the fallback path's job
 (:func:`repro.cache.replay.replay_trace_multi`);
 :func:`replay_trace_sweep` routes each requested configuration to
@@ -75,6 +78,7 @@ from repro.cache.semantics import (
     flavor_decode as _flavor_decode,
     min_sweep,
     next_use_index,
+    random_sweep,
 )
 from repro.cache.stats import CacheStats
 
@@ -608,14 +612,16 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
     aligned with the input and bit-identical to the serial
     :func:`~repro.cache.replay.replay_trace` path for every entry.
     Supported LRU configurations are grouped by flavor and set count
-    and scored by :func:`profile_pass`; FIFO and Belady MIN specs are
-    grouped the same way and scored by the single-pass set-count
-    stackers (:func:`repro.cache.semantics.fifo_sweep` /
+    and scored by :func:`profile_pass`; FIFO, Random, and Belady MIN
+    specs are grouped the same way and scored by the single-pass
+    set-count stackers (:func:`repro.cache.semantics.fifo_sweep` /
+    :func:`repro.cache.semantics.random_sweep` /
     :func:`repro.cache.semantics.min_sweep`); everything else
-    (Random, write-around LRU, demoted-kill LRU) falls back to the
-    multi-replay core.  ``engine`` forces a path: ``"stackdist"``
+    (the predictive zoo, write-around LRU, demoted-kill LRU) falls
+    back to the multi-replay core.  ``engine`` forces a path:
+    ``"stackdist"``
     raises :class:`ValueError` if any spec is outside the hole-stack
-    profiler (FIFO/MIN included — they have no stack property),
+    profiler (FIFO/Random/MIN included — they have no stack property),
     ``"multi"`` skips one-pass engines entirely, ``"auto"`` routes per
     spec.  When left ``None`` the ``REPRO_SWEEP_ENGINE`` environment
     variable picks the engine (the CI golden-pin job forces
@@ -657,6 +663,7 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
 
     groups = {}
     fifo_groups = {}
+    random_groups = {}
     min_groups = {}
     fallback = []
     for index, spec in enumerate(specs):
@@ -681,6 +688,12 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
             key = policy_sweep_key(spec)
             fifo_groups.setdefault(key, []).append((index, spec))
             continue
+        if spec.policy == "random":
+            # The counter-based RNG is a pure function of (seed, set,
+            # draw ordinal), so lanes sharing a seed sweep together.
+            key = policy_sweep_key(spec) + (spec.seed,)
+            random_groups.setdefault(key, []).append((index, spec))
+            continue
         fallback.append((index, spec))
 
     results = [None] * len(specs)
@@ -703,8 +716,15 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
             results[index] = profile.stats_for(spec.associativity)
 
     next_use_cache = {}
-    for kind, kind_groups in (("fifo", fifo_groups), ("min", min_groups)):
+    for kind, kind_groups in (
+        ("fifo", fifo_groups),
+        ("random", random_groups),
+        ("min", min_groups),
+    ):
         for key, members in kind_groups.items():
+            seed = None
+            if kind == "random":
+                key, seed = key[:-1], key[-1]
             (line_words, eff_hb, eff_hk, kill_mode, write_policy,
              allocate_on_write, num_sets) = key
             stream = stream_for((line_words, eff_hb, eff_hk, write_policy))
@@ -713,6 +733,11 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
                 sweep = fifo_sweep(
                     stream, num_sets, assocs, line_words, kill_mode,
                     write_policy, allocate_on_write,
+                )
+            elif kind == "random":
+                sweep = random_sweep(
+                    stream, num_sets, assocs, line_words, kill_mode,
+                    write_policy, allocate_on_write, seed,
                 )
             else:
                 nu_key = (line_words, eff_hb)

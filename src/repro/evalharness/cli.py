@@ -116,7 +116,8 @@ def main_figure5(argv=None):
     parser.add_argument("--associativity", type=int,
                         default=DEFAULT_CACHE.associativity)
     parser.add_argument("--policy", default=DEFAULT_CACHE.policy,
-                        choices=["lru", "fifo", "random"])
+                        choices=["lru", "fifo", "random", "srrip", "brrip",
+                                 "drrip", "ship", "hawkeye"])
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the benchmark fan-out "
                              "(enables the artifact cache)")

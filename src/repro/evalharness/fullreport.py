@@ -140,6 +140,82 @@ def hierarchy_section(hierarchy, names, failures=None, artifact_cache=None):
     return "\n".join(lines)
 
 
+def policy_zoo_section(names=BENCHMARK_NAMES, base=None,
+                       failures=None, artifact_cache=None):
+    """E17: hardware reuse prediction vs. compiler reuse knowledge.
+
+    Every policy's hit rate appears conventional (annotations ignored)
+    and unified (bypass+kill honored); the trailing headline counts,
+    per benchmark, whether the best kill+RRIP cell beats kill+LRU
+    (the fair, same-stream comparison) and whether it also beats the
+    best prediction-alone cell (cross-scheme: the unified denominator
+    excludes the bypassed easy refs, so this is a high bar — see
+    EXPERIMENTS.md E17).
+    """
+    from repro.evalharness.sweeps import (
+        ZOO_GEOMETRY,
+        ZOO_POLICIES,
+        ZOO_PREDICTIVE,
+        policy_zoo_sweep,
+    )
+
+    if base is None:
+        base = ZOO_GEOMETRY
+
+    lines = [_heading("E17  Predictive replacement vs. compiler liveness "
+                      "(policy zoo)")]
+    table_rows = []
+    beats_lru = []
+    beats_both = []
+    for name in names:
+        try:
+            rows = policy_zoo_sweep(name, base=base,
+                                    artifact_cache=artifact_cache)
+        except Exception as error:  # noqa: BLE001 - recorded, reported
+            if failures is None:
+                raise
+            failures.append(failure_record("policy-zoo", name, error))
+            continue
+        by_cell = {(row["policy"], row["scheme"]): row for row in rows}
+        for policy in ZOO_POLICIES:
+            conv = by_cell[(policy, "conventional")]
+            unified = by_cell[(policy, "unified")]
+            table_rows.append([
+                name,
+                policy,
+                "{:.4f}".format(conv["hit_rate"]),
+                "{:.4f}".format(unified["hit_rate"]),
+                conv["bus_words"],
+                unified["bus_words"],
+            ])
+        kill_lru = by_cell[("lru", "unified")]["hit_rate"]
+        prediction_alone = max(
+            by_cell[(p, "conventional")]["hit_rate"] for p in ZOO_PREDICTIVE
+        )
+        kill_rrip = max(
+            by_cell[(p, "unified")]["hit_rate"] for p in ZOO_PREDICTIVE
+        )
+        if kill_rrip > kill_lru:
+            beats_lru.append(name)
+            if kill_rrip > prediction_alone:
+                beats_both.append(name)
+    lines.append(format_table(
+        ["benchmark", "policy", "conv hit", "unified hit",
+         "conv bus words", "unified bus words"],
+        table_rows,
+    ))
+    lines.append(
+        "headline: kill+RRIP beats kill+LRU on {}/{} benchmarks{}; "
+        "beats both kill+LRU and prediction alone on {}/{}{}".format(
+            len(beats_lru), len(names),
+            " ({})".format(", ".join(beats_lru)) if beats_lru else "",
+            len(beats_both), len(names),
+            " ({})".format(", ".join(beats_both)) if beats_both else "",
+        )
+    )
+    return "\n".join(lines)
+
+
 def combined_cache_section(failures=None):
     lines = [_heading("E10  Combined I+D cache: instruction hit rate")]
     table_rows = []
@@ -235,7 +311,8 @@ def access_time_section(failures=None, artifact_cache=None):
 
 def build_report(paper_scale=False, fast=False, failures=None,
                  cache_config=DEFAULT_CACHE, jobs=None, artifact_cache=None,
-                 hierarchy=None, hierarchy_benchmarks=None, journal=None):
+                 hierarchy=None, hierarchy_benchmarks=None, journal=None,
+                 policy_zoo=False):
     """Assemble the report string.
 
     With ``failures`` (a list), a section or benchmark that breaks is
@@ -261,6 +338,11 @@ def build_report(paper_scale=False, fast=False, failures=None,
             ("hierarchy",
              lambda: hierarchy_section(
                  hierarchy, hierarchy_benchmarks or BENCHMARK_NAMES,
+                 failures=failures, artifact_cache=artifact_cache)))
+    if policy_zoo:
+        section_builders.append(
+            ("policy-zoo",
+             lambda: policy_zoo_section(
                  failures=failures, artifact_cache=artifact_cache)))
     if not fast:
         section_builders.append(
@@ -342,6 +424,10 @@ def main(argv=None):
                         choices=list(BENCHMARK_NAMES),
                         help="restrict the hierarchy section to these "
                              "benchmarks (default: all)")
+    parser.add_argument("--policy-zoo", action="store_true",
+                        help="add the E17 predictive-replacement zoo "
+                             "section ({policy} x {conventional, unified} "
+                             "hit ratios on every benchmark)")
     args = parser.parse_args(argv)
     set_default_max_steps(args.max_steps)
     cache_config = DEFAULT_CACHE
@@ -358,7 +444,8 @@ def main(argv=None):
                        jobs=args.jobs, artifact_cache=artifact_cache,
                        hierarchy=args.hierarchy,
                        hierarchy_benchmarks=args.hierarchy_benchmarks,
-                       journal=args.journal))
+                       journal=args.journal,
+                       policy_zoo=args.policy_zoo))
     if failures:
         print("\n" + format_failures(failures), file=sys.stderr)
         return 1

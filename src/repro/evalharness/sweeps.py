@@ -150,6 +150,71 @@ def policy_ablation(
     return rows
 
 
+#: The E17 policy zoo: the paper's baseline plus the predictive
+#: lineage (docs/POLICIES.md).  BRRIP rides along inside DRRIP.
+ZOO_POLICIES = ("lru", "srrip", "drrip", "ship", "hawkeye")
+
+#: The zoo members that predict reuse in hardware (everything but the
+#: LRU baseline) — the "prediction alone" side of the E17 headline.
+ZOO_PREDICTIVE = ("srrip", "drrip", "ship", "hawkeye")
+
+#: E17's geometry, shared with the golden pin and the cost benchmark:
+#: at 64 words / 4-way every benchmark outgrows the cache, so
+#: replacement decisions (and the compiler's kill bits) have real
+#: work to do; at the 256-word default the policies barely separate.
+ZOO_GEOMETRY = CacheConfig(size_words=64, line_words=1, associativity=4)
+
+
+def policy_zoo_sweep(
+    name,
+    policies=ZOO_POLICIES,
+    base=DEFAULT_CACHE,
+    paper_scale=False,
+    options=None,
+    artifact_cache=None,
+):
+    """E17: hardware reuse prediction vs. compiler reuse knowledge.
+
+    Each policy replays the same annotated trace twice: once
+    *conventional* (annotation bits ignored — prediction alone) and
+    once *unified* (bypass and kill honored — prediction plus the
+    compiler's liveness).  One :func:`replay_trace_sweep` call scores
+    the whole grid; the LRU pairs ride the one-pass engines while the
+    predictive policies take the multi-replay fallback.
+    """
+    trace, _program = _trace_for(name, paper_scale, options, artifact_cache)
+    cells = []
+    specs = []
+    for policy in policies:
+        for scheme in ("conventional", "unified"):
+            honor = scheme == "unified"
+            specs.append(
+                _variant(
+                    base, policy=policy,
+                    honor_bypass=honor, honor_kill=honor,
+                )
+            )
+            cells.append((policy, scheme))
+    all_stats = replay_trace_sweep(trace, specs)
+    rows = []
+    for (policy, scheme), stats in zip(cells, all_stats):
+        rows.append(
+            {
+                "benchmark": name,
+                "policy": policy,
+                "scheme": scheme,
+                "hit_rate": stats.hit_rate,
+                "miss_rate": stats.miss_rate,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "refs_cached": stats.refs_cached,
+                "dead_drops": stats.dead_drops,
+                "bus_words": stats.bus_words,
+            }
+        )
+    return rows
+
+
 def kill_bit_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
                       sizes=(32, 64, 128, 256), options=None,
                       artifact_cache=None):

@@ -411,6 +411,19 @@ def _check_cache_models(run, baseline, cache_words, associativity):
     }
     labels = ("unified", "conventional", "min", "fifo")
     battery = [config, blind, MinConfig(config), fifo]
+    # The predictive-policy axis: random plus the whole zoo, each
+    # replayed serially and held to the batch engines below.
+    for zoo_policy in ("random", "srrip", "brrip", "drrip", "ship",
+                       "hawkeye"):
+        zoo_config = CacheConfig(
+            size_words=cache_words,
+            line_words=1,
+            associativity=associativity,
+            policy=zoo_policy,
+        )
+        serial[zoo_policy] = replay_trace(run.trace, zoo_config).as_dict()
+        labels = labels + (zoo_policy,)
+        battery.append(zoo_config)
     multi = replay_trace_multi(run.trace, battery)
     for label, stats in zip(labels, multi):
         if stats.as_dict() != serial[label]:

@@ -1,15 +1,21 @@
 """Conformance suite for the :class:`ReplacementPolicy` protocol.
 
-The refactor's contract is that every policy — LRU, FIFO, Random, MIN
-— is a state-owning strategy object behind one transfer function
+The refactor's contract is that every policy — LRU, FIFO, Random,
+MIN, and the predictive zoo (SRRIP, BRRIP, DRRIP, SHiP, Hawkeye) — is
+a state-owning strategy object behind one transfer function
 (:class:`repro.cache.semantics.UnifiedCache`), and that every engine
 driving that core produces bit-identical :class:`CacheStats`.  This
-suite checks the contract from three angles:
+suite checks the contract from four angles:
 
 * the protocol surface itself (``make_policy`` dispatch, the
-  operations every policy must expose, capacity invariants);
+  operations every policy must expose, capacity invariants,
+  fixed-seed determinism);
 * cross-engine bit-identity per policy on hand-built and fuzzer
-  traces (serial replay vs multi-replay vs the sweep dispatcher);
+  traces (serial replay vs multi-replay vs the sweep dispatcher —
+  Random included, via the counter-based per-(set, draw) RNG);
+* the kill/bypass interaction semantics each policy must honor
+  (demote forces predicted-dead, invalidation never trains a
+  predictor);
 * the golden Figure 5 pin: the numbers in ``tests/golden/figure5.json``
   reproduced through all four engines — online :class:`Cache`, the
   data-carrying functional twin, the multi-replay core, and the
@@ -23,15 +29,31 @@ import pytest
 
 from repro.cache.cache import Cache, CacheConfig
 from repro.cache.functional import DataCachedMemory
-from repro.cache.replay import MinConfig, replay_trace, replay_trace_multi
+from repro.cache.replay import (
+    MinConfig,
+    policy_for_trace,
+    replay_trace,
+    replay_trace_multi,
+)
 from repro.cache.semantics import (
+    ENTRY_DEAD,
+    RRPV_MAX,
+    SHCT_INIT,
+    _WAY_RRPV,
+    _WAY_SIG,
+    BRRIPPolicy,
+    DRRIPPolicy,
     FIFOPolicy,
+    HawkeyePolicy,
     LRUPolicy,
     MinPolicy,
     RandomPolicy,
+    SHiPPolicy,
+    SRRIPPolicy,
     UnifiedCache,
     make_policy,
     next_use_index,
+    signature_column,
 )
 from repro.cache.stackdist import replay_trace_sweep
 from repro.evalharness.experiment import (
@@ -52,10 +74,27 @@ GOLDEN_PATH = os.path.join(
 #: Every protocol operation the semantics core calls on a policy.
 PROTOCOL_OPS = (
     "reset", "lookup", "touch", "room", "evict", "install",
-    "invalidate", "entries",
+    "invalidate", "demote", "entries",
 )
 
 ONLINE_POLICIES = ("lru", "fifo", "random")
+
+#: The predictive zoo (docs/POLICIES.md); all online, all held to the
+#: same cross-engine battery as the classics.
+ZOO_POLICIES = ("srrip", "brrip", "drrip", "ship", "hawkeye")
+
+ALL_ONLINE_POLICIES = ONLINE_POLICIES + ZOO_POLICIES
+
+#: Policies that consume trace positions (and, for the predictors,
+#: precomputed trace columns).
+INDEXED_POLICIES = ("min", "ship", "hawkeye")
+
+
+def build_policy(policy, trace):
+    """A ready policy instance for ``policy`` over ``trace``."""
+    if policy == "min":
+        return MinPolicy(next_use_index(trace, 1, True))
+    return policy_for_trace(trace, CacheConfig(policy=policy, seed=1))
 
 
 def make_trace(refs):
@@ -119,6 +158,33 @@ class TestProtocolSurface:
         assert isinstance(
             make_policy(CacheConfig(policy="lru"), next_use=[]), MinPolicy
         )
+        assert isinstance(
+            make_policy(CacheConfig(policy="srrip")), SRRIPPolicy
+        )
+        assert isinstance(
+            make_policy(CacheConfig(policy="brrip")), BRRIPPolicy
+        )
+        assert isinstance(
+            make_policy(CacheConfig(policy="drrip")), DRRIPPolicy
+        )
+        assert isinstance(
+            make_policy(CacheConfig(policy="ship"), signatures=[]),
+            SHiPPolicy,
+        )
+        assert isinstance(
+            make_policy(
+                CacheConfig(policy="hawkeye"), next_use=[], signatures=[]
+            ),
+            HawkeyePolicy,
+        )
+
+    def test_predictor_policies_demand_their_columns(self):
+        with pytest.raises(ValueError, match="signature column"):
+            make_policy(CacheConfig(policy="ship"))
+        with pytest.raises(ValueError, match="next-use and signature"):
+            make_policy(CacheConfig(policy="hawkeye"))
+        with pytest.raises(ValueError, match="next-use and signature"):
+            make_policy(CacheConfig(policy="hawkeye"), signatures=[])
 
     def test_min_is_not_an_online_policy(self):
         """MIN rides via MinConfig + next-use, never as a config
@@ -133,28 +199,28 @@ class TestProtocolSurface:
         with pytest.raises(ValueError, match="unknown policy"):
             make_policy(Stub())
 
-    @pytest.mark.parametrize("policy", ONLINE_POLICIES + ("min",))
+    @pytest.mark.parametrize("policy", ALL_ONLINE_POLICIES + ("min",))
     def test_protocol_operations_exist(self, policy):
-        if policy == "min":
-            instance = MinPolicy([])
-        else:
-            instance = make_policy(
-                CacheConfig(policy=policy, seed=1)
-            )
+        instance = build_policy(policy, make_trace(HAND_REFS))
+        if instance is None:
+            instance = make_policy(CacheConfig(policy=policy, seed=1))
         for op in PROTOCOL_OPS:
             assert callable(getattr(instance, op)), (policy, op)
         assert isinstance(instance.needs_index, bool)
-        assert instance.needs_index == (policy == "min")
+        assert instance.needs_index == (policy in INDEXED_POLICIES)
+        assert isinstance(instance.collapse_safe, bool)
+        assert instance.collapse_safe == (policy not in ZOO_POLICIES)
 
-    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    @pytest.mark.parametrize("policy", ALL_ONLINE_POLICIES)
     def test_capacity_never_exceeded(self, policy):
         config = CacheConfig(
             size_words=8, line_words=1, associativity=2, policy=policy,
             seed=5,
         )
-        core = UnifiedCache(config)
-        for address, is_write, bypass, kill in HAND_REFS:
-            core.access(address, is_write, bypass, kill)
+        trace = make_trace(HAND_REFS)
+        core = UnifiedCache(config, policy=policy_for_trace(trace, config))
+        for index, (address, is_write, bypass, kill) in enumerate(HAND_REFS):
+            core.access(address, is_write, bypass, kill, index=index)
             counts = {}
             for block, entry in core.policy.entries():
                 assert entry[0] in (True, False)
@@ -162,6 +228,33 @@ class TestProtocolSurface:
                 counts[set_index] = counts.get(set_index, 0) + 1
             for set_index, count in counts.items():
                 assert count <= config.associativity, (policy, set_index)
+
+    @pytest.mark.parametrize("policy", ALL_ONLINE_POLICIES)
+    def test_fixed_seed_determinism(self, policy):
+        """The same config replays to the same stats, run after run."""
+        trace = make_trace(HAND_REFS)
+        config = CacheConfig(
+            size_words=8, line_words=1, associativity=2, policy=policy,
+            seed=17,
+        )
+        first = replay_trace(trace, config)
+        second = replay_trace(trace, config)
+        assert first.as_dict() == second.as_dict()
+
+    def test_random_seed_changes_the_draws(self):
+        """Different seeds must be able to produce different victims
+        (the counter RNG is seeded, not degenerate)."""
+        refs = [(a % 12, a % 3 == 0, False, False) for a in range(400)]
+        trace = make_trace(refs)
+        outcomes = {
+            replay_trace(
+                trace,
+                CacheConfig(size_words=4, line_words=1, associativity=4,
+                            policy="random", seed=seed),
+            ).hits
+            for seed in range(8)
+        }
+        assert len(outcomes) > 1
 
 
 class TestCrossEngineBitIdentity:
@@ -191,7 +284,7 @@ class TestCrossEngineBitIdentity:
             assert b.as_dict() == want.as_dict(), ("auto", spec)
             assert c.as_dict() == want.as_dict(), ("fallback", spec)
 
-    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    @pytest.mark.parametrize("policy", ALL_ONLINE_POLICIES)
     def test_hand_trace(self, policy):
         self.engines(make_trace(HAND_REFS), policy_configs(policy))
 
@@ -223,7 +316,7 @@ class TestCrossEngineBitIdentity:
             traces.append(memory.buffer)
         return traces
 
-    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    @pytest.mark.parametrize("policy", ALL_ONLINE_POLICIES)
     def test_fuzzed_traces(self, policy, fuzz_traces):
         for trace in fuzz_traces:
             self.engines(trace, policy_configs(policy))
@@ -236,17 +329,140 @@ class TestCrossEngineBitIdentity:
             ])
 
     def test_mixed_policy_battery_one_call(self, fuzz_traces):
-        """One sweep call spanning all four policies routes each spec
-        to its engine and still matches the serial path spec-by-spec."""
+        """One sweep call spanning every registered policy routes each
+        spec to its engine and still matches the serial path
+        spec-by-spec."""
         specs = [
             CacheConfig(size_words=8, associativity=2, policy="lru"),
             CacheConfig(size_words=8, associativity=2, policy="fifo"),
             CacheConfig(size_words=8, associativity=2, policy="random",
                         seed=3),
             MinConfig(size_words=8, line_words=1, associativity=2),
+        ] + [
+            CacheConfig(size_words=8, associativity=2, policy=policy)
+            for policy in ZOO_POLICIES
         ]
         for trace in fuzz_traces:
             self.engines(trace, specs)
+
+
+class TestKillBypassInteraction:
+    """Per-policy unit cases for the kill/bypass semantics (the
+    interaction table in docs/POLICIES.md)."""
+
+    def drive(self, policy, refs, **overrides):
+        params = dict(size_words=4, line_words=1, associativity=2,
+                      policy=policy, seed=9)
+        params.update(overrides)
+        config = CacheConfig(**params)
+        trace = make_trace(refs)
+        core = UnifiedCache(config, policy=policy_for_trace(trace, config))
+        for index, (address, flags) in enumerate(trace):
+            core.access(
+                address,
+                bool(flags & FLAG_WRITE),
+                bool(flags & FLAG_BYPASS),
+                bool(flags & FLAG_KILL),
+                index=index,
+            )
+        return core
+
+    def blocks(self, core):
+        return {block for block, _entry in core.policy.entries()}
+
+    @pytest.mark.parametrize("policy", ALL_ONLINE_POLICIES)
+    def test_kill_invalidate_drops_the_line(self, policy):
+        core = self.drive(policy, [
+            (0, False, False, False),
+            (0, False, False, True),
+        ])
+        assert 0 not in self.blocks(core)
+
+    @pytest.mark.parametrize("policy", ALL_ONLINE_POLICIES)
+    def test_kill_demote_marks_dead_but_keeps_the_line(self, policy):
+        core = self.drive(policy, [
+            (0, False, False, False),
+            (2, False, False, False),
+            (0, False, False, True),
+        ], kill_mode="demote")
+        entries = dict(core.policy.entries())
+        assert set(entries) >= {0, 2}
+        assert entries[0][ENTRY_DEAD]
+        assert not entries[2][ENTRY_DEAD]
+
+    @pytest.mark.parametrize("policy", ZOO_POLICIES)
+    def test_demote_forces_predicted_dead(self, policy):
+        """A killed line lands at distant RRPV with its signature
+        cleared — the compiler's verdict overrides the predictor."""
+        core = self.drive(policy, [
+            (0, False, False, False),
+            (2, False, False, False),
+            (0, False, False, True),
+        ], kill_mode="demote")
+        entries = dict(core.policy.entries())
+        assert entries[0][_WAY_RRPV] == RRPV_MAX
+        assert entries[0][_WAY_SIG] is None
+
+    @pytest.mark.parametrize("policy", ALL_ONLINE_POLICIES)
+    def test_demoted_line_is_the_next_victim(self, policy):
+        """Dead lines are evicted first under every policy — the
+        paper's dead-line reuse is policy-independent."""
+        core = self.drive(policy, [
+            (0, False, False, False),
+            (2, False, False, False),
+            (0, False, False, True),
+            (4, False, False, False),
+        ], kill_mode="demote")
+        assert self.blocks(core) & {0, 2, 4} == {2, 4}
+
+    @pytest.mark.parametrize("policy", ALL_ONLINE_POLICIES)
+    def test_bypass_never_installs(self, policy):
+        core = self.drive(policy, [(0, False, True, False)])
+        assert self.blocks(core) == set()
+        assert core.stats.refs_bypassed == 1
+
+    def test_ship_kill_is_predictor_exempt(self):
+        """Killing a never-reused line must not detrain the SHCT —
+        compiler knowledge is not predictor evidence."""
+        control = self.drive("ship", [
+            (0, False, False, False),
+            (2, False, False, False),
+        ], size_words=2, associativity=1)
+        assert control.policy._shct == {0: SHCT_INIT - 1}
+        killed = self.drive("ship", [
+            (0, False, False, True),
+            (2, False, False, False),
+        ], size_words=2, associativity=1, kill_mode="demote")
+        assert killed.policy._shct == {}
+
+
+class TestFunctionalTwinZoo:
+    """The data-carrying functional twin replays every zoo policy
+    bit-identically to the trace engines (the two-pass scheme:
+    record the trace, build the predictor columns, re-run)."""
+
+    @pytest.mark.parametrize("policy", ZOO_POLICIES + ("random",))
+    def test_twin_matches_replay(self, policy):
+        program = compile_source(
+            get_benchmark("puzzle").source, figure5_options()
+        )
+        memory = RecordingMemory()
+        output = program.run(memory=memory).output
+        trace = memory.buffer
+        config = CacheConfig(
+            size_words=64, line_words=1, associativity=4,
+            policy=policy, seed=11,
+        )
+        want = replay_trace(trace, config)
+        twin = DataCachedMemory(
+            config, policy=policy_for_trace(trace, config)
+        )
+        fresh = compile_source(
+            get_benchmark("puzzle").source, figure5_options()
+        )
+        result = fresh.run(memory=twin)
+        assert result.output == output
+        assert twin.stats.as_dict() == want.as_dict()
 
 
 class TestGoldenFigure5Pin:
