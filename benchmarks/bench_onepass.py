@@ -1,7 +1,7 @@
 """The one-pass sweep acceptance benchmark, recorded in
 ``BENCH_onepass.json``.
 
-Four claims, all asserted live:
+Six claims, all asserted live:
 
 * **LRU replay**: on the 6-benchmark × 4-geometry associativity
   ladder (64 sets fixed, ways 1/2/4/8 — the canonical Mattson shape,
@@ -11,6 +11,10 @@ Four claims, all asserted live:
   inlined multi-replay core
   (:func:`repro.cache.replay.replay_trace_multi`) by at least **3x**
   single-core, with bit-identical statistics.
+* **Vectorized sweep**: the same ladder through the set-major array
+  kernels (:mod:`repro.cache.vectorized`, ``engine="vectorized"``)
+  beats the scalar stack-distance engine by at least **2x**
+  (min-of-3 wall clock), bit-identical again.
 * **FIFO / MIN sweeps**: the same ladder under FIFO and Belady MIN
   routes through the single-pass set-count stackers
   (:func:`repro.cache.semantics.fifo_sweep` /
@@ -21,6 +25,11 @@ Four claims, all asserted live:
   traces at least **1.5x** faster than the per-step dispatch reference
   interpreter (:class:`repro.vm.reference.ReferenceMachine`) it
   replaced — the cold-path cost when the artifact cache is empty.
+* **Superinstruction VM**: under aggressive promotion (locals in
+  registers — the codegen the fusion targets) the fused-run handler
+  table beats the same Machine with fusion disabled by at least
+  **1.3x** (min-of-3 per side), with identical output and step
+  counts.
 
 The record also carries the RPTRACE2 delta-codec compression ratio
 over the same traces.  When the environment cannot support the claims
@@ -46,7 +55,7 @@ from repro.cache.stackdist import replay_trace_sweep
 from repro.evalharness.experiment import conventional_config
 from repro.evalharness.figure5 import figure5_options
 from repro.programs import BENCHMARK_NAMES, get_benchmark
-from repro.unified.pipeline import compile_source
+from repro.unified.pipeline import CompilationOptions, compile_source
 from repro.vm.machine import Machine
 from repro.vm.memory import RecordingMemory
 from repro.vm.reference import ReferenceMachine
@@ -72,9 +81,32 @@ RECORD_PATH = os.path.join(
 )
 
 REPLAY_SPEEDUP_FLOOR = 3.0
+VECTORIZED_SPEEDUP_FLOOR = 2.0
 FIFO_SPEEDUP_FLOOR = 2.0
 MIN_SPEEDUP_FLOOR = 2.0
 VM_SPEEDUP_FLOOR = 1.5
+SUPERINSTRUCTION_SPEEDUP_FLOOR = 1.3
+
+#: min-of-N repetitions for the wall-clock ratios that are asserted
+#: against tight floors; the minimum is robust against scheduler noise
+#: in a way a single sample on a busy box is not.
+TIMING_REPS = 5
+
+
+class _UnfusedMachine(Machine):
+    """The closure VM with superinstruction fusion disabled — the
+    baseline side of the fused-vs-unfused ratio."""
+
+    _enable_fusion = False
+
+
+def _numpy_version():
+    try:
+        import numpy
+
+        return numpy.__version__
+    except Exception:
+        return None
 
 
 def record_skip(path, reason):
@@ -201,6 +233,56 @@ def test_onepass_speedup_and_equivalence():
         for spec, want, got in zip(specs, multi[name], swept[name]):
             assert got.as_dict() == want.as_dict(), (name, spec)
 
+    # -- vectorized sweep: set-major array kernels vs scalar profiler -
+    def _sweep_all(engine):
+        return {
+            name: replay_trace_sweep(trace, specs, engine=engine)
+            for name, trace in traces.items()
+        }
+
+    vectored = _sweep_all("vectorized")
+    for name in BENCHMARK_NAMES:
+        for spec, want, got in zip(specs, multi[name], vectored[name]):
+            assert got.as_dict() == want.as_dict(), ("vectorized", name, spec)
+
+    def _min_of(reps, fn):
+        best = None
+        for _ in range(reps):
+            started = time.perf_counter()
+            fn()
+            seconds = time.perf_counter() - started
+            best = seconds if best is None else min(best, seconds)
+        return best
+
+    scalar_best = _min_of(TIMING_REPS, lambda: _sweep_all("stackdist"))
+    vector_best = _min_of(TIMING_REPS, lambda: _sweep_all("vectorized"))
+    vectorized_speedup = scalar_best / vector_best
+
+    # -- superinstruction VM: fused run handlers vs per-op closures ---
+    aggressive = CompilationOptions(scheme="unified",
+                                    promotion="aggressive")
+    fused_seconds = 0.0
+    unfused_seconds = 0.0
+    for name in BENCHMARK_NAMES:
+        program = compile_source(get_benchmark(name).source, aggressive)
+
+        def _vm_run_seconds(vm_class, program=program):
+            _trace, _result, seconds = _trace_with(vm_class, program)
+            return seconds
+
+        fused_trace, fused_result, _ = _trace_with(Machine, program)
+        plain_trace, plain_result, _ = _trace_with(_UnfusedMachine, program)
+        assert plain_result.output == fused_result.output, name
+        assert plain_result.steps == fused_result.steps, name
+        assert list(plain_trace) == list(fused_trace), name
+        fused_seconds += min(
+            _vm_run_seconds(Machine) for _ in range(TIMING_REPS)
+        )
+        unfused_seconds += min(
+            _vm_run_seconds(_UnfusedMachine) for _ in range(TIMING_REPS)
+        )
+    superinstruction_speedup = unfused_seconds / fused_seconds
+
     # -- FIFO / MIN ladders: set-count stackers vs per-config replay --
     policy_speedups = {}
     for policy in ("fifo", "min"):
@@ -248,16 +330,32 @@ def test_onepass_speedup_and_equivalence():
         "reference_vm_seconds": round(reference_seconds, 3),
         "closure_vm_seconds": round(vm_seconds, 3),
         "vm_speedup": round(vm_speedup, 2),
+        "vectorized_sweep": {
+            "stackdist_seconds": round(scalar_best, 3),
+            "vectorized_seconds": round(vector_best, 3),
+            "speedup": round(vectorized_speedup, 2),
+            "timing_reps": TIMING_REPS,
+        },
+        "superinstruction_vm": {
+            "promotion": "aggressive",
+            "unfused_seconds": round(unfused_seconds, 3),
+            "fused_seconds": round(fused_seconds, 3),
+            "speedup": round(superinstruction_speedup, 2),
+            "timing_reps": TIMING_REPS,
+        },
         "fifo_sweep": policy_speedups["fifo"],
         "min_sweep": policy_speedups["min"],
         "trace_bytes_v1": v1_bytes,
         "trace_bytes_v2": v2_bytes,
         "trace_v2_compression": round(v1_bytes / v2_bytes, 2),
         "replay_speedup_floor": REPLAY_SPEEDUP_FLOOR,
+        "vectorized_speedup_floor": VECTORIZED_SPEEDUP_FLOOR,
         "fifo_speedup_floor": FIFO_SPEEDUP_FLOOR,
         "min_speedup_floor": MIN_SPEEDUP_FLOOR,
         "vm_speedup_floor": VM_SPEEDUP_FLOOR,
+        "superinstruction_speedup_floor": SUPERINSTRUCTION_SPEEDUP_FLOOR,
         "python": platform.python_version(),
+        "numpy": _numpy_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
     }
@@ -276,11 +374,25 @@ def test_onepass_speedup_and_equivalence():
             multi_seconds, sweep_seconds,
         )
     )
+    assert vectorized_speedup >= VECTORIZED_SPEEDUP_FLOOR, (
+        "vectorized sweep speedup {:.2f}x is below the {}x floor "
+        "(stackdist {:.2f}s, vectorized {:.2f}s)".format(
+            vectorized_speedup, VECTORIZED_SPEEDUP_FLOOR,
+            scalar_best, vector_best,
+        )
+    )
     assert vm_speedup >= VM_SPEEDUP_FLOOR, (
         "closure VM speedup {:.2f}x is below the {}x floor "
         "(reference {:.2f}s, closure {:.2f}s)".format(
             vm_speedup, VM_SPEEDUP_FLOOR,
             reference_seconds, vm_seconds,
+        )
+    )
+    assert superinstruction_speedup >= SUPERINSTRUCTION_SPEEDUP_FLOOR, (
+        "superinstruction VM speedup {:.2f}x is below the {}x floor "
+        "(unfused {:.2f}s, fused {:.2f}s)".format(
+            superinstruction_speedup, SUPERINSTRUCTION_SPEEDUP_FLOOR,
+            unfused_seconds, fused_seconds,
         )
     )
     for policy, floor in (("fifo", FIFO_SPEEDUP_FLOOR),

@@ -101,13 +101,36 @@ class FlavorStream:
     The blocks and EV_* type codes both as NumPy arrays (``None``
     without NumPy) and as Python lists, plus the geometry-independent
     stat constants — all computed exactly once per flavor no matter
-    how many ``(num_sets, assoc)`` passes share them.
+    how many ``(num_sets, assoc)`` passes share them.  The list views
+    materialize lazily: the vectorized engine and the run-collapse
+    pre-pass stay entirely in array space, so decoding no longer pays
+    two ``tolist()`` walks consumers may never ask for.
     """
 
     __slots__ = (
-        "blocks_np", "types_np", "blocks_list", "types_list",
+        "blocks_np", "types_np", "_blocks_list", "_types_list",
         "constants", "plain_only",
     )
+
+    @property
+    def blocks_list(self):
+        if self._blocks_list is None:
+            self._blocks_list = self.blocks_np.tolist()
+        return self._blocks_list
+
+    @blocks_list.setter
+    def blocks_list(self, value):
+        self._blocks_list = value
+
+    @property
+    def types_list(self):
+        if self._types_list is None:
+            self._types_list = self.types_np.tolist()
+        return self._types_list
+
+    @types_list.setter
+    def types_list(self, value):
+        self._types_list = value
 
 
 def flavor_decode(columns, flavor):
@@ -135,8 +158,8 @@ def flavor_decode(columns, flavor):
             types = w
         stream.blocks_np = blocks
         stream.types_np = types
-        stream.blocks_list = blocks.tolist()
-        stream.types_list = types.tolist()
+        stream._blocks_list = None
+        stream._types_list = None
         counts = _np.bincount(types, minlength=7).tolist()
     else:
         stream.blocks_np = None
@@ -288,7 +311,7 @@ class CollapsedRuns:
     )
 
 
-def collapse_runs(blocks, types, num_sets):
+def collapse_runs(blocks, types, num_sets, order=None):
     """Collapse per-set consecutive same-block plain-cached runs.
 
     A through-cache reference whose set's previous reference touched
@@ -300,6 +323,10 @@ def collapse_runs(blocks, types, num_sets):
     Only valid when every plain head leaves its block resident — i.e.
     ``allocate_on_write=True`` (a write-around head miss would make
     its followers miss too); callers gate on that.
+
+    ``order``, when given, must be a stable set-major argsort of the
+    events (``TraceBuffer.set_partition``); passing it skips the sort
+    here so one partition serves every flavor of a geometry.
     """
     if _np is None or len(blocks) == 0:
         return _collapse_runs_py(blocks, types, num_sets)
@@ -307,7 +334,8 @@ def collapse_runs(blocks, types, num_sets):
     t = _np.asarray(types, dtype=_np.int64)
     n = len(b)
     sets = b % num_sets
-    order = _np.argsort(sets, kind="stable")
+    if order is None:
+        order = _np.argsort(sets, kind="stable")
     sb = b[order]
     st = t[order]
     ss = sets[order]
@@ -332,22 +360,101 @@ def collapse_runs(blocks, types, num_sets):
     # spans from its head up to the position before the next head.
     head_ids = _np.cumsum(keep_sorted) - 1
     heads = int(keep_sorted.sum())
-    wrote = _np.zeros(heads, dtype=bool)
     follower_write_mask = follower & (st == EV_PLAIN_WRITE)
-    _np.logical_or.at(wrote, head_ids[follower_write_mask], True)
+    wrote = _np.bincount(head_ids[follower_write_mask], minlength=heads) > 0
     head_indices = order[keep_sorted]
     head_pos = _np.flatnonzero(keep_sorted)
     last_pos = _np.empty(heads, dtype=head_pos.dtype)
     last_pos[:-1] = head_pos[1:] - 1
     last_pos[-1] = n - 1
     last_orig = order[last_pos]
-    # Back to time order, carrying each head's run metadata along.
-    time_order = _np.argsort(head_indices, kind="stable")
+    # Back to time order by scattering through raw-index space (O(n),
+    # cheaper than re-sorting the head indices).
+    keep_raw = _np.zeros(n, dtype=bool)
+    keep_raw[head_indices] = True
+    wrote_raw = _np.zeros(n, dtype=bool)
+    wrote_raw[head_indices] = wrote
+    last_raw = _np.empty(n, dtype=last_orig.dtype)
+    last_raw[head_indices] = last_orig
     runs = CollapsedRuns()
-    runs.indices = head_indices[time_order]
+    runs.indices = _np.flatnonzero(keep_raw)
     runs.indices_list = runs.indices.tolist()
-    runs.run_writes = wrote[time_order].tolist()
-    runs.last_indices = last_orig[time_order].tolist()
+    runs.run_writes = wrote_raw[runs.indices].tolist()
+    runs.last_indices = last_raw[runs.indices].tolist()
+    runs.follower_writes = int(follower_write_mask.sum())
+    runs.follower_reads = collapsed - runs.follower_writes
+    runs.collapsed = collapsed
+    return runs
+
+
+class SortedRuns:
+    """Set-major run collapse for the vectorized engine.
+
+    Unlike :class:`CollapsedRuns` the surviving head events stay in
+    set-major (partition) order — exactly the layout the age-matrix
+    kernels consume — so no back-to-time argsort, raw-index bookkeeping
+    or list materialization is ever paid.  ``blocks`` / ``types`` /
+    ``sets`` are the gathered head columns; ``run_writes[p]`` says a
+    collapsed follower of head ``p`` wrote.
+    """
+
+    __slots__ = (
+        "blocks", "types", "sets", "run_writes",
+        "follower_reads", "follower_writes", "collapsed",
+    )
+
+
+def collapse_runs_sorted(blocks, types, num_sets, order):
+    """Collapse runs directly in set-major order (NumPy only).
+
+    Same follower rule as :func:`collapse_runs` — and the same
+    ``allocate_on_write`` validity caveat — but the result keeps the
+    partition's set-major layout and always includes the gathered
+    block/type/set columns, even when nothing collapses.
+    """
+    b = blocks if isinstance(blocks, _np.ndarray) else _np.asarray(blocks)
+    t = _np.asarray(types, dtype=_np.int64)
+    n = len(b)
+    runs = SortedRuns()
+    runs.follower_reads = runs.follower_writes = runs.collapsed = 0
+    if n == 0:
+        runs.blocks = b
+        runs.types = t
+        runs.sets = b
+        runs.run_writes = _np.zeros(0, dtype=bool)
+        return runs
+    sb = b[order]
+    st = t[order]
+    ss = sb % num_sets
+    same_set = _np.empty(n, dtype=bool)
+    same_set[0] = False
+    same_set[1:] = ss[1:] == ss[:-1]
+    plain = st <= EV_PLAIN_WRITE
+    follower = _np.empty(n, dtype=bool)
+    follower[0] = False
+    follower[1:] = (
+        same_set[1:]
+        & plain[1:]
+        & plain[:-1]
+        & (sb[1:] == sb[:-1])
+    )
+    collapsed = int(follower.sum())
+    if collapsed == 0:
+        runs.blocks = sb
+        runs.types = st
+        runs.sets = ss
+        runs.run_writes = _np.zeros(n, dtype=bool)
+        return runs
+    keep = ~follower
+    head_ids = _np.cumsum(keep) - 1
+    heads = int(keep.sum())
+    follower_write_mask = follower & (st == EV_PLAIN_WRITE)
+    runs.blocks = sb[keep]
+    runs.types = st[keep]
+    runs.sets = ss[keep]
+    runs.run_writes = (
+        _np.bincount(head_ids[follower_write_mask], minlength=heads) > 0
+    )
     runs.follower_writes = int(follower_write_mask.sum())
     runs.follower_reads = collapsed - runs.follower_writes
     runs.collapsed = collapsed

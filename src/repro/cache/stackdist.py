@@ -622,10 +622,14 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
     ``"stackdist"``
     raises :class:`ValueError` if any spec is outside the hole-stack
     profiler (FIFO/Random/MIN included — they have no stack property),
+    ``"vectorized"`` scores the profiled groups with the set-major
+    array kernels (:mod:`repro.cache.vectorized`) and routes
+    everything else exactly like ``auto`` — fallback, not failure —
     ``"multi"`` skips one-pass engines entirely, ``"auto"`` routes per
-    spec.  When left ``None`` the ``REPRO_SWEEP_ENGINE`` environment
-    variable picks the engine (the CI golden-pin job forces
-    ``stackdist`` this way), defaulting to ``auto``.
+    spec, preferring the vectorized kernels when NumPy is available.
+    When left ``None`` the ``REPRO_SWEEP_ENGINE`` environment
+    variable picks the engine (the CI golden-pin job forces each in
+    turn this way), defaulting to ``auto``.
     """
     import os
 
@@ -634,7 +638,7 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
     specs = list(specs)
     if engine is None:
         engine = os.environ.get("REPRO_SWEEP_ENGINE", "auto")
-    if engine not in ("auto", "stackdist", "multi"):
+    if engine not in ("auto", "stackdist", "vectorized", "multi"):
         raise ValueError("unknown sweep engine {!r}".format(engine))
     if engine == "multi":
         return replay_trace_multi(trace, specs)
@@ -706,12 +710,30 @@ def replay_trace_sweep(trace, specs, columns=None, engine=None):
             decoded_cache[flavor] = decoded
         return decoded
 
+    use_vector = False
+    if groups and engine != "stackdist":
+        from repro.cache.vectorized import (
+            vector_available, vector_profile_pass,
+        )
+        use_vector = engine == "vectorized" or vector_available()
+
     for (flavor, num_sets), members in groups.items():
         assoc_cap = max(spec.associativity for _i, spec in members)
-        profile = profile_pass(
-            columns, flavor, num_sets, assoc_cap,
-            decoded=stream_for(flavor),
-        )
+        if use_vector:
+            partition = getattr(trace, "set_partition", None)
+            order = (
+                partition(num_sets, flavor[0])
+                if partition is not None else None
+            )
+            profile = vector_profile_pass(
+                columns, flavor, num_sets, assoc_cap,
+                decoded=stream_for(flavor), order=order,
+            )
+        else:
+            profile = profile_pass(
+                columns, flavor, num_sets, assoc_cap,
+                decoded=stream_for(flavor),
+            )
         for index, spec in members:
             results[index] = profile.stats_for(spec.associativity)
 

@@ -1,0 +1,509 @@
+"""Set-major vectorized stack-distance replay kernels.
+
+The per-event automaton in :mod:`repro.cache.stackdist` pays Python
+dispatch for every collapsed event.  This module rebuilds the same
+exact profile with NumPy array kernels over the columnar trace that
+:meth:`repro.vm.trace.TraceBuffer.to_columns` already provides:
+
+* **Set-major partition.**  One stable argsort of the set-index column
+  groups every set's events contiguously while preserving time order
+  inside each set (:meth:`TraceBuffer.set_partition` caches it per
+  geometry, and :func:`repro.cache.semantics.collapse_runs` shares the
+  same permutation).  All kernels below run on the partitioned stream,
+  so per-set state machines become segmented scans.
+
+* **Age-matrix LRU sweep.**  Classic Mattson stack maintenance is
+  replaced by the bounded recency matrix ``t[d, q]`` — the slot of the
+  ``d``-th most recent distinct block as of slot ``q`` — built level
+  by level from the recurrence ``t[d+1, q+1] = t[d, q] if t[d, q] >
+  prev(q) else t[d+1, q]`` (``prev(q)`` is the driving block's
+  previous-touch slot).  Each level is a masked segmented forward
+  fill, so all ``assoc_cap`` associativities of a geometry are scored
+  in ``assoc_cap`` vector passes instead of ``events x assoc`` scalar
+  steps.  A reference's stack distance is ``1 + #{d : t[d, q] >
+  prev}``; "ever fell past the deepest profiled cache" shows up as all
+  ``assoc_cap`` entries beating ``prev``.
+
+* **Bypass/kill as vector masks.**  Probes (bypasses and through-cache
+  kills) read the age matrix without driving it.  A probe that would
+  *hit* — and a kill-write, which always invalidates — mutates the
+  recency state in ways the offline matrix does not model, so its set
+  is flagged and that whole set's events are replayed through the
+  exact hole-stack automaton (:func:`repro.cache.stackdist._run_general`)
+  instead.  The flag is sound: the first mutating event of a set is
+  classified under a still-valid no-mutation history, and everything
+  after it in that set is recomputed sequentially.  Measured on the
+  six Figure 5 benchmarks, 0-42 % of a unified stream's events live in
+  flagged sets; conventional flavors carry no probes at all.
+
+* **Dirty thresholds and writebacks as gap algebra.**  Between two
+  touches of a block its dirty threshold ``D`` is constant and its
+  stack position only ever decays ``1 -> P_end``, crossing each
+  boundary exactly once; a victim writeback at associativity ``q`` is
+  a gap with ``D <= q <= P_end - 1``.  ``D`` is a segmented running
+  max over each block's touch chain, the crossings are two bincounts
+  (a difference array over ``q``), and evictions are one more
+  bincount of per-event shift widths.
+
+The result is a :class:`repro.cache.stackdist.StackDistanceProfile`
+whose every field is bit-identical to :func:`profile_pass` — the
+reconstruction arithmetic in ``stats_for`` is shared, so equal
+profiles mean equal :class:`~repro.cache.stats.CacheStats`.  Without
+NumPy the pure-Python twin scores each partitioned set with the same
+offline/fallback split, scalar-wise, to identical results.  Geometry
+outside the kernel's comfort zone (associativity caps above
+``VECTOR_ASSOC_CAP_LIMIT``) falls back to :func:`profile_pass` —
+fallback, never failure.  ``docs/PERFORMANCE.md`` ("The set-major
+vectorized kernel") has the derivation and measured speedups.
+"""
+
+try:
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised off-image
+    _np = None
+
+from repro.cache.semantics import (
+    EV_BYPASS_READ,
+    EV_BYPASS_READ_KILL,
+    EV_BYPASS_WRITE,
+    EV_KILL_READ,
+    EV_KILL_WRITE,
+    EV_PLAIN_READ,
+    EV_PLAIN_WRITE,
+    collapse_runs,
+    collapse_runs_sorted,
+    flavor_decode as _flavor_decode,
+)
+from repro.cache.stackdist import (
+    StackDistanceProfile,
+    _run_general,
+    profile_pass,
+)
+
+#: Above this associativity cap the level loop stops paying for itself
+#: and the pass delegates to the scalar profiler.
+VECTOR_ASSOC_CAP_LIMIT = 64
+
+
+def vector_available():
+    """Is the NumPy kernel importable in this interpreter?"""
+    return _np is not None
+
+
+def vector_profile_pass(columns, flavor, num_sets, assoc_cap,
+                        decoded=None, order=None, info=None):
+    """Drop-in twin of :func:`profile_pass` built on array kernels.
+
+    Same contract: returns a :class:`StackDistanceProfile` for
+    ``(flavor, num_sets)`` scoring every ``assoc <= assoc_cap``,
+    bit-identical field by field to the scalar profiler.  ``order`` is
+    an optional pre-computed set-major partition
+    (:meth:`TraceBuffer.set_partition`); ``info``, when a dict, is
+    populated with ``kernel`` (``"numpy"``/``"python"``/
+    ``"stackdist"``), ``offline_sets`` and ``fallback_sets`` for
+    benchmarks and tests.
+    """
+    if assoc_cap > VECTOR_ASSOC_CAP_LIMIT:
+        if info is not None:
+            info["kernel"] = "stackdist"
+        return profile_pass(columns, flavor, num_sets, assoc_cap,
+                            decoded=decoded)
+
+    line_words, _hb, _hk, write_policy = flavor
+    stream = decoded
+    if stream is None:
+        stream = _flavor_decode(columns, flavor)
+    profile = _fresh_profile(stream, flavor, num_sets, assoc_cap)
+
+    if _np is None or stream.blocks_np is None:
+        if info is not None:
+            info["kernel"] = "python"
+        _vector_profile_pass_py(profile, stream, num_sets, assoc_cap,
+                                write_policy, info)
+        return profile
+    if info is not None:
+        info["kernel"] = "numpy"
+    _vector_profile_pass_np(profile, stream, num_sets, assoc_cap,
+                            write_policy, order, info)
+    return profile
+
+
+def _fresh_profile(stream, flavor, num_sets, assoc_cap):
+    """An empty profile with the same totals ``profile_pass`` seeds."""
+    line_words, _hb, _hk, write_policy = flavor
+    profile = StackDistanceProfile(
+        num_sets, assoc_cap, line_words, write_policy, stream.constants
+    )
+    counts = stream.constants["counts"]
+    profile.totals = {
+        "plain_read": counts[EV_PLAIN_READ],
+        "plain_write": counts[EV_PLAIN_WRITE],
+        "kill_read": counts[EV_KILL_READ],
+        "kill_write": counts[EV_KILL_WRITE],
+        "bypass_read": counts[EV_BYPASS_READ] + counts[EV_BYPASS_READ_KILL],
+        "kill_write_hist": [0] * (assoc_cap + 2),
+    }
+    return profile
+
+
+# ----------------------------------------------------------------------
+# The NumPy kernel
+# ----------------------------------------------------------------------
+
+
+def _vector_profile_pass_np(profile, stream, num_sets, assoc_cap,
+                            write_policy, order, info):
+    blocks = stream.blocks_np
+    types = stream.types_np
+    nraw = len(blocks)
+    if nraw == 0:
+        if info is not None:
+            info["offline_sets"] = 0
+            info["fallback_sets"] = 0
+        return
+
+    writeback = write_policy == "writeback"
+    cap = assoc_cap
+    clean = cap + 1
+    miss_bucket = cap + 1
+
+    if order is None:
+        order = _np.argsort(blocks % num_sets, kind="stable")
+
+    # Collapse directly in set-major order: the head columns come out
+    # already partitioned, so no back-to-time remap, keep-mask
+    # regather or list materialization is paid on this path.
+    runs = collapse_runs_sorted(blocks, types, num_sets, order)
+    profile.collapsed_hits = runs.collapsed
+    sb = runs.blocks
+    st = runs.types
+    ss = runs.sets
+    sw = runs.run_writes
+    n = len(sb)
+
+    plain = st <= EV_PLAIN_WRITE
+
+    # Set segmentation (ordinals over the sets actually present).
+    new_set = _np.empty(n, dtype=bool)
+    new_set[0] = True
+    new_set[1:] = ss[1:] != ss[:-1]
+    sid = _np.cumsum(new_set) - 1
+    n_sets_present = int(sid[-1]) + 1
+
+    # Slot coordinates: each set owns one slot per plain event plus a
+    # trailing "after the last touch" slot, so probes landing past a
+    # set's final plain event still have a queryable column.
+    pc = _np.cumsum(plain) - plain
+    slot = pc + sid
+    plain_per_set = _np.bincount(sid[plain], minlength=n_sets_present)
+    slot_widths = plain_per_set + 1
+    base = _np.empty(n_sets_present, dtype=_np.int64)
+    base[0] = 0
+    _np.cumsum(slot_widths[:-1], out=base[1:])
+    n_slots = int(base[-1] + slot_widths[-1])
+    slot_set = _np.repeat(_np.arange(n_sets_present), slot_widths)
+    slot_start = _np.zeros(n_slots, dtype=bool)
+    slot_start[base] = True
+
+    # Per-block chains: previous plain-touch slot of every event's
+    # block (``-1`` = cold).  Blocks never span sets, so a stable sort
+    # by block keeps each chain in time order; within a chain slots
+    # are increasing, so "most recent previous plain touch" is an
+    # exclusive segmented running max.
+    corder = _np.argsort(sb, kind="stable")
+    cb = sb[corder]
+    cchange = _np.empty(n, dtype=bool)
+    cchange[0] = True
+    cchange[1:] = cb[1:] != cb[:-1]
+    cid = _np.cumsum(cchange) - 1
+    carry = _np.where(plain[corder], slot[corder], -1)
+    stride = _np.int64(n_slots + 1)
+    inc = _np.maximum.accumulate(carry + cid * stride) - cid * stride
+    exc = _np.empty(n, dtype=_np.int64)
+    exc[0] = -1
+    exc[1:] = inc[:-1]
+    exc[cchange] = -1
+    prev_slot = _np.empty(n, dtype=_np.int64)
+    prev_slot[corder] = exc
+
+    # Drivers of the age-matrix recurrence: the plain events.
+    plain_idx = _np.flatnonzero(plain)
+    pslot = slot[plain_idx]
+    driver = _np.zeros(n_slots, dtype=bool)
+    driver[pslot] = True
+    prev_of_slot = _np.full(n_slots, -1, dtype=_np.int64)
+    prev_of_slot[pslot] = prev_slot[plain_idx]
+
+    # Chain-order view of the plain events (for dirty thresholds and
+    # the end-of-trace gap queries below).  A chain's first plain
+    # event is exactly its cold touch, so chain starts come free from
+    # the forward fill.
+    cpo = corder[plain[corder]]
+    npl = len(cpo)
+    chain_start = prev_slot[cpo] < 0
+    chain_last = _np.empty(npl, dtype=bool)
+    if npl:
+        chain_last[-1] = True
+        chain_last[:-1] = chain_start[1:]
+    last_events = cpo[chain_last]
+    last_sid = sid[last_events]
+    end_q = base[last_sid] + plain_per_set[last_sid]
+    end_prev = slot[last_events]
+
+    # Level loop: build t_1..t_cap, accumulating per-event "entries
+    # above my previous touch" counts as each level materializes.
+    ar = _np.arange(n_slots, dtype=_np.int64)
+    t = ar - 1
+    t[slot_start] = -1
+    cnt = _np.zeros(n, dtype=_np.int64)
+    cnt_end = _np.zeros(len(last_events), dtype=_np.int64)
+    seg_stride = _np.int64(n_slots + 1)
+    seg_off = slot_set * seg_stride
+    for level in range(cap):
+        cnt += t[slot] > prev_slot
+        cnt_end += t[end_q] > end_prev
+        if level == cap - 1:
+            break
+        valid = driver & (t > prev_of_slot)
+        idx = _np.where(valid, ar, -1)
+        last_valid = _np.maximum.accumulate(idx + seg_off) - seg_off
+        exi = _np.empty(n_slots, dtype=_np.int64)
+        exi[0] = -1
+        exi[1:] = last_valid[:-1]
+        exi[slot_start] = -1
+        t = _np.where(exi >= 0, t[exi], -1)
+
+    cold = prev_slot < 0
+    pos = _np.where(cold | (cnt >= cap), miss_bucket, cnt + 1)
+
+    # Mutation flags: a resident probe (bypass or through-cache kill
+    # read) and every kill-write invalidate state the offline matrix
+    # does not carry — their sets replay through the hole automaton.
+    probe = ~plain & (st != EV_KILL_WRITE)
+    resident = ~cold & (cnt < cap)
+    mutating = (st == EV_KILL_WRITE) | (probe & resident)
+    bad_set = _np.bincount(sid[mutating], minlength=n_sets_present) > 0
+    good = ~bad_set[sid]
+    if info is not None:
+        info["fallback_sets"] = int(bad_set.sum())
+        info["offline_sets"] = n_sets_present - info["fallback_sets"]
+        info["fallback_events"] = int((~good).sum())
+
+    hist_len = cap + 2
+
+    # Distance histograms of the offline sets' plain heads.
+    gp = plain & good
+    gp_write = gp & (st == EV_PLAIN_WRITE)
+    bc_w = _np.bincount(pos[gp_write], minlength=hist_len)
+    bc_r = _np.bincount(pos[gp & ~gp_write], minlength=hist_len)
+    _add_list(profile.hist_cached_write, bc_w)
+    _add_list(profile.hist_cached_read, bc_r)
+
+    # Offline probes are all misses (a hit would have flagged the
+    # set): kill reads and bypass reads record their miss bucket,
+    # bypass writes record nothing.
+    gq = probe & good
+    profile.hist_kill_read[miss_bucket] += int(
+        (gq & (st == EV_KILL_READ)).sum()
+    )
+    profile.hist_bypass_read[miss_bucket] += int(
+        (gq & ((st == EV_BYPASS_READ) | (st == EV_BYPASS_READ_KILL))).sum()
+    )
+
+    # Evictions: per-event shift widths.  A hit at position p shifts
+    # the p-1 entries above it (MRU hits shift nothing); an install
+    # shifts the whole current stack, whose depth is the number of
+    # prior installs in the set, saturated at the cap.
+    hit_sel = gp & (pos >= 2) & (pos <= cap)
+    miss_flag = (plain & (pos == miss_bucket)).astype(_np.int64)
+    installs_excl = _np.cumsum(miss_flag) - miss_flag
+    set_first = _np.flatnonzero(new_set)
+    installs_before = installs_excl - installs_excl[set_first][sid]
+    miss_sel = gp & (pos == miss_bucket)
+    shifts = _np.concatenate([
+        pos[hit_sel] - 1,
+        _np.minimum(installs_before[miss_sel], cap),
+    ])
+    _add_list(profile.shift_prefix, _np.bincount(shifts, minlength=hist_len))
+
+    if writeback:
+        # Dirty thresholds along each chain: writes (head or collapsed
+        # follower) reset D to 1, installs reset it to 1/clean, read
+        # hits fold in max(D, p).  Segmented running max with segments
+        # opened by the resets.
+        pos_cp = pos[cpo]
+        w_cp = (st[cpo] == EV_PLAIN_WRITE) | sw[cpo]
+        miss_cp = pos_cp == miss_bucket
+        v = _np.where(w_cp, 1, _np.where(miss_cp, clean, pos_cp))
+        reset = chain_start | miss_cp | w_cp
+        seg = _np.cumsum(reset)
+        dstride = _np.int64(clean + 2)
+        d_after = _np.maximum.accumulate(v + seg * dstride) - seg * dstride
+
+        # Gaps: consecutive touches inside a chain plus each chain's
+        # tail gap to the end of the trace.  A gap (D, P_end) crosses
+        # boundaries 1..P_end-1 exactly once each and writes back at q
+        # iff D <= q, so wb_hist is a difference array of bincounts.
+        good_cp = good[cpo]
+        adj = ~chain_start
+        gap_d = _np.concatenate([
+            d_after[:-1][adj[1:]],
+            d_after[chain_last],
+        ])
+        gap_end = _np.concatenate([
+            pos_cp[adj],
+            _np.where(cnt_end >= cap, miss_bucket, cnt_end + 1),
+        ])
+        gap_good = _np.concatenate([good_cp[adj], good_cp[chain_last]])
+        live = gap_good & (gap_d < gap_end)
+        wb_len = clean + 2
+        diff = (
+            _np.bincount(gap_d[live], minlength=wb_len)
+            - _np.bincount(gap_end[live], minlength=wb_len)
+        )
+        running = _np.cumsum(diff)
+        wb = profile.wb_hist
+        for q in range(1, cap + 1):
+            wb[q] += int(running[q])
+
+    # Flagged sets: replay their events — still set-major, so each
+    # set's slice is in time order — through the exact automaton into
+    # the same additive profile.
+    if bad_set.any():
+        bi = _np.flatnonzero(~good)
+        _run_general(
+            profile,
+            zip(sb[bi].tolist(), st[bi].tolist(), sw[bi].tolist()),
+            num_sets, assoc_cap, write_policy,
+        )
+
+
+def _add_list(target, counts):
+    for i, value in enumerate(counts.tolist()):
+        if value:
+            target[i] += value
+
+
+# ----------------------------------------------------------------------
+# The pure-Python twin
+# ----------------------------------------------------------------------
+
+
+def _vector_profile_pass_py(profile, stream, num_sets, assoc_cap,
+                            write_policy, info):
+    """Scalar twin: same partition, same offline/fallback split.
+
+    Each set's collapsed events are scored by an offline recency-list
+    walk (probes may only miss); the first mutating event aborts the
+    set untouched and routes it through the hole automaton.
+    """
+    runs = collapse_runs(stream.blocks_list, stream.types_list, num_sets)
+    profile.collapsed_hits = runs.collapsed if runs is not None else 0
+    if runs is None:
+        triples = [
+            (b, t, False)
+            for b, t in zip(stream.blocks_list, stream.types_list)
+        ]
+    else:
+        triples = [
+            (stream.blocks_list[i], stream.types_list[i], w)
+            for i, w in zip(runs.indices_list, runs.run_writes)
+        ]
+
+    by_set = {}
+    for triple in triples:
+        by_set.setdefault(triple[0] % num_sets, []).append(triple)
+
+    offline = 0
+    fallback = []
+    for set_index in sorted(by_set):
+        events = by_set[set_index]
+        if _offline_set_clean(events, assoc_cap):
+            _score_offline_set(profile, events, assoc_cap, write_policy)
+            offline += 1
+        else:
+            fallback.append(set_index)
+    if fallback:
+        flat = []
+        for set_index in fallback:
+            flat.extend(by_set[set_index])
+        _run_general(profile, iter(flat), num_sets, assoc_cap, write_policy)
+    if info is not None:
+        info["offline_sets"] = offline
+        info["fallback_sets"] = len(fallback)
+
+
+def _offline_set_clean(events, assoc_cap):
+    """True iff no event of the set mutates the recency state."""
+    rec = []
+    for block, etype, _fw in events:
+        if etype <= EV_PLAIN_WRITE:
+            try:
+                rec.remove(block)
+            except ValueError:
+                pass
+            rec.insert(0, block)
+            if len(rec) > assoc_cap:
+                rec.pop()
+        elif etype == EV_KILL_WRITE or block in rec:
+            return False
+    return True
+
+
+def _score_offline_set(profile, events, assoc_cap, write_policy):
+    """Mutation-free set walk: ``_run_plain`` plus probe misses."""
+    writeback = write_policy == "writeback"
+    clean = assoc_cap + 1
+    miss_bucket = assoc_cap + 1
+    stack = []
+    hist_cr = profile.hist_cached_read
+    hist_cw = profile.hist_cached_write
+    shift_prefix = profile.shift_prefix
+    wb_hist = profile.wb_hist
+
+    for block, etype, follower_wrote in events:
+        if etype > EV_PLAIN_WRITE:
+            if etype == EV_KILL_READ:
+                profile.hist_kill_read[miss_bucket] += 1
+            elif etype != EV_BYPASS_WRITE:
+                profile.hist_bypass_read[miss_bucket] += 1
+            continue
+        is_write = etype == EV_PLAIN_WRITE
+        pos = 0
+        for idx, entry in enumerate(stack):
+            if entry[0] == block:
+                pos = idx + 1
+                break
+        if pos == 1:
+            if writeback and (is_write or follower_wrote):
+                stack[0][1] = 1
+            (hist_cw if is_write else hist_cr)[1] += 1
+            continue
+        if pos:
+            entry = stack[pos - 1]
+            shift_prefix[pos - 1] += 1
+            if writeback:
+                for q in range(pos - 1):
+                    if stack[q][1] <= q + 1:
+                        wb_hist[q + 1] += 1
+                if is_write or follower_wrote:
+                    entry[1] = 1
+                elif entry[1] < pos:
+                    entry[1] = pos
+            del stack[pos - 1]
+            stack.insert(0, entry)
+            (hist_cw if is_write else hist_cr)[pos] += 1
+        else:
+            depth = len(stack)
+            shift_prefix[depth] += 1
+            if writeback:
+                for q in range(depth):
+                    if stack[q][1] <= q + 1:
+                        wb_hist[q + 1] += 1
+            if depth == assoc_cap:
+                del stack[-1]
+            stack.insert(0, [
+                block,
+                1 if (is_write or follower_wrote) and writeback else clean,
+            ])
+            (hist_cw if is_write else hist_cr)[miss_bucket] += 1

@@ -7,6 +7,7 @@ with the paper's expectations alongside the measured values.
 """
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import replace
@@ -43,10 +44,12 @@ def _heading(text):
 
 
 def figure5_section(paper_scale, failures=None, cache_config=DEFAULT_CACHE,
-                    jobs=None, artifact_cache=None, journal=None):
+                    jobs=None, artifact_cache=None, journal=None,
+                    engine=None):
     rows = figure5_table(
         paper_scale=paper_scale, cache_config=cache_config, failures=failures,
         jobs=jobs, artifact_cache=artifact_cache, journal=journal,
+        engine=engine,
     )
     if not rows:
         return "\n".join(
@@ -312,7 +315,7 @@ def access_time_section(failures=None, artifact_cache=None):
 def build_report(paper_scale=False, fast=False, failures=None,
                  cache_config=DEFAULT_CACHE, jobs=None, artifact_cache=None,
                  hierarchy=None, hierarchy_benchmarks=None, journal=None,
-                 policy_zoo=False):
+                 policy_zoo=False, engine=None):
     """Assemble the report string.
 
     With ``failures`` (a list), a section or benchmark that breaks is
@@ -320,8 +323,10 @@ def build_report(paper_scale=False, fast=False, failures=None,
     not cost the other results.  Without it, errors propagate.
     ``jobs`` fans the Figure 5 benchmarks out over worker processes;
     ``artifact_cache`` routes every compile+trace through the on-disk
-    store.  The report text is byte-identical either way (only the
-    trailing wall-clock line differs).
+    store.  ``engine`` pins the trace-replay engine for the Figure 5
+    units (the other sections honor ``REPRO_SWEEP_ENGINE``, which the
+    CLI exports alongside the flag).  The report text is byte-identical
+    either way (only the trailing wall-clock line differs).
     """
     started = time.time()
     section_builders = [
@@ -329,7 +334,7 @@ def build_report(paper_scale=False, fast=False, failures=None,
          lambda: figure5_section(paper_scale, failures=failures,
                                  cache_config=cache_config, jobs=jobs,
                                  artifact_cache=artifact_cache,
-                                 journal=journal)),
+                                 journal=journal, engine=engine)),
         ("kill-bits", lambda: kill_section(artifact_cache=artifact_cache)),
         ("spill", lambda: spill_section(artifact_cache=artifact_cache)),
     ]
@@ -428,7 +433,17 @@ def main(argv=None):
                         help="add the E17 predictive-replacement zoo "
                              "section ({policy} x {conventional, unified} "
                              "hit ratios on every benchmark)")
+    parser.add_argument("--engine", default=None,
+                        choices=["auto", "stackdist", "vectorized", "multi"],
+                        help="pin the trace-replay engine (default: "
+                             "$REPRO_SWEEP_ENGINE or auto-selection; all "
+                             "engines are bit-identical, so this only "
+                             "affects speed)")
     args = parser.parse_args(argv)
+    if args.engine:
+        # Export it too so worker processes and the non-figure5
+        # sections (ablation sweeps, hierarchy, policy zoo) honor it.
+        os.environ["REPRO_SWEEP_ENGINE"] = args.engine
     set_default_max_steps(args.max_steps)
     cache_config = DEFAULT_CACHE
     if args.seed is not None:
@@ -445,7 +460,8 @@ def main(argv=None):
                        hierarchy=args.hierarchy,
                        hierarchy_benchmarks=args.hierarchy_benchmarks,
                        journal=args.journal,
-                       policy_zoo=args.policy_zoo))
+                       policy_zoo=args.policy_zoo,
+                       engine=args.engine))
     if failures:
         print("\n" + format_failures(failures), file=sys.stderr)
         return 1

@@ -73,12 +73,19 @@ class EvalUnit:
     ``cache_configs`` lists every geometry to score against the unit's
     single reference trace; one entry uses the reference serial replay
     path, several share the single-pass multi-configuration core.
+    ``engine`` pins the sweep engine for this unit
+    (``auto``/``stackdist``/``vectorized``/``multi``); ``None`` defers
+    to ``REPRO_SWEEP_ENGINE`` / auto-selection.  All engines are
+    bit-identical (the conformance battery holds them to it), so the
+    choice never changes a result — it is deliberately excluded from
+    :func:`unit_fingerprint` and journal identity.
     """
 
     name: str
     paper_scale: bool = False
     options: object = None
     cache_configs: tuple = field(default=(DEFAULT_CACHE,))
+    engine: object = None
 
 
 def unit_fingerprint(unit):
@@ -87,7 +94,9 @@ def unit_fingerprint(unit):
     Journals key completed outcomes by this, and the fault-injection
     sites key worker-level decisions by it, so a unit keeps its
     identity no matter which process (or which resumed run) evaluates
-    it.
+    it.  ``unit.engine`` is deliberately *not* part of the payload:
+    engines are bit-identical, so a journal written under one engine
+    resumes correctly under another.
     """
     options = (unit.options or CompilationOptions()).normalized()
     payload = json.dumps(
@@ -111,9 +120,10 @@ def evaluate_unit(unit, artifact_cache=None, keep_trace=False):
 
     A single-geometry unit normally scores through the reference
     serial replay (:func:`~repro.evalharness.experiment.evaluate_trace`);
-    setting ``REPRO_SWEEP_ENGINE`` routes even that case through the
-    sweep dispatcher so CI can force the stack-distance path end to
-    end.
+    setting ``unit.engine`` (the ``--engine`` flag) or
+    ``REPRO_SWEEP_ENGINE`` routes even that case through the sweep
+    dispatcher so CI can force any engine end to end.  The explicit
+    unit field wins over the environment.
     """
     bench = get_benchmark(unit.name, unit.paper_scale)
     options = unit.options or CompilationOptions()
@@ -144,8 +154,8 @@ def evaluate_unit(unit, artifact_cache=None, keep_trace=False):
         output = tuple(result.output)
         steps = result.steps
     configs = tuple(unit.cache_configs)
-    forced_engine = os.environ.get("REPRO_SWEEP_ENGINE")
-    if len(configs) == 1 and not forced_engine:
+    engine = unit.engine or os.environ.get("REPRO_SWEEP_ENGINE")
+    if len(configs) == 1 and not engine:
         return [
             evaluate_trace(
                 bench.name, program, trace, output, steps,
@@ -154,7 +164,7 @@ def evaluate_unit(unit, artifact_cache=None, keep_trace=False):
         ]
     return evaluate_trace_multi(
         bench.name, program, trace, output, steps, configs,
-        keep_trace=keep_trace,
+        keep_trace=keep_trace, engine=engine,
     )
 
 

@@ -29,9 +29,18 @@ asserts:
   (:func:`repro.cache.stackdist.replay_trace_sweep`) reconstructs the
   same configurations bit-identically: LRU through the hole-stack
   automaton's per-set distance histograms, FIFO and MIN through the
-  single-pass set-count stackers, so every fuzzed trace
-  cross-examines all one-pass engines against the reference
-  simulator.
+  single-pass set-count stackers, and a second pass under the forced
+  ``vectorized`` engine holds the set-major array kernels
+  (:mod:`repro.cache.vectorized`) to the same answers — so every
+  fuzzed trace cross-examines all one-pass engines against the
+  reference simulator.
+* **Superinstruction agreement** — the fused closure VM
+  (:meth:`repro.vm.machine.Machine._fuse_block`) re-runs the heaviest
+  configuration through the per-step
+  :class:`~repro.vm.reference.ReferenceMachine` and must match it on
+  output, return value, step count, and the full annotated reference
+  trace; every fuzzed program thereby exercises the superinstruction
+  compiler's run detection, jump threading, and fuel accounting.
 * **Hierarchy agreement** — the offline non-inclusive L1/L2 scorer
   (:func:`repro.cache.hierarchy.hierarchy_stats`) is bit-identical to
   the online chained :class:`~repro.cache.hierarchy.HierarchyCache`
@@ -249,6 +258,7 @@ def check_source(
     _check_cache_models(
         by_name["unified/aggressive"], baseline, cache_words, associativity
     )
+    _check_superinstructions(by_name["unified/aggressive"], max_steps)
     static_events = _check_static_analysis(
         runs, by_name, cache_words, associativity
     )
@@ -439,23 +449,74 @@ def _check_cache_models(run, baseline, cache_words, associativity):
             )
 
     # engine="auto" routes LRU through the hole-stack profiler and
-    # FIFO/MIN through the single-pass set-count stackers; every
-    # fuzzed trace holds all three one-pass engines to the serial path.
-    swept = replay_trace_sweep(run.trace, battery, engine="auto")
-    for label, stats in zip(labels, swept):
-        if stats.as_dict() != serial[label]:
-            diff = {
-                key: (stats.as_dict()[key], serial[label][key])
-                for key in serial[label]
-                if stats.as_dict().get(key) != serial[label][key]
-            }
-            raise DifferentialError(
-                "stackdist",
-                "one-pass sweep and serial replay disagree on the "
-                "{} configuration: {!r}".format(label, diff),
-            )
+    # FIFO/MIN through the single-pass set-count stackers; the forced
+    # "vectorized" pass sends the profiled groups through the set-major
+    # array kernels instead.  Every fuzzed trace holds all one-pass
+    # engines to the serial path.
+    for engine in ("auto", "vectorized"):
+        swept = replay_trace_sweep(run.trace, battery, engine=engine)
+        for label, stats in zip(labels, swept):
+            if stats.as_dict() != serial[label]:
+                diff = {
+                    key: (stats.as_dict()[key], serial[label][key])
+                    for key in serial[label]
+                    if stats.as_dict().get(key) != serial[label][key]
+                }
+                raise DifferentialError(
+                    "stackdist" if engine == "auto" else "vectorized",
+                    "one-pass sweep ({}) and serial replay disagree on "
+                    "the {} configuration: {!r}".format(
+                        engine, label, diff
+                    ),
+                )
 
     _check_hierarchy(run, cache_words, associativity)
+
+
+def _check_superinstructions(run, max_steps):
+    """The fused closure VM versus the per-step reference oracle.
+
+    ``run`` already executed through :class:`~repro.vm.machine.Machine`
+    with superinstruction fusion on; re-running its module through
+    :class:`~repro.vm.reference.ReferenceMachine` must reproduce the
+    printed output, return value, step count, and the entire annotated
+    reference trace bit for bit.
+    """
+    from repro.vm.reference import ReferenceMachine
+
+    memory = RecordingMemory()
+    vm = ReferenceMachine(
+        run.program.module,
+        memory=memory,
+        machine=run.program.options.machine,
+    )
+    result = vm.run(max_steps=max_steps)
+    if (
+        result.output != run.result.output
+        or result.return_value != run.result.return_value
+        or result.steps != run.result.steps
+    ):
+        raise DifferentialError(
+            "superinstruction",
+            "fused VM and reference interpreter disagree on {}: "
+            "output {!r}/{!r}, return {!r}/{!r}, steps {}/{}".format(
+                run.name,
+                run.result.output, result.output,
+                run.result.return_value, result.return_value,
+                run.result.steps, result.steps,
+            ),
+        )
+    if (
+        memory.buffer.addresses != run.trace.addresses
+        or list(memory.buffer.flags) != list(run.trace.flags)
+    ):
+        raise DifferentialError(
+            "superinstruction-trace",
+            "fused VM and reference interpreter disagree on the "
+            "reference trace of {} ({} vs {} events)".format(
+                run.name, len(run.trace), len(memory.buffer)
+            ),
+        )
 
 
 def _check_hierarchy(run, cache_words, associativity):

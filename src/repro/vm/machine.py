@@ -15,6 +15,22 @@ plus the fuel check; each handler returns the global index of its
 successor.  Handlers bind the memory system at construction — build
 the :class:`Machine` after the memory it should run against, and do
 not swap ``vm.memory`` afterwards.
+
+On top of the per-instruction handlers the compiler builds
+**superinstructions**: each maximal straight-line run of Load/Store-
+free locals-in-registers ops (BinOp/Move/UnOp/AddrOfSym, optionally
+closing with the block's Jump/CJump) is code-generated into a single
+zero-argument handler, so one dispatch retires the whole run.  The
+generated bodies inline register indices and constants as literals
+and are cached module-wide by source text, so structurally repeated
+runs share one code object.  Fuel accounting charges a run's full
+length before executing it (a budget overrun raises without running
+the partial superinstruction — registers are the only state such a
+run touches, so the externally visible result is unchanged), and the
+fused table is bypassed whenever an ``instruction_sink`` is attached
+so fetch traces still see every instruction.  ``ReferenceMachine``
+opts out entirely via ``_enable_fusion`` and remains the oracle the
+fused interpreter is differentially tested against.
 """
 
 from dataclasses import dataclass, field
@@ -93,8 +109,109 @@ _BINOPS = {
 }
 
 
+#: Expression templates for the superinstruction code generator — the
+#: arithmetic inlined as operators instead of ``_BINOPS`` calls.
+_FUSE_OPS = {
+    "add": "({} + {})",
+    "sub": "({} - {})",
+    "mul": "({} * {})",
+    "div": "_c_div({}, {})",
+    "mod": "_c_mod({}, {})",
+    "eq": "(1 if {} == {} else 0)",
+    "ne": "(1 if {} != {} else 0)",
+    "lt": "(1 if {} < {} else 0)",
+    "le": "(1 if {} <= {} else 0)",
+    "gt": "(1 if {} > {} else 0)",
+    "ge": "(1 if {} >= {} else 0)",
+}
+
+#: Names the generated bodies may reference beyond ``vm``/``r``.
+#: (_Halt / the error types serve the fused Ret and Call closers;
+#: _Halt is injected below its definition.)
+_FUSE_GLOBALS = {
+    "_c_div": _c_div,
+    "_c_mod": _c_mod,
+    "VMError": VMError,
+    "ResourceExhausted": ResourceExhausted,
+}
+
+#: Source text -> ``_make`` factory.  Fused bodies inline only small
+#: literals, so structurally repeated runs (unrolled loops, generated
+#: programs) hit this cache instead of re-exec'ing.
+_FUSED_CODE_CACHE = {}
+_FUSED_CODE_CACHE_LIMIT = 4096
+
+#: Upper bound on instructions retired by one superinstruction —
+#: keeps jump-threaded bodies (and their up-front fuel charge) small.
+_FUSE_RUN_LIMIT = 32
+
+
+def _fusable(ins, offsets):
+    """Can ``ins`` join a superinstruction run?
+
+    Only ops whose effects live entirely in the register file (plus a
+    frame-pointer read for local AddrOfSym): no memory traffic, no
+    output, no control transfer, and no construction-time surprises —
+    unknown BinOps and unknown frame symbols keep their individual
+    handlers so they fail exactly as before.
+    """
+    cls = ins.__class__
+    if cls is BinOp:
+        return ins.op in _FUSE_OPS
+    if cls is Move or cls is UnOp:
+        return True
+    if cls is AddrOfSym:
+        symbol = ins.symbol
+        return symbol.global_address is not None or symbol in offsets
+    return False
+
+
+def _fuse_stmt(ins, offsets):
+    """One fusable instruction -> one generated statement."""
+    cls = ins.__class__
+    if cls is BinOp:
+        left, right = ins.left, ins.right
+        a = (
+            "r[%d]" % left.index if left.__class__ is PReg
+            else repr(left.value)
+        )
+        b = (
+            "r[%d]" % right.index if right.__class__ is PReg
+            else repr(right.value)
+        )
+        return "r[%d] = %s" % (ins.dest.index, _FUSE_OPS[ins.op].format(a, b))
+    if cls is Move:
+        src = ins.src
+        value = (
+            "r[%d]" % src.index if src.__class__ is PReg
+            else repr(src.value)
+        )
+        return "r[%d] = %s" % (ins.dest.index, value)
+    if cls is UnOp:
+        operand = ins.operand
+        if operand.__class__ is PReg:
+            if ins.op == "neg":
+                return "r[%d] = -r[%d]" % (ins.dest.index, operand.index)
+            return (
+                "r[%d] = 1 if r[%d] == 0 else 0"
+                % (ins.dest.index, operand.index)
+            )
+        value = (
+            -operand.value if ins.op == "neg"
+            else (1 if operand.value == 0 else 0)
+        )
+        return "r[%d] = %s" % (ins.dest.index, repr(value))
+    symbol = ins.symbol
+    if symbol.global_address is not None:
+        return "r[%d] = %d" % (ins.dest.index, symbol.global_address)
+    return "r[%d] = vm.fp + %s" % (ins.dest.index, repr(offsets[symbol]))
+
+
 class _Halt(Exception):
     """Internal: a top-level Ret ends the run (never escapes Machine)."""
+
+
+_FUSE_GLOBALS["_Halt"] = _Halt
 
 
 @dataclass
@@ -108,6 +225,10 @@ class ExecutionResult:
 
 class Machine:
     """Interprets an allocated :class:`IRModule`."""
+
+    #: Subclasses (the reference oracle) set this False to keep the
+    #: one-handler-per-instruction table byte-for-byte unfused.
+    _enable_fusion = True
 
     def __init__(
         self,
@@ -170,9 +291,13 @@ class Machine:
         module = self.module
         #: Index of the fall-off guard handler (one past the code).
         guard = self.code_size
-        self._fpbox = [0]
+        #: Current frame pointer — a plain rebindable attribute the
+        #: handlers close over via ``vm`` (an unboxed ``[0]`` cell).
+        self.fp = 0
         self._call_stack = []
+        fuse = self._enable_fusion and self.instruction_sink is None
         handlers = []
+        overlays = []
         entry_index = {}
         for function in module.functions.values():
             entry_block = function.entry
@@ -193,6 +318,10 @@ class Machine:
                             instruction, next_index, function, offsets, guard
                         )
                     )
+                if fuse:
+                    self._fuse_block(
+                        block, base, function, offsets, guard, overlays
+                    )
 
         def fell_off():
             raise VMError("execution fell off the end of a basic block")
@@ -200,6 +329,17 @@ class Machine:
         handlers.append(fell_off)
         self._handlers = handlers
         self._entry_index = entry_index
+        if overlays:
+            fast = list(handlers)
+            costs = [1] * len(handlers)
+            for index, handler, cost in overlays:
+                fast[index] = handler
+                costs[index] = cost
+            self._fast_handlers = fast
+            self._costs = costs
+        else:
+            self._fast_handlers = None
+            self._costs = None
 
     def _block_index(self, function, name, guard):
         block = function.blocks[name]
@@ -207,10 +347,177 @@ class Machine:
             return guard
         return block.code_address - TEXT_BASE
 
+    # -- superinstruction fusion ---------------------------------------
+
+    def _fuse_block(self, block, base, function, offsets, guard, overlays):
+        """Collect the block's superinstruction runs into ``overlays``.
+
+        A run is a maximal stretch of fusable ops, optionally closed by
+        one control op — Jump/CJump/Ret, or a Call to a known function
+        (whose push/frame bookkeeping is pure register-and-attribute
+        work too); runs shorter than two instructions stay on their
+        individual handlers.  Only run heads get overlaid — interior
+        indices are unreachable (nothing jumps into the middle of
+        straight-line code), but their per-instruction handlers stay in
+        the table untouched.
+        """
+        instructions = block.instructions
+        m = len(instructions)
+        i = 0
+        while i < m:
+            if not _fusable(instructions[i], offsets):
+                i += 1
+                continue
+            j = i
+            while j < m and _fusable(instructions[j], offsets):
+                j += 1
+            terminal = self._fuse_closer(instructions, j)
+            count = (j - i) + (1 if terminal is not None else 0)
+            if count >= 2:
+                handler, count = self._compile_fused(
+                    instructions[i:j], terminal, j, m, base, function,
+                    offsets, guard,
+                )
+                overlays.append((base + i, handler, count))
+            i = j + 1 if terminal is not None else j
+
+    def _fuse_closer(self, instructions, j):
+        """The control op at position ``j`` if a run may absorb it."""
+        if j >= len(instructions):
+            return None
+        ins = instructions[j]
+        cls = ins.__class__
+        if cls in (Jump, CJump, Ret):
+            return ins
+        if cls is Call and ins.callee in self.module.functions:
+            return ins
+        return None
+
+    def _compile_fused(self, run, terminal, j, m, base, function, offsets,
+                       guard):
+        """Generate and instantiate one superinstruction handler.
+
+        The body is plain source — register indices, constants, frame
+        offsets and successor indices all inlined as literals — wrapped
+        in a ``_make(vm, r)`` factory so one compiled code object
+        serves every machine whose run has the same shape.  Returns
+        ``(handler, instructions_retired)``.
+
+        A closing Jump is **threaded**: instead of returning the
+        target's index, the target block's own fusable head run (and
+        its closer) is inlined into this body, repeating — bounded by
+        ``_FUSE_RUN_LIMIT`` and a visited set — so straight-line code
+        split across blocks still retires in one dispatch.  Each block
+        is threaded at most once per body; a self-jump therefore
+        unrolls a single partial iteration and then returns.
+        """
+        lines = ["def _make(vm, r):", "    def _fused():"]
+        for ins in run:
+            lines.append("        " + _fuse_stmt(ins, offsets))
+        count = len(run)
+        #: Successor index when the current segment has no closer.
+        succ = guard if j >= m else base + j
+        visited = set()
+        while True:
+            if terminal is None:
+                lines.append("        return %d" % succ)
+                break
+            cls = terminal.__class__
+            count += 1
+            if cls is Jump:
+                target = function.blocks[terminal.target]
+                t_instructions = target.instructions
+                t_base = target.code_address - TEXT_BASE
+                if not t_instructions:
+                    lines.append("        return %d" % guard)
+                    break
+                if id(target) in visited or count >= _FUSE_RUN_LIMIT:
+                    lines.append("        return %d" % t_base)
+                    break
+                visited.add(id(target))
+                k = 0
+                t_m = len(t_instructions)
+                while (
+                    k < t_m
+                    and count + k < _FUSE_RUN_LIMIT
+                    and _fusable(t_instructions[k], offsets)
+                ):
+                    lines.append(
+                        "        " + _fuse_stmt(t_instructions[k], offsets)
+                    )
+                    k += 1
+                count += k
+                if k == 0:
+                    lines.append("        return %d" % t_base)
+                    break
+                terminal = (
+                    self._fuse_closer(t_instructions, k)
+                    if count < _FUSE_RUN_LIMIT else None
+                )
+                j, m, base = k, t_m, t_base
+                succ = guard if j >= m else base + j
+                continue
+            if cls is CJump:
+                t = self._block_index(function, terminal.if_true, guard)
+                f = self._block_index(function, terminal.if_false, guard)
+                cond = terminal.cond
+                if cond.__class__ is PReg:
+                    lines.append(
+                        "        return %d if r[%d] != 0 else %d"
+                        % (t, cond.index, f)
+                    )
+                else:
+                    lines.append(
+                        "        return %d" % (t if cond.value != 0 else f)
+                    )
+            elif cls is Ret:
+                lines.extend([
+                    "        cs = vm._call_stack",
+                    "        if not cs:",
+                    "            raise _Halt",
+                    "        n, fp = cs.pop()",
+                    "        vm.fp = fp",
+                    "        return n",
+                ])
+            else:  # Call to a known function
+                callee = self.module.functions[terminal.callee]
+                centry = (
+                    callee.entry.code_address - TEXT_BASE
+                    if callee.entry.instructions
+                    else guard
+                )
+                after = base + j + 1 if j < m - 1 else guard
+                overflow = "stack overflow calling {}".format(callee.name)
+                lines.extend([
+                    "        cs = vm._call_stack",
+                    "        cs.append((%d, vm.fp))" % after,
+                    "        if len(cs) > %d:" % MAX_CALL_DEPTH,
+                    "            raise ResourceExhausted(",
+                    "                'call stack overflow "
+                    "(recursion too deep)'",
+                    "            )",
+                    "        fp = vm.fp - %d" % callee.frame.size,
+                    "        if fp < %d:" % self._global_top,
+                    "            raise VMError(%r)" % overflow,
+                    "        vm.fp = fp",
+                    "        return %d" % centry,
+                ])
+            break
+        lines.append("    return _fused")
+        source = "\n".join(lines)
+        make = _FUSED_CODE_CACHE.get(source)
+        if make is None:
+            namespace = dict(_FUSE_GLOBALS)
+            exec(compile(source, "<fused>", "exec"), namespace)
+            make = namespace["_make"]
+            if len(_FUSED_CODE_CACHE) < _FUSED_CODE_CACHE_LIMIT:
+                _FUSED_CODE_CACHE[source] = make
+        return make(self, self.regs), count
+
     def _compile_instruction(self, ins, nxt, function, offsets, guard):
         """One instruction -> one zero-argument handler closure."""
         regs = self.regs
-        fpbox = self._fpbox
+        vm = self
         cls = ins.__class__
 
         if cls is BinOp:
@@ -314,8 +621,8 @@ class Machine:
                     regs[d] = a
                     return n
             else:
-                def h(regs=regs, d=d, fpbox=fpbox, off=offsets[symbol], n=nxt):
-                    regs[d] = fpbox[0] + off
+                def h(regs=regs, d=d, vm=vm, off=offsets[symbol], n=nxt):
+                    regs[d] = vm.fp + off
                     return n
             return h
 
@@ -335,31 +642,31 @@ class Machine:
 
             def h(
                 cs=self._call_stack,
-                fpbox=fpbox,
+                vm=vm,
                 n=nxt,
                 size=callee.frame.size,
                 ce=centry,
                 top=self._global_top,
                 cname=callee.name,
             ):
-                cs.append((n, fpbox[0]))
+                cs.append((n, vm.fp))
                 if len(cs) > MAX_CALL_DEPTH:
                     raise ResourceExhausted(
                         "call stack overflow (recursion too deep)"
                     )
-                fp = fpbox[0] - size
+                fp = vm.fp - size
                 if fp < top:
                     raise VMError("stack overflow calling {}".format(cname))
-                fpbox[0] = fp
+                vm.fp = fp
                 return ce
             return h
 
         if cls is Ret:
-            def h(cs=self._call_stack, fpbox=fpbox):
+            def h(cs=self._call_stack, vm=vm):
                 if not cs:
                     raise _Halt
                 n, fp = cs.pop()
-                fpbox[0] = fp
+                vm.fp = fp
                 return n
             return h
 
@@ -404,7 +711,7 @@ class Machine:
         from repro.vm.trace import encode_flags
 
         regs = self.regs
-        fpbox = self._fpbox
+        vm = self
         d = ins.dest.index
         mem = ins.mem
         kind, append, words = self._memory_plan()
@@ -438,20 +745,20 @@ class Machine:
                 return h
             off = offsets[symbol]
             if kind == "recording":
-                def h(append=append, get=get, regs=regs, fpbox=fpbox,
+                def h(append=append, get=get, regs=regs, vm=vm,
                       d=d, off=off, fb=fb, n=nxt):
-                    a = fpbox[0] + off
+                    a = vm.fp + off
                     append(a, fb)
                     regs[d] = get(a, 0)
                     return n
             elif kind == "flat":
-                def h(get=get, regs=regs, fpbox=fpbox, d=d, off=off, n=nxt):
-                    regs[d] = get(fpbox[0] + off, 0)
+                def h(get=get, regs=regs, vm=vm, d=d, off=off, n=nxt):
+                    regs[d] = get(vm.fp + off, 0)
                     return n
             else:
-                def h(read=read, regs=regs, fpbox=fpbox, d=d, off=off,
+                def h(read=read, regs=regs, vm=vm, d=d, off=off,
                       ref=ins.ref, n=nxt):
-                    regs[d] = read(fpbox[0] + off, ref)
+                    regs[d] = read(vm.fp + off, ref)
                     return n
             return h
 
@@ -500,7 +807,7 @@ class Machine:
         from repro.vm.trace import encode_flags
 
         regs = self.regs
-        fpbox = self._fpbox
+        vm = self
         mem = ins.mem
         src = ins.src
         src_reg = src.index if src.__class__ is PReg else None
@@ -553,40 +860,40 @@ class Machine:
             off = offsets[symbol]
             if kind == "recording":
                 if src_reg is not None:
-                    def h(append=append, words=words, regs=regs, fpbox=fpbox,
+                    def h(append=append, words=words, regs=regs, vm=vm,
                           off=off, s=src_reg, fb=fb, n=nxt):
-                        a = fpbox[0] + off
+                        a = vm.fp + off
                         append(a, fb)
                         words[a] = regs[s]
                         return n
                 else:
-                    def h(append=append, words=words, fpbox=fpbox, off=off,
+                    def h(append=append, words=words, vm=vm, off=off,
                           v=src_val, fb=fb, n=nxt):
-                        a = fpbox[0] + off
+                        a = vm.fp + off
                         append(a, fb)
                         words[a] = v
                         return n
             elif kind == "flat":
                 if src_reg is not None:
-                    def h(words=words, regs=regs, fpbox=fpbox, off=off,
+                    def h(words=words, regs=regs, vm=vm, off=off,
                           s=src_reg, n=nxt):
-                        words[fpbox[0] + off] = regs[s]
+                        words[vm.fp + off] = regs[s]
                         return n
                 else:
-                    def h(words=words, fpbox=fpbox, off=off, v=src_val,
+                    def h(words=words, vm=vm, off=off, v=src_val,
                           n=nxt):
-                        words[fpbox[0] + off] = v
+                        words[vm.fp + off] = v
                         return n
             else:
                 if src_reg is not None:
-                    def h(write=write, regs=regs, fpbox=fpbox, off=off,
+                    def h(write=write, regs=regs, vm=vm, off=off,
                           s=src_reg, ref=ins.ref, n=nxt):
-                        write(fpbox[0] + off, regs[s], ref)
+                        write(vm.fp + off, regs[s], ref)
                         return n
                 else:
-                    def h(write=write, fpbox=fpbox, off=off, v=src_val,
+                    def h(write=write, vm=vm, off=off, v=src_val,
                           ref=ins.ref, n=nxt):
-                        write(fpbox[0] + off, v, ref)
+                        write(vm.fp + off, v, ref)
                         return n
             return h
 
@@ -709,7 +1016,7 @@ class Machine:
         fp = self.stack_base - function.frame.size
         if fp < self._global_top:
             raise VMError("stack overflow on entry")
-        self._fpbox[0] = fp
+        self.fp = fp
         self._call_stack.clear()
         handlers = self._handlers
         index = self._entry_index[entry]
@@ -717,7 +1024,23 @@ class Machine:
         sink = self.instruction_sink
 
         try:
-            if sink is None:
+            if sink is None and self._fast_handlers is not None:
+                # Superinstruction table: each handler retires a whole
+                # fused run, so fuel is charged by ``costs`` up front.
+                # An overrun raises before the run executes; fused ops
+                # only touch registers, so nothing visible is lost.
+                fast = self._fast_handlers
+                costs = self._costs
+                while True:
+                    steps += costs[index]
+                    if steps > budget:
+                        self.steps = budget + 1
+                        raise ResourceExhausted(
+                            "execution exceeded {} steps "
+                            "(infinite loop?)".format(budget)
+                        )
+                    index = fast[index]()
+            elif sink is None:
                 while True:
                     steps += 1
                     if steps > budget:

@@ -48,6 +48,10 @@ from repro.vm.machine import (
 class ReferenceMachine(Machine):
     """A :class:`Machine` that runs the original dispatch loop."""
 
+    #: The oracle never fuses — it must stay the original semantics
+    #: the superinstruction compiler is differentially tested against.
+    _enable_fusion = False
+
     def run(self, entry="main", max_steps=None):
         """Execute ``entry()`` to completion; returns ExecutionResult."""
         if entry not in self.module.functions:

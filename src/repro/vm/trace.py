@@ -244,6 +244,7 @@ class TraceBuffer:
         self.max_events = max_events
         self._events = None
         self._columns = None
+        self._partitions = None
 
     def append(self, address, flags):
         if self.max_events is not None and len(self.addresses) >= self.max_events:
@@ -251,9 +252,14 @@ class TraceBuffer:
                 "trace buffer exceeded {} events "
                 "(runaway reference stream?)".format(self.max_events)
             )
-        if self._events is not None or self._columns is not None:
+        if (
+            self._events is not None
+            or self._columns is not None
+            or self._partitions is not None
+        ):
             self._events = None
             self._columns = None
+            self._partitions = None
         self.addresses.append(address)
         self.flags.append(flags)
 
@@ -303,6 +309,36 @@ class TraceBuffer:
                     numpy.frombuffer(self.flags.tobytes(), dtype=numpy.uint8),
                 )
         return self._columns
+
+    def set_partition(self, num_sets, line_words=1):
+        """A stable argsort of the trace by cache-set index.
+
+        Returns a NumPy int64 permutation that groups events set-major
+        (all of set 0's events in time order, then set 1's, ...), or
+        ``None`` when NumPy is unavailable.  The sort key is
+        ``(address // line_words) % num_sets`` — the set index every
+        replay engine derives — so one partition is shared by the
+        stack-distance profiler's run collapse and the vectorized
+        set-major kernels for every flavor of the same geometry.
+        Cached per ``(num_sets, line_words)`` and invalidated by
+        :meth:`append`; callers must treat the array as read-only.
+        """
+        key = (int(num_sets), int(line_words))
+        if self._partitions is not None and key in self._partitions:
+            return self._partitions[key]
+        try:
+            import numpy
+        except Exception:  # pragma: no cover - exercised off-image
+            return None
+        addresses, _ = self.to_columns()
+        if not isinstance(addresses, numpy.ndarray):  # pragma: no cover
+            return None
+        blocks = addresses if line_words == 1 else addresses // line_words
+        order = numpy.argsort(blocks % num_sets, kind="stable")
+        if self._partitions is None:
+            self._partitions = {}
+        self._partitions[key] = order
+        return order
 
     # -- serialization -------------------------------------------------
 

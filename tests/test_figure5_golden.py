@@ -19,9 +19,10 @@ change that moved the numbers.
 ``REPRO_GOLDEN_ENGINE`` selects which cache engine produces the
 measured table — ``cache`` (the online simulator, the default),
 ``functional`` (the data-carrying twin, re-executing every benchmark
-against it), ``multi`` (the shared-decode multi-replay core) or
-``stackdist`` (the one-pass sweep engines).  All four must match the
-same golden file exactly; CI runs the full matrix.
+against it), ``multi`` (the shared-decode multi-replay core),
+``stackdist`` (the scalar one-pass sweep engines) or ``vectorized``
+(the set-major array kernels).  All five must match the same golden
+file exactly; CI runs the full matrix.
 """
 
 import json
@@ -36,7 +37,8 @@ GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "golden", "figure5.json"
 )
 
-GOLDEN_ENGINES = ("cache", "functional", "multi", "stackdist")
+GOLDEN_ENGINES = ("cache", "functional", "multi", "stackdist",
+                  "vectorized")
 
 
 def functional_table():

@@ -1,0 +1,209 @@
+"""The superinstruction (fused-run) fast table versus the oracle.
+
+:meth:`Machine._fuse_block` compiles maximal straight-line runs of
+register-only ops — optionally closed by one control op, with Jump
+targets threaded through — into single exec-generated handlers.  This
+suite holds the fused table to the same bar as the closure compiler:
+identical observable behaviour to :class:`ReferenceMachine` (return
+value, output, steps, registers, memory, traces), exact fuel
+accounting at exhaustion, and an untouched per-instruction path
+whenever an ``instruction_sink`` needs to see every fetch.
+"""
+
+import pytest
+
+from repro.lang.errors import ResourceExhausted, VMError
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.unified.pipeline import CompilationOptions, compile_source
+from repro.vm.machine import Machine
+from repro.vm.memory import RecordingMemory
+from repro.vm.reference import ReferenceMachine
+
+AGGRESSIVE = CompilationOptions(scheme="unified", promotion="aggressive")
+
+
+class _UnfusedMachine(Machine):
+    """A Machine with fusion disabled — the per-instruction closure
+    table, byte-for-byte the pre-superinstruction interpreter."""
+
+    _enable_fusion = False
+
+
+def _run(cls, program, max_steps=None, memory=None):
+    vm = cls(program.module, memory=memory,
+             machine=program.options.machine)
+    result = vm.run(max_steps=max_steps)
+    return vm, result
+
+
+def assert_equivalent(source, options=None):
+    program = compile_source(source, options or CompilationOptions())
+    runs = []
+    for cls in (Machine, _UnfusedMachine, ReferenceMachine):
+        memory = RecordingMemory()
+        vm, result = _run(cls, program, memory=memory)
+        runs.append((vm, memory, result))
+    (vm_a, mem_a, res_a) = runs[0]
+    for vm_b, mem_b, res_b in runs[1:]:
+        assert res_a.return_value == res_b.return_value
+        assert res_a.output == res_b.output
+        assert res_a.steps == res_b.steps
+        assert vm_a.regs == vm_b.regs
+        assert mem_a.flat.words == mem_b.flat.words
+        assert list(mem_a.buffer) == list(mem_b.buffer)
+
+
+class TestObservableEquivalence:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_benchmark_aggressive(self, name):
+        """Aggressive promotion is where fusion coverage peaks (locals
+        live in registers), so it is the sharpest differential."""
+        assert_equivalent(get_benchmark(name).source, AGGRESSIVE)
+
+    @pytest.mark.parametrize("name", ["sieve", "towers"])
+    @pytest.mark.parametrize("promotion", ["none", "modest", "aggressive"])
+    def test_promotion_levels(self, name, promotion):
+        assert_equivalent(
+            get_benchmark(name).source,
+            CompilationOptions(scheme="unified", promotion=promotion),
+        )
+
+    @pytest.mark.parametrize("seed", [5, 23, 47, 101])
+    def test_generated_program(self, seed):
+        from repro.robustness.generator import generate_program
+
+        assert_equivalent(generate_program(seed).source, AGGRESSIVE)
+
+    def test_tight_self_loop_threads_correctly(self):
+        """A block whose Jump closes back on itself — the thread pass
+        unrolls one partial iteration and must stay exact."""
+        source = """
+        int main() {
+            int i;
+            int acc;
+            i = 0;
+            acc = 0;
+            while (i < 1000) {
+                acc = acc + i * 3 - 1;
+                i = i + 1;
+            }
+            print(acc);
+            return acc;
+        }
+        """
+        assert_equivalent(source, AGGRESSIVE)
+
+
+class TestFuelAccounting:
+    LOOP = "int main() { while (1) { } return 0; }"
+
+    def test_exhaustion_clamps_to_budget_plus_one(self):
+        """The fast loop charges a whole run up front; on overrun it
+        must report exhaustion exactly like the per-step loops do."""
+        program = compile_source(self.LOOP, AGGRESSIVE)
+        for cls in (Machine, _UnfusedMachine, ReferenceMachine):
+            vm = cls(program.module, machine=program.options.machine)
+            with pytest.raises(ResourceExhausted, match="exceeded 500 steps"):
+                vm.run(max_steps=500)
+            assert vm.steps == 501, cls.__name__
+
+    @pytest.mark.parametrize("budget", [1, 2, 3, 7, 50, 499])
+    def test_exhaustion_agrees_at_every_budget(self, budget):
+        program = compile_source(
+            get_benchmark("sieve").source, AGGRESSIVE
+        )
+        outcomes = []
+        for cls in (Machine, ReferenceMachine):
+            vm = cls(program.module, machine=program.options.machine)
+            try:
+                result = vm.run(max_steps=budget)
+                outcomes.append(("done", result.steps, result.return_value))
+            except ResourceExhausted:
+                outcomes.append(("exhausted", vm.steps, None))
+        assert outcomes[0] == outcomes[1]
+
+    def test_successful_run_step_counts_match(self):
+        program = compile_source(get_benchmark("towers").source, AGGRESSIVE)
+        fused = _run(Machine, program)[1].steps
+        unfused = _run(_UnfusedMachine, program)[1].steps
+        assert fused == unfused
+
+
+class TestErrorEquivalence:
+    def test_division_by_zero_mid_run(self):
+        """A trap raised from inside a fused run surfaces as the same
+        VMError the scalar handler raises."""
+        source = """
+        int main() {
+            int a;
+            int b;
+            a = 7;
+            b = a - 7;
+            a = a + 1;
+            a = a / b;
+            return a;
+        }
+        """
+        program = compile_source(source, AGGRESSIVE)
+        for cls in (Machine, _UnfusedMachine):
+            vm = cls(program.module, machine=program.options.machine)
+            with pytest.raises(VMError, match="division by zero"):
+                vm.run()
+
+
+class TestSinkGating:
+    def test_sink_sees_every_instruction(self):
+        """Fetch tracing must see the per-instruction stream, so a
+        sinked Machine skips fusion entirely and matches the oracle."""
+        program = compile_source(get_benchmark("towers").source, AGGRESSIVE)
+        streams = []
+        for cls in (Machine, ReferenceMachine):
+            fetched = []
+            vm = cls(program.module, machine=program.options.machine,
+                     instruction_sink=fetched.append)
+            vm.run()
+            streams.append(fetched)
+        assert streams[0] == streams[1]
+
+    def test_sinked_machine_builds_no_fast_table(self):
+        program = compile_source(get_benchmark("sieve").source, AGGRESSIVE)
+        vm = Machine(program.module, machine=program.options.machine,
+                     instruction_sink=lambda address: None)
+        assert vm._fast_handlers is None
+        assert vm._costs is None
+
+
+class TestFastTableStructure:
+    def test_overlay_layout(self):
+        """Fused handlers overlay run heads; every slot still holds a
+        callable, and costs are >= 2 exactly at the overlaid heads."""
+        program = compile_source(get_benchmark("intmm").source, AGGRESSIVE)
+        vm = Machine(program.module, machine=program.options.machine)
+        assert vm._fast_handlers is not None
+        assert len(vm._fast_handlers) == len(vm._handlers)
+        assert len(vm._costs) == len(vm._handlers)
+        fused_heads = [
+            index for index, cost in enumerate(vm._costs) if cost > 1
+        ]
+        assert fused_heads, "aggressive intmm must fuse something"
+        for index, handler in enumerate(vm._fast_handlers):
+            assert callable(handler)
+            if vm._costs[index] == 1:
+                assert handler is vm._handlers[index]
+
+    def test_reference_machine_opts_out(self):
+        program = compile_source(get_benchmark("sieve").source, AGGRESSIVE)
+        vm = ReferenceMachine(program.module,
+                              machine=program.options.machine)
+        assert vm._fast_handlers is None
+
+    def test_fused_code_cache_is_bounded_and_reused(self):
+        from repro.vm import machine as machine_mod
+
+        program = compile_source(get_benchmark("sieve").source, AGGRESSIVE)
+        Machine(program.module, machine=program.options.machine)
+        before = len(machine_mod._FUSED_CODE_CACHE)
+        assert 0 < before <= machine_mod._FUSED_CODE_CACHE_LIMIT
+        # A second build of the same module re-uses the cached factories.
+        Machine(program.module, machine=program.options.machine)
+        assert len(machine_mod._FUSED_CODE_CACHE) == before
