@@ -63,6 +63,7 @@ _timing_sinks = {
     "bench_robustness": ([], "BENCH_robustness.json"),
     "bench_staticcheck": ([], "BENCH_staticcheck.json"),
     "bench_policyzoo": ([], "BENCH_policyzoo.json"),
+    "bench_multicore": ([], "BENCH_multicore.json"),
 }
 
 

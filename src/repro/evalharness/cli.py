@@ -104,6 +104,7 @@ def _add_compile_args(parser):
                              "unambiguous globals")
 
 
+@_structured_errors
 def main_figure5(argv=None):
     parser = argparse.ArgumentParser(
         description="Reproduce Figure 5 of Chi & Dietz (PLDI 1989)."
@@ -134,8 +135,9 @@ def main_figure5(argv=None):
                              "rerun with the same journal resumes from "
                              "completed units bit-identically")
     parser.add_argument("--hierarchy", default=None, metavar="SPEC",
-                        help="also print the L1/L2 hierarchy table for "
-                             "this geometry, e.g. L1:64x2,L2:512x8")
+                        help="also print the hierarchy table for this "
+                             "geometry (any number of levels), e.g. "
+                             "L1:64x2,L2:512x8,L3:4096x16")
     parser.add_argument("--static-predictor", action="store_true",
                         help="also print the static-only hit-ratio "
                              "predictor versus the simulator (exit "
@@ -210,29 +212,21 @@ def main_figure5(argv=None):
                   "simulator", file=sys.stderr)
             status = 1
     if args.hierarchy:
+        from repro.evalharness.fullreport import hierarchy_table_rows
         from repro.evalharness.sweeps import hierarchy_sweep
         from repro.evalharness.tables import format_table
 
         names = tuple(args.benchmarks) if args.benchmarks else BENCHMARK_NAMES
-        table_rows = []
+        rows = []
         for name in names:
-            for row in hierarchy_sweep(
+            rows.extend(hierarchy_sweep(
                 name, hierarchy=args.hierarchy, base=cache,
                 artifact_cache=artifact_cache,
-            ):
-                table_rows.append([
-                    name, row["inclusion"], row["bypass_level"],
-                    "{:.4f}".format(row["l1_miss_rate"]),
-                    "{:.4f}".format(row["l2_local_miss_rate"]),
-                    row["memory_bus_words"],
-                ])
+            ))
         print()
         print("hierarchy {} (bypass-level ablation)".format(args.hierarchy))
-        print(format_table(
-            ["benchmark", "inclusion", "bypass", "L1 miss",
-             "L2 local miss", "memory words"],
-            table_rows,
-        ))
+        header, table_rows = hierarchy_table_rows(rows)
+        print(format_table(header, table_rows))
     return status
 
 

@@ -27,7 +27,6 @@ from repro.evalharness.figure5 import (
 from repro.errors import failure_record
 from repro.evalharness.experiment import DEFAULT_CACHE
 from repro.evalharness.sweeps import (
-    hierarchy_sweep,
     kill_bit_ablation,
     spill_ablation,
 )
@@ -107,39 +106,147 @@ def spill_section(artifact_cache=None):
     return "\n".join(lines)
 
 
-def hierarchy_section(hierarchy, names, failures=None, artifact_cache=None):
+def hierarchy_table_rows(rows):
+    """Render hierarchy ``as_dict`` rows for any level count.
+
+    Returns ``(header, table_rows)``: the innermost level contributes
+    its global miss rate, every outer level its local one, so a
+    three-level spec reads as three miss columns before the memory
+    words.  The header is derived from the first row's ``levels``.
+    """
+    if not rows:
+        return ["benchmark"], []
+    levels = rows[0]["levels"]
+    header = ["benchmark", "inclusion", "bypass",
+              "{} miss".format(levels[0])]
+    header += ["{} local miss".format(name) for name in levels[1:]]
+    header.append("memory words")
+    table_rows = []
+    for row in rows:
+        cells = [
+            row["benchmark"],
+            row["inclusion"],
+            row["bypass_level"],
+            "{:.4f}".format(row[levels[0].lower() + "_miss_rate"]),
+        ]
+        cells += [
+            "{:.4f}".format(row[name.lower() + "_local_miss_rate"])
+            for name in row["levels"][1:]
+        ]
+        cells.append(row["memory_bus_words"])
+        table_rows.append(cells)
+    return header, table_rows
+
+
+def hierarchy_section(hierarchy, names, failures=None, artifact_cache=None,
+                      jobs=None, journal=None):
     """E16: which level do bypassed references skip?
 
     Rows pair the ``bypass_level="l1"`` and ``"both"`` scores per
-    benchmark and inclusion discipline so the L2 effect of hierarchy-
-    wide bypassing reads straight off the table.
+    benchmark and inclusion discipline so the outer-level effect of
+    hierarchy-wide bypassing reads straight off the table.  The
+    benchmarks run as hierarchy-aware :class:`EvalUnit`\\ s through the
+    supervised pool (``jobs`` fans them out; ``journal`` checkpoints
+    them alongside the Figure 5 units).
     """
-    lines = [_heading("E16  L1/L2 hierarchy: bypass-level ablation "
+    from repro.evalharness.figure5 import figure5_options
+    from repro.evalharness.parallel import EvalUnit, run_units
+
+    lines = [_heading("E16  Cache hierarchy: bypass-level ablation "
                       "({})".format(hierarchy))]
+    specs = tuple(
+        "{},{},bypass={}".format(hierarchy, inclusion, bypass_level)
+        for inclusion in ("non-inclusive", "inclusive")
+        for bypass_level in ("l1", "both")
+    )
+    units = [
+        EvalUnit(name=name, options=figure5_options(),
+                 cache_configs=(DEFAULT_CACHE,), hierarchy=specs)
+        for name in names
+    ]
+    unit_results = run_units(
+        units, jobs=jobs, artifact_cache=artifact_cache,
+        failures=failures, section="hierarchy", journal=journal,
+    )
+    rows = [
+        row
+        for results in unit_results if results is not None
+        for row in results
+    ]
+    header, table_rows = hierarchy_table_rows(rows)
+    lines.append(format_table(header, table_rows))
+    return "\n".join(lines)
+
+
+def multicore_section(pairings, partition="umon", failures=None,
+                      artifact_cache=None):
+    """E18: kill bits vs. way partitioning at a shared last level.
+
+    Each core grouping replays one deterministic interleave under the
+    four cells of the kill × partitioning grid; the table reports the
+    shared level's hit ratio (dead-value refs served around the cache
+    count against it — the kill cells trade hit *ratio* for freed
+    ways) and the memory words actually moved, the paper's own
+    currency, which the headline scores.
+    """
+    from repro.cache.multicore import MULTICORE_CONFIGS
+    from repro.evalharness.sweeps import (
+        MULTICORE_SHARED,
+        multicore_sweep,
+    )
+
+    lines = [_heading(
+        "E18  Multi-core shared LLC: kill bits vs. way partitioning "
+        "(shared {}w x{}, {} quotas)".format(
+            MULTICORE_SHARED.size_words, MULTICORE_SHARED.associativity,
+            partition,
+        )
+    )]
     table_rows = []
-    for name in names:
+    kill_wins = []
+    best_cells = []
+    scored = []
+    for names in pairings:
+        label = "+".join(names)
         try:
-            rows = hierarchy_sweep(name, hierarchy=hierarchy,
+            rows = multicore_sweep(names, partition=partition,
                                    artifact_cache=artifact_cache)
         except Exception as error:  # noqa: BLE001 - recorded, reported
             if failures is None:
                 raise
-            failures.append(failure_record("hierarchy", name, error))
+            failures.append(failure_record("multicore", label, error))
             continue
-        for row in rows:
+        by_config = {row["config"]: row for row in rows}
+        for config in MULTICORE_CONFIGS:
+            row = by_config[config]
             table_rows.append([
-                name,
-                row["inclusion"],
-                row["bypass_level"],
-                "{:.4f}".format(row["l1_miss_rate"]),
-                "{:.4f}".format(row["l2_local_miss_rate"]),
+                label,
+                config,
+                "/".join(str(q) for q in row["quotas"])
+                if row["quotas"] else "-",
+                "{:.4f}".format(row["shared_hit_rate"]),
                 row["memory_bus_words"],
             ])
+        scored.append(label)
+        if (by_config["kill"]["memory_bus_words"]
+                <= by_config["partitioned"]["memory_bus_words"]):
+            kill_wins.append(label)
+        best = min(MULTICORE_CONFIGS,
+                   key=lambda c: by_config[c]["memory_bus_words"])
+        best_cells.append("{}: {}".format(label, best))
     lines.append(format_table(
-        ["benchmark", "inclusion", "bypass", "L1 miss", "L2 local miss",
-         "memory words"],
+        ["cores", "config", "quotas", "shared hit", "memory words"],
         table_rows,
     ))
+    lines.append(
+        "headline: kill bits alone beat or match static partitioning "
+        "on memory words for {}/{} groupings{}; best cell per grouping: "
+        "{}".format(
+            len(kill_wins), len(scored),
+            " ({})".format(", ".join(kill_wins)) if kill_wins else "",
+            "; ".join(best_cells) if best_cells else "none",
+        )
+    )
     return "\n".join(lines)
 
 
@@ -315,7 +422,8 @@ def access_time_section(failures=None, artifact_cache=None):
 def build_report(paper_scale=False, fast=False, failures=None,
                  cache_config=DEFAULT_CACHE, jobs=None, artifact_cache=None,
                  hierarchy=None, hierarchy_benchmarks=None, journal=None,
-                 policy_zoo=False, engine=None):
+                 policy_zoo=False, engine=None, multicore=None,
+                 partition="umon"):
     """Assemble the report string.
 
     With ``failures`` (a list), a section or benchmark that breaks is
@@ -343,6 +451,13 @@ def build_report(paper_scale=False, fast=False, failures=None,
             ("hierarchy",
              lambda: hierarchy_section(
                  hierarchy, hierarchy_benchmarks or BENCHMARK_NAMES,
+                 failures=failures, artifact_cache=artifact_cache,
+                 jobs=jobs, journal=journal)))
+    if multicore:
+        section_builders.append(
+            ("multicore",
+             lambda: multicore_section(
+                 multicore, partition=partition,
                  failures=failures, artifact_cache=artifact_cache)))
     if policy_zoo:
         section_builders.append(
@@ -423,12 +538,28 @@ def main(argv=None):
                              "here; a rerun with the same journal resumes "
                              "from completed units bit-identically")
     parser.add_argument("--hierarchy", default=None, metavar="SPEC",
-                        help="add the L1/L2 hierarchy section for this "
-                             "geometry, e.g. L1:64x2,L2:512x8")
+                        help="add the E16 hierarchy section for this "
+                             "geometry (any number of levels), e.g. "
+                             "L1:64x2,L2:512x8 or "
+                             "L1:64x2,L2:512x8,L3:4096x16")
     parser.add_argument("--hierarchy-benchmarks", nargs="*", default=None,
                         choices=list(BENCHMARK_NAMES),
                         help="restrict the hierarchy section to these "
                              "benchmarks (default: all)")
+    parser.add_argument("--multicore", action="store_true",
+                        help="add the E18 multi-core shared-LLC section "
+                             "(kill bits vs. way partitioning on the "
+                             "default core groupings)")
+    parser.add_argument("--multicore-benchmarks", nargs="*", default=None,
+                        choices=list(BENCHMARK_NAMES),
+                        help="run E18 on this single core grouping "
+                             "instead of the defaults (implies "
+                             "--multicore; needs >= 2 names)")
+    parser.add_argument("--partition", default="umon",
+                        choices=["umon", "even"],
+                        help="way-quota policy for the E18 partitioned "
+                             "cells: UMON utility-monitor allocation or "
+                             "an even split (default: umon)")
     parser.add_argument("--policy-zoo", action="store_true",
                         help="add the E17 predictive-replacement zoo "
                              "section ({policy} x {conventional, unified} "
@@ -453,6 +584,15 @@ def main(argv=None):
         from repro.evalharness.artifacts import ArtifactCache
 
         artifact_cache = ArtifactCache(args.artifact_cache)
+    multicore = None
+    if args.multicore_benchmarks is not None:
+        if len(args.multicore_benchmarks) < 2:
+            parser.error("--multicore-benchmarks needs at least two names")
+        multicore = (tuple(args.multicore_benchmarks),)
+    elif args.multicore:
+        from repro.evalharness.sweeps import MULTICORE_PAIRINGS
+
+        multicore = MULTICORE_PAIRINGS
     failures = []
     print(build_report(paper_scale=args.paper_scale, fast=args.fast,
                        failures=failures, cache_config=cache_config,
@@ -461,7 +601,9 @@ def main(argv=None):
                        hierarchy_benchmarks=args.hierarchy_benchmarks,
                        journal=args.journal,
                        policy_zoo=args.policy_zoo,
-                       engine=args.engine))
+                       engine=args.engine,
+                       multicore=multicore,
+                       partition=args.partition))
     if failures:
         print("\n" + format_failures(failures), file=sys.stderr)
         return 1

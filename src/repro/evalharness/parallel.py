@@ -79,6 +79,13 @@ class EvalUnit:
     bit-identical (the conformance battery holds them to it), so the
     choice never changes a result — it is deliberately excluded from
     :func:`unit_fingerprint` and journal identity.
+
+    ``hierarchy`` switches the unit from flat geometries to hierarchy
+    scoring: each entry is a :func:`~repro.cache.hierarchy.parse_hierarchy`
+    spec string (inline ``inclusive``/``bypass=`` tokens welcome),
+    ``cache_configs[0]`` supplies the non-geometry base knobs, and the
+    unit's results are the ordered
+    :meth:`~repro.cache.hierarchy.HierarchyStats.as_dict` rows.
     """
 
     name: str
@@ -86,6 +93,7 @@ class EvalUnit:
     options: object = None
     cache_configs: tuple = field(default=(DEFAULT_CACHE,))
     engine: object = None
+    hierarchy: tuple = ()
 
 
 def unit_fingerprint(unit):
@@ -99,16 +107,18 @@ def unit_fingerprint(unit):
     resumes correctly under another.
     """
     options = (unit.options or CompilationOptions()).normalized()
-    payload = json.dumps(
-        {
-            "schema": ARTIFACT_SCHEMA,
-            "name": unit.name,
-            "paper_scale": bool(unit.paper_scale),
-            "options": options_fingerprint(options),
-            "cache_configs": [repr(c) for c in unit.cache_configs],
-        },
-        sort_keys=True,
-    )
+    fields = {
+        "schema": ARTIFACT_SCHEMA,
+        "name": unit.name,
+        "paper_scale": bool(unit.paper_scale),
+        "options": options_fingerprint(options),
+        "cache_configs": [repr(c) for c in unit.cache_configs],
+    }
+    if unit.hierarchy:
+        # Keyed only when present so every pre-hierarchy journal keeps
+        # resolving its recorded fingerprints.
+        fields["hierarchy"] = list(unit.hierarchy)
+    payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -153,6 +163,17 @@ def evaluate_unit(unit, artifact_cache=None, keep_trace=False):
         trace = memory.buffer
         output = tuple(result.output)
         steps = result.steps
+    if unit.hierarchy:
+        from repro.cache.hierarchy import hierarchy_stats, parse_hierarchy
+
+        base = unit.cache_configs[0] if unit.cache_configs else None
+        rows = []
+        for spec_text in unit.hierarchy:
+            spec = parse_hierarchy(spec_text, base=base)
+            row = hierarchy_stats(trace, spec).as_dict()
+            row["benchmark"] = unit.name
+            rows.append(row)
+        return rows
     configs = tuple(unit.cache_configs)
     engine = unit.engine or os.environ.get("REPRO_SWEEP_ENGINE")
     if len(configs) == 1 and not engine:

@@ -365,6 +365,10 @@ def promotion_ablation(name, base=DEFAULT_CACHE, paper_scale=False,
 #: 512-word 8-way L2, nested so the inclusive discipline is scorable.
 DEFAULT_HIERARCHY = "L1:64x2,L2:512x8"
 
+#: The three-level variant the golden-pin matrix covers: a paper-scale
+#: L1 under a mid L2 and a 4K-word 16-way last level.
+DEFAULT_HIERARCHY3 = "L1:64x2,L2:512x8,L3:4096x16"
+
 
 def hierarchy_sweep(
     name,
@@ -397,6 +401,77 @@ def hierarchy_sweep(
             row = hierarchy_stats(trace, spec).as_dict()
             row["benchmark"] = name
             rows.append(row)
+    return rows
+
+
+#: Private-L1 and shared-level geometries for the E18 contention
+#: experiment: each core keeps the paper-scale 64-word 2-way first
+#: level; the contended level is the E16 L2 (512 words, 8 ways — room
+#: for meaningful way partitions).
+MULTICORE_L1 = CacheConfig(size_words=64, line_words=1, associativity=2)
+MULTICORE_SHARED = CacheConfig(size_words=512, line_words=1,
+                               associativity=8)
+
+#: Default E18 core groupings: two contrasting pairs (a blocked
+#: compute kernel against a streaming scan, and the two recursive
+#: benchmarks) plus a four-core mix.
+MULTICORE_PAIRINGS = (
+    ("intmm", "sieve"),
+    ("queen", "towers"),
+    ("bubble", "intmm", "puzzle", "sieve"),
+)
+
+
+def multicore_sweep(
+    names,
+    l1=MULTICORE_L1,
+    shared=MULTICORE_SHARED,
+    partition="umon",
+    seed=0,
+    chunk=8,
+    paper_scale=False,
+    options=None,
+    artifact_cache=None,
+):
+    """E18 rows: one core grouping through the kill/partitioning grid.
+
+    ``names`` lists the benchmarks acting as cores; their reference
+    traces are interleaved once and replayed under every
+    :data:`~repro.cache.multicore.MULTICORE_CONFIGS` cell, so the four
+    rows differ only in the two levers (kill bits, way quotas).
+    ``partition`` picks the quota policy for the partitioned cells:
+    ``"umon"`` (utility-monitor greedy allocation) or ``"even"``.
+    """
+    from repro.cache.hierarchy import HierarchyError
+    from repro.cache.multicore import (
+        even_partition,
+        multicore_grid,
+        utility_curves,
+        utility_partition,
+    )
+
+    traces = [
+        _trace_for(name, paper_scale, options, artifact_cache)[0]
+        for name in names
+    ]
+    if partition == "umon":
+        curves = utility_curves(traces, l1, shared)
+        quotas = utility_partition(curves, shared.associativity)
+    elif partition == "even":
+        quotas = even_partition(len(names), shared.associativity)
+    else:
+        raise HierarchyError(
+            "unknown partition policy {!r} "
+            "(expected 'umon' or 'even')".format(partition)
+        )
+    grid = multicore_grid(traces, l1, shared, quotas,
+                          seed=seed, chunk=chunk, names=names)
+    rows = []
+    for config, result in grid.items():
+        row = result.as_dict()
+        row["config"] = config
+        row["partition"] = partition
+        rows.append(row)
     return rows
 
 

@@ -1,26 +1,31 @@
-"""The L1/L2 hierarchy layer: spec parsing, the offline scorers vs the
-online chained model, and the bypass-level ablation.
+"""The N-level hierarchy layer: spec parsing, the offline scorers vs
+the online chained model, and the bypass-level ablation.
 
 The load-bearing contract is the one the differential harness also
 enforces: for non-inclusive hierarchies the offline
 :func:`hierarchy_stats` scorer is bit-identical, level by level, to
 the online :class:`HierarchyCache` chain; for inclusive hierarchies
 the L1 column is identical to the standalone L1 and the derived
-local-L2 metrics stay within their definitions.
+local-L2 metrics stay within their definitions.  The Hypothesis
+property at the bottom additionally holds the N=2 instantiation
+bit-identical to an inline two-level reference chain (the pre-refactor
+L1/L2 model) on fuzzer-generated traces.
 """
 
 import random
 
 import pytest
 
-from repro.cache.cache import CacheConfig
+from repro.cache.cache import Cache, CacheConfig
 from repro.cache.hierarchy import (
     HierarchyCache,
+    HierarchyError,
     HierarchySpec,
     hierarchy_stats,
     parse_hierarchy,
 )
 from repro.cache.replay import replay_trace
+from repro.errors import ReproError
 from repro.vm.trace import FLAG_BYPASS, FLAG_KILL, FLAG_WRITE, TraceBuffer
 
 
@@ -263,7 +268,7 @@ class TestAsDictShape:
             trace, parse_hierarchy("L1:64x2,L2:512x8")
         ).as_dict()
         for key in (
-            "hierarchy", "inclusion", "bypass_level",
+            "hierarchy", "inclusion", "bypass_level", "levels",
             "l1_hits", "l1_misses", "l1_miss_rate", "l1_bus_words",
             "l2_hits", "l2_misses", "l2_miss_rate", "l2_bus_words",
             "l2_local_hits", "l2_local_miss_rate",
@@ -271,3 +276,197 @@ class TestAsDictShape:
         ):
             assert key in row, key
         assert row["hierarchy"].startswith("L1:64x2,L2:512x8")
+        assert row["levels"] == ["L1", "L2"]
+
+    def test_three_level_row_fields(self):
+        trace = mixed_trace(events=500)
+        row = hierarchy_stats(
+            trace, parse_hierarchy("L1:16x2,L2:64x4,L3:256x8")
+        ).as_dict()
+        assert row["levels"] == ["L1", "L2", "L3"]
+        for key in (
+            "l3_hits", "l3_misses", "l3_miss_rate", "l3_bus_words",
+            "l2_local_hits", "l2_local_miss_rate",
+            "l3_local_hits", "l3_local_miss_rate",
+            "l1_l2_bus_words", "l2_l3_bus_words", "memory_bus_words",
+        ):
+            assert key in row, key
+        # The memory bus is the outermost level's downstream bus.
+        assert row["memory_bus_words"] == row["l3_bus_words"]
+
+
+class TestParseErgonomics:
+    def test_duplicate_level_names_rejected(self):
+        with pytest.raises(HierarchyError, match="duplicate level name"):
+            parse_hierarchy("L1:64x2,L1:512x8")
+
+    def test_duplicate_names_case_insensitive(self):
+        with pytest.raises(HierarchyError, match="duplicate level name"):
+            parse_hierarchy("L1:64x2,l1:512x8")
+
+    def test_contradictory_bypass_tokens_rejected(self):
+        with pytest.raises(HierarchyError, match="contradictory bypass"):
+            parse_hierarchy("L1:64x2,bypass=l1,L2:512x8,bypass=both")
+
+    def test_contradictory_inclusion_tokens_rejected(self):
+        with pytest.raises(HierarchyError,
+                           match="contradictory inclusion"):
+            parse_hierarchy("L1:64x2,L2:512x8,inclusive,non-inclusive")
+
+    def test_repeated_identical_tokens_allowed(self):
+        spec = parse_hierarchy(
+            "L1:64x2,inclusive,L2:512x8,inclusive,bypass=both,bypass=both"
+        )
+        assert spec.inclusion == "inclusive"
+        assert spec.bypass_level == "both"
+
+    def test_whitespace_around_tokens(self):
+        spec = parse_hierarchy(
+            "  L1 : 64x2 ,  L2:512x8 ,  inclusive , bypass= both "
+        )
+        assert [name for name, _ in spec.levels] == ["L1", "L2"]
+        assert spec.inclusion == "inclusive"
+        assert spec.bypass_level == "both"
+
+    def test_errors_are_stage_tagged(self):
+        with pytest.raises(HierarchyError) as excinfo:
+            parse_hierarchy("L1:64x2,L1:512x8")
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value, ValueError)
+        assert excinfo.value.stage == "hierarchy"
+
+    def test_bad_level_policy_rejected(self):
+        with pytest.raises(HierarchyError, match="bad level policy"):
+            parse_hierarchy("L1:64x2,L2:512x8@optimal")
+
+    def test_level_policy_suffix_parses(self):
+        spec = parse_hierarchy("L1:64x2,L2:512x8@srrip")
+        assert spec.levels[0][1].policy == "lru"
+        assert spec.levels[1][1].policy == "srrip"
+        assert "@srrip" in spec.describe()
+
+
+class TestThreeLevels:
+    def test_parse_three_levels(self):
+        spec = parse_hierarchy("L1:16x2,L2:64x4,L3:256x8")
+        assert [name for name, _ in spec.levels] == ["L1", "L2", "L3"]
+        assert spec.bypass_levels == ("L1",)
+        assert spec.bypass_level == "l1"
+
+    def test_bypass_addressing_set(self):
+        spec = parse_hierarchy("L1:16x2,L2:64x4,L3:256x8,bypass=L1+L3")
+        assert spec.bypass_levels == ("L1", "L3")
+        assert spec.bypass_level == "L1+L3"
+        again = parse_hierarchy(spec.describe())
+        assert again.bypass_levels == ("L1", "L3")
+
+    def test_bypass_both_addresses_every_level(self):
+        spec = parse_hierarchy("L1:16x2,L2:64x4,L3:256x8,bypass=both")
+        assert spec.bypass_levels == ("L1", "L2", "L3")
+        assert spec.bypass_level == "both"
+
+    def test_level_configs_gate_honor_flags(self):
+        spec = parse_hierarchy("L1:16x2,L2:64x4,L3:256x8,bypass=L1+L3")
+        configs = spec.level_configs()
+        assert [c.honor_bypass for c in configs] == [True, False, True]
+        # Kills act at the innermost level only.
+        assert [c.honor_kill for c in configs] == [True, False, False]
+
+    @pytest.mark.parametrize(
+        "bypass", ["l1", "both", "L1+L3", "L2"]
+    )
+    def test_offline_matches_online_three_levels(self, bypass):
+        trace = mixed_trace()
+        spec = parse_hierarchy(
+            "L1:16x2,L2:64x4,L3:256x8", bypass_level=bypass
+        )
+        offline = hierarchy_stats(trace, spec)
+        online = HierarchyCache(spec)
+        for address, flags in trace:
+            online.access(
+                address,
+                bool(flags & FLAG_WRITE),
+                bool(flags & FLAG_BYPASS),
+                bool(flags & FLAG_KILL),
+            )
+        for name, stats in offline.levels:
+            assert stats.as_dict() == online.stats()[name].as_dict(), (
+                bypass, name,
+            )
+
+    def test_offline_matches_online_zoo_policy_level(self):
+        """Any zoo policy works at any level (here SRRIP at L2)."""
+        trace = mixed_trace(events=2000)
+        spec = parse_hierarchy("L1:16x2,L2:64x4@srrip,L3:256x8")
+        offline = hierarchy_stats(trace, spec)
+        online = HierarchyCache(spec)
+        for address, flags in trace:
+            online.access(
+                address,
+                bool(flags & FLAG_WRITE),
+                bool(flags & FLAG_BYPASS),
+                bool(flags & FLAG_KILL),
+            )
+        for name, stats in offline.levels:
+            assert stats.as_dict() == online.stats()[name].as_dict(), name
+
+    def test_inclusive_three_levels(self):
+        trace = mixed_trace()
+        spec = parse_hierarchy(
+            "L1:16x2,L2:64x4,L3:256x8", inclusion="inclusive"
+        )
+        row = hierarchy_stats(trace, spec).as_dict()
+        standalone = replay_trace(trace, spec.level_configs()[0])
+        assert row["l1_hits"] == standalone.hits
+        assert row["l2_local_hits"] >= 0
+        assert row["l3_local_hits"] >= 0
+
+
+def _reference_two_level(trace, l1_config, l2_config, bypass_level):
+    """The pre-refactor L1/L2 model, inlined: replay L1 online, hand
+    every non-hit to L2, honor bypass at L2 only under ``"both"``,
+    never honor kills below L1."""
+    from dataclasses import replace
+
+    l1 = Cache(l1_config)
+    l2 = Cache(replace(
+        l2_config,
+        honor_bypass=l2_config.honor_bypass and bypass_level == "both",
+        honor_kill=False,
+    ))
+    for address, flags in trace:
+        is_write = bool(flags & FLAG_WRITE)
+        bypass = bool(flags & FLAG_BYPASS)
+        kill = bool(flags & FLAG_KILL)
+        if l1.access(address, is_write, bypass, kill) != "hit":
+            l2.access(address, is_write, bypass, False)
+    return l1.stats, l2.stats
+
+
+class TestReferenceEquivalence:
+    """N=2 instantiation == the pinned PR 5 two-level behavior."""
+
+    @pytest.mark.parametrize("bypass_level", ["l1", "both"])
+    def test_hypothesis_bit_identity(self, bypass_level):
+        from hypothesis import given, settings, strategies as st
+
+        ref = st.tuples(
+            st.integers(min_value=0, max_value=95),
+            st.booleans(), st.booleans(), st.booleans(),
+        )
+
+        @settings(max_examples=40, deadline=None)
+        @given(refs=st.lists(ref, min_size=1, max_size=400))
+        def property_(refs):
+            trace = make_trace(refs)
+            spec = parse_hierarchy(
+                "L1:16x2,L2:64x4", bypass_level=bypass_level
+            )
+            offline = hierarchy_stats(trace, spec)
+            l1_ref, l2_ref = _reference_two_level(
+                trace, spec.levels[0][1], spec.levels[1][1], bypass_level
+            )
+            assert offline["L1"].as_dict() == l1_ref.as_dict()
+            assert offline["L2"].as_dict() == l2_ref.as_dict()
+
+        property_()
